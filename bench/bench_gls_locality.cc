@@ -1,0 +1,89 @@
+// E1 — GLS lookup locality (paper §3.5, Figure 2).
+//
+// Claim: "if a distributed shared object has a representative near to the client,
+// the Globe Location Service will find that representative using only 'local'
+// communication. In other words, the cost of a look up increases proportional to the
+// distance between client and nearest representative."
+//
+// Workload: a 4-level world; one replica registered at a fixed host; lookups issued
+// from clients at increasing domain distance. Expected shape: hops = 2 * separation
+// levels, latency grows with each level, and the lookup's apex climbs exactly as
+// high as the separation requires — never to the root unless the client is on
+// another continent.
+
+#include "bench/bench_util.h"
+#include "src/gls/deploy.h"
+
+using namespace globe;
+using bench::Fmt;
+
+int main() {
+  bench::Title("E1 bench_gls_locality",
+               "GLS lookup cost vs. client-replica distance (paper 3.5)");
+
+  // 3 continents x 3 countries x 3 sites, 2 hosts per site.
+  sim::Simulator simulator;
+  sim::UniformWorld world = sim::BuildUniformWorld({3, 3, 3}, 2);
+  sim::Network network(&simulator, &world.topology);
+  sim::PlainTransport transport(&network);
+  gls::GlsDeployment deployment(&transport, &world.topology, nullptr);
+
+  // Register one replica at host 0.
+  Rng rng(1);
+  gls::ObjectId oid = gls::ObjectId::Generate(&rng);
+  {
+    auto client = deployment.MakeClient(world.hosts[0]);
+    Status status = Unavailable("pending");
+    client->Insert(oid,
+                   gls::ContactAddress{{world.hosts[0], sim::kPortGos}, 1,
+                                       gls::ReplicaRole::kMaster},
+                   [&](Status s) { status = s; });
+    simulator.Run();
+    if (!status.ok()) {
+      std::printf("insert failed: %s\n", status.ToString().c_str());
+      return 1;
+    }
+  }
+
+  struct Probe {
+    const char* label;
+    size_t host_index;
+  };
+  // Host indices per the uniform world layout: 2 hosts per site, 3 sites per country
+  // (6 hosts), 3 countries per continent (18 hosts), 3 continents (54 hosts total).
+  std::vector<Probe> probes = {
+      {"same site", 1},       {"same country", 2},       {"same continent", 6},
+      {"next continent", 18}, {"far continent", 36},
+  };
+
+  bench::Table table({"client at", "hops", "latency", "apex depth", "found depth"});
+  for (const Probe& probe : probes) {
+    auto client = deployment.MakeClient(world.hosts[probe.host_index]);
+    gls::LookupResult result;
+    Status status = Unavailable("pending");
+    sim::SimTime started = simulator.Now();
+    sim::SimTime finished = started;
+    client->Lookup(oid, [&](Result<gls::LookupResult> r) {
+      finished = simulator.Now();
+      if (r.ok()) {
+        result = *r;
+        status = OkStatus();
+      } else {
+        status = r.status();
+      }
+    });
+    simulator.Run();
+    if (!status.ok()) {
+      std::printf("lookup failed: %s\n", status.ToString().c_str());
+      return 1;
+    }
+    table.Row({probe.label, Fmt("%u", result.hops), bench::Ms(finished - started),
+               Fmt("%d", result.apex_depth), Fmt("%d", result.found_depth)});
+  }
+
+  bench::Note("");
+  bench::Note("expected shape (paper): hops grow ~2 per level of separation; a nearby");
+  bench::Note("replica is found without leaving the local subtree (apex stays deep);");
+  bench::Note("only intercontinental lookups touch the root (apex depth 0).");
+  return 0;
+}

@@ -1,0 +1,228 @@
+// E3 — per-object replication scenarios vs. one-size-fits-all (paper §3.1).
+//
+// Claim: "if we assign a replication scenario to each Web page that reflects that
+// page's individual usage and update patterns, we get significant improvements ...
+// less wide-area network traffic was generated and the response time for the
+// end-user improved" [Pierre et al. 1999]. The GDN generalizes this: replication
+// scenarios are chosen per package DSO.
+//
+// Workload: 40 packages with Zipf(1.0) popularity and bimodal update rates (20% of
+// packages receive frequent updates, chosen independently of popularity). 400
+// downloads from users across 6 countries, with updates interleaved. The same
+// deterministic workload runs under four scenario policies:
+//   central      — every package a single master in country 0
+//   replicate-all— master + slave replica in every country (eager state push)
+//   cache-all    — cache/invalidate protocol, HTTPD caches fill on demand
+//   per-object   — popular+stable packages replicated everywhere; popular+volatile
+//                  packages cached with invalidation; unpopular packages central
+//
+// Expected shape: each global policy loses somewhere — central on read latency and
+// read WAN, replicate-all on update WAN, cache-all in between — while the per-object
+// assignment matches the best policy in every column (the paper's Pierre-et-al
+// finding).
+
+#include <numeric>
+
+#include "bench/bench_util.h"
+#include "src/gdn/world.h"
+
+using namespace globe;
+using bench::Fmt;
+
+namespace {
+
+constexpr int kPackages = 40;
+constexpr int kDownloads = 400;
+constexpr double kZipfExponent = 1.0;
+constexpr double kVolatileFraction = 0.20;
+constexpr int kUpdateEveryNDownloads = 8;  // one update per 8 downloads
+
+struct Workload {
+  struct Op {
+    bool is_update = false;
+    int package = 0;
+    size_t user_index = 0;  // for downloads
+  };
+  std::vector<Op> ops;
+  std::vector<bool> is_volatile;   // per package
+  std::vector<size_t> popularity;  // per package: times downloaded
+  std::vector<uint32_t> sizes;     // per package payload size
+};
+
+Workload BuildWorkload(size_t num_users, uint64_t seed) {
+  Workload workload;
+  Rng rng(seed);
+  ZipfSampler zipf(kPackages, kZipfExponent);
+
+  workload.is_volatile.resize(kPackages);
+  workload.sizes.resize(kPackages);
+  for (int i = 0; i < kPackages; ++i) {
+    workload.is_volatile[i] = rng.Bernoulli(kVolatileFraction);
+    workload.sizes[i] = 20000 + static_cast<uint32_t>(rng.UniformInt(60000));
+  }
+  workload.popularity.assign(kPackages, 0);
+
+  Rng update_rng(seed + 1);
+  for (int i = 0; i < kDownloads; ++i) {
+    Workload::Op op;
+    op.package = static_cast<int>(zipf.Sample(&rng));
+    op.user_index = static_cast<size_t>(rng.UniformInt(num_users));
+    workload.popularity[op.package]++;
+    workload.ops.push_back(op);
+
+    if ((i + 1) % kUpdateEveryNDownloads == 0) {
+      // Updates hit volatile packages: pick until one is volatile (bounded tries).
+      Workload::Op update;
+      update.is_update = true;
+      update.package = static_cast<int>(update_rng.UniformInt(kPackages));
+      for (int tries = 0; tries < 20 && !workload.is_volatile[update.package]; ++tries) {
+        update.package = static_cast<int>(update_rng.UniformInt(kPackages));
+      }
+      workload.ops.push_back(update);
+    }
+  }
+  return workload;
+}
+
+enum class Policy { kCentral, kReplicateAll, kCacheAll, kPerObject };
+
+const char* PolicyName(Policy policy) {
+  switch (policy) {
+    case Policy::kCentral:
+      return "central";
+    case Policy::kReplicateAll:
+      return "replicate-all";
+    case Policy::kCacheAll:
+      return "cache-all";
+    case Policy::kPerObject:
+      return "per-object";
+  }
+  return "?";
+}
+
+struct ScenarioResult {
+  double mean_read_ms = 0;
+  uint64_t read_wan_bytes = 0;
+  uint64_t update_wan_bytes = 0;
+  uint64_t total_wan_bytes = 0;
+  int failures = 0;
+};
+
+ScenarioResult RunScenario(Policy policy, const Workload& workload) {
+  gdn::GdnWorldConfig config;
+  config.fanouts = {3, 2, 2};  // 6 countries
+  config.user_hosts_per_site = 2;
+  gdn::GdnWorld world(config);
+
+  std::vector<size_t> all_other_countries;
+  for (size_t c = 1; c < world.num_countries(); ++c) {
+    all_other_countries.push_back(c);
+  }
+
+  // Publish every package under the policy.
+  for (int p = 0; p < kPackages; ++p) {
+    std::string name = "/apps/bench/pkg" + std::to_string(p);
+    std::map<std::string, Bytes> files = {{"data", Bytes(workload.sizes[p], 0x33)}};
+
+    gls::ProtocolId protocol = dso::kProtoMasterSlave;
+    std::vector<size_t> replicas;
+    switch (policy) {
+      case Policy::kCentral:
+        break;
+      case Policy::kReplicateAll:
+        replicas = all_other_countries;
+        break;
+      case Policy::kCacheAll:
+        protocol = dso::kProtoCacheInval;
+        break;
+      case Policy::kPerObject: {
+        // The adaptive assignment: popularity and volatility known from the trace
+        // (the paper's study likewise assigned scenarios from observed patterns).
+        bool popular = workload.popularity[p] * kPackages >= 2 * kDownloads / 3;
+        if (popular && !workload.is_volatile[p]) {
+          replicas = all_other_countries;  // replicate widely
+        } else if (popular && workload.is_volatile[p]) {
+          protocol = dso::kProtoCacheInval;  // cache + invalidate
+        }
+        // unpopular: stay central
+        break;
+      }
+    }
+    auto oid = world.PublishPackage(name, files, protocol, 0, replicas);
+    if (!oid.ok()) {
+      std::printf("publish %s failed: %s\n", name.c_str(), oid.status().ToString().c_str());
+      std::exit(1);
+    }
+  }
+
+  // Replay the workload; separate read and update traffic.
+  world.network().mutable_stats()->Clear();
+  ScenarioResult result;
+  double total_read_ms = 0;
+  int reads = 0;
+  uint64_t wan_after_reads = 0;
+
+  Rng content_rng(99);
+  for (const auto& op : workload.ops) {
+    std::string name = "/apps/bench/pkg" + std::to_string(op.package);
+    if (op.is_update) {
+      uint64_t before = world.network().stats().BytesAtOrAbove(2);
+      Status status = Unavailable("pending");
+      world.moderator()->AddFile(name, "data",
+                                 Bytes(workload.sizes[op.package], 0x44),
+                                 [&](Status s) { status = s; });
+      world.Run();
+      if (!status.ok()) {
+        ++result.failures;
+      }
+      result.update_wan_bytes += world.network().stats().BytesAtOrAbove(2) - before;
+    } else {
+      sim::NodeId user = world.user_hosts()[op.user_index % world.user_hosts().size()];
+      uint64_t before = world.network().stats().BytesAtOrAbove(2);
+      auto content = world.DownloadFile(user, name, "data");
+      if (!content.ok()) {
+        ++result.failures;
+        continue;
+      }
+      total_read_ms += sim::ToMillis(world.last_op_duration());
+      ++reads;
+      wan_after_reads += world.network().stats().BytesAtOrAbove(2) - before;
+    }
+  }
+  result.mean_read_ms = reads > 0 ? total_read_ms / reads : 0;
+  result.read_wan_bytes = wan_after_reads;
+  result.total_wan_bytes = world.network().stats().BytesAtOrAbove(2);
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  bench::Title("E3 bench_replication_scenarios",
+               "per-object replication vs. global policies (paper 3.1 / Pierre et al.)");
+  bench::Note("%d packages, Zipf(%.1f) popularity, %.0f%% volatile, %d downloads, "
+              "1 update per %d downloads, 6 countries",
+              kPackages, kZipfExponent, kVolatileFraction * 100, kDownloads,
+              kUpdateEveryNDownloads);
+
+  // Workload is built once so every policy replays the identical op sequence.
+  // User count equals the world the scenarios construct (3x2x2 sites x 2 hosts).
+  Workload workload = BuildWorkload(/*num_users=*/24, /*seed=*/0xe3);
+
+  bench::Table table({"policy", "mean read", "read WAN", "update WAN", "total WAN",
+                      "failures"});
+  for (Policy policy : {Policy::kCentral, Policy::kReplicateAll, Policy::kCacheAll,
+                        Policy::kPerObject}) {
+    ScenarioResult r = RunScenario(policy, workload);
+    table.Row({PolicyName(policy), Fmt("%.1f ms", r.mean_read_ms),
+               FormatBytes(r.read_wan_bytes), FormatBytes(r.update_wan_bytes),
+               FormatBytes(r.total_wan_bytes), Fmt("%d", r.failures)});
+  }
+
+  bench::Note("");
+  bench::Note("expected shape (paper): 'central' pays on read latency and read WAN;");
+  bench::Note("'replicate-all' pays update WAN for replicas nobody reads;");
+  bench::Note("'per-object' assignment approaches the best column of every global");
+  bench::Note("policy simultaneously - less WAN traffic AND better response time.");
+  return 0;
+}

@@ -1,0 +1,78 @@
+// Shared helpers for the experiment benchmarks (see DESIGN.md's experiment index).
+//
+// Each bench binary regenerates one table/figure: it builds a deterministic
+// simulated world, runs the workload, and prints the rows the paper's evaluation
+// would have contained. Latencies are virtual (simulated) time; "WAN bytes" are the
+// network's per-level traffic counters at or above the country level.
+
+#ifndef BENCH_BENCH_UTIL_H_
+#define BENCH_BENCH_UTIL_H_
+
+#include <cstdarg>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/sim/simulator.h"
+#include "src/util/strings.h"
+
+namespace globe::bench {
+
+inline void Title(const std::string& id, const std::string& what) {
+  std::printf("\n================================================================\n");
+  std::printf("%s: %s\n", id.c_str(), what.c_str());
+  std::printf("================================================================\n");
+}
+
+inline void Note(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  std::printf("  ");
+  std::vprintf(fmt, args);
+  std::printf("\n");
+  va_end(args);
+}
+
+// Fixed-width table output.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers, int column_width = 14)
+      : num_columns_(headers.size()), width_(column_width) {
+    std::printf("\n");
+    for (const auto& header : headers) {
+      std::printf("%-*s", width_, header.c_str());
+    }
+    std::printf("\n");
+    for (size_t i = 0; i < num_columns_ * static_cast<size_t>(width_); ++i) {
+      std::printf("-");
+    }
+    std::printf("\n");
+  }
+
+  void Row(const std::vector<std::string>& cells) {
+    for (const auto& cell : cells) {
+      std::printf("%-*s", width_, cell.c_str());
+    }
+    std::printf("\n");
+  }
+
+ private:
+  size_t num_columns_;
+  int width_;
+};
+
+inline std::string Fmt(const char* fmt, ...) {
+  char buf[128];
+  va_list args;
+  va_start(args, fmt);
+  std::vsnprintf(buf, sizeof(buf), fmt, args);
+  va_end(args);
+  return buf;
+}
+
+inline std::string Ms(sim::SimTime t) { return Fmt("%.1f ms", sim::ToMillis(t)); }
+inline std::string Ms(double us) { return Fmt("%.1f ms", us / 1000.0); }
+
+}  // namespace globe::bench
+
+#endif  // BENCH_BENCH_UTIL_H_

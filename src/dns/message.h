@@ -1,0 +1,107 @@
+// DNS message types: QUERY (RFC 1034), dynamic UPDATE (RFC 2136) and TSIG
+// authentication for updates (RFC 2845 in spirit).
+//
+// The paper's GNS Naming Authority "sends DNS UPDATE messages to the name servers
+// responsible for the GDN Zone" (§5), protected by "BIND's TSIG security feature"
+// (§6.3). These are the messages it sends.
+
+#ifndef SRC_DNS_MESSAGE_H_
+#define SRC_DNS_MESSAGE_H_
+
+#include <string>
+#include <vector>
+
+#include "src/dns/record.h"
+#include "src/util/bytes.h"
+#include "src/util/status.h"
+
+namespace globe::dns {
+
+enum class Rcode : uint8_t {
+  kNoError = 0,
+  kServFail = 2,
+  kNxDomain = 3,
+  kNotImplemented = 4,
+  kRefused = 5,
+  kNotAuth = 9,
+};
+
+std::string_view RcodeName(Rcode rcode);
+
+struct Question {
+  std::string name;
+  RrType type = RrType::kTxt;
+};
+
+struct QueryRequest {
+  Question question;
+
+  Bytes Serialize() const;
+  static Result<QueryRequest> Deserialize(ByteSpan data);
+};
+
+struct QueryResponse {
+  Rcode rcode = Rcode::kNoError;
+  bool authoritative = false;
+  bool from_cache = false;
+  std::vector<ResourceRecord> answers;
+  // For NXDOMAIN / empty answers: how long a resolver may cache the absence
+  // (the zone's SOA minimum, RFC 2308).
+  uint32_t negative_ttl = 0;
+
+  Bytes Serialize() const;
+  static Result<QueryResponse> Deserialize(ByteSpan data);
+};
+
+struct UpdateRequest {
+  struct Deletion {
+    std::string name;
+    RrType type = RrType::kTxt;
+    bool whole_name = false;  // delete all RRs at the name, regardless of type
+
+    bool operator==(const Deletion&) const = default;
+  };
+
+  std::string zone;
+  std::vector<ResourceRecord> additions;
+  std::vector<Deletion> deletions;
+
+  // TSIG: shared-key authentication with a per-key monotonic sequence number in
+  // place of RFC 2845's wall-clock fudge window (the simulator's clock is virtual).
+  std::string key_name;
+  uint64_t sequence = 0;
+  Bytes mac;
+
+  // Bytes covered by the TSIG MAC (everything but the MAC itself).
+  Bytes SignedPortion() const;
+
+  Bytes Serialize() const;
+  static Result<UpdateRequest> Deserialize(ByteSpan data);
+};
+
+// Computes and attaches the TSIG MAC.
+void TsigSign(UpdateRequest* update, ByteSpan key);
+
+// Verifies the MAC. Does not check the sequence number — the server does that
+// against its per-key high-water mark.
+bool TsigVerify(const UpdateRequest& update, ByteSpan key);
+
+// A full zone transfer (AXFR push from primary to secondaries), TSIG-protected the
+// same way updates are.
+struct ZoneTransfer {
+  Bytes zone_bytes;  // Zone::Serialize output
+  std::string key_name;
+  uint64_t sequence = 0;
+  Bytes mac;
+
+  Bytes SignedPortion() const;
+  Bytes Serialize() const;
+  static Result<ZoneTransfer> Deserialize(ByteSpan data);
+};
+
+void TsigSign(ZoneTransfer* transfer, ByteSpan key);
+bool TsigVerify(const ZoneTransfer& transfer, ByteSpan key);
+
+}  // namespace globe::dns
+
+#endif  // SRC_DNS_MESSAGE_H_

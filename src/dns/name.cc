@@ -1,0 +1,51 @@
+#include "src/dns/name.h"
+
+#include "src/util/strings.h"
+
+namespace globe::dns {
+
+namespace {
+bool ValidLabelChar(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') || c == '-' || c == '_';
+}
+}  // namespace
+
+Result<std::string> CanonicalName(std::string_view name) {
+  if (name.empty()) {
+    return InvalidArgument("empty DNS name");
+  }
+  std::string canonical = AsciiToLower(name);
+  if (canonical.size() > 255) {
+    return InvalidArgument("DNS name longer than 255 characters");
+  }
+  for (const std::string& label : Split(canonical, '.')) {
+    if (label.empty()) {
+      return InvalidArgument("empty label in DNS name: " + canonical);
+    }
+    if (label.size() > 63) {
+      return InvalidArgument("label longer than 63 characters: " + label);
+    }
+    for (char c : label) {
+      if (!ValidLabelChar(c)) {
+        return InvalidArgument("invalid character in DNS label: " + label);
+      }
+    }
+    if (label.front() == '-' || label.back() == '-') {
+      return InvalidArgument("label may not start or end with '-': " + label);
+    }
+  }
+  return canonical;
+}
+
+bool IsInZone(std::string_view name, std::string_view zone) {
+  if (name == zone) {
+    return true;
+  }
+  return EndsWith(name, std::string(".") + std::string(zone));
+}
+
+std::vector<std::string> NameLabels(std::string_view name) {
+  return Split(name, '.');
+}
+
+}  // namespace globe::dns

@@ -1,0 +1,30 @@
+// DNS name handling.
+//
+// Names are kept in presentation form ("gimp.gdn.cs.vu.nl"), lowercased, with RFC
+// 1034-style syntax restrictions — the very restrictions the paper lists as a
+// disadvantage of building the GNS on DNS (§5): labels of 1..63 characters drawn from
+// letters, digits and hyphen, total length at most 255.
+
+#ifndef SRC_DNS_NAME_H_
+#define SRC_DNS_NAME_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/util/status.h"
+
+namespace globe::dns {
+
+// Validates and canonicalizes (lowercases) a DNS name.
+Result<std::string> CanonicalName(std::string_view name);
+
+// True if `name` equals `zone` or ends with "." + zone (case already canonical).
+bool IsInZone(std::string_view name, std::string_view zone);
+
+// Splits into labels: "a.b.c" -> {"a","b","c"}.
+std::vector<std::string> NameLabels(std::string_view name);
+
+}  // namespace globe::dns
+
+#endif  // SRC_DNS_NAME_H_

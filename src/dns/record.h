@@ -1,0 +1,46 @@
+// DNS resource records.
+//
+// The GNS stores a Globe object identifier in a TXT record under the package's DNS
+// name (paper §5): "These DNS names point to a TXT DNS Resource Record that contains
+// the encoded object identifier for the DSO."
+
+#ifndef SRC_DNS_RECORD_H_
+#define SRC_DNS_RECORD_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/util/serial.h"
+#include "src/util/status.h"
+
+namespace globe::dns {
+
+enum class RrType : uint16_t {
+  kA = 1,
+  kNs = 2,
+  kCname = 5,
+  kSoa = 6,
+  kTxt = 16,
+};
+
+std::string_view RrTypeName(RrType type);
+
+struct ResourceRecord {
+  std::string name;   // canonical owner name
+  RrType type = RrType::kTxt;
+  uint32_t ttl = 3600;  // seconds
+  std::string data;   // presentation-form RDATA (TXT payload, NS target, ...)
+
+  bool operator==(const ResourceRecord&) const = default;
+
+  void Serialize(ByteWriter* writer) const;
+  static Result<ResourceRecord> Deserialize(ByteReader* reader);
+};
+
+void SerializeRecords(const std::vector<ResourceRecord>& records, ByteWriter* writer);
+Result<std::vector<ResourceRecord>> DeserializeRecords(ByteReader* reader);
+
+}  // namespace globe::dns
+
+#endif  // SRC_DNS_RECORD_H_

@@ -1,0 +1,154 @@
+#include "src/dns/resolver.h"
+
+#include "src/dns/name.h"
+#include "src/util/log.h"
+
+namespace globe::dns {
+
+CachingResolver::CachingResolver(sim::Transport* transport, sim::NodeId node,
+                                 ResolverOptions options)
+    : server_(transport, node, sim::kPortDns),
+      upstream_client_(std::make_unique<sim::RpcClient>(transport, node)),
+      simulator_(transport->simulator()),
+      options_(options) {
+  server_.RegisterAsyncMethod(
+      "dns.resolve",
+      [this](const sim::RpcContext& ctx, ByteSpan req, sim::RpcServer::Responder respond) {
+        HandleResolve(ctx, req, std::move(respond));
+      });
+}
+
+void CachingResolver::AddUpstream(const std::string& zone_suffix, const sim::Endpoint& server) {
+  upstreams_[zone_suffix].servers.push_back(server);
+}
+
+const sim::Endpoint* CachingResolver::PickUpstream(std::string_view name) {
+  Upstream* best = nullptr;
+  size_t best_len = 0;
+  for (auto& [suffix, upstream] : upstreams_) {
+    if (IsInZone(name, suffix) && suffix.size() >= best_len) {
+      best = &upstream;
+      best_len = suffix.size();
+    }
+  }
+  if (best == nullptr || best->servers.empty()) {
+    return nullptr;
+  }
+  const sim::Endpoint* chosen = &best->servers[best->next % best->servers.size()];
+  ++best->next;
+  return chosen;
+}
+
+void CachingResolver::HandleResolve(const sim::RpcContext&, ByteSpan request,
+                                    sim::RpcServer::Responder respond) {
+  ++stats_.queries;
+  auto parsed = QueryRequest::Deserialize(request);
+  if (!parsed.ok()) {
+    respond(parsed.status());
+    return;
+  }
+  auto canonical = CanonicalName(parsed->question.name);
+  if (!canonical.ok()) {
+    respond(canonical.status());
+    return;
+  }
+  std::string name = *canonical;
+  RrType type = parsed->question.type;
+
+  if (options_.enable_cache) {
+    auto it = cache_.find({name, type});
+    if (it != cache_.end()) {
+      if (it->second.expires_at > simulator_->Now()) {
+        QueryResponse cached = it->second.response;
+        cached.from_cache = true;
+        if (cached.rcode == Rcode::kNxDomain || cached.answers.empty()) {
+          ++stats_.negative_cache_hits;
+        } else {
+          ++stats_.cache_hits;
+        }
+        respond(cached.Serialize());
+        return;
+      }
+      cache_.erase(it);
+    }
+  }
+  ++stats_.cache_misses;
+
+  const sim::Endpoint* upstream = PickUpstream(name);
+  if (upstream == nullptr) {
+    QueryResponse response;
+    response.rcode = Rcode::kServFail;
+    respond(response.Serialize());
+    return;
+  }
+
+  ++stats_.upstream_queries;
+  QueryRequest forward;
+  forward.question = {name, type};
+  upstream_client_->Call(
+      *upstream, "dns.query", forward.Serialize(),
+      [this, name, type, respond = std::move(respond)](Result<Bytes> result) {
+        if (!result.ok()) {
+          ++stats_.upstream_failures;
+          QueryResponse response;
+          response.rcode = Rcode::kServFail;
+          respond(response.Serialize());
+          return;
+        }
+        auto response = QueryResponse::Deserialize(*result);
+        if (!response.ok()) {
+          ++stats_.upstream_failures;
+          respond(response.status());
+          return;
+        }
+        if (options_.enable_cache) {
+          uint32_t ttl_seconds = 0;
+          if (!response->answers.empty()) {
+            ttl_seconds = response->answers.front().ttl;
+            for (const auto& record : response->answers) {
+              ttl_seconds = std::min(ttl_seconds, record.ttl);
+            }
+          } else {
+            ttl_seconds = response->negative_ttl;
+          }
+          if (ttl_seconds > 0 && response->rcode != Rcode::kServFail &&
+              response->rcode != Rcode::kRefused) {
+            cache_[{name, type}] =
+                CacheEntry{*response, simulator_->Now() + ttl_seconds * sim::kSecond};
+          }
+        }
+        respond(response->Serialize());
+      });
+}
+
+DnsClient::DnsClient(sim::Transport* transport, sim::NodeId node, sim::Endpoint resolver)
+    : client_(transport, node), resolver_(resolver) {}
+
+void DnsClient::Resolve(std::string_view name, RrType type, ResolveCallback done) {
+  QueryRequest request;
+  request.question = {std::string(name), type};
+  client_.Call(resolver_, "dns.resolve", request.Serialize(),
+               [done = std::move(done)](Result<Bytes> result) {
+                 if (!result.ok()) {
+                   done(result.status());
+                   return;
+                 }
+                 done(QueryResponse::Deserialize(*result));
+               });
+}
+
+void DnsClient::QueryServer(const sim::Endpoint& server, std::string_view name, RrType type,
+                            ResolveCallback done) {
+  QueryRequest request;
+  request.question = {std::string(name), type};
+  client_.Call(server, "dns.query", request.Serialize(),
+               [done = std::move(done)](Result<Bytes> result) {
+                 if (!result.ok()) {
+                   done(result.status());
+                   return;
+                 }
+                 done(QueryResponse::Deserialize(*result));
+               });
+}
+
+}  // namespace globe::dns

@@ -1,0 +1,96 @@
+// Caching DNS resolver.
+//
+// "DNS works under the assumption that the mapping of names to addresses does not
+// change very frequently. This allows the DNS to cache entries at client-side
+// resolvers" (paper §5) — which is exactly the property that makes Globe's two-level
+// naming cheap. This resolver caches positive answers for the record TTL and negative
+// answers for the zone's SOA minimum (RFC 2308), and spreads load across replicated
+// authoritative servers round-robin.
+//
+// RPC method (port sim::kPortDns on the resolver's node):
+//   dns.resolve : QueryRequest -> QueryResponse
+
+#ifndef SRC_DNS_RESOLVER_H_
+#define SRC_DNS_RESOLVER_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/dns/message.h"
+#include "src/sim/rpc.h"
+
+namespace globe::dns {
+
+struct ResolverStats {
+  uint64_t queries = 0;
+  uint64_t cache_hits = 0;
+  uint64_t negative_cache_hits = 0;
+  uint64_t cache_misses = 0;
+  uint64_t upstream_queries = 0;
+  uint64_t upstream_failures = 0;
+};
+
+struct ResolverOptions {
+  bool enable_cache = true;
+};
+
+class CachingResolver {
+ public:
+  CachingResolver(sim::Transport* transport, sim::NodeId node, ResolverOptions options = {});
+
+  // Adds an authoritative server for names under `zone_suffix`. Multiple servers per
+  // suffix are rotated round-robin.
+  void AddUpstream(const std::string& zone_suffix, const sim::Endpoint& server);
+
+  sim::Endpoint endpoint() const { return server_.endpoint(); }
+  const ResolverStats& stats() const { return stats_; }
+  void FlushCache() { cache_.clear(); }
+  size_t cache_size() const { return cache_.size(); }
+
+ private:
+  struct CacheEntry {
+    QueryResponse response;
+    sim::SimTime expires_at = 0;
+  };
+  struct Upstream {
+    std::vector<sim::Endpoint> servers;
+    size_t next = 0;
+  };
+
+  void HandleResolve(const sim::RpcContext& context, ByteSpan request,
+                     sim::RpcServer::Responder respond);
+  const sim::Endpoint* PickUpstream(std::string_view name);
+
+  sim::RpcServer server_;
+  std::unique_ptr<sim::RpcClient> upstream_client_;
+  sim::Simulator* simulator_;
+  ResolverOptions options_;
+  std::map<std::string, Upstream, std::less<>> upstreams_;  // by zone suffix
+  std::map<std::pair<std::string, RrType>, CacheEntry> cache_;
+  ResolverStats stats_;
+};
+
+// Client-side stub: the piece of the Globe run-time system that talks to the local
+// resolver.
+class DnsClient {
+ public:
+  using ResolveCallback = std::function<void(Result<QueryResponse>)>;
+
+  DnsClient(sim::Transport* transport, sim::NodeId node, sim::Endpoint resolver);
+
+  void Resolve(std::string_view name, RrType type, ResolveCallback done);
+
+  // Bypasses the resolver and queries an authoritative server directly.
+  void QueryServer(const sim::Endpoint& server, std::string_view name, RrType type,
+                   ResolveCallback done);
+
+ private:
+  sim::RpcClient client_;
+  sim::Endpoint resolver_;
+};
+
+}  // namespace globe::dns
+
+#endif  // SRC_DNS_RESOLVER_H_

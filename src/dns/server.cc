@@ -1,0 +1,176 @@
+#include "src/dns/server.h"
+
+#include "src/dns/name.h"
+#include "src/util/log.h"
+
+namespace globe::dns {
+
+AuthoritativeServer::AuthoritativeServer(sim::Transport* transport, sim::NodeId node,
+                                         TsigKeyTable tsig_keys)
+    : server_(transport, node, sim::kPortDns),
+      push_client_(std::make_unique<sim::RpcClient>(transport, node)),
+      tsig_keys_(std::move(tsig_keys)) {
+  server_.RegisterMethod("dns.query", [this](const sim::RpcContext& ctx, ByteSpan req) {
+    return HandleQuery(ctx, req);
+  });
+  server_.RegisterMethod("dns.update", [this](const sim::RpcContext& ctx, ByteSpan req) {
+    return HandleUpdate(ctx, req);
+  });
+  server_.RegisterMethod("dns.axfr", [this](const sim::RpcContext& ctx, ByteSpan req) {
+    return HandleTransfer(ctx, req);
+  });
+}
+
+void AuthoritativeServer::AddZone(Zone zone, bool primary) {
+  std::string origin = zone.origin();
+  zones_[origin] = HostedZone{std::move(zone), primary, {}};
+}
+
+void AuthoritativeServer::AddSecondary(const std::string& zone_origin,
+                                       const sim::Endpoint& secondary) {
+  auto it = zones_.find(zone_origin);
+  if (it != zones_.end()) {
+    it->second.secondaries.push_back(secondary);
+  }
+}
+
+const Zone* AuthoritativeServer::FindZone(std::string_view name) const {
+  // Longest-origin match: the most specific zone containing the name wins.
+  const Zone* best = nullptr;
+  for (const auto& [origin, hosted] : zones_) {
+    if (IsInZone(name, origin)) {
+      if (best == nullptr || origin.size() > best->origin().size()) {
+        best = &hosted.zone;
+      }
+    }
+  }
+  return best;
+}
+
+Result<Bytes> AuthoritativeServer::HandleQuery(const sim::RpcContext&, ByteSpan request) {
+  ++stats_.queries;
+  ASSIGN_OR_RETURN(QueryRequest query, QueryRequest::Deserialize(request));
+  ASSIGN_OR_RETURN(std::string name, CanonicalName(query.question.name));
+
+  QueryResponse response;
+  const Zone* zone = FindZone(name);
+  if (zone == nullptr) {
+    response.rcode = Rcode::kRefused;  // not authoritative for this name
+    return response.Serialize();
+  }
+  response.authoritative = true;
+  response.answers = zone->Lookup(name, query.question.type);
+  if (response.answers.empty()) {
+    response.rcode = zone->HasName(name) ? Rcode::kNoError : Rcode::kNxDomain;
+    response.negative_ttl = zone->soa_minimum_ttl();
+  }
+  return response.Serialize();
+}
+
+Result<Bytes> AuthoritativeServer::HandleUpdate(const sim::RpcContext&, ByteSpan request) {
+  ASSIGN_OR_RETURN(UpdateRequest update, UpdateRequest::Deserialize(request));
+
+  auto zone_it = zones_.find(update.zone);
+  if (zone_it == zones_.end()) {
+    ++stats_.updates_rejected;
+    return Status(StatusCode::kNotFound, "not authoritative for zone " + update.zone);
+  }
+  if (!zone_it->second.primary) {
+    ++stats_.updates_rejected;
+    return FailedPrecondition("zone " + update.zone + " is a secondary here");
+  }
+
+  // TSIG verification: known key, valid MAC, fresh sequence number.
+  auto key_it = tsig_keys_.find(update.key_name);
+  if (key_it == tsig_keys_.end()) {
+    ++stats_.updates_rejected;
+    return PermissionDenied("unknown TSIG key " + update.key_name);
+  }
+  if (!TsigVerify(update, key_it->second)) {
+    ++stats_.updates_rejected;
+    return PermissionDenied("TSIG verification failed for key " + update.key_name);
+  }
+  uint64_t& high_water = tsig_high_water_[update.key_name];
+  if (update.sequence <= high_water) {
+    ++stats_.updates_rejected;
+    return PermissionDenied("TSIG sequence replayed");
+  }
+  high_water = update.sequence;
+
+  Zone& zone = zone_it->second.zone;
+  for (const auto& deletion : update.deletions) {
+    if (deletion.whole_name) {
+      zone.RemoveName(deletion.name);
+    } else {
+      zone.Remove(deletion.name, deletion.type);
+    }
+  }
+  for (const auto& record : update.additions) {
+    RETURN_IF_ERROR(zone.Add(record));
+  }
+  ++stats_.updates_applied;
+
+  PushToSecondaries(update.zone);
+  return Bytes{};
+}
+
+void AuthoritativeServer::PushToSecondaries(const std::string& zone_origin) {
+  auto it = zones_.find(zone_origin);
+  if (it == zones_.end() || it->second.secondaries.empty()) {
+    return;
+  }
+  auto key_it = tsig_keys_.find("axfr");
+  if (key_it == tsig_keys_.end()) {
+    GLOG_WARN << "no 'axfr' TSIG key configured; cannot push zone " << zone_origin;
+    return;
+  }
+
+  ZoneTransfer transfer;
+  ByteWriter zone_writer;
+  it->second.zone.Serialize(&zone_writer);
+  transfer.zone_bytes = zone_writer.Take();
+  transfer.key_name = "axfr";
+  transfer.sequence = next_transfer_sequence_++;
+  TsigSign(&transfer, key_it->second);
+  Bytes wire = transfer.Serialize();
+
+  for (const auto& secondary : it->second.secondaries) {
+    ++stats_.transfers_sent;
+    push_client_->Call(secondary, "dns.axfr", wire, [](Result<Bytes> result) {
+      if (!result.ok()) {
+        GLOG_WARN << "zone transfer push failed: " << result.status();
+      }
+    });
+  }
+}
+
+Result<Bytes> AuthoritativeServer::HandleTransfer(const sim::RpcContext&, ByteSpan request) {
+  ASSIGN_OR_RETURN(ZoneTransfer transfer, ZoneTransfer::Deserialize(request));
+
+  auto key_it = tsig_keys_.find(transfer.key_name);
+  if (key_it == tsig_keys_.end() || !TsigVerify(transfer, key_it->second)) {
+    ++stats_.transfers_rejected;
+    return PermissionDenied("AXFR TSIG verification failed");
+  }
+
+  ASSIGN_OR_RETURN(Zone incoming, Zone::Deserialize(transfer.zone_bytes));
+  auto zone_it = zones_.find(incoming.origin());
+  if (zone_it == zones_.end()) {
+    ++stats_.transfers_rejected;
+    return Status(StatusCode::kNotFound, "not configured for zone " + incoming.origin());
+  }
+  if (zone_it->second.primary) {
+    ++stats_.transfers_rejected;
+    return FailedPrecondition("refusing AXFR into primary zone");
+  }
+  // Serial comparison: only move forward.
+  if (incoming.serial() <= zone_it->second.zone.serial() &&
+      zone_it->second.zone.record_count() > 0) {
+    return Bytes{};  // already current; idempotent
+  }
+  zone_it->second.zone = std::move(incoming);
+  ++stats_.transfers_applied;
+  return Bytes{};
+}
+
+}  // namespace globe::dns

@@ -1,0 +1,81 @@
+// Authoritative DNS server: the BIND8 stand-in under the GNS.
+//
+// Serves queries for its zones, applies TSIG-authenticated dynamic updates on
+// primaries, and pushes full zone transfers to configured secondaries after each
+// applied update (the paper scales the GDN Zone "by creating multiple authoritative
+// name servers", §5).
+//
+// RPC methods (port sim::kPortDns):
+//   dns.query  : QueryRequest  -> QueryResponse
+//   dns.update : UpdateRequest -> empty (errors via status)
+//   dns.axfr   : ZoneTransfer  -> empty
+
+#ifndef SRC_DNS_SERVER_H_
+#define SRC_DNS_SERVER_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/dns/message.h"
+#include "src/dns/zone.h"
+#include "src/sim/rpc.h"
+
+namespace globe::dns {
+
+// Shared-secret TSIG keys by key name. In the deployed GDN these would be configured
+// out of band between the Naming Authority and the zone's name servers.
+using TsigKeyTable = std::map<std::string, Bytes>;
+
+struct ServerStats {
+  uint64_t queries = 0;
+  uint64_t updates_applied = 0;
+  uint64_t updates_rejected = 0;
+  uint64_t transfers_sent = 0;
+  uint64_t transfers_applied = 0;
+  uint64_t transfers_rejected = 0;
+};
+
+class AuthoritativeServer {
+ public:
+  AuthoritativeServer(sim::Transport* transport, sim::NodeId node, TsigKeyTable tsig_keys);
+
+  // Hosts a zone. Only primaries accept dns.update; secondaries are refreshed via
+  // dns.axfr pushes from their primary.
+  void AddZone(Zone zone, bool primary);
+
+  // Registers a secondary server to receive AXFR pushes for the given zone.
+  void AddSecondary(const std::string& zone_origin, const sim::Endpoint& secondary);
+
+  sim::Endpoint endpoint() const { return server_.endpoint(); }
+  sim::NodeId node() const { return server_.node(); }
+  const ServerStats& stats() const { return stats_; }
+
+  // Direct (non-RPC) zone inspection for tests and tools.
+  const Zone* FindZone(std::string_view name) const;
+
+ private:
+  Result<Bytes> HandleQuery(const sim::RpcContext& context, ByteSpan request);
+  Result<Bytes> HandleUpdate(const sim::RpcContext& context, ByteSpan request);
+  Result<Bytes> HandleTransfer(const sim::RpcContext& context, ByteSpan request);
+  void PushToSecondaries(const std::string& zone_origin);
+
+  struct HostedZone {
+    Zone zone;
+    bool primary = false;
+    std::vector<sim::Endpoint> secondaries;
+  };
+
+  sim::RpcServer server_;
+  std::unique_ptr<sim::RpcClient> push_client_;
+  TsigKeyTable tsig_keys_;
+  std::map<std::string, HostedZone, std::less<>> zones_;  // by origin
+  std::map<std::string, uint64_t> tsig_high_water_;       // replay protection per key
+  uint64_t next_transfer_sequence_ = 1;
+  ServerStats stats_;
+};
+
+}  // namespace globe::dns
+
+#endif  // SRC_DNS_SERVER_H_

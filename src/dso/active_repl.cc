@@ -1,0 +1,208 @@
+#include "src/dso/active_repl.h"
+
+#include <algorithm>
+
+#include "src/util/log.h"
+
+namespace globe::dso {
+
+namespace {
+struct ApplyMessage {
+  uint64_t version = 0;
+  Invocation invocation;
+
+  Bytes Serialize() const {
+    ByteWriter w;
+    w.WriteU64(version);
+    w.WriteLengthPrefixed(invocation.Serialize());
+    return w.Take();
+  }
+  static Result<ApplyMessage> Deserialize(ByteSpan data) {
+    ByteReader r(data);
+    ApplyMessage msg;
+    ASSIGN_OR_RETURN(msg.version, r.ReadU64());
+    ASSIGN_OR_RETURN(Bytes inv, r.ReadLengthPrefixed());
+    ASSIGN_OR_RETURN(msg.invocation, Invocation::Deserialize(inv));
+    return msg;
+  }
+};
+}  // namespace
+
+ActiveReplMember::ActiveReplMember(sim::Transport* transport, sim::NodeId host,
+                                   std::unique_ptr<SemanticsObject> semantics,
+                                   sim::Endpoint sequencer, WriteGuard write_guard)
+    : comm_(transport, host),
+      semantics_(std::move(semantics)),
+      write_guard_(std::move(write_guard)),
+      sequencer_(sequencer) {
+  comm_.RegisterAsyncMethod(
+      "dso.invoke", [this](const sim::RpcContext& ctx, ByteSpan request,
+                           sim::RpcServer::Responder respond) {
+        auto invocation = Invocation::Deserialize(request);
+        if (!invocation.ok()) {
+          respond(invocation.status());
+          return;
+        }
+        if (!invocation->read_only && write_guard_) {
+          if (Status s = write_guard_(ctx); !s.ok()) {
+            respond(s);
+            return;
+          }
+        }
+        Invoke(*invocation, [respond = std::move(respond)](Result<Bytes> result) {
+          respond(std::move(result));
+        });
+      });
+  comm_.RegisterMethod("dso.get_state",
+                       [this](const sim::RpcContext&, ByteSpan) -> Result<Bytes> {
+                         return VersionedState{version_, semantics_->GetState()}.Serialize();
+                       });
+
+  comm_.RegisterMethod("dso.master_endpoint",
+                       [this](const sim::RpcContext&, ByteSpan) -> Result<Bytes> {
+                         ByteWriter w;
+                         SerializeEndpoint(is_sequencer() ? comm_.endpoint() : sequencer_, &w);
+                         return w.Take();
+                       });
+
+  // Sequencer-only methods: harmless to register everywhere, they just fail politely
+  // on non-sequencers.
+  comm_.RegisterMethod(
+      "ar.register", [this](const sim::RpcContext&, ByteSpan request) -> Result<Bytes> {
+        if (!is_sequencer()) {
+          return FailedPrecondition("not the sequencer");
+        }
+        ByteReader r(request);
+        ASSIGN_OR_RETURN(sim::Endpoint member, DeserializeEndpoint(&r));
+        if (std::find(members_.begin(), members_.end(), member) == members_.end()) {
+          members_.push_back(member);
+        }
+        return VersionedState{version_, semantics_->GetState()}.Serialize();
+      });
+  comm_.RegisterAsyncMethod(
+      "ar.order", [this](const sim::RpcContext& ctx, ByteSpan request,
+                         sim::RpcServer::Responder respond) {
+        if (!is_sequencer()) {
+          respond(FailedPrecondition("not the sequencer"));
+          return;
+        }
+        if (write_guard_) {
+          if (Status s = write_guard_(ctx); !s.ok()) {
+            respond(s);
+            return;
+          }
+        }
+        auto invocation = Invocation::Deserialize(request);
+        if (!invocation.ok()) {
+          respond(invocation.status());
+          return;
+        }
+        OrderWrite(*invocation, [respond = std::move(respond)](Result<Bytes> result) {
+          respond(std::move(result));
+        });
+      });
+  comm_.RegisterMethod(
+      "ar.apply", [this](const sim::RpcContext& ctx, ByteSpan request) -> Result<Bytes> {
+        if (write_guard_) {
+          RETURN_IF_ERROR(write_guard_(ctx));
+        }
+        ASSIGN_OR_RETURN(ApplyMessage msg, ApplyMessage::Deserialize(request));
+        RETURN_IF_ERROR(ApplyOrdered(msg.version, msg.invocation));
+        return Bytes{};
+      });
+}
+
+void ActiveReplMember::Start(std::function<void(Status)> done) {
+  if (is_sequencer()) {
+    done(OkStatus());
+    return;
+  }
+  ByteWriter w;
+  SerializeEndpoint(comm_.endpoint(), &w);
+  comm_.Call(sequencer_, "ar.register", w.Take(),
+             [this, done = std::move(done)](Result<Bytes> result) {
+               if (!result.ok()) {
+                 done(result.status());
+                 return;
+               }
+               auto vs = VersionedState::Deserialize(*result);
+               if (!vs.ok()) {
+                 done(vs.status());
+                 return;
+               }
+               Status s = semantics_->SetState(vs->state);
+               if (s.ok()) {
+                 version_ = vs->version;
+               }
+               done(s);
+             });
+}
+
+void ActiveReplMember::Invoke(const Invocation& invocation, InvokeCallback done) {
+  if (invocation.read_only) {
+    done(semantics_->Invoke(invocation));
+    return;
+  }
+  if (is_sequencer()) {
+    OrderWrite(invocation, std::move(done));
+    return;
+  }
+  comm_.Call(sequencer_, "ar.order", invocation.Serialize(),
+             [done = std::move(done)](Result<Bytes> result) { done(std::move(result)); });
+}
+
+void ActiveReplMember::OrderWrite(const Invocation& invocation, InvokeCallback done) {
+  Result<Bytes> result = semantics_->Invoke(invocation);
+  if (!result.ok()) {
+    done(std::move(result));
+    return;
+  }
+  ++version_;
+
+  if (members_.empty()) {
+    done(std::move(result));
+    return;
+  }
+  Bytes broadcast = ApplyMessage{version_, invocation}.Serialize();
+  auto remaining = std::make_shared<size_t>(members_.size());
+  auto shared_done = std::make_shared<InvokeCallback>(std::move(done));
+  auto shared_result = std::make_shared<Result<Bytes>>(std::move(result));
+  for (const sim::Endpoint& member : members_) {
+    comm_.Call(member, "ar.apply", broadcast,
+               [remaining, shared_done, shared_result, member](Result<Bytes> ack) {
+                 if (!ack.ok()) {
+                   GLOG_WARN << "ar.apply to " << sim::ToString(member)
+                             << " failed: " << ack.status();
+                 }
+                 if (--*remaining == 0) {
+                   (*shared_done)(std::move(*shared_result));
+                 }
+               },
+               /*timeout=*/5 * sim::kSecond);
+  }
+}
+
+Status ActiveReplMember::ApplyOrdered(uint64_t write_version, const Invocation& invocation) {
+  if (write_version <= version_) {
+    return OkStatus();  // duplicate
+  }
+  pending_[write_version] = invocation;
+  // Apply every consecutively-numbered buffered write.
+  while (true) {
+    auto it = pending_.find(version_ + 1);
+    if (it == pending_.end()) {
+      break;
+    }
+    Result<Bytes> result = semantics_->Invoke(it->second);
+    if (!result.ok()) {
+      GLOG_ERROR << "active replica diverged applying v" << it->first << ": "
+                 << result.status();
+      return result.status();
+    }
+    ++version_;
+    pending_.erase(it);
+  }
+  return OkStatus();
+}
+
+}  // namespace globe::dso

@@ -1,0 +1,71 @@
+// Active replication: every member applies every write (paper §3.3: "one object may
+// actively replicate all the state at all the local representatives").
+//
+// Writes are totally ordered by a sequencer (the member with the master role): any
+// member receiving a write forwards the marshalled invocation to the sequencer, which
+// assigns it a version, applies it locally, and broadcasts it to all members. Members
+// buffer out-of-order deliveries and apply strictly in version order — invocations,
+// not state, travel on the wire, which is what distinguishes this protocol from
+// master/slave for large objects with small updates.
+//
+// Peer methods (beyond dso.invoke / dso.get_state):
+//   ar.register : endpoint -> VersionedState   (member joins at the sequencer)
+//   ar.order    : Invocation -> result bytes   (member -> sequencer)
+//   ar.apply    : u64 version, Invocation -> empty (sequencer -> members)
+
+#ifndef SRC_DSO_ACTIVE_REPL_H_
+#define SRC_DSO_ACTIVE_REPL_H_
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "src/dso/comm.h"
+#include "src/dso/protocols.h"
+#include "src/dso/subobjects.h"
+#include "src/dso/wire.h"
+
+namespace globe::dso {
+
+class ActiveReplMember : public ReplicationObject {
+ public:
+  // Sequencer: pass an empty master endpoint (node == kNoNode). Member: pass the
+  // sequencer's contact endpoint.
+  ActiveReplMember(sim::Transport* transport, sim::NodeId host,
+                   std::unique_ptr<SemanticsObject> semantics, sim::Endpoint sequencer,
+                   WriteGuard write_guard = nullptr);
+
+  void Start(std::function<void(Status)> done) override;
+
+  void Invoke(const Invocation& invocation, InvokeCallback done) override;
+  uint64_t version() const override { return version_; }
+  std::optional<gls::ContactAddress> contact_address() const override {
+    return gls::ContactAddress{comm_.endpoint(), kProtoActiveRepl,
+                               is_sequencer() ? gls::ReplicaRole::kMaster
+                                              : gls::ReplicaRole::kSlave};
+  }
+
+  bool is_sequencer() const { return sequencer_.node == sim::kNoNode; }
+  size_t num_members() const { return members_.size(); }
+  SemanticsObject* semantics() override { return semantics_.get(); }
+  void set_version(uint64_t v) override { version_ = v; }
+
+ private:
+  // Sequencer side: orders a write, applies it, broadcasts it; responds with the
+  // local execution result once every member acknowledged.
+  void OrderWrite(const Invocation& invocation, InvokeCallback done);
+  // Member side: applies broadcast writes strictly in version order.
+  Status ApplyOrdered(uint64_t write_version, const Invocation& invocation);
+
+  CommunicationObject comm_;
+  std::unique_ptr<SemanticsObject> semantics_;
+  WriteGuard write_guard_;
+  sim::Endpoint sequencer_;                // kNoNode when we are the sequencer
+  std::vector<sim::Endpoint> members_;     // sequencer only
+  std::map<uint64_t, Invocation> pending_; // out-of-order buffer (members)
+  uint64_t version_ = 0;
+};
+
+}  // namespace globe::dso
+
+#endif  // SRC_DSO_ACTIVE_REPL_H_

@@ -1,0 +1,216 @@
+#include "src/dso/cache_inval.h"
+
+#include <algorithm>
+
+#include "src/util/log.h"
+
+namespace globe::dso {
+
+CacheInvalMaster::CacheInvalMaster(sim::Transport* transport, sim::NodeId host,
+                                   std::unique_ptr<SemanticsObject> semantics,
+                                   WriteGuard write_guard)
+    : comm_(transport, host),
+      semantics_(std::move(semantics)),
+      write_guard_(std::move(write_guard)) {
+  comm_.RegisterAsyncMethod(
+      "dso.invoke", [this](const sim::RpcContext& ctx, ByteSpan request,
+                           sim::RpcServer::Responder respond) {
+        auto invocation = Invocation::Deserialize(request);
+        if (!invocation.ok()) {
+          respond(invocation.status());
+          return;
+        }
+        if (!invocation->read_only && write_guard_) {
+          if (Status s = write_guard_(ctx); !s.ok()) {
+            respond(s);
+            return;
+          }
+        }
+        Invoke(*invocation, [respond = std::move(respond)](Result<Bytes> result) {
+          respond(std::move(result));
+        });
+      });
+  comm_.RegisterMethod("dso.get_state",
+                       [this](const sim::RpcContext&, ByteSpan) -> Result<Bytes> {
+                         return VersionedState{version_, semantics_->GetState()}.Serialize();
+                       });
+  comm_.RegisterMethod("dso.master_endpoint",
+                       [this](const sim::RpcContext&, ByteSpan) -> Result<Bytes> {
+                         ByteWriter w;
+                         SerializeEndpoint(comm_.endpoint(), &w);
+                         return w.Take();
+                       });
+  comm_.RegisterMethod(
+      "ci.register", [this](const sim::RpcContext&, ByteSpan request) -> Result<Bytes> {
+        ByteReader r(request);
+        ASSIGN_OR_RETURN(sim::Endpoint cache, DeserializeEndpoint(&r));
+        if (std::find(caches_.begin(), caches_.end(), cache) == caches_.end()) {
+          caches_.push_back(cache);
+        }
+        ByteWriter w;
+        w.WriteU64(version_);
+        return w.Take();
+      });
+  comm_.RegisterMethod(
+      "ci.unregister", [this](const sim::RpcContext&, ByteSpan request) -> Result<Bytes> {
+        ByteReader r(request);
+        ASSIGN_OR_RETURN(sim::Endpoint cache, DeserializeEndpoint(&r));
+        caches_.erase(std::remove(caches_.begin(), caches_.end(), cache), caches_.end());
+        return Bytes{};
+      });
+  comm_.RegisterMethod("ci.fetch",
+                       [this](const sim::RpcContext&, ByteSpan) -> Result<Bytes> {
+                         ++fetches_served_;
+                         return VersionedState{version_, semantics_->GetState()}.Serialize();
+                       });
+}
+
+void CacheInvalMaster::Invoke(const Invocation& invocation, InvokeCallback done) {
+  if (invocation.read_only) {
+    done(semantics_->Invoke(invocation));
+    return;
+  }
+  ExecuteWrite(invocation, std::move(done));
+}
+
+void CacheInvalMaster::ExecuteWrite(const Invocation& invocation, InvokeCallback done) {
+  Result<Bytes> result = semantics_->Invoke(invocation);
+  if (!result.ok()) {
+    done(std::move(result));
+    return;
+  }
+  ++version_;
+
+  if (caches_.empty()) {
+    done(std::move(result));
+    return;
+  }
+  ByteWriter w;
+  w.WriteU64(version_);
+  Bytes invalidation = w.Take();
+  auto remaining = std::make_shared<size_t>(caches_.size());
+  auto shared_done = std::make_shared<InvokeCallback>(std::move(done));
+  auto shared_result = std::make_shared<Result<Bytes>>(std::move(result));
+  for (const sim::Endpoint& cache : caches_) {
+    comm_.Call(cache, "ci.invalidate", invalidation,
+               [remaining, shared_done, shared_result, cache](Result<Bytes> ack) {
+                 if (!ack.ok()) {
+                   GLOG_WARN << "invalidation to " << sim::ToString(cache)
+                             << " failed: " << ack.status();
+                 }
+                 if (--*remaining == 0) {
+                   (*shared_done)(std::move(*shared_result));
+                 }
+               },
+               /*timeout=*/5 * sim::kSecond);
+  }
+}
+
+CacheInvalCache::CacheInvalCache(sim::Transport* transport, sim::NodeId host,
+                                 std::unique_ptr<SemanticsObject> semantics,
+                                 sim::Endpoint master, WriteGuard write_guard)
+    : comm_(transport, host),
+      semantics_(std::move(semantics)),
+      write_guard_(std::move(write_guard)),
+      master_(master) {
+  comm_.RegisterAsyncMethod(
+      "dso.invoke", [this](const sim::RpcContext& ctx, ByteSpan request,
+                           sim::RpcServer::Responder respond) {
+        auto invocation = Invocation::Deserialize(request);
+        if (!invocation.ok()) {
+          respond(invocation.status());
+          return;
+        }
+        if (!invocation->read_only && write_guard_) {
+          if (Status s = write_guard_(ctx); !s.ok()) {
+            respond(s);
+            return;
+          }
+        }
+        Invoke(*invocation, [respond = std::move(respond)](Result<Bytes> result) {
+          respond(std::move(result));
+        });
+      });
+  comm_.RegisterMethod("dso.get_state",
+                       [this](const sim::RpcContext&, ByteSpan) -> Result<Bytes> {
+                         return VersionedState{version_, semantics_->GetState()}.Serialize();
+                       });
+  comm_.RegisterMethod("dso.master_endpoint",
+                       [this](const sim::RpcContext&, ByteSpan) -> Result<Bytes> {
+                         ByteWriter w;
+                         SerializeEndpoint(master_, &w);
+                         return w.Take();
+                       });
+  comm_.RegisterMethod(
+      "ci.invalidate", [this](const sim::RpcContext& ctx, ByteSpan request) -> Result<Bytes> {
+        if (write_guard_) {
+          RETURN_IF_ERROR(write_guard_(ctx));
+        }
+        ByteReader r(request);
+        ASSIGN_OR_RETURN(uint64_t new_version, r.ReadU64());
+        if (new_version > version_) {
+          valid_ = false;
+        }
+        return Bytes{};
+      });
+}
+
+void CacheInvalCache::Start(std::function<void(Status)> done) {
+  ByteWriter w;
+  SerializeEndpoint(comm_.endpoint(), &w);
+  comm_.Call(master_, "ci.register", w.Take(),
+             [done = std::move(done)](Result<Bytes> result) {
+               done(result.ok() ? OkStatus() : result.status());
+             });
+}
+
+void CacheInvalCache::Shutdown(std::function<void(Status)> done) {
+  ByteWriter w;
+  SerializeEndpoint(comm_.endpoint(), &w);
+  comm_.Call(master_, "ci.unregister", w.Take(),
+             [done = std::move(done)](Result<Bytes> result) {
+               done(result.ok() ? OkStatus() : result.status());
+             });
+}
+
+void CacheInvalCache::WithValidState(std::function<void(Status)> fn) {
+  if (valid_) {
+    fn(OkStatus());
+    return;
+  }
+  ++fetches_;
+  comm_.Call(master_, "ci.fetch", {}, [this, fn = std::move(fn)](Result<Bytes> result) {
+    if (!result.ok()) {
+      fn(result.status());
+      return;
+    }
+    auto vs = VersionedState::Deserialize(*result);
+    if (!vs.ok()) {
+      fn(vs.status());
+      return;
+    }
+    Status s = semantics_->SetState(vs->state);
+    if (s.ok()) {
+      version_ = vs->version;
+      valid_ = true;
+    }
+    fn(s);
+  });
+}
+
+void CacheInvalCache::Invoke(const Invocation& invocation, InvokeCallback done) {
+  if (invocation.read_only) {
+    WithValidState([this, invocation, done = std::move(done)](Status s) {
+      if (!s.ok()) {
+        done(s);
+        return;
+      }
+      done(semantics_->Invoke(invocation));
+    });
+    return;
+  }
+  comm_.Call(master_, "dso.invoke", invocation.Serialize(),
+             [done = std::move(done)](Result<Bytes> result) { done(std::move(result)); });
+}
+
+}  // namespace globe::dso

@@ -1,0 +1,93 @@
+// Lazy caching with invalidation (paper §3.3: "another may use lazy replication").
+//
+// The master holds the authoritative state. Cache replicas fetch state on demand and
+// serve reads from the local copy while it is valid; on every write the master sends
+// invalidations, and caches re-fetch lazily on the next read. Ideal for read-mostly
+// objects whose state is large relative to the read traffic — the situation the GDN's
+// popular-but-rarely-updated software packages are in.
+//
+// Peer methods (beyond dso.invoke / dso.get_state):
+//   ci.register   : endpoint -> u64 version   (cache joins; no state transferred yet)
+//   ci.unregister : endpoint -> empty
+//   ci.fetch      : empty -> VersionedState   (cache -> master, on demand)
+//   ci.invalidate : u64 version -> empty      (master -> caches)
+
+#ifndef SRC_DSO_CACHE_INVAL_H_
+#define SRC_DSO_CACHE_INVAL_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/dso/comm.h"
+#include "src/dso/protocols.h"
+#include "src/dso/subobjects.h"
+#include "src/dso/wire.h"
+
+namespace globe::dso {
+
+class CacheInvalMaster : public ReplicationObject {
+ public:
+  CacheInvalMaster(sim::Transport* transport, sim::NodeId host,
+                   std::unique_ptr<SemanticsObject> semantics,
+                   WriteGuard write_guard = nullptr);
+
+  void Invoke(const Invocation& invocation, InvokeCallback done) override;
+  uint64_t version() const override { return version_; }
+  std::optional<gls::ContactAddress> contact_address() const override {
+    return gls::ContactAddress{comm_.endpoint(), kProtoCacheInval,
+                               gls::ReplicaRole::kMaster};
+  }
+
+  size_t num_caches() const { return caches_.size(); }
+  uint64_t fetches_served() const { return fetches_served_; }
+  SemanticsObject* semantics() override { return semantics_.get(); }
+  void set_version(uint64_t v) override { version_ = v; }
+
+ private:
+  void ExecuteWrite(const Invocation& invocation, InvokeCallback done);
+
+  CommunicationObject comm_;
+  std::unique_ptr<SemanticsObject> semantics_;
+  WriteGuard write_guard_;
+  std::vector<sim::Endpoint> caches_;
+  uint64_t version_ = 0;
+  uint64_t fetches_served_ = 0;
+};
+
+class CacheInvalCache : public ReplicationObject {
+ public:
+  CacheInvalCache(sim::Transport* transport, sim::NodeId host,
+                  std::unique_ptr<SemanticsObject> semantics, sim::Endpoint master,
+                  WriteGuard write_guard = nullptr);
+
+  void Start(std::function<void(Status)> done) override;
+  void Shutdown(std::function<void(Status)> done) override;
+
+  void Invoke(const Invocation& invocation, InvokeCallback done) override;
+  uint64_t version() const override { return version_; }
+  std::optional<gls::ContactAddress> contact_address() const override {
+    return gls::ContactAddress{comm_.endpoint(), kProtoCacheInval,
+                               gls::ReplicaRole::kCache};
+  }
+
+  SemanticsObject* semantics() override { return semantics_.get(); }
+  void set_version(uint64_t v) override { version_ = v; }
+  bool valid() const { return valid_; }
+  uint64_t fetches() const { return fetches_; }
+
+ private:
+  // Ensures a valid local copy (fetching if necessary), then runs fn.
+  void WithValidState(std::function<void(Status)> fn);
+
+  CommunicationObject comm_;
+  std::unique_ptr<SemanticsObject> semantics_;
+  WriteGuard write_guard_;
+  sim::Endpoint master_;
+  bool valid_ = false;
+  uint64_t version_ = 0;
+  uint64_t fetches_ = 0;
+};
+
+}  // namespace globe::dso
+
+#endif  // SRC_DSO_CACHE_INVAL_H_

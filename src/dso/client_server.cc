@@ -1,0 +1,51 @@
+#include "src/dso/client_server.h"
+
+namespace globe::dso {
+
+ClientServerServer::ClientServerServer(sim::Transport* transport, sim::NodeId host,
+                                       std::unique_ptr<SemanticsObject> semantics,
+                                       WriteGuard write_guard)
+    : comm_(transport, host),
+      semantics_(std::move(semantics)),
+      write_guard_(std::move(write_guard)) {
+  comm_.RegisterMethod(
+      "dso.invoke", [this](const sim::RpcContext& ctx, ByteSpan request) -> Result<Bytes> {
+        ASSIGN_OR_RETURN(Invocation invocation, Invocation::Deserialize(request));
+        if (!invocation.read_only && write_guard_) {
+          RETURN_IF_ERROR(write_guard_(ctx));
+        }
+        return Execute(invocation);
+      });
+  comm_.RegisterMethod("dso.get_state",
+                       [this](const sim::RpcContext&, ByteSpan) -> Result<Bytes> {
+                         return VersionedState{version_, semantics_->GetState()}.Serialize();
+                       });
+  comm_.RegisterMethod("dso.master_endpoint",
+                       [this](const sim::RpcContext&, ByteSpan) -> Result<Bytes> {
+                         ByteWriter w;
+                         SerializeEndpoint(comm_.endpoint(), &w);
+                         return w.Take();
+                       });
+}
+
+Result<Bytes> ClientServerServer::Execute(const Invocation& invocation) {
+  if (!invocation.read_only) {
+    ++version_;
+  }
+  return semantics_->Invoke(invocation);
+}
+
+void ClientServerServer::Invoke(const Invocation& invocation, InvokeCallback done) {
+  done(Execute(invocation));
+}
+
+RemoteProxy::RemoteProxy(sim::Transport* transport, sim::NodeId host,
+                         gls::ContactAddress peer)
+    : comm_(transport, host), peer_(peer) {}
+
+void RemoteProxy::Invoke(const Invocation& invocation, InvokeCallback done) {
+  comm_.Call(peer_.endpoint, "dso.invoke", invocation.Serialize(),
+             [done = std::move(done)](Result<Bytes> result) { done(std::move(result)); });
+}
+
+}  // namespace globe::dso

@@ -1,0 +1,69 @@
+// Client/(single) server replication: the simplest of the two protocols shipped with
+// the first Globe release (paper §7). One server-side local representative holds the
+// state and executes every invocation; clients hold thin proxies that forward
+// everything to it.
+//
+// RemoteProxy doubles as the generic thin-client binding for every other protocol:
+// replicas of all protocols accept "dso.invoke" and route reads/writes per their own
+// rules, so a proxy only needs to pick the nearest replica and forward.
+//
+// Peer methods:
+//   dso.invoke    : Invocation -> result bytes
+//   dso.get_state : empty -> VersionedState
+
+#ifndef SRC_DSO_CLIENT_SERVER_H_
+#define SRC_DSO_CLIENT_SERVER_H_
+
+#include <memory>
+
+#include "src/dso/comm.h"
+#include "src/dso/protocols.h"
+#include "src/dso/subobjects.h"
+#include "src/dso/wire.h"
+
+namespace globe::dso {
+
+class ClientServerServer : public ReplicationObject {
+ public:
+  ClientServerServer(sim::Transport* transport, sim::NodeId host,
+                     std::unique_ptr<SemanticsObject> semantics,
+                     WriteGuard write_guard = nullptr);
+
+  void Invoke(const Invocation& invocation, InvokeCallback done) override;
+  uint64_t version() const override { return version_; }
+  std::optional<gls::ContactAddress> contact_address() const override {
+    return gls::ContactAddress{comm_.endpoint(), kProtoClientServer,
+                               gls::ReplicaRole::kMaster};
+  }
+
+  SemanticsObject* semantics() override { return semantics_.get(); }
+  void set_version(uint64_t v) override { version_ = v; }
+
+ private:
+  Result<Bytes> Execute(const Invocation& invocation);
+
+  CommunicationObject comm_;
+  std::unique_ptr<SemanticsObject> semantics_;
+  WriteGuard write_guard_;
+  uint64_t version_ = 0;
+};
+
+// Thin client-side representative: no semantics subobject, no local state; every
+// invocation crosses the network to one chosen replica.
+class RemoteProxy : public ReplicationObject {
+ public:
+  RemoteProxy(sim::Transport* transport, sim::NodeId host, gls::ContactAddress peer);
+
+  void Invoke(const Invocation& invocation, InvokeCallback done) override;
+  uint64_t version() const override { return 0; }
+
+  const gls::ContactAddress& peer() const { return peer_; }
+
+ private:
+  CommunicationObject comm_;
+  gls::ContactAddress peer_;
+};
+
+}  // namespace globe::dso
+
+#endif  // SRC_DSO_CLIENT_SERVER_H_

@@ -1,0 +1,10 @@
+#include "src/dso/comm.h"
+
+namespace globe::dso {
+
+CommunicationObject::CommunicationObject(sim::Transport* transport, sim::NodeId host)
+    : transport_(transport),
+      server_(std::make_unique<sim::RpcServer>(transport, host, sim::AllocateEphemeralPort())),
+      client_(std::make_unique<sim::RpcClient>(transport, host)) {}
+
+}  // namespace globe::dso

@@ -1,0 +1,55 @@
+// Communication subobject: the system-provided messaging component of a local
+// representative (paper §3.3).
+//
+// "This is generally a system-provided subobject (i.e., taken from a library). It is
+// responsible for handling communication between parts of the distributed object that
+// reside in different address spaces." Replication subobjects talk to their peers
+// exclusively through this class — they never touch the transport directly, which is
+// what lets the secure transport interpose beneath every protocol uniformly.
+
+#ifndef SRC_DSO_COMM_H_
+#define SRC_DSO_COMM_H_
+
+#include <memory>
+#include <string>
+
+#include "src/sim/rpc.h"
+
+namespace globe::dso {
+
+class CommunicationObject {
+ public:
+  // Binds a server on an allocated port of `host` for peer traffic, plus a client
+  // for outgoing calls.
+  CommunicationObject(sim::Transport* transport, sim::NodeId host);
+
+  CommunicationObject(const CommunicationObject&) = delete;
+  CommunicationObject& operator=(const CommunicationObject&) = delete;
+
+  sim::Endpoint endpoint() const { return server_->endpoint(); }
+  sim::NodeId host() const { return server_->node(); }
+  sim::Transport* transport() { return transport_; }
+  sim::Simulator* simulator() { return transport_->simulator(); }
+
+  void RegisterMethod(std::string method, sim::RpcServer::SyncHandler handler) {
+    server_->RegisterMethod(std::move(method), std::move(handler));
+  }
+  void RegisterAsyncMethod(std::string method, sim::RpcServer::AsyncHandler handler) {
+    server_->RegisterAsyncMethod(std::move(method), std::move(handler));
+  }
+
+  void Call(const sim::Endpoint& peer, std::string_view method, Bytes request,
+            sim::RpcClient::Callback done,
+            sim::SimTime timeout = sim::RpcClient::kDefaultTimeout) {
+    client_->Call(peer, method, std::move(request), std::move(done), timeout);
+  }
+
+ private:
+  sim::Transport* transport_;
+  std::unique_ptr<sim::RpcServer> server_;
+  std::unique_ptr<sim::RpcClient> client_;
+};
+
+}  // namespace globe::dso
+
+#endif  // SRC_DSO_COMM_H_

@@ -1,0 +1,35 @@
+// Control subobject: bridges user-defined method calls and the standard replication
+// interface (paper §3.3): "The control subobject takes care of invocations from
+// client processes ... to bridge the gap between the user-defined interfaces of the
+// semantics subobject, and the standard interfaces of the replication subobject."
+//
+// Application proxies (e.g. gdn::PackageProxy) marshal their typed methods into
+// (method name, argument bytes, read-only flag) and call Invoke here.
+
+#ifndef SRC_DSO_CONTROL_H_
+#define SRC_DSO_CONTROL_H_
+
+#include <string>
+
+#include "src/dso/subobjects.h"
+
+namespace globe::dso {
+
+class ControlObject {
+ public:
+  explicit ControlObject(ReplicationObject* replication) : replication_(replication) {}
+
+  void Invoke(std::string method, Bytes args, bool read_only, InvokeCallback done) {
+    Invocation invocation{std::move(method), std::move(args), read_only};
+    replication_->Invoke(invocation, std::move(done));
+  }
+
+  ReplicationObject* replication() { return replication_; }
+
+ private:
+  ReplicationObject* replication_;
+};
+
+}  // namespace globe::dso
+
+#endif  // SRC_DSO_CONTROL_H_

@@ -1,0 +1,22 @@
+#include "src/dso/invocation.h"
+
+namespace globe::dso {
+
+Bytes Invocation::Serialize() const {
+  ByteWriter w;
+  w.WriteString(method);
+  w.WriteLengthPrefixed(args);
+  w.WriteBool(read_only);
+  return w.Take();
+}
+
+Result<Invocation> Invocation::Deserialize(ByteSpan data) {
+  ByteReader r(data);
+  Invocation invocation;
+  ASSIGN_OR_RETURN(invocation.method, r.ReadString());
+  ASSIGN_OR_RETURN(invocation.args, r.ReadLengthPrefixed());
+  ASSIGN_OR_RETURN(invocation.read_only, r.ReadBool());
+  return invocation;
+}
+
+}  // namespace globe::dso

@@ -1,0 +1,30 @@
+// Marshalled method invocations.
+//
+// Paper §3.3: "both the replication subobject and the communication subobject operate
+// only on opaque invocation messages in which method identifiers and parameters have
+// been encoded." This is that message. The one property replication protocols are
+// allowed to see is whether the invocation modifies state — that is what routes reads
+// to local replicas and writes to masters.
+
+#ifndef SRC_DSO_INVOCATION_H_
+#define SRC_DSO_INVOCATION_H_
+
+#include <string>
+
+#include "src/util/serial.h"
+#include "src/util/status.h"
+
+namespace globe::dso {
+
+struct Invocation {
+  std::string method;
+  Bytes args;
+  bool read_only = false;
+
+  Bytes Serialize() const;
+  static Result<Invocation> Deserialize(ByteSpan data);
+};
+
+}  // namespace globe::dso
+
+#endif  // SRC_DSO_INVOCATION_H_

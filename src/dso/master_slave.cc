@@ -1,0 +1,197 @@
+#include "src/dso/master_slave.h"
+
+#include <algorithm>
+#include <memory>
+
+#include "src/util/log.h"
+
+namespace globe::dso {
+
+MasterSlaveMaster::MasterSlaveMaster(sim::Transport* transport, sim::NodeId host,
+                                     std::unique_ptr<SemanticsObject> semantics,
+                                     WriteGuard write_guard)
+    : comm_(transport, host),
+      semantics_(std::move(semantics)),
+      write_guard_(std::move(write_guard)) {
+  comm_.RegisterAsyncMethod(
+      "dso.invoke", [this](const sim::RpcContext& ctx, ByteSpan request,
+                           sim::RpcServer::Responder respond) {
+        auto invocation = Invocation::Deserialize(request);
+        if (!invocation.ok()) {
+          respond(invocation.status());
+          return;
+        }
+        if (!invocation->read_only && write_guard_) {
+          if (Status s = write_guard_(ctx); !s.ok()) {
+            respond(s);
+            return;
+          }
+        }
+        Invoke(*invocation, [respond = std::move(respond)](Result<Bytes> result) {
+          respond(std::move(result));
+        });
+      });
+  comm_.RegisterMethod("dso.get_state",
+                       [this](const sim::RpcContext&, ByteSpan) -> Result<Bytes> {
+                         return VersionedState{version_, semantics_->GetState()}.Serialize();
+                       });
+  comm_.RegisterMethod("dso.master_endpoint",
+                       [this](const sim::RpcContext&, ByteSpan) -> Result<Bytes> {
+                         ByteWriter w;
+                         SerializeEndpoint(comm_.endpoint(), &w);
+                         return w.Take();
+                       });
+  comm_.RegisterMethod(
+      "ms.register_slave", [this](const sim::RpcContext&, ByteSpan request) -> Result<Bytes> {
+        ByteReader r(request);
+        ASSIGN_OR_RETURN(sim::Endpoint slave, DeserializeEndpoint(&r));
+        if (std::find(slaves_.begin(), slaves_.end(), slave) == slaves_.end()) {
+          slaves_.push_back(slave);
+        }
+        return VersionedState{version_, semantics_->GetState()}.Serialize();
+      });
+  comm_.RegisterMethod(
+      "ms.unregister_slave",
+      [this](const sim::RpcContext&, ByteSpan request) -> Result<Bytes> {
+        ByteReader r(request);
+        ASSIGN_OR_RETURN(sim::Endpoint slave, DeserializeEndpoint(&r));
+        slaves_.erase(std::remove(slaves_.begin(), slaves_.end(), slave), slaves_.end());
+        return Bytes{};
+      });
+}
+
+void MasterSlaveMaster::Invoke(const Invocation& invocation, InvokeCallback done) {
+  if (invocation.read_only) {
+    done(semantics_->Invoke(invocation));
+    return;
+  }
+  ExecuteWrite(invocation, std::move(done));
+}
+
+void MasterSlaveMaster::ExecuteWrite(const Invocation& invocation, InvokeCallback done) {
+  Result<Bytes> result = semantics_->Invoke(invocation);
+  if (!result.ok()) {
+    done(std::move(result));
+    return;
+  }
+  ++version_;
+
+  if (slaves_.empty()) {
+    done(std::move(result));
+    return;
+  }
+
+  // Eager push: one state message per slave, respond when all have answered (or
+  // failed — a dead slave must not wedge the master; see the fault-injection tests).
+  Bytes push = VersionedState{version_, semantics_->GetState()}.Serialize();
+  auto remaining = std::make_shared<size_t>(slaves_.size());
+  auto shared_done = std::make_shared<InvokeCallback>(std::move(done));
+  auto shared_result = std::make_shared<Result<Bytes>>(std::move(result));
+  for (const sim::Endpoint& slave : slaves_) {
+    comm_.Call(slave, "ms.state_push", push,
+               [remaining, shared_done, shared_result, slave](Result<Bytes> ack) {
+                 if (!ack.ok()) {
+                   GLOG_WARN << "state push to slave " << sim::ToString(slave)
+                             << " failed: " << ack.status();
+                 }
+                 if (--*remaining == 0) {
+                   (*shared_done)(std::move(*shared_result));
+                 }
+               },
+               /*timeout=*/5 * sim::kSecond);
+  }
+}
+
+MasterSlaveSlave::MasterSlaveSlave(sim::Transport* transport, sim::NodeId host,
+                                   std::unique_ptr<SemanticsObject> semantics,
+                                   sim::Endpoint master, WriteGuard write_guard)
+    : comm_(transport, host),
+      semantics_(std::move(semantics)),
+      write_guard_(std::move(write_guard)),
+      master_(master) {
+  comm_.RegisterAsyncMethod(
+      "dso.invoke", [this](const sim::RpcContext& ctx, ByteSpan request,
+                           sim::RpcServer::Responder respond) {
+        auto invocation = Invocation::Deserialize(request);
+        if (!invocation.ok()) {
+          respond(invocation.status());
+          return;
+        }
+        if (!invocation->read_only && write_guard_) {
+          if (Status s = write_guard_(ctx); !s.ok()) {
+            respond(s);
+            return;
+          }
+        }
+        Invoke(*invocation, [respond = std::move(respond)](Result<Bytes> result) {
+          respond(std::move(result));
+        });
+      });
+  comm_.RegisterMethod("dso.get_state",
+                       [this](const sim::RpcContext&, ByteSpan) -> Result<Bytes> {
+                         return VersionedState{version_, semantics_->GetState()}.Serialize();
+                       });
+  comm_.RegisterMethod("dso.master_endpoint",
+                       [this](const sim::RpcContext&, ByteSpan) -> Result<Bytes> {
+                         ByteWriter w;
+                         SerializeEndpoint(master_, &w);
+                         return w.Take();
+                       });
+  comm_.RegisterMethod(
+      "ms.state_push", [this](const sim::RpcContext& ctx, ByteSpan request) -> Result<Bytes> {
+        if (write_guard_) {
+          RETURN_IF_ERROR(write_guard_(ctx));
+        }
+        ASSIGN_OR_RETURN(VersionedState vs, VersionedState::Deserialize(request));
+        if (vs.version <= version_) {
+          return Bytes{};  // stale or duplicate push
+        }
+        RETURN_IF_ERROR(semantics_->SetState(vs.state));
+        version_ = vs.version;
+        return Bytes{};
+      });
+}
+
+void MasterSlaveSlave::Start(std::function<void(Status)> done) {
+  ByteWriter w;
+  SerializeEndpoint(comm_.endpoint(), &w);
+  comm_.Call(master_, "ms.register_slave", w.Take(),
+             [this, done = std::move(done)](Result<Bytes> result) {
+               if (!result.ok()) {
+                 done(result.status());
+                 return;
+               }
+               auto vs = VersionedState::Deserialize(*result);
+               if (!vs.ok()) {
+                 done(vs.status());
+                 return;
+               }
+               Status s = semantics_->SetState(vs->state);
+               if (s.ok()) {
+                 version_ = vs->version;
+                 started_ = true;
+               }
+               done(s);
+             });
+}
+
+void MasterSlaveSlave::Shutdown(std::function<void(Status)> done) {
+  ByteWriter w;
+  SerializeEndpoint(comm_.endpoint(), &w);
+  comm_.Call(master_, "ms.unregister_slave", w.Take(),
+             [done = std::move(done)](Result<Bytes> result) {
+               done(result.ok() ? OkStatus() : result.status());
+             });
+}
+
+void MasterSlaveSlave::Invoke(const Invocation& invocation, InvokeCallback done) {
+  if (invocation.read_only) {
+    done(semantics_->Invoke(invocation));
+    return;
+  }
+  // Writes go to the master; our copy is refreshed by its push.
+  comm_.Call(master_, "dso.invoke", invocation.Serialize(),
+             [done = std::move(done)](Result<Bytes> result) { done(std::move(result)); });
+}
+
+}  // namespace globe::dso

@@ -1,0 +1,87 @@
+// Master/slave replication: the second protocol of the first Globe release (paper
+// §7) and the one the GDN architecture leans on ("a Globe Object Server acting as
+// master replica in a master/slave replication protocol", §6.1).
+//
+// The master holds the authoritative state and executes all writes; after each write
+// it eagerly pushes the new state to every registered slave. Slaves execute reads on
+// their local copy and forward writes to the master.
+//
+// Peer methods (beyond the common dso.invoke / dso.get_state):
+//   ms.register_slave   : endpoint -> VersionedState   (slave joins, gets snapshot)
+//   ms.unregister_slave : endpoint -> empty
+//   ms.state_push       : VersionedState -> empty      (master -> slave)
+
+#ifndef SRC_DSO_MASTER_SLAVE_H_
+#define SRC_DSO_MASTER_SLAVE_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/dso/comm.h"
+#include "src/dso/protocols.h"
+#include "src/dso/subobjects.h"
+#include "src/dso/wire.h"
+
+namespace globe::dso {
+
+class MasterSlaveMaster : public ReplicationObject {
+ public:
+  MasterSlaveMaster(sim::Transport* transport, sim::NodeId host,
+                    std::unique_ptr<SemanticsObject> semantics,
+                    WriteGuard write_guard = nullptr);
+
+  void Invoke(const Invocation& invocation, InvokeCallback done) override;
+  uint64_t version() const override { return version_; }
+  std::optional<gls::ContactAddress> contact_address() const override {
+    return gls::ContactAddress{comm_.endpoint(), kProtoMasterSlave,
+                               gls::ReplicaRole::kMaster};
+  }
+
+  size_t num_slaves() const { return slaves_.size(); }
+  SemanticsObject* semantics() override { return semantics_.get(); }
+  void set_version(uint64_t v) override { version_ = v; }
+
+ private:
+  // Executes a write locally, then pushes state to all slaves; responds once every
+  // reachable slave has acknowledged (unreachable slaves are dropped from the set).
+  void ExecuteWrite(const Invocation& invocation, InvokeCallback done);
+
+  CommunicationObject comm_;
+  std::unique_ptr<SemanticsObject> semantics_;
+  WriteGuard write_guard_;
+  std::vector<sim::Endpoint> slaves_;
+  uint64_t version_ = 0;
+};
+
+class MasterSlaveSlave : public ReplicationObject {
+ public:
+  MasterSlaveSlave(sim::Transport* transport, sim::NodeId host,
+                   std::unique_ptr<SemanticsObject> semantics, sim::Endpoint master,
+                   WriteGuard write_guard = nullptr);
+
+  // Registers with the master and installs the state snapshot.
+  void Start(std::function<void(Status)> done) override;
+  void Shutdown(std::function<void(Status)> done) override;
+
+  void Invoke(const Invocation& invocation, InvokeCallback done) override;
+  uint64_t version() const override { return version_; }
+  std::optional<gls::ContactAddress> contact_address() const override {
+    return gls::ContactAddress{comm_.endpoint(), kProtoMasterSlave,
+                               gls::ReplicaRole::kSlave};
+  }
+
+  SemanticsObject* semantics() override { return semantics_.get(); }
+  void set_version(uint64_t v) override { version_ = v; }
+
+ private:
+  CommunicationObject comm_;
+  std::unique_ptr<SemanticsObject> semantics_;
+  WriteGuard write_guard_;
+  sim::Endpoint master_;
+  uint64_t version_ = 0;
+  bool started_ = false;
+};
+
+}  // namespace globe::dso
+
+#endif  // SRC_DSO_MASTER_SLAVE_H_

@@ -1,0 +1,73 @@
+// Replication protocol identifiers and the protocol-independent factories.
+//
+// Paper §7: "There are currently two replication protocols an application programmer
+// can choose from: client/(single) server and master/slave." We implement those two
+// plus two of the protocols the object model is designed to make pluggable: active
+// replication (paper §3.3: "one object may actively replicate all the state at all
+// the local representatives") and lazy caching with invalidation ("while another may
+// use lazy replication").
+
+#ifndef SRC_DSO_PROTOCOLS_H_
+#define SRC_DSO_PROTOCOLS_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/dso/subobjects.h"
+#include "src/gls/oid.h"
+#include "src/sec/principal.h"
+#include "src/sim/rpc.h"
+
+namespace globe::dso {
+
+// Authorization hook for state-modifying traffic arriving over the network (paper
+// §6.1, "Modifying Packages"): replicas "should not accept state-modifying method
+// invocations and state update messages from unauthorized senders." Returns OK to
+// admit the sender. A null guard admits everyone (the unsecured June-2000 GDN).
+using WriteGuard = std::function<Status(const sim::RpcContext&)>;
+
+// Builds the guard the GDN uses: the authenticated peer must hold one of the given
+// roles (moderator tools and fellow GDN hosts, per §6.1).
+WriteGuard RequireRoles(const sec::KeyRegistry* registry, std::vector<sec::Role> roles);
+
+constexpr gls::ProtocolId kProtoClientServer = 1;
+constexpr gls::ProtocolId kProtoMasterSlave = 2;
+constexpr gls::ProtocolId kProtoActiveRepl = 3;
+constexpr gls::ProtocolId kProtoCacheInval = 4;
+
+std::string_view ProtocolName(gls::ProtocolId protocol);
+
+// Everything needed to instantiate the hosting side of a replica on a Globe Object
+// Server (or a GDN-HTTPD acting as a replica).
+struct ReplicaSetup {
+  sim::Transport* transport = nullptr;
+  sim::NodeId host = sim::kNoNode;
+  std::unique_ptr<SemanticsObject> semantics;
+  gls::ReplicaRole role = gls::ReplicaRole::kMaster;
+  // Existing contact addresses of the DSO (from the GLS); secondary replicas find
+  // their master/sequencer here.
+  std::vector<gls::ContactAddress> peers;
+  // Write authorization (see WriteGuard above). Null = no checks.
+  WriteGuard write_guard;
+};
+
+// Creates the replication subobject for a hosted replica. The caller must invoke
+// Start() on the result (secondary replicas fetch their initial state there) before
+// first use, and should register contact_address() in the GLS once started.
+Result<std::unique_ptr<ReplicationObject>> MakeReplica(gls::ProtocolId protocol,
+                                                       ReplicaSetup setup);
+
+// Creates a thin client-side proxy that forwards every invocation to the nearest of
+// the given contact addresses. Works against any protocol: replicas route reads
+// locally and forward writes as their protocol requires.
+Result<std::unique_ptr<ReplicationObject>> MakeProxy(
+    sim::Transport* transport, sim::NodeId host,
+    const std::vector<gls::ContactAddress>& addresses);
+
+// Picks the contact address closest to `host` under the network's link profile.
+Result<gls::ContactAddress> NearestAddress(sim::Transport* transport, sim::NodeId host,
+                                           const std::vector<gls::ContactAddress>& addresses);
+
+}  // namespace globe::dso
+
+#endif  // SRC_DSO_PROTOCOLS_H_

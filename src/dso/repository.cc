@@ -1,0 +1,20 @@
+#include "src/dso/repository.h"
+
+namespace globe::dso {
+
+void ImplementationRepository::RegisterSemantics(std::unique_ptr<SemanticsObject> prototype) {
+  uint16_t type_id = prototype->type_id();
+  prototypes_[type_id] = std::move(prototype);
+}
+
+Result<std::unique_ptr<SemanticsObject>> ImplementationRepository::Instantiate(
+    uint16_t type_id) const {
+  auto it = prototypes_.find(type_id);
+  if (it == prototypes_.end()) {
+    return NotFound("no implementation registered for semantics type " +
+                    std::to_string(type_id));
+  }
+  return it->second->CloneEmpty();
+}
+
+}  // namespace globe::dso

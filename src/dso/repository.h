@@ -1,0 +1,36 @@
+// Implementation repository (paper §3.4): "loading the implementation of the local
+// representative (i.e., the appropriate set of subobjects) from a nearby
+// implementation repository in a way similar to remote class loading in Java."
+//
+// In the Globe prototype this was a directory in the local file system; here it is a
+// registry of semantics prototypes keyed by type id. Instantiation clones a fresh,
+// empty semantics subobject of the requested type.
+
+#ifndef SRC_DSO_REPOSITORY_H_
+#define SRC_DSO_REPOSITORY_H_
+
+#include <map>
+#include <memory>
+
+#include "src/dso/subobjects.h"
+
+namespace globe::dso {
+
+class ImplementationRepository {
+ public:
+  ImplementationRepository() = default;
+
+  // Registers a prototype; later Instantiate(type_id) calls clone it.
+  void RegisterSemantics(std::unique_ptr<SemanticsObject> prototype);
+
+  Result<std::unique_ptr<SemanticsObject>> Instantiate(uint16_t type_id) const;
+
+  bool Has(uint16_t type_id) const { return prototypes_.count(type_id) > 0; }
+
+ private:
+  std::map<uint16_t, std::unique_ptr<SemanticsObject>> prototypes_;
+};
+
+}  // namespace globe::dso
+
+#endif  // SRC_DSO_REPOSITORY_H_

@@ -1,0 +1,161 @@
+#include "src/dso/runtime.h"
+
+#include "src/util/log.h"
+
+namespace globe::dso {
+
+RuntimeSystem::RuntimeSystem(sim::Transport* transport, sim::NodeId host,
+                             gls::DirectoryRef leaf_directory,
+                             const ImplementationRepository* repository,
+                             dns::GnsClient* gns)
+    : transport_(transport),
+      host_(host),
+      gls_(transport, host, std::move(leaf_directory)),
+      repository_(repository),
+      gns_(gns) {}
+
+void RuntimeSystem::Bind(const gls::ObjectId& oid, BindOptions options, BindCallback done) {
+  ++stats_.binds;
+  gls_.Lookup(oid, [this, oid, options = std::move(options),
+                    done = std::move(done)](Result<gls::LookupResult> lookup) mutable {
+    if (!lookup.ok()) {
+      ++stats_.bind_failures;
+      done(lookup.status());
+      return;
+    }
+    FinishBind(oid, std::move(options), std::move(*lookup), std::move(done));
+  });
+}
+
+void RuntimeSystem::BindByName(std::string_view globe_name, BindOptions options,
+                               BindCallback done) {
+  if (gns_ == nullptr) {
+    done(FailedPrecondition("no GNS client configured on this host"));
+    return;
+  }
+  gns_->Resolve(globe_name, [this, options = std::move(options),
+                             done = std::move(done)](Result<std::string> oid_hex) mutable {
+    if (!oid_hex.ok()) {
+      done(oid_hex.status());
+      return;
+    }
+    auto oid = gls::ObjectId::FromHex(*oid_hex);
+    if (!oid.ok()) {
+      done(oid.status());
+      return;
+    }
+    Bind(*oid, std::move(options), std::move(done));
+  });
+}
+
+void RuntimeSystem::FinishBind(const gls::ObjectId& oid, BindOptions options,
+                               gls::LookupResult lookup, BindCallback done) {
+  auto object = std::make_unique<BoundObject>();
+  object->oid = oid;
+  object->lookup = lookup;
+
+  if (!options.as_replica.has_value()) {
+    auto proxy = MakeProxy(transport_, host_, lookup.addresses);
+    if (!proxy.ok()) {
+      ++stats_.bind_failures;
+      done(proxy.status());
+      return;
+    }
+    object->replication = std::move(*proxy);
+    object->control = std::make_unique<ControlObject>(object->replication.get());
+    done(std::move(object));
+    return;
+  }
+
+  // Replica installation: instantiate the semantics subobject from the repository
+  // ("remote class loading"), build the protocol replica, start it, optionally
+  // register its contact address.
+  if (lookup.addresses.empty()) {
+    ++stats_.bind_failures;
+    done(NotFound("object has no contact addresses"));
+    return;
+  }
+  auto semantics = repository_->Instantiate(options.semantics_type);
+  if (!semantics.ok()) {
+    ++stats_.bind_failures;
+    done(semantics.status());
+    return;
+  }
+  ReplicaSetup setup;
+  setup.transport = transport_;
+  setup.host = host_;
+  setup.semantics = std::move(*semantics);
+  setup.role = *options.as_replica;
+  setup.peers = lookup.addresses;
+  auto replica = MakeReplica(lookup.addresses.front().protocol, std::move(setup));
+  if (!replica.ok()) {
+    // Protocols that admit no further replicas (e.g. client/server) fall back to a
+    // thin proxy — the GDN-HTTPD case: it *may* act as a replica, not must.
+    auto proxy = MakeProxy(transport_, host_, lookup.addresses);
+    if (!proxy.ok()) {
+      ++stats_.bind_failures;
+      done(replica.status());
+      return;
+    }
+    object->replication = std::move(*proxy);
+    object->control = std::make_unique<ControlObject>(object->replication.get());
+    done(std::move(object));
+    return;
+  }
+  object->replication = std::move(*replica);
+  object->control = std::make_unique<ControlObject>(object->replication.get());
+
+  // Start (fetch state), then optionally publish in the GLS.
+  auto* replication = object->replication.get();
+  auto shared_object = std::make_shared<std::unique_ptr<BoundObject>>(std::move(object));
+  bool register_in_gls = options.register_in_gls;
+  replication->Start([this, shared_object, register_in_gls,
+                      done = std::move(done)](Status status) mutable {
+    if (!status.ok()) {
+      ++stats_.bind_failures;
+      done(status);
+      return;
+    }
+    ++stats_.replicas_installed;
+    BoundObject* installed = shared_object->get();
+    auto address = installed->replication->contact_address();
+    if (!register_in_gls || !address.has_value()) {
+      done(std::move(*shared_object));
+      return;
+    }
+    gls_.Insert(installed->oid, *address,
+                [shared_object, done = std::move(done)](Status insert_status) mutable {
+                  if (!insert_status.ok()) {
+                    done(insert_status);
+                    return;
+                  }
+                  (*shared_object)->registered_in_gls = true;
+                  done(std::move(*shared_object));
+                });
+  });
+}
+
+void RuntimeSystem::Unbind(std::unique_ptr<BoundObject> object,
+                           std::function<void(Status)> done) {
+  BoundObject* raw = object.get();
+  auto shared_object = std::make_shared<std::unique_ptr<BoundObject>>(std::move(object));
+  raw->replication->Shutdown([this, shared_object,
+                              done = std::move(done)](Status status) mutable {
+    BoundObject* released = shared_object->get();
+    if (!released->registered_in_gls) {
+      done(status);
+      return;
+    }
+    auto address = released->replication->contact_address();
+    if (!address.has_value()) {
+      done(status);
+      return;
+    }
+    gls_.Delete(released->oid, *address,
+                [shared_object, done = std::move(done)](Status delete_status) {
+                  done(delete_status);
+                });
+  });
+}
+
+}  // namespace globe::dso

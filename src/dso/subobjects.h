@@ -1,0 +1,89 @@
+// The subobject interfaces of a Globe local representative (paper §3.3, Figure 1b).
+//
+// A local representative of a distributed shared object is composed of four
+// subobjects:
+//   - Semantics subobject: user-defined; implements the object's actual methods on
+//     local state, ignorant of distribution and replication.
+//   - Communication subobject: system-provided; moves opaque byte messages between
+//     address spaces (src/dso/comm.h).
+//   - Replication subobject: keeps replica state consistent under a per-object
+//     protocol; has STANDARD interfaces so protocols are interchangeable per object.
+//   - Control subobject: bridges user method calls to the replication subobject by
+//     marshalling them into invocation messages (src/dso/control.h).
+
+#ifndef SRC_DSO_SUBOBJECTS_H_
+#define SRC_DSO_SUBOBJECTS_H_
+
+#include <functional>
+#include <memory>
+#include <optional>
+
+#include "src/dso/invocation.h"
+#include "src/gls/oid.h"
+#include "src/util/status.h"
+
+namespace globe::dso {
+
+// User-defined primitive object implementing the DSO's methods. A package DSO's
+// semantics subobject implements addFile / listContents / getFileContents etc.
+// (src/gdn/package.h). Implementations must be deterministic: the active replication
+// protocol applies the same invocation at every replica.
+class SemanticsObject {
+ public:
+  virtual ~SemanticsObject() = default;
+
+  // Executes one marshalled invocation against local state.
+  virtual Result<Bytes> Invoke(const Invocation& invocation) = 0;
+
+  // Full-state marshalling: used to initialize new replicas, to push state in the
+  // master/slave protocol, and by the GOS persistence machinery.
+  virtual Bytes GetState() const = 0;
+  virtual Status SetState(ByteSpan state) = 0;
+
+  // A fresh, empty instance of the same type (the "remote class loading" stand-in:
+  // the implementation repository clones a registered prototype).
+  virtual std::unique_ptr<SemanticsObject> CloneEmpty() const = 0;
+
+  // Type identifier resolved through the implementation repository when binding.
+  virtual uint16_t type_id() const = 0;
+};
+
+using InvokeCallback = std::function<void(Result<Bytes>)>;
+
+// Standard interface of every replication subobject. The control subobject calls
+// Invoke; the protocol decides whether to execute locally, forward to a master,
+// broadcast, etc.
+class ReplicationObject {
+ public:
+  virtual ~ReplicationObject() = default;
+
+  virtual void Invoke(const Invocation& invocation, InvokeCallback done) = 0;
+
+  // Protocol-visible version of the local state: how many writes the local replica
+  // has applied (or, for stateless proxies, has observed). Benchmarks use the gap
+  // between replica versions as the staleness metric.
+  virtual uint64_t version() const = 0;
+
+  // Asynchronous startup: replicas that must fetch initial state (slaves, caches)
+  // complete their registration here. Must be called exactly once before Invoke.
+  virtual void Start(std::function<void(Status)> done) { done(OkStatus()); }
+
+  // Graceful teardown (deregistration with peers).
+  virtual void Shutdown(std::function<void(Status)> done) { done(OkStatus()); }
+
+  // The address other local representatives can contact this one on, if it accepts
+  // peer traffic (replicas do; pure client proxies return nullopt).
+  virtual std::optional<gls::ContactAddress> contact_address() const { return std::nullopt; }
+
+  // The local semantics subobject, if this representative holds one (replicas do;
+  // thin proxies return nullptr). Used by the GOS persistence machinery.
+  virtual SemanticsObject* semantics() { return nullptr; }
+
+  // Restores the version counter after a GOS restart so replica protocols resume
+  // where the checkpoint left off.
+  virtual void set_version(uint64_t) {}
+};
+
+}  // namespace globe::dso
+
+#endif  // SRC_DSO_SUBOBJECTS_H_

@@ -1,0 +1,46 @@
+// Small wire-format helpers shared by the replication protocols.
+
+#ifndef SRC_DSO_WIRE_H_
+#define SRC_DSO_WIRE_H_
+
+#include "src/sim/network.h"
+#include "src/util/serial.h"
+#include "src/util/status.h"
+
+namespace globe::dso {
+
+// A full state snapshot tagged with the master's write version.
+struct VersionedState {
+  uint64_t version = 0;
+  Bytes state;
+
+  Bytes Serialize() const {
+    ByteWriter w;
+    w.WriteU64(version);
+    w.WriteLengthPrefixed(state);
+    return w.Take();
+  }
+  static Result<VersionedState> Deserialize(ByteSpan data) {
+    ByteReader r(data);
+    VersionedState vs;
+    ASSIGN_OR_RETURN(vs.version, r.ReadU64());
+    ASSIGN_OR_RETURN(vs.state, r.ReadLengthPrefixed());
+    return vs;
+  }
+};
+
+inline void SerializeEndpoint(const sim::Endpoint& ep, ByteWriter* w) {
+  w->WriteU32(ep.node);
+  w->WriteU16(ep.port);
+}
+
+inline Result<sim::Endpoint> DeserializeEndpoint(ByteReader* r) {
+  sim::Endpoint ep;
+  ASSIGN_OR_RETURN(ep.node, r->ReadU32());
+  ASSIGN_OR_RETURN(ep.port, r->ReadU16());
+  return ep;
+}
+
+}  // namespace globe::dso
+
+#endif  // SRC_DSO_WIRE_H_

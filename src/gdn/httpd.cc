@@ -1,0 +1,302 @@
+#include "src/gdn/httpd.h"
+
+#include "src/dso/protocols.h"
+#include "src/util/log.h"
+#include "src/util/strings.h"
+
+namespace globe::gdn {
+
+namespace {
+constexpr char kPackagesPrefix[] = "/packages";
+constexpr char kFilesSeparator[] = "/files/";
+
+std::string HtmlEscape(std::string_view s) {
+  std::string out;
+  for (char c : s) {
+    switch (c) {
+      case '<':
+        out += "&lt;";
+        break;
+      case '>':
+        out += "&gt;";
+        break;
+      case '&':
+        out += "&amp;";
+        break;
+      default:
+        out.push_back(c);
+    }
+  }
+  return out;
+}
+}  // namespace
+
+GdnHttpd::GdnHttpd(sim::Transport* transport, sim::NodeId node, std::string zone,
+                   sim::Endpoint naming_authority, sim::Endpoint resolver,
+                   gls::DirectoryRef leaf_directory,
+                   const dso::ImplementationRepository* repository, HttpdOptions options)
+    : transport_(transport),
+      node_(node),
+      gns_(transport, node, std::move(zone), naming_authority, resolver),
+      runtime_(transport, node, std::move(leaf_directory), repository, &gns_),
+      options_(options) {
+  transport_->RegisterPort(node_, sim::kPortHttp,
+                           [this](const sim::TransportDelivery& d) { OnRequest(d); });
+}
+
+GdnHttpd::~GdnHttpd() { transport_->UnregisterPort(node_, sim::kPortHttp); }
+
+void GdnHttpd::OnRequest(const sim::TransportDelivery& delivery) {
+  ++stats_.requests;
+  auto request = http::HttpRequest::Parse(delivery.payload);
+  if (!request.ok()) {
+    ++stats_.errors;
+    Reply(delivery.src, http::MakeErrorResponse(400, "Bad Request", "unparseable request"));
+    return;
+  }
+  ServeRequest(*request, delivery.src);
+}
+
+void GdnHttpd::Reply(const sim::Endpoint& client, const http::HttpResponse& response) {
+  transport_->Send({node_, sim::kPortHttp}, client, response.Serialize());
+}
+
+void GdnHttpd::ServeRequest(const http::HttpRequest& request, const sim::Endpoint& client) {
+  if (request.method != "GET") {
+    ++stats_.errors;
+    Reply(client, http::MakeErrorResponse(400, "Bad Request", "only GET is supported"));
+    return;
+  }
+  auto decoded = http::UrlDecode(request.Path());
+  if (!decoded.ok()) {
+    ++stats_.errors;
+    Reply(client, http::MakeErrorResponse(400, "Bad Request", "bad URL encoding"));
+    return;
+  }
+  const std::string& path = *decoded;
+
+  if (path == "/" || path.empty()) {
+    ServeFrontPage(client);
+    return;
+  }
+  if (path == "/search") {
+    // q=... is the only recognized parameter.
+    std::string query = request.Query();
+    if (StartsWith(query, "q=")) {
+      auto decoded_query = http::UrlDecode(query.substr(2));
+      if (decoded_query.ok()) {
+        ServeSearch(*decoded_query, client);
+        return;
+      }
+    }
+    ++stats_.errors;
+    Reply(client, http::MakeErrorResponse(400, "Bad Request", "use /search?q=terms"));
+    return;
+  }
+  if (!StartsWith(path, kPackagesPrefix)) {
+    ++stats_.errors;
+    Reply(client, http::MakeErrorResponse(404, "Not Found", "unknown path " + path));
+    return;
+  }
+
+  std::string rest = path.substr(sizeof(kPackagesPrefix) - 1);
+  size_t files_pos = rest.find(kFilesSeparator);
+  if (files_pos == std::string::npos) {
+    ServeListing(rest, client);
+  } else {
+    std::string globe_name = rest.substr(0, files_pos);
+    std::string file_path = rest.substr(files_pos + sizeof(kFilesSeparator) - 1);
+    ServeFile(globe_name, file_path, client);
+  }
+}
+
+void GdnHttpd::ServeFrontPage(const sim::Endpoint& client) {
+  std::string html =
+      "<html><head><title>Globe Distribution Network</title></head><body>"
+      "<h1>Globe Distribution Network</h1>"
+      "<p>This GDN-enabled HTTPD is your access point to the GDN. Request "
+      "/packages/&lt;package name&gt; for a package listing.</p>";
+  html += "<p>Currently bound package DSOs on this access point: " +
+          std::to_string(bound_.size()) + "</p></body></html>\n";
+  http::HttpResponse response;
+  response.SetHtml(std::move(html));
+  Reply(client, response);
+}
+
+void GdnHttpd::WithPackage(const std::string& globe_name, UseProxy use) {
+  auto it = bound_.find(globe_name);
+  if (it != bound_.end()) {
+    ++stats_.bind_reuses;
+    use(it->second.get());
+    return;
+  }
+
+  dso::BindOptions options;
+  if (options_.bind_as_replica) {
+    options.as_replica = gls::ReplicaRole::kCache;  // adjusted per protocol below
+    options.semantics_type = kPackageTypeId;
+    options.register_in_gls = options_.register_replicas_in_gls;
+  }
+
+  ++stats_.binds;
+  runtime_.BindByName(
+      globe_name, options,
+      [this, globe_name, use = std::move(use)](
+          Result<std::unique_ptr<dso::BoundObject>> bound) mutable {
+        if (!bound.ok()) {
+          use(bound.status());
+          return;
+        }
+        auto proxy = std::make_unique<PackageProxy>(std::move(*bound));
+        PackageProxy* raw = proxy.get();
+        bound_[globe_name] = std::move(proxy);
+        use(raw);
+      });
+}
+
+void GdnHttpd::ServeListing(const std::string& globe_name, const sim::Endpoint& client) {
+  WithPackage(globe_name, [this, globe_name, client](Result<PackageProxy*> proxy) {
+    if (!proxy.ok()) {
+      ++stats_.errors;
+      int code = proxy.status().code() == StatusCode::kNotFound ? 404 : 502;
+      Reply(client, http::MakeErrorResponse(code, std::string(http::ReasonPhrase(code)),
+                                            proxy.status().ToString()));
+      return;
+    }
+    (*proxy)->ListContents([this, globe_name, client](Result<std::vector<FileInfo>> files) {
+      if (!files.ok()) {
+        ++stats_.errors;
+        Reply(client,
+              http::MakeErrorResponse(502, "Bad Gateway", files.status().ToString()));
+        return;
+      }
+      std::string html = "<html><head><title>" + HtmlEscape(globe_name) +
+                         "</title></head><body><h1>Package " + HtmlEscape(globe_name) +
+                         "</h1><table border=1><tr><th>File</th><th>Size</th>"
+                         "<th>SHA-256</th></tr>";
+      for (const FileInfo& file : *files) {
+        std::string href =
+            http::UrlEncode(std::string(kPackagesPrefix) + globe_name + kFilesSeparator +
+                            file.path);
+        html += "<tr><td><a href=\"" + href + "\">" + HtmlEscape(file.path) + "</a></td><td>" +
+                std::to_string(file.size) + "</td><td><code>" + file.sha256_hex +
+                "</code></td></tr>";
+      }
+      html += "</table></body></html>\n";
+      ++stats_.listings_served;
+      http::HttpResponse response;
+      response.SetHtml(std::move(html));
+      Reply(client, response);
+    });
+  });
+}
+
+void GdnHttpd::ServeFile(const std::string& globe_name, const std::string& file_path,
+                         const sim::Endpoint& client) {
+  WithPackage(globe_name, [this, file_path, client](Result<PackageProxy*> proxy) {
+    if (!proxy.ok()) {
+      ++stats_.errors;
+      int code = proxy.status().code() == StatusCode::kNotFound ? 404 : 502;
+      Reply(client, http::MakeErrorResponse(code, std::string(http::ReasonPhrase(code)),
+                                            proxy.status().ToString()));
+      return;
+    }
+    (*proxy)->GetFileContents(file_path, [this, client](Result<Bytes> content) {
+      if (!content.ok()) {
+        ++stats_.errors;
+        int code = content.status().code() == StatusCode::kNotFound ? 404 : 502;
+        Reply(client, http::MakeErrorResponse(code, std::string(http::ReasonPhrase(code)),
+                                              content.status().ToString()));
+        return;
+      }
+      ++stats_.files_served;
+      stats_.bytes_served += content->size();
+      http::HttpResponse response;
+      response.SetBody(std::move(*content), "application/octet-stream");
+      Reply(client, response);
+    });
+  });
+}
+
+void GdnHttpd::ServeSearch(const std::string& query, const sim::Endpoint& client) {
+  if (search_oid_.IsNil()) {
+    ++stats_.errors;
+    Reply(client, http::MakeErrorResponse(503, "Service Unavailable",
+                                          "no search index configured"));
+    return;
+  }
+  auto run_search = [this, query, client] {
+    search_proxy_->Search(query, [this, query, client](Result<std::vector<SearchMatch>> r) {
+      if (!r.ok()) {
+        ++stats_.errors;
+        Reply(client, http::MakeErrorResponse(502, "Bad Gateway", r.status().ToString()));
+        return;
+      }
+      std::string html = "<html><head><title>GDN search</title></head><body><h1>Search: " +
+                         HtmlEscape(query) + "</h1><ul>";
+      for (const SearchMatch& match : *r) {
+        html += "<li><a href=\"" +
+                http::UrlEncode(std::string(kPackagesPrefix) + match.globe_name) + "\">" +
+                HtmlEscape(match.globe_name) + "</a> &mdash; " +
+                HtmlEscape(match.description) + "</li>";
+      }
+      html += "</ul><p>" + std::to_string(r->size()) + " match(es)</p></body></html>\n";
+      http::HttpResponse response;
+      response.SetHtml(std::move(html));
+      Reply(client, response);
+    });
+  };
+
+  if (search_proxy_ != nullptr) {
+    run_search();
+    return;
+  }
+  ++stats_.binds;
+  runtime_.Bind(search_oid_, {},
+                [this, run_search](Result<std::unique_ptr<dso::BoundObject>> bound) {
+                  if (!bound.ok()) {
+                    return;  // next request retries the bind
+                  }
+                  search_proxy_ = std::make_unique<SearchProxy>(std::move(*bound));
+                  run_search();
+                });
+}
+
+Browser::Browser(sim::Transport* transport, sim::NodeId node)
+    : transport_(transport), node_(node), alive_(std::make_shared<bool>(true)) {}
+
+void Browser::Fetch(sim::NodeId httpd_node, std::string_view target, FetchCallback done,
+                    sim::SimTime timeout) {
+  uint16_t port = sim::AllocateEphemeralPort();
+  http::HttpRequest request;
+  request.method = "GET";
+  request.target = std::string(target);
+  request.headers["host"] = "node" + std::to_string(httpd_node);
+  request.headers["user-agent"] = "globe-browser/1.0";
+
+  // One ephemeral port per request (HTTP/1.0 style); torn down on completion.
+  auto shared_done = std::make_shared<FetchCallback>(std::move(done));
+  auto finished = std::make_shared<bool>(false);
+  auto finish = [this, port, shared_done, finished](Result<http::HttpResponse> result) {
+    if (*finished) {
+      return;
+    }
+    *finished = true;
+    transport_->UnregisterPort(node_, port);
+    (*shared_done)(std::move(result));
+  };
+
+  transport_->RegisterPort(node_, port,
+                           [finish](const sim::TransportDelivery& delivery) {
+                             finish(http::HttpResponse::Parse(delivery.payload));
+                           });
+  transport_->Send({node_, port}, {httpd_node, sim::kPortHttp}, request.Serialize());
+  transport_->simulator()->ScheduleAfter(
+      timeout, [finish, alive = std::weak_ptr<bool>(alive_)] {
+        if (alive.lock()) {
+          finish(Unavailable("HTTP request timed out"));
+        }
+      });
+}
+
+}  // namespace globe::gdn

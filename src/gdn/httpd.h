@@ -1,0 +1,119 @@
+// GDN-enabled HTTPD (paper §4): the user's access point to the GDN.
+//
+// "We use URLs that have embedded in them the name of a package DSO. The GDN-HTTPD
+// extracts this object name and binds to the DSO. The HTTPD then invokes the
+// appropriate method(s) ... For example, it could call listContents() to obtain the
+// list of files contained in the package, which is subsequently reformatted into
+// HTML. ... If the URL designates a particular file in the package, the HTTPD calls
+// the getFileContents() method and sends back the returned content."
+//
+// URL scheme:
+//   GET /packages<globe-name>                  -> HTML listing of the package
+//   GET /packages<globe-name>/files/<path>     -> raw file bytes
+//   GET /search?q=<terms>                      -> HTML attribute-based search results
+//   GET /                                      -> HTML front page
+//
+// "The local representative that is installed in the GDN-HTTPD during binding may
+// act as a replica for the DSO, in which case downloading a software package is
+// fast": with `bind_as_replica` set, the HTTPD joins the DSO as a cache or slave
+// (protocol permitting) and registers itself in the GLS so nearby clients are routed
+// to it. The same class, configured on a user machine, is the "GDN-enabled proxy
+// server" of §4.
+
+#ifndef SRC_GDN_HTTPD_H_
+#define SRC_GDN_HTTPD_H_
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "src/dns/gns.h"
+#include "src/dso/runtime.h"
+#include "src/gdn/package.h"
+#include "src/gdn/search.h"
+#include "src/http/http.h"
+
+namespace globe::gdn {
+
+struct HttpdOptions {
+  // Join DSOs as a replica (cache/slave per protocol) instead of a thin proxy.
+  bool bind_as_replica = true;
+  // Publish installed replicas in the GLS (only sensible on GDN hosts, not on
+  // user-machine proxy servers).
+  bool register_replicas_in_gls = true;
+};
+
+struct HttpdStats {
+  uint64_t requests = 0;
+  uint64_t listings_served = 0;
+  uint64_t files_served = 0;
+  uint64_t bytes_served = 0;
+  uint64_t errors = 0;
+  uint64_t binds = 0;
+  uint64_t bind_reuses = 0;
+};
+
+class GdnHttpd {
+ public:
+  GdnHttpd(sim::Transport* transport, sim::NodeId node, std::string zone,
+           sim::Endpoint naming_authority, sim::Endpoint resolver,
+           gls::DirectoryRef leaf_directory, const dso::ImplementationRepository* repository,
+           HttpdOptions options = {});
+  ~GdnHttpd();
+
+  sim::NodeId node() const { return node_; }
+  const HttpdStats& stats() const { return stats_; }
+  size_t bound_objects() const { return bound_.size(); }
+
+  // Enables the /search endpoint: the OID of the GDN's search-index DSO (paper 8's
+  // planned attribute-based search). The HTTPD binds to it on first use.
+  void SetSearchIndex(const gls::ObjectId& oid) { search_oid_ = oid; }
+
+ private:
+  void OnRequest(const sim::TransportDelivery& delivery);
+  void ServeRequest(const http::HttpRequest& request, const sim::Endpoint& client);
+  void Reply(const sim::Endpoint& client, const http::HttpResponse& response);
+
+  // Binds (or reuses a binding) and hands the proxy to `use`.
+  using UseProxy = std::function<void(Result<PackageProxy*>)>;
+  void WithPackage(const std::string& globe_name, UseProxy use);
+
+  void ServeFrontPage(const sim::Endpoint& client);
+  void ServeListing(const std::string& globe_name, const sim::Endpoint& client);
+  void ServeFile(const std::string& globe_name, const std::string& file_path,
+                 const sim::Endpoint& client);
+  void ServeSearch(const std::string& query, const sim::Endpoint& client);
+
+  sim::Transport* transport_;
+  sim::NodeId node_;
+  dns::GnsClient gns_;
+  dso::RuntimeSystem runtime_;
+  HttpdOptions options_;
+  // One bound local representative per package name, reused across requests.
+  std::map<std::string, std::unique_ptr<PackageProxy>> bound_;
+  gls::ObjectId search_oid_;
+  std::unique_ptr<SearchProxy> search_proxy_;
+  HttpdStats stats_;
+};
+
+// A minimal web browser / HTTP client for the simulated world. Each Fetch uses its
+// own ephemeral port, mirroring HTTP/1.0's connection-per-request.
+class Browser {
+ public:
+  Browser(sim::Transport* transport, sim::NodeId node);
+
+  using FetchCallback = std::function<void(Result<http::HttpResponse>)>;
+  void Fetch(sim::NodeId httpd_node, std::string_view target, FetchCallback done,
+             sim::SimTime timeout = 60 * sim::kSecond);
+
+  sim::NodeId node() const { return node_; }
+
+ private:
+  sim::Transport* transport_;
+  sim::NodeId node_;
+  std::shared_ptr<bool> alive_;
+};
+
+}  // namespace globe::gdn
+
+#endif  // SRC_GDN_HTTPD_H_

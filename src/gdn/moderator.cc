@@ -1,0 +1,211 @@
+#include "src/gdn/moderator.h"
+
+#include "src/util/log.h"
+
+namespace globe::gdn {
+
+ModeratorTool::ModeratorTool(sim::Transport* transport, sim::NodeId node, std::string zone,
+                             sim::Endpoint naming_authority, sim::Endpoint resolver,
+                             gls::DirectoryRef leaf_directory,
+                             const dso::ImplementationRepository* repository)
+    : rpc_(std::make_unique<sim::RpcClient>(transport, node)),
+      gns_(transport, node, std::move(zone), naming_authority, resolver),
+      runtime_(transport, node, std::move(leaf_directory), repository, &gns_) {}
+
+void ModeratorTool::CreatePackage(std::string globe_name, ReplicationScenario scenario,
+                                  OidCallback done) {
+  if (catalog_.count(globe_name) > 0) {
+    done(AlreadyExists("package already in this moderator's catalog: " + globe_name));
+    return;
+  }
+  // Step 2: "create first replica" at one GOS of the scenario.
+  ByteWriter w;
+  w.WriteU16(scenario.protocol);
+  w.WriteU16(kPackageTypeId);
+  w.WriteVarint(scenario.maintainers.size());
+  for (sec::PrincipalId maintainer : scenario.maintainers) {
+    w.WriteU64(maintainer);
+  }
+  rpc_->Call(scenario.first_gos, "gos.create_first_replica", w.Take(),
+             [this, globe_name = std::move(globe_name), scenario = std::move(scenario),
+              done = std::move(done)](Result<Bytes> result) mutable {
+               if (!result.ok()) {
+                 ++stats_.failures;
+                 done(result.status());
+                 return;
+               }
+               ByteReader r(*result);
+               auto oid = gls::ObjectId::Deserialize(&r);
+               if (!oid.ok()) {
+                 ++stats_.failures;
+                 done(oid.status());
+                 return;
+               }
+               CreateSecondaries(*oid, std::move(scenario), std::move(globe_name),
+                                 std::move(done));
+             });
+}
+
+void ModeratorTool::CreateSecondaries(const gls::ObjectId& oid, ReplicationScenario scenario,
+                                      std::string globe_name, OidCallback done) {
+  if (scenario.replica_goses.empty()) {
+    catalog_[globe_name] = CatalogEntry{oid, std::move(scenario)};
+    RegisterName(oid, globe_name, std::move(done));
+    return;
+  }
+  // Step 3: "bind to DSO <OID>, create replica" at each remaining GOS, sequentially —
+  // secondary creation needs the master's GLS registration visible, and ordering
+  // keeps the tool's behaviour deterministic.
+  auto remaining =
+      std::make_shared<std::vector<sim::Endpoint>>(scenario.replica_goses);
+  auto next = std::make_shared<std::function<void(size_t)>>();
+  auto self = this;
+  *next = [self, oid, remaining, next, scenario = std::move(scenario),
+           globe_name = std::move(globe_name), done = std::move(done)](size_t index) mutable {
+    if (index >= remaining->size()) {
+      self->catalog_[globe_name] = CatalogEntry{oid, std::move(scenario)};
+      self->RegisterName(oid, globe_name, std::move(done));
+      return;
+    }
+    ByteWriter w;
+    oid.Serialize(&w);
+    w.WriteU16(kPackageTypeId);
+    w.WriteU8(static_cast<uint8_t>(scenario.secondary_role));
+    w.WriteVarint(scenario.maintainers.size());
+    for (sec::PrincipalId maintainer : scenario.maintainers) {
+      w.WriteU64(maintainer);
+    }
+    self->rpc_->Call((*remaining)[index], "gos.create_replica", w.Take(),
+                     [next, index, self, done_failure = &self->stats_](Result<Bytes> result) {
+                       if (!result.ok()) {
+                         GLOG_WARN << "create replica failed: " << result.status();
+                         ++done_failure->failures;
+                       }
+                       (*next)(index + 1);
+                     });
+  };
+  (*next)(0);
+}
+
+void ModeratorTool::RegisterName(const gls::ObjectId& oid, const std::string& globe_name,
+                                 OidCallback done) {
+  // Step 4: register the symbolic name with the GNS Naming Authority.
+  gns_.AddName(globe_name, oid.ToHex(), [this, oid, done = std::move(done)](Status status) {
+    if (!status.ok()) {
+      ++stats_.failures;
+      done(status);
+      return;
+    }
+    ++stats_.packages_created;
+    done(oid);
+  });
+}
+
+void ModeratorTool::OpenPackage(std::string_view globe_name, ProxyCallback done) {
+  auto it = catalog_.find(globe_name);
+  if (it != catalog_.end()) {
+    // Skip the GNS round trip for our own packages.
+    runtime_.Bind(it->second.oid, {},
+                  [done = std::move(done)](Result<std::unique_ptr<dso::BoundObject>> bound) {
+                    if (!bound.ok()) {
+                      done(bound.status());
+                      return;
+                    }
+                    done(std::make_unique<PackageProxy>(std::move(*bound)));
+                  });
+    return;
+  }
+  runtime_.BindByName(globe_name, {},
+                      [done = std::move(done)](Result<std::unique_ptr<dso::BoundObject>> bound) {
+                        if (!bound.ok()) {
+                          done(bound.status());
+                          return;
+                        }
+                        done(std::make_unique<PackageProxy>(std::move(*bound)));
+                      });
+}
+
+void ModeratorTool::AddFile(std::string_view globe_name, std::string_view path, Bytes content,
+                            DoneCallback done) {
+  OpenPackage(globe_name, [this, path = std::string(path), content = std::move(content),
+                           done = std::move(done)](
+                              Result<std::unique_ptr<PackageProxy>> proxy) mutable {
+    if (!proxy.ok()) {
+      ++stats_.failures;
+      done(proxy.status());
+      return;
+    }
+    auto shared_proxy = std::shared_ptr<PackageProxy>(std::move(*proxy));
+    shared_proxy->AddFile(path, content,
+                          [this, shared_proxy, done = std::move(done)](Status status) {
+                            if (status.ok()) {
+                              ++stats_.files_added;
+                            } else {
+                              ++stats_.failures;
+                            }
+                            done(status);
+                          });
+  });
+}
+
+void ModeratorTool::SetDescription(std::string_view globe_name, std::string_view text,
+                                   DoneCallback done) {
+  OpenPackage(globe_name, [this, text = std::string(text), done = std::move(done)](
+                              Result<std::unique_ptr<PackageProxy>> proxy) mutable {
+    if (!proxy.ok()) {
+      ++stats_.failures;
+      done(proxy.status());
+      return;
+    }
+    auto shared_proxy = std::shared_ptr<PackageProxy>(std::move(*proxy));
+    shared_proxy->SetDescription(text,
+                                 [shared_proxy, done = std::move(done)](Status status) {
+                                   done(status);
+                                 });
+  });
+}
+
+void ModeratorTool::RemovePackage(std::string_view globe_name, DoneCallback done) {
+  auto it = catalog_.find(globe_name);
+  if (it == catalog_.end()) {
+    done(NotFound("package not in this moderator's catalog: " + std::string(globe_name)));
+    return;
+  }
+  gls::ObjectId oid = it->second.oid;
+  std::vector<sim::Endpoint> goses = it->second.scenario.replica_goses;
+  goses.push_back(it->second.scenario.first_gos);
+  std::string name(globe_name);
+  catalog_.erase(it);
+
+  // Remove replicas in reverse creation order (secondaries first, master last), then
+  // drop the name.
+  auto next = std::make_shared<std::function<void(size_t)>>();
+  auto self = this;
+  *next = [self, oid, goses = std::move(goses), name = std::move(name), next,
+           done = std::move(done)](size_t index) mutable {
+    if (index >= goses.size()) {
+      self->gns_.RemoveName(name, [self, done = std::move(done)](Status status) {
+        if (status.ok()) {
+          ++self->stats_.packages_removed;
+        } else {
+          ++self->stats_.failures;
+        }
+        done(status);
+      });
+      return;
+    }
+    ByteWriter w;
+    oid.Serialize(&w);
+    self->rpc_->Call(goses[index], "gos.remove_replica", w.Take(),
+                     [self, next, index](Result<Bytes> result) {
+                       if (!result.ok()) {
+                         GLOG_WARN << "remove replica failed: " << result.status();
+                         ++self->stats_.failures;
+                       }
+                       (*next)(index + 1);
+                     });
+  };
+  (*next)(0);
+}
+
+}  // namespace globe::gdn

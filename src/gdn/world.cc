@@ -1,0 +1,416 @@
+#include "src/gdn/world.h"
+
+#include <cassert>
+
+#include "src/util/log.h"
+
+namespace globe::gdn {
+
+GdnWorld::GdnWorld(GdnWorldConfig config)
+    : config_(std::move(config)),
+      world_(sim::BuildUniformWorld(config_.fanouts, config_.user_hosts_per_site)) {
+  network_ = std::make_unique<sim::Network>(&simulator_, &world_.topology, config_.network);
+
+  if (config_.secure) {
+    secure_transport_ =
+        std::make_unique<sec::SecureTransport>(network_.get(), &registry_, config_.crypto);
+    transport_ = secure_transport_.get();
+  } else {
+    plain_transport_ = std::make_unique<sim::PlainTransport>(network_.get());
+    transport_ = plain_transport_.get();
+  }
+
+  repository_.RegisterSemantics(std::make_unique<PackageObject>());
+  repository_.RegisterSemantics(std::make_unique<SearchIndexObject>());
+
+  // ---- Globe Location Service: a directory node per domain. ----
+  gls::GlsDeploymentOptions gls_options;
+  gls_options.node_options.enforce_authorization = config_.secure;
+  gls_options.rng_seed = config_.seed + 1;
+  int root_subnodes = config_.root_subnodes;
+  gls_options.subnode_count = [root_subnodes](sim::DomainId, int depth) {
+    return depth == 0 ? root_subnodes : 1;
+  };
+  gls_ = std::make_unique<gls::GlsDeployment>(
+      transport_, &world_.topology, &registry_, gls_options,
+      [this](sim::NodeId host) { CredentialHost(host, "gls-host"); });
+
+  // ---- Country service placement. ----
+  // Countries are the domains one level above the leaves.
+  int country_depth = static_cast<int>(config_.fanouts.size()) - 1;
+  for (sim::DomainId domain = 0; domain < world_.topology.num_domains(); ++domain) {
+    if (world_.topology.DomainDepth(domain) != country_depth) {
+      continue;
+    }
+    Country country;
+    country.domain = domain;
+    // Place the GOS/HTTPD and the resolver in the country's first site.
+    sim::DomainId site = world_.topology.DomainChildren(domain).empty()
+                             ? domain
+                             : world_.topology.DomainChildren(domain).front();
+    country.gos_host =
+        world_.topology.AddNode("gos." + world_.topology.DomainName(domain), site);
+    country.resolver_host =
+        world_.topology.AddNode("resolver." + world_.topology.DomainName(domain), site);
+    CredentialHost(country.gos_host, "gos-host");
+    CredentialHost(country.resolver_host, "resolver-host");
+    countries_.push_back(country);
+  }
+  assert(!countries_.empty());
+
+  // ---- DNS substrate for the GNS. ----
+  tsig_keys_["gdn-na"] = Bytes{0x6e, 0x61, 0x2d, 0x6b, 0x65, 0x79, 0x21, 0x21};
+  tsig_keys_["axfr"] = Bytes{0x61, 0x78, 0x66, 0x72, 0x2d, 0x6b, 0x65, 0x79};
+
+  sim::DomainId primary_site = world_.topology.DomainChildren(countries_[0].domain).front();
+  sim::NodeId dns_primary_host = world_.topology.AddNode("dns.primary", primary_site);
+  CredentialHost(dns_primary_host, "dns-primary");
+  dns_primary_ =
+      std::make_unique<dns::AuthoritativeServer>(transport_, dns_primary_host, tsig_keys_);
+  dns_primary_->AddZone(dns::Zone(config_.zone, /*soa_minimum_ttl=*/300), /*primary=*/true);
+
+  for (int i = 0; i < config_.dns_secondaries; ++i) {
+    size_t country = (i + 1) % countries_.size();
+    sim::DomainId site = world_.topology.DomainChildren(countries_[country].domain).front();
+    sim::NodeId host = world_.topology.AddNode("dns.secondary" + std::to_string(i), site);
+    CredentialHost(host, "dns-secondary");
+    auto secondary = std::make_unique<dns::AuthoritativeServer>(transport_, host, tsig_keys_);
+    secondary->AddZone(dns::Zone(config_.zone, 300), /*primary=*/false);
+    dns_primary_->AddSecondary(config_.zone, secondary->endpoint());
+    dns_secondaries_.push_back(std::move(secondary));
+  }
+
+  // Naming authority next to the primary.
+  sim::NodeId na_host = world_.topology.AddNode("gns.authority", primary_site);
+  CredentialHost(na_host, "naming-authority");
+  dns::NamingAuthorityOptions na_options = config_.naming_authority;
+  na_options.record_ttl = config_.gns_record_ttl;
+  na_options.enforce_authorization = config_.secure;
+  naming_authority_ = std::make_unique<dns::GnsNamingAuthority>(
+      transport_, na_host, config_.zone, &registry_, "gdn-na", tsig_keys_["gdn-na"],
+      dns_primary_->endpoint(), na_options);
+
+  // ---- Resolvers: one per country, upstreams spread over all DNS servers. ----
+  for (size_t i = 0; i < countries_.size(); ++i) {
+    auto resolver =
+        std::make_unique<dns::CachingResolver>(transport_, countries_[i].resolver_host);
+    resolver->AddUpstream(config_.zone, dns_primary_->endpoint());
+    for (auto& secondary : dns_secondaries_) {
+      resolver->AddUpstream(config_.zone, secondary->endpoint());
+    }
+    resolvers_.push_back(std::move(resolver));
+  }
+
+  // ---- Object servers + colocated GDN-HTTPDs. ----
+  gos::GosOptions gos_options;
+  gos_options.enforce_authorization = config_.secure;
+  if (config_.secure) {
+    gos_options.replica_write_guard = dso::RequireRoles(
+        &registry_,
+        {sec::Role::kModerator, sec::Role::kAdministrator, sec::Role::kGdnHost});
+  }
+  for (size_t i = 0; i < countries_.size(); ++i) {
+    goses_.push_back(std::make_unique<gos::ObjectServer>(
+        transport_, countries_[i].gos_host, &repository_,
+        gls_->LeafDirectoryFor(countries_[i].gos_host), &registry_, gos_options));
+    httpds_.push_back(std::make_unique<GdnHttpd>(
+        transport_, countries_[i].gos_host, config_.zone, naming_authority_->endpoint(),
+        resolvers_[i]->endpoint(), gls_->LeafDirectoryFor(countries_[i].gos_host),
+        &repository_, config_.httpd));
+  }
+
+  // ---- The moderator machine and tool. ----
+  moderator_host_ = world_.topology.AddNode("moderator", primary_site);
+  if (config_.secure) {
+    secure_transport_->SetNodeCredential(
+        moderator_host_, registry_.Register("moderator-arno", sec::Role::kModerator));
+    gdn_hosts_.insert(moderator_host_);
+  }
+  moderator_ = std::make_unique<ModeratorTool>(
+      transport_, moderator_host_, config_.zone, naming_authority_->endpoint(),
+      ResolverEndpointFor(moderator_host_), gls_->LeafDirectoryFor(moderator_host_),
+      &repository_);
+
+  SetupSecurity();
+  SetupSearchIndex();
+}
+
+void GdnWorld::SetupSearchIndex() {
+  // Create the index DSO: master on GOS 0, a slave on every other country's GOS —
+  // the index is just another distributed shared object.
+  Status status = Unavailable("pending");
+  goses_[0]->CreateFirstReplica(
+      dso::kProtoMasterSlave, kSearchIndexTypeId,
+      [&](Result<std::pair<gls::ObjectId, gls::ContactAddress>> result) {
+        if (result.ok()) {
+          search_oid_ = result->first;
+          status = OkStatus();
+        } else {
+          status = result.status();
+        }
+      });
+  Run();
+  if (!status.ok()) {
+    GLOG_ERROR << "search index creation failed: " << status;
+    return;
+  }
+  for (size_t i = 1; i < goses_.size(); ++i) {
+    goses_[i]->CreateReplica(search_oid_, kSearchIndexTypeId, gls::ReplicaRole::kSlave,
+                             [](Result<std::pair<gls::ObjectId, gls::ContactAddress>>) {});
+    Run();
+  }
+  for (auto& httpd : httpds_) {
+    httpd->SetSearchIndex(search_oid_);
+  }
+
+  // The moderator host's admin handle for index updates.
+  search_admin_runtime_ = std::make_unique<dso::RuntimeSystem>(
+      transport_, moderator_host_, gls_->LeafDirectoryFor(moderator_host_), &repository_);
+  std::unique_ptr<dso::BoundObject> bound;
+  search_admin_runtime_->Bind(search_oid_, {},
+                              [&](Result<std::unique_ptr<dso::BoundObject>> r) {
+                                if (r.ok()) {
+                                  bound = std::move(*r);
+                                }
+                              });
+  Run();
+  if (bound != nullptr) {
+    search_admin_ = std::make_unique<SearchProxy>(std::move(bound));
+  }
+}
+
+Status GdnWorld::RegisterInSearchIndex(const std::string& globe_name,
+                                       const std::string& description) {
+  if (search_admin_ == nullptr) {
+    return FailedPrecondition("no search index available");
+  }
+  Status status = Unavailable("pending");
+  search_admin_->Register(globe_name, description, [&](Status s) { status = s; });
+  Run();
+  return status;
+}
+
+Status GdnWorld::UnregisterFromSearchIndex(const std::string& globe_name) {
+  if (search_admin_ == nullptr) {
+    return FailedPrecondition("no search index available");
+  }
+  Status status = Unavailable("pending");
+  search_admin_->Unregister(globe_name, [&](Status s) { status = s; });
+  Run();
+  return status;
+}
+
+Result<std::string> GdnWorld::SearchViaHttp(sim::NodeId user, const std::string& query) {
+  auto browser = MakeBrowser(user);
+  GdnHttpd* httpd = NearestHttpd(user);
+  Result<std::string> out = Unavailable("pending");
+  sim::SimTime started = simulator_.Now();
+  browser->Fetch(httpd->node(), "/search?q=" + http::UrlEncode(query),
+                 [&](Result<http::HttpResponse> response) {
+                   last_op_duration_ = simulator_.Now() - started;
+                   if (!response.ok()) {
+                     out = response.status();
+                     return;
+                   }
+                   if (response->status_code != 200) {
+                     out = NotFound("HTTP " + std::to_string(response->status_code));
+                     return;
+                   }
+                   out = ToString(response->body);
+                 });
+  Run();
+  return out;
+}
+
+void GdnWorld::CredentialHost(sim::NodeId node, const std::string& name) {
+  gdn_hosts_.insert(node);
+  if (config_.secure && secure_transport_ != nullptr) {
+    secure_transport_->SetNodeCredential(
+        node, registry_.Register(name + "." + std::to_string(node), sec::Role::kGdnHost));
+  }
+}
+
+void GdnWorld::SetupSecurity() {
+  if (!config_.secure) {
+    return;
+  }
+  // Figure 4: GDN host <-> GDN host mutual; user machine -> GDN host server-auth;
+  // user <-> user plain. Encryption per config.
+  bool encrypt = config_.encrypt;
+  secure_transport_->SetChannelPolicy(
+      [this, encrypt](sim::NodeId src, sim::NodeId dst) {
+        sec::ChannelConfig channel;
+        bool src_trusted = IsGdnHost(src) || mutual_nodes_.count(src) > 0;
+        bool dst_trusted = IsGdnHost(dst) || mutual_nodes_.count(dst) > 0;
+        if (src_trusted && dst_trusted) {
+          channel.auth = sec::AuthMode::kMutualAuth;
+        } else if (src_trusted || dst_trusted) {
+          channel.auth = sec::AuthMode::kServerAuth;
+        }
+        channel.encrypt = encrypt && channel.auth != sec::AuthMode::kPlain;
+        return channel;
+      });
+}
+
+int GdnWorld::CountryOf(sim::NodeId node) const {
+  sim::DomainId domain = world_.topology.NodeDomain(node);
+  for (size_t i = 0; i < countries_.size(); ++i) {
+    if (world_.topology.IsAncestorOrSelf(countries_[i].domain, domain)) {
+      return static_cast<int>(i);
+    }
+  }
+  return -1;
+}
+
+GdnHttpd* GdnWorld::NearestHttpd(sim::NodeId user) {
+  int country = CountryOf(user);
+  return httpds_[country < 0 ? 0 : static_cast<size_t>(country)].get();
+}
+
+sim::Endpoint GdnWorld::ResolverEndpointFor(sim::NodeId node) const {
+  int country = CountryOf(node);
+  return resolvers_[country < 0 ? 0 : static_cast<size_t>(country)]->endpoint();
+}
+
+std::unique_ptr<Browser> GdnWorld::MakeBrowser(sim::NodeId user) {
+  return std::make_unique<Browser>(transport_, user);
+}
+
+Result<gls::ObjectId> GdnWorld::PublishPackage(const std::string& globe_name,
+                                               const std::map<std::string, Bytes>& files,
+                                               gls::ProtocolId protocol,
+                                               size_t master_country,
+                                               std::vector<size_t> replica_countries,
+                                               const std::string& description) {
+  ReplicationScenario scenario;
+  scenario.protocol = protocol;
+  scenario.first_gos = goses_[master_country]->endpoint();
+  for (size_t country : replica_countries) {
+    scenario.replica_goses.push_back(goses_[country]->endpoint());
+  }
+  scenario.secondary_role = protocol == dso::kProtoCacheInval ? gls::ReplicaRole::kCache
+                                                              : gls::ReplicaRole::kSlave;
+
+  Result<gls::ObjectId> oid = Unavailable("pending");
+  moderator_->CreatePackage(globe_name, scenario,
+                            [&](Result<gls::ObjectId> result) { oid = std::move(result); });
+  Run();
+  if (!oid.ok()) {
+    return oid;
+  }
+  // Flush the naming batch so the name resolves immediately.
+  naming_authority_->Flush();
+  Run();
+
+  for (const auto& [path, content] : files) {
+    Status status = Unavailable("pending");
+    moderator_->AddFile(globe_name, path, content, [&](Status s) { status = s; });
+    Run();
+    if (!status.ok()) {
+      return status;
+    }
+  }
+  if (!description.empty()) {
+    Status status = Unavailable("pending");
+    moderator_->SetDescription(globe_name, description, [&](Status s) { status = s; });
+    Run();
+    if (!status.ok()) {
+      return status;
+    }
+    RETURN_IF_ERROR(RegisterInSearchIndex(globe_name, description));
+  }
+  return oid;
+}
+
+sec::PrincipalId GdnWorld::AddMaintainerMachine(const std::string& name,
+                                                sim::NodeId node) {
+  sec::Credential credential = registry_.Register(name, sec::Role::kMaintainer);
+  if (config_.secure && secure_transport_ != nullptr) {
+    secure_transport_->SetNodeCredential(node, credential);
+    mutual_nodes_.insert(node);
+  }
+  return credential.id;
+}
+
+Result<gls::ObjectId> GdnWorld::PublishPackageWithMaintainers(
+    const std::string& globe_name, const std::map<std::string, Bytes>& files,
+    gls::ProtocolId protocol, size_t master_country, std::vector<size_t> replica_countries,
+    std::vector<sec::PrincipalId> maintainers) {
+  ReplicationScenario scenario;
+  scenario.protocol = protocol;
+  scenario.first_gos = goses_[master_country]->endpoint();
+  for (size_t country : replica_countries) {
+    scenario.replica_goses.push_back(goses_[country]->endpoint());
+  }
+  scenario.secondary_role = protocol == dso::kProtoCacheInval ? gls::ReplicaRole::kCache
+                                                              : gls::ReplicaRole::kSlave;
+  scenario.maintainers = std::move(maintainers);
+
+  Result<gls::ObjectId> oid = Unavailable("pending");
+  moderator_->CreatePackage(globe_name, scenario,
+                            [&](Result<gls::ObjectId> result) { oid = std::move(result); });
+  Run();
+  if (!oid.ok()) {
+    return oid;
+  }
+  naming_authority_->Flush();
+  Run();
+  for (const auto& [path, content] : files) {
+    Status status = Unavailable("pending");
+    moderator_->AddFile(globe_name, path, content, [&](Status s) { status = s; });
+    Run();
+    if (!status.ok()) {
+      return status;
+    }
+  }
+  return oid;
+}
+
+Result<Bytes> GdnWorld::DownloadFile(sim::NodeId user, const std::string& globe_name,
+                                     const std::string& file_path) {
+  auto browser = MakeBrowser(user);
+  GdnHttpd* httpd = NearestHttpd(user);
+  std::string target =
+      http::UrlEncode("/packages" + globe_name + "/files/" + file_path);
+  Result<Bytes> out = Unavailable("pending");
+  sim::SimTime started = simulator_.Now();
+  browser->Fetch(httpd->node(), target, [&](Result<http::HttpResponse> response) {
+    last_op_duration_ = simulator_.Now() - started;
+    if (!response.ok()) {
+      out = response.status();
+      return;
+    }
+    if (response->status_code != 200) {
+      out = NotFound("HTTP " + std::to_string(response->status_code) + ": " +
+                     ToString(response->body));
+      return;
+    }
+    out = std::move(response->body);
+  });
+  Run();
+  return out;
+}
+
+Result<std::string> GdnWorld::FetchListing(sim::NodeId user, const std::string& globe_name) {
+  auto browser = MakeBrowser(user);
+  GdnHttpd* httpd = NearestHttpd(user);
+  Result<std::string> out = Unavailable("pending");
+  sim::SimTime started = simulator_.Now();
+  browser->Fetch(httpd->node(), http::UrlEncode("/packages" + globe_name),
+                 [&](Result<http::HttpResponse> response) {
+                   last_op_duration_ = simulator_.Now() - started;
+                   if (!response.ok()) {
+                     out = response.status();
+                     return;
+                   }
+                   if (response->status_code != 200) {
+                     out = NotFound("HTTP " + std::to_string(response->status_code));
+                     return;
+                   }
+                   out = ToString(response->body);
+                 });
+  Run();
+  return out;
+}
+
+}  // namespace globe::gdn

@@ -1,0 +1,91 @@
+#include "src/gls/deploy.h"
+
+#include <cassert>
+
+namespace globe::gls {
+
+GlsDeployment::GlsDeployment(sim::Transport* transport, sim::Topology* topology,
+                             const sec::KeyRegistry* registry, GlsDeploymentOptions options,
+                             std::function<void(sim::NodeId)> on_host_created)
+    : transport_(transport), topology_(topology) {
+  auto count_for = [&](sim::DomainId domain, int depth) {
+    if (!options.subnode_count) {
+      return 1;
+    }
+    int count = options.subnode_count(domain, depth);
+    return count < 1 ? 1 : count;
+  };
+
+  // Pass 1: create every subnode and record the DirectoryRefs.
+  for (sim::DomainId domain = 0; domain < topology->num_domains(); ++domain) {
+    int depth = topology->DomainDepth(domain);
+    int count = count_for(domain, depth);
+    DirectoryRef ref;
+    for (int i = 0; i < count; ++i) {
+      sim::NodeId host = topology->AddNode(
+          "gls." + topology->DomainName(domain) + "." + std::to_string(i), domain);
+      if (on_host_created) {
+        on_host_created(host);
+      }
+      auto subnode = std::make_unique<DirectorySubnode>(
+          transport, host, domain, depth, options.node_options, registry,
+          options.rng_seed + domain * 131 + i);
+      ref.subnodes.push_back(subnode->endpoint());
+      subnodes_.push_back(std::move(subnode));
+    }
+    directories_[domain] = std::move(ref);
+  }
+
+  // Pass 2: wire parents and children.
+  for (auto& subnode : subnodes_) {
+    sim::DomainId domain = subnode->domain();
+    sim::DomainId parent = topology->DomainParent(domain);
+    if (parent != sim::kNoDomain) {
+      subnode->SetParent(directories_.at(parent));
+    }
+    for (sim::DomainId child : topology->DomainChildren(domain)) {
+      subnode->AddChild(child, directories_.at(child));
+    }
+  }
+}
+
+const DirectoryRef& GlsDeployment::DirectoryFor(sim::DomainId domain) const {
+  return directories_.at(domain);
+}
+
+const DirectoryRef& GlsDeployment::LeafDirectoryFor(sim::NodeId host) const {
+  return directories_.at(topology_->NodeDomain(host));
+}
+
+std::unique_ptr<GlsClient> GlsDeployment::MakeClient(sim::NodeId host) const {
+  return std::make_unique<GlsClient>(transport_, host, LeafDirectoryFor(host));
+}
+
+std::vector<const DirectorySubnode*> GlsDeployment::SubnodesOf(sim::DomainId domain) const {
+  std::vector<const DirectorySubnode*> out;
+  for (const auto& subnode : subnodes_) {
+    if (subnode->domain() == domain) {
+      out.push_back(subnode.get());
+    }
+  }
+  return out;
+}
+
+SubnodeStats GlsDeployment::TotalStats() const {
+  SubnodeStats total;
+  for (const auto& subnode : subnodes_) {
+    const SubnodeStats& s = subnode->stats();
+    total.lookups += s.lookups;
+    total.found_local += s.found_local;
+    total.forwards_up += s.forwards_up;
+    total.forwards_down += s.forwards_down;
+    total.inserts += s.inserts;
+    total.deletes += s.deletes;
+    total.pointer_installs += s.pointer_installs;
+    total.pointer_removes += s.pointer_removes;
+    total.denied += s.denied;
+  }
+  return total;
+}
+
+}  // namespace globe::gls

@@ -1,0 +1,66 @@
+// Deployment helper: instantiates a Globe Location Service over a topology.
+//
+// For every domain in the tree it creates a directory node — partitioned into a
+// configurable number of subnodes, each hosted on its own machine added to the
+// topology — and wires up the parent/child DirectoryRefs. Call this before
+// constructing the Network if the network should know about the directory hosts
+// (Topology is only read by Network at send time, so adding hosts first is the
+// simple, safe order).
+
+#ifndef SRC_GLS_DEPLOY_H_
+#define SRC_GLS_DEPLOY_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "src/gls/directory.h"
+
+namespace globe::gls {
+
+struct GlsDeploymentOptions {
+  GlsOptions node_options;
+  // Number of subnodes for a domain, given its id and depth (root = 0). Default: one
+  // subnode everywhere; E2 overrides this for the root.
+  std::function<int(sim::DomainId, int depth)> subnode_count;
+  uint64_t rng_seed = 0x915;
+};
+
+class GlsDeployment {
+ public:
+  // Builds the service. `topology` gains one host per subnode (named
+  // "gls.<domain>.<i>"). `on_host_created` (optional) lets the caller install host
+  // credentials on a secure transport before any traffic flows.
+  GlsDeployment(sim::Transport* transport, sim::Topology* topology,
+                const sec::KeyRegistry* registry, GlsDeploymentOptions options = {},
+                std::function<void(sim::NodeId)> on_host_created = nullptr);
+
+  // The directory node handle for a domain.
+  const DirectoryRef& DirectoryFor(sim::DomainId domain) const;
+
+  // The leaf directory a process on `host` should talk to: the directory of the
+  // domain the host is attached to.
+  const DirectoryRef& LeafDirectoryFor(sim::NodeId host) const;
+
+  // Creates a client bound to the correct leaf directory for a host.
+  std::unique_ptr<GlsClient> MakeClient(sim::NodeId host) const;
+
+  const std::vector<std::unique_ptr<DirectorySubnode>>& subnodes() const { return subnodes_; }
+
+  // All subnodes of one domain (for load inspection in E2).
+  std::vector<const DirectorySubnode*> SubnodesOf(sim::DomainId domain) const;
+
+  // Aggregate statistics over every subnode.
+  SubnodeStats TotalStats() const;
+
+ private:
+  sim::Transport* transport_;
+  const sim::Topology* topology_;
+  std::map<sim::DomainId, DirectoryRef> directories_;
+  std::vector<std::unique_ptr<DirectorySubnode>> subnodes_;
+};
+
+}  // namespace globe::gls
+
+#endif  // SRC_GLS_DEPLOY_H_

@@ -1,0 +1,496 @@
+#include "src/gls/directory.h"
+
+#include <algorithm>
+
+#include "src/util/log.h"
+
+namespace globe::gls {
+
+namespace {
+
+struct LookupRequest {
+  ObjectId oid;
+  uint32_t hops = 0;
+  uint8_t phase = 0;  // kPhaseUp / kPhaseDown
+  int32_t apex_depth = 0;
+
+  Bytes Serialize() const {
+    ByteWriter w;
+    oid.Serialize(&w);
+    w.WriteU32(hops);
+    w.WriteU8(phase);
+    w.WriteU32(static_cast<uint32_t>(apex_depth));
+    return w.Take();
+  }
+  static Result<LookupRequest> Deserialize(ByteSpan data) {
+    ByteReader r(data);
+    LookupRequest request;
+    ASSIGN_OR_RETURN(request.oid, ObjectId::Deserialize(&r));
+    ASSIGN_OR_RETURN(request.hops, r.ReadU32());
+    ASSIGN_OR_RETURN(request.phase, r.ReadU8());
+    ASSIGN_OR_RETURN(uint32_t apex, r.ReadU32());
+    request.apex_depth = static_cast<int32_t>(apex);
+    return request;
+  }
+};
+
+struct AddressRequest {  // gls.insert / gls.delete
+  ObjectId oid;
+  ContactAddress address;
+
+  Bytes Serialize() const {
+    ByteWriter w;
+    oid.Serialize(&w);
+    address.Serialize(&w);
+    return w.Take();
+  }
+  static Result<AddressRequest> Deserialize(ByteSpan data) {
+    ByteReader r(data);
+    AddressRequest request;
+    ASSIGN_OR_RETURN(request.oid, ObjectId::Deserialize(&r));
+    ASSIGN_OR_RETURN(request.address, ContactAddress::Deserialize(&r));
+    return request;
+  }
+};
+
+struct PointerRequest {  // gls.install_ptr / gls.remove_ptr
+  ObjectId oid;
+  sim::DomainId child_domain = sim::kNoDomain;
+
+  Bytes Serialize() const {
+    ByteWriter w;
+    oid.Serialize(&w);
+    w.WriteU32(child_domain);
+    return w.Take();
+  }
+  static Result<PointerRequest> Deserialize(ByteSpan data) {
+    ByteReader r(data);
+    PointerRequest request;
+    ASSIGN_OR_RETURN(request.oid, ObjectId::Deserialize(&r));
+    ASSIGN_OR_RETURN(request.child_domain, r.ReadU32());
+    return request;
+  }
+};
+
+}  // namespace
+
+Bytes LookupResponse::Serialize() const {
+  ByteWriter w;
+  w.WriteVarint(addresses.size());
+  for (const auto& address : addresses) {
+    address.Serialize(&w);
+  }
+  w.WriteU32(hops);
+  w.WriteU32(static_cast<uint32_t>(found_depth));
+  w.WriteU32(static_cast<uint32_t>(apex_depth));
+  return w.Take();
+}
+
+Result<LookupResponse> LookupResponse::Deserialize(ByteSpan data) {
+  ByteReader r(data);
+  LookupResponse response;
+  ASSIGN_OR_RETURN(uint64_t count, r.ReadVarint());
+  if (count > 100000) {
+    return InvalidArgument("implausible address count");
+  }
+  for (uint64_t i = 0; i < count; ++i) {
+    ASSIGN_OR_RETURN(ContactAddress address, ContactAddress::Deserialize(&r));
+    response.addresses.push_back(address);
+  }
+  ASSIGN_OR_RETURN(response.hops, r.ReadU32());
+  ASSIGN_OR_RETURN(uint32_t found, r.ReadU32());
+  response.found_depth = static_cast<int32_t>(found);
+  ASSIGN_OR_RETURN(uint32_t apex, r.ReadU32());
+  response.apex_depth = static_cast<int32_t>(apex);
+  return response;
+}
+
+DirectorySubnode::DirectorySubnode(sim::Transport* transport, sim::NodeId host,
+                                   sim::DomainId domain, int depth, GlsOptions options,
+                                   const sec::KeyRegistry* registry, uint64_t rng_seed)
+    : server_(transport, host, sim::kPortGls),
+      client_(std::make_unique<sim::RpcClient>(transport, host)),
+      domain_(domain),
+      depth_(depth),
+      options_(options),
+      registry_(registry),
+      rng_(rng_seed) {
+  server_.RegisterAsyncMethod("gls.lookup", [this](const sim::RpcContext& ctx, ByteSpan req,
+                                                   sim::RpcServer::Responder respond) {
+    HandleLookup(ctx, req, std::move(respond));
+  });
+  server_.RegisterAsyncMethod("gls.insert", [this](const sim::RpcContext& ctx, ByteSpan req,
+                                                   sim::RpcServer::Responder respond) {
+    HandleInsert(ctx, req, std::move(respond));
+  });
+  server_.RegisterAsyncMethod("gls.delete", [this](const sim::RpcContext& ctx, ByteSpan req,
+                                                   sim::RpcServer::Responder respond) {
+    HandleDelete(ctx, req, std::move(respond));
+  });
+  server_.RegisterAsyncMethod("gls.install_ptr",
+                              [this](const sim::RpcContext& ctx, ByteSpan req,
+                                     sim::RpcServer::Responder respond) {
+                                HandleInstallPtr(ctx, req, std::move(respond));
+                              });
+  server_.RegisterAsyncMethod("gls.remove_ptr",
+                              [this](const sim::RpcContext& ctx, ByteSpan req,
+                                     sim::RpcServer::Responder respond) {
+                                HandleRemovePtr(ctx, req, std::move(respond));
+                              });
+  server_.RegisterMethod("gls.alloc_oid",
+                         [this](const sim::RpcContext&, ByteSpan) -> Result<Bytes> {
+                           ByteWriter w;
+                           ObjectId::Generate(&rng_).Serialize(&w);
+                           return w.Take();
+                         });
+}
+
+Status DirectorySubnode::CheckAuthorized(const sim::RpcContext& context) const {
+  if (!options_.enforce_authorization) {
+    return OkStatus();
+  }
+  if (registry_ == nullptr) {
+    return Internal("authorization enforced but no key registry configured");
+  }
+  if (context.peer_principal == sec::kAnonymous || !context.integrity_protected) {
+    return PermissionDenied("GLS registration requires an authenticated channel");
+  }
+  auto role = registry_->RoleOf(context.peer_principal);
+  if (!role.ok()) {
+    return PermissionDenied("unknown principal");
+  }
+  if (*role != sec::Role::kGdnHost && *role != sec::Role::kAdministrator) {
+    return PermissionDenied("caller is not a GDN host");
+  }
+  return OkStatus();
+}
+
+size_t DirectorySubnode::NumAddresses(const ObjectId& oid) const {
+  auto it = addresses_.find(oid);
+  return it == addresses_.end() ? 0 : it->second.size();
+}
+
+size_t DirectorySubnode::NumPointers(const ObjectId& oid) const {
+  auto it = pointers_.find(oid);
+  return it == pointers_.end() ? 0 : it->second.size();
+}
+
+size_t DirectorySubnode::TotalEntries() const {
+  size_t total = 0;
+  for (const auto& [oid, addresses] : addresses_) {
+    total += addresses.size();
+  }
+  for (const auto& [oid, pointers] : pointers_) {
+    total += pointers.size();
+  }
+  return total;
+}
+
+void DirectorySubnode::HandleLookup(const sim::RpcContext&, ByteSpan request,
+                                    sim::RpcServer::Responder respond) {
+  ++stats_.lookups;
+  auto parsed = LookupRequest::Deserialize(request);
+  if (!parsed.ok()) {
+    respond(parsed.status());
+    return;
+  }
+  LookupRequest req = *parsed;
+  req.apex_depth = std::min(req.apex_depth, depth_);
+
+  // Contact address here: done.
+  if (auto it = addresses_.find(req.oid); it != addresses_.end() && !it->second.empty()) {
+    ++stats_.found_local;
+    LookupResponse response;
+    response.addresses = it->second;
+    response.hops = req.hops;
+    response.found_depth = depth_;
+    response.apex_depth = req.apex_depth;
+    respond(response.Serialize());
+    return;
+  }
+
+  // Forwarding pointer here: descend into one child subtree, chosen at random if
+  // several replicas exist in different children (paper §3.5).
+  if (auto it = pointers_.find(req.oid); it != pointers_.end() && !it->second.empty()) {
+    const auto& children = it->second;
+    size_t pick = static_cast<size_t>(rng_.UniformInt(children.size()));
+    auto child_it = children.begin();
+    std::advance(child_it, pick);
+    auto ref_it = children_.find(*child_it);
+    if (ref_it == children_.end() || ref_it->second.empty()) {
+      respond(Internal("forwarding pointer to unknown child directory"));
+      return;
+    }
+    ++stats_.forwards_down;
+    LookupRequest forward = req;
+    forward.phase = kPhaseDown;
+    ++forward.hops;
+    client_->Call(ref_it->second.Route(req.oid), "gls.lookup", forward.Serialize(),
+                  [respond = std::move(respond)](Result<Bytes> result) {
+                    respond(std::move(result));
+                  });
+    return;
+  }
+
+  // Nothing local. Going down this should not happen; going up we continue to the
+  // parent until the root gives a definitive answer.
+  if (req.phase == kPhaseDown) {
+    respond(Internal("broken forwarding chain at depth " + std::to_string(depth_)));
+    return;
+  }
+  if (parent_.empty()) {
+    respond(NotFound("object not registered: " + req.oid.ToHex()));
+    return;
+  }
+  ++stats_.forwards_up;
+  LookupRequest forward = req;
+  ++forward.hops;
+  client_->Call(parent_.Route(req.oid), "gls.lookup", forward.Serialize(),
+                [respond = std::move(respond)](Result<Bytes> result) {
+                  respond(std::move(result));
+                });
+}
+
+void DirectorySubnode::HandleInsert(const sim::RpcContext& context, ByteSpan request,
+                                    sim::RpcServer::Responder respond) {
+  if (Status s = CheckAuthorized(context); !s.ok()) {
+    ++stats_.denied;
+    respond(s);
+    return;
+  }
+  auto parsed = AddressRequest::Deserialize(request);
+  if (!parsed.ok()) {
+    respond(parsed.status());
+    return;
+  }
+  ++stats_.inserts;
+  auto& at_oid = addresses_[parsed->oid];
+  if (std::find(at_oid.begin(), at_oid.end(), parsed->address) == at_oid.end()) {
+    at_oid.push_back(parsed->address);
+  }
+  PropagatePointerUp(parsed->oid, std::move(respond));
+}
+
+void DirectorySubnode::PropagatePointerUp(const ObjectId& oid,
+                                          sim::RpcServer::Responder respond) {
+  if (parent_.empty()) {
+    respond(Bytes{});
+    return;
+  }
+  PointerRequest up{oid, domain_};
+  client_->Call(parent_.Route(oid), "gls.install_ptr", up.Serialize(),
+                [respond = std::move(respond)](Result<Bytes> result) {
+                  respond(std::move(result));
+                });
+}
+
+void DirectorySubnode::HandleInstallPtr(const sim::RpcContext& context, ByteSpan request,
+                                        sim::RpcServer::Responder respond) {
+  if (Status s = CheckAuthorized(context); !s.ok()) {
+    ++stats_.denied;
+    respond(s);
+    return;
+  }
+  auto parsed = PointerRequest::Deserialize(request);
+  if (!parsed.ok()) {
+    respond(parsed.status());
+    return;
+  }
+  ++stats_.pointer_installs;
+  bool was_new = pointers_[parsed->oid].insert(parsed->child_domain).second;
+  if (!was_new || parent_.empty()) {
+    // The chain above already exists (or we are the root): done.
+    respond(Bytes{});
+    return;
+  }
+  PropagatePointerUp(parsed->oid, std::move(respond));
+}
+
+void DirectorySubnode::HandleDelete(const sim::RpcContext& context, ByteSpan request,
+                                    sim::RpcServer::Responder respond) {
+  if (Status s = CheckAuthorized(context); !s.ok()) {
+    ++stats_.denied;
+    respond(s);
+    return;
+  }
+  auto parsed = AddressRequest::Deserialize(request);
+  if (!parsed.ok()) {
+    respond(parsed.status());
+    return;
+  }
+  ++stats_.deletes;
+  auto it = addresses_.find(parsed->oid);
+  if (it == addresses_.end()) {
+    respond(NotFound("no such contact address registered"));
+    return;
+  }
+  auto& at_oid = it->second;
+  auto pos = std::find(at_oid.begin(), at_oid.end(), parsed->address);
+  if (pos == at_oid.end()) {
+    respond(NotFound("no such contact address registered"));
+    return;
+  }
+  at_oid.erase(pos);
+  if (!at_oid.empty()) {
+    respond(Bytes{});
+    return;
+  }
+  addresses_.erase(it);
+  // No addresses left here; if no pointers either, prune the chain above.
+  if (NumPointers(parsed->oid) > 0) {
+    respond(Bytes{});
+    return;
+  }
+  PropagateRemoveUp(parsed->oid, std::move(respond));
+}
+
+void DirectorySubnode::PropagateRemoveUp(const ObjectId& oid,
+                                         sim::RpcServer::Responder respond) {
+  if (parent_.empty()) {
+    respond(Bytes{});
+    return;
+  }
+  PointerRequest up{oid, domain_};
+  client_->Call(parent_.Route(oid), "gls.remove_ptr", up.Serialize(),
+                [respond = std::move(respond)](Result<Bytes> result) {
+                  respond(std::move(result));
+                });
+}
+
+void DirectorySubnode::HandleRemovePtr(const sim::RpcContext& context, ByteSpan request,
+                                       sim::RpcServer::Responder respond) {
+  if (Status s = CheckAuthorized(context); !s.ok()) {
+    ++stats_.denied;
+    respond(s);
+    return;
+  }
+  auto parsed = PointerRequest::Deserialize(request);
+  if (!parsed.ok()) {
+    respond(parsed.status());
+    return;
+  }
+  ++stats_.pointer_removes;
+  auto it = pointers_.find(parsed->oid);
+  if (it != pointers_.end()) {
+    it->second.erase(parsed->child_domain);
+    if (it->second.empty()) {
+      pointers_.erase(it);
+    }
+  }
+  if (NumPointers(parsed->oid) == 0 && NumAddresses(parsed->oid) == 0) {
+    PropagateRemoveUp(parsed->oid, std::move(respond));
+    return;
+  }
+  respond(Bytes{});
+}
+
+Bytes DirectorySubnode::SaveState() const {
+  ByteWriter w;
+  w.WriteVarint(addresses_.size());
+  for (const auto& [oid, at_oid] : addresses_) {
+    oid.Serialize(&w);
+    w.WriteVarint(at_oid.size());
+    for (const auto& address : at_oid) {
+      address.Serialize(&w);
+    }
+  }
+  w.WriteVarint(pointers_.size());
+  for (const auto& [oid, children] : pointers_) {
+    oid.Serialize(&w);
+    w.WriteVarint(children.size());
+    for (sim::DomainId child : children) {
+      w.WriteU32(child);
+    }
+  }
+  return w.Take();
+}
+
+Status DirectorySubnode::RestoreState(ByteSpan data) {
+  ByteReader r(data);
+  std::map<ObjectId, std::vector<ContactAddress>> addresses;
+  std::map<ObjectId, std::set<sim::DomainId>> pointers;
+
+  auto num_oids = r.ReadVarint();
+  if (!num_oids.ok()) {
+    return num_oids.status();
+  }
+  for (uint64_t i = 0; i < *num_oids; ++i) {
+    ASSIGN_OR_RETURN(ObjectId oid, ObjectId::Deserialize(&r));
+    ASSIGN_OR_RETURN(uint64_t count, r.ReadVarint());
+    auto& at_oid = addresses[oid];
+    for (uint64_t j = 0; j < count; ++j) {
+      ASSIGN_OR_RETURN(ContactAddress address, ContactAddress::Deserialize(&r));
+      at_oid.push_back(address);
+    }
+  }
+  ASSIGN_OR_RETURN(uint64_t num_ptr_oids, r.ReadVarint());
+  for (uint64_t i = 0; i < num_ptr_oids; ++i) {
+    ASSIGN_OR_RETURN(ObjectId oid, ObjectId::Deserialize(&r));
+    ASSIGN_OR_RETURN(uint64_t count, r.ReadVarint());
+    auto& children = pointers[oid];
+    for (uint64_t j = 0; j < count; ++j) {
+      ASSIGN_OR_RETURN(uint32_t child, r.ReadU32());
+      children.insert(child);
+    }
+  }
+  addresses_ = std::move(addresses);
+  pointers_ = std::move(pointers);
+  return OkStatus();
+}
+
+GlsClient::GlsClient(sim::Transport* transport, sim::NodeId node, DirectoryRef leaf_directory)
+    : rpc_(transport, node), leaf_(std::move(leaf_directory)) {}
+
+void GlsClient::Lookup(const ObjectId& oid, LookupCallback done) {
+  LookupRequest request;
+  request.oid = oid;
+  request.apex_depth = 1 << 20;  // effectively +infinity; min() with depths en route
+  rpc_.Call(leaf_.Route(oid), "gls.lookup", request.Serialize(),
+            [done = std::move(done)](Result<Bytes> result) {
+              if (!result.ok()) {
+                done(result.status());
+                return;
+              }
+              auto response = LookupResponse::Deserialize(*result);
+              if (!response.ok()) {
+                done(response.status());
+                return;
+              }
+              done(LookupResult{std::move(response->addresses), response->hops,
+                                response->found_depth, response->apex_depth});
+            });
+}
+
+void GlsClient::Insert(const ObjectId& oid, const ContactAddress& address,
+                       DoneCallback done) {
+  AddressRequest request{oid, address};
+  rpc_.Call(leaf_.Route(oid), "gls.insert", request.Serialize(),
+            [done = std::move(done)](Result<Bytes> result) {
+              done(result.ok() ? OkStatus() : result.status());
+            });
+}
+
+void GlsClient::Delete(const ObjectId& oid, const ContactAddress& address,
+                       DoneCallback done) {
+  AddressRequest request{oid, address};
+  rpc_.Call(leaf_.Route(oid), "gls.delete", request.Serialize(),
+            [done = std::move(done)](Result<Bytes> result) {
+              done(result.ok() ? OkStatus() : result.status());
+            });
+}
+
+void GlsClient::AllocateOid(OidCallback done) {
+  // Any subnode can allocate; spread the load by picking pseudo-randomly via a
+  // generated id's own hash.
+  rpc_.Call(leaf_.subnodes.front(), "gls.alloc_oid", {},
+            [done = std::move(done)](Result<Bytes> result) {
+              if (!result.ok()) {
+                done(result.status());
+                return;
+              }
+              ByteReader r(*result);
+              done(ObjectId::Deserialize(&r));
+            });
+}
+
+}  // namespace globe::gls

@@ -1,0 +1,176 @@
+// The Globe Location Service directory tree (paper §3.5, Figure 2).
+//
+// Each domain in the Internet hierarchy has a directory node that tracks the
+// distributed shared objects with representatives in its domain: either actual
+// contact addresses (normally at leaf nodes) or forwarding pointers to child
+// directory nodes. Lookups climb from the client's leaf domain until they hit a
+// contact address or a forwarding pointer, then descend the pointer chain — so the
+// cost of a lookup is proportional to the distance to the nearest replica.
+//
+// High-level nodes would otherwise become bottlenecks; a directory node is therefore
+// partitioned into subnodes, each responsible for a slice of the object-identifier
+// space via hashing and each runnable on its own machine
+// [Ballintijn and van Steen 1999a]. DirectoryRef is the client-visible handle: the
+// subnode set plus the hash routing rule.
+//
+// RPC methods (port sim::kPortGls on each subnode's host):
+//   gls.lookup      : LookupRequest -> LookupResponse
+//   gls.insert      : oid, contact address -> empty         (stores + installs pointers)
+//   gls.delete      : oid, contact address -> empty         (removes + prunes pointers)
+//   gls.install_ptr : oid, child domain -> empty            (internal, child -> parent)
+//   gls.remove_ptr  : oid, child domain -> empty            (internal, child -> parent)
+//   gls.alloc_oid   : empty -> oid                          (OID allocation, §6.1)
+
+#ifndef SRC_GLS_DIRECTORY_H_
+#define SRC_GLS_DIRECTORY_H_
+
+#include <map>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "src/gls/oid.h"
+#include "src/sec/principal.h"
+#include "src/sim/rpc.h"
+#include "src/sim/topology.h"
+
+namespace globe::gls {
+
+// Handle to a (possibly partitioned) directory node: route by OID hash.
+struct DirectoryRef {
+  std::vector<sim::Endpoint> subnodes;
+
+  bool empty() const { return subnodes.empty(); }
+  sim::Endpoint Route(const ObjectId& oid) const {
+    return subnodes[oid.Hash() % subnodes.size()];
+  }
+};
+
+struct LookupResponse {
+  std::vector<ContactAddress> addresses;
+  uint32_t hops = 0;       // directory-to-directory messages traversed
+  int32_t found_depth = 0;  // tree depth of the node holding the addresses
+  int32_t apex_depth = 0;   // highest (smallest-depth) node the lookup visited
+
+  Bytes Serialize() const;
+  static Result<LookupResponse> Deserialize(ByteSpan data);
+};
+
+struct GlsOptions {
+  // Paper §6.1 requirement 2: "The Globe Location Service should accept only object
+  // registrations (and deregistrations) from Globe Object Servers which are
+  // officially part of the GDN." When true, mutating methods require an
+  // authenticated peer whose registry role is kGdnHost or kAdministrator.
+  bool enforce_authorization = false;
+};
+
+struct SubnodeStats {
+  uint64_t lookups = 0;
+  uint64_t found_local = 0;
+  uint64_t forwards_up = 0;
+  uint64_t forwards_down = 0;
+  uint64_t inserts = 0;
+  uint64_t deletes = 0;
+  uint64_t pointer_installs = 0;
+  uint64_t pointer_removes = 0;
+  uint64_t denied = 0;
+};
+
+class DirectorySubnode {
+ public:
+  DirectorySubnode(sim::Transport* transport, sim::NodeId host, sim::DomainId domain,
+                   int depth, GlsOptions options, const sec::KeyRegistry* registry,
+                   uint64_t rng_seed);
+
+  void SetParent(DirectoryRef parent) { parent_ = std::move(parent); }
+  void AddChild(sim::DomainId child_domain, DirectoryRef ref) {
+    children_[child_domain] = std::move(ref);
+  }
+
+  sim::Endpoint endpoint() const { return server_.endpoint(); }
+  sim::NodeId host() const { return server_.node(); }
+  sim::DomainId domain() const { return domain_; }
+  int depth() const { return depth_; }
+  const SubnodeStats& stats() const { return stats_; }
+
+  // Directly visible state, for tests and the persistence machinery.
+  size_t NumAddresses(const ObjectId& oid) const;
+  size_t NumPointers(const ObjectId& oid) const;
+  size_t TotalEntries() const;
+
+  // Persistence: "persistent storage of the state of a directory node (location
+  // information and forwarding pointers)" with "a simple crash recovery mechanism"
+  // (paper §7).
+  Bytes SaveState() const;
+  Status RestoreState(ByteSpan data);
+
+ private:
+  static constexpr uint8_t kPhaseUp = 0;
+  static constexpr uint8_t kPhaseDown = 1;
+
+  void HandleLookup(const sim::RpcContext& context, ByteSpan request,
+                    sim::RpcServer::Responder respond);
+  void HandleInsert(const sim::RpcContext& context, ByteSpan request,
+                    sim::RpcServer::Responder respond);
+  void HandleDelete(const sim::RpcContext& context, ByteSpan request,
+                    sim::RpcServer::Responder respond);
+  void HandleInstallPtr(const sim::RpcContext& context, ByteSpan request,
+                        sim::RpcServer::Responder respond);
+  void HandleRemovePtr(const sim::RpcContext& context, ByteSpan request,
+                       sim::RpcServer::Responder respond);
+
+  Status CheckAuthorized(const sim::RpcContext& context) const;
+
+  // Continues an insert by installing the forwarding pointer chain towards the root,
+  // then responds.
+  void PropagatePointerUp(const ObjectId& oid, sim::RpcServer::Responder respond);
+  // Continues a delete by pruning the pointer chain, then responds.
+  void PropagateRemoveUp(const ObjectId& oid, sim::RpcServer::Responder respond);
+
+  sim::RpcServer server_;
+  std::unique_ptr<sim::RpcClient> client_;
+  sim::DomainId domain_;
+  int depth_;
+  GlsOptions options_;
+  const sec::KeyRegistry* registry_;
+  Rng rng_;
+
+  DirectoryRef parent_;
+  std::map<sim::DomainId, DirectoryRef> children_;
+  std::map<ObjectId, std::vector<ContactAddress>> addresses_;
+  std::map<ObjectId, std::set<sim::DomainId>> pointers_;
+  SubnodeStats stats_;
+};
+
+struct LookupResult {
+  std::vector<ContactAddress> addresses;
+  uint32_t hops = 0;
+  int32_t found_depth = 0;
+  int32_t apex_depth = 0;
+};
+
+// Client-side stub: the run-time-system piece that talks to the leaf directory node
+// of the domain its process lives in.
+class GlsClient {
+ public:
+  GlsClient(sim::Transport* transport, sim::NodeId node, DirectoryRef leaf_directory);
+
+  using LookupCallback = std::function<void(Result<LookupResult>)>;
+  using DoneCallback = std::function<void(Status)>;
+  using OidCallback = std::function<void(Result<ObjectId>)>;
+
+  void Lookup(const ObjectId& oid, LookupCallback done);
+  void Insert(const ObjectId& oid, const ContactAddress& address, DoneCallback done);
+  void Delete(const ObjectId& oid, const ContactAddress& address, DoneCallback done);
+  void AllocateOid(OidCallback done);
+
+  const DirectoryRef& leaf_directory() const { return leaf_; }
+
+ private:
+  sim::RpcClient rpc_;
+  DirectoryRef leaf_;
+};
+
+}  // namespace globe::gls
+
+#endif  // SRC_GLS_DIRECTORY_H_

@@ -1,0 +1,482 @@
+#include "src/gos/object_server.h"
+
+#include "src/dso/wire.h"
+
+#include "src/util/log.h"
+
+namespace globe::gos {
+
+ObjectServer::ObjectServer(sim::Transport* transport, sim::NodeId host,
+                           const dso::ImplementationRepository* repository,
+                           gls::DirectoryRef leaf_directory, const sec::KeyRegistry* registry,
+                           GosOptions options)
+    : transport_(transport),
+      server_(transport, host, sim::kPortGos),
+      gls_(transport, host, std::move(leaf_directory)),
+      repository_(repository),
+      registry_(registry),
+      options_(std::move(options)) {
+  server_.RegisterAsyncMethod(
+      "gos.create_first_replica",
+      [this](const sim::RpcContext& ctx, ByteSpan request, sim::RpcServer::Responder respond) {
+        if (Status s = CheckModerator(ctx); !s.ok()) {
+          ++stats_.commands_denied;
+          respond(s);
+          return;
+        }
+        ByteReader r(request);
+        auto protocol = r.ReadU16();
+        auto semantics_type = r.ReadU16();
+        if (!protocol.ok() || !semantics_type.ok()) {
+          respond(InvalidArgument("malformed create_first_replica"));
+          return;
+        }
+        // Optional trailer: maintainer principal ids (absent in older requests).
+        std::vector<sec::PrincipalId> maintainers;
+        if (!r.AtEnd()) {
+          auto count = r.ReadVarint();
+          if (count.ok()) {
+            for (uint64_t i = 0; i < *count; ++i) {
+              auto id = r.ReadU64();
+              if (!id.ok()) {
+                break;
+              }
+              maintainers.push_back(*id);
+            }
+          }
+        }
+        CreateFirstReplica(
+            *protocol, *semantics_type,
+            [respond = std::move(respond)](
+                Result<std::pair<gls::ObjectId, gls::ContactAddress>> result) {
+              if (!result.ok()) {
+                respond(result.status());
+                return;
+              }
+              ByteWriter w;
+              result->first.Serialize(&w);
+              result->second.Serialize(&w);
+              respond(w.Take());
+            },
+            std::move(maintainers));
+      });
+
+  server_.RegisterAsyncMethod(
+      "gos.create_replica",
+      [this](const sim::RpcContext& ctx, ByteSpan request, sim::RpcServer::Responder respond) {
+        if (Status s = CheckModerator(ctx); !s.ok()) {
+          ++stats_.commands_denied;
+          respond(s);
+          return;
+        }
+        ByteReader r(request);
+        auto oid = gls::ObjectId::Deserialize(&r);
+        auto semantics_type = r.ReadU16();
+        auto role = r.ReadU8();
+        if (!oid.ok() || !semantics_type.ok() || !role.ok()) {
+          respond(InvalidArgument("malformed create_replica"));
+          return;
+        }
+        std::vector<sec::PrincipalId> maintainers;
+        if (!r.AtEnd()) {
+          auto count = r.ReadVarint();
+          if (count.ok()) {
+            for (uint64_t i = 0; i < *count; ++i) {
+              auto id = r.ReadU64();
+              if (!id.ok()) {
+                break;
+              }
+              maintainers.push_back(*id);
+            }
+          }
+        }
+        CreateReplica(*oid, *semantics_type, static_cast<gls::ReplicaRole>(*role),
+                      [respond = std::move(respond)](
+                          Result<std::pair<gls::ObjectId, gls::ContactAddress>> result) {
+                        if (!result.ok()) {
+                          respond(result.status());
+                          return;
+                        }
+                        ByteWriter w;
+                        result->second.Serialize(&w);
+                        respond(w.Take());
+                      },
+                      std::move(maintainers));
+      });
+
+  server_.RegisterAsyncMethod(
+      "gos.remove_replica",
+      [this](const sim::RpcContext& ctx, ByteSpan request, sim::RpcServer::Responder respond) {
+        if (Status s = CheckModerator(ctx); !s.ok()) {
+          ++stats_.commands_denied;
+          respond(s);
+          return;
+        }
+        ByteReader r(request);
+        auto oid = gls::ObjectId::Deserialize(&r);
+        if (!oid.ok()) {
+          respond(oid.status());
+          return;
+        }
+        RemoveReplica(*oid, [respond = std::move(respond)](Status status) {
+          if (status.ok()) {
+            respond(Bytes{});
+          } else {
+            respond(status);
+          }
+        });
+      });
+
+  server_.RegisterMethod("gos.list_replicas",
+                         [this](const sim::RpcContext&, ByteSpan) -> Result<Bytes> {
+                           ByteWriter w;
+                           w.WriteVarint(replicas_.size());
+                           for (const auto& [oid, replica] : replicas_) {
+                             oid.Serialize(&w);
+                           }
+                           return w.Take();
+                         });
+}
+
+Status ObjectServer::CheckModerator(const sim::RpcContext& context) const {
+  if (!options_.enforce_authorization) {
+    return OkStatus();
+  }
+  if (registry_ == nullptr) {
+    return Internal("authorization enforced but no key registry configured");
+  }
+  if (context.peer_principal == sec::kAnonymous || !context.integrity_protected) {
+    return PermissionDenied("GOS commands require an authenticated channel");
+  }
+  auto role = registry_->RoleOf(context.peer_principal);
+  if (!role.ok()) {
+    return PermissionDenied("unknown principal");
+  }
+  if (*role != sec::Role::kModerator && *role != sec::Role::kAdministrator) {
+    return PermissionDenied("only GDN moderators may command an object server");
+  }
+  return OkStatus();
+}
+
+dso::ReplicationObject* ObjectServer::FindReplica(const gls::ObjectId& oid) {
+  auto it = replicas_.find(oid);
+  return it == replicas_.end() ? nullptr : it->second.replication.get();
+}
+
+void ObjectServer::CreateFirstReplica(gls::ProtocolId protocol, uint16_t semantics_type,
+                                      CreateCallback done,
+                                      std::vector<sec::PrincipalId> maintainers) {
+  // "As part of the registration, an object identifier is allocated for the DSO by
+  // the GLS" (paper §6.1).
+  gls_.AllocateOid([this, protocol, semantics_type, maintainers = std::move(maintainers),
+                    done = std::move(done)](Result<gls::ObjectId> oid) mutable {
+    if (!oid.ok()) {
+      done(oid.status());
+      return;
+    }
+    InstallReplica(*oid, protocol, semantics_type, gls::ReplicaRole::kMaster, {},
+                   std::move(maintainers), std::move(done));
+  });
+}
+
+dso::WriteGuard ObjectServer::GuardFor(std::vector<sec::PrincipalId> maintainers) const {
+  if (!options_.replica_write_guard || maintainers.empty()) {
+    return options_.replica_write_guard;
+  }
+  dso::WriteGuard base = options_.replica_write_guard;
+  return [base, maintainers = std::move(maintainers)](const sim::RpcContext& ctx) -> Status {
+    if (base(ctx).ok()) {
+      return OkStatus();
+    }
+    if (ctx.integrity_protected) {
+      for (sec::PrincipalId maintainer : maintainers) {
+        if (ctx.peer_principal == maintainer) {
+          return OkStatus();
+        }
+      }
+    }
+    return PermissionDenied("sender is neither authorized role nor package maintainer");
+  };
+}
+
+void ObjectServer::CreateReplica(const gls::ObjectId& oid, uint16_t semantics_type,
+                                 gls::ReplicaRole role, CreateCallback done,
+                                 std::vector<sec::PrincipalId> maintainers) {
+  // Bind to the DSO: find its existing replicas (and hence protocol and master).
+  gls_.Lookup(oid, [this, oid, semantics_type, role, maintainers = std::move(maintainers),
+                    done = std::move(done)](Result<gls::LookupResult> lookup) mutable {
+    if (!lookup.ok()) {
+      done(lookup.status());
+      return;
+    }
+    if (lookup->addresses.empty()) {
+      done(NotFound("object has no replicas to join"));
+      return;
+    }
+    gls::ProtocolId protocol = lookup->addresses.front().protocol;
+
+    // The GLS returns the *nearest* replica, which may be a secondary. Secondary
+    // replicas need the master; every replica answers dso.master_endpoint with it.
+    bool have_master = false;
+    for (const auto& address : lookup->addresses) {
+      if (address.role == gls::ReplicaRole::kMaster) {
+        have_master = true;
+        break;
+      }
+    }
+    if (have_master || role == gls::ReplicaRole::kMaster) {
+      InstallReplica(oid, protocol, semantics_type, role, std::move(lookup->addresses),
+                     std::move(maintainers), std::move(done));
+      return;
+    }
+    sim::Endpoint nearest = lookup->addresses.front().endpoint;
+    auto client = std::make_shared<sim::RpcClient>(transport_, server_.node());
+    client->Call(nearest, "dso.master_endpoint", {},
+                 [this, client, oid, protocol, semantics_type, role,
+                  addresses = std::move(lookup->addresses),
+                  maintainers = std::move(maintainers),
+                  done = std::move(done)](Result<Bytes> result) mutable {
+                   if (!result.ok()) {
+                     done(result.status());
+                     return;
+                   }
+                   ByteReader r(*result);
+                   auto master = dso::DeserializeEndpoint(&r);
+                   if (!master.ok()) {
+                     done(master.status());
+                     return;
+                   }
+                   addresses.push_back(gls::ContactAddress{*master, protocol,
+                                                           gls::ReplicaRole::kMaster});
+                   InstallReplica(oid, protocol, semantics_type, role,
+                                  std::move(addresses), std::move(maintainers),
+                                  std::move(done));
+                 });
+  });
+}
+
+void ObjectServer::InstallReplica(const gls::ObjectId& oid, gls::ProtocolId protocol,
+                                  uint16_t semantics_type, gls::ReplicaRole role,
+                                  std::vector<gls::ContactAddress> peers,
+                                  std::vector<sec::PrincipalId> maintainers,
+                                  CreateCallback done) {
+  if (replicas_.count(oid) > 0) {
+    done(AlreadyExists("replica of " + oid.ToHex() + " already hosted here"));
+    return;
+  }
+  auto semantics = repository_->Instantiate(semantics_type);
+  if (!semantics.ok()) {
+    done(semantics.status());
+    return;
+  }
+  dso::ReplicaSetup setup;
+  setup.transport = transport_;
+  setup.host = server_.node();
+  setup.semantics = std::move(*semantics);
+  setup.role = role;
+  setup.peers = std::move(peers);
+  setup.write_guard = GuardFor(maintainers);
+  auto replica = dso::MakeReplica(protocol, std::move(setup));
+  if (!replica.ok()) {
+    done(replica.status());
+    return;
+  }
+
+  HostedReplica hosted;
+  hosted.protocol = protocol;
+  hosted.semantics_type = semantics_type;
+  hosted.role = role;
+  hosted.maintainers = std::move(maintainers);
+  hosted.replication = std::move(*replica);
+  hosted.semantics = hosted.replication->semantics();
+  auto address = hosted.replication->contact_address();
+  if (!address.has_value()) {
+    done(Internal("replica has no contact address"));
+    return;
+  }
+  hosted.registered_address = *address;
+
+  dso::ReplicationObject* replication = hosted.replication.get();
+  replicas_[oid] = std::move(hosted);
+
+  replication->Start([this, oid, done = std::move(done)](Status status) mutable {
+    if (!status.ok()) {
+      replicas_.erase(oid);
+      done(status);
+      return;
+    }
+    const gls::ContactAddress& registered = replicas_.at(oid).registered_address;
+    gls_.Insert(oid, registered, [this, oid, address = registered,
+                                  done = std::move(done)](Status s) {
+      if (!s.ok()) {
+        replicas_.erase(oid);
+        done(s);
+        return;
+      }
+      ++stats_.replicas_created;
+      done(std::make_pair(oid, address));
+    });
+  });
+}
+
+void ObjectServer::RemoveReplica(const gls::ObjectId& oid, std::function<void(Status)> done) {
+  auto it = replicas_.find(oid);
+  if (it == replicas_.end()) {
+    done(NotFound("no replica of " + oid.ToHex() + " hosted here"));
+    return;
+  }
+  gls::ContactAddress address = it->second.registered_address;
+  dso::ReplicationObject* replication = it->second.replication.get();
+  replication->Shutdown([this, oid, address, done = std::move(done)](Status) {
+    gls_.Delete(oid, address, [this, oid, done = std::move(done)](Status s) {
+      replicas_.erase(oid);
+      ++stats_.replicas_removed;
+      done(s);
+    });
+  });
+}
+
+Bytes ObjectServer::Checkpoint() const {
+  ByteWriter w;
+  w.WriteVarint(replicas_.size());
+  for (const auto& [oid, replica] : replicas_) {
+    oid.Serialize(&w);
+    w.WriteU16(replica.protocol);
+    w.WriteU16(replica.semantics_type);
+    w.WriteU8(static_cast<uint8_t>(replica.role));
+    replica.registered_address.Serialize(&w);
+    w.WriteU64(replica.replication->version());
+    w.WriteVarint(replica.maintainers.size());
+    for (sec::PrincipalId maintainer : replica.maintainers) {
+      w.WriteU64(maintainer);
+    }
+    w.WriteLengthPrefixed(replica.semantics != nullptr ? replica.semantics->GetState()
+                                                       : Bytes{});
+  }
+  const_cast<GosStats&>(stats_).checkpoints++;
+  return w.Take();
+}
+
+void ObjectServer::Restore(ByteSpan checkpoint, std::function<void(Status)> done) {
+  struct Entry {
+    gls::ObjectId oid;
+    gls::ProtocolId protocol;
+    uint16_t semantics_type;
+    gls::ReplicaRole role;
+    gls::ContactAddress old_address;
+    uint64_t version;
+    std::vector<sec::PrincipalId> maintainers;
+    Bytes state;
+  };
+  std::vector<Entry> entries;
+  {
+    ByteReader r(checkpoint);
+    auto count = r.ReadVarint();
+    if (!count.ok()) {
+      done(count.status());
+      return;
+    }
+    for (uint64_t i = 0; i < *count; ++i) {
+      Entry entry;
+      auto oid = gls::ObjectId::Deserialize(&r);
+      auto protocol = r.ReadU16();
+      auto semantics_type = r.ReadU16();
+      auto role = r.ReadU8();
+      auto address = gls::ContactAddress::Deserialize(&r);
+      auto version = r.ReadU64();
+      std::vector<sec::PrincipalId> maintainers;
+      auto maintainer_count = r.ReadVarint();
+      if (maintainer_count.ok()) {
+        for (uint64_t j = 0; j < *maintainer_count; ++j) {
+          auto id = r.ReadU64();
+          if (!id.ok()) {
+            done(InvalidArgument("corrupt GOS checkpoint"));
+            return;
+          }
+          maintainers.push_back(*id);
+        }
+      }
+      auto state = r.ReadLengthPrefixed();
+      if (!oid.ok() || !protocol.ok() || !semantics_type.ok() || !role.ok() ||
+          !address.ok() || !version.ok() || !maintainer_count.ok() || !state.ok()) {
+        done(InvalidArgument("corrupt GOS checkpoint"));
+        return;
+      }
+      entries.push_back(Entry{*oid, *protocol, *semantics_type,
+                              static_cast<gls::ReplicaRole>(*role), *address, *version,
+                              std::move(maintainers), std::move(*state)});
+    }
+  }
+
+  ++stats_.restores;
+  if (entries.empty()) {
+    done(OkStatus());
+    return;
+  }
+
+  auto remaining = std::make_shared<size_t>(entries.size());
+  auto first_error = std::make_shared<Status>(OkStatus());
+  auto shared_done = std::make_shared<std::function<void(Status)>>(std::move(done));
+  auto finish_one = [remaining, first_error, shared_done](Status s) {
+    if (!s.ok() && first_error->ok()) {
+      *first_error = s;
+    }
+    if (--*remaining == 0) {
+      (*shared_done)(*first_error);
+    }
+  };
+
+  for (auto& entry : entries) {
+    // Reconstruct the replica with its saved state; ports changed across the reboot,
+    // so drop the stale contact address and register the new one.
+    auto semantics = repository_->Instantiate(entry.semantics_type);
+    if (!semantics.ok()) {
+      finish_one(semantics.status());
+      continue;
+    }
+    Status set = (*semantics)->SetState(entry.state);
+    if (!set.ok()) {
+      finish_one(set);
+      continue;
+    }
+    dso::ReplicaSetup setup;
+    setup.transport = transport_;
+    setup.host = server_.node();
+    setup.semantics = std::move(*semantics);
+    setup.role = entry.role;
+    setup.write_guard = GuardFor(entry.maintainers);
+    // Secondary replicas would need peers; restore keeps them in their role but they
+    // re-register with the master lazily via the GLS addresses.
+    if (entry.role != gls::ReplicaRole::kMaster) {
+      setup.peers.push_back(gls::ContactAddress{entry.old_address.endpoint, entry.protocol,
+                                                gls::ReplicaRole::kMaster});
+    }
+    auto replica = dso::MakeReplica(entry.protocol, std::move(setup));
+    if (!replica.ok()) {
+      finish_one(replica.status());
+      continue;
+    }
+    (*replica)->set_version(entry.version);
+
+    HostedReplica hosted;
+    hosted.protocol = entry.protocol;
+    hosted.semantics_type = entry.semantics_type;
+    hosted.role = entry.role;
+    hosted.maintainers = entry.maintainers;
+    hosted.replication = std::move(*replica);
+    hosted.semantics = hosted.replication->semantics();
+    hosted.registered_address = *hosted.replication->contact_address();
+    gls::ContactAddress new_address = hosted.registered_address;
+    replicas_[entry.oid] = std::move(hosted);
+
+    // GLS bookkeeping: out with the stale address, in with the new one.
+    gls_.Delete(entry.oid, entry.old_address,
+                [this, entry, new_address, finish_one](Status) {
+                  // A missing stale address is fine (e.g. it was never registered).
+                  gls_.Insert(entry.oid, new_address,
+                              [finish_one](Status s) { finish_one(s); });
+                });
+  }
+}
+
+}  // namespace globe::gos

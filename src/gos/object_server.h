@@ -1,0 +1,120 @@
+// The Globe Object Server (GOS): "an application-independent daemon for hosting
+// replicas of any kind of distributed shared object" (paper §4).
+//
+// Moderator tools drive it with two commands (paper §6.1, "Adding and Removing
+// Packages"): "create first replica" — which allocates an object identifier through
+// the GLS, builds a master replica and registers its contact address — and "bind to
+// DSO <OID>, create replica" — which looks the object up, builds a secondary replica
+// of the object's protocol and registers it too.
+//
+// "Globe Object Servers allow replicas to save their state during a reboot and
+// reconstruct themselves afterwards" (§4): Checkpoint() serializes every hosted
+// replica (OID, protocol, role, semantics type and state, old contact address);
+// Restore() rebuilds them on fresh ports, deregisters the stale contact addresses
+// from the GLS and registers the new ones.
+//
+// RPC methods (port sim::kPortGos), moderator-only when a registry is enforced
+// (§6.1 requirement 1):
+//   gos.create_first_replica : u16 protocol, u16 semantics_type -> OID, contact addr
+//   gos.create_replica       : OID, u16 semantics_type, u8 role -> contact addr
+//   gos.remove_replica       : OID -> empty
+//   gos.list_replicas        : empty -> vector<OID>
+
+#ifndef SRC_GOS_OBJECT_SERVER_H_
+#define SRC_GOS_OBJECT_SERVER_H_
+
+#include <map>
+#include <memory>
+
+#include "src/dso/protocols.h"
+#include "src/dso/repository.h"
+#include "src/gls/directory.h"
+
+namespace globe::gos {
+
+struct GosOptions {
+  // Enforce "commands only from GDN moderators" (paper §6.1 requirement 1).
+  bool enforce_authorization = false;
+  // Guard installed on hosted replicas' write paths (see dso::WriteGuard).
+  dso::WriteGuard replica_write_guard;
+};
+
+struct GosStats {
+  uint64_t replicas_created = 0;
+  uint64_t replicas_removed = 0;
+  uint64_t commands_denied = 0;
+  uint64_t checkpoints = 0;
+  uint64_t restores = 0;
+};
+
+class ObjectServer {
+ public:
+  ObjectServer(sim::Transport* transport, sim::NodeId host,
+               const dso::ImplementationRepository* repository,
+               gls::DirectoryRef leaf_directory, const sec::KeyRegistry* registry,
+               GosOptions options = {});
+
+  sim::Endpoint endpoint() const { return server_.endpoint(); }
+  sim::NodeId host() const { return server_.node(); }
+  const GosStats& stats() const { return stats_; }
+  size_t num_replicas() const { return replicas_.size(); }
+
+  // Direct access to a hosted replica's replication object (tests, benches).
+  dso::ReplicationObject* FindReplica(const gls::ObjectId& oid);
+
+  // Persistence: full-state snapshot of every hosted replica.
+  Bytes Checkpoint() const;
+
+  // Rebuilds replicas from a checkpoint after a restart. Must be called on a freshly
+  // constructed server. `done` fires after every replica is re-registered in the GLS.
+  void Restore(ByteSpan checkpoint, std::function<void(Status)> done);
+
+  // Local (non-RPC) variants of the moderator commands, used by in-process tools.
+  using CreateCallback =
+      std::function<void(Result<std::pair<gls::ObjectId, gls::ContactAddress>>)>;
+  // `maintainers` (paper §2 future work): principals additionally allowed to modify
+  // this package — "a GDN maintainer is allowed to manage just the contents of a
+  // package". They widen the replica's write guard for this object only.
+  void CreateFirstReplica(gls::ProtocolId protocol, uint16_t semantics_type,
+                          CreateCallback done,
+                          std::vector<sec::PrincipalId> maintainers = {});
+  void CreateReplica(const gls::ObjectId& oid, uint16_t semantics_type,
+                     gls::ReplicaRole role, CreateCallback done,
+                     std::vector<sec::PrincipalId> maintainers = {});
+  void RemoveReplica(const gls::ObjectId& oid, std::function<void(Status)> done);
+
+ private:
+  struct HostedReplica {
+    gls::ProtocolId protocol = 0;
+    uint16_t semantics_type = 0;
+    gls::ReplicaRole role = gls::ReplicaRole::kMaster;
+    std::vector<sec::PrincipalId> maintainers;
+    std::unique_ptr<dso::ReplicationObject> replication;
+    // Pointer into the replication object's semantics (owned there) for state access.
+    dso::SemanticsObject* semantics = nullptr;
+    gls::ContactAddress registered_address;
+  };
+
+  Status CheckModerator(const sim::RpcContext& context) const;
+  // The replica write guard for a package with the given maintainers: the world
+  // guard passes, or the authenticated peer is one of the maintainers.
+  dso::WriteGuard GuardFor(std::vector<sec::PrincipalId> maintainers) const;
+  // Builds, starts and GLS-registers a replica; shared by both create paths.
+  void InstallReplica(const gls::ObjectId& oid, gls::ProtocolId protocol,
+                      uint16_t semantics_type, gls::ReplicaRole role,
+                      std::vector<gls::ContactAddress> peers,
+                      std::vector<sec::PrincipalId> maintainers, CreateCallback done);
+
+  sim::Transport* transport_;
+  sim::RpcServer server_;
+  gls::GlsClient gls_;
+  const dso::ImplementationRepository* repository_;
+  const sec::KeyRegistry* registry_;
+  GosOptions options_;
+  std::map<gls::ObjectId, HostedReplica> replicas_;
+  GosStats stats_;
+};
+
+}  // namespace globe::gos
+
+#endif  // SRC_GOS_OBJECT_SERVER_H_

@@ -1,0 +1,236 @@
+#include "src/http/http.h"
+
+#include <cstdio>
+
+#include "src/util/strings.h"
+
+namespace globe::http {
+
+namespace {
+
+constexpr size_t kMaxHeaderBytes = 64 * 1024;
+constexpr size_t kMaxHeaders = 100;
+
+// Splits raw bytes into (head lines, body) at the first blank line.
+struct SplitMessage {
+  std::vector<std::string> lines;
+  Bytes body;
+};
+
+Result<SplitMessage> SplitHead(ByteSpan data) {
+  std::string_view text(reinterpret_cast<const char*>(data.data()), data.size());
+  size_t head_end = text.find("\r\n\r\n");
+  size_t body_start;
+  if (head_end == std::string_view::npos) {
+    // Tolerate bare-LF framing.
+    head_end = text.find("\n\n");
+    if (head_end == std::string_view::npos) {
+      return InvalidArgument("HTTP message has no header terminator");
+    }
+    body_start = head_end + 2;
+  } else {
+    body_start = head_end + 4;
+  }
+  if (head_end > kMaxHeaderBytes) {
+    return InvalidArgument("HTTP header section too large");
+  }
+  SplitMessage out;
+  for (std::string& line : Split(text.substr(0, head_end), '\n')) {
+    while (!line.empty() && line.back() == '\r') {
+      line.pop_back();
+    }
+    out.lines.push_back(std::move(line));
+  }
+  if (out.lines.size() > kMaxHeaders + 1) {
+    return InvalidArgument("too many HTTP headers");
+  }
+  out.body = Bytes(data.begin() + body_start, data.end());
+  return out;
+}
+
+Result<HeaderMap> ParseHeaders(const std::vector<std::string>& lines, size_t first) {
+  HeaderMap headers;
+  for (size_t i = first; i < lines.size(); ++i) {
+    const std::string& line = lines[i];
+    if (line.empty()) {
+      continue;
+    }
+    size_t colon = line.find(':');
+    if (colon == std::string::npos) {
+      return InvalidArgument("malformed HTTP header line: " + line);
+    }
+    std::string name = AsciiToLower(TrimWhitespace(line.substr(0, colon)));
+    std::string value(TrimWhitespace(std::string_view(line).substr(colon + 1)));
+    headers[name] = value;
+  }
+  return headers;
+}
+
+void AppendHeaders(const HeaderMap& headers, std::string* out) {
+  for (const auto& [name, value] : headers) {
+    *out += name;
+    *out += ": ";
+    *out += value;
+    *out += "\r\n";
+  }
+  *out += "\r\n";
+}
+
+}  // namespace
+
+std::string HttpRequest::Path() const {
+  size_t q = target.find('?');
+  return q == std::string::npos ? target : target.substr(0, q);
+}
+
+std::string HttpRequest::Query() const {
+  size_t q = target.find('?');
+  return q == std::string::npos ? "" : target.substr(q + 1);
+}
+
+Bytes HttpRequest::Serialize() const {
+  std::string head = method + " " + target + " " + version + "\r\n";
+  HeaderMap all = headers;
+  if (!body.empty() && all.count("content-length") == 0) {
+    all["content-length"] = std::to_string(body.size());
+  }
+  AppendHeaders(all, &head);
+  Bytes out = ToBytes(head);
+  out.insert(out.end(), body.begin(), body.end());
+  return out;
+}
+
+Result<HttpRequest> HttpRequest::Parse(ByteSpan data) {
+  ASSIGN_OR_RETURN(SplitMessage split, SplitHead(data));
+  if (split.lines.empty()) {
+    return InvalidArgument("empty HTTP request");
+  }
+  std::vector<std::string> parts = SplitSkipEmpty(split.lines[0], ' ');
+  if (parts.size() != 3) {
+    return InvalidArgument("malformed HTTP request line: " + split.lines[0]);
+  }
+  HttpRequest request;
+  request.method = parts[0];
+  request.target = parts[1];
+  request.version = parts[2];
+  ASSIGN_OR_RETURN(request.headers, ParseHeaders(split.lines, 1));
+  request.body = std::move(split.body);
+  return request;
+}
+
+void HttpResponse::SetBody(Bytes bytes, std::string content_type) {
+  body = std::move(bytes);
+  headers["content-length"] = std::to_string(body.size());
+  headers["content-type"] = std::move(content_type);
+}
+
+void HttpResponse::SetHtml(std::string html) {
+  SetBody(ToBytes(html), "text/html");
+}
+
+Bytes HttpResponse::Serialize() const {
+  std::string head = version + " " + std::to_string(status_code) + " " + reason + "\r\n";
+  AppendHeaders(headers, &head);
+  Bytes out = ToBytes(head);
+  out.insert(out.end(), body.begin(), body.end());
+  return out;
+}
+
+Result<HttpResponse> HttpResponse::Parse(ByteSpan data) {
+  ASSIGN_OR_RETURN(SplitMessage split, SplitHead(data));
+  if (split.lines.empty()) {
+    return InvalidArgument("empty HTTP response");
+  }
+  const std::string& status_line = split.lines[0];
+  std::vector<std::string> parts = SplitSkipEmpty(status_line, ' ');
+  if (parts.size() < 2) {
+    return InvalidArgument("malformed HTTP status line: " + status_line);
+  }
+  HttpResponse response;
+  response.version = parts[0];
+  response.status_code = std::atoi(parts[1].c_str());
+  if (response.status_code < 100 || response.status_code > 599) {
+    return InvalidArgument("implausible HTTP status code in: " + status_line);
+  }
+  response.reason = parts.size() > 2 ? parts[2] : "";
+  for (size_t i = 3; i < parts.size(); ++i) {
+    response.reason += " " + parts[i];
+  }
+  ASSIGN_OR_RETURN(response.headers, ParseHeaders(split.lines, 1));
+  response.body = std::move(split.body);
+  return response;
+}
+
+HttpResponse MakeErrorResponse(int status_code, const std::string& reason,
+                               const std::string& detail) {
+  HttpResponse response;
+  response.status_code = status_code;
+  response.reason = reason;
+  response.SetHtml("<html><head><title>" + std::to_string(status_code) + " " + reason +
+                   "</title></head><body><h1>" + reason + "</h1><p>" + detail +
+                   "</p></body></html>\n");
+  return response;
+}
+
+Result<std::string> UrlDecode(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (size_t i = 0; i < s.size(); ++i) {
+    if (s[i] == '%') {
+      if (i + 2 >= s.size()) {
+        return InvalidArgument("truncated percent escape");
+      }
+      Bytes byte;
+      if (!HexDecode(s.substr(i + 1, 2), &byte)) {
+        return InvalidArgument("bad percent escape");
+      }
+      out.push_back(static_cast<char>(byte[0]));
+      i += 2;
+    } else if (s[i] == '+') {
+      out.push_back(' ');
+    } else {
+      out.push_back(s[i]);
+    }
+  }
+  return out;
+}
+
+std::string UrlEncode(std::string_view s) {
+  std::string out;
+  for (char c : s) {
+    bool unreserved = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                      (c >= '0' && c <= '9') || c == '-' || c == '_' || c == '.' ||
+                      c == '~' || c == '/';
+    if (unreserved) {
+      out.push_back(c);
+    } else {
+      char buf[4];
+      std::snprintf(buf, sizeof(buf), "%%%02x", static_cast<unsigned char>(c));
+      out += buf;
+    }
+  }
+  return out;
+}
+
+std::string_view ReasonPhrase(int status_code) {
+  switch (status_code) {
+    case 200:
+      return "OK";
+    case 400:
+      return "Bad Request";
+    case 403:
+      return "Forbidden";
+    case 404:
+      return "Not Found";
+    case 500:
+      return "Internal Server Error";
+    case 502:
+      return "Bad Gateway";
+    case 503:
+      return "Service Unavailable";
+    default:
+      return "Unknown";
+  }
+}
+
+}  // namespace globe::http

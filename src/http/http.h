@@ -1,0 +1,63 @@
+// Minimal HTTP/1.0 message handling.
+//
+// The GDN is "accessible through standard Web browsers" (paper §4): GDN-enabled
+// HTTPDs parse real HTTP request text off the wire, extract the package object name
+// embedded in the URL, and answer with HTML or file bytes. This module supplies the
+// message parsing/formatting; the GDN-HTTPD itself lives in src/gdn/httpd.h.
+
+#ifndef SRC_HTTP_HTTP_H_
+#define SRC_HTTP_HTTP_H_
+
+#include <map>
+#include <string>
+
+#include "src/util/bytes.h"
+#include "src/util/status.h"
+
+namespace globe::http {
+
+// Header names are case-insensitive; stored lowercased.
+using HeaderMap = std::map<std::string, std::string>;
+
+struct HttpRequest {
+  std::string method = "GET";
+  std::string target = "/";  // request-target (path + optional query)
+  std::string version = "HTTP/1.0";
+  HeaderMap headers;
+  Bytes body;
+
+  // Path without the query string, and the query string (no '?').
+  std::string Path() const;
+  std::string Query() const;
+
+  Bytes Serialize() const;
+  static Result<HttpRequest> Parse(ByteSpan data);
+};
+
+struct HttpResponse {
+  int status_code = 200;
+  std::string reason = "OK";
+  std::string version = "HTTP/1.0";
+  HeaderMap headers;
+  Bytes body;
+
+  // Sets Content-Length and Content-Type and fills the body.
+  void SetBody(Bytes bytes, std::string content_type);
+  void SetHtml(std::string html);
+
+  Bytes Serialize() const;
+  static Result<HttpResponse> Parse(ByteSpan data);
+};
+
+HttpResponse MakeErrorResponse(int status_code, const std::string& reason,
+                               const std::string& detail);
+
+// Percent-decodes a URL path component; rejects malformed escapes.
+Result<std::string> UrlDecode(std::string_view s);
+std::string UrlEncode(std::string_view s);
+
+std::string_view ReasonPhrase(int status_code);
+
+}  // namespace globe::http
+
+#endif  // SRC_HTTP_HTTP_H_

@@ -1,0 +1,25 @@
+#include "src/sec/cipher.h"
+
+#include "src/util/serial.h"
+#include "src/util/sha256.h"
+
+namespace globe::sec {
+
+void ApplyKeystream(ByteSpan key, uint64_t nonce, Bytes* data) {
+  size_t offset = 0;
+  uint64_t counter = 0;
+  while (offset < data->size()) {
+    ByteWriter block_input;
+    block_input.WriteBytes(key);
+    block_input.WriteU64(nonce);
+    block_input.WriteU64(counter++);
+    auto keystream = Sha256::Digest(block_input.data());
+    size_t n = std::min(keystream.size(), data->size() - offset);
+    for (size_t i = 0; i < n; ++i) {
+      (*data)[offset + i] ^= keystream[i];
+    }
+    offset += n;
+  }
+}
+
+}  // namespace globe::sec

@@ -1,0 +1,23 @@
+// Stream cipher built from SHA-256 in counter mode.
+//
+// The paper notes TLS buys the GDN confidentiality it does not need (§6.3). To let the
+// benchmarks *measure* that, encryption here is real enough to hide plaintext from the
+// network eavesdropper while being symmetric (apply twice to decrypt).
+
+#ifndef SRC_SEC_CIPHER_H_
+#define SRC_SEC_CIPHER_H_
+
+#include <cstdint>
+
+#include "src/util/bytes.h"
+
+namespace globe::sec {
+
+// XORs `data` in place with the keystream SHA256(key || nonce || counter), counter
+// incrementing per 32-byte block. Applying the function twice with the same key and
+// nonce restores the original data.
+void ApplyKeystream(ByteSpan key, uint64_t nonce, Bytes* data);
+
+}  // namespace globe::sec
+
+#endif  // SRC_SEC_CIPHER_H_

@@ -1,0 +1,60 @@
+#include "src/sec/principal.h"
+
+namespace globe::sec {
+
+std::string_view RoleName(Role role) {
+  switch (role) {
+    case Role::kUser:
+      return "user";
+    case Role::kModerator:
+      return "moderator";
+    case Role::kAdministrator:
+      return "administrator";
+    case Role::kMaintainer:
+      return "maintainer";
+    case Role::kGdnHost:
+      return "gdn-host";
+  }
+  return "?";
+}
+
+KeyRegistry::KeyRegistry(uint64_t seed) : rng_(seed) {}
+
+Credential KeyRegistry::Register(std::string name, Role role) {
+  PrincipalId id = next_id_++;
+  Bytes key = rng_.RandomBytes(32);
+  principals_[id] = Principal{id, std::move(name), role};
+  keys_[id] = key;
+  return Credential{id, std::move(key)};
+}
+
+bool KeyRegistry::Verify(const Credential& credential) const {
+  auto it = keys_.find(credential.id);
+  if (it == keys_.end()) {
+    return false;
+  }
+  return ConstantTimeEqual(it->second, credential.key);
+}
+
+Result<Principal> KeyRegistry::Find(PrincipalId id) const {
+  auto it = principals_.find(id);
+  if (it == principals_.end()) {
+    return NotFound("unknown principal " + std::to_string(id));
+  }
+  return it->second;
+}
+
+Result<Role> KeyRegistry::RoleOf(PrincipalId id) const {
+  ASSIGN_OR_RETURN(Principal p, Find(id));
+  return p.role;
+}
+
+Result<Bytes> KeyRegistry::KeyOf(PrincipalId id) const {
+  auto it = keys_.find(id);
+  if (it == keys_.end()) {
+    return NotFound("no key for principal " + std::to_string(id));
+  }
+  return it->second;
+}
+
+}  // namespace globe::sec

@@ -1,0 +1,258 @@
+#include "src/sec/secure_transport.h"
+
+#include "src/sec/cipher.h"
+#include "src/util/hmac.h"
+#include "src/util/log.h"
+#include "src/util/serial.h"
+
+namespace globe::sec {
+
+namespace {
+constexpr uint8_t kVersion = 1;
+constexpr uint8_t kFramePlain = 0;
+constexpr uint8_t kFrameSecure = 1;
+constexpr uint8_t kFlagEncrypted = 0x01;
+// Port 1 receives the synthetic handshake flights; nothing listens there, so the
+// bytes are charged to the network's traffic counters and then discarded.
+constexpr uint16_t kHandshakeSinkPort = 1;
+
+Bytes MacInput(uint64_t session_id, uint64_t seq, const sim::Endpoint& src,
+               const sim::Endpoint& dst, uint8_t flags, ByteSpan ciphertext) {
+  ByteWriter w;
+  w.WriteU64(session_id);
+  w.WriteU64(seq);
+  w.WriteU32(src.node);
+  w.WriteU16(src.port);
+  w.WriteU32(dst.node);
+  w.WriteU16(dst.port);
+  w.WriteU8(flags);
+  w.WriteLengthPrefixed(ciphertext);
+  return w.Take();
+}
+}  // namespace
+
+SecureTransport::SecureTransport(sim::Network* network, const KeyRegistry* registry,
+                                 CryptoProfile profile)
+    : network_(network), registry_(registry), profile_(profile), rng_(0x5ec43a11) {}
+
+void SecureTransport::SetNodeCredential(sim::NodeId node, Credential credential) {
+  credentials_[node] = std::move(credential);
+}
+
+void SecureTransport::RegisterPort(sim::NodeId node, uint16_t port,
+                                   sim::TransportHandler handler) {
+  handlers_[{node, port}] = std::move(handler);
+  network_->RegisterPort(node, port,
+                         [this](const sim::Delivery& d) { OnRawDelivery(d); });
+}
+
+void SecureTransport::UnregisterPort(sim::NodeId node, uint16_t port) {
+  handlers_.erase({node, port});
+  network_->UnregisterPort(node, port);
+}
+
+void SecureTransport::ResetChannel(sim::NodeId a, sim::NodeId b) {
+  auto it = sessions_.find(MakePair(a, b));
+  if (it != sessions_.end()) {
+    session_by_id_.erase(it->second.id);
+    sessions_.erase(it);
+  }
+}
+
+SecureTransport::Session* SecureTransport::GetOrEstablish(sim::NodeId src, sim::NodeId dst) {
+  NodePair pair = MakePair(src, dst);
+  auto it = sessions_.find(pair);
+  if (it != sessions_.end()) {
+    return &it->second;
+  }
+
+  ChannelConfig config = policy_ ? policy_(src, dst) : ChannelConfig{};
+  Session session;
+  session.id = next_session_id_++;
+  session.key = rng_.RandomBytes(32);
+  session.config = config;
+
+  // Certificate verification, simulated: the authenticated side(s) must hold the key
+  // the registry lists for their claimed principal.
+  auto authenticate = [&](sim::NodeId node) -> bool {
+    auto cred = credentials_.find(node);
+    if (cred == credentials_.end() || !registry_->Verify(cred->second)) {
+      return false;
+    }
+    session.principals[node] = cred->second.id;
+    return true;
+  };
+
+  // The responder authenticates in both secured modes; the initiator only in mutual.
+  if (config.auth != AuthMode::kPlain) {
+    if (!authenticate(dst)) {
+      ++stats_.auth_failures;
+      GLOG_WARN << "handshake failed: node " << dst << " has no valid credential";
+      return nullptr;
+    }
+    if (config.auth == AuthMode::kMutualAuth && !authenticate(src)) {
+      ++stats_.auth_failures;
+      GLOG_WARN << "handshake failed: initiator node " << src << " has no valid credential";
+      return nullptr;
+    }
+
+    // Charge the handshake: one synthetic 2 KB flight on the wire (so the traffic
+    // accounting sees it) plus the round trips and CPU as a delivery floor — no data
+    // frame in either direction may arrive before the handshake completes.
+    network_->Send({src, kHandshakeSinkPort}, {dst, kHandshakeSinkPort},
+                   Bytes(profile_.handshake_bytes));
+    double one_way = network_->topology().LatencyUs(src, dst, network_->options().profile);
+    double ready_at = static_cast<double>(network_->simulator()->Now()) +
+                      profile_.handshake_rtts * 2 * one_way + profile_.handshake_cpu_us;
+    session.delivery_floor[src] = ready_at;
+    session.delivery_floor[dst] = ready_at;
+    ++stats_.handshakes;
+    stats_.crypto_us += profile_.handshake_cpu_us;
+  }
+
+  auto [inserted, _] = sessions_.emplace(pair, std::move(session));
+  session_by_id_[inserted->second.id] = pair;
+  return &inserted->second;
+}
+
+void SecureTransport::Send(const sim::Endpoint& src, const sim::Endpoint& dst,
+                           Bytes payload) {
+  ChannelConfig config = policy_ ? policy_(src.node, dst.node) : ChannelConfig{};
+
+  if (config.auth == AuthMode::kPlain) {
+    ByteWriter w;
+    w.WriteU8(kVersion);
+    w.WriteU8(kFramePlain);
+    w.WriteLengthPrefixed(payload);
+    ++stats_.plain_frames_sent;
+    network_->Send(src, dst, w.Take());
+    return;
+  }
+
+  double extra_delay_us = 0;
+  Session* session = GetOrEstablish(src.node, dst.node);
+  if (session == nullptr) {
+    return;  // handshake failed: connection refused, message lost
+  }
+
+  uint64_t seq = session->next_seq[src.node]++;
+  uint8_t flags = 0;
+  Bytes ciphertext = std::move(payload);
+  double crypto_us = static_cast<double>(ciphertext.size()) * profile_.mac_us_per_byte;
+  if (session->config.encrypt) {
+    flags |= kFlagEncrypted;
+    // Distinct nonces per direction prevent keystream reuse.
+    uint64_t nonce = seq * 2 + (src.node < dst.node ? 0 : 1);
+    ApplyKeystream(session->key, nonce, &ciphertext);
+    crypto_us += static_cast<double>(ciphertext.size()) * profile_.cipher_us_per_byte;
+  }
+  Bytes mac = HmacSha256(session->key, MacInput(session->id, seq, src, dst, flags, ciphertext));
+
+  ByteWriter w;
+  w.WriteU8(kVersion);
+  w.WriteU8(kFrameSecure);
+  w.WriteU64(session->id);
+  w.WriteU64(seq);
+  w.WriteU8(flags);
+  w.WriteLengthPrefixed(ciphertext);
+  w.WriteLengthPrefixed(mac);
+
+  Bytes frame = w.Take();
+
+  // Enforce per-direction FIFO delivery (TCP semantics under TLS): delay the frame
+  // until at least the channel's delivery floor, then advance the floor.
+  double base_delay = network_->DeliveryDelayUs(src.node, dst.node, frame.size());
+  double now = static_cast<double>(network_->simulator()->Now());
+  double delivery_at = now + base_delay + extra_delay_us + crypto_us;
+  double& floor = session->delivery_floor[src.node];
+  if (delivery_at < floor) {
+    extra_delay_us += floor - delivery_at;
+    delivery_at = floor;
+  }
+  floor = delivery_at;
+
+  ++stats_.frames_sent;
+  stats_.crypto_us += crypto_us;
+  network_->Send(src, dst, std::move(frame), extra_delay_us + crypto_us);
+}
+
+void SecureTransport::OnRawDelivery(const sim::Delivery& delivery) {
+  auto handler_it = handlers_.find({delivery.dst.node, delivery.dst.port});
+  if (handler_it == handlers_.end()) {
+    return;
+  }
+
+  ByteReader r(delivery.payload);
+  auto version = r.ReadU8();
+  auto frame_type = r.ReadU8();
+  if (!version.ok() || !frame_type.ok() || *version != kVersion) {
+    ++stats_.malformed_frames;
+    return;
+  }
+
+  if (*frame_type == kFramePlain) {
+    auto payload = r.ReadLengthPrefixed();
+    if (!payload.ok()) {
+      ++stats_.malformed_frames;
+      return;
+    }
+    handler_it->second(sim::TransportDelivery{delivery.src, delivery.dst, std::move(*payload),
+                                              kAnonymous, /*integrity_protected=*/false});
+    return;
+  }
+
+  if (*frame_type != kFrameSecure) {
+    ++stats_.malformed_frames;
+    return;
+  }
+  auto session_id = r.ReadU64();
+  auto seq = r.ReadU64();
+  auto flags = r.ReadU8();
+  auto ciphertext = r.ReadLengthPrefixed();
+  auto mac = r.ReadLengthPrefixed();
+  if (!session_id.ok() || !seq.ok() || !flags.ok() || !ciphertext.ok() || !mac.ok()) {
+    ++stats_.malformed_frames;
+    return;
+  }
+
+  auto pair_it = session_by_id_.find(*session_id);
+  if (pair_it == session_by_id_.end()) {
+    ++stats_.unknown_session;
+    return;
+  }
+  Session& session = sessions_.at(pair_it->second);
+
+  Bytes expected_input =
+      MacInput(*session_id, *seq, delivery.src, delivery.dst, *flags, *ciphertext);
+  if (!VerifyHmacSha256(session.key, expected_input, *mac)) {
+    ++stats_.mac_failures;
+    GLOG_WARN << "MAC verification failed on frame " << sim::ToString(delivery.src) << " -> "
+              << sim::ToString(delivery.dst) << " (tampered or forged)";
+    return;
+  }
+
+  // Replay protection: per direction, `last_accepted` holds one past the highest
+  // sequence number accepted so far (0 = nothing accepted yet). Frames at or above it
+  // are fresh; anything below is a replay or stale reordering.
+  uint64_t& last = session.last_accepted[delivery.src.node];
+  if (*seq < last) {
+    ++stats_.replay_rejects;
+    return;
+  }
+  last = *seq + 1;
+
+  Bytes plaintext = std::move(*ciphertext);
+  if (*flags & kFlagEncrypted) {
+    uint64_t nonce = *seq * 2 + (delivery.src.node < delivery.dst.node ? 0 : 1);
+    ApplyKeystream(session.key, nonce, &plaintext);
+  }
+
+  PrincipalId peer = kAnonymous;
+  if (auto it = session.principals.find(delivery.src.node); it != session.principals.end()) {
+    peer = it->second;
+  }
+  handler_it->second(sim::TransportDelivery{delivery.src, delivery.dst, std::move(plaintext),
+                                            peer, /*integrity_protected=*/true});
+}
+
+}  // namespace globe::sec

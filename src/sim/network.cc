@@ -1,0 +1,130 @@
+#include "src/sim/network.h"
+
+#include <cassert>
+
+namespace globe::sim {
+
+std::string ToString(const Endpoint& ep) {
+  return "node" + std::to_string(ep.node) + ":" + std::to_string(ep.port);
+}
+
+uint64_t TrafficStats::TotalMessages() const {
+  uint64_t total = loopback_messages;
+  for (const auto& level : per_level) {
+    total += level.messages;
+  }
+  return total;
+}
+
+uint64_t TrafficStats::TotalBytes() const {
+  uint64_t total = loopback_bytes;
+  for (const auto& level : per_level) {
+    total += level.bytes;
+  }
+  return total;
+}
+
+uint64_t TrafficStats::BytesAtOrAbove(int level) const {
+  uint64_t total = 0;
+  for (size_t i = static_cast<size_t>(level); i < per_level.size(); ++i) {
+    total += per_level[i].bytes;
+  }
+  return total;
+}
+
+void TrafficStats::Clear() {
+  per_level.clear();
+  loopback_messages = 0;
+  loopback_bytes = 0;
+  dropped_messages = 0;
+  down_node_messages = 0;
+}
+
+Network::Network(Simulator* simulator, const Topology* topology, NetworkOptions options)
+    : simulator_(simulator),
+      topology_(topology),
+      options_(std::move(options)),
+      rng_(options_.rng_seed) {}
+
+void Network::RegisterPort(NodeId node, uint16_t port, PortHandler handler) {
+  handlers_[{node, port}] = std::move(handler);
+}
+
+void Network::UnregisterPort(NodeId node, uint16_t port) {
+  handlers_.erase({node, port});
+}
+
+double Network::DeliveryDelayUs(NodeId src, NodeId dst, size_t bytes) const {
+  double latency = topology_->LatencyUs(src, dst, options_.profile);
+  double transmit = topology_->TransmitUs(src, dst, bytes, options_.profile);
+  return latency + transmit + options_.profile.per_message_us;
+}
+
+void Network::Send(const Endpoint& src, const Endpoint& dst, Bytes payload,
+                   double extra_delay_us) {
+  assert(src.node < topology_->num_nodes() && dst.node < topology_->num_nodes());
+
+  if (eavesdropper_) {
+    eavesdropper_(src, dst, payload);
+  }
+
+  if (!IsNodeUp(src.node) || !IsNodeUp(dst.node)) {
+    ++stats_.down_node_messages;
+    return;
+  }
+  if (options_.drop_probability > 0 && rng_.Bernoulli(options_.drop_probability)) {
+    ++stats_.dropped_messages;
+    return;
+  }
+
+  // Traffic accounting keyed by ascent level.
+  if (src.node == dst.node) {
+    ++stats_.loopback_messages;
+    stats_.loopback_bytes += payload.size();
+  } else {
+    int level = topology_->AscentLevel(src.node, dst.node);
+    if (stats_.per_level.size() <= static_cast<size_t>(level)) {
+      stats_.per_level.resize(level + 1);
+    }
+    ++stats_.per_level[level].messages;
+    stats_.per_level[level].bytes += payload.size();
+  }
+
+  if (options_.tamper_probability > 0 && !payload.empty() &&
+      rng_.Bernoulli(options_.tamper_probability)) {
+    size_t idx = static_cast<size_t>(rng_.UniformInt(payload.size()));
+    payload[idx] ^= 0x55;
+  }
+
+  double delay = DeliveryDelayUs(src.node, dst.node, payload.size()) + extra_delay_us;
+  Delivery delivery{src, dst, std::move(payload)};
+  simulator_->ScheduleAfter(static_cast<SimTime>(delay),
+                            [this, d = std::move(delivery)]() mutable { Deliver(std::move(d)); });
+}
+
+void Network::Deliver(Delivery delivery) {
+  if (!IsNodeUp(delivery.dst.node)) {
+    ++stats_.down_node_messages;
+    return;
+  }
+  ++per_node_received_[delivery.dst.node];
+  auto it = handlers_.find({delivery.dst.node, delivery.dst.port});
+  if (it == handlers_.end()) {
+    return;  // closed port: datagram lost
+  }
+  it->second(delivery);
+}
+
+void Network::SetNodeUp(NodeId node, bool up) {
+  if (up) {
+    node_down_.erase(node);
+  } else {
+    node_down_[node] = true;
+  }
+}
+
+bool Network::IsNodeUp(NodeId node) const {
+  return node_down_.find(node) == node_down_.end();
+}
+
+}  // namespace globe::sim

@@ -1,0 +1,140 @@
+// Simulated message network over a hierarchical topology.
+//
+// Every byte a Globe service sends crosses this network, which charges propagation
+// latency and serialization time according to the topology's link profile and accounts
+// traffic per ascent level. "Wide-area bandwidth is a scarce resource" (paper §3.1) —
+// the per-level byte counters are how the benchmarks quantify exactly that.
+//
+// Failure injection: nodes can be marked down (messages to/from them vanish), messages
+// can be dropped with a configurable probability, and payload bytes can be flipped to
+// exercise the integrity machinery of the secure transport.
+
+#ifndef SRC_SIM_NETWORK_H_
+#define SRC_SIM_NETWORK_H_
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/sim/simulator.h"
+#include "src/sim/topology.h"
+#include "src/util/bytes.h"
+#include "src/util/rng.h"
+
+namespace globe::sim {
+
+// Well-known ports for the Globe services (arbitrary but fixed).
+constexpr uint16_t kPortDns = 53;
+constexpr uint16_t kPortHttp = 80;
+constexpr uint16_t kPortGls = 700;
+constexpr uint16_t kPortGos = 701;
+constexpr uint16_t kPortGnsAuthority = 530;
+constexpr uint16_t kPortClientBase = 40000;  // ephemeral ports for clients
+
+struct Endpoint {
+  NodeId node = kNoNode;
+  uint16_t port = 0;
+
+  bool operator==(const Endpoint&) const = default;
+  auto operator<=>(const Endpoint&) const = default;
+};
+
+std::string ToString(const Endpoint& ep);
+
+// A delivered message as seen by the receiving handler.
+struct Delivery {
+  Endpoint src;
+  Endpoint dst;
+  Bytes payload;
+};
+
+using PortHandler = std::function<void(const Delivery&)>;
+
+// Counters per ascent level plus aggregate views.
+struct TrafficStats {
+  struct PerLevel {
+    uint64_t messages = 0;
+    uint64_t bytes = 0;
+  };
+  std::vector<PerLevel> per_level;  // indexed by ascent level (0 = same leaf domain)
+  uint64_t loopback_messages = 0;
+  uint64_t loopback_bytes = 0;
+  uint64_t dropped_messages = 0;
+  uint64_t down_node_messages = 0;
+
+  uint64_t TotalMessages() const;
+  uint64_t TotalBytes() const;
+  // Bytes at or above the given ascent level; level 2 and up is "wide area" in the
+  // default five-level world (country / continent / intercontinental).
+  uint64_t BytesAtOrAbove(int level) const;
+
+  void Clear();
+};
+
+struct NetworkOptions {
+  LinkProfile profile;
+  double drop_probability = 0.0;    // uniform message loss
+  double tamper_probability = 0.0;  // flip one payload byte in transit
+  uint64_t rng_seed = 0x9e3779b97f4a7c15ULL;
+};
+
+class Network {
+ public:
+  Network(Simulator* simulator, const Topology* topology, NetworkOptions options = {});
+
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  // Registers the handler for (node, port). Overwrites any previous registration.
+  void RegisterPort(NodeId node, uint16_t port, PortHandler handler);
+  void UnregisterPort(NodeId node, uint16_t port);
+
+  // Sends a message. Delivery is scheduled after latency + transmit time (+ extra
+  // processing delay, used by the secure transport to model crypto CPU cost). If the
+  // destination port has no handler at delivery time the message is silently lost,
+  // like a UDP datagram to a closed port.
+  void Send(const Endpoint& src, const Endpoint& dst, Bytes payload, double extra_delay_us = 0);
+
+  // Failure injection.
+  void SetNodeUp(NodeId node, bool up);
+  bool IsNodeUp(NodeId node) const;
+  void SetDropProbability(double p) { options_.drop_probability = p; }
+  void SetTamperProbability(double p) { options_.tamper_probability = p; }
+
+  // Observation hook: sees every frame as it enters the network (before tampering or
+  // drops). Used by tests to play the "attacker tapping the wire" role from §6.2.
+  using Eavesdropper = std::function<void(const Endpoint& src, const Endpoint& dst, ByteSpan)>;
+  void SetEavesdropper(Eavesdropper e) { eavesdropper_ = std::move(e); }
+
+  const TrafficStats& stats() const { return stats_; }
+  TrafficStats* mutable_stats() { return &stats_; }
+
+  // Messages received per node since the last clear; used for server-load measurements.
+  const std::map<NodeId, uint64_t>& per_node_received() const { return per_node_received_; }
+  void ClearPerNodeReceived() { per_node_received_.clear(); }
+
+  Simulator* simulator() { return simulator_; }
+  const Topology& topology() const { return *topology_; }
+  const NetworkOptions& options() const { return options_; }
+
+  // One-way latency for a payload of the given size, as the network would charge it.
+  double DeliveryDelayUs(NodeId src, NodeId dst, size_t bytes) const;
+
+ private:
+  void Deliver(Delivery delivery);
+
+  Simulator* simulator_;
+  const Topology* topology_;
+  NetworkOptions options_;
+  Rng rng_;
+  std::map<std::pair<NodeId, uint16_t>, PortHandler> handlers_;
+  std::map<NodeId, bool> node_down_;  // absent = up
+  TrafficStats stats_;
+  std::map<NodeId, uint64_t> per_node_received_;
+  Eavesdropper eavesdropper_;
+};
+
+}  // namespace globe::sim
+
+#endif  // SRC_SIM_NETWORK_H_

@@ -1,0 +1,172 @@
+#include "src/sim/rpc.h"
+
+#include <atomic>
+#include <cassert>
+
+#include "src/util/log.h"
+
+namespace globe::sim {
+
+namespace {
+constexpr uint8_t kFrameRequest = 0;
+constexpr uint8_t kFrameResponse = 1;
+}  // namespace
+
+void PlainTransport::Send(const Endpoint& src, const Endpoint& dst, Bytes payload) {
+  network_->Send(src, dst, std::move(payload));
+}
+
+void PlainTransport::RegisterPort(NodeId node, uint16_t port, TransportHandler handler) {
+  network_->RegisterPort(node, port, [handler = std::move(handler)](const Delivery& d) {
+    handler(TransportDelivery{d.src, d.dst, d.payload, /*peer_principal=*/0,
+                              /*integrity_protected=*/false});
+  });
+}
+
+void PlainTransport::UnregisterPort(NodeId node, uint16_t port) {
+  network_->UnregisterPort(node, port);
+}
+
+uint16_t AllocateEphemeralPort() {
+  static std::atomic<uint32_t> next{kPortClientBase};
+  uint32_t p = next.fetch_add(1);
+  // Wrap within the 16-bit ephemeral range [kPortClientBase, 65535].
+  return static_cast<uint16_t>(kPortClientBase + (p - kPortClientBase) % (65536 - kPortClientBase));
+}
+
+RpcServer::RpcServer(Transport* transport, NodeId node, uint16_t port)
+    : transport_(transport), node_(node), port_(port) {
+  transport_->RegisterPort(node_, port_,
+                           [this](const TransportDelivery& d) { OnDelivery(d); });
+}
+
+RpcServer::~RpcServer() { transport_->UnregisterPort(node_, port_); }
+
+void RpcServer::RegisterMethod(std::string method, SyncHandler handler) {
+  sync_methods_[std::move(method)] = std::move(handler);
+}
+
+void RpcServer::RegisterAsyncMethod(std::string method, AsyncHandler handler) {
+  async_methods_[std::move(method)] = std::move(handler);
+}
+
+void RpcServer::OnDelivery(const TransportDelivery& delivery) {
+  ByteReader reader(delivery.payload);
+  auto type = reader.ReadU8();
+  auto request_id = reader.ReadU64();
+  if (!type.ok() || !request_id.ok() || *type != kFrameRequest) {
+    GLOG_WARN << "rpc server " << ToString(endpoint()) << ": malformed frame dropped";
+    return;
+  }
+  auto method = reader.ReadString();
+  auto payload = reader.ReadLengthPrefixed();
+  if (!method.ok() || !payload.ok()) {
+    GLOG_WARN << "rpc server " << ToString(endpoint()) << ": truncated request dropped";
+    return;
+  }
+  ++requests_served_;
+
+  RpcContext context{delivery.src, delivery.peer_principal, delivery.integrity_protected};
+  uint64_t id = *request_id;
+  Endpoint client = delivery.src;
+
+  if (auto it = sync_methods_.find(*method); it != sync_methods_.end()) {
+    Result<Bytes> result = it->second(context, *payload);
+    SendResponse(client, id, result);
+    return;
+  }
+  if (auto it = async_methods_.find(*method); it != async_methods_.end()) {
+    it->second(context, *payload, [this, client, id](Result<Bytes> result) {
+      SendResponse(client, id, result);
+    });
+    return;
+  }
+  SendResponse(client, id, NotFound("no such method: " + *method));
+}
+
+void RpcServer::SendResponse(const Endpoint& client, uint64_t request_id,
+                             const Result<Bytes>& result) {
+  ByteWriter writer;
+  writer.WriteU8(kFrameResponse);
+  writer.WriteU64(request_id);
+  if (result.ok()) {
+    writer.WriteU8(static_cast<uint8_t>(StatusCode::kOk));
+    writer.WriteString("");
+    writer.WriteLengthPrefixed(result.value());
+  } else {
+    writer.WriteU8(static_cast<uint8_t>(result.status().code()));
+    writer.WriteString(result.status().message());
+    writer.WriteLengthPrefixed({});
+  }
+  transport_->Send(endpoint(), client, writer.Take());
+}
+
+RpcClient::RpcClient(Transport* transport, NodeId node)
+    : transport_(transport),
+      node_(node),
+      port_(AllocateEphemeralPort()),
+      alive_(std::make_shared<bool>(true)) {
+  transport_->RegisterPort(node_, port_,
+                           [this](const TransportDelivery& d) { OnDelivery(d); });
+}
+
+RpcClient::~RpcClient() {
+  *alive_ = false;
+  transport_->UnregisterPort(node_, port_);
+}
+
+void RpcClient::Call(const Endpoint& server, std::string_view method, Bytes request,
+                     Callback done, SimTime timeout) {
+  uint64_t id = next_request_id_++;
+  pending_[id] = std::move(done);
+
+  ByteWriter writer;
+  writer.WriteU8(kFrameRequest);
+  writer.WriteU64(id);
+  writer.WriteString(method);
+  writer.WriteLengthPrefixed(request);
+  transport_->Send(endpoint(), server, writer.Take());
+
+  transport_->simulator()->ScheduleAfter(
+      timeout, [this, id, alive = std::weak_ptr<bool>(alive_)]() {
+        auto a = alive.lock();
+        if (!a || !*a) {
+          return;
+        }
+        auto it = pending_.find(id);
+        if (it == pending_.end()) {
+          return;  // already answered
+        }
+        Callback cb = std::move(it->second);
+        pending_.erase(it);
+        cb(Unavailable("rpc timeout"));
+      });
+}
+
+void RpcClient::OnDelivery(const TransportDelivery& delivery) {
+  ByteReader reader(delivery.payload);
+  auto type = reader.ReadU8();
+  auto request_id = reader.ReadU64();
+  if (!type.ok() || !request_id.ok() || *type != kFrameResponse) {
+    return;
+  }
+  auto it = pending_.find(*request_id);
+  if (it == pending_.end()) {
+    return;  // late response after timeout: ignore
+  }
+  auto code = reader.ReadU8();
+  auto message = reader.ReadString();
+  auto payload = reader.ReadLengthPrefixed();
+  if (!code.ok() || !message.ok() || !payload.ok()) {
+    return;
+  }
+  Callback cb = std::move(it->second);
+  pending_.erase(it);
+  if (*code == static_cast<uint8_t>(StatusCode::kOk)) {
+    cb(std::move(*payload));
+  } else {
+    cb(Status(static_cast<StatusCode>(*code), std::move(*message)));
+  }
+}
+
+}  // namespace globe::sim

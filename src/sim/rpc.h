@@ -1,0 +1,153 @@
+// Request/response RPC over the simulated network.
+//
+// Globe services talk to each other in request/response style (GLS lookups, GOS
+// commands, DNS queries, HTTP). This layer provides correlation, timeouts and a
+// pluggable Transport so the secure channel wrapper in src/sec can interpose without
+// the services knowing (the paper §6.3 swaps TCP for TLS exactly this way: "we have
+// cleanly separated communication from functional layers").
+//
+// Wire format of an RPC frame (all fields via src/util/serial.h):
+//   u8 type (0 = request, 1 = response)
+//   u64 request id
+//   request:  string method, length-prefixed payload
+//   response: u8 status code, string status message, length-prefixed payload
+
+#ifndef SRC_SIM_RPC_H_
+#define SRC_SIM_RPC_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "src/sim/network.h"
+#include "src/sim/simulator.h"
+#include "src/util/serial.h"
+#include "src/util/status.h"
+
+namespace globe::sim {
+
+// What the RPC layer sees after the transport has processed an incoming frame.
+// `peer_principal` is filled in by authenticated transports (0 = unauthenticated);
+// plain transports always deliver 0.
+struct TransportDelivery {
+  Endpoint src;
+  Endpoint dst;
+  Bytes payload;
+  uint64_t peer_principal = 0;
+  bool integrity_protected = false;
+};
+
+using TransportHandler = std::function<void(const TransportDelivery&)>;
+
+// Abstract message transport. PlainTransport forwards to the raw network;
+// sec::SecureTransport adds handshakes, MACs and optional encryption.
+class Transport {
+ public:
+  virtual ~Transport() = default;
+  virtual void Send(const Endpoint& src, const Endpoint& dst, Bytes payload) = 0;
+  virtual void RegisterPort(NodeId node, uint16_t port, TransportHandler handler) = 0;
+  virtual void UnregisterPort(NodeId node, uint16_t port) = 0;
+  virtual Simulator* simulator() = 0;
+  // The underlying network, for topology-aware decisions (nearest-replica picks) and
+  // traffic statistics. Never used to bypass the transport for sending.
+  virtual Network* network() = 0;
+};
+
+class PlainTransport : public Transport {
+ public:
+  explicit PlainTransport(Network* network) : network_(network) {}
+
+  void Send(const Endpoint& src, const Endpoint& dst, Bytes payload) override;
+  void RegisterPort(NodeId node, uint16_t port, TransportHandler handler) override;
+  void UnregisterPort(NodeId node, uint16_t port) override;
+  Simulator* simulator() override { return network_->simulator(); }
+  Network* network() override { return network_; }
+
+ private:
+  Network* network_;
+};
+
+// Allocates process-wide unique ephemeral ports for RPC clients.
+uint16_t AllocateEphemeralPort();
+
+// Per-call metadata passed to server handlers.
+struct RpcContext {
+  Endpoint client;
+  uint64_t peer_principal = 0;
+  bool integrity_protected = false;
+};
+
+class RpcServer {
+ public:
+  // Methods that can answer immediately.
+  using SyncHandler = std::function<Result<Bytes>(const RpcContext&, ByteSpan request)>;
+  // Methods that must issue their own RPCs before answering (e.g. a GLS directory
+  // node forwarding a lookup to its parent). `respond` may be called from any later
+  // simulator event, exactly once.
+  using Responder = std::function<void(Result<Bytes>)>;
+  using AsyncHandler = std::function<void(const RpcContext&, ByteSpan request, Responder respond)>;
+
+  RpcServer(Transport* transport, NodeId node, uint16_t port);
+  ~RpcServer();
+
+  RpcServer(const RpcServer&) = delete;
+  RpcServer& operator=(const RpcServer&) = delete;
+
+  void RegisterMethod(std::string method, SyncHandler handler);
+  void RegisterAsyncMethod(std::string method, AsyncHandler handler);
+
+  NodeId node() const { return node_; }
+  uint16_t port() const { return port_; }
+  Endpoint endpoint() const { return {node_, port_}; }
+  uint64_t requests_served() const { return requests_served_; }
+
+ private:
+  void OnDelivery(const TransportDelivery& delivery);
+  void SendResponse(const Endpoint& client, uint64_t request_id, const Result<Bytes>& result);
+
+  Transport* transport_;
+  NodeId node_;
+  uint16_t port_;
+  std::map<std::string, SyncHandler> sync_methods_;
+  std::map<std::string, AsyncHandler> async_methods_;
+  uint64_t requests_served_ = 0;
+};
+
+class RpcClient {
+ public:
+  using Callback = std::function<void(Result<Bytes>)>;
+
+  static constexpr SimTime kDefaultTimeout = 30 * kSecond;
+
+  // Binds to an ephemeral port on `node`.
+  RpcClient(Transport* transport, NodeId node);
+  ~RpcClient();
+
+  RpcClient(const RpcClient&) = delete;
+  RpcClient& operator=(const RpcClient&) = delete;
+
+  // Issues a call; `done` runs exactly once, with the response payload or an error
+  // (UNAVAILABLE on timeout; whatever status the server returned otherwise).
+  void Call(const Endpoint& server, std::string_view method, Bytes request, Callback done,
+            SimTime timeout = kDefaultTimeout);
+
+  NodeId node() const { return node_; }
+  Endpoint endpoint() const { return {node_, port_}; }
+
+ private:
+  void OnDelivery(const TransportDelivery& delivery);
+
+  Transport* transport_;
+  NodeId node_;
+  uint16_t port_;
+  uint64_t next_request_id_ = 1;
+  std::map<uint64_t, Callback> pending_;
+  // Guards timeout callbacks against a client that has been destroyed: shared flag
+  // owned by the client, captured weakly by scheduled timeouts.
+  std::shared_ptr<bool> alive_;
+};
+
+}  // namespace globe::sim
+
+#endif  // SRC_SIM_RPC_H_

@@ -1,0 +1,126 @@
+#include "src/sim/topology.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace globe::sim {
+
+double LinkProfile::LatencyAt(int level) const {
+  if (latency_us.empty()) {
+    return 0;
+  }
+  size_t idx = std::min(static_cast<size_t>(std::max(level, 0)), latency_us.size() - 1);
+  return latency_us[idx];
+}
+
+double LinkProfile::ThroughputAt(int level) const {
+  if (bytes_per_us.empty()) {
+    return 1.0;
+  }
+  size_t idx = std::min(static_cast<size_t>(std::max(level, 0)), bytes_per_us.size() - 1);
+  return bytes_per_us[idx];
+}
+
+DomainId Topology::AddDomain(std::string name, DomainId parent) {
+  int depth = 0;
+  if (parent != kNoDomain) {
+    assert(parent < domains_.size());
+    depth = domains_[parent].depth + 1;
+    domains_[parent].children.push_back(static_cast<DomainId>(domains_.size()));
+  }
+  domains_.push_back(Domain{std::move(name), parent, depth, {}});
+  return static_cast<DomainId>(domains_.size() - 1);
+}
+
+NodeId Topology::AddNode(std::string name, DomainId domain) {
+  assert(domain < domains_.size());
+  nodes_.push_back(Node{std::move(name), domain});
+  return static_cast<NodeId>(nodes_.size() - 1);
+}
+
+DomainId Topology::Lca(DomainId a, DomainId b) const {
+  while (a != b) {
+    int da = domains_[a].depth;
+    int db = domains_[b].depth;
+    if (da >= db) {
+      a = domains_[a].parent;
+      assert(a != kNoDomain && "domains are in different trees");
+    } else {
+      b = domains_[b].parent;
+      assert(b != kNoDomain && "domains are in different trees");
+    }
+  }
+  return a;
+}
+
+bool Topology::IsAncestorOrSelf(DomainId ancestor, DomainId d) const {
+  while (d != kNoDomain) {
+    if (d == ancestor) {
+      return true;
+    }
+    d = domains_[d].parent;
+  }
+  return false;
+}
+
+int Topology::AscentLevel(NodeId a, NodeId b) const {
+  DomainId da = nodes_[a].domain;
+  DomainId db = nodes_[b].domain;
+  DomainId lca = Lca(da, db);
+  int ascent_a = domains_[da].depth - domains_[lca].depth;
+  int ascent_b = domains_[db].depth - domains_[lca].depth;
+  return std::max(ascent_a, ascent_b);
+}
+
+double Topology::LatencyUs(NodeId a, NodeId b, const LinkProfile& profile) const {
+  if (a == b) {
+    return profile.loopback_us;
+  }
+  return profile.LatencyAt(AscentLevel(a, b));
+}
+
+double Topology::TransmitUs(NodeId a, NodeId b, uint64_t bytes, const LinkProfile& profile) const {
+  if (a == b) {
+    return 0;
+  }
+  double throughput = profile.ThroughputAt(AscentLevel(a, b));
+  return static_cast<double>(bytes) / throughput;
+}
+
+std::vector<NodeId> Topology::NodesUnder(DomainId d) const {
+  std::vector<NodeId> out;
+  for (NodeId n = 0; n < nodes_.size(); ++n) {
+    if (IsAncestorOrSelf(d, nodes_[n].domain)) {
+      out.push_back(n);
+    }
+  }
+  return out;
+}
+
+namespace {
+void BuildSubtree(UniformWorld* world, DomainId parent, const std::vector<int>& fanouts,
+                  size_t level, int hosts_per_site, const std::string& path) {
+  if (level == fanouts.size()) {
+    world->leaf_domains.push_back(parent);
+    for (int h = 0; h < hosts_per_site; ++h) {
+      world->hosts.push_back(
+          world->topology.AddNode(path + ".h" + std::to_string(h), parent));
+    }
+    return;
+  }
+  for (int i = 0; i < fanouts[level]; ++i) {
+    std::string child_path = path + "." + std::string(1, "ckts"[level % 4]) + std::to_string(i);
+    DomainId child = world->topology.AddDomain(child_path, parent);
+    BuildSubtree(world, child, fanouts, level + 1, hosts_per_site, child_path);
+  }
+}
+}  // namespace
+
+UniformWorld BuildUniformWorld(const std::vector<int>& fanouts, int hosts_per_site) {
+  UniformWorld world;
+  world.root = world.topology.AddDomain("world", kNoDomain);
+  BuildSubtree(&world, world.root, fanouts, 0, hosts_per_site, "world");
+  return world;
+}
+
+}  // namespace globe::sim

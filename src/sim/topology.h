@@ -1,0 +1,115 @@
+// Hierarchical Internet topology.
+//
+// The Globe Location Service "divides the Internet into a hierarchy of domains"
+// (paper §3.5, Figure 2): sites combine into cities, cities into countries, countries
+// into continents, continents into the world. This module models exactly that tree.
+// Hosts attach to leaf domains; the communication cost between two hosts is a function
+// of how far up the tree their lowest common ancestor lies, which is also the quantity
+// the paper's locality claim is stated in.
+
+#ifndef SRC_SIM_TOPOLOGY_H_
+#define SRC_SIM_TOPOLOGY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/util/status.h"
+
+namespace globe::sim {
+
+using DomainId = uint32_t;
+using NodeId = uint32_t;
+
+constexpr DomainId kNoDomain = static_cast<DomainId>(-1);
+constexpr NodeId kNoNode = static_cast<NodeId>(-1);
+
+// Communication cost parameters indexed by "ascent level": the number of tree levels
+// one must climb from the leaf domains to reach the lowest common ancestor.
+// Level 0 = both hosts in the same leaf domain (a LAN). Higher levels are wider-area
+// links. Values beyond the vector's size clamp to the last entry.
+struct LinkProfile {
+  // One-way propagation latency in microseconds.
+  std::vector<double> latency_us = {300, 2'000, 10'000, 40'000, 150'000};
+  // Bottleneck throughput in bytes per microsecond (1 byte/us = 1 MB/s).
+  std::vector<double> bytes_per_us = {12.5, 6.25, 2.5, 1.25, 0.625};
+  // Latency for a node talking to itself (loopback).
+  double loopback_us = 20;
+  // Fixed per-message processing overhead at each end.
+  double per_message_us = 50;
+
+  double LatencyAt(int level) const;
+  double ThroughputAt(int level) const;
+};
+
+class Topology {
+ public:
+  Topology() = default;
+
+  // Adds a domain. parent == kNoDomain makes it a root. The tree may have any depth;
+  // typical worlds use world > continent > country > city > site.
+  DomainId AddDomain(std::string name, DomainId parent);
+
+  // Adds a host attached to a leaf domain (no check that the domain stays leaf —
+  // hosts at interior domains model e.g. a directory node at a country's exchange).
+  NodeId AddNode(std::string name, DomainId domain);
+
+  size_t num_domains() const { return domains_.size(); }
+  size_t num_nodes() const { return nodes_.size(); }
+
+  const std::string& DomainName(DomainId d) const { return domains_[d].name; }
+  const std::string& NodeName(NodeId n) const { return nodes_[n].name; }
+  DomainId DomainParent(DomainId d) const { return domains_[d].parent; }
+  DomainId NodeDomain(NodeId n) const { return nodes_[n].domain; }
+  const std::vector<DomainId>& DomainChildren(DomainId d) const { return domains_[d].children; }
+  int DomainDepth(DomainId d) const { return domains_[d].depth; }
+
+  // Lowest common ancestor of two domains. Both must belong to the same tree.
+  DomainId Lca(DomainId a, DomainId b) const;
+
+  // Whether `ancestor` is d or an ancestor of d.
+  bool IsAncestorOrSelf(DomainId ancestor, DomainId d) const;
+
+  // Ascent level between two nodes: max over both endpoints of the number of levels
+  // from the node's domain up to the LCA. Level 0 means same leaf domain.
+  int AscentLevel(NodeId a, NodeId b) const;
+
+  // One-way latency (us) between two nodes under the given profile.
+  double LatencyUs(NodeId a, NodeId b, const LinkProfile& profile) const;
+
+  // Serialization time (us) for a message of `bytes` between two nodes.
+  double TransmitUs(NodeId a, NodeId b, uint64_t bytes, const LinkProfile& profile) const;
+
+  // All nodes attached at or below a domain.
+  std::vector<NodeId> NodesUnder(DomainId d) const;
+
+ private:
+  struct Domain {
+    std::string name;
+    DomainId parent;
+    int depth;
+    std::vector<DomainId> children;
+  };
+  struct Node {
+    std::string name;
+    DomainId domain;
+  };
+
+  std::vector<Domain> domains_;
+  std::vector<Node> nodes_;
+};
+
+// Convenience builder for the symmetric worlds used by tests and benches:
+// `fanouts = {continents, countries, cities, sites}` and `hosts_per_site` hosts per
+// leaf. Domain names are dotted paths ("world.c0.k1.t2.s3").
+struct UniformWorld {
+  Topology topology;
+  DomainId root = kNoDomain;
+  std::vector<DomainId> leaf_domains;
+  std::vector<NodeId> hosts;  // hosts_per_site consecutive hosts per leaf domain
+};
+UniformWorld BuildUniformWorld(const std::vector<int>& fanouts, int hosts_per_site);
+
+}  // namespace globe::sim
+
+#endif  // SRC_SIM_TOPOLOGY_H_

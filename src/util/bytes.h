@@ -1,0 +1,38 @@
+// Byte-buffer aliases and hex helpers.
+//
+// All Globe wire formats ("opaque invocation messages", GLS records, DNS messages) are
+// byte vectors produced by the manual serializers in src/util/serial.h.
+
+#ifndef SRC_UTIL_BYTES_H_
+#define SRC_UTIL_BYTES_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace globe {
+
+using Bytes = std::vector<uint8_t>;
+using ByteSpan = std::span<const uint8_t>;
+
+// Converts a string's characters to bytes verbatim (no encoding applied).
+Bytes ToBytes(std::string_view s);
+
+// Converts bytes back to a std::string verbatim.
+std::string ToString(ByteSpan bytes);
+
+// Lowercase hex encoding, two characters per byte.
+std::string HexEncode(ByteSpan bytes);
+
+// Parses a hex string. Returns false on odd length or non-hex characters.
+bool HexDecode(std::string_view hex, Bytes* out);
+
+// Constant-time byte comparison: used for MAC verification so the comparison itself
+// does not leak a timing side channel (mirrors real TLS/TSIG implementations).
+bool ConstantTimeEqual(ByteSpan a, ByteSpan b);
+
+}  // namespace globe
+
+#endif  // SRC_UTIL_BYTES_H_

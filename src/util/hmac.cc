@@ -1,0 +1,38 @@
+#include "src/util/hmac.h"
+
+namespace globe {
+
+Bytes HmacSha256(ByteSpan key, ByteSpan message) {
+  constexpr size_t kBlock = Sha256::kBlockSize;
+  Bytes k(kBlock, 0);
+  if (key.size() > kBlock) {
+    auto digest = Sha256::Digest(key);
+    std::copy(digest.begin(), digest.end(), k.begin());
+  } else {
+    std::copy(key.begin(), key.end(), k.begin());
+  }
+
+  Bytes ipad(kBlock), opad(kBlock);
+  for (size_t i = 0; i < kBlock; ++i) {
+    ipad[i] = k[i] ^ 0x36;
+    opad[i] = k[i] ^ 0x5c;
+  }
+
+  Sha256 inner;
+  inner.Update(ipad);
+  inner.Update(message);
+  auto inner_digest = inner.Finish();
+
+  Sha256 outer;
+  outer.Update(opad);
+  outer.Update(ByteSpan(inner_digest.data(), inner_digest.size()));
+  auto outer_digest = outer.Finish();
+  return Bytes(outer_digest.begin(), outer_digest.end());
+}
+
+bool VerifyHmacSha256(ByteSpan key, ByteSpan message, ByteSpan mac) {
+  Bytes expected = HmacSha256(key, message);
+  return ConstantTimeEqual(expected, mac);
+}
+
+}  // namespace globe

@@ -1,0 +1,23 @@
+// HMAC-SHA-256 (RFC 2104), built on src/util/sha256.h.
+//
+// This is the integrity primitive behind the simulated TLS channels (§6.3) and the
+// TSIG protection of DNS UPDATE messages sent by the GNS Naming Authority (§6.3).
+
+#ifndef SRC_UTIL_HMAC_H_
+#define SRC_UTIL_HMAC_H_
+
+#include "src/util/bytes.h"
+#include "src/util/sha256.h"
+
+namespace globe {
+
+// Computes HMAC-SHA-256(key, message). Keys longer than the block size are hashed
+// first, exactly as RFC 2104 prescribes.
+Bytes HmacSha256(ByteSpan key, ByteSpan message);
+
+// Verifies a MAC in constant time.
+bool VerifyHmacSha256(ByteSpan key, ByteSpan message, ByteSpan mac);
+
+}  // namespace globe
+
+#endif  // SRC_UTIL_HMAC_H_

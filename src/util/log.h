@@ -1,0 +1,62 @@
+// Minimal leveled logging.
+//
+// Services in the simulator are numerous (hundreds of directory nodes / object servers
+// in the larger benches), so logging defaults to kWarn and is cheap when disabled.
+
+#ifndef SRC_UTIL_LOG_H_
+#define SRC_UTIL_LOG_H_
+
+#include <sstream>
+#include <string>
+
+namespace globe {
+
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarn = 2,
+  kError = 3,
+  kNone = 4,
+};
+
+// Global threshold; messages below it are discarded.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+void EmitLog(LogLevel level, const std::string& message);
+
+class LogMessage {
+ public:
+  explicit LogMessage(LogLevel level) : level_(level) {}
+  ~LogMessage() { EmitLog(level_, stream_.str()); }
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace internal
+
+#define GLOBE_LOG(level)                                   \
+  if (static_cast<int>(::globe::LogLevel::level) <         \
+      static_cast<int>(::globe::GetLogLevel())) {          \
+  } else                                                   \
+    ::globe::internal::LogMessage(::globe::LogLevel::level)
+
+#define GLOG_DEBUG GLOBE_LOG(kDebug)
+#define GLOG_INFO GLOBE_LOG(kInfo)
+#define GLOG_WARN GLOBE_LOG(kWarn)
+#define GLOG_ERROR GLOBE_LOG(kError)
+
+}  // namespace globe
+
+#endif  // SRC_UTIL_LOG_H_

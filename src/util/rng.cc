@@ -1,0 +1,128 @@
+#include "src/util/rng.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace globe {
+
+namespace {
+uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+inline uint64_t RotL(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& s : state_) {
+    s = SplitMix64(&sm);
+  }
+}
+
+uint64_t Rng::NextU64() {
+  // xoshiro256**
+  uint64_t result = RotL(state_[1] * 5, 7) * 9;
+  uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = RotL(state_[3], 45);
+  return result;
+}
+
+uint64_t Rng::UniformInt(uint64_t bound) {
+  assert(bound > 0);
+  // Rejection sampling: draw until the value falls in the largest multiple of bound.
+  uint64_t threshold = (0 - bound) % bound;
+  while (true) {
+    uint64_t r = NextU64();
+    if (r >= threshold) {
+      return r % bound;
+    }
+  }
+}
+
+uint64_t Rng::UniformRange(uint64_t lo, uint64_t hi) {
+  assert(lo <= hi);
+  return lo + UniformInt(hi - lo + 1);
+}
+
+double Rng::UniformDouble() {
+  // 53 high bits -> double in [0,1).
+  return static_cast<double>(NextU64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::Exponential(double rate) {
+  assert(rate > 0);
+  double u = UniformDouble();
+  // Avoid log(0).
+  if (u <= 0.0) {
+    u = 0x1.0p-53;
+  }
+  return -std::log(u) / rate;
+}
+
+bool Rng::Bernoulli(double p) {
+  p = std::clamp(p, 0.0, 1.0);
+  return UniformDouble() < p;
+}
+
+Bytes Rng::RandomBytes(size_t n) {
+  Bytes out(n);
+  size_t i = 0;
+  while (i + 8 <= n) {
+    uint64_t v = NextU64();
+    for (int b = 0; b < 8; ++b) {
+      out[i + b] = static_cast<uint8_t>(v >> (8 * b));
+    }
+    i += 8;
+  }
+  if (i < n) {
+    uint64_t v = NextU64();
+    for (; i < n; ++i) {
+      out[i] = static_cast<uint8_t>(v);
+      v >>= 8;
+    }
+  }
+  return out;
+}
+
+ZipfSampler::ZipfSampler(size_t n, double s) {
+  assert(n > 0);
+  cdf_.resize(n);
+  double sum = 0;
+  for (size_t i = 0; i < n; ++i) {
+    sum += 1.0 / std::pow(static_cast<double>(i + 1), s);
+    cdf_[i] = sum;
+  }
+  for (auto& c : cdf_) {
+    c /= sum;
+  }
+  cdf_.back() = 1.0;  // guard against rounding
+}
+
+size_t ZipfSampler::Sample(Rng* rng) const {
+  double u = rng->UniformDouble();
+  auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  if (it == cdf_.end()) {
+    return cdf_.size() - 1;
+  }
+  return static_cast<size_t>(it - cdf_.begin());
+}
+
+double ZipfSampler::Pmf(size_t rank) const {
+  assert(rank < cdf_.size());
+  if (rank == 0) {
+    return cdf_[0];
+  }
+  return cdf_[rank] - cdf_[rank - 1];
+}
+
+}  // namespace globe

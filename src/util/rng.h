@@ -1,0 +1,77 @@
+// Deterministic pseudo-random number generation for simulation workloads.
+//
+// Reproducibility matters more than cryptographic quality here: every benchmark in
+// bench/ must produce identical workloads across runs so that paper-vs-measured
+// comparisons in EXPERIMENTS.md are stable. The generator is xoshiro256** seeded
+// through splitmix64.
+
+#ifndef SRC_UTIL_RNG_H_
+#define SRC_UTIL_RNG_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/util/bytes.h"
+
+namespace globe {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed);
+
+  uint64_t NextU64();
+
+  // Uniform in [0, bound). bound must be > 0. Uses rejection sampling to avoid
+  // modulo bias.
+  uint64_t UniformInt(uint64_t bound);
+
+  // Uniform in [lo, hi] inclusive. Requires lo <= hi.
+  uint64_t UniformRange(uint64_t lo, uint64_t hi);
+
+  // Uniform double in [0, 1).
+  double UniformDouble();
+
+  // Exponential with the given rate (mean 1/rate).
+  double Exponential(double rate);
+
+  // True with probability p (clamped to [0,1]).
+  bool Bernoulli(double p);
+
+  // Random byte blob of length n.
+  Bytes RandomBytes(size_t n);
+
+  // Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    for (size_t i = v->size(); i > 1; --i) {
+      size_t j = static_cast<size_t>(UniformInt(i));
+      std::swap((*v)[i - 1], (*v)[j]);
+    }
+  }
+
+ private:
+  uint64_t state_[4];
+};
+
+// Zipf-distributed sampler over ranks 0..n-1 (rank 0 most popular), with exponent s.
+// Web-object popularity is classically Zipf-like, which is the access-pattern model
+// behind the paper's selective-replication argument (§3.1).
+class ZipfSampler {
+ public:
+  ZipfSampler(size_t n, double s);
+
+  // Draws a rank in [0, n).
+  size_t Sample(Rng* rng) const;
+
+  size_t size() const { return cdf_.size(); }
+
+  // Probability mass of a given rank.
+  double Pmf(size_t rank) const;
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace globe
+
+#endif  // SRC_UTIL_RNG_H_

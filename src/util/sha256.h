@@ -1,0 +1,45 @@
+// SHA-256 (FIPS 180-4), implemented from scratch.
+//
+// Used for: content hashes of package files (integrity, paper §6.1), object-identifier
+// derivation in the GLS, and as the compression function under HMAC for the simulated
+// TLS channels and DNS TSIG records.
+
+#ifndef SRC_UTIL_SHA256_H_
+#define SRC_UTIL_SHA256_H_
+
+#include <array>
+#include <cstdint>
+
+#include "src/util/bytes.h"
+
+namespace globe {
+
+class Sha256 {
+ public:
+  static constexpr size_t kDigestSize = 32;
+  static constexpr size_t kBlockSize = 64;
+
+  Sha256();
+
+  // Streaming interface: feed any number of chunks, then Finish() once.
+  void Update(ByteSpan data);
+  std::array<uint8_t, kDigestSize> Finish();
+
+  // One-shot convenience.
+  static std::array<uint8_t, kDigestSize> Digest(ByteSpan data);
+  static Bytes DigestBytes(ByteSpan data);
+  static std::string HexDigest(ByteSpan data);
+
+ private:
+  void ProcessBlock(const uint8_t* block);
+
+  std::array<uint32_t, 8> state_;
+  std::array<uint8_t, kBlockSize> buffer_;
+  size_t buffer_len_ = 0;
+  uint64_t total_len_ = 0;
+  bool finished_ = false;
+};
+
+}  // namespace globe
+
+#endif  // SRC_UTIL_SHA256_H_

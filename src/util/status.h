@@ -1,0 +1,146 @@
+// Lightweight error-propagation types used throughout the Globe libraries.
+//
+// The Globe paper's substrates (GLS, GNS, GOS) are long-running services that must
+// report failures to remote callers rather than abort, so almost every fallible
+// operation in this codebase returns a Status or a Result<T>.
+
+#ifndef SRC_UTIL_STATUS_H_
+#define SRC_UTIL_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace globe {
+
+// Error categories. Kept deliberately small; remote services marshal the code as one
+// byte, so values must stay stable and below 256.
+enum class StatusCode : uint8_t {
+  kOk = 0,
+  kInvalidArgument = 1,   // malformed input (bad name syntax, truncated message, ...)
+  kNotFound = 2,          // object / name / record does not exist
+  kAlreadyExists = 3,     // insert of something that is already registered
+  kPermissionDenied = 4,  // caller is not authorized (moderator checks, TSIG, ...)
+  kUnavailable = 5,       // transient: peer down, message dropped, timeout
+  kInternal = 6,          // invariant violation on the service side
+  kOutOfRange = 7,        // index/offset beyond bounds
+  kFailedPrecondition = 8,  // operation not valid in current state
+  kDataLoss = 9,            // integrity check failed (tampered message, bad MAC)
+};
+
+std::string_view StatusCodeName(StatusCode code);
+
+// A Status is either OK or an (error code, message) pair.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message) : code_(code), message_(std::move(message)) {
+    assert(code != StatusCode::kOk);
+  }
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+inline Status OkStatus() { return Status::Ok(); }
+inline Status InvalidArgument(std::string msg) {
+  return Status(StatusCode::kInvalidArgument, std::move(msg));
+}
+inline Status NotFound(std::string msg) { return Status(StatusCode::kNotFound, std::move(msg)); }
+inline Status AlreadyExists(std::string msg) {
+  return Status(StatusCode::kAlreadyExists, std::move(msg));
+}
+inline Status PermissionDenied(std::string msg) {
+  return Status(StatusCode::kPermissionDenied, std::move(msg));
+}
+inline Status Unavailable(std::string msg) {
+  return Status(StatusCode::kUnavailable, std::move(msg));
+}
+inline Status Internal(std::string msg) { return Status(StatusCode::kInternal, std::move(msg)); }
+inline Status OutOfRange(std::string msg) {
+  return Status(StatusCode::kOutOfRange, std::move(msg));
+}
+inline Status FailedPrecondition(std::string msg) {
+  return Status(StatusCode::kFailedPrecondition, std::move(msg));
+}
+inline Status DataLoss(std::string msg) { return Status(StatusCode::kDataLoss, std::move(msg)); }
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+// Result<T> holds either a value or an error Status.
+template <typename T>
+class Result {
+ public:
+  // Intentionally implicit: lets `return value;` and `return SomeError(...);` both work.
+  Result(T value) : value_(std::move(value)) {}              // NOLINT(runtime/explicit)
+  Result(Status status) : status_(std::move(status)) {       // NOLINT(runtime/explicit)
+    assert(!status_.ok() && "Result(Status) requires an error status");
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+// Propagates errors up the call chain, expression-statement style:
+//   RETURN_IF_ERROR(writer.Flush());
+#define RETURN_IF_ERROR(expr)                   \
+  do {                                          \
+    ::globe::Status _status = (expr);           \
+    if (!_status.ok()) {                        \
+      return _status;                           \
+    }                                           \
+  } while (0)
+
+// Assigns the value of a Result<T> expression or propagates its error:
+//   ASSIGN_OR_RETURN(auto record, zone.Find(name));
+#define ASSIGN_OR_RETURN(lhs, rexpr) ASSIGN_OR_RETURN_IMPL_(GLOBE_CONCAT_(_res, __LINE__), lhs, rexpr)
+#define GLOBE_CONCAT_INNER_(a, b) a##b
+#define GLOBE_CONCAT_(a, b) GLOBE_CONCAT_INNER_(a, b)
+#define ASSIGN_OR_RETURN_IMPL_(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                           \
+  if (!tmp.ok()) {                              \
+    return tmp.status();                        \
+  }                                             \
+  lhs = std::move(tmp).value()
+
+}  // namespace globe
+
+#endif  // SRC_UTIL_STATUS_H_

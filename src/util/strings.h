@@ -1,0 +1,38 @@
+// Small string helpers shared by the name services and the HTTP layer.
+
+#ifndef SRC_UTIL_STRINGS_H_
+#define SRC_UTIL_STRINGS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace globe {
+
+// Splits on a single character. Empty segments are preserved: Split("a//b", '/')
+// yields {"a", "", "b"}.
+std::vector<std::string> Split(std::string_view s, char sep);
+
+// Splits and drops empty segments: SplitSkipEmpty("/a//b/", '/') yields {"a", "b"}.
+std::vector<std::string> SplitSkipEmpty(std::string_view s, char sep);
+
+// Joins with a separator string.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+// ASCII case conversion (DNS names are case-insensitive).
+std::string AsciiToLower(std::string_view s);
+
+bool StartsWith(std::string_view s, std::string_view prefix);
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+// Trims ASCII whitespace from both ends.
+std::string_view TrimWhitespace(std::string_view s);
+
+// Formats byte counts ("1.5 MB") and durations in microseconds ("2.30 ms") for
+// bench output.
+std::string FormatBytes(uint64_t bytes);
+std::string FormatMicros(double micros);
+
+}  // namespace globe
+
+#endif  // SRC_UTIL_STRINGS_H_

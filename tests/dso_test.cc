@@ -1,0 +1,604 @@
+// Tests for the distributed-shared-object model: invocation marshalling, the four
+// replication protocols behind the standard replication interface, the
+// implementation repository, and binding through the run-time system.
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "src/dso/active_repl.h"
+#include "src/dso/cache_inval.h"
+#include "src/dso/client_server.h"
+#include "src/dso/control.h"
+#include "src/dso/master_slave.h"
+#include "src/dso/protocols.h"
+#include "src/dso/repository.h"
+#include "src/dso/runtime.h"
+#include "src/gls/deploy.h"
+
+namespace globe::dso {
+namespace {
+
+using sim::BuildUniformWorld;
+using sim::NodeId;
+using sim::UniformWorld;
+
+// A small key->string map object: the test stand-in for the package DSO. Methods:
+//   put(key, value)      write
+//   get(key) -> value    read-only
+//   size() -> u64        read-only
+class MapObject : public SemanticsObject {
+ public:
+  static constexpr uint16_t kTypeId = 7;
+
+  Result<Bytes> Invoke(const Invocation& invocation) override {
+    ByteReader r(invocation.args);
+    if (invocation.method == "put") {
+      ASSIGN_OR_RETURN(std::string key, r.ReadString());
+      ASSIGN_OR_RETURN(std::string value, r.ReadString());
+      entries_[key] = value;
+      return Bytes{};
+    }
+    if (invocation.method == "get") {
+      ASSIGN_OR_RETURN(std::string key, r.ReadString());
+      auto it = entries_.find(key);
+      if (it == entries_.end()) {
+        return NotFound("no such key: " + key);
+      }
+      ByteWriter w;
+      w.WriteString(it->second);
+      return w.Take();
+    }
+    if (invocation.method == "size") {
+      ByteWriter w;
+      w.WriteU64(entries_.size());
+      return w.Take();
+    }
+    return NotFound("no such method: " + invocation.method);
+  }
+
+  Bytes GetState() const override {
+    ByteWriter w;
+    w.WriteVarint(entries_.size());
+    for (const auto& [key, value] : entries_) {
+      w.WriteString(key);
+      w.WriteString(value);
+    }
+    return w.Take();
+  }
+
+  Status SetState(ByteSpan state) override {
+    ByteReader r(state);
+    std::map<std::string, std::string> entries;
+    ASSIGN_OR_RETURN(uint64_t count, r.ReadVarint());
+    for (uint64_t i = 0; i < count; ++i) {
+      ASSIGN_OR_RETURN(std::string key, r.ReadString());
+      ASSIGN_OR_RETURN(std::string value, r.ReadString());
+      entries[key] = value;
+    }
+    entries_ = std::move(entries);
+    return OkStatus();
+  }
+
+  std::unique_ptr<SemanticsObject> CloneEmpty() const override {
+    return std::make_unique<MapObject>();
+  }
+  uint16_t type_id() const override { return kTypeId; }
+
+  const std::map<std::string, std::string>& entries() const { return entries_; }
+
+ private:
+  std::map<std::string, std::string> entries_;
+};
+
+Invocation Put(const std::string& key, const std::string& value) {
+  ByteWriter w;
+  w.WriteString(key);
+  w.WriteString(value);
+  return Invocation{"put", w.Take(), /*read_only=*/false};
+}
+
+Invocation Get(const std::string& key) {
+  ByteWriter w;
+  w.WriteString(key);
+  return Invocation{"get", w.Take(), /*read_only=*/true};
+}
+
+// ---------------------------------------------------------------- Invocation
+
+TEST(InvocationTest, SerializationRoundTrip) {
+  Invocation invocation = Put("gimp", "1.1.29");
+  auto restored = Invocation::Deserialize(invocation.Serialize());
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(restored->method, "put");
+  EXPECT_EQ(restored->args, invocation.args);
+  EXPECT_FALSE(restored->read_only);
+}
+
+TEST(InvocationTest, MalformedRejected) {
+  EXPECT_FALSE(Invocation::Deserialize(Bytes{0xff, 0xff, 0xff}).ok());
+}
+
+// ---------------------------------------------------------------- Fixture
+
+class ProtocolTest : public ::testing::Test {
+ protected:
+  ProtocolTest()
+      : world_(BuildUniformWorld({2, 2}, 2)),
+        network_(&simulator_, &world_.topology),
+        transport_(&network_) {}
+
+  // Synchronous invoke helper.
+  Result<Bytes> InvokeSync(ReplicationObject* replication, const Invocation& invocation) {
+    Result<Bytes> out = Unavailable("pending");
+    replication->Invoke(invocation, [&](Result<Bytes> result) { out = std::move(result); });
+    simulator_.Run();
+    return out;
+  }
+
+  void StartSync(ReplicationObject* replication) {
+    Status status = InvalidArgument("pending");
+    replication->Start([&](Status s) { status = s; });
+    simulator_.Run();
+    ASSERT_TRUE(status.ok()) << status;
+  }
+
+  std::string GetSync(ReplicationObject* replication, const std::string& key) {
+    auto result = InvokeSync(replication, Get(key));
+    if (!result.ok()) {
+      return "<error: " + result.status().ToString() + ">";
+    }
+    ByteReader r(*result);
+    return r.ReadString().value();
+  }
+
+  sim::Simulator simulator_;
+  UniformWorld world_;
+  sim::Network network_;
+  sim::PlainTransport transport_;
+};
+
+// ---------------------------------------------------------------- Client/server
+
+TEST_F(ProtocolTest, ClientServerBasicFlow) {
+  ClientServerServer server(&transport_, world_.hosts[0], std::make_unique<MapObject>());
+  RemoteProxy proxy(&transport_, world_.hosts[5], *server.contact_address());
+
+  ASSERT_TRUE(InvokeSync(&proxy, Put("gimp", "1.1.29")).ok());
+  EXPECT_EQ(GetSync(&proxy, "gimp"), "1.1.29");
+  EXPECT_EQ(server.version(), 1u);
+  EXPECT_EQ(GetSync(&server, "gimp"), "1.1.29");  // local invoke on the server side
+}
+
+TEST_F(ProtocolTest, ClientServerErrorsPropagate) {
+  ClientServerServer server(&transport_, world_.hosts[0], std::make_unique<MapObject>());
+  RemoteProxy proxy(&transport_, world_.hosts[5], *server.contact_address());
+  auto result = InvokeSync(&proxy, Get("missing"));
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(ProtocolTest, ClientServerReadsDoNotBumpVersion) {
+  ClientServerServer server(&transport_, world_.hosts[0], std::make_unique<MapObject>());
+  InvokeSync(&server, Put("a", "1"));
+  uint64_t v = server.version();
+  InvokeSync(&server, Get("a"));
+  EXPECT_EQ(server.version(), v);
+}
+
+// ---------------------------------------------------------------- Master/slave
+
+TEST_F(ProtocolTest, MasterSlaveReplicationFlow) {
+  MasterSlaveMaster master(&transport_, world_.hosts[0], std::make_unique<MapObject>());
+  ASSERT_TRUE(InvokeSync(&master, Put("tetex", "1.0")).ok());
+
+  MasterSlaveSlave slave(&transport_, world_.hosts[4], std::make_unique<MapObject>(),
+                         master.contact_address()->endpoint);
+  StartSync(&slave);
+  // Snapshot transferred at registration.
+  EXPECT_EQ(slave.version(), 1u);
+  EXPECT_EQ(GetSync(&slave, "tetex"), "1.0");
+  EXPECT_EQ(master.num_slaves(), 1u);
+
+  // A write through the slave reaches the master and is pushed back.
+  ASSERT_TRUE(InvokeSync(&slave, Put("gimp", "1.1")).ok());
+  EXPECT_EQ(master.version(), 2u);
+  EXPECT_EQ(slave.version(), 2u);
+  EXPECT_EQ(GetSync(&slave, "gimp"), "1.1");
+
+  // Reads at the slave stay local: no master traffic.
+  uint64_t master_received_before = network_.per_node_received().count(world_.hosts[0])
+                                        ? network_.per_node_received().at(world_.hosts[0])
+                                        : 0;
+  GetSync(&slave, "gimp");
+  uint64_t master_received_after = network_.per_node_received().at(world_.hosts[0]);
+  EXPECT_EQ(master_received_after, master_received_before);
+}
+
+TEST_F(ProtocolTest, MasterSlavePushReachesAllSlaves) {
+  MasterSlaveMaster master(&transport_, world_.hosts[0], std::make_unique<MapObject>());
+  MasterSlaveSlave slave1(&transport_, world_.hosts[2], std::make_unique<MapObject>(),
+                          master.contact_address()->endpoint);
+  MasterSlaveSlave slave2(&transport_, world_.hosts[6], std::make_unique<MapObject>(),
+                          master.contact_address()->endpoint);
+  StartSync(&slave1);
+  StartSync(&slave2);
+
+  ASSERT_TRUE(InvokeSync(&master, Put("linux", "2.2.14")).ok());
+  EXPECT_EQ(slave1.version(), 1u);
+  EXPECT_EQ(slave2.version(), 1u);
+  EXPECT_EQ(GetSync(&slave1, "linux"), "2.2.14");
+  EXPECT_EQ(GetSync(&slave2, "linux"), "2.2.14");
+}
+
+TEST_F(ProtocolTest, MasterSlaveSurvivesDeadSlave) {
+  MasterSlaveMaster master(&transport_, world_.hosts[0], std::make_unique<MapObject>());
+  MasterSlaveSlave slave(&transport_, world_.hosts[2], std::make_unique<MapObject>(),
+                         master.contact_address()->endpoint);
+  StartSync(&slave);
+  network_.SetNodeUp(world_.hosts[2], false);
+
+  // The write must still complete (after the push times out).
+  auto result = InvokeSync(&master, Put("k", "v"));
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(master.version(), 1u);
+}
+
+TEST_F(ProtocolTest, MasterSlaveUnregisterStopsPushes) {
+  MasterSlaveMaster master(&transport_, world_.hosts[0], std::make_unique<MapObject>());
+  MasterSlaveSlave slave(&transport_, world_.hosts[2], std::make_unique<MapObject>(),
+                         master.contact_address()->endpoint);
+  StartSync(&slave);
+  Status status = InvalidArgument("pending");
+  slave.Shutdown([&](Status s) { status = s; });
+  simulator_.Run();
+  ASSERT_TRUE(status.ok());
+  EXPECT_EQ(master.num_slaves(), 0u);
+
+  InvokeSync(&master, Put("k", "v"));
+  EXPECT_EQ(slave.version(), 0u);  // no longer updated
+}
+
+// ---------------------------------------------------------------- Active replication
+
+TEST_F(ProtocolTest, ActiveReplicationAppliesWritesEverywhere) {
+  ActiveReplMember sequencer(&transport_, world_.hosts[0], std::make_unique<MapObject>(),
+                             sim::Endpoint{sim::kNoNode, 0});
+  ActiveReplMember member1(&transport_, world_.hosts[2], std::make_unique<MapObject>(),
+                           sequencer.contact_address()->endpoint);
+  ActiveReplMember member2(&transport_, world_.hosts[6], std::make_unique<MapObject>(),
+                           sequencer.contact_address()->endpoint);
+  StartSync(&member1);
+  StartSync(&member2);
+  EXPECT_EQ(sequencer.num_members(), 2u);
+
+  // Write through a non-sequencer member.
+  ASSERT_TRUE(InvokeSync(&member1, Put("gcc", "2.95")).ok());
+  EXPECT_EQ(sequencer.version(), 1u);
+  EXPECT_EQ(member1.version(), 1u);
+  EXPECT_EQ(member2.version(), 1u);
+  EXPECT_EQ(GetSync(&member2, "gcc"), "2.95");
+}
+
+TEST_F(ProtocolTest, ActiveReplicationOrdersConcurrentWrites) {
+  ActiveReplMember sequencer(&transport_, world_.hosts[0], std::make_unique<MapObject>(),
+                             sim::Endpoint{sim::kNoNode, 0});
+  ActiveReplMember member1(&transport_, world_.hosts[2], std::make_unique<MapObject>(),
+                           sequencer.contact_address()->endpoint);
+  ActiveReplMember member2(&transport_, world_.hosts[6], std::make_unique<MapObject>(),
+                           sequencer.contact_address()->endpoint);
+  StartSync(&member1);
+  StartSync(&member2);
+
+  // Two concurrent writes to the same key from different members: all replicas must
+  // converge on the same final value.
+  member1.Invoke(Put("k", "from1"), [](Result<Bytes>) {});
+  member2.Invoke(Put("k", "from2"), [](Result<Bytes>) {});
+  simulator_.Run();
+
+  EXPECT_EQ(sequencer.version(), 2u);
+  EXPECT_EQ(member1.version(), 2u);
+  EXPECT_EQ(member2.version(), 2u);
+  std::string v0 = GetSync(&sequencer, "k");
+  EXPECT_EQ(GetSync(&member1, "k"), v0);
+  EXPECT_EQ(GetSync(&member2, "k"), v0);
+}
+
+TEST_F(ProtocolTest, ActiveReplicationLateJoinerGetsSnapshot) {
+  ActiveReplMember sequencer(&transport_, world_.hosts[0], std::make_unique<MapObject>(),
+                             sim::Endpoint{sim::kNoNode, 0});
+  InvokeSync(&sequencer, Put("a", "1"));
+  InvokeSync(&sequencer, Put("b", "2"));
+
+  ActiveReplMember late(&transport_, world_.hosts[7], std::make_unique<MapObject>(),
+                        sequencer.contact_address()->endpoint);
+  StartSync(&late);
+  EXPECT_EQ(late.version(), 2u);
+  EXPECT_EQ(GetSync(&late, "b"), "2");
+}
+
+// ---------------------------------------------------------------- Cache/invalidate
+
+TEST_F(ProtocolTest, CacheFetchesLazilyAndServesReads) {
+  CacheInvalMaster master(&transport_, world_.hosts[0], std::make_unique<MapObject>());
+  InvokeSync(&master, Put("gimp", "1.0"));
+
+  CacheInvalCache cache(&transport_, world_.hosts[6], std::make_unique<MapObject>(),
+                        master.contact_address()->endpoint);
+  StartSync(&cache);
+  EXPECT_FALSE(cache.valid());  // registration transfers no state
+  EXPECT_EQ(cache.fetches(), 0u);
+
+  // First read faults the state in; the second is local.
+  EXPECT_EQ(GetSync(&cache, "gimp"), "1.0");
+  EXPECT_EQ(cache.fetches(), 1u);
+  EXPECT_EQ(GetSync(&cache, "gimp"), "1.0");
+  EXPECT_EQ(cache.fetches(), 1u);
+  EXPECT_EQ(master.fetches_served(), 1u);
+}
+
+TEST_F(ProtocolTest, WriteInvalidatesCaches) {
+  CacheInvalMaster master(&transport_, world_.hosts[0], std::make_unique<MapObject>());
+  CacheInvalCache cache(&transport_, world_.hosts[6], std::make_unique<MapObject>(),
+                        master.contact_address()->endpoint);
+  StartSync(&cache);
+  InvokeSync(&master, Put("gimp", "1.0"));
+  EXPECT_EQ(GetSync(&cache, "gimp"), "1.0");
+  ASSERT_TRUE(cache.valid());
+
+  // A write through the master invalidates; the next read re-fetches the new value.
+  InvokeSync(&master, Put("gimp", "1.1"));
+  EXPECT_FALSE(cache.valid());
+  EXPECT_EQ(GetSync(&cache, "gimp"), "1.1");
+  EXPECT_EQ(cache.fetches(), 2u);
+}
+
+TEST_F(ProtocolTest, CacheForwardsWritesToMaster) {
+  CacheInvalMaster master(&transport_, world_.hosts[0], std::make_unique<MapObject>());
+  CacheInvalCache cache(&transport_, world_.hosts[6], std::make_unique<MapObject>(),
+                        master.contact_address()->endpoint);
+  StartSync(&cache);
+
+  ASSERT_TRUE(InvokeSync(&cache, Put("k", "v")).ok());
+  EXPECT_EQ(master.version(), 1u);
+  EXPECT_EQ(GetSync(&master, "k"), "v");
+}
+
+TEST_F(ProtocolTest, CacheUnregisterStopsInvalidations) {
+  CacheInvalMaster master(&transport_, world_.hosts[0], std::make_unique<MapObject>());
+  CacheInvalCache cache(&transport_, world_.hosts[6], std::make_unique<MapObject>(),
+                        master.contact_address()->endpoint);
+  StartSync(&cache);
+  GetSync(&cache, "nokey");  // faults in (empty) state
+  Status status;
+  cache.Shutdown([&](Status s) { status = s; });
+  simulator_.Run();
+  EXPECT_EQ(master.num_caches(), 0u);
+}
+
+// ---------------------------------------------------------------- Factories
+
+TEST_F(ProtocolTest, MakeReplicaRejectsUnknownProtocol) {
+  ReplicaSetup setup;
+  setup.transport = &transport_;
+  setup.host = world_.hosts[0];
+  setup.semantics = std::make_unique<MapObject>();
+  auto result = MakeReplica(99, std::move(setup));
+  EXPECT_FALSE(result.ok());
+}
+
+TEST_F(ProtocolTest, MakeReplicaRequiresSemantics) {
+  ReplicaSetup setup;
+  setup.transport = &transport_;
+  setup.host = world_.hosts[0];
+  auto result = MakeReplica(kProtoClientServer, std::move(setup));
+  EXPECT_FALSE(result.ok());
+}
+
+TEST_F(ProtocolTest, SlaveSetupRequiresKnownMaster) {
+  ReplicaSetup setup;
+  setup.transport = &transport_;
+  setup.host = world_.hosts[0];
+  setup.semantics = std::make_unique<MapObject>();
+  setup.role = gls::ReplicaRole::kSlave;
+  auto result = MakeReplica(kProtoMasterSlave, std::move(setup));
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST_F(ProtocolTest, NearestAddressPicksClosest) {
+  std::vector<gls::ContactAddress> addresses = {
+      {{world_.hosts[7], 100}, kProtoClientServer, gls::ReplicaRole::kSlave},
+      {{world_.hosts[1], 100}, kProtoClientServer, gls::ReplicaRole::kSlave},
+  };
+  auto nearest = NearestAddress(&transport_, world_.hosts[0], addresses);
+  ASSERT_TRUE(nearest.ok());
+  EXPECT_EQ(nearest->endpoint.node, world_.hosts[1]);
+}
+
+// ---------------------------------------------------------------- Repository
+
+TEST(RepositoryTest, RegisterAndInstantiate) {
+  ImplementationRepository repository;
+  repository.RegisterSemantics(std::make_unique<MapObject>());
+  ASSERT_TRUE(repository.Has(MapObject::kTypeId));
+  auto instance = repository.Instantiate(MapObject::kTypeId);
+  ASSERT_TRUE(instance.ok());
+  EXPECT_EQ((*instance)->type_id(), MapObject::kTypeId);
+}
+
+TEST(RepositoryTest, UnknownTypeFails) {
+  ImplementationRepository repository;
+  EXPECT_FALSE(repository.Instantiate(42).ok());
+}
+
+// ---------------------------------------------------------------- Runtime binding
+
+class RuntimeTest : public ProtocolTest {
+ protected:
+  RuntimeTest() : deployment_(&transport_, &world_.topology, nullptr) {
+    repository_.RegisterSemantics(std::make_unique<MapObject>());
+  }
+
+  // Creates a master replica on `host`, registers it in the GLS, returns its OID.
+  gls::ObjectId CreateObject(NodeId host, gls::ProtocolId protocol) {
+    ReplicaSetup setup;
+    setup.transport = &transport_;
+    setup.host = host;
+    setup.semantics = std::make_unique<MapObject>();
+    setup.role = gls::ReplicaRole::kMaster;
+    auto replica = MakeReplica(protocol, std::move(setup));
+    EXPECT_TRUE(replica.ok());
+    masters_.push_back(std::move(*replica));
+
+    Rng rng(masters_.size());
+    gls::ObjectId oid = gls::ObjectId::Generate(&rng);
+    auto client = deployment_.MakeClient(host);
+    Status status = InvalidArgument("pending");
+    client->Insert(oid, *masters_.back()->contact_address(),
+                   [&](Status s) { status = s; });
+    simulator_.Run();
+    EXPECT_TRUE(status.ok()) << status;
+    return oid;
+  }
+
+  std::unique_ptr<BoundObject> BindSync(RuntimeSystem* runtime, const gls::ObjectId& oid,
+                                        BindOptions options = {}) {
+    std::unique_ptr<BoundObject> bound;
+    Status status = InvalidArgument("pending");
+    runtime->Bind(oid, std::move(options),
+                  [&](Result<std::unique_ptr<BoundObject>> result) {
+                    if (result.ok()) {
+                      bound = std::move(*result);
+                      status = OkStatus();
+                    } else {
+                      status = result.status();
+                    }
+                  });
+    simulator_.Run();
+    EXPECT_TRUE(status.ok()) << status;
+    return bound;
+  }
+
+  gls::GlsDeployment deployment_;
+  ImplementationRepository repository_;
+  std::vector<std::unique_ptr<ReplicationObject>> masters_;
+};
+
+TEST_F(RuntimeTest, BindProxyAndInvoke) {
+  gls::ObjectId oid = CreateObject(world_.hosts[0], kProtoClientServer);
+  RuntimeSystem runtime(&transport_, world_.hosts[5],
+                        deployment_.LeafDirectoryFor(world_.hosts[5]), &repository_);
+
+  auto bound = BindSync(&runtime, oid);
+  ASSERT_NE(bound, nullptr);
+
+  Result<Bytes> result = Unavailable("pending");
+  bound->Invoke("put", Put("a", "1").args, false,
+                [&](Result<Bytes> r) { result = std::move(r); });
+  simulator_.Run();
+  EXPECT_TRUE(result.ok());
+  EXPECT_EQ(runtime.stats().binds, 1u);
+}
+
+TEST_F(RuntimeTest, BindUnknownOidFails) {
+  RuntimeSystem runtime(&transport_, world_.hosts[5],
+                        deployment_.LeafDirectoryFor(world_.hosts[5]), &repository_);
+  Rng rng(77);
+  Status status = OkStatus();
+  runtime.Bind(gls::ObjectId::Generate(&rng), {},
+               [&](Result<std::unique_ptr<BoundObject>> result) {
+                 status = result.status();
+               });
+  simulator_.Run();
+  EXPECT_EQ(status.code(), StatusCode::kNotFound);
+  EXPECT_EQ(runtime.stats().bind_failures, 1u);
+}
+
+TEST_F(RuntimeTest, BindAsCacheReplicaRegistersInGls) {
+  gls::ObjectId oid = CreateObject(world_.hosts[0], kProtoCacheInval);
+
+  RuntimeSystem httpd(&transport_, world_.hosts[6],
+                      deployment_.LeafDirectoryFor(world_.hosts[6]), &repository_);
+  BindOptions options;
+  options.as_replica = gls::ReplicaRole::kCache;
+  options.semantics_type = MapObject::kTypeId;
+  options.register_in_gls = true;
+  auto bound = BindSync(&httpd, oid, options);
+  ASSERT_NE(bound, nullptr);
+  EXPECT_TRUE(bound->registered_in_gls);
+  EXPECT_EQ(httpd.stats().replicas_installed, 1u);
+
+  // A second client near the HTTPD now finds the cache replica, not the master.
+  RuntimeSystem nearby(&transport_, world_.hosts[7],
+                       deployment_.LeafDirectoryFor(world_.hosts[7]), &repository_);
+  auto second = BindSync(&nearby, oid);
+  ASSERT_NE(second, nullptr);
+  auto* proxy = dynamic_cast<RemoteProxy*>(second->replication.get());
+  ASSERT_NE(proxy, nullptr);
+  EXPECT_EQ(proxy->peer().endpoint.node, world_.hosts[6]);
+  EXPECT_EQ(proxy->peer().role, gls::ReplicaRole::kCache);
+
+  // Unbind deregisters from the GLS again.
+  Status unbind_status = InvalidArgument("pending");
+  httpd.Unbind(std::move(bound), [&](Status s) { unbind_status = s; });
+  simulator_.Run();
+  EXPECT_TRUE(unbind_status.ok()) << unbind_status;
+
+  auto third = BindSync(&nearby, oid);
+  ASSERT_NE(third, nullptr);
+  auto* proxy3 = dynamic_cast<RemoteProxy*>(third->replication.get());
+  ASSERT_NE(proxy3, nullptr);
+  EXPECT_EQ(proxy3->peer().endpoint.node, world_.hosts[0]);  // back to the master
+}
+
+TEST_F(RuntimeTest, BindAsReplicaWithoutImplementationFails) {
+  gls::ObjectId oid = CreateObject(world_.hosts[0], kProtoCacheInval);
+  RuntimeSystem runtime(&transport_, world_.hosts[6],
+                        deployment_.LeafDirectoryFor(world_.hosts[6]), &repository_);
+  BindOptions options;
+  options.as_replica = gls::ReplicaRole::kCache;
+  options.semantics_type = 999;  // not registered
+  Status status = OkStatus();
+  runtime.Bind(oid, options, [&](Result<std::unique_ptr<BoundObject>> result) {
+    status = result.status();
+  });
+  simulator_.Run();
+  EXPECT_EQ(status.code(), StatusCode::kNotFound);
+}
+
+// Parameterized across protocols: a master + a client proxy always gives
+// read-your-writes through the proxy.
+class AllProtocolsTest : public RuntimeTest,
+                         public ::testing::WithParamInterface<gls::ProtocolId> {};
+
+TEST_P(AllProtocolsTest, ProxyReadYourWrites) {
+  gls::ObjectId oid = CreateObject(world_.hosts[0], GetParam());
+  RuntimeSystem runtime(&transport_, world_.hosts[3],
+                        deployment_.LeafDirectoryFor(world_.hosts[3]), &repository_);
+  auto bound = BindSync(&runtime, oid);
+  ASSERT_NE(bound, nullptr);
+
+  Invocation put = Put("key", "value");
+  Result<Bytes> write_result = Unavailable("pending");
+  bound->Invoke(put.method, put.args, put.read_only,
+                [&](Result<Bytes> r) { write_result = std::move(r); });
+  simulator_.Run();
+  ASSERT_TRUE(write_result.ok()) << write_result.status();
+
+  Invocation get = Get("key");
+  Result<Bytes> read_result = Unavailable("pending");
+  bound->Invoke(get.method, get.args, get.read_only,
+                [&](Result<Bytes> r) { read_result = std::move(r); });
+  simulator_.Run();
+  ASSERT_TRUE(read_result.ok()) << read_result.status();
+  ByteReader r(*read_result);
+  EXPECT_EQ(r.ReadString().value(), "value");
+}
+
+INSTANTIATE_TEST_SUITE_P(Protocols, AllProtocolsTest,
+                         ::testing::Values(kProtoClientServer, kProtoMasterSlave,
+                                           kProtoActiveRepl, kProtoCacheInval));
+
+}  // namespace
+}  // namespace globe::dso

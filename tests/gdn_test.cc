@@ -1,0 +1,419 @@
+// Tests for the GDN application layer: the package DSO, the moderator tool, the
+// GDN-HTTPD with its HTML/file serving and replica binding, and the GdnWorld harness.
+
+#include <gtest/gtest.h>
+
+#include "src/gdn/package.h"
+#include "src/gdn/world.h"
+#include "src/util/sha256.h"
+
+namespace globe::gdn {
+namespace {
+
+// ---------------------------------------------------------------- PackageObject
+
+class PackageObjectTest : public ::testing::Test {
+ protected:
+  Result<Bytes> Invoke(const dso::Invocation& invocation) {
+    return package_.Invoke(invocation);
+  }
+  PackageObject package_;
+};
+
+TEST_F(PackageObjectTest, AddListGetRemove) {
+  Bytes content = ToBytes("#!/bin/sh\necho gimp\n");
+  ASSERT_TRUE(Invoke(pkg::AddFile("bin/gimp", content)).ok());
+  EXPECT_EQ(package_.num_files(), 1u);
+
+  auto listing = Invoke(pkg::ListContents());
+  ASSERT_TRUE(listing.ok());
+  auto files = pkg::ParseListContents(*listing);
+  ASSERT_TRUE(files.ok());
+  ASSERT_EQ(files->size(), 1u);
+  EXPECT_EQ((*files)[0].path, "bin/gimp");
+  EXPECT_EQ((*files)[0].size, content.size());
+  EXPECT_EQ((*files)[0].sha256_hex, Sha256::HexDigest(content));
+
+  auto fetched = Invoke(pkg::GetFileContents("bin/gimp"));
+  ASSERT_TRUE(fetched.ok());
+  EXPECT_EQ(*fetched, content);
+
+  ASSERT_TRUE(Invoke(pkg::RemoveFile("bin/gimp")).ok());
+  EXPECT_EQ(package_.num_files(), 0u);
+  EXPECT_FALSE(Invoke(pkg::GetFileContents("bin/gimp")).ok());
+}
+
+TEST_F(PackageObjectTest, AddFileOverwrites) {
+  ASSERT_TRUE(Invoke(pkg::AddFile("README", ToBytes("v1"))).ok());
+  ASSERT_TRUE(Invoke(pkg::AddFile("README", ToBytes("v2-longer"))).ok());
+  EXPECT_EQ(package_.num_files(), 1u);
+  auto fetched = Invoke(pkg::GetFileContents("README"));
+  ASSERT_TRUE(fetched.ok());
+  EXPECT_EQ(ToString(*fetched), "v2-longer");
+}
+
+TEST_F(PackageObjectTest, EmptyPathRejected) {
+  EXPECT_FALSE(Invoke(pkg::AddFile("", ToBytes("x"))).ok());
+}
+
+TEST_F(PackageObjectTest, RemoveMissingFileFails) {
+  auto result = Invoke(pkg::RemoveFile("nope"));
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(PackageObjectTest, DescriptionRoundTrip) {
+  ASSERT_TRUE(Invoke(pkg::SetDescription("GNU Image Manipulation Program")).ok());
+  auto description = Invoke(pkg::GetDescription());
+  ASSERT_TRUE(description.ok());
+  ByteReader r(*description);
+  EXPECT_EQ(r.ReadString().value(), "GNU Image Manipulation Program");
+}
+
+TEST_F(PackageObjectTest, UnknownMethodFails) {
+  dso::Invocation bogus{"pkg.format_disk", {}, false};
+  EXPECT_FALSE(Invoke(bogus).ok());
+}
+
+TEST_F(PackageObjectTest, StateRoundTrip) {
+  ASSERT_TRUE(Invoke(pkg::AddFile("a", ToBytes("alpha"))).ok());
+  ASSERT_TRUE(Invoke(pkg::AddFile("b", ToBytes("beta"))).ok());
+  ASSERT_TRUE(Invoke(pkg::SetDescription("two files")).ok());
+
+  PackageObject restored;
+  ASSERT_TRUE(restored.SetState(package_.GetState()).ok());
+  EXPECT_EQ(restored.num_files(), 2u);
+  EXPECT_EQ(restored.total_bytes(), package_.total_bytes());
+  auto fetched = restored.Invoke(pkg::GetFileContents("b"));
+  ASSERT_TRUE(fetched.ok());
+  EXPECT_EQ(ToString(*fetched), "beta");
+}
+
+TEST_F(PackageObjectTest, TamperedStateIsRejected) {
+  ASSERT_TRUE(Invoke(pkg::AddFile("binary", ToBytes("legit content"))).ok());
+  Bytes state = package_.GetState();
+  // Flip a byte inside the file content region; the per-file digest must catch it.
+  auto needle = ToBytes("legit");
+  auto it = std::search(state.begin(), state.end(), needle.begin(), needle.end());
+  ASSERT_NE(it, state.end());
+  *it ^= 0x01;
+  PackageObject restored;
+  Status status = restored.SetState(state);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kDataLoss);
+}
+
+TEST_F(PackageObjectTest, CloneEmptyIsEmpty) {
+  ASSERT_TRUE(Invoke(pkg::AddFile("a", ToBytes("x"))).ok());
+  auto clone = package_.CloneEmpty();
+  EXPECT_EQ(clone->type_id(), kPackageTypeId);
+  EXPECT_TRUE(clone->Invoke(pkg::ListContents()).ok());
+}
+
+// ---------------------------------------------------------------- GdnWorld end-to-end
+
+class GdnWorldTest : public ::testing::Test {
+ protected:
+  GdnWorldTest() : world_(MakeConfig()) {}
+
+  static GdnWorldConfig MakeConfig() {
+    GdnWorldConfig config;
+    config.fanouts = {2, 2, 2};  // 2 continents x 2 countries x 2 sites
+    config.user_hosts_per_site = 2;
+    return config;
+  }
+
+  GdnWorld world_;
+};
+
+TEST_F(GdnWorldTest, WorldWiring) {
+  EXPECT_EQ(world_.num_countries(), 4u);
+  EXPECT_EQ(world_.user_hosts().size(), 16u);
+  for (size_t i = 0; i < world_.num_countries(); ++i) {
+    EXPECT_NE(world_.GosOf(i), nullptr);
+    EXPECT_NE(world_.HttpdOf(i), nullptr);
+  }
+  // Every user maps to a country and an HTTPD.
+  for (sim::NodeId user : world_.user_hosts()) {
+    EXPECT_GE(world_.CountryOf(user), 0);
+    EXPECT_NE(world_.NearestHttpd(user), nullptr);
+  }
+}
+
+TEST_F(GdnWorldTest, PublishAndDownloadEndToEnd) {
+  std::map<std::string, Bytes> files = {
+      {"bin/gimp", ToBytes("ELF executable bytes")},
+      {"README", ToBytes("The GNU Image Manipulation Program")},
+  };
+  auto oid = world_.PublishPackage("/apps/graphics/Gimp", files, dso::kProtoMasterSlave,
+                                   /*master_country=*/0, /*replica_countries=*/{2});
+  ASSERT_TRUE(oid.ok()) << oid.status();
+
+  // A user on the other continent downloads through their local HTTPD.
+  sim::NodeId user = world_.user_hosts().back();
+  auto content = world_.DownloadFile(user, "/apps/graphics/Gimp", "README");
+  ASSERT_TRUE(content.ok()) << content.status();
+  EXPECT_EQ(ToString(*content), "The GNU Image Manipulation Program");
+}
+
+TEST_F(GdnWorldTest, ListingIsHtmlWithHashes) {
+  std::map<std::string, Bytes> files = {{"tetex.tar", ToBytes("tar bytes here")}};
+  ASSERT_TRUE(world_.PublishPackage("/apps/text/teTeX", files, dso::kProtoMasterSlave, 1)
+                  .ok());
+
+  auto listing = world_.FetchListing(world_.user_hosts()[0], "/apps/text/teTeX");
+  ASSERT_TRUE(listing.ok()) << listing.status();
+  EXPECT_NE(listing->find("<html>"), std::string::npos);
+  EXPECT_NE(listing->find("tetex.tar"), std::string::npos);
+  EXPECT_NE(listing->find(Sha256::HexDigest(ToBytes("tar bytes here"))), std::string::npos);
+}
+
+TEST_F(GdnWorldTest, DownloadUnknownPackageIs404) {
+  auto content = world_.DownloadFile(world_.user_hosts()[0], "/apps/never/was", "x");
+  EXPECT_FALSE(content.ok());
+}
+
+TEST_F(GdnWorldTest, DownloadUnknownFileIs404) {
+  std::map<std::string, Bytes> files = {{"real", ToBytes("x")}};
+  ASSERT_TRUE(world_.PublishPackage("/apps/one", files, dso::kProtoMasterSlave, 0).ok());
+  auto content = world_.DownloadFile(world_.user_hosts()[0], "/apps/one", "fake");
+  EXPECT_FALSE(content.ok());
+}
+
+TEST_F(GdnWorldTest, HttpdCachesBindings) {
+  std::map<std::string, Bytes> files = {{"f", ToBytes("data")}};
+  ASSERT_TRUE(world_.PublishPackage("/apps/pkg", files, dso::kProtoCacheInval, 0).ok());
+
+  sim::NodeId user = world_.user_hosts()[0];
+  GdnHttpd* httpd = world_.NearestHttpd(user);
+  ASSERT_TRUE(world_.DownloadFile(user, "/apps/pkg", "f").ok());
+  uint64_t binds_after_first = httpd->stats().binds;
+  ASSERT_TRUE(world_.DownloadFile(user, "/apps/pkg", "f").ok());
+  EXPECT_EQ(httpd->stats().binds, binds_after_first);
+  EXPECT_GE(httpd->stats().bind_reuses, 1u);
+}
+
+TEST_F(GdnWorldTest, HttpdActsAsReplicaAfterBind) {
+  // With cache/invalidate replication, the HTTPD's local representative becomes a
+  // cache replica registered in the GLS — a second download's reads are local.
+  std::map<std::string, Bytes> files = {{"big", Bytes(50000, 0xab)}};
+  ASSERT_TRUE(world_.PublishPackage("/apps/big", files, dso::kProtoCacheInval, 0).ok());
+
+  sim::NodeId user = world_.user_hosts().back();  // far from the master in country 0
+  ASSERT_TRUE(world_.DownloadFile(user, "/apps/big", "big").ok());
+
+  // First download faulted the state into the local HTTPD cache; a second download
+  // must not move the 50 KB across the top level again.
+  uint64_t wan_before = world_.network().stats().BytesAtOrAbove(2);
+  ASSERT_TRUE(world_.DownloadFile(user, "/apps/big", "big").ok());
+  uint64_t wan_after = world_.network().stats().BytesAtOrAbove(2);
+  EXPECT_LT(wan_after - wan_before, 10000u);
+}
+
+TEST_F(GdnWorldTest, ModeratorUpdatePropagatesToReaders) {
+  std::map<std::string, Bytes> files = {{"VERSION", ToBytes("1.0")}};
+  ASSERT_TRUE(world_.PublishPackage("/apps/tool", files, dso::kProtoMasterSlave, 0, {3})
+                  .ok());
+
+  sim::NodeId user = world_.user_hosts().back();
+  auto v1 = world_.DownloadFile(user, "/apps/tool", "VERSION");
+  ASSERT_TRUE(v1.ok());
+  EXPECT_EQ(ToString(*v1), "1.0");
+
+  // Moderator ships an update.
+  Status update_status = Unavailable("pending");
+  world_.moderator()->AddFile("/apps/tool", "VERSION", ToBytes("1.1"),
+                              [&](Status s) { update_status = s; });
+  world_.Run();
+  ASSERT_TRUE(update_status.ok()) << update_status;
+
+  auto v2 = world_.DownloadFile(user, "/apps/tool", "VERSION");
+  ASSERT_TRUE(v2.ok());
+  EXPECT_EQ(ToString(*v2), "1.1");
+}
+
+TEST_F(GdnWorldTest, RemovePackageMakesItUnreachable) {
+  std::map<std::string, Bytes> files = {{"f", ToBytes("y")}};
+  ASSERT_TRUE(world_.PublishPackage("/apps/temp", files, dso::kProtoMasterSlave, 0, {1})
+                  .ok());
+  ASSERT_TRUE(world_.DownloadFile(world_.user_hosts()[0], "/apps/temp", "f").ok());
+
+  Status remove_status = Unavailable("pending");
+  world_.moderator()->RemovePackage("/apps/temp", [&](Status s) { remove_status = s; });
+  world_.Run();
+  world_.naming_authority()->Flush();
+  world_.Run();
+  ASSERT_TRUE(remove_status.ok()) << remove_status;
+
+  // Fresh HTTPD state (the old one may hold a stale binding): use another country.
+  sim::NodeId other_user = world_.user_hosts()[7];
+  ASSERT_NE(world_.CountryOf(other_user), world_.CountryOf(world_.user_hosts()[0]));
+  auto content = world_.DownloadFile(other_user, "/apps/temp", "f");
+  EXPECT_FALSE(content.ok());
+}
+
+TEST_F(GdnWorldTest, FrontPageServes) {
+  auto browser = world_.MakeBrowser(world_.user_hosts()[0]);
+  Result<http::HttpResponse> out = Unavailable("pending");
+  browser->Fetch(world_.NearestHttpd(world_.user_hosts()[0])->node(), "/",
+                 [&](Result<http::HttpResponse> r) { out = std::move(r); });
+  world_.Run();
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->status_code, 200);
+  EXPECT_NE(ToString(out->body).find("Globe Distribution Network"), std::string::npos);
+}
+
+// ---------------------------------------------------------------- Secured world
+
+class SecureGdnWorldTest : public ::testing::Test {
+ protected:
+  SecureGdnWorldTest() : world_(MakeConfig()) {}
+
+  static GdnWorldConfig MakeConfig() {
+    GdnWorldConfig config;
+    config.fanouts = {2, 2};
+    config.user_hosts_per_site = 2;
+    config.secure = true;
+    return config;
+  }
+
+  GdnWorld world_;
+};
+
+TEST_F(SecureGdnWorldTest, PublishAndDownloadStillWork) {
+  std::map<std::string, Bytes> files = {{"f", ToBytes("secure bytes")}};
+  auto oid = world_.PublishPackage("/apps/sec", files, dso::kProtoMasterSlave, 0, {1});
+  ASSERT_TRUE(oid.ok()) << oid.status();
+
+  auto content = world_.DownloadFile(world_.user_hosts().back(), "/apps/sec", "f");
+  ASSERT_TRUE(content.ok()) << content.status();
+  EXPECT_EQ(ToString(*content), "secure bytes");
+  EXPECT_GT(world_.secure_transport()->stats().handshakes, 0u);
+}
+
+TEST_F(SecureGdnWorldTest, UserCannotCommandGos) {
+  sim::NodeId user = world_.user_hosts()[0];
+  sim::RpcClient rpc(world_.transport(), user);
+  ByteWriter w;
+  w.WriteU16(dso::kProtoClientServer);
+  w.WriteU16(kPackageTypeId);
+  Status status = OkStatus();
+  rpc.Call(world_.GosOf(0)->endpoint(), "gos.create_first_replica", w.Take(),
+           [&](Result<Bytes> result) { status = result.status(); });
+  world_.Run();
+  EXPECT_EQ(status.code(), StatusCode::kPermissionDenied);
+}
+
+TEST_F(SecureGdnWorldTest, UserCannotModifyPackageReplica) {
+  std::map<std::string, Bytes> files = {{"f", ToBytes("original")}};
+  auto oid = world_.PublishPackage("/apps/target", files, dso::kProtoMasterSlave, 0);
+  ASSERT_TRUE(oid.ok());
+
+  // The attacker binds to the package directly and attempts a write invocation.
+  sim::NodeId attacker = world_.user_hosts()[1];
+  dso::RuntimeSystem runtime(world_.transport(), attacker,
+                             world_.gls().LeafDirectoryFor(attacker),
+                             &world_.repository());
+  std::unique_ptr<dso::BoundObject> bound;
+  runtime.Bind(*oid, {}, [&](Result<std::unique_ptr<dso::BoundObject>> r) {
+    ASSERT_TRUE(r.ok());
+    bound = std::move(*r);
+  });
+  world_.Run();
+  ASSERT_NE(bound, nullptr);
+
+  // Reads are allowed...
+  Result<Bytes> read = Unavailable("pending");
+  auto get = pkg::GetFileContents("f");
+  bound->Invoke(get.method, get.args, true, [&](Result<Bytes> r) { read = std::move(r); });
+  world_.Run();
+  EXPECT_TRUE(read.ok());
+
+  // ...but the write is refused by the replica's write guard.
+  Result<Bytes> write = Unavailable("pending");
+  auto add = pkg::AddFile("f", ToBytes("trojaned"));
+  bound->Invoke(add.method, add.args, false, [&](Result<Bytes> r) { write = std::move(r); });
+  world_.Run();
+  ASSERT_FALSE(write.ok());
+  EXPECT_EQ(write.status().code(), StatusCode::kPermissionDenied);
+
+  // The file is untouched.
+  auto content = world_.DownloadFile(world_.user_hosts()[2], "/apps/target", "f");
+  ASSERT_TRUE(content.ok());
+  EXPECT_EQ(ToString(*content), "original");
+}
+
+TEST_F(SecureGdnWorldTest, MaintainerMayManageOnlyTheirPackage) {
+  // Paper §2 (future work): "A GDN maintainer is allowed to manage just the contents
+  // of a package."
+  sim::NodeId maintainer_node = world_.user_hosts()[3];
+  sec::PrincipalId maintainer =
+      world_.AddMaintainerMachine("gimp-maintainer", maintainer_node);
+
+  auto theirs = world_.PublishPackageWithMaintainers(
+      "/apps/theirs", {{"f", ToBytes("v1")}}, dso::kProtoMasterSlave, 0, {}, {maintainer});
+  ASSERT_TRUE(theirs.ok()) << theirs.status();
+  auto others = world_.PublishPackage("/apps/others", {{"f", ToBytes("v1")}},
+                                      dso::kProtoMasterSlave, 0);
+  ASSERT_TRUE(others.ok()) << others.status();
+
+  auto write_as_maintainer = [&](const gls::ObjectId& oid) {
+    dso::RuntimeSystem runtime(world_.transport(), maintainer_node,
+                               world_.gls().LeafDirectoryFor(maintainer_node),
+                               &world_.repository());
+    std::unique_ptr<dso::BoundObject> bound;
+    runtime.Bind(oid, {}, [&](Result<std::unique_ptr<dso::BoundObject>> r) {
+      if (r.ok()) {
+        bound = std::move(*r);
+      }
+    });
+    world_.Run();
+    Status status = Unavailable("bind failed");
+    if (bound != nullptr) {
+      auto invocation = pkg::AddFile("f", ToBytes("maintained"));
+      bound->Invoke(invocation.method, invocation.args, false,
+                    [&](Result<Bytes> r) { status = r.ok() ? OkStatus() : r.status(); });
+      world_.Run();
+    }
+    return status;
+  };
+
+  // Their own package: allowed.
+  EXPECT_TRUE(write_as_maintainer(*theirs).ok());
+  // Someone else's package: refused.
+  Status foreign = write_as_maintainer(*others);
+  ASSERT_FALSE(foreign.ok());
+  EXPECT_EQ(foreign.code(), StatusCode::kPermissionDenied);
+
+  // And an ordinary user still cannot touch the maintained package.
+  sim::NodeId user = world_.user_hosts()[2];
+  dso::RuntimeSystem user_runtime(world_.transport(), user,
+                                  world_.gls().LeafDirectoryFor(user),
+                                  &world_.repository());
+  std::unique_ptr<dso::BoundObject> bound;
+  user_runtime.Bind(*theirs, {}, [&](Result<std::unique_ptr<dso::BoundObject>> r) {
+    if (r.ok()) {
+      bound = std::move(*r);
+    }
+  });
+  world_.Run();
+  ASSERT_NE(bound, nullptr);
+  Status user_write = Unavailable("pending");
+  auto invocation = pkg::AddFile("f", ToBytes("trojan"));
+  bound->Invoke(invocation.method, invocation.args, false,
+                [&](Result<Bytes> r) { user_write = r.ok() ? OkStatus() : r.status(); });
+  world_.Run();
+  EXPECT_EQ(user_write.code(), StatusCode::kPermissionDenied);
+}
+
+TEST_F(SecureGdnWorldTest, ModeratorCanModifyPackage) {
+  std::map<std::string, Bytes> files = {{"f", ToBytes("v1")}};
+  ASSERT_TRUE(world_.PublishPackage("/apps/mine", files, dso::kProtoMasterSlave, 0).ok());
+  Status status = Unavailable("pending");
+  world_.moderator()->AddFile("/apps/mine", "f", ToBytes("v2"), [&](Status s) { status = s; });
+  world_.Run();
+  EXPECT_TRUE(status.ok()) << status;
+}
+
+}  // namespace
+}  // namespace globe::gdn

@@ -1,0 +1,291 @@
+// Tests for the Globe Object Server: replica creation commands, authorization,
+// checkpoint/restore across reboots, and GLS bookkeeping.
+
+#include <gtest/gtest.h>
+
+#include "src/gls/deploy.h"
+#include "src/gos/object_server.h"
+#include "src/sec/secure_transport.h"
+#include "tests/test_util.h"
+
+namespace globe::gos {
+namespace {
+
+using sim::BuildUniformWorld;
+using sim::NodeId;
+using sim::UniformWorld;
+using testutil::KvGet;
+using testutil::KvObject;
+using testutil::KvPut;
+
+class GosTest : public ::testing::Test {
+ protected:
+  GosTest()
+      : world_(BuildUniformWorld({2, 2}, 2)),
+        network_(&simulator_, &world_.topology),
+        transport_(&network_),
+        deployment_(&transport_, &world_.topology, nullptr) {
+    repository_.RegisterSemantics(std::make_unique<KvObject>());
+    gos_a_ = std::make_unique<ObjectServer>(&transport_, world_.hosts[0], &repository_,
+                                            deployment_.LeafDirectoryFor(world_.hosts[0]),
+                                            nullptr);
+    gos_b_ = std::make_unique<ObjectServer>(&transport_, world_.hosts[6], &repository_,
+                                            deployment_.LeafDirectoryFor(world_.hosts[6]),
+                                            nullptr);
+  }
+
+  gls::ObjectId CreateFirstSync(ObjectServer* gos, gls::ProtocolId protocol) {
+    gls::ObjectId oid;
+    Status status = InvalidArgument("pending");
+    gos->CreateFirstReplica(protocol, KvObject::kTypeId,
+                            [&](Result<std::pair<gls::ObjectId, gls::ContactAddress>> r) {
+                              if (r.ok()) {
+                                oid = r->first;
+                                status = OkStatus();
+                              } else {
+                                status = r.status();
+                              }
+                            });
+    simulator_.Run();
+    EXPECT_TRUE(status.ok()) << status;
+    return oid;
+  }
+
+  Status CreateReplicaSync(ObjectServer* gos, const gls::ObjectId& oid,
+                           gls::ReplicaRole role) {
+    Status status = InvalidArgument("pending");
+    gos->CreateReplica(oid, KvObject::kTypeId, role,
+                       [&](Result<std::pair<gls::ObjectId, gls::ContactAddress>> r) {
+                         status = r.ok() ? OkStatus() : r.status();
+                       });
+    simulator_.Run();
+    return status;
+  }
+
+  Result<Bytes> InvokeSync(dso::ReplicationObject* replication,
+                           const dso::Invocation& invocation) {
+    Result<Bytes> out = Unavailable("pending");
+    replication->Invoke(invocation, [&](Result<Bytes> r) { out = std::move(r); });
+    simulator_.Run();
+    return out;
+  }
+
+  sim::Simulator simulator_;
+  UniformWorld world_;
+  sim::Network network_;
+  sim::PlainTransport transport_;
+  gls::GlsDeployment deployment_;
+  dso::ImplementationRepository repository_;
+  std::unique_ptr<ObjectServer> gos_a_, gos_b_;
+};
+
+TEST_F(GosTest, CreateFirstReplicaAllocatesOidAndRegisters) {
+  gls::ObjectId oid = CreateFirstSync(gos_a_.get(), dso::kProtoMasterSlave);
+  EXPECT_FALSE(oid.IsNil());
+  EXPECT_EQ(gos_a_->num_replicas(), 1u);
+
+  // The contact address is findable worldwide.
+  auto client = deployment_.MakeClient(world_.hosts[7]);
+  bool found = false;
+  client->Lookup(oid, [&](Result<gls::LookupResult> r) { found = r.ok(); });
+  simulator_.Run();
+  EXPECT_TRUE(found);
+}
+
+TEST_F(GosTest, SecondaryReplicaJoinsAndReplicates) {
+  gls::ObjectId oid = CreateFirstSync(gos_a_.get(), dso::kProtoMasterSlave);
+  ASSERT_TRUE(CreateReplicaSync(gos_b_.get(), oid, gls::ReplicaRole::kSlave).ok());
+
+  // Write at the master; the slave sees it.
+  auto* master = gos_a_->FindReplica(oid);
+  auto* slave = gos_b_->FindReplica(oid);
+  ASSERT_NE(master, nullptr);
+  ASSERT_NE(slave, nullptr);
+  ASSERT_TRUE(InvokeSync(master, KvPut("gimp", "1.1.29")).ok());
+  EXPECT_EQ(slave->version(), 1u);
+  auto read = InvokeSync(slave, KvGet("gimp"));
+  ASSERT_TRUE(read.ok());
+}
+
+TEST_F(GosTest, CreateReplicaForUnknownObjectFails) {
+  Rng rng(5);
+  Status status = CreateReplicaSync(gos_b_.get(), gls::ObjectId::Generate(&rng),
+                                    gls::ReplicaRole::kSlave);
+  EXPECT_EQ(status.code(), StatusCode::kNotFound);
+}
+
+TEST_F(GosTest, DuplicateReplicaOnSameServerFails) {
+  gls::ObjectId oid = CreateFirstSync(gos_a_.get(), dso::kProtoClientServer);
+  Status status = InvalidArgument("pending");
+  gos_a_->CreateReplica(oid, KvObject::kTypeId, gls::ReplicaRole::kSlave,
+                        [&](Result<std::pair<gls::ObjectId, gls::ContactAddress>> r) {
+                          status = r.ok() ? OkStatus() : r.status();
+                        });
+  simulator_.Run();
+  EXPECT_EQ(status.code(), StatusCode::kAlreadyExists);
+}
+
+TEST_F(GosTest, RemoveReplicaDeregistersFromGls) {
+  gls::ObjectId oid = CreateFirstSync(gos_a_.get(), dso::kProtoClientServer);
+  Status status = InvalidArgument("pending");
+  gos_a_->RemoveReplica(oid, [&](Status s) { status = s; });
+  simulator_.Run();
+  ASSERT_TRUE(status.ok()) << status;
+  EXPECT_EQ(gos_a_->num_replicas(), 0u);
+
+  auto client = deployment_.MakeClient(world_.hosts[7]);
+  Status lookup_status = OkStatus();
+  client->Lookup(oid, [&](Result<gls::LookupResult> r) { lookup_status = r.status(); });
+  simulator_.Run();
+  EXPECT_EQ(lookup_status.code(), StatusCode::kNotFound);
+}
+
+TEST_F(GosTest, CheckpointAndRestoreRebuildsState) {
+  gls::ObjectId oid = CreateFirstSync(gos_a_.get(), dso::kProtoClientServer);
+  auto* replica = gos_a_->FindReplica(oid);
+  ASSERT_TRUE(InvokeSync(replica, KvPut("linux", "2.2.14")).ok());
+  ASSERT_TRUE(InvokeSync(replica, KvPut("gcc", "2.95")).ok());
+  uint64_t version_before = replica->version();
+
+  Bytes checkpoint = gos_a_->Checkpoint();
+
+  // "Reboot": take the node down, destroy the server, bring up a fresh one, restore.
+  network_.SetNodeUp(world_.hosts[0], false);
+  gos_a_.reset();
+  network_.SetNodeUp(world_.hosts[0], true);
+  gos_a_ = std::make_unique<ObjectServer>(&transport_, world_.hosts[0], &repository_,
+                                          deployment_.LeafDirectoryFor(world_.hosts[0]),
+                                          nullptr);
+  Status restore_status = InvalidArgument("pending");
+  gos_a_->Restore(checkpoint, [&](Status s) { restore_status = s; });
+  simulator_.Run();
+  ASSERT_TRUE(restore_status.ok()) << restore_status;
+  ASSERT_EQ(gos_a_->num_replicas(), 1u);
+
+  // State and version survived.
+  auto* restored = gos_a_->FindReplica(oid);
+  ASSERT_NE(restored, nullptr);
+  EXPECT_EQ(restored->version(), version_before);
+  auto read = InvokeSync(restored, KvGet("gcc"));
+  ASSERT_TRUE(read.ok());
+  ByteReader r(*read);
+  EXPECT_EQ(r.ReadString().value(), "2.95");
+
+  // And the GLS points at the *new* contact address: a fresh bind works end to end.
+  auto client = deployment_.MakeClient(world_.hosts[7]);
+  std::vector<gls::ContactAddress> addresses;
+  client->Lookup(oid, [&](Result<gls::LookupResult> r2) {
+    ASSERT_TRUE(r2.ok());
+    addresses = r2->addresses;
+  });
+  simulator_.Run();
+  ASSERT_EQ(addresses.size(), 1u);
+  EXPECT_EQ(addresses[0], *restored->contact_address());
+}
+
+TEST_F(GosTest, RestoreRejectsCorruptCheckpoint) {
+  Status status = OkStatus();
+  gos_a_->Restore(Bytes{0xff, 0xff, 0x03}, [&](Status s) { status = s; });
+  simulator_.Run();
+  EXPECT_FALSE(status.ok());
+}
+
+TEST_F(GosTest, RpcCommandsWork) {
+  // Drive the server through its RPC surface, as the moderator tool does.
+  sim::RpcClient rpc(&transport_, world_.hosts[3]);
+  ByteWriter w;
+  w.WriteU16(dso::kProtoClientServer);
+  w.WriteU16(KvObject::kTypeId);
+  gls::ObjectId oid;
+  bool ok = false;
+  rpc.Call(gos_a_->endpoint(), "gos.create_first_replica", w.Take(),
+           [&](Result<Bytes> result) {
+             ASSERT_TRUE(result.ok()) << result.status();
+             ByteReader r(*result);
+             oid = *gls::ObjectId::Deserialize(&r);
+             ok = true;
+           });
+  simulator_.Run();
+  ASSERT_TRUE(ok);
+  EXPECT_EQ(gos_a_->num_replicas(), 1u);
+
+  // list_replicas sees it.
+  size_t listed = 0;
+  rpc.Call(gos_a_->endpoint(), "gos.list_replicas", {}, [&](Result<Bytes> result) {
+    ASSERT_TRUE(result.ok());
+    ByteReader r(*result);
+    listed = static_cast<size_t>(*r.ReadVarint());
+  });
+  simulator_.Run();
+  EXPECT_EQ(listed, 1u);
+
+  // remove via RPC.
+  ByteWriter rm;
+  oid.Serialize(&rm);
+  Status remove_status = InvalidArgument("pending");
+  rpc.Call(gos_a_->endpoint(), "gos.remove_replica", rm.Take(), [&](Result<Bytes> result) {
+    remove_status = result.ok() ? OkStatus() : result.status();
+  });
+  simulator_.Run();
+  EXPECT_TRUE(remove_status.ok()) << remove_status;
+  EXPECT_EQ(gos_a_->num_replicas(), 0u);
+}
+
+TEST(GosAuthTest, OnlyModeratorsMayCommand) {
+  sim::Simulator simulator;
+  UniformWorld world = BuildUniformWorld({2, 2}, 2);
+  sec::KeyRegistry registry;
+  sim::Network network(&simulator, &world.topology);
+  sec::SecureTransport secure(&network, &registry);
+  dso::ImplementationRepository repository;
+  repository.RegisterSemantics(std::make_unique<KvObject>());
+  gls::GlsDeployment deployment(&secure, &world.topology, &registry);
+
+  NodeId gos_node = world.hosts[0];
+  NodeId moderator_node = world.hosts[2];
+  NodeId user_node = world.hosts[3];
+  secure.SetNodeCredential(gos_node, registry.Register("gos", sec::Role::kGdnHost));
+  secure.SetNodeCredential(moderator_node,
+                           registry.Register("moderator", sec::Role::kModerator));
+  secure.SetNodeCredential(user_node, registry.Register("user", sec::Role::kUser));
+  secure.SetChannelPolicy([&](NodeId src, NodeId dst) {
+    sec::ChannelConfig config;
+    if (dst == gos_node && (src == moderator_node || src == user_node)) {
+      config.auth = sec::AuthMode::kMutualAuth;
+    }
+    return config;
+  });
+
+  GosOptions options;
+  options.enforce_authorization = true;
+  ObjectServer gos(&secure, gos_node, &repository, deployment.LeafDirectoryFor(gos_node),
+                   &registry, options);
+
+  ByteWriter w;
+  w.WriteU16(dso::kProtoClientServer);
+  w.WriteU16(KvObject::kTypeId);
+  Bytes request = w.Take();
+
+  // User's command is refused; moderator's succeeds.
+  sim::RpcClient user_rpc(&secure, user_node);
+  Status user_status = OkStatus();
+  user_rpc.Call(gos.endpoint(), "gos.create_first_replica", request,
+                [&](Result<Bytes> result) { user_status = result.status(); });
+  simulator.Run();
+  EXPECT_EQ(user_status.code(), StatusCode::kPermissionDenied);
+  EXPECT_EQ(gos.stats().commands_denied, 1u);
+  EXPECT_EQ(gos.num_replicas(), 0u);
+
+  sim::RpcClient moderator_rpc(&secure, moderator_node);
+  Status moderator_status = InvalidArgument("pending");
+  moderator_rpc.Call(gos.endpoint(), "gos.create_first_replica", request,
+                     [&](Result<Bytes> result) {
+                       moderator_status = result.ok() ? OkStatus() : result.status();
+                     });
+  simulator.Run();
+  EXPECT_TRUE(moderator_status.ok()) << moderator_status;
+  EXPECT_EQ(gos.num_replicas(), 1u);
+}
+
+}  // namespace
+}  // namespace globe::gos

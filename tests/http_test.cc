@@ -1,0 +1,133 @@
+// Tests for the HTTP/1.0 message layer.
+
+#include <gtest/gtest.h>
+
+#include "src/http/http.h"
+
+namespace globe::http {
+namespace {
+
+TEST(HttpRequestTest, SerializeParseRoundTrip) {
+  HttpRequest request;
+  request.method = "GET";
+  request.target = "/packages/apps/graphics/Gimp?x=1";
+  request.headers["host"] = "gdn.cs.vu.nl";
+  auto restored = HttpRequest::Parse(request.Serialize());
+  ASSERT_TRUE(restored.ok()) << restored.status();
+  EXPECT_EQ(restored->method, "GET");
+  EXPECT_EQ(restored->target, "/packages/apps/graphics/Gimp?x=1");
+  EXPECT_EQ(restored->Path(), "/packages/apps/graphics/Gimp");
+  EXPECT_EQ(restored->Query(), "x=1");
+  EXPECT_EQ(restored->headers.at("host"), "gdn.cs.vu.nl");
+}
+
+TEST(HttpRequestTest, ParsesRealWireText) {
+  std::string wire =
+      "GET /packages/apps/tetex HTTP/1.0\r\n"
+      "Host: gdn-access.nl\r\n"
+      "User-Agent: Mozilla/4.7\r\n"
+      "\r\n";
+  auto request = HttpRequest::Parse(ToBytes(wire));
+  ASSERT_TRUE(request.ok());
+  EXPECT_EQ(request->method, "GET");
+  EXPECT_EQ(request->target, "/packages/apps/tetex");
+  EXPECT_EQ(request->version, "HTTP/1.0");
+  EXPECT_EQ(request->headers.at("user-agent"), "Mozilla/4.7");
+}
+
+TEST(HttpRequestTest, HeaderNamesAreCaseInsensitive) {
+  std::string wire = "GET / HTTP/1.0\r\nCoNtEnT-TyPe: text/html\r\n\r\n";
+  auto request = HttpRequest::Parse(ToBytes(wire));
+  ASSERT_TRUE(request.ok());
+  EXPECT_EQ(request->headers.at("content-type"), "text/html");
+}
+
+TEST(HttpRequestTest, ToleratesBareLf) {
+  std::string wire = "GET / HTTP/1.0\nHost: x\n\nbody";
+  auto request = HttpRequest::Parse(ToBytes(wire));
+  ASSERT_TRUE(request.ok());
+  EXPECT_EQ(ToString(request->body), "body");
+}
+
+TEST(HttpRequestTest, RejectsGarbage) {
+  EXPECT_FALSE(HttpRequest::Parse(ToBytes("not http at all")).ok());
+  EXPECT_FALSE(HttpRequest::Parse(ToBytes("GET /\r\n\r\n")).ok());  // missing version
+  EXPECT_FALSE(HttpRequest::Parse(Bytes{}).ok());
+}
+
+TEST(HttpRequestTest, RejectsMalformedHeaderLine) {
+  std::string wire = "GET / HTTP/1.0\r\nbroken header line\r\n\r\n";
+  EXPECT_FALSE(HttpRequest::Parse(ToBytes(wire)).ok());
+}
+
+TEST(HttpRequestTest, BodyCarriedThrough) {
+  HttpRequest request;
+  request.method = "POST";
+  request.body = ToBytes("payload-bytes");
+  auto restored = HttpRequest::Parse(request.Serialize());
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(ToString(restored->body), "payload-bytes");
+  EXPECT_EQ(restored->headers.at("content-length"), "13");
+}
+
+TEST(HttpResponseTest, SerializeParseRoundTrip) {
+  HttpResponse response;
+  response.status_code = 404;
+  response.reason = "Not Found";
+  response.SetHtml("<html>nope</html>");
+  auto restored = HttpResponse::Parse(response.Serialize());
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(restored->status_code, 404);
+  EXPECT_EQ(restored->reason, "Not Found");
+  EXPECT_EQ(restored->headers.at("content-type"), "text/html");
+  EXPECT_EQ(ToString(restored->body), "<html>nope</html>");
+}
+
+TEST(HttpResponseTest, BinaryBodySurvives) {
+  HttpResponse response;
+  Bytes binary = {0x00, 0x01, 0xff, 0xfe, '\r', '\n', '\r', '\n', 0x42};
+  response.SetBody(binary, "application/octet-stream");
+  auto restored = HttpResponse::Parse(response.Serialize());
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(restored->body, binary);
+}
+
+TEST(HttpResponseTest, RejectsBadStatusLine) {
+  EXPECT_FALSE(HttpResponse::Parse(ToBytes("HTTP/1.0\r\n\r\n")).ok());
+  EXPECT_FALSE(HttpResponse::Parse(ToBytes("HTTP/1.0 999999 X\r\n\r\n")).ok());
+}
+
+TEST(HttpResponseTest, ErrorHelperProducesHtml) {
+  HttpResponse response = MakeErrorResponse(404, "Not Found", "no such package");
+  EXPECT_EQ(response.status_code, 404);
+  EXPECT_NE(ToString(response.body).find("no such package"), std::string::npos);
+}
+
+TEST(UrlCodecTest, EncodeDecodeRoundTrip) {
+  std::string original = "/packages/apps/graphics/Gimp 1.0/files/bin/gimp";
+  std::string encoded = UrlEncode(original);
+  EXPECT_EQ(encoded.find(' '), std::string::npos);
+  auto decoded = UrlDecode(encoded);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(*decoded, original);
+}
+
+TEST(UrlCodecTest, DecodeRejectsTruncatedEscape) {
+  EXPECT_FALSE(UrlDecode("abc%2").ok());
+  EXPECT_FALSE(UrlDecode("abc%zz").ok());
+}
+
+TEST(UrlCodecTest, PlusDecodesToSpace) {
+  auto decoded = UrlDecode("a+b");
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(*decoded, "a b");
+}
+
+TEST(ReasonPhraseTest, KnownCodes) {
+  EXPECT_EQ(ReasonPhrase(200), "OK");
+  EXPECT_EQ(ReasonPhrase(404), "Not Found");
+  EXPECT_EQ(ReasonPhrase(299), "Unknown");
+}
+
+}  // namespace
+}  // namespace globe::http

@@ -1,0 +1,204 @@
+// Robustness / fuzz tests for the availability requirement (paper §6.1): "People
+// should not be able to crash our critical servers, nor render them inoperable using
+// bogus protocol messages. The critical servers in the GDN are: Location Service
+// directory nodes ..., Object Servers, GDN-enabled HTTPDs, DNS servers and auxiliary
+// daemons."
+//
+// Strategy: build a full GdnWorld, blast every critical port with random garbage and
+// structured-but-corrupt frames from user machines, then prove every service still
+// answers legitimate requests correctly.
+
+#include <gtest/gtest.h>
+
+#include "src/gdn/world.h"
+
+namespace globe::gdn {
+namespace {
+
+class RobustnessTest : public ::testing::TestWithParam<uint64_t> {
+ protected:
+  RobustnessTest() {
+    status_ = world_.PublishPackage("/apps/canary", {{"f", ToBytes("alive")}},
+                                    dso::kProtoMasterSlave, 0, {1})
+                  .ok()
+                  ? OkStatus()
+                  : InvalidArgument("publish failed");
+  }
+
+  // Targets: every well-known service port on every GDN host, plus the DSO replica
+  // ports (which are ephemeral — sweep a band of them).
+  std::vector<sim::Endpoint> CriticalEndpoints() {
+    std::vector<sim::Endpoint> endpoints;
+    for (const auto& country : world_.countries()) {
+      endpoints.push_back({country.gos_host, sim::kPortGos});
+      endpoints.push_back({country.gos_host, sim::kPortHttp});
+      endpoints.push_back({country.resolver_host, sim::kPortDns});
+    }
+    endpoints.push_back({world_.dns_primary()->node(), sim::kPortDns});
+    endpoints.push_back({world_.naming_authority()->endpoint().node,
+                         sim::kPortGnsAuthority});
+    for (const auto& subnode : world_.gls().subnodes()) {
+      endpoints.push_back(subnode->endpoint());
+    }
+    // A band of ephemeral ports where replica communication objects live.
+    for (uint16_t port = sim::kPortClientBase; port < sim::kPortClientBase + 40; ++port) {
+      endpoints.push_back({world_.countries()[0].gos_host, port});
+    }
+    return endpoints;
+  }
+
+  // Everything still works end to end.
+  void VerifyWorldStillWorks() {
+    auto content = world_.DownloadFile(world_.user_hosts().back(), "/apps/canary", "f");
+    ASSERT_TRUE(content.ok()) << content.status();
+    EXPECT_EQ(ToString(*content), "alive");
+
+    Status update = Unavailable("pending");
+    world_.moderator()->AddFile("/apps/canary", "f2", ToBytes("updated"),
+                                [&](Status s) { update = s; });
+    world_.Run();
+    EXPECT_TRUE(update.ok()) << update;
+  }
+
+  GdnWorld world_;
+  Status status_;
+};
+
+TEST_P(RobustnessTest, RandomGarbageToEveryCriticalPort) {
+  ASSERT_TRUE(status_.ok());
+  Rng rng(GetParam());
+  auto endpoints = CriticalEndpoints();
+  for (const auto& endpoint : endpoints) {
+    for (int i = 0; i < 8; ++i) {
+      sim::NodeId attacker =
+          world_.user_hosts()[rng.UniformInt(world_.user_hosts().size())];
+      Bytes garbage = rng.RandomBytes(rng.UniformInt(300));
+      world_.network().Send({attacker, 9999}, endpoint, std::move(garbage));
+    }
+  }
+  world_.Run();
+  VerifyWorldStillWorks();
+}
+
+TEST_P(RobustnessTest, TruncatedRealFramesToEveryCriticalPort) {
+  ASSERT_TRUE(status_.ok());
+  Rng rng(GetParam() + 100);
+
+  // A plausible RPC request frame, truncated at every prefix length.
+  ByteWriter w;
+  w.WriteU8(0);  // request
+  w.WriteU64(42);
+  w.WriteString("gls.lookup");
+  w.WriteLengthPrefixed(rng.RandomBytes(24));
+  Bytes frame = w.Take();
+
+  auto endpoints = CriticalEndpoints();
+  for (const auto& endpoint : endpoints) {
+    size_t cut = rng.UniformInt(frame.size());
+    Bytes truncated(frame.begin(), frame.begin() + cut);
+    world_.network().Send({world_.user_hosts()[0], 1234}, endpoint, std::move(truncated));
+  }
+  world_.Run();
+  VerifyWorldStillWorks();
+}
+
+TEST_P(RobustnessTest, CorruptHttpRequests) {
+  ASSERT_TRUE(status_.ok());
+  Rng rng(GetParam() + 200);
+  std::vector<std::string> nasties = {
+      "",
+      "GET",
+      "GET / HTTP/1.0",                         // no header terminator
+      "\r\n\r\n",
+      "POST /packages/x HTTP/1.0\r\n\r\n",      // unsupported method
+      "GET /packages/%zz HTTP/1.0\r\n\r\n",     // bad escape
+      "GET /../../etc/passwd HTTP/1.0\r\n\r\n",
+      std::string(100000, 'A'),
+      "GET /search?q=%", // truncated escape in query
+  };
+  sim::NodeId httpd = world_.countries()[0].gos_host;
+  for (const auto& nasty : nasties) {
+    world_.network().Send({world_.user_hosts()[1], 2345}, {httpd, sim::kPortHttp},
+                          ToBytes(nasty));
+  }
+  // Random binary junk too.
+  for (int i = 0; i < 20; ++i) {
+    world_.network().Send({world_.user_hosts()[1], 2345}, {httpd, sim::kPortHttp},
+                          rng.RandomBytes(rng.UniformInt(2000)));
+  }
+  world_.Run();
+  VerifyWorldStillWorks();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RobustnessTest, ::testing::Values(1, 2, 3));
+
+// Secured world under the same abuse: the secure transport must additionally count
+// (not crash on) malformed frames.
+TEST(SecureRobustnessTest, GarbageAgainstSecuredWorld) {
+  GdnWorldConfig config;
+  config.fanouts = {2, 2};
+  config.secure = true;
+  GdnWorld world(config);
+  ASSERT_TRUE(world
+                  .PublishPackage("/apps/canary", {{"f", ToBytes("alive")}},
+                                  dso::kProtoMasterSlave, 0)
+                  .ok());
+
+  Rng rng(77);
+  for (int i = 0; i < 100; ++i) {
+    sim::NodeId target = world.countries()[i % world.num_countries()].gos_host;
+    uint16_t port = (i % 2 == 0) ? sim::kPortGos : sim::kPortHttp;
+    world.network().Send({world.user_hosts()[0], 999}, {target, port},
+                         rng.RandomBytes(rng.UniformInt(200)));
+  }
+  world.Run();
+
+  auto content = world.DownloadFile(world.user_hosts()[2], "/apps/canary", "f");
+  ASSERT_TRUE(content.ok()) << content.status();
+  EXPECT_EQ(ToString(*content), "alive");
+  EXPECT_GT(world.secure_transport()->stats().malformed_frames, 0u);
+}
+
+// Directory-node crash mid-operation: inserts during the outage fail cleanly and
+// succeed after recovery.
+TEST(FailureRecoveryTest, GlsNodeCrashDuringInserts) {
+  GdnWorld world;
+  ASSERT_TRUE(world
+                  .PublishPackage("/apps/base", {{"f", ToBytes("v")}},
+                                  dso::kProtoMasterSlave, 0)
+                  .ok());
+
+  // Crash the leaf directory node serving country 1's GOS.
+  sim::NodeId gos_host = world.countries()[1].gos_host;
+  sim::DomainId leaf_domain = world.topology().NodeDomain(gos_host);
+  auto subnodes = world.gls().SubnodesOf(leaf_domain);
+  ASSERT_FALSE(subnodes.empty());
+  sim::NodeId directory_host = subnodes[0]->host();
+  Bytes checkpoint = subnodes[0]->SaveState();
+  world.network().SetNodeUp(directory_host, false);
+
+  // Creating a replica in country 1 now fails (its GLS leaf is down).
+  Status create_status = OkStatus();
+  world.GosOf(1)->CreateFirstReplica(
+      dso::kProtoMasterSlave, kPackageTypeId,
+      [&](Result<std::pair<gls::ObjectId, gls::ContactAddress>> r) {
+        create_status = r.ok() ? OkStatus() : r.status();
+      });
+  world.Run();
+  EXPECT_FALSE(create_status.ok());
+
+  // Recover the directory node; the same command now succeeds.
+  world.network().SetNodeUp(directory_host, true);
+  ASSERT_TRUE(const_cast<gls::DirectorySubnode*>(subnodes[0])->RestoreState(checkpoint).ok());
+  create_status = Unavailable("pending");
+  world.GosOf(1)->CreateFirstReplica(
+      dso::kProtoMasterSlave, kPackageTypeId,
+      [&](Result<std::pair<gls::ObjectId, gls::ContactAddress>> r) {
+        create_status = r.ok() ? OkStatus() : r.status();
+      });
+  world.Run();
+  EXPECT_TRUE(create_status.ok()) << create_status;
+}
+
+}  // namespace
+}  // namespace globe::gdn

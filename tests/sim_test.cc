@@ -1,0 +1,482 @@
+// Tests for the discrete-event simulator, topology, network and RPC layers.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/sim/network.h"
+#include "src/sim/rpc.h"
+#include "src/sim/simulator.h"
+#include "src/sim/topology.h"
+
+namespace globe::sim {
+namespace {
+
+// ---------------------------------------------------------------- Simulator
+
+TEST(SimulatorTest, RunsEventsInTimeOrder) {
+  Simulator simulator;
+  std::vector<int> order;
+  simulator.ScheduleAt(30, [&] { order.push_back(3); });
+  simulator.ScheduleAt(10, [&] { order.push_back(1); });
+  simulator.ScheduleAt(20, [&] { order.push_back(2); });
+  simulator.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(simulator.Now(), 30u);
+}
+
+TEST(SimulatorTest, SameTimeIsFifo) {
+  Simulator simulator;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    simulator.ScheduleAt(5, [&, i] { order.push_back(i); });
+  }
+  simulator.Run();
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(order[i], i);
+  }
+}
+
+TEST(SimulatorTest, EventsMayScheduleEvents) {
+  Simulator simulator;
+  int fired = 0;
+  simulator.ScheduleAt(10, [&] {
+    simulator.ScheduleAfter(5, [&] { fired = 1; });
+  });
+  simulator.Run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(simulator.Now(), 15u);
+}
+
+TEST(SimulatorTest, RunUntilStopsAtDeadline) {
+  Simulator simulator;
+  int count = 0;
+  simulator.ScheduleAt(10, [&] { ++count; });
+  simulator.ScheduleAt(100, [&] { ++count; });
+  simulator.RunUntil(50);
+  EXPECT_EQ(count, 1);
+  EXPECT_EQ(simulator.Now(), 50u);
+  simulator.Run();
+  EXPECT_EQ(count, 2);
+}
+
+TEST(SimulatorTest, StepReturnsFalseWhenEmpty) {
+  Simulator simulator;
+  EXPECT_FALSE(simulator.Step());
+}
+
+// ---------------------------------------------------------------- Topology
+
+class WorldTest : public ::testing::Test {
+ protected:
+  // 2 continents x 2 countries x 2 sites, 2 hosts per site = 16 hosts.
+  WorldTest() : world_(BuildUniformWorld({2, 2, 2}, 2)) {}
+  UniformWorld world_;
+};
+
+TEST_F(WorldTest, Counts) {
+  EXPECT_EQ(world_.leaf_domains.size(), 8u);
+  EXPECT_EQ(world_.hosts.size(), 16u);
+  // 1 root + 2 + 4 + 8 = 15 domains.
+  EXPECT_EQ(world_.topology.num_domains(), 15u);
+}
+
+TEST_F(WorldTest, AscentLevels) {
+  const Topology& t = world_.topology;
+  // Hosts 0 and 1 share a leaf site.
+  EXPECT_EQ(t.AscentLevel(world_.hosts[0], world_.hosts[1]), 0);
+  // Hosts 0 and 2 share a country but not a site.
+  EXPECT_EQ(t.AscentLevel(world_.hosts[0], world_.hosts[2]), 1);
+  // Hosts 0 and 4 share a continent but not a country.
+  EXPECT_EQ(t.AscentLevel(world_.hosts[0], world_.hosts[4]), 2);
+  // Hosts 0 and 8 are on different continents.
+  EXPECT_EQ(t.AscentLevel(world_.hosts[0], world_.hosts[8]), 3);
+}
+
+TEST_F(WorldTest, LatencyMonotoneInDistance) {
+  LinkProfile profile;
+  const Topology& t = world_.topology;
+  double same_site = t.LatencyUs(world_.hosts[0], world_.hosts[1], profile);
+  double same_country = t.LatencyUs(world_.hosts[0], world_.hosts[2], profile);
+  double same_continent = t.LatencyUs(world_.hosts[0], world_.hosts[4], profile);
+  double world_apart = t.LatencyUs(world_.hosts[0], world_.hosts[8], profile);
+  EXPECT_LT(same_site, same_country);
+  EXPECT_LT(same_country, same_continent);
+  EXPECT_LT(same_continent, world_apart);
+}
+
+TEST_F(WorldTest, LoopbackCheapest) {
+  LinkProfile profile;
+  const Topology& t = world_.topology;
+  EXPECT_LT(t.LatencyUs(world_.hosts[0], world_.hosts[0], profile),
+            t.LatencyUs(world_.hosts[0], world_.hosts[1], profile));
+}
+
+TEST_F(WorldTest, LatencyIsSymmetric) {
+  LinkProfile profile;
+  const Topology& t = world_.topology;
+  for (NodeId a : {0u, 3u, 9u}) {
+    for (NodeId b : {1u, 7u, 15u}) {
+      EXPECT_EQ(t.LatencyUs(a, b, profile), t.LatencyUs(b, a, profile));
+    }
+  }
+}
+
+TEST_F(WorldTest, TransmitScalesWithSizeAndDistance) {
+  LinkProfile profile;
+  const Topology& t = world_.topology;
+  double lan_1k = t.TransmitUs(world_.hosts[0], world_.hosts[1], 1000, profile);
+  double lan_2k = t.TransmitUs(world_.hosts[0], world_.hosts[1], 2000, profile);
+  double wan_1k = t.TransmitUs(world_.hosts[0], world_.hosts[8], 1000, profile);
+  EXPECT_NEAR(lan_2k, 2 * lan_1k, 1e-9);
+  EXPECT_GT(wan_1k, lan_1k);
+}
+
+TEST_F(WorldTest, LcaAndAncestors) {
+  const Topology& t = world_.topology;
+  DomainId leaf0 = world_.leaf_domains[0];
+  DomainId leaf7 = world_.leaf_domains[7];
+  EXPECT_EQ(t.Lca(leaf0, leaf7), world_.root);
+  EXPECT_EQ(t.Lca(leaf0, leaf0), leaf0);
+  EXPECT_TRUE(t.IsAncestorOrSelf(world_.root, leaf0));
+  EXPECT_TRUE(t.IsAncestorOrSelf(leaf0, leaf0));
+  EXPECT_FALSE(t.IsAncestorOrSelf(leaf0, world_.root));
+}
+
+TEST_F(WorldTest, NodesUnder) {
+  const Topology& t = world_.topology;
+  EXPECT_EQ(t.NodesUnder(world_.root).size(), 16u);
+  EXPECT_EQ(t.NodesUnder(world_.leaf_domains[0]).size(), 2u);
+}
+
+TEST(TopologyTest, DomainDepths) {
+  Topology t;
+  DomainId root = t.AddDomain("root", kNoDomain);
+  DomainId mid = t.AddDomain("mid", root);
+  DomainId leaf = t.AddDomain("leaf", mid);
+  EXPECT_EQ(t.DomainDepth(root), 0);
+  EXPECT_EQ(t.DomainDepth(mid), 1);
+  EXPECT_EQ(t.DomainDepth(leaf), 2);
+  EXPECT_EQ(t.DomainChildren(root).size(), 1u);
+}
+
+TEST(TopologyTest, LinkProfileClampsBeyondTable) {
+  LinkProfile profile;
+  profile.latency_us = {100, 200};
+  EXPECT_EQ(profile.LatencyAt(0), 100);
+  EXPECT_EQ(profile.LatencyAt(1), 200);
+  EXPECT_EQ(profile.LatencyAt(7), 200);
+}
+
+// ---------------------------------------------------------------- Network
+
+class NetworkTest : public ::testing::Test {
+ protected:
+  NetworkTest()
+      : world_(BuildUniformWorld({2, 2}, 2)),
+        network_(&simulator_, &world_.topology) {}
+
+  Simulator simulator_;
+  UniformWorld world_;
+  Network network_;
+};
+
+TEST_F(NetworkTest, DeliversToRegisteredPort) {
+  NodeId a = world_.hosts[0];
+  NodeId b = world_.hosts[1];
+  Bytes received;
+  network_.RegisterPort(b, 100, [&](const Delivery& d) { received = d.payload; });
+  network_.Send({a, 50}, {b, 100}, ToBytes("ping"));
+  simulator_.Run();
+  EXPECT_EQ(globe::ToString(received), "ping");
+}
+
+TEST_F(NetworkTest, ChargesLatencyByDistance) {
+  NodeId a = world_.hosts[0];
+  NodeId near = world_.hosts[1];   // same site
+  NodeId far = world_.hosts.back();  // other continent
+
+  SimTime near_time = 0, far_time = 0;
+  network_.RegisterPort(near, 1, [&](const Delivery&) { near_time = simulator_.Now(); });
+  network_.RegisterPort(far, 1, [&](const Delivery&) { far_time = simulator_.Now(); });
+  network_.Send({a, 2}, {near, 1}, Bytes(100));
+  network_.Send({a, 2}, {far, 1}, Bytes(100));
+  simulator_.Run();
+  EXPECT_GT(far_time, near_time);
+}
+
+TEST_F(NetworkTest, UnregisteredPortDropsSilently) {
+  network_.Send({world_.hosts[0], 1}, {world_.hosts[1], 99}, Bytes(10));
+  simulator_.Run();  // must not crash
+  EXPECT_EQ(network_.stats().TotalMessages(), 1u);  // sent counts even if undelivered
+}
+
+TEST_F(NetworkTest, TrafficAccountingByLevel) {
+  NodeId a = world_.hosts[0];
+  NodeId same_site = world_.hosts[1];
+  NodeId far = world_.hosts.back();
+  network_.RegisterPort(same_site, 1, [](const Delivery&) {});
+  network_.RegisterPort(far, 1, [](const Delivery&) {});
+
+  network_.Send({a, 2}, {same_site, 1}, Bytes(100));
+  network_.Send({a, 2}, {far, 1}, Bytes(200));
+  simulator_.Run();
+
+  const TrafficStats& stats = network_.stats();
+  ASSERT_GE(stats.per_level.size(), 3u);
+  EXPECT_EQ(stats.per_level[0].bytes, 100u);
+  EXPECT_EQ(stats.per_level[2].bytes, 200u);
+  EXPECT_EQ(stats.TotalBytes(), 300u);
+  EXPECT_EQ(stats.BytesAtOrAbove(1), 200u);
+}
+
+TEST_F(NetworkTest, LoopbackAccountedSeparately) {
+  NodeId a = world_.hosts[0];
+  network_.RegisterPort(a, 1, [](const Delivery&) {});
+  network_.Send({a, 2}, {a, 1}, Bytes(64));
+  simulator_.Run();
+  EXPECT_EQ(network_.stats().loopback_bytes, 64u);
+  EXPECT_EQ(network_.stats().BytesAtOrAbove(0), 0u);
+}
+
+TEST_F(NetworkTest, DownNodeDropsMessages) {
+  NodeId a = world_.hosts[0];
+  NodeId b = world_.hosts[1];
+  int delivered = 0;
+  network_.RegisterPort(b, 1, [&](const Delivery&) { ++delivered; });
+  network_.SetNodeUp(b, false);
+  network_.Send({a, 2}, {b, 1}, Bytes(10));
+  simulator_.Run();
+  EXPECT_EQ(delivered, 0);
+  EXPECT_EQ(network_.stats().down_node_messages, 1u);
+
+  network_.SetNodeUp(b, true);
+  network_.Send({a, 2}, {b, 1}, Bytes(10));
+  simulator_.Run();
+  EXPECT_EQ(delivered, 1);
+}
+
+TEST_F(NetworkTest, NodeGoingDownInFlightDropsDelivery) {
+  NodeId a = world_.hosts[0];
+  NodeId b = world_.hosts.back();
+  int delivered = 0;
+  network_.RegisterPort(b, 1, [&](const Delivery&) { ++delivered; });
+  network_.Send({a, 2}, {b, 1}, Bytes(10));
+  // Take b down before the (wide-area, slow) message arrives.
+  simulator_.ScheduleAt(1, [&] { network_.SetNodeUp(b, false); });
+  simulator_.Run();
+  EXPECT_EQ(delivered, 0);
+}
+
+TEST(NetworkDropTest, DropProbabilityLosesRoughlyThatFraction) {
+  Simulator simulator;
+  UniformWorld world = BuildUniformWorld({2}, 2);
+  NetworkOptions options;
+  options.drop_probability = 0.3;
+  Network network(&simulator, &world.topology, options);
+
+  int delivered = 0;
+  network.RegisterPort(world.hosts[1], 1, [&](const Delivery&) { ++delivered; });
+  constexpr int kN = 2000;
+  for (int i = 0; i < kN; ++i) {
+    network.Send({world.hosts[0], 2}, {world.hosts[1], 1}, Bytes(8));
+  }
+  simulator.Run();
+  EXPECT_NEAR(delivered, kN * 0.7, kN * 0.06);
+  EXPECT_EQ(network.stats().dropped_messages + delivered, static_cast<uint64_t>(kN));
+}
+
+TEST_F(NetworkTest, EavesdropperSeesPayload) {
+  NodeId a = world_.hosts[0];
+  NodeId b = world_.hosts[1];
+  std::string sniffed;
+  network_.SetEavesdropper([&](const Endpoint&, const Endpoint&, ByteSpan payload) {
+    sniffed = globe::ToString(payload);
+  });
+  network_.RegisterPort(b, 1, [](const Delivery&) {});
+  network_.Send({a, 2}, {b, 1}, ToBytes("secret-package"));
+  simulator_.Run();
+  EXPECT_EQ(sniffed, "secret-package");
+}
+
+TEST_F(NetworkTest, PerNodeReceivedCounts) {
+  NodeId a = world_.hosts[0];
+  NodeId b = world_.hosts[1];
+  network_.RegisterPort(b, 1, [](const Delivery&) {});
+  for (int i = 0; i < 5; ++i) {
+    network_.Send({a, 2}, {b, 1}, Bytes(8));
+  }
+  simulator_.Run();
+  EXPECT_EQ(network_.per_node_received().at(b), 5u);
+}
+
+// ---------------------------------------------------------------- RPC
+
+class RpcTest : public ::testing::Test {
+ protected:
+  RpcTest()
+      : world_(BuildUniformWorld({2, 2}, 2)),
+        network_(&simulator_, &world_.topology),
+        transport_(&network_) {}
+
+  Simulator simulator_;
+  UniformWorld world_;
+  Network network_;
+  PlainTransport transport_;
+};
+
+TEST_F(RpcTest, EchoRoundTrip) {
+  NodeId server_node = world_.hosts[0];
+  NodeId client_node = world_.hosts[5];
+  RpcServer server(&transport_, server_node, 700);
+  server.RegisterMethod("echo", [](const RpcContext&, ByteSpan req) -> Result<Bytes> {
+    return Bytes(req.begin(), req.end());
+  });
+
+  RpcClient client(&transport_, client_node);
+  Bytes reply;
+  client.Call(server.endpoint(), "echo", ToBytes("hello globe"),
+              [&](Result<Bytes> result) {
+                ASSERT_TRUE(result.ok());
+                reply = std::move(*result);
+              });
+  simulator_.Run();
+  EXPECT_EQ(globe::ToString(reply), "hello globe");
+  EXPECT_EQ(server.requests_served(), 1u);
+}
+
+TEST_F(RpcTest, ErrorStatusPropagates) {
+  RpcServer server(&transport_, world_.hosts[0], 700);
+  server.RegisterMethod("fail", [](const RpcContext&, ByteSpan) -> Result<Bytes> {
+    return PermissionDenied("not a moderator");
+  });
+
+  RpcClient client(&transport_, world_.hosts[1]);
+  Status got;
+  client.Call(server.endpoint(), "fail", {}, [&](Result<Bytes> result) {
+    ASSERT_FALSE(result.ok());
+    got = result.status();
+  });
+  simulator_.Run();
+  EXPECT_EQ(got.code(), StatusCode::kPermissionDenied);
+  EXPECT_EQ(got.message(), "not a moderator");
+}
+
+TEST_F(RpcTest, UnknownMethodReturnsNotFound) {
+  RpcServer server(&transport_, world_.hosts[0], 700);
+  RpcClient client(&transport_, world_.hosts[1]);
+  Status got;
+  client.Call(server.endpoint(), "nope", {}, [&](Result<Bytes> result) {
+    got = result.status();
+  });
+  simulator_.Run();
+  EXPECT_EQ(got.code(), StatusCode::kNotFound);
+}
+
+TEST_F(RpcTest, TimeoutWhenServerDown) {
+  NodeId server_node = world_.hosts[0];
+  RpcServer server(&transport_, server_node, 700);
+  server.RegisterMethod("echo", [](const RpcContext&, ByteSpan req) -> Result<Bytes> {
+    return Bytes(req.begin(), req.end());
+  });
+  network_.SetNodeUp(server_node, false);
+
+  RpcClient client(&transport_, world_.hosts[1]);
+  Status got;
+  client.Call(server.endpoint(), "echo", {}, [&](Result<Bytes> result) {
+    got = result.status();
+  }, 5 * kSecond);
+  simulator_.Run();
+  EXPECT_EQ(got.code(), StatusCode::kUnavailable);
+  // The timeout fired at exactly the deadline.
+  EXPECT_EQ(simulator_.Now(), 5 * kSecond);
+}
+
+TEST_F(RpcTest, AsyncHandlerCanRespondLater) {
+  RpcServer server(&transport_, world_.hosts[0], 700);
+  server.RegisterAsyncMethod(
+      "slow", [&](const RpcContext&, ByteSpan, RpcServer::Responder respond) {
+        simulator_.ScheduleAfter(kSecond, [respond = std::move(respond)] {
+          respond(ToBytes("done"));
+        });
+      });
+
+  RpcClient client(&transport_, world_.hosts[1]);
+  Bytes reply;
+  client.Call(server.endpoint(), "slow", {}, [&](Result<Bytes> result) {
+    ASSERT_TRUE(result.ok());
+    reply = std::move(*result);
+  });
+  simulator_.Run();
+  EXPECT_EQ(globe::ToString(reply), "done");
+  EXPECT_GT(simulator_.Now(), kSecond);
+}
+
+TEST_F(RpcTest, NestedRpcThroughAsyncHandler) {
+  // front server forwards to back server — the GLS lookup pattern.
+  RpcServer back(&transport_, world_.hosts[2], 701);
+  back.RegisterMethod("get", [](const RpcContext&, ByteSpan) -> Result<Bytes> {
+    return ToBytes("from-back");
+  });
+
+  RpcServer front(&transport_, world_.hosts[0], 700);
+  auto front_client = std::make_shared<RpcClient>(&transport_, world_.hosts[0]);
+  front.RegisterAsyncMethod(
+      "forward", [&, front_client](const RpcContext&, ByteSpan, RpcServer::Responder respond) {
+        front_client->Call(back.endpoint(), "get", {},
+                           [respond = std::move(respond)](Result<Bytes> result) {
+                             respond(std::move(result));
+                           });
+      });
+
+  RpcClient client(&transport_, world_.hosts[5]);
+  Bytes reply;
+  client.Call(front.endpoint(), "forward", {}, [&](Result<Bytes> result) {
+    ASSERT_TRUE(result.ok());
+    reply = std::move(*result);
+  });
+  simulator_.Run();
+  EXPECT_EQ(globe::ToString(reply), "from-back");
+}
+
+TEST_F(RpcTest, ManyConcurrentCallsCorrelate) {
+  RpcServer server(&transport_, world_.hosts[0], 700);
+  server.RegisterMethod("double", [](const RpcContext&, ByteSpan req) -> Result<Bytes> {
+    ByteReader r(req);
+    uint64_t v = r.ReadU64().value();
+    ByteWriter w;
+    w.WriteU64(v * 2);
+    return w.Take();
+  });
+
+  RpcClient client(&transport_, world_.hosts[3]);
+  std::map<uint64_t, uint64_t> results;
+  for (uint64_t i = 0; i < 50; ++i) {
+    ByteWriter w;
+    w.WriteU64(i);
+    client.Call(server.endpoint(), "double", w.Take(), [&, i](Result<Bytes> result) {
+      ASSERT_TRUE(result.ok());
+      ByteReader r(*result);
+      results[i] = r.ReadU64().value();
+    });
+  }
+  simulator_.Run();
+  ASSERT_EQ(results.size(), 50u);
+  for (uint64_t i = 0; i < 50; ++i) {
+    EXPECT_EQ(results[i], i * 2);
+  }
+}
+
+TEST_F(RpcTest, MalformedFrameIsIgnored) {
+  RpcServer server(&transport_, world_.hosts[0], 700);
+  server.RegisterMethod("echo", [](const RpcContext&, ByteSpan req) -> Result<Bytes> {
+    return Bytes(req.begin(), req.end());
+  });
+  // Bogus bytes straight to the server port: service must survive (§6.1 availability).
+  network_.Send({world_.hosts[1], 999}, {world_.hosts[0], 700}, Bytes{0xde, 0xad});
+  simulator_.Run();
+  EXPECT_EQ(server.requests_served(), 0u);
+}
+
+}  // namespace
+}  // namespace globe::sim
