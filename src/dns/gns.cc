@@ -20,7 +20,10 @@ Result<std::string> GlobeNameToDnsName(std::string_view globe_name, std::string_
 
 Result<std::string> DnsNameToGlobeName(std::string_view dns_name, std::string_view zone) {
   ASSIGN_OR_RETURN(std::string canonical, CanonicalName(dns_name));
-  std::string zone_suffix = "." + AsciiToLower(zone);
+  // Build via += rather than `"." + rvalue` — the latter trips GCC 12's
+  // -Wrestrict false positive (PR105329) in string::insert under -O3.
+  std::string zone_suffix = ".";
+  zone_suffix += AsciiToLower(zone);
   if (!EndsWith(canonical, zone_suffix)) {
     return InvalidArgument("DNS name " + canonical + " not in zone " + std::string(zone));
   }
@@ -30,7 +33,9 @@ Result<std::string> DnsNameToGlobeName(std::string_view dns_name, std::string_vi
     return InvalidArgument("no object labels in DNS name " + canonical);
   }
   std::reverse(parts.begin(), parts.end());
-  return "/" + Join(parts, "/");
+  std::string globe_name = "/";
+  globe_name += Join(parts, "/");
+  return globe_name;
 }
 
 GnsNamingAuthority::GnsNamingAuthority(sim::Transport* transport, sim::NodeId node,

@@ -41,7 +41,10 @@ bool IsInZone(std::string_view name, std::string_view zone) {
   if (name == zone) {
     return true;
   }
-  return EndsWith(name, std::string(".") + std::string(zone));
+  // Build via += rather than string + string — see the -Wrestrict note in gns.cc.
+  std::string suffix = ".";
+  suffix += zone;
+  return EndsWith(name, suffix);
 }
 
 std::vector<std::string> NameLabels(std::string_view name) {

@@ -60,8 +60,12 @@ void ModeratorTool::CreateSecondaries(const gls::ObjectId& oid, ReplicationScena
       std::make_shared<std::vector<sim::Endpoint>>(scenario.replica_goses);
   auto next = std::make_shared<std::function<void(size_t)>>();
   auto self = this;
-  *next = [self, oid, remaining, next, scenario = std::move(scenario),
-           globe_name = std::move(globe_name), done = std::move(done)](size_t index) mutable {
+  // The stored step function holds only a weak reference to itself (a strong
+  // one would be a shared_ptr cycle that never frees); each in-flight RPC
+  // callback owns the strong reference that keeps the chain alive.
+  *next = [self, oid, remaining, next_weak = std::weak_ptr<std::function<void(size_t)>>(next),
+           scenario = std::move(scenario), globe_name = std::move(globe_name),
+           done = std::move(done)](size_t index) mutable {
     if (index >= remaining->size()) {
       self->catalog_[globe_name] = CatalogEntry{oid, std::move(scenario)};
       self->RegisterName(oid, globe_name, std::move(done));
@@ -75,11 +79,12 @@ void ModeratorTool::CreateSecondaries(const gls::ObjectId& oid, ReplicationScena
     for (sec::PrincipalId maintainer : scenario.maintainers) {
       w.WriteU64(maintainer);
     }
+    auto next = next_weak.lock();  // always alive: our caller holds a strong ref
     self->rpc_->Call((*remaining)[index], "gos.create_replica", w.Take(),
-                     [next, index, self, done_failure = &self->stats_](Result<Bytes> result) {
+                     [next, index, self](Result<Bytes> result) {
                        if (!result.ok()) {
                          GLOG_WARN << "create replica failed: " << result.status();
-                         ++done_failure->failures;
+                         ++self->stats_.failures;
                        }
                        (*next)(index + 1);
                      });
@@ -181,7 +186,10 @@ void ModeratorTool::RemovePackage(std::string_view globe_name, DoneCallback done
   // drop the name.
   auto next = std::make_shared<std::function<void(size_t)>>();
   auto self = this;
-  *next = [self, oid, goses = std::move(goses), name = std::move(name), next,
+  // Weak self-reference, as in CreateSecondaries: the in-flight RPC callback
+  // carries the strong one.
+  *next = [self, oid, goses = std::move(goses), name = std::move(name),
+           next_weak = std::weak_ptr<std::function<void(size_t)>>(next),
            done = std::move(done)](size_t index) mutable {
     if (index >= goses.size()) {
       self->gns_.RemoveName(name, [self, done = std::move(done)](Status status) {
@@ -196,6 +204,7 @@ void ModeratorTool::RemovePackage(std::string_view globe_name, DoneCallback done
     }
     ByteWriter w;
     oid.Serialize(&w);
+    auto next = next_weak.lock();  // always alive: our caller holds a strong ref
     self->rpc_->Call(goses[index], "gos.remove_replica", w.Take(),
                      [self, next, index](Result<Bytes> result) {
                        if (!result.ok()) {

@@ -41,7 +41,7 @@ void SecureTransport::SetNodeCredential(sim::NodeId node, Credential credential)
 
 void SecureTransport::RegisterPort(sim::NodeId node, uint16_t port,
                                    sim::TransportHandler handler) {
-  handlers_[{node, port}] = std::move(handler);
+  handlers_[{node, port}] = std::make_shared<sim::TransportHandler>(std::move(handler));
   network_->RegisterPort(node, port,
                          [this](const sim::Delivery& d) { OnRawDelivery(d); });
 }
@@ -196,8 +196,11 @@ void SecureTransport::OnRawDelivery(const sim::Delivery& delivery) {
       ++stats_.malformed_frames;
       return;
     }
-    handler_it->second(sim::TransportDelivery{delivery.src, delivery.dst, std::move(*payload),
-                                              kAnonymous, /*integrity_protected=*/false});
+    // Pin the handler: it may unregister its own port mid-call, which would
+    // destroy the std::function we are executing.
+    std::shared_ptr<sim::TransportHandler> handler = handler_it->second;
+    (*handler)(sim::TransportDelivery{delivery.src, delivery.dst, std::move(*payload), kAnonymous,
+               /*integrity_protected=*/false});
     return;
   }
 
@@ -251,8 +254,11 @@ void SecureTransport::OnRawDelivery(const sim::Delivery& delivery) {
   if (auto it = session.principals.find(delivery.src.node); it != session.principals.end()) {
     peer = it->second;
   }
-  handler_it->second(sim::TransportDelivery{delivery.src, delivery.dst, std::move(plaintext),
-                                            peer, /*integrity_protected=*/true});
+  // Pin the handler: it may unregister its own port mid-call, which would
+  // destroy the std::function we are executing.
+  std::shared_ptr<sim::TransportHandler> handler = handler_it->second;
+  (*handler)(sim::TransportDelivery{delivery.src, delivery.dst, std::move(plaintext), peer,
+             /*integrity_protected=*/true});
 }
 
 }  // namespace globe::sec

@@ -141,7 +141,10 @@ class SecureTransport : public sim::Transport {
   std::map<sim::NodeId, Credential> credentials_;
   std::map<NodePair, Session> sessions_;
   std::map<uint64_t, NodePair> session_by_id_;
-  std::map<std::pair<sim::NodeId, uint16_t>, sim::TransportHandler> handlers_;
+  // Values are shared_ptr so OnRawDelivery() can pin the handler it is
+  // invoking without copying the closure: a handler may close its own port
+  // mid-call.
+  std::map<std::pair<sim::NodeId, uint16_t>, std::shared_ptr<sim::TransportHandler>> handlers_;
   SecureStats stats_;
 };
 

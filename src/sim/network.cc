@@ -47,7 +47,7 @@ Network::Network(Simulator* simulator, const Topology* topology, NetworkOptions 
       rng_(options_.rng_seed) {}
 
 void Network::RegisterPort(NodeId node, uint16_t port, PortHandler handler) {
-  handlers_[{node, port}] = std::move(handler);
+  handlers_[{node, port}] = std::make_shared<PortHandler>(std::move(handler));
 }
 
 void Network::UnregisterPort(NodeId node, uint16_t port) {
@@ -112,7 +112,10 @@ void Network::Deliver(Delivery delivery) {
   if (it == handlers_.end()) {
     return;  // closed port: datagram lost
   }
-  it->second(delivery);
+  // Pin the handler: it may close (or replace) its own port mid-call, which
+  // would destroy the std::function we are executing.
+  std::shared_ptr<PortHandler> handler = it->second;
+  (*handler)(delivery);
 }
 
 void Network::SetNodeUp(NodeId node, bool up) {

@@ -14,6 +14,7 @@
 
 #include <functional>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -128,7 +129,9 @@ class Network {
   const Topology* topology_;
   NetworkOptions options_;
   Rng rng_;
-  std::map<std::pair<NodeId, uint16_t>, PortHandler> handlers_;
+  // Values are shared_ptr so Deliver() can pin the handler it is invoking
+  // without copying the closure: a handler may close its own port mid-call.
+  std::map<std::pair<NodeId, uint16_t>, std::shared_ptr<PortHandler>> handlers_;
   std::map<NodeId, bool> node_down_;  // absent = up
   TrafficStats stats_;
   std::map<NodeId, uint64_t> per_node_received_;
