@@ -1,0 +1,132 @@
+#!/usr/bin/env python3
+"""Fail CI when a benchmark regresses against its committed baseline.
+
+Compares the BENCH_<name>.json files a bench run just produced against the
+baselines committed under ci/baselines/. The bench worlds are deterministic
+simulations, so hops / simulated latencies / per-subnode loads reproduce exactly;
+the threshold only absorbs intentional-but-small drift. Lower is better for every
+guarded column.
+
+Usage:
+  python3 ci/check_bench_regression.py \
+      --baseline-dir ci/baselines --current-dir . [--threshold 0.25] \
+      BENCH_gls_locality.json BENCH_gls_partitioning.json
+
+Exit status: 0 = no regression, 1 = regression or malformed input.
+"""
+
+import argparse
+import json
+import re
+import sys
+
+# Guarded columns per bench file: (file name -> column substrings, lower-is-better).
+# A column is guarded when any of these substrings appears in its header — except
+# the higher-is-better "... saved" columns, where growth is an improvement.
+GUARDED_COLUMNS = {
+    "BENCH_gls_locality.json": ["hops", "latency"],
+    "BENCH_gls_partitioning.json": ["max lookups", "max entries"],
+    "BENCH_gls_cache.json": ["avg hops", "avg latency", "round trips", "network msgs"],
+}
+EXCLUDED_COLUMN_MARKERS = ["saved"]
+
+_NUMBER = re.compile(r"^\s*(-?\d+(?:\.\d+)?)")
+
+
+def leading_number(cell):
+    """The numeric prefix of a cell like '25.4 ms' or '6', else None."""
+    match = _NUMBER.match(cell)
+    return float(match.group(1)) if match else None
+
+
+def load(path):
+    try:
+        with open(path, encoding="utf-8") as f:
+            return json.load(f)
+    except (OSError, json.JSONDecodeError) as error:
+        print(f"ERROR: cannot read {path}: {error}")
+        return None
+
+
+def table_key(table):
+    return tuple(table.get("headers", []))
+
+
+def compare_file(name, baseline, current, threshold):
+    """Returns a list of regression messages for one bench file."""
+    guards = GUARDED_COLUMNS.get(name, [])
+    if not guards:
+        return []
+    problems = []
+    current_tables = {table_key(t): t for t in current.get("tables", [])}
+    for base_table in baseline.get("tables", []):
+        headers = base_table.get("headers", [])
+        cur_table = current_tables.get(tuple(headers))
+        if cur_table is None:
+            problems.append(f"{name}: table {headers} missing from current run")
+            continue
+        guarded = [
+            i
+            for i, header in enumerate(headers)
+            if any(g in header.lower() for g in guards)
+            and not any(marker in header.lower() for marker in EXCLUDED_COLUMN_MARKERS)
+        ]
+        cur_rows = {row[0]: row for row in cur_table.get("rows", []) if row}
+        for base_row in base_table.get("rows", []):
+            if not base_row:
+                continue
+            label = base_row[0]
+            cur_row = cur_rows.get(label)
+            if cur_row is None:
+                problems.append(f"{name}: row '{label}' missing from current run")
+                continue
+            for i in guarded:
+                if i >= len(base_row) or i >= len(cur_row):
+                    continue
+                base_value = leading_number(base_row[i])
+                cur_value = leading_number(cur_row[i])
+                if base_value is None or cur_value is None:
+                    continue
+                limit = base_value * (1.0 + threshold)
+                # Baselines of 0 (e.g. 0 hops) must stay 0: any growth from a zero
+                # baseline is a regression the ratio test cannot see.
+                if cur_value > limit or (base_value == 0 and cur_value > 0):
+                    problems.append(
+                        f"{name}: '{label}' / '{headers[i]}' regressed "
+                        f"{base_value:g} -> {cur_value:g} "
+                        f"(limit {limit:g}, threshold {threshold:.0%})"
+                    )
+    return problems
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline-dir", required=True)
+    parser.add_argument("--current-dir", required=True)
+    parser.add_argument("--threshold", type=float, default=0.25)
+    parser.add_argument("files", nargs="+")
+    args = parser.parse_args()
+
+    failures = []
+    for name in args.files:
+        baseline = load(f"{args.baseline_dir}/{name}")
+        current = load(f"{args.current_dir}/{name}")
+        if baseline is None or current is None:
+            failures.append(f"{name}: missing or unreadable JSON")
+            continue
+        problems = compare_file(name, baseline, current, args.threshold)
+        if problems:
+            failures.extend(problems)
+        else:
+            print(f"OK: {name} within {args.threshold:.0%} of baseline")
+
+    if failures:
+        print()
+        for failure in failures:
+            print(f"REGRESSION: {failure}")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -40,6 +40,7 @@ GdnHttpd::GdnHttpd(sim::Transport* transport, sim::NodeId node, std::string zone
       gns_(transport, node, std::move(zone), naming_authority, resolver),
       runtime_(transport, node, std::move(leaf_directory), repository, &gns_),
       options_(options) {
+  runtime_.gls()->set_allow_cached(options_.allow_cached_gls_lookups);
   transport_->RegisterPort(node_, sim::kPortHttp,
                            [this](const sim::TransportDelivery& d) { OnRequest(d); });
 }

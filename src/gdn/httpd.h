@@ -41,6 +41,9 @@ struct HttpdOptions {
   // Publish installed replicas in the GLS (only sensible on GDN hosts, not on
   // user-machine proxy servers).
   bool register_replicas_in_gls = true;
+  // Let this HTTPD's GLS lookups be answered from directory subnode caches
+  // (TTL-bounded staleness in exchange for fewer directory hops per bind).
+  bool allow_cached_gls_lookups = false;
 };
 
 struct HttpdStats {

@@ -26,6 +26,8 @@ GdnWorld::GdnWorld(GdnWorldConfig config)
   // ---- Globe Location Service: a directory node per domain. ----
   gls::GlsDeploymentOptions gls_options;
   gls_options.node_options.enforce_authorization = config_.secure;
+  gls_options.node_options.enable_cache = config_.gls_cache;
+  gls_options.node_options.cache_ttl = config_.gls_cache_ttl;
   gls_options.rng_seed = config_.seed + 1;
   int root_subnodes = config_.root_subnodes;
   gls_options.subnode_count = [root_subnodes](sim::DomainId, int depth) {
@@ -109,6 +111,11 @@ GdnWorld::GdnWorld(GdnWorldConfig config)
         &registry_,
         {sec::Role::kModerator, sec::Role::kAdministrator, sec::Role::kGdnHost});
   }
+  HttpdOptions httpd_options = config_.httpd;
+  // The HTTPDs carry the GDN's read traffic: a cached world lets their binds use
+  // the GLS caches (an explicitly set httpd option is preserved, though without
+  // gls_cache no subnode has a cache to answer from).
+  httpd_options.allow_cached_gls_lookups |= config_.gls_cache;
   for (size_t i = 0; i < countries_.size(); ++i) {
     goses_.push_back(std::make_unique<gos::ObjectServer>(
         transport_, countries_[i].gos_host, &repository_,
@@ -116,7 +123,7 @@ GdnWorld::GdnWorld(GdnWorldConfig config)
     httpds_.push_back(std::make_unique<GdnHttpd>(
         transport_, countries_[i].gos_host, config_.zone, naming_authority_->endpoint(),
         resolvers_[i]->endpoint(), gls_->LeafDirectoryFor(countries_[i].gos_host),
-        &repository_, config_.httpd));
+        &repository_, httpd_options));
   }
 
   // ---- The moderator machine and tool. ----

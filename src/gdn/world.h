@@ -57,6 +57,13 @@ struct GdnWorldConfig {
   // Root directory-node partitioning (1 = unpartitioned).
   int root_subnodes = 1;
 
+  // GLS lookup caching on the hot read path: every directory subnode keeps a TTL'd
+  // cache of the answers its descents returned, and the GDN-HTTPDs issue
+  // cache-permitted lookups when binding to packages. Staleness is bounded by the
+  // TTL plus delete-driven invalidation chains (see src/gls/cache.h).
+  bool gls_cache = false;
+  sim::SimTime gls_cache_ttl = 300 * sim::kSecond;
+
   sim::NetworkOptions network;
   sec::CryptoProfile crypto;
   std::string zone = "gdn.cs.vu.nl";

@@ -1,0 +1,97 @@
+// TTL'd lookup cache for Globe Location Service directory subnodes.
+//
+// Lookups climb the directory tree and then descend a forwarding-pointer chain to
+// the node holding a contact address (paper §3.5). Under GDN-scale read traffic the
+// mid-tree nodes re-answer the same hot OIDs over and over; each subnode therefore
+// keeps a small cache of the contact addresses its *descents* returned. A hit lets
+// the node answer immediately instead of re-walking the pointer chain, cutting the
+// descent half of the lookup's directory-to-directory hops.
+//
+// Scope and safety rules (enforced by DirectorySubnode, documented here):
+//   - populated only on lookup descent, i.e. only at nodes that hold a forwarding
+//     pointer for the OID — exactly the nodes a deregistration chain visits,
+//   - only authoritative answers are stored (never a descendant's cache hit, which
+//     would restart the TTL and compound staleness),
+//   - consulted only for lookups that set allow_cached, never for mutations,
+//   - invalidated by every mutation touching the OID at this node (gls.insert,
+//     gls.delete, gls.install_ptr, gls.remove_ptr and the gls.inval_cache chain a
+//     delete sends towards the root); an invalidation also quarantines the OID
+//     briefly so a lookup response that was already in flight when the delete ran
+//     cannot re-install the deregistered address behind it,
+//   - entries additionally expire after a TTL, bounding staleness across subnodes
+//     that no mutation chain visits.
+
+#ifndef SRC_GLS_CACHE_H_
+#define SRC_GLS_CACHE_H_
+
+#include <deque>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "src/gls/oid.h"
+#include "src/sim/simulator.h"
+
+namespace globe::gls {
+
+class LookupCache {
+ public:
+  struct Entry {
+    std::vector<ContactAddress> addresses;
+    int32_t found_depth = 0;
+    sim::SimTime expires_at = 0;
+  };
+
+  // How long Put refuses to re-admit an OID after Invalidate. Sized to outlive any
+  // response that was in flight when the invalidation ran: RPC callbacks fire
+  // within the 30 s sim::RpcClient timeout of their request, and a descent request
+  // issued *after* the invalidating delete sees post-delete (safe) state anyway.
+  static constexpr sim::SimTime kPutQuarantine = 30 * sim::kSecond;
+
+  LookupCache(sim::SimTime ttl, size_t max_entries)
+      : ttl_(ttl), max_entries_(max_entries) {}
+
+  // The live entry for `oid`, or nullptr. An expired entry is erased on access.
+  const Entry* Get(const ObjectId& oid, sim::SimTime now);
+
+  // Stores (or refreshes) the entry for `oid` with expiry now + ttl. No-op while
+  // the OID is quarantined by a recent Invalidate. Evicts the entry closest to
+  // expiry when full.
+  void Put(const ObjectId& oid, std::vector<ContactAddress> addresses,
+           int32_t found_depth, sim::SimTime now);
+
+  // Drops the entry for `oid` and quarantines it against Put until
+  // now + kPutQuarantine. Returns true if an entry was present.
+  bool Invalidate(const ObjectId& oid, sim::SimTime now);
+
+  void Clear();
+  size_t size() const { return entries_.size(); }
+  sim::SimTime ttl() const { return ttl_; }
+
+  // Persistence: cache contents ride along in DirectorySubnode::SaveState so a
+  // rebooted subnode resumes warm. Expiry times are absolute simulated time;
+  // quarantines are transient and not persisted.
+  void Serialize(ByteWriter* writer) const;
+  Status Restore(ByteReader* reader);
+
+ private:
+  void EvictOne();
+
+  sim::SimTime ttl_;
+  size_t max_entries_;
+  std::map<ObjectId, Entry> entries_;
+  // Put order equals expiry order (expires_at = now + ttl is nondecreasing), so
+  // the front of this queue is always the entry soonest to expire. Refreshed or
+  // invalidated entries leave stale queue references behind; EvictOne skips them
+  // and PruneOrder() compacts the queue when they accumulate.
+  std::deque<std::pair<ObjectId, sim::SimTime>> order_;
+  // OID -> time until which Put must refuse it (see kPutQuarantine).
+  std::map<ObjectId, sim::SimTime> quarantined_;
+
+  void PruneOrder();
+  void PruneQuarantine(sim::SimTime now);
+};
+
+}  // namespace globe::gls
+
+#endif  // SRC_GLS_CACHE_H_

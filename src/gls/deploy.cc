@@ -84,6 +84,11 @@ SubnodeStats GlsDeployment::TotalStats() const {
     total.pointer_installs += s.pointer_installs;
     total.pointer_removes += s.pointer_removes;
     total.denied += s.denied;
+    total.cache_hits += s.cache_hits;
+    total.cache_misses += s.cache_misses;
+    total.cache_invalidations += s.cache_invalidations;
+    total.batch_lookups += s.batch_lookups;
+    total.batch_inserts += s.batch_inserts;
   }
   return total;
 }

@@ -8,31 +8,10 @@ namespace globe::gls {
 
 namespace {
 
-struct LookupRequest {
-  ObjectId oid;
-  uint32_t hops = 0;
-  uint8_t phase = 0;  // kPhaseUp / kPhaseDown
-  int32_t apex_depth = 0;
-
-  Bytes Serialize() const {
-    ByteWriter w;
-    oid.Serialize(&w);
-    w.WriteU32(hops);
-    w.WriteU8(phase);
-    w.WriteU32(static_cast<uint32_t>(apex_depth));
-    return w.Take();
-  }
-  static Result<LookupRequest> Deserialize(ByteSpan data) {
-    ByteReader r(data);
-    LookupRequest request;
-    ASSIGN_OR_RETURN(request.oid, ObjectId::Deserialize(&r));
-    ASSIGN_OR_RETURN(request.hops, r.ReadU32());
-    ASSIGN_OR_RETURN(request.phase, r.ReadU8());
-    ASSIGN_OR_RETURN(uint32_t apex, r.ReadU32());
-    request.apex_depth = static_cast<int32_t>(apex);
-    return request;
-  }
-};
+// Caps for wire-decoded counts: malformed network input must never drive
+// unbounded allocation (paper §6.1 availability requirement).
+constexpr uint64_t kMaxWireAddresses = 100000;
+constexpr uint64_t kMaxWireBatchItems = 100000;
 
 struct AddressRequest {  // gls.insert / gls.delete
   ObjectId oid;
@@ -53,7 +32,35 @@ struct AddressRequest {  // gls.insert / gls.delete
   }
 };
 
-struct PointerRequest {  // gls.install_ptr / gls.remove_ptr
+struct BatchAddressRequest {  // gls.insert_batch
+  std::vector<std::pair<ObjectId, ContactAddress>> items;
+
+  Bytes Serialize() const {
+    ByteWriter w;
+    w.WriteVarint(items.size());
+    for (const auto& [oid, address] : items) {
+      oid.Serialize(&w);
+      address.Serialize(&w);
+    }
+    return w.Take();
+  }
+  static Result<BatchAddressRequest> Deserialize(ByteSpan data) {
+    ByteReader r(data);
+    BatchAddressRequest request;
+    ASSIGN_OR_RETURN(uint64_t count, r.ReadVarint());
+    if (count > kMaxWireBatchItems) {
+      return InvalidArgument("implausible insert batch size");
+    }
+    for (uint64_t i = 0; i < count; ++i) {
+      ASSIGN_OR_RETURN(ObjectId oid, ObjectId::Deserialize(&r));
+      ASSIGN_OR_RETURN(ContactAddress address, ContactAddress::Deserialize(&r));
+      request.items.emplace_back(oid, address);
+    }
+    return request;
+  }
+};
+
+struct PointerRequest {  // gls.install_ptr / gls.remove_ptr / gls.inval_cache
   ObjectId oid;
   sim::DomainId child_domain = sim::kNoDomain;
 
@@ -72,6 +79,109 @@ struct PointerRequest {  // gls.install_ptr / gls.remove_ptr
   }
 };
 
+struct BatchPointerRequest {  // gls.install_ptr_batch (one child domain, many OIDs)
+  sim::DomainId child_domain = sim::kNoDomain;
+  std::vector<ObjectId> oids;
+
+  Bytes Serialize() const {
+    ByteWriter w;
+    w.WriteU32(child_domain);
+    w.WriteVarint(oids.size());
+    for (const auto& oid : oids) {
+      oid.Serialize(&w);
+    }
+    return w.Take();
+  }
+  static Result<BatchPointerRequest> Deserialize(ByteSpan data) {
+    ByteReader r(data);
+    BatchPointerRequest request;
+    ASSIGN_OR_RETURN(request.child_domain, r.ReadU32());
+    ASSIGN_OR_RETURN(uint64_t count, r.ReadVarint());
+    if (count > kMaxWireBatchItems) {
+      return InvalidArgument("implausible pointer batch size");
+    }
+    for (uint64_t i = 0; i < count; ++i) {
+      ASSIGN_OR_RETURN(ObjectId oid, ObjectId::Deserialize(&r));
+      request.oids.push_back(oid);
+    }
+    return request;
+  }
+};
+
+struct BatchLookupRequest {  // gls.lookup_batch
+  std::vector<ObjectId> oids;
+  uint8_t allow_cached = 0;
+
+  Bytes Serialize() const {
+    ByteWriter w;
+    w.WriteVarint(oids.size());
+    for (const auto& oid : oids) {
+      oid.Serialize(&w);
+    }
+    w.WriteU8(allow_cached);
+    return w.Take();
+  }
+  static Result<BatchLookupRequest> Deserialize(ByteSpan data) {
+    ByteReader r(data);
+    BatchLookupRequest request;
+    ASSIGN_OR_RETURN(uint64_t count, r.ReadVarint());
+    if (count > kMaxWireBatchItems) {
+      return InvalidArgument("implausible lookup batch size");
+    }
+    for (uint64_t i = 0; i < count; ++i) {
+      ASSIGN_OR_RETURN(ObjectId oid, ObjectId::Deserialize(&r));
+      request.oids.push_back(oid);
+    }
+    ASSIGN_OR_RETURN(request.allow_cached, r.ReadU8());
+    return request;
+  }
+};
+
+}  // namespace
+
+// gls.lookup wire format; the apex default is effectively +infinity, min()'d with
+// the depths en route.
+struct LookupWireRequest {
+  ObjectId oid;
+  uint32_t hops = 0;
+  uint8_t phase = 0;  // DirectorySubnode::kPhaseUp / kPhaseDown
+  int32_t apex_depth = 1 << 20;
+  uint8_t allow_cached = 0;
+
+  Bytes Serialize() const {
+    ByteWriter w;
+    oid.Serialize(&w);
+    w.WriteU32(hops);
+    w.WriteU8(phase);
+    w.WriteU32(static_cast<uint32_t>(apex_depth));
+    w.WriteU8(allow_cached);
+    return w.Take();
+  }
+  static Result<LookupWireRequest> Deserialize(ByteSpan data) {
+    ByteReader r(data);
+    LookupWireRequest request;
+    ASSIGN_OR_RETURN(request.oid, ObjectId::Deserialize(&r));
+    ASSIGN_OR_RETURN(request.hops, r.ReadU32());
+    ASSIGN_OR_RETURN(request.phase, r.ReadU8());
+    ASSIGN_OR_RETURN(uint32_t apex, r.ReadU32());
+    request.apex_depth = static_cast<int32_t>(apex);
+    ASSIGN_OR_RETURN(request.allow_cached, r.ReadU8());
+    return request;
+  }
+};
+
+namespace {
+
+Result<LookupResult> ParseLookupResult(ByteSpan payload) {
+  auto response = LookupResponse::Deserialize(payload);
+  if (!response.ok()) {
+    return response.status();
+  }
+  return LookupResult{std::move(response->addresses), response->hops,
+                      response->found_depth, response->apex_depth,
+                      response->from_cache != 0};
+}
+
 }  // namespace
 
 Bytes LookupResponse::Serialize() const {
@@ -83,6 +193,7 @@ Bytes LookupResponse::Serialize() const {
   w.WriteU32(hops);
   w.WriteU32(static_cast<uint32_t>(found_depth));
   w.WriteU32(static_cast<uint32_t>(apex_depth));
+  w.WriteU8(from_cache);
   return w.Take();
 }
 
@@ -90,7 +201,7 @@ Result<LookupResponse> LookupResponse::Deserialize(ByteSpan data) {
   ByteReader r(data);
   LookupResponse response;
   ASSIGN_OR_RETURN(uint64_t count, r.ReadVarint());
-  if (count > 100000) {
+  if (count > kMaxWireAddresses) {
     return InvalidArgument("implausible address count");
   }
   for (uint64_t i = 0; i < count; ++i) {
@@ -102,6 +213,7 @@ Result<LookupResponse> LookupResponse::Deserialize(ByteSpan data) {
   response.found_depth = static_cast<int32_t>(found);
   ASSIGN_OR_RETURN(uint32_t apex, r.ReadU32());
   response.apex_depth = static_cast<int32_t>(apex);
+  ASSIGN_OR_RETURN(response.from_cache, r.ReadU8());
   return response;
 }
 
@@ -110,19 +222,31 @@ DirectorySubnode::DirectorySubnode(sim::Transport* transport, sim::NodeId host,
                                    const sec::KeyRegistry* registry, uint64_t rng_seed)
     : server_(transport, host, sim::kPortGls),
       client_(std::make_unique<sim::RpcClient>(transport, host)),
+      clock_(transport->simulator()),
       domain_(domain),
       depth_(depth),
       options_(options),
       registry_(registry),
-      rng_(rng_seed) {
+      rng_(rng_seed),
+      cache_(options.cache_ttl, options.cache_max_entries) {
   server_.RegisterAsyncMethod("gls.lookup", [this](const sim::RpcContext& ctx, ByteSpan req,
                                                    sim::RpcServer::Responder respond) {
     HandleLookup(ctx, req, std::move(respond));
   });
+  server_.RegisterAsyncMethod("gls.lookup_batch",
+                              [this](const sim::RpcContext& ctx, ByteSpan req,
+                                     sim::RpcServer::Responder respond) {
+                                HandleLookupBatch(ctx, req, std::move(respond));
+                              });
   server_.RegisterAsyncMethod("gls.insert", [this](const sim::RpcContext& ctx, ByteSpan req,
                                                    sim::RpcServer::Responder respond) {
     HandleInsert(ctx, req, std::move(respond));
   });
+  server_.RegisterAsyncMethod("gls.insert_batch",
+                              [this](const sim::RpcContext& ctx, ByteSpan req,
+                                     sim::RpcServer::Responder respond) {
+                                HandleInsertBatch(ctx, req, std::move(respond));
+                              });
   server_.RegisterAsyncMethod("gls.delete", [this](const sim::RpcContext& ctx, ByteSpan req,
                                                    sim::RpcServer::Responder respond) {
     HandleDelete(ctx, req, std::move(respond));
@@ -132,10 +256,20 @@ DirectorySubnode::DirectorySubnode(sim::Transport* transport, sim::NodeId host,
                                      sim::RpcServer::Responder respond) {
                                 HandleInstallPtr(ctx, req, std::move(respond));
                               });
+  server_.RegisterAsyncMethod("gls.install_ptr_batch",
+                              [this](const sim::RpcContext& ctx, ByteSpan req,
+                                     sim::RpcServer::Responder respond) {
+                                HandleInstallPtrBatch(ctx, req, std::move(respond));
+                              });
   server_.RegisterAsyncMethod("gls.remove_ptr",
                               [this](const sim::RpcContext& ctx, ByteSpan req,
                                      sim::RpcServer::Responder respond) {
                                 HandleRemovePtr(ctx, req, std::move(respond));
+                              });
+  server_.RegisterAsyncMethod("gls.inval_cache",
+                              [this](const sim::RpcContext& ctx, ByteSpan req,
+                                     sim::RpcServer::Responder respond) {
+                                HandleInvalCache(ctx, req, std::move(respond));
                               });
   server_.RegisterMethod("gls.alloc_oid",
                          [this](const sim::RpcContext&, ByteSpan) -> Result<Bytes> {
@@ -186,18 +320,28 @@ size_t DirectorySubnode::TotalEntries() const {
   return total;
 }
 
+void DirectorySubnode::InvalidateCached(const ObjectId& oid) {
+  if (options_.enable_cache && cache_.Invalidate(oid, clock_->Now())) {
+    ++stats_.cache_invalidations;
+  }
+}
+
 void DirectorySubnode::HandleLookup(const sim::RpcContext&, ByteSpan request,
                                     sim::RpcServer::Responder respond) {
   ++stats_.lookups;
-  auto parsed = LookupRequest::Deserialize(request);
+  auto parsed = LookupWireRequest::Deserialize(request);
   if (!parsed.ok()) {
     respond(parsed.status());
     return;
   }
-  LookupRequest req = *parsed;
+  ResolveLookup(*parsed, std::move(respond));
+}
+
+void DirectorySubnode::ResolveLookup(LookupWireRequest req,
+                                     sim::RpcServer::Responder respond) {
   req.apex_depth = std::min(req.apex_depth, depth_);
 
-  // Contact address here: done.
+  // Contact address here: done. Authoritative state always wins over the cache.
   if (auto it = addresses_.find(req.oid); it != addresses_.end() && !it->second.empty()) {
     ++stats_.found_local;
     LookupResponse response;
@@ -209,8 +353,27 @@ void DirectorySubnode::HandleLookup(const sim::RpcContext&, ByteSpan request,
     return;
   }
 
+  // Cached answer from an earlier descent: done, without re-walking the pointer
+  // chain. Cached entries never exist unless this node held a forwarding pointer
+  // when they were stored, and every mutation touching the OID here drops them.
+  if (options_.enable_cache && req.allow_cached != 0) {
+    if (const LookupCache::Entry* entry = cache_.Get(req.oid, clock_->Now())) {
+      ++stats_.cache_hits;
+      LookupResponse response;
+      response.addresses = entry->addresses;
+      response.hops = req.hops;
+      response.found_depth = entry->found_depth;
+      response.apex_depth = req.apex_depth;
+      response.from_cache = 1;
+      respond(response.Serialize());
+      return;
+    }
+    ++stats_.cache_misses;
+  }
+
   // Forwarding pointer here: descend into one child subtree, chosen at random if
-  // several replicas exist in different children (paper §3.5).
+  // several replicas exist in different children (paper §3.5). The returned contact
+  // addresses populate this subnode's lookup cache.
   if (auto it = pointers_.find(req.oid); it != pointers_.end() && !it->second.empty()) {
     const auto& children = it->second;
     size_t pick = static_cast<size_t>(rng_.UniformInt(children.size()));
@@ -222,11 +385,23 @@ void DirectorySubnode::HandleLookup(const sim::RpcContext&, ByteSpan request,
       return;
     }
     ++stats_.forwards_down;
-    LookupRequest forward = req;
+    LookupWireRequest forward = req;
     forward.phase = kPhaseDown;
     ++forward.hops;
     client_->Call(ref_it->second.Route(req.oid), "gls.lookup", forward.Serialize(),
-                  [respond = std::move(respond)](Result<Bytes> result) {
+                  [this, oid = req.oid,
+                   respond = std::move(respond)](Result<Bytes> result) {
+                    if (options_.enable_cache && result.ok()) {
+                      auto response = LookupResponse::Deserialize(*result);
+                      // Only authoritative answers enter the cache: re-caching a
+                      // descendant's cache hit would restart the TTL and compound
+                      // staleness to depth x TTL.
+                      if (response.ok() && !response->addresses.empty() &&
+                          response->from_cache == 0) {
+                        cache_.Put(oid, std::move(response->addresses),
+                                   response->found_depth, clock_->Now());
+                      }
+                    }
                     respond(std::move(result));
                   });
     return;
@@ -243,12 +418,63 @@ void DirectorySubnode::HandleLookup(const sim::RpcContext&, ByteSpan request,
     return;
   }
   ++stats_.forwards_up;
-  LookupRequest forward = req;
+  LookupWireRequest forward = req;
   ++forward.hops;
   client_->Call(parent_.Route(req.oid), "gls.lookup", forward.Serialize(),
                 [respond = std::move(respond)](Result<Bytes> result) {
                   respond(std::move(result));
                 });
+}
+
+void DirectorySubnode::HandleLookupBatch(const sim::RpcContext&, ByteSpan request,
+                                         sim::RpcServer::Responder respond) {
+  ++stats_.batch_lookups;
+  auto parsed = BatchLookupRequest::Deserialize(request);
+  if (!parsed.ok()) {
+    respond(parsed.status());
+    return;
+  }
+  if (parsed->oids.empty()) {
+    ByteWriter w;
+    w.WriteVarint(0);
+    respond(w.Take());
+    return;
+  }
+
+  struct BatchState {
+    std::vector<Result<Bytes>> results;
+    size_t remaining = 0;
+    sim::RpcServer::Responder respond;
+  };
+  auto state = std::make_shared<BatchState>();
+  state->results.assign(parsed->oids.size(), Result<Bytes>(Unavailable("pending")));
+  state->remaining = parsed->oids.size();
+  state->respond = std::move(respond);
+
+  for (size_t i = 0; i < parsed->oids.size(); ++i) {
+    ++stats_.lookups;
+    LookupWireRequest item;
+    item.oid = parsed->oids[i];
+    item.allow_cached = parsed->allow_cached;
+    ResolveLookup(item, [state, i](Result<Bytes> result) {
+      state->results[i] = std::move(result);
+      if (--state->remaining > 0) {
+        return;
+      }
+      ByteWriter w;
+      w.WriteVarint(state->results.size());
+      for (const auto& item_result : state->results) {
+        if (item_result.ok()) {
+          w.WriteU8(0);
+          w.WriteLengthPrefixed(*item_result);
+        } else {
+          w.WriteU8(static_cast<uint8_t>(item_result.status().code()));
+          w.WriteString(item_result.status().message());
+        }
+      }
+      state->respond(w.Take());
+    });
+  }
 }
 
 void DirectorySubnode::HandleInsert(const sim::RpcContext& context, ByteSpan request,
@@ -264,11 +490,41 @@ void DirectorySubnode::HandleInsert(const sim::RpcContext& context, ByteSpan req
     return;
   }
   ++stats_.inserts;
+  InvalidateCached(parsed->oid);
   auto& at_oid = addresses_[parsed->oid];
   if (std::find(at_oid.begin(), at_oid.end(), parsed->address) == at_oid.end()) {
     at_oid.push_back(parsed->address);
   }
   PropagatePointerUp(parsed->oid, std::move(respond));
+}
+
+void DirectorySubnode::HandleInsertBatch(const sim::RpcContext& context, ByteSpan request,
+                                         sim::RpcServer::Responder respond) {
+  if (Status s = CheckAuthorized(context); !s.ok()) {
+    ++stats_.denied;
+    respond(s);
+    return;
+  }
+  auto parsed = BatchAddressRequest::Deserialize(request);
+  if (!parsed.ok()) {
+    respond(parsed.status());
+    return;
+  }
+  ++stats_.batch_inserts;
+  std::vector<ObjectId> to_propagate;
+  std::set<ObjectId> seen;
+  for (const auto& [oid, address] : parsed->items) {
+    ++stats_.inserts;
+    InvalidateCached(oid);
+    auto& at_oid = addresses_[oid];
+    if (std::find(at_oid.begin(), at_oid.end(), address) == at_oid.end()) {
+      at_oid.push_back(address);
+    }
+    if (seen.insert(oid).second) {
+      to_propagate.push_back(oid);
+    }
+  }
+  PropagatePointerUpBatch(to_propagate, std::move(respond));
 }
 
 void DirectorySubnode::PropagatePointerUp(const ObjectId& oid,
@@ -284,6 +540,41 @@ void DirectorySubnode::PropagatePointerUp(const ObjectId& oid,
                 });
 }
 
+void DirectorySubnode::PropagatePointerUpBatch(const std::vector<ObjectId>& oids,
+                                               sim::RpcServer::Responder respond) {
+  if (parent_.empty() || oids.empty()) {
+    respond(Bytes{});
+    return;
+  }
+  // One install_ptr_batch message per parent subnode the OIDs hash to.
+  std::map<size_t, std::vector<ObjectId>> groups;
+  for (const ObjectId& oid : oids) {
+    groups[parent_.SubnodeIndex(oid)].push_back(oid);
+  }
+  auto remaining = std::make_shared<size_t>(groups.size());
+  auto first_error = std::make_shared<Status>(OkStatus());
+  auto shared_respond =
+      std::make_shared<sim::RpcServer::Responder>(std::move(respond));
+  for (auto& [subnode_index, group] : groups) {
+    BatchPointerRequest up{domain_, std::move(group)};
+    client_->Call(parent_.subnodes[subnode_index], "gls.install_ptr_batch",
+                  up.Serialize(),
+                  [remaining, first_error, shared_respond](Result<Bytes> result) {
+                    if (!result.ok() && first_error->ok()) {
+                      *first_error = result.status();
+                    }
+                    if (--*remaining > 0) {
+                      return;
+                    }
+                    if (first_error->ok()) {
+                      (*shared_respond)(Bytes{});
+                    } else {
+                      (*shared_respond)(*first_error);
+                    }
+                  });
+  }
+}
+
 void DirectorySubnode::HandleInstallPtr(const sim::RpcContext& context, ByteSpan request,
                                         sim::RpcServer::Responder respond) {
   if (Status s = CheckAuthorized(context); !s.ok()) {
@@ -297,6 +588,7 @@ void DirectorySubnode::HandleInstallPtr(const sim::RpcContext& context, ByteSpan
     return;
   }
   ++stats_.pointer_installs;
+  InvalidateCached(parsed->oid);
   bool was_new = pointers_[parsed->oid].insert(parsed->child_domain).second;
   if (!was_new || parent_.empty()) {
     // The chain above already exists (or we are the root): done.
@@ -304,6 +596,31 @@ void DirectorySubnode::HandleInstallPtr(const sim::RpcContext& context, ByteSpan
     return;
   }
   PropagatePointerUp(parsed->oid, std::move(respond));
+}
+
+void DirectorySubnode::HandleInstallPtrBatch(const sim::RpcContext& context,
+                                             ByteSpan request,
+                                             sim::RpcServer::Responder respond) {
+  if (Status s = CheckAuthorized(context); !s.ok()) {
+    ++stats_.denied;
+    respond(s);
+    return;
+  }
+  auto parsed = BatchPointerRequest::Deserialize(request);
+  if (!parsed.ok()) {
+    respond(parsed.status());
+    return;
+  }
+  std::vector<ObjectId> continue_up;
+  for (const ObjectId& oid : parsed->oids) {
+    ++stats_.pointer_installs;
+    InvalidateCached(oid);
+    if (pointers_[oid].insert(parsed->child_domain).second) {
+      continue_up.push_back(oid);
+    }
+  }
+  // Only freshly installed pointers need the chain extended above us.
+  PropagatePointerUpBatch(continue_up, std::move(respond));
 }
 
 void DirectorySubnode::HandleDelete(const sim::RpcContext& context, ByteSpan request,
@@ -331,14 +648,17 @@ void DirectorySubnode::HandleDelete(const sim::RpcContext& context, ByteSpan req
     return;
   }
   at_oid.erase(pos);
+  InvalidateCached(parsed->oid);
   if (!at_oid.empty()) {
-    respond(Bytes{});
+    // Other addresses remain here; the chain stays, but ancestor caches must not
+    // keep serving the removed address.
+    PropagateInvalUp(parsed->oid, std::move(respond));
     return;
   }
   addresses_.erase(it);
   // No addresses left here; if no pointers either, prune the chain above.
   if (NumPointers(parsed->oid) > 0) {
-    respond(Bytes{});
+    PropagateInvalUp(parsed->oid, std::move(respond));
     return;
   }
   PropagateRemoveUp(parsed->oid, std::move(respond));
@@ -357,6 +677,41 @@ void DirectorySubnode::PropagateRemoveUp(const ObjectId& oid,
                 });
 }
 
+void DirectorySubnode::PropagateInvalUp(const ObjectId& oid,
+                                        sim::RpcServer::Responder respond) {
+  // Without caching there is nothing stale above us: keep the old single-message
+  // delete cost. With caching, the chain runs to the root so no ancestor can serve
+  // the deregistered address from its cache.
+  if (!options_.enable_cache || parent_.empty()) {
+    respond(Bytes{});
+    return;
+  }
+  PointerRequest up{oid, domain_};
+  client_->Call(parent_.Route(oid), "gls.inval_cache", up.Serialize(),
+                [respond = std::move(respond)](Result<Bytes> result) {
+                  respond(std::move(result));
+                });
+}
+
+void DirectorySubnode::HandleInvalCache(const sim::RpcContext& context, ByteSpan request,
+                                        sim::RpcServer::Responder respond) {
+  // Cache purges are mutations of serving state: same authorization as the other
+  // internal chain methods (a cached answer must never outlive a delete, but an
+  // unauthenticated peer must not be able to flush caches either).
+  if (Status s = CheckAuthorized(context); !s.ok()) {
+    ++stats_.denied;
+    respond(s);
+    return;
+  }
+  auto parsed = PointerRequest::Deserialize(request);
+  if (!parsed.ok()) {
+    respond(parsed.status());
+    return;
+  }
+  InvalidateCached(parsed->oid);
+  PropagateInvalUp(parsed->oid, std::move(respond));
+}
+
 void DirectorySubnode::HandleRemovePtr(const sim::RpcContext& context, ByteSpan request,
                                        sim::RpcServer::Responder respond) {
   if (Status s = CheckAuthorized(context); !s.ok()) {
@@ -370,6 +725,7 @@ void DirectorySubnode::HandleRemovePtr(const sim::RpcContext& context, ByteSpan 
     return;
   }
   ++stats_.pointer_removes;
+  InvalidateCached(parsed->oid);
   auto it = pointers_.find(parsed->oid);
   if (it != pointers_.end()) {
     it->second.erase(parsed->child_domain);
@@ -381,7 +737,9 @@ void DirectorySubnode::HandleRemovePtr(const sim::RpcContext& context, ByteSpan 
     PropagateRemoveUp(parsed->oid, std::move(respond));
     return;
   }
-  respond(Bytes{});
+  // The chain stops pruning here, but ancestors may still cache the removed
+  // subtree's addresses.
+  PropagateInvalUp(parsed->oid, std::move(respond));
 }
 
 Bytes DirectorySubnode::SaveState() const {
@@ -402,6 +760,7 @@ Bytes DirectorySubnode::SaveState() const {
       w.WriteU32(child);
     }
   }
+  cache_.Serialize(&w);
   return w.Take();
 }
 
@@ -433,8 +792,15 @@ Status DirectorySubnode::RestoreState(ByteSpan data) {
       children.insert(child);
     }
   }
+  // Cache section: absent in checkpoints taken before caching existed — an empty
+  // cache is always a safe restore state.
+  LookupCache cache(options_.cache_ttl, options_.cache_max_entries);
+  if (!r.AtEnd()) {
+    RETURN_IF_ERROR(cache.Restore(&r));
+  }
   addresses_ = std::move(addresses);
   pointers_ = std::move(pointers);
+  cache_ = std::move(cache);
   return OkStatus();
 }
 
@@ -442,44 +808,170 @@ GlsClient::GlsClient(sim::Transport* transport, sim::NodeId node, DirectoryRef l
     : rpc_(transport, node), leaf_(std::move(leaf_directory)) {}
 
 void GlsClient::Lookup(const ObjectId& oid, LookupCallback done) {
-  LookupRequest request;
+  Lookup(oid, allow_cached_, std::move(done));
+}
+
+void GlsClient::Lookup(const ObjectId& oid, bool allow_cached, LookupCallback done) {
+  auto target = leaf_.TryRoute(oid);
+  if (!target.ok()) {
+    done(target.status());
+    return;
+  }
+  LookupWireRequest request;
   request.oid = oid;
-  request.apex_depth = 1 << 20;  // effectively +infinity; min() with depths en route
-  rpc_.Call(leaf_.Route(oid), "gls.lookup", request.Serialize(),
+  request.allow_cached = allow_cached ? 1 : 0;
+  rpc_.Call(*target, "gls.lookup", request.Serialize(),
             [done = std::move(done)](Result<Bytes> result) {
               if (!result.ok()) {
                 done(result.status());
                 return;
               }
-              auto response = LookupResponse::Deserialize(*result);
-              if (!response.ok()) {
-                done(response.status());
-                return;
-              }
-              done(LookupResult{std::move(response->addresses), response->hops,
-                                response->found_depth, response->apex_depth});
+              done(ParseLookupResult(*result));
             });
+}
+
+void GlsClient::LookupBatch(const std::vector<ObjectId>& oids, BatchLookupCallback done) {
+  if (leaf_.empty()) {
+    done(FailedPrecondition("GLS client has no leaf directory"));
+    return;
+  }
+  if (oids.empty()) {
+    done(std::vector<Result<LookupResult>>{});
+    return;
+  }
+
+  struct BatchState {
+    std::vector<Result<LookupResult>> results;
+    size_t remaining = 0;
+    BatchLookupCallback done;
+  };
+  auto state = std::make_shared<BatchState>();
+  state->results.assign(oids.size(), Result<LookupResult>(Unavailable("pending")));
+  state->done = std::move(done);
+
+  // One gls.lookup_batch call per leaf subnode the OIDs hash to; results land back
+  // in their original positions.
+  std::map<size_t, std::vector<size_t>> groups;
+  for (size_t i = 0; i < oids.size(); ++i) {
+    groups[leaf_.SubnodeIndex(oids[i])].push_back(i);
+  }
+  state->remaining = groups.size();
+
+  for (auto& [subnode_index, indices] : groups) {
+    BatchLookupRequest group_request;
+    for (size_t i : indices) {
+      group_request.oids.push_back(oids[i]);
+    }
+    group_request.allow_cached = allow_cached_ ? 1 : 0;
+    rpc_.Call(leaf_.subnodes[subnode_index], "gls.lookup_batch", group_request.Serialize(),
+              [state, indices = std::move(indices)](Result<Bytes> result) {
+                if (!result.ok()) {
+                  for (size_t i : indices) {
+                    state->results[i] = result.status();
+                  }
+                } else {
+                  ByteReader r(*result);
+                  auto count = r.ReadVarint();
+                  bool well_formed = count.ok() && *count == indices.size();
+                  for (size_t k = 0; well_formed && k < indices.size(); ++k) {
+                    auto code = r.ReadU8();
+                    if (!code.ok()) {
+                      well_formed = false;
+                      break;
+                    }
+                    if (*code == 0) {
+                      auto payload = r.ReadLengthPrefixed();
+                      if (!payload.ok()) {
+                        well_formed = false;
+                        break;
+                      }
+                      state->results[indices[k]] = ParseLookupResult(*payload);
+                    } else {
+                      auto message = r.ReadString();
+                      if (!message.ok() || *code > static_cast<uint8_t>(StatusCode::kDataLoss)) {
+                        well_formed = false;
+                        break;
+                      }
+                      state->results[indices[k]] =
+                          Status(static_cast<StatusCode>(*code), std::move(*message));
+                    }
+                  }
+                  if (!well_formed) {
+                    for (size_t i : indices) {
+                      state->results[i] = InvalidArgument("malformed lookup batch response");
+                    }
+                  }
+                }
+                if (--state->remaining == 0) {
+                  state->done(std::move(state->results));
+                }
+              });
+  }
 }
 
 void GlsClient::Insert(const ObjectId& oid, const ContactAddress& address,
                        DoneCallback done) {
+  auto target = leaf_.TryRoute(oid);
+  if (!target.ok()) {
+    done(target.status());
+    return;
+  }
   AddressRequest request{oid, address};
-  rpc_.Call(leaf_.Route(oid), "gls.insert", request.Serialize(),
+  rpc_.Call(*target, "gls.insert", request.Serialize(),
             [done = std::move(done)](Result<Bytes> result) {
               done(result.ok() ? OkStatus() : result.status());
             });
 }
 
+void GlsClient::InsertBatch(const std::vector<std::pair<ObjectId, ContactAddress>>& items,
+                            DoneCallback done) {
+  if (leaf_.empty()) {
+    done(FailedPrecondition("GLS client has no leaf directory"));
+    return;
+  }
+  if (items.empty()) {
+    done(OkStatus());
+    return;
+  }
+  std::map<size_t, BatchAddressRequest> groups;
+  for (const auto& item : items) {
+    groups[leaf_.SubnodeIndex(item.first)].items.push_back(item);
+  }
+  auto remaining = std::make_shared<size_t>(groups.size());
+  auto first_error = std::make_shared<Status>(OkStatus());
+  auto shared_done = std::make_shared<DoneCallback>(std::move(done));
+  for (auto& [subnode_index, group] : groups) {
+    rpc_.Call(leaf_.subnodes[subnode_index], "gls.insert_batch", group.Serialize(),
+              [remaining, first_error, shared_done](Result<Bytes> result) {
+                if (!result.ok() && first_error->ok()) {
+                  *first_error = result.status();
+                }
+                if (--*remaining == 0) {
+                  (*shared_done)(*first_error);
+                }
+              });
+  }
+}
+
 void GlsClient::Delete(const ObjectId& oid, const ContactAddress& address,
                        DoneCallback done) {
+  auto target = leaf_.TryRoute(oid);
+  if (!target.ok()) {
+    done(target.status());
+    return;
+  }
   AddressRequest request{oid, address};
-  rpc_.Call(leaf_.Route(oid), "gls.delete", request.Serialize(),
+  rpc_.Call(*target, "gls.delete", request.Serialize(),
             [done = std::move(done)](Result<Bytes> result) {
               done(result.ok() ? OkStatus() : result.status());
             });
 }
 
 void GlsClient::AllocateOid(OidCallback done) {
+  if (leaf_.empty()) {
+    done(FailedPrecondition("GLS client has no leaf directory"));
+    return;
+  }
   // Any subnode can allocate; spread the load by picking pseudo-randomly via a
   // generated id's own hash.
   rpc_.Call(leaf_.subnodes.front(), "gls.alloc_oid", {},

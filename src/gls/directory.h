@@ -13,13 +13,27 @@
 // [Ballintijn and van Steen 1999a]. DirectoryRef is the client-visible handle: the
 // subnode set plus the hash routing rule.
 //
+// Two hot-path optimisations sit on top of the plain tree walk:
+//   - a per-subnode TTL'd lookup cache (src/gls/cache.h): nodes that forward a
+//     lookup *down* remember the returned contact addresses, so repeat lookups for
+//     hot OIDs stop at the apex instead of re-walking the descent,
+//   - batched registration: gls.insert_batch registers many (OID, address) pairs in
+//     one round trip, and the forwarding-pointer chain is installed with batched
+//     gls.install_ptr_batch hops — a Globe Object Server re-registering N replicas
+//     pays one client round trip instead of N.
+//
 // RPC methods (port sim::kPortGls on each subnode's host):
-//   gls.lookup      : LookupRequest -> LookupResponse
-//   gls.insert      : oid, contact address -> empty         (stores + installs pointers)
-//   gls.delete      : oid, contact address -> empty         (removes + prunes pointers)
-//   gls.install_ptr : oid, child domain -> empty            (internal, child -> parent)
-//   gls.remove_ptr  : oid, child domain -> empty            (internal, child -> parent)
-//   gls.alloc_oid   : empty -> oid                          (OID allocation, §6.1)
+//   gls.lookup            : LookupRequest -> LookupResponse
+//   gls.lookup_batch      : oids, allow_cached -> per-OID LookupResponse/status
+//   gls.insert            : oid, contact address -> empty   (stores + installs pointers)
+//   gls.insert_batch      : (oid, address) pairs -> empty   (same, one round trip)
+//   gls.delete            : oid, contact address -> empty   (removes + prunes pointers)
+//   gls.install_ptr       : oid, child domain -> empty      (internal, child -> parent)
+//   gls.install_ptr_batch : child domain, oids -> empty     (internal, child -> parent)
+//   gls.remove_ptr        : oid, child domain -> empty      (internal, child -> parent)
+//   gls.inval_cache       : oid, child domain -> empty      (internal: delete-driven
+//                           cache invalidation chained towards the root)
+//   gls.alloc_oid         : empty -> oid                    (OID allocation, §6.1)
 
 #ifndef SRC_GLS_DIRECTORY_H_
 #define SRC_GLS_DIRECTORY_H_
@@ -27,8 +41,10 @@
 #include <map>
 #include <memory>
 #include <set>
+#include <utility>
 #include <vector>
 
+#include "src/gls/cache.h"
 #include "src/gls/oid.h"
 #include "src/sec/principal.h"
 #include "src/sim/rpc.h"
@@ -41,16 +57,38 @@ struct DirectoryRef {
   std::vector<sim::Endpoint> subnodes;
 
   bool empty() const { return subnodes.empty(); }
+
+  // Routing an empty ref is a caller bug; the fallible TryRoute below is for
+  // client-facing paths that cannot statically guarantee a non-empty ref.
   sim::Endpoint Route(const ObjectId& oid) const {
-    return subnodes[oid.Hash() % subnodes.size()];
+    assert(!subnodes.empty() && "DirectoryRef::Route on an empty ref");
+    return subnodes[SubnodeIndex(oid)];
+  }
+
+  Result<sim::Endpoint> TryRoute(const ObjectId& oid) const {
+    if (subnodes.empty()) {
+      return FailedPrecondition("DirectoryRef has no subnodes to route to");
+    }
+    return subnodes[SubnodeIndex(oid)];
+  }
+
+  // The subnode slot an OID hashes to (valid only for a non-empty ref).
+  size_t SubnodeIndex(const ObjectId& oid) const {
+    assert(!subnodes.empty() && "DirectoryRef::SubnodeIndex on an empty ref");
+    return oid.Hash() % subnodes.size();
   }
 };
+
+// gls.lookup wire format; defined in directory.cc (subnodes forward it, GlsClient
+// issues the initial request).
+struct LookupWireRequest;
 
 struct LookupResponse {
   std::vector<ContactAddress> addresses;
   uint32_t hops = 0;       // directory-to-directory messages traversed
   int32_t found_depth = 0;  // tree depth of the node holding the addresses
   int32_t apex_depth = 0;   // highest (smallest-depth) node the lookup visited
+  uint8_t from_cache = 0;   // 1 when a subnode's lookup cache produced the answer
 
   Bytes Serialize() const;
   static Result<LookupResponse> Deserialize(ByteSpan data);
@@ -62,6 +100,18 @@ struct GlsOptions {
   // officially part of the GDN." When true, mutating methods require an
   // authenticated peer whose registry role is kGdnHost or kAdministrator.
   bool enforce_authorization = false;
+
+  // Per-subnode lookup cache (src/gls/cache.h). Populated on lookup descent,
+  // consulted only for lookups that set allow_cached, never for mutations, and
+  // invalidated whenever a mutation touches the OID at this node. When enabled,
+  // deletes additionally chain a gls.inval_cache towards the root so no ancestor
+  // serves a deregistered address from cache.
+  // The TTL is virtual time. Note for synchronous test/bench drivers: draining the
+  // simulator after an operation also runs its pending 30 s RPC-timeout events, so
+  // the clock advances ~30 s per drained step — size TTLs well above that.
+  bool enable_cache = false;
+  sim::SimTime cache_ttl = 300 * sim::kSecond;
+  size_t cache_max_entries = 4096;
 };
 
 struct SubnodeStats {
@@ -74,6 +124,11 @@ struct SubnodeStats {
   uint64_t pointer_installs = 0;
   uint64_t pointer_removes = 0;
   uint64_t denied = 0;
+  uint64_t cache_hits = 0;           // lookups answered from the lookup cache
+  uint64_t cache_misses = 0;         // allow_cached lookups that had to walk pointers
+  uint64_t cache_invalidations = 0;  // cache entries dropped by mutations
+  uint64_t batch_lookups = 0;        // gls.lookup_batch requests served
+  uint64_t batch_inserts = 0;        // gls.insert_batch requests served
 };
 
 class DirectorySubnode {
@@ -97,10 +152,11 @@ class DirectorySubnode {
   size_t NumAddresses(const ObjectId& oid) const;
   size_t NumPointers(const ObjectId& oid) const;
   size_t TotalEntries() const;
+  size_t CacheSize() const { return cache_.size(); }
 
   // Persistence: "persistent storage of the state of a directory node (location
   // information and forwarding pointers)" with "a simple crash recovery mechanism"
-  // (paper §7).
+  // (paper §7). Cache contents ride along so a rebooted subnode resumes warm.
   Bytes SaveState() const;
   Status RestoreState(ByteSpan data);
 
@@ -110,25 +166,48 @@ class DirectorySubnode {
 
   void HandleLookup(const sim::RpcContext& context, ByteSpan request,
                     sim::RpcServer::Responder respond);
+  void HandleLookupBatch(const sim::RpcContext& context, ByteSpan request,
+                         sim::RpcServer::Responder respond);
   void HandleInsert(const sim::RpcContext& context, ByteSpan request,
                     sim::RpcServer::Responder respond);
+  void HandleInsertBatch(const sim::RpcContext& context, ByteSpan request,
+                         sim::RpcServer::Responder respond);
   void HandleDelete(const sim::RpcContext& context, ByteSpan request,
                     sim::RpcServer::Responder respond);
   void HandleInstallPtr(const sim::RpcContext& context, ByteSpan request,
                         sim::RpcServer::Responder respond);
+  void HandleInstallPtrBatch(const sim::RpcContext& context, ByteSpan request,
+                             sim::RpcServer::Responder respond);
   void HandleRemovePtr(const sim::RpcContext& context, ByteSpan request,
                        sim::RpcServer::Responder respond);
+  void HandleInvalCache(const sim::RpcContext& context, ByteSpan request,
+                        sim::RpcServer::Responder respond);
 
   Status CheckAuthorized(const sim::RpcContext& context) const;
+
+  // Lookup core shared by gls.lookup and gls.lookup_batch: local addresses, then the
+  // cache (when allowed), then pointer descent / parent climb.
+  void ResolveLookup(LookupWireRequest request, sim::RpcServer::Responder respond);
+
+  // Drops the cache entry for `oid` if present (mutations must never leave a cached
+  // answer the mutation contradicts).
+  void InvalidateCached(const ObjectId& oid);
 
   // Continues an insert by installing the forwarding pointer chain towards the root,
   // then responds.
   void PropagatePointerUp(const ObjectId& oid, sim::RpcServer::Responder respond);
+  // Batched equivalent: one install_ptr_batch message per parent subnode.
+  void PropagatePointerUpBatch(const std::vector<ObjectId>& oids,
+                               sim::RpcServer::Responder respond);
   // Continues a delete by pruning the pointer chain, then responds.
   void PropagateRemoveUp(const ObjectId& oid, sim::RpcServer::Responder respond);
+  // Continues a delete that stopped pruning by invalidating ancestor caches up to
+  // the root, then responds. No-op (immediate respond) when caching is off.
+  void PropagateInvalUp(const ObjectId& oid, sim::RpcServer::Responder respond);
 
   sim::RpcServer server_;
   std::unique_ptr<sim::RpcClient> client_;
+  sim::Simulator* clock_;
   sim::DomainId domain_;
   int depth_;
   GlsOptions options_;
@@ -139,6 +218,7 @@ class DirectorySubnode {
   std::map<sim::DomainId, DirectoryRef> children_;
   std::map<ObjectId, std::vector<ContactAddress>> addresses_;
   std::map<ObjectId, std::set<sim::DomainId>> pointers_;
+  LookupCache cache_;
   SubnodeStats stats_;
 };
 
@@ -147,6 +227,7 @@ struct LookupResult {
   uint32_t hops = 0;
   int32_t found_depth = 0;
   int32_t apex_depth = 0;
+  bool from_cache = false;
 };
 
 // Client-side stub: the run-time-system piece that talks to the leaf directory node
@@ -156,19 +237,36 @@ class GlsClient {
   GlsClient(sim::Transport* transport, sim::NodeId node, DirectoryRef leaf_directory);
 
   using LookupCallback = std::function<void(Result<LookupResult>)>;
+  using BatchLookupCallback = std::function<void(Result<std::vector<Result<LookupResult>>>)>;
   using DoneCallback = std::function<void(Status)>;
   using OidCallback = std::function<void(Result<ObjectId>)>;
 
   void Lookup(const ObjectId& oid, LookupCallback done);
+  // `allow_cached` lets directory subnodes answer from their lookup caches
+  // (TTL-bounded staleness in exchange for fewer directory hops).
+  void Lookup(const ObjectId& oid, bool allow_cached, LookupCallback done);
+  // Resolves many OIDs in one round trip per leaf subnode. The result vector is
+  // positional: results[i] belongs to oids[i].
+  void LookupBatch(const std::vector<ObjectId>& oids, BatchLookupCallback done);
+
   void Insert(const ObjectId& oid, const ContactAddress& address, DoneCallback done);
+  // Registers many (OID, address) pairs in one round trip per leaf subnode; the
+  // aggregate status is OK only if every registration succeeded.
+  void InsertBatch(const std::vector<std::pair<ObjectId, ContactAddress>>& items,
+                   DoneCallback done);
   void Delete(const ObjectId& oid, const ContactAddress& address, DoneCallback done);
   void AllocateOid(OidCallback done);
+
+  // Default for the single-OID Lookup overload without an explicit flag.
+  void set_allow_cached(bool allow) { allow_cached_ = allow; }
+  bool allow_cached() const { return allow_cached_; }
 
   const DirectoryRef& leaf_directory() const { return leaf_; }
 
  private:
   sim::RpcClient rpc_;
   DirectoryRef leaf_;
+  bool allow_cached_ = false;
 };
 
 }  // namespace globe::gls

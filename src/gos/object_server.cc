@@ -414,15 +414,15 @@ void ObjectServer::Restore(ByteSpan checkpoint, std::function<void(Status)> done
     return;
   }
 
-  auto remaining = std::make_shared<size_t>(entries.size());
-  auto first_error = std::make_shared<Status>(OkStatus());
-  auto shared_done = std::make_shared<std::function<void(Status)>>(std::move(done));
-  auto finish_one = [remaining, first_error, shared_done](Status s) {
-    if (!s.ok() && first_error->ok()) {
-      *first_error = s;
-    }
-    if (--*remaining == 0) {
-      (*shared_done)(*first_error);
+  // Rebuild every replica first, collecting the GLS bookkeeping: the stale
+  // addresses to drop and the fresh ones to register. The fresh registrations then
+  // go out as one gls.insert_batch instead of N gls.insert round trips.
+  Status build_error = OkStatus();
+  std::vector<std::pair<gls::ObjectId, gls::ContactAddress>> stale;
+  std::vector<std::pair<gls::ObjectId, gls::ContactAddress>> fresh;
+  auto record_failure = [&build_error](Status s) {
+    if (!s.ok() && build_error.ok()) {
+      build_error = std::move(s);
     }
   };
 
@@ -431,12 +431,12 @@ void ObjectServer::Restore(ByteSpan checkpoint, std::function<void(Status)> done
     // so drop the stale contact address and register the new one.
     auto semantics = repository_->Instantiate(entry.semantics_type);
     if (!semantics.ok()) {
-      finish_one(semantics.status());
+      record_failure(semantics.status());
       continue;
     }
     Status set = (*semantics)->SetState(entry.state);
     if (!set.ok()) {
-      finish_one(set);
+      record_failure(set);
       continue;
     }
     dso::ReplicaSetup setup;
@@ -453,7 +453,7 @@ void ObjectServer::Restore(ByteSpan checkpoint, std::function<void(Status)> done
     }
     auto replica = dso::MakeReplica(entry.protocol, std::move(setup));
     if (!replica.ok()) {
-      finish_one(replica.status());
+      record_failure(replica.status());
       continue;
     }
     (*replica)->set_version(entry.version);
@@ -469,13 +469,33 @@ void ObjectServer::Restore(ByteSpan checkpoint, std::function<void(Status)> done
     gls::ContactAddress new_address = hosted.registered_address;
     replicas_[entry.oid] = std::move(hosted);
 
-    // GLS bookkeeping: out with the stale address, in with the new one.
-    gls_.Delete(entry.oid, entry.old_address,
-                [this, entry, new_address, finish_one](Status) {
-                  // A missing stale address is fine (e.g. it was never registered).
-                  gls_.Insert(entry.oid, new_address,
-                              [finish_one](Status s) { finish_one(s); });
-                });
+    stale.emplace_back(entry.oid, entry.old_address);
+    fresh.emplace_back(entry.oid, new_address);
+  }
+
+  if (fresh.empty()) {
+    done(build_error);
+    return;
+  }
+
+  // GLS bookkeeping: out with the stale addresses, then all fresh ones in one
+  // batched registration round trip.
+  auto deletes_remaining = std::make_shared<size_t>(stale.size());
+  auto shared_done = std::make_shared<std::function<void(Status)>>(std::move(done));
+  // Shared so the N delete callbacks don't each copy the fresh-address vector.
+  auto register_fresh = std::make_shared<std::function<void()>>(
+      [this, fresh = std::move(fresh), build_error, shared_done]() {
+        gls_.InsertBatch(fresh, [build_error, shared_done](Status s) {
+          (*shared_done)(!s.ok() ? s : build_error);
+        });
+      });
+  for (const auto& [oid, old_address] : stale) {
+    // A missing stale address is fine (e.g. it was never registered).
+    gls_.Delete(oid, old_address, [deletes_remaining, register_fresh](Status) {
+      if (--*deletes_remaining == 0) {
+        (*register_fresh)();
+      }
+    });
   }
 }
 

@@ -438,6 +438,397 @@ TEST_F(GlsTreeTest, RestoreRejectsGarbage) {
   EXPECT_FALSE(subnode->RestoreState(garbage).ok());
 }
 
+// ---------------------------------------------------------------- Lookup cache
+
+TEST(LookupCacheTest, PutGetExpireRoundTrip) {
+  LookupCache cache(/*ttl=*/100, /*max_entries=*/8);
+  Rng rng(21);
+  ObjectId oid = ObjectId::Generate(&rng);
+  ContactAddress address{{7, sim::kPortGos}, 1, ReplicaRole::kMaster};
+
+  EXPECT_EQ(cache.Get(oid, 0), nullptr);
+  cache.Put(oid, {address}, /*found_depth=*/3, /*now=*/10);
+  const auto* entry = cache.Get(oid, 50);
+  ASSERT_NE(entry, nullptr);
+  EXPECT_EQ(entry->addresses, std::vector<ContactAddress>{address});
+  EXPECT_EQ(entry->found_depth, 3);
+  EXPECT_EQ(cache.Get(oid, 110), nullptr);  // expired at 10 + 100
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(LookupCacheTest, InvalidateQuarantinesReadmission) {
+  LookupCache cache(/*ttl=*/1000 * sim::kSecond, /*max_entries=*/8);
+  Rng rng(22);
+  ObjectId oid = ObjectId::Generate(&rng);
+  ContactAddress address{{7, sim::kPortGos}, 1, ReplicaRole::kMaster};
+
+  cache.Put(oid, {address}, 3, /*now=*/0);
+  EXPECT_TRUE(cache.Invalidate(oid, /*now=*/sim::kSecond));
+  EXPECT_EQ(cache.Get(oid, sim::kSecond), nullptr);
+
+  // A response that was in flight when the invalidation ran must not re-install
+  // the entry...
+  cache.Put(oid, {address}, 3, sim::kSecond + 1);
+  EXPECT_EQ(cache.Get(oid, sim::kSecond + 2), nullptr);
+
+  // ...but after the quarantine lapses, fresh authoritative answers cache again.
+  sim::SimTime later = sim::kSecond + LookupCache::kPutQuarantine;
+  cache.Put(oid, {address}, 3, later);
+  EXPECT_NE(cache.Get(oid, later + 1), nullptr);
+}
+
+TEST(LookupCacheTest, EvictsSoonestToExpireWhenFull) {
+  LookupCache cache(/*ttl=*/1000, /*max_entries=*/2);
+  Rng rng(23);
+  ObjectId a = ObjectId::Generate(&rng);
+  ObjectId b = ObjectId::Generate(&rng);
+  ObjectId c = ObjectId::Generate(&rng);
+  ContactAddress address{{7, sim::kPortGos}, 1, ReplicaRole::kMaster};
+
+  cache.Put(a, {address}, 3, /*now=*/0);
+  cache.Put(b, {address}, 3, /*now=*/10);
+  cache.Put(c, {address}, 3, /*now=*/20);  // evicts a (soonest to expire)
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.Get(a, 30), nullptr);
+  EXPECT_NE(cache.Get(b, 30), nullptr);
+  EXPECT_NE(cache.Get(c, 30), nullptr);
+}
+
+// Same world as GlsTreeTest, but every directory subnode runs its TTL'd lookup
+// cache (src/gls/cache.h).
+class GlsCacheTest : public ::testing::Test {
+ protected:
+  // TTLs are virtual time. Note that draining the simulator after each operation
+  // also runs that operation's pending 30 s RPC-timeout events, so the virtual
+  // clock advances ~30 s per synchronous step; test TTLs are sized well above that.
+  explicit GlsCacheTest(sim::SimTime ttl = 600 * sim::kSecond)
+      : world_(BuildUniformWorld({2, 2, 2}, 2)),
+        network_(&simulator_, &world_.topology),
+        transport_(&network_),
+        deployment_(&transport_, &world_.topology, nullptr, CacheOptions(ttl)),
+        rng_(1234) {}
+
+  static GlsDeploymentOptions CacheOptions(sim::SimTime ttl) {
+    GlsDeploymentOptions options;
+    options.node_options.enable_cache = true;
+    options.node_options.cache_ttl = ttl;
+    return options;
+  }
+
+  void InsertAt(const ObjectId& oid, NodeId host) {
+    auto client = deployment_.MakeClient(host);
+    Status status = InvalidArgument("pending");
+    client->Insert(oid, ContactAddress{{host, sim::kPortGos}, 1, ReplicaRole::kMaster},
+                   [&](Status s) { status = s; });
+    simulator_.Run();
+    ASSERT_TRUE(status.ok()) << status;
+  }
+
+  Result<LookupResult> LookupFrom(const ObjectId& oid, NodeId host, bool allow_cached) {
+    auto client = deployment_.MakeClient(host);
+    client->set_allow_cached(allow_cached);
+    Result<LookupResult> out = Unavailable("pending");
+    client->Lookup(oid, [&](Result<LookupResult> result) { out = std::move(result); });
+    simulator_.Run();
+    return out;
+  }
+
+  Status DeleteAt(const ObjectId& oid, NodeId host) {
+    auto client = deployment_.MakeClient(host);
+    Status status = InvalidArgument("pending");
+    client->Delete(oid, ContactAddress{{host, sim::kPortGos}, 1, ReplicaRole::kMaster},
+                   [&](Status s) { status = s; });
+    simulator_.Run();
+    return status;
+  }
+
+  sim::Simulator simulator_;
+  UniformWorld world_;
+  sim::Network network_;
+  sim::PlainTransport transport_;
+  GlsDeployment deployment_;
+  Rng rng_;
+};
+
+TEST_F(GlsCacheTest, CachedLookupSavesDescentHops) {
+  ObjectId oid = ObjectId::Generate(&rng_);
+  InsertAt(oid, world_.hosts[0]);
+
+  // First cached lookup from the other continent walks the full path (3 up + 3
+  // down); the descent populates caches at the replica-side pointer holders.
+  auto cold = LookupFrom(oid, world_.hosts[8], /*allow_cached=*/true);
+  ASSERT_TRUE(cold.ok()) << cold.status();
+  EXPECT_EQ(cold->hops, 6u);
+  EXPECT_FALSE(cold->from_cache);
+
+  // The repeat stops at the apex (root) cache: only the 3 upward hops remain.
+  auto warm = LookupFrom(oid, world_.hosts[8], /*allow_cached=*/true);
+  ASSERT_TRUE(warm.ok()) << warm.status();
+  EXPECT_TRUE(warm->from_cache);
+  EXPECT_EQ(warm->hops, 3u);
+  EXPECT_EQ(warm->addresses, cold->addresses);
+  EXPECT_GE(deployment_.TotalStats().cache_hits, 1u);
+}
+
+TEST_F(GlsCacheTest, LookupWithoutAllowCachedIgnoresWarmCache) {
+  ObjectId oid = ObjectId::Generate(&rng_);
+  InsertAt(oid, world_.hosts[0]);
+  ASSERT_TRUE(LookupFrom(oid, world_.hosts[8], /*allow_cached=*/true).ok());
+
+  auto strict = LookupFrom(oid, world_.hosts[8], /*allow_cached=*/false);
+  ASSERT_TRUE(strict.ok());
+  EXPECT_FALSE(strict->from_cache);
+  EXPECT_EQ(strict->hops, 6u);  // full walk despite the warm cache
+}
+
+TEST_F(GlsCacheTest, LookupAfterDeleteNeverServesStaleCache) {
+  ObjectId oid = ObjectId::Generate(&rng_);
+  InsertAt(oid, world_.hosts[0]);
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(LookupFrom(oid, world_.hosts[8], /*allow_cached=*/true).ok());
+  }
+
+  ASSERT_TRUE(DeleteAt(oid, world_.hosts[0]).ok());
+  auto result = LookupFrom(oid, world_.hosts[8], /*allow_cached=*/true);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+  for (const auto& subnode : deployment_.subnodes()) {
+    EXPECT_EQ(subnode->CacheSize(), 0u) << subnode->domain();
+  }
+}
+
+TEST_F(GlsCacheTest, PartialDeleteInvalidatesAncestorCaches) {
+  // Two replicas in sibling sites of one country; the delete of one stops pruning
+  // at the country node, but the gls.inval_cache chain still reaches the root.
+  ObjectId oid = ObjectId::Generate(&rng_);
+  InsertAt(oid, world_.hosts[0]);  // site 0 of country 0
+  InsertAt(oid, world_.hosts[2]);  // site 1 of country 0
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(LookupFrom(oid, world_.hosts[8], /*allow_cached=*/true).ok());
+  }
+
+  ASSERT_TRUE(DeleteAt(oid, world_.hosts[0]).ok());
+  for (int i = 0; i < 5; ++i) {
+    auto result = LookupFrom(oid, world_.hosts[8], /*allow_cached=*/true);
+    ASSERT_TRUE(result.ok()) << result.status();
+    ASSERT_EQ(result->addresses.size(), 1u);
+    EXPECT_EQ(result->addresses[0].endpoint.node, world_.hosts[2])
+        << "stale cached address for the deleted replica";
+  }
+}
+
+class GlsCacheShortTtlTest : public GlsCacheTest {
+ protected:
+  GlsCacheShortTtlTest() : GlsCacheTest(120 * sim::kSecond) {}
+};
+
+TEST_F(GlsCacheShortTtlTest, CacheEntryExpiresAfterTtl) {
+  ObjectId oid = ObjectId::Generate(&rng_);
+  InsertAt(oid, world_.hosts[0]);
+  ASSERT_TRUE(LookupFrom(oid, world_.hosts[8], true).ok());
+
+  auto warm = LookupFrom(oid, world_.hosts[8], true);
+  ASSERT_TRUE(warm.ok());
+  EXPECT_TRUE(warm->from_cache);
+
+  // Let virtual time pass the TTL; the entry must lapse back to a full walk.
+  simulator_.ScheduleAfter(300 * sim::kSecond, [] {});
+  simulator_.Run();
+  auto expired = LookupFrom(oid, world_.hosts[8], true);
+  ASSERT_TRUE(expired.ok());
+  EXPECT_FALSE(expired->from_cache);
+  EXPECT_EQ(expired->hops, 6u);
+}
+
+TEST_F(GlsCacheTest, CacheStateRoundTripsThroughSaveRestore) {
+  ObjectId oid = ObjectId::Generate(&rng_);
+  InsertAt(oid, world_.hosts[0]);
+  ASSERT_TRUE(LookupFrom(oid, world_.hosts[8], true).ok());
+
+  auto root_subnodes = deployment_.SubnodesOf(0);
+  ASSERT_EQ(root_subnodes.size(), 1u);
+  auto* root = const_cast<DirectorySubnode*>(root_subnodes[0]);
+  ASSERT_GE(root->CacheSize(), 1u);
+
+  size_t cached_before = root->CacheSize();
+  Bytes saved = root->SaveState();
+  ASSERT_TRUE(root->RestoreState(saved).ok());
+  EXPECT_EQ(root->CacheSize(), cached_before);
+
+  // The restored cache still answers: the repeat lookup stays a 3-hop apex hit.
+  uint64_t hits_before = root->stats().cache_hits;
+  auto warm = LookupFrom(oid, world_.hosts[8], true);
+  ASSERT_TRUE(warm.ok());
+  EXPECT_TRUE(warm->from_cache);
+  EXPECT_EQ(root->stats().cache_hits, hits_before + 1);
+}
+
+// ---------------------------------------------------------------- Batch RPCs
+
+TEST_F(GlsTreeTest, InsertBatchRegistersAllInOneRoundTrip) {
+  std::vector<std::pair<ObjectId, ContactAddress>> items;
+  for (int i = 0; i < 8; ++i) {
+    items.emplace_back(ObjectId::Generate(&rng_),
+                       ContactAddress{{world_.hosts[0], sim::kPortGos}, 1,
+                                      ReplicaRole::kMaster});
+  }
+  auto client = deployment_.MakeClient(world_.hosts[0]);
+  Status status = Unavailable("pending");
+  client->InsertBatch(items, [&](Status s) { status = s; });
+  simulator_.Run();
+  ASSERT_TRUE(status.ok()) << status;
+
+  // The leaf subnode saw one batch message carrying all eight registrations.
+  DomainId leaf_domain = world_.topology.NodeDomain(world_.hosts[0]);
+  auto leaf_subnodes = deployment_.SubnodesOf(leaf_domain);
+  ASSERT_EQ(leaf_subnodes.size(), 1u);
+  EXPECT_EQ(leaf_subnodes[0]->stats().batch_inserts, 1u);
+  EXPECT_EQ(leaf_subnodes[0]->stats().inserts, 8u);
+
+  // Every registration is findable from the other side of the world.
+  for (const auto& [oid, address] : items) {
+    auto result = LookupFrom(oid, world_.hosts[15]);
+    ASSERT_TRUE(result.ok()) << oid.ToHex() << ": " << result.status();
+    ASSERT_EQ(result->addresses.size(), 1u);
+    EXPECT_EQ(result->addresses[0], address);
+  }
+}
+
+TEST_F(GlsTreeTest, LookupBatchReturnsPositionalResults) {
+  ObjectId registered = ObjectId::Generate(&rng_);
+  ObjectId unknown = ObjectId::Generate(&rng_);
+  InsertAt(registered, world_.hosts[0]);
+
+  auto client = deployment_.MakeClient(world_.hosts[1]);
+  Result<std::vector<Result<LookupResult>>> out = Unavailable("pending");
+  client->LookupBatch({registered, unknown},
+                      [&](Result<std::vector<Result<LookupResult>>> results) {
+                        out = std::move(results);
+                      });
+  simulator_.Run();
+  ASSERT_TRUE(out.ok()) << out.status();
+  ASSERT_EQ(out->size(), 2u);
+  ASSERT_TRUE((*out)[0].ok()) << (*out)[0].status();
+  ASSERT_EQ((*out)[0]->addresses.size(), 1u);
+  EXPECT_EQ((*out)[0]->addresses[0].endpoint.node, world_.hosts[0]);
+  ASSERT_FALSE((*out)[1].ok());
+  EXPECT_EQ((*out)[1].status().code(), StatusCode::kNotFound);
+
+  DomainId leaf_domain = world_.topology.NodeDomain(world_.hosts[1]);
+  EXPECT_EQ(deployment_.SubnodesOf(leaf_domain)[0]->stats().batch_lookups, 1u);
+}
+
+// Cached lookups and batch mutations keep the §6.1 authorization requirement:
+// warm caches must not let an unauthenticated peer mutate the directory, and the
+// denial shows up in stats().denied like every other refused mutation.
+TEST(GlsAuthTest, CachedAndBatchedPathsStillDenyUnauthenticated) {
+  sim::Simulator simulator;
+  UniformWorld world = BuildUniformWorld({2, 2}, 2);
+  sec::KeyRegistry registry;
+  sim::Network network(&simulator, &world.topology);
+  sec::SecureTransport secure(&network, &registry);
+
+  GlsDeploymentOptions options;
+  options.node_options.enforce_authorization = true;
+  options.node_options.enable_cache = true;
+  options.node_options.cache_ttl = 600 * sim::kSecond;
+  std::set<NodeId> gls_hosts;
+  GlsDeployment deployment(&secure, &world.topology, &registry, options,
+                           [&](NodeId host) {
+                             gls_hosts.insert(host);
+                             secure.SetNodeCredential(
+                                 host, registry.Register("gls-host", sec::Role::kGdnHost));
+                           });
+
+  NodeId gos_host = world.hosts[0];
+  NodeId attacker = world.hosts[7];
+  secure.SetNodeCredential(gos_host, registry.Register("gos-0", sec::Role::kGdnHost));
+  auto is_host = [&](NodeId n) { return gls_hosts.count(n) > 0 || n == gos_host; };
+  secure.SetChannelPolicy([&](NodeId src, NodeId dst) {
+    sec::ChannelConfig config;
+    if (is_host(src) && is_host(dst)) {
+      config.auth = sec::AuthMode::kMutualAuth;
+    } else if (is_host(dst)) {
+      config.auth = sec::AuthMode::kServerAuth;
+    }
+    return config;
+  });
+
+  Rng rng(5);
+  ObjectId oid = ObjectId::Generate(&rng);
+  ContactAddress good_address{{gos_host, sim::kPortGos}, 1, ReplicaRole::kMaster};
+
+  // Authorized batch registration succeeds.
+  GlsClient good(&secure, gos_host, deployment.LeafDirectoryFor(gos_host));
+  Status good_status = Unavailable("pending");
+  good.InsertBatch({{oid, good_address}}, [&](Status s) { good_status = s; });
+  simulator.Run();
+  ASSERT_TRUE(good_status.ok()) << good_status;
+
+  // Warm the caches with a cross-continent cached lookup (reads are open).
+  GlsClient reader(&secure, world.hosts[6], deployment.LeafDirectoryFor(world.hosts[6]));
+  reader.set_allow_cached(true);
+  bool warmed = false;
+  reader.Lookup(oid, [&](Result<LookupResult> r) { warmed = r.ok(); });
+  simulator.Run();
+  ASSERT_TRUE(warmed);
+
+  uint64_t denied_before = deployment.TotalStats().denied;
+
+  // Unauthenticated batch insert and delete are refused on the cached path.
+  GlsClient bad(&secure, attacker, deployment.LeafDirectoryFor(attacker));
+  ObjectId evil = ObjectId::Generate(&rng);
+  Status batch_status = OkStatus();
+  bad.InsertBatch({{evil, ContactAddress{{attacker, sim::kPortGos}, 1,
+                                         ReplicaRole::kMaster}}},
+                  [&](Status s) { batch_status = s; });
+  simulator.Run();
+  EXPECT_EQ(batch_status.code(), StatusCode::kPermissionDenied);
+
+  Status delete_status = OkStatus();
+  bad.Delete(oid, good_address, [&](Status s) { delete_status = s; });
+  simulator.Run();
+  EXPECT_EQ(delete_status.code(), StatusCode::kPermissionDenied);
+
+  EXPECT_GE(deployment.TotalStats().denied, denied_before + 2);
+
+  // The cached read path still serves the legitimate address.
+  Result<LookupResult> still = Unavailable("pending");
+  reader.Lookup(oid, [&](Result<LookupResult> r) { still = std::move(r); });
+  simulator.Run();
+  ASSERT_TRUE(still.ok()) << still.status();
+  ASSERT_EQ(still->addresses.size(), 1u);
+  EXPECT_EQ(still->addresses[0], good_address);
+  EXPECT_TRUE(still->from_cache);
+}
+
+// ---------------------------------------------------------------- Routing
+
+TEST_F(GlsTreeTest, EmptyDirectoryRefFailsGracefully) {
+  Rng rng(3);
+  ObjectId oid = ObjectId::Generate(&rng);
+  DirectoryRef empty;
+  EXPECT_FALSE(empty.TryRoute(oid).ok());
+
+  // A client wired to an empty ref reports the error instead of dividing by zero.
+  GlsClient client(&transport_, world_.hosts[0], DirectoryRef{});
+  Status lookup_status = OkStatus();
+  client.Lookup(oid, [&](Result<LookupResult> r) { lookup_status = r.status(); });
+  EXPECT_EQ(lookup_status.code(), StatusCode::kFailedPrecondition);
+
+  Status insert_status = OkStatus();
+  client.Insert(oid, ContactAddress{}, [&](Status s) { insert_status = s; });
+  EXPECT_EQ(insert_status.code(), StatusCode::kFailedPrecondition);
+
+  Status alloc_status = OkStatus();
+  client.AllocateOid([&](Result<ObjectId> r) { alloc_status = r.status(); });
+  EXPECT_EQ(alloc_status.code(), StatusCode::kFailedPrecondition);
+
+  Status batch_status = OkStatus();
+  client.InsertBatch({{oid, ContactAddress{}}}, [&](Status s) { batch_status = s; });
+  EXPECT_EQ(batch_status.code(), StatusCode::kFailedPrecondition);
+}
+
 TEST_F(GlsTreeTest, CrashedDirectoryMakesLookupsFailThenRecoverAfterRestart) {
   ObjectId oid = ObjectId::Generate(&rng_);
   InsertAt(oid, world_.hosts[0]);

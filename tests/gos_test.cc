@@ -183,6 +183,50 @@ TEST_F(GosTest, CheckpointAndRestoreRebuildsState) {
   EXPECT_EQ(addresses[0], *restored->contact_address());
 }
 
+TEST_F(GosTest, RestoreReregistersAllReplicasInOneBatch) {
+  std::vector<gls::ObjectId> oids;
+  for (int i = 0; i < 4; ++i) {
+    oids.push_back(CreateFirstSync(gos_a_.get(), dso::kProtoClientServer));
+  }
+  Bytes checkpoint = gos_a_->Checkpoint();
+
+  network_.SetNodeUp(world_.hosts[0], false);
+  gos_a_.reset();
+  network_.SetNodeUp(world_.hosts[0], true);
+  gos_a_ = std::make_unique<ObjectServer>(&transport_, world_.hosts[0], &repository_,
+                                          deployment_.LeafDirectoryFor(world_.hosts[0]),
+                                          nullptr);
+
+  auto leaf_subnodes =
+      deployment_.SubnodesOf(world_.topology.NodeDomain(world_.hosts[0]));
+  ASSERT_EQ(leaf_subnodes.size(), 1u);
+  uint64_t batches_before = leaf_subnodes[0]->stats().batch_inserts;
+  uint64_t inserts_before = leaf_subnodes[0]->stats().inserts;
+
+  Status restore_status = InvalidArgument("pending");
+  gos_a_->Restore(checkpoint, [&](Status s) { restore_status = s; });
+  simulator_.Run();
+  ASSERT_TRUE(restore_status.ok()) << restore_status;
+  ASSERT_EQ(gos_a_->num_replicas(), 4u);
+
+  // All four fresh addresses went to the leaf directory in one insert_batch.
+  EXPECT_EQ(leaf_subnodes[0]->stats().batch_inserts, batches_before + 1);
+  EXPECT_EQ(leaf_subnodes[0]->stats().inserts, inserts_before + 4);
+
+  // And every object resolves to exactly its new address.
+  for (const auto& oid : oids) {
+    auto client = deployment_.MakeClient(world_.hosts[7]);
+    std::vector<gls::ContactAddress> addresses;
+    client->Lookup(oid, [&](Result<gls::LookupResult> r) {
+      ASSERT_TRUE(r.ok()) << r.status();
+      addresses = r->addresses;
+    });
+    simulator_.Run();
+    ASSERT_EQ(addresses.size(), 1u);
+    EXPECT_EQ(addresses[0], *gos_a_->FindReplica(oid)->contact_address());
+  }
+}
+
 TEST_F(GosTest, RestoreRejectsCorruptCheckpoint) {
   Status status = OkStatus();
   gos_a_->Restore(Bytes{0xff, 0xff, 0x03}, [&](Status s) { status = s; });
