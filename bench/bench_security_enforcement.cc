@@ -46,7 +46,7 @@ std::vector<AttackOutcome> RunAttacks(gdn::GdnWorld& world) {
 
   // R1: unauthorized GOS command.
   {
-    sim::RpcClient rpc(world.transport(), attacker);
+    sim::Channel rpc(world.transport(), attacker);
     ByteWriter w;
     w.WriteU16(dso::kProtoClientServer);
     w.WriteU16(gdn::kPackageTypeId);
@@ -60,7 +60,8 @@ std::vector<AttackOutcome> RunAttacks(gdn::GdnWorld& world) {
   // R4: state-modifying invocation on a replica (before R2 can pollute the GLS).
   {
     dso::RuntimeSystem runtime(world.transport(), attacker,
-                               world.gls().LeafDirectoryFor(attacker), &world.repository());
+                               world.gls().LeafDirectoryFor(attacker),
+                               &world.repository());
     std::unique_ptr<dso::BoundObject> bound;
     runtime.Bind(*oid, {}, [&](Result<std::unique_ptr<dso::BoundObject>> r) {
       if (r.ok()) {
@@ -107,11 +108,12 @@ std::vector<AttackOutcome> RunAttacks(gdn::GdnWorld& world) {
   {
     dns::UpdateRequest update;
     update.zone = world.config().zone;
-    update.additions.push_back({"warez.gdn.cs.vu.nl", dns::RrType::kTxt, 3600, "badc0de"});
+    update.additions.push_back(
+        {"warez.gdn.cs.vu.nl", dns::RrType::kTxt, 3600, "badc0de"});
     update.key_name = "gdn-na";
     update.sequence = 999;
     dns::TsigSign(&update, ToBytes("guessed-key"));
-    sim::RpcClient rpc(world.transport(), attacker);
+    sim::Channel rpc(world.transport(), attacker);
     Status status = Unavailable("no answer");
     rpc.Call(world.dns_primary()->endpoint(), "dns.update", update.Serialize(),
              [&](Result<Bytes> r) { status = r.ok() ? OkStatus() : r.status(); });
@@ -172,14 +174,17 @@ int main() {
     }
   }
   bench::Note("");
-  bench::Note("secured GDN blocked %d/6 attacks; verification overhead: %.1f ms simulated",
+  bench::Note(
+      "secured GDN blocked %d/6 attacks; verification overhead: %.1f ms simulated",
               secured_blocked, secure.secure_transport()->stats().crypto_us / 1000.0);
   bench::Note("crypto CPU over the whole run, %llu MAC failures, %llu auth failures",
               (unsigned long long)secure.secure_transport()->stats().mac_failures,
               (unsigned long long)secure.secure_transport()->stats().auth_failures);
   bench::Note("");
-  bench::Note("expected shape (paper): the first (June 2000) version runs in a controlled");
+  bench::Note(
+      "expected shape (paper): the first (June 2000) version runs in a controlled");
   bench::Note("environment with no security measures - most forgeries would be accepted");
-  bench::Note("(TSIG protects the zone even there). The second version must block all six.");
+  bench::Note(
+      "(TSIG protects the zone even there). The second version must block all six.");
   return 0;
 }

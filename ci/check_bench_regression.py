@@ -25,8 +25,14 @@ import sys
 # the higher-is-better "... saved" columns, where growth is an improvement.
 GUARDED_COLUMNS = {
     "BENCH_gls_locality.json": ["hops", "latency"],
-    "BENCH_gls_partitioning.json": ["max lookups", "max entries"],
+    "BENCH_gls_partitioning.json": [
+        "max lookups",
+        "max entries",
+        "p99 latency",
+        "hottest root",
+    ],
     "BENCH_gls_cache.json": ["avg hops", "avg latency", "round trips", "network msgs"],
+    "BENCH_rpc_channel.json": ["per call", "pending events"],
 }
 EXCLUDED_COLUMN_MARKERS = ["saved"]
 

@@ -8,7 +8,8 @@
 
 namespace globe::dns {
 
-Result<std::string> GlobeNameToDnsName(std::string_view globe_name, std::string_view zone) {
+Result<std::string> GlobeNameToDnsName(std::string_view globe_name,
+                                       std::string_view zone) {
   std::vector<std::string> parts = SplitSkipEmpty(globe_name, '/');
   if (parts.empty()) {
     return InvalidArgument("empty Globe object name");
@@ -44,7 +45,7 @@ GnsNamingAuthority::GnsNamingAuthority(sim::Transport* transport, sim::NodeId no
                                        sim::Endpoint primary_dns,
                                        NamingAuthorityOptions options)
     : server_(transport, node, sim::kPortGnsAuthority),
-      dns_client_(std::make_unique<sim::RpcClient>(transport, node)),
+      dns_client_(std::make_unique<sim::Channel>(transport, node)),
       simulator_(transport->simulator()),
       zone_(std::move(zone)),
       registry_(registry),
@@ -52,16 +53,20 @@ GnsNamingAuthority::GnsNamingAuthority(sim::Transport* transport, sim::NodeId no
       tsig_key_(std::move(tsig_key)),
       primary_dns_(primary_dns),
       options_(options) {
-  server_.RegisterMethod("gns.add", [this](const sim::RpcContext& ctx, ByteSpan req) {
-    return HandleAdd(ctx, req);
+  kGnsAdd.Register(&server_,
+                   [this](const sim::RpcContext& ctx, const GnsAddRequest& request) {
+                     return HandleAdd(ctx, request);
+                   });
+  kGnsRemove.Register(&server_, [this](const sim::RpcContext& ctx,
+                                       const GnsRemoveRequest& request) {
+    return HandleRemove(ctx, request);
   });
-  server_.RegisterMethod("gns.remove", [this](const sim::RpcContext& ctx, ByteSpan req) {
-    return HandleRemove(ctx, req);
-  });
-  server_.RegisterMethod("gns.flush", [this](const sim::RpcContext&, ByteSpan) -> Result<Bytes> {
-    Flush();
-    return Bytes{};
-  });
+  kGnsFlush.Register(&server_,
+                     [this](const sim::RpcContext&,
+                            const sim::EmptyMessage&) -> Result<sim::EmptyMessage> {
+                       Flush();
+                       return sim::EmptyMessage{};
+                     });
 }
 
 Status GnsNamingAuthority::CheckModerator(const sim::RpcContext& context) const {
@@ -84,37 +89,33 @@ Status GnsNamingAuthority::CheckModerator(const sim::RpcContext& context) const 
   return OkStatus();
 }
 
-Result<Bytes> GnsNamingAuthority::HandleAdd(const sim::RpcContext& context, ByteSpan request) {
+Result<sim::EmptyMessage> GnsNamingAuthority::HandleAdd(const sim::RpcContext& context,
+                                                        const GnsAddRequest& request) {
   if (Status s = CheckModerator(context); !s.ok()) {
     ++stats_.requests_denied;
     return s;
   }
-  ByteReader r(request);
-  ASSIGN_OR_RETURN(std::string globe_name, r.ReadString());
-  ASSIGN_OR_RETURN(std::string oid_hex, r.ReadString());
-  ASSIGN_OR_RETURN(std::string dns_name, GlobeNameToDnsName(globe_name, zone_));
+  ASSIGN_OR_RETURN(std::string dns_name, GlobeNameToDnsName(request.globe_name, zone_));
 
   pending_additions_.push_back(
-      ResourceRecord{dns_name, RrType::kTxt, options_.record_ttl, oid_hex});
+      ResourceRecord{dns_name, RrType::kTxt, options_.record_ttl, request.oid_hex});
   ++stats_.adds_accepted;
   MaybeScheduleFlush();
-  return Bytes{};
+  return sim::EmptyMessage{};
 }
 
-Result<Bytes> GnsNamingAuthority::HandleRemove(const sim::RpcContext& context,
-                                               ByteSpan request) {
+Result<sim::EmptyMessage> GnsNamingAuthority::HandleRemove(
+    const sim::RpcContext& context, const GnsRemoveRequest& request) {
   if (Status s = CheckModerator(context); !s.ok()) {
     ++stats_.requests_denied;
     return s;
   }
-  ByteReader r(request);
-  ASSIGN_OR_RETURN(std::string globe_name, r.ReadString());
-  ASSIGN_OR_RETURN(std::string dns_name, GlobeNameToDnsName(globe_name, zone_));
+  ASSIGN_OR_RETURN(std::string dns_name, GlobeNameToDnsName(request.globe_name, zone_));
 
   pending_deletions_.push_back(UpdateRequest::Deletion{dns_name, RrType::kTxt, true});
   ++stats_.removes_accepted;
   MaybeScheduleFlush();
-  return Bytes{};
+  return sim::EmptyMessage{};
 }
 
 void GnsNamingAuthority::MaybeScheduleFlush() {
@@ -147,13 +148,13 @@ void GnsNamingAuthority::Flush() {
   TsigSign(&update, tsig_key_);
 
   ++stats_.batches_sent;
-  dns_client_->Call(primary_dns_, "dns.update", update.Serialize(),
-                    [this](Result<Bytes> result) {
-                      if (!result.ok()) {
-                        ++stats_.update_failures;
-                        GLOG_WARN << "GNS zone update failed: " << result.status();
-                      }
-                    });
+  kDnsUpdate.Call(dns_client_.get(), primary_dns_, update,
+                  [this](Result<sim::EmptyMessage> result) {
+                    if (!result.ok()) {
+                      ++stats_.update_failures;
+                      GLOG_WARN << "GNS zone update failed: " << result.status();
+                    }
+                  });
 }
 
 GnsClient::GnsClient(sim::Transport* transport, sim::NodeId node, std::string zone,
@@ -165,21 +166,18 @@ GnsClient::GnsClient(sim::Transport* transport, sim::NodeId node, std::string zo
 
 void GnsClient::AddName(std::string_view globe_name, std::string_view oid_hex,
                         DoneCallback done) {
-  ByteWriter w;
-  w.WriteString(globe_name);
-  w.WriteString(oid_hex);
-  rpc_.Call(naming_authority_, "gns.add", w.Take(), [done = std::move(done)](Result<Bytes> r) {
-    done(r.ok() ? OkStatus() : r.status());
-  });
+  kGnsAdd.Call(&rpc_, naming_authority_,
+               GnsAddRequest{std::string(globe_name), std::string(oid_hex)},
+               [done = std::move(done)](Result<sim::EmptyMessage> r) {
+                 done(r.ok() ? OkStatus() : r.status());
+               });
 }
 
 void GnsClient::RemoveName(std::string_view globe_name, DoneCallback done) {
-  ByteWriter w;
-  w.WriteString(globe_name);
-  rpc_.Call(naming_authority_, "gns.remove", w.Take(),
-            [done = std::move(done)](Result<Bytes> r) {
-              done(r.ok() ? OkStatus() : r.status());
-            });
+  kGnsRemove.Call(&rpc_, naming_authority_, GnsRemoveRequest{std::string(globe_name)},
+                  [done = std::move(done)](Result<sim::EmptyMessage> r) {
+                    done(r.ok() ? OkStatus() : r.status());
+                  });
 }
 
 void GnsClient::Resolve(std::string_view globe_name, ResolveCallback done) {

@@ -35,11 +35,55 @@ namespace globe::dns {
 // "/apps/graphics/Gimp" + zone "gdn.cs.vu.nl" -> "gimp.graphics.apps.gdn.cs.vu.nl".
 // Fails on empty names or components violating DNS syntax (paper §5 lists these
 // restrictions as a known disadvantage of the DNS-based GNS).
-Result<std::string> GlobeNameToDnsName(std::string_view globe_name, std::string_view zone);
+Result<std::string> GlobeNameToDnsName(std::string_view globe_name,
+                                       std::string_view zone);
 
 // Inverse mapping: "gimp.graphics.apps.gdn.cs.vu.nl" -> "/apps/graphics/Gimp" modulo
 // case (DNS names are case-insensitive, so the original case is not recoverable).
 Result<std::string> DnsNameToGlobeName(std::string_view dns_name, std::string_view zone);
+
+// gns.add wire format.
+struct GnsAddRequest {
+  std::string globe_name;
+  std::string oid_hex;
+
+  Bytes Serialize() const {
+    ByteWriter w;
+    w.WriteString(globe_name);
+    w.WriteString(oid_hex);
+    return w.Take();
+  }
+  static Result<GnsAddRequest> Deserialize(ByteSpan data) {
+    ByteReader r(data);
+    GnsAddRequest request;
+    ASSIGN_OR_RETURN(request.globe_name, r.ReadString());
+    ASSIGN_OR_RETURN(request.oid_hex, r.ReadString());
+    return request;
+  }
+};
+
+// gns.remove wire format.
+struct GnsRemoveRequest {
+  std::string globe_name;
+
+  Bytes Serialize() const {
+    ByteWriter w;
+    w.WriteString(globe_name);
+    return w.Take();
+  }
+  static Result<GnsRemoveRequest> Deserialize(ByteSpan data) {
+    ByteReader r(data);
+    GnsRemoveRequest request;
+    ASSIGN_OR_RETURN(request.globe_name, r.ReadString());
+    return request;
+  }
+};
+
+inline constexpr sim::TypedMethod<GnsAddRequest, sim::EmptyMessage> kGnsAdd{"gns.add"};
+inline constexpr sim::TypedMethod<GnsRemoveRequest, sim::EmptyMessage> kGnsRemove{
+    "gns.remove"};
+inline constexpr sim::TypedMethod<sim::EmptyMessage, sim::EmptyMessage> kGnsFlush{
+    "gns.flush"};
 
 struct NamingAuthorityStats {
   uint64_t adds_accepted = 0;
@@ -75,13 +119,15 @@ class GnsNamingAuthority {
   void Flush();
 
  private:
-  Result<Bytes> HandleAdd(const sim::RpcContext& context, ByteSpan request);
-  Result<Bytes> HandleRemove(const sim::RpcContext& context, ByteSpan request);
+  Result<sim::EmptyMessage> HandleAdd(const sim::RpcContext& context,
+                                      const GnsAddRequest& request);
+  Result<sim::EmptyMessage> HandleRemove(const sim::RpcContext& context,
+                                         const GnsRemoveRequest& request);
   Status CheckModerator(const sim::RpcContext& context) const;
   void MaybeScheduleFlush();
 
   sim::RpcServer server_;
-  std::unique_ptr<sim::RpcClient> dns_client_;
+  std::unique_ptr<sim::Channel> dns_client_;
   sim::Simulator* simulator_;
   std::string zone_;
   const sec::KeyRegistry* registry_;
@@ -116,7 +162,7 @@ class GnsClient {
   void Resolve(std::string_view globe_name, ResolveCallback done);
 
  private:
-  sim::RpcClient rpc_;
+  sim::Channel rpc_;
   DnsClient dns_;
   std::string zone_;
   sim::Endpoint naming_authority_;

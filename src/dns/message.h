@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "src/dns/record.h"
+#include "src/sim/rpc.h"
 #include "src/util/bytes.h"
 #include "src/util/status.h"
 
@@ -101,6 +102,19 @@ struct ZoneTransfer {
 
 void TsigSign(ZoneTransfer* transfer, ByteSpan key);
 bool TsigVerify(const ZoneTransfer& transfer, ByteSpan key);
+
+// Typed method descriptors shared by servers, resolvers and clients.
+//   dns.query   : authoritative lookup (port sim::kPortDns)
+//   dns.resolve : recursive lookup at a caching resolver (same port)
+//   dns.update  : TSIG-authenticated dynamic update, primaries only
+//   dns.axfr    : TSIG-authenticated full zone push, secondaries only
+inline constexpr sim::TypedMethod<QueryRequest, QueryResponse> kDnsQuery{"dns.query"};
+inline constexpr sim::TypedMethod<QueryRequest, QueryResponse> kDnsResolve{
+    "dns.resolve"};
+inline constexpr sim::TypedMethod<UpdateRequest, sim::EmptyMessage> kDnsUpdate{
+    "dns.update"};
+inline constexpr sim::TypedMethod<ZoneTransfer, sim::EmptyMessage> kDnsAxfr{
+    "dns.axfr"};
 
 }  // namespace globe::dns
 

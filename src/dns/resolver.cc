@@ -8,17 +8,18 @@ namespace globe::dns {
 CachingResolver::CachingResolver(sim::Transport* transport, sim::NodeId node,
                                  ResolverOptions options)
     : server_(transport, node, sim::kPortDns),
-      upstream_client_(std::make_unique<sim::RpcClient>(transport, node)),
+      upstream_client_(std::make_unique<sim::Channel>(transport, node)),
       simulator_(transport->simulator()),
       options_(options) {
-  server_.RegisterAsyncMethod(
-      "dns.resolve",
-      [this](const sim::RpcContext& ctx, ByteSpan req, sim::RpcServer::Responder respond) {
-        HandleResolve(ctx, req, std::move(respond));
+  kDnsResolve.RegisterAsync(
+      &server_, [this](const sim::RpcContext&, QueryRequest request,
+                       std::function<void(Result<QueryResponse>)> respond) {
+        HandleResolve(std::move(request), std::move(respond));
       });
 }
 
-void CachingResolver::AddUpstream(const std::string& zone_suffix, const sim::Endpoint& server) {
+void CachingResolver::AddUpstream(const std::string& zone_suffix,
+                                  const sim::Endpoint& server) {
   upstreams_[zone_suffix].servers.push_back(server);
 }
 
@@ -39,21 +40,16 @@ const sim::Endpoint* CachingResolver::PickUpstream(std::string_view name) {
   return chosen;
 }
 
-void CachingResolver::HandleResolve(const sim::RpcContext&, ByteSpan request,
-                                    sim::RpcServer::Responder respond) {
+void CachingResolver::HandleResolve(QueryRequest request,
+                                    std::function<void(Result<QueryResponse>)> respond) {
   ++stats_.queries;
-  auto parsed = QueryRequest::Deserialize(request);
-  if (!parsed.ok()) {
-    respond(parsed.status());
-    return;
-  }
-  auto canonical = CanonicalName(parsed->question.name);
+  auto canonical = CanonicalName(request.question.name);
   if (!canonical.ok()) {
     respond(canonical.status());
     return;
   }
   std::string name = *canonical;
-  RrType type = parsed->question.type;
+  RrType type = request.question.type;
 
   if (options_.enable_cache) {
     auto it = cache_.find({name, type});
@@ -66,7 +62,7 @@ void CachingResolver::HandleResolve(const sim::RpcContext&, ByteSpan request,
         } else {
           ++stats_.cache_hits;
         }
-        respond(cached.Serialize());
+        respond(std::move(cached));
         return;
       }
       cache_.erase(it);
@@ -78,46 +74,40 @@ void CachingResolver::HandleResolve(const sim::RpcContext&, ByteSpan request,
   if (upstream == nullptr) {
     QueryResponse response;
     response.rcode = Rcode::kServFail;
-    respond(response.Serialize());
+    respond(std::move(response));
     return;
   }
 
   ++stats_.upstream_queries;
   QueryRequest forward;
   forward.question = {name, type};
-  upstream_client_->Call(
-      *upstream, "dns.query", forward.Serialize(),
-      [this, name, type, respond = std::move(respond)](Result<Bytes> result) {
+  kDnsQuery.Call(
+      upstream_client_.get(), *upstream, forward,
+      [this, name, type, respond = std::move(respond)](Result<QueryResponse> result) {
         if (!result.ok()) {
           ++stats_.upstream_failures;
           QueryResponse response;
           response.rcode = Rcode::kServFail;
-          respond(response.Serialize());
-          return;
-        }
-        auto response = QueryResponse::Deserialize(*result);
-        if (!response.ok()) {
-          ++stats_.upstream_failures;
-          respond(response.status());
+          respond(std::move(response));
           return;
         }
         if (options_.enable_cache) {
           uint32_t ttl_seconds = 0;
-          if (!response->answers.empty()) {
-            ttl_seconds = response->answers.front().ttl;
-            for (const auto& record : response->answers) {
+          if (!result->answers.empty()) {
+            ttl_seconds = result->answers.front().ttl;
+            for (const auto& record : result->answers) {
               ttl_seconds = std::min(ttl_seconds, record.ttl);
             }
           } else {
-            ttl_seconds = response->negative_ttl;
+            ttl_seconds = result->negative_ttl;
           }
-          if (ttl_seconds > 0 && response->rcode != Rcode::kServFail &&
-              response->rcode != Rcode::kRefused) {
+          if (ttl_seconds > 0 && result->rcode != Rcode::kServFail &&
+              result->rcode != Rcode::kRefused) {
             cache_[{name, type}] =
-                CacheEntry{*response, simulator_->Now() + ttl_seconds * sim::kSecond};
+                CacheEntry{*result, simulator_->Now() + ttl_seconds * sim::kSecond};
           }
         }
-        respond(response->Serialize());
+        respond(std::move(result));
       });
 }
 
@@ -127,28 +117,14 @@ DnsClient::DnsClient(sim::Transport* transport, sim::NodeId node, sim::Endpoint 
 void DnsClient::Resolve(std::string_view name, RrType type, ResolveCallback done) {
   QueryRequest request;
   request.question = {std::string(name), type};
-  client_.Call(resolver_, "dns.resolve", request.Serialize(),
-               [done = std::move(done)](Result<Bytes> result) {
-                 if (!result.ok()) {
-                   done(result.status());
-                   return;
-                 }
-                 done(QueryResponse::Deserialize(*result));
-               });
+  kDnsResolve.Call(&client_, resolver_, request, std::move(done));
 }
 
-void DnsClient::QueryServer(const sim::Endpoint& server, std::string_view name, RrType type,
-                            ResolveCallback done) {
+void DnsClient::QueryServer(const sim::Endpoint& server, std::string_view name,
+                            RrType type, ResolveCallback done) {
   QueryRequest request;
   request.question = {std::string(name), type};
-  client_.Call(server, "dns.query", request.Serialize(),
-               [done = std::move(done)](Result<Bytes> result) {
-                 if (!result.ok()) {
-                   done(result.status());
-                   return;
-                 }
-                 done(QueryResponse::Deserialize(*result));
-               });
+  kDnsQuery.Call(&client_, server, request, std::move(done));
 }
 
 }  // namespace globe::dns

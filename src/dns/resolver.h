@@ -38,7 +38,8 @@ struct ResolverOptions {
 
 class CachingResolver {
  public:
-  CachingResolver(sim::Transport* transport, sim::NodeId node, ResolverOptions options = {});
+  CachingResolver(sim::Transport* transport, sim::NodeId node,
+                  ResolverOptions options = {});
 
   // Adds an authoritative server for names under `zone_suffix`. Multiple servers per
   // suffix are rotated round-robin.
@@ -59,12 +60,12 @@ class CachingResolver {
     size_t next = 0;
   };
 
-  void HandleResolve(const sim::RpcContext& context, ByteSpan request,
-                     sim::RpcServer::Responder respond);
+  void HandleResolve(QueryRequest request,
+                     std::function<void(Result<QueryResponse>)> respond);
   const sim::Endpoint* PickUpstream(std::string_view name);
 
   sim::RpcServer server_;
-  std::unique_ptr<sim::RpcClient> upstream_client_;
+  std::unique_ptr<sim::Channel> upstream_client_;
   sim::Simulator* simulator_;
   ResolverOptions options_;
   std::map<std::string, Upstream, std::less<>> upstreams_;  // by zone suffix
@@ -87,7 +88,7 @@ class DnsClient {
                    ResolveCallback done);
 
  private:
-  sim::RpcClient client_;
+  sim::Channel client_;
   sim::Endpoint resolver_;
 };
 

@@ -8,17 +8,19 @@ namespace globe::dns {
 AuthoritativeServer::AuthoritativeServer(sim::Transport* transport, sim::NodeId node,
                                          TsigKeyTable tsig_keys)
     : server_(transport, node, sim::kPortDns),
-      push_client_(std::make_unique<sim::RpcClient>(transport, node)),
+      push_client_(std::make_unique<sim::Channel>(transport, node)),
       tsig_keys_(std::move(tsig_keys)) {
-  server_.RegisterMethod("dns.query", [this](const sim::RpcContext& ctx, ByteSpan req) {
-    return HandleQuery(ctx, req);
+  kDnsQuery.Register(&server_, [this](const sim::RpcContext&, const QueryRequest& req) {
+    return HandleQuery(req);
   });
-  server_.RegisterMethod("dns.update", [this](const sim::RpcContext& ctx, ByteSpan req) {
-    return HandleUpdate(ctx, req);
-  });
-  server_.RegisterMethod("dns.axfr", [this](const sim::RpcContext& ctx, ByteSpan req) {
-    return HandleTransfer(ctx, req);
-  });
+  kDnsUpdate.Register(&server_,
+                      [this](const sim::RpcContext&, const UpdateRequest& update) {
+                        return HandleUpdate(update);
+                      });
+  kDnsAxfr.Register(&server_,
+                    [this](const sim::RpcContext&, const ZoneTransfer& transfer) {
+                      return HandleTransfer(transfer);
+                    });
 }
 
 void AuthoritativeServer::AddZone(Zone zone, bool primary) {
@@ -47,16 +49,15 @@ const Zone* AuthoritativeServer::FindZone(std::string_view name) const {
   return best;
 }
 
-Result<Bytes> AuthoritativeServer::HandleQuery(const sim::RpcContext&, ByteSpan request) {
+Result<QueryResponse> AuthoritativeServer::HandleQuery(const QueryRequest& query) {
   ++stats_.queries;
-  ASSIGN_OR_RETURN(QueryRequest query, QueryRequest::Deserialize(request));
   ASSIGN_OR_RETURN(std::string name, CanonicalName(query.question.name));
 
   QueryResponse response;
   const Zone* zone = FindZone(name);
   if (zone == nullptr) {
     response.rcode = Rcode::kRefused;  // not authoritative for this name
-    return response.Serialize();
+    return response;
   }
   response.authoritative = true;
   response.answers = zone->Lookup(name, query.question.type);
@@ -64,12 +65,10 @@ Result<Bytes> AuthoritativeServer::HandleQuery(const sim::RpcContext&, ByteSpan 
     response.rcode = zone->HasName(name) ? Rcode::kNoError : Rcode::kNxDomain;
     response.negative_ttl = zone->soa_minimum_ttl();
   }
-  return response.Serialize();
+  return response;
 }
 
-Result<Bytes> AuthoritativeServer::HandleUpdate(const sim::RpcContext&, ByteSpan request) {
-  ASSIGN_OR_RETURN(UpdateRequest update, UpdateRequest::Deserialize(request));
-
+Result<sim::EmptyMessage> AuthoritativeServer::HandleUpdate(const UpdateRequest& update) {
   auto zone_it = zones_.find(update.zone);
   if (zone_it == zones_.end()) {
     ++stats_.updates_rejected;
@@ -111,7 +110,7 @@ Result<Bytes> AuthoritativeServer::HandleUpdate(const sim::RpcContext&, ByteSpan
   ++stats_.updates_applied;
 
   PushToSecondaries(update.zone);
-  return Bytes{};
+  return sim::EmptyMessage{};
 }
 
 void AuthoritativeServer::PushToSecondaries(const std::string& zone_origin) {
@@ -132,21 +131,20 @@ void AuthoritativeServer::PushToSecondaries(const std::string& zone_origin) {
   transfer.key_name = "axfr";
   transfer.sequence = next_transfer_sequence_++;
   TsigSign(&transfer, key_it->second);
-  Bytes wire = transfer.Serialize();
 
   for (const auto& secondary : it->second.secondaries) {
     ++stats_.transfers_sent;
-    push_client_->Call(secondary, "dns.axfr", wire, [](Result<Bytes> result) {
-      if (!result.ok()) {
-        GLOG_WARN << "zone transfer push failed: " << result.status();
-      }
-    });
+    kDnsAxfr.Call(push_client_.get(), secondary, transfer,
+                  [](Result<sim::EmptyMessage> result) {
+                    if (!result.ok()) {
+                      GLOG_WARN << "zone transfer push failed: " << result.status();
+                    }
+                  });
   }
 }
 
-Result<Bytes> AuthoritativeServer::HandleTransfer(const sim::RpcContext&, ByteSpan request) {
-  ASSIGN_OR_RETURN(ZoneTransfer transfer, ZoneTransfer::Deserialize(request));
-
+Result<sim::EmptyMessage> AuthoritativeServer::HandleTransfer(
+    const ZoneTransfer& transfer) {
   auto key_it = tsig_keys_.find(transfer.key_name);
   if (key_it == tsig_keys_.end() || !TsigVerify(transfer, key_it->second)) {
     ++stats_.transfers_rejected;
@@ -166,11 +164,11 @@ Result<Bytes> AuthoritativeServer::HandleTransfer(const sim::RpcContext&, ByteSp
   // Serial comparison: only move forward.
   if (incoming.serial() <= zone_it->second.zone.serial() &&
       zone_it->second.zone.record_count() > 0) {
-    return Bytes{};  // already current; idempotent
+    return sim::EmptyMessage{};  // already current; idempotent
   }
   zone_it->second.zone = std::move(incoming);
   ++stats_.transfers_applied;
-  return Bytes{};
+  return sim::EmptyMessage{};
 }
 
 }  // namespace globe::dns

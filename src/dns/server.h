@@ -39,7 +39,8 @@ struct ServerStats {
 
 class AuthoritativeServer {
  public:
-  AuthoritativeServer(sim::Transport* transport, sim::NodeId node, TsigKeyTable tsig_keys);
+  AuthoritativeServer(sim::Transport* transport, sim::NodeId node,
+                      TsigKeyTable tsig_keys);
 
   // Hosts a zone. Only primaries accept dns.update; secondaries are refreshed via
   // dns.axfr pushes from their primary.
@@ -56,9 +57,9 @@ class AuthoritativeServer {
   const Zone* FindZone(std::string_view name) const;
 
  private:
-  Result<Bytes> HandleQuery(const sim::RpcContext& context, ByteSpan request);
-  Result<Bytes> HandleUpdate(const sim::RpcContext& context, ByteSpan request);
-  Result<Bytes> HandleTransfer(const sim::RpcContext& context, ByteSpan request);
+  Result<QueryResponse> HandleQuery(const QueryRequest& request);
+  Result<sim::EmptyMessage> HandleUpdate(const UpdateRequest& update);
+  Result<sim::EmptyMessage> HandleTransfer(const ZoneTransfer& transfer);
   void PushToSecondaries(const std::string& zone_origin);
 
   struct HostedZone {
@@ -68,7 +69,7 @@ class AuthoritativeServer {
   };
 
   sim::RpcServer server_;
-  std::unique_ptr<sim::RpcClient> push_client_;
+  std::unique_ptr<sim::Channel> push_client_;
   TsigKeyTable tsig_keys_;
   std::map<std::string, HostedZone, std::less<>> zones_;  // by origin
   std::map<std::string, uint64_t> tsig_high_water_;       // replay protection per key

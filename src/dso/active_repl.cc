@@ -7,6 +7,7 @@
 namespace globe::dso {
 
 namespace {
+
 struct ApplyMessage {
   uint64_t version = 0;
   Invocation invocation;
@@ -26,6 +27,11 @@ struct ApplyMessage {
     return msg;
   }
 };
+
+const sim::TypedMethod<EndpointMessage, VersionedState> kArRegister{"ar.register"};
+const sim::TypedMethod<Invocation, Bytes> kArOrder{"ar.order"};
+const sim::TypedMethod<ApplyMessage, sim::EmptyMessage> kArApply{"ar.apply"};
+
 }  // namespace
 
 ActiveReplMember::ActiveReplMember(sim::Transport* transport, sim::NodeId host,
@@ -35,81 +41,70 @@ ActiveReplMember::ActiveReplMember(sim::Transport* transport, sim::NodeId host,
       semantics_(std::move(semantics)),
       write_guard_(std::move(write_guard)),
       sequencer_(sequencer) {
-  comm_.RegisterAsyncMethod(
-      "dso.invoke", [this](const sim::RpcContext& ctx, ByteSpan request,
-                           sim::RpcServer::Responder respond) {
-        auto invocation = Invocation::Deserialize(request);
-        if (!invocation.ok()) {
-          respond(invocation.status());
-          return;
-        }
-        if (!invocation->read_only && write_guard_) {
-          if (Status s = write_guard_(ctx); !s.ok()) {
-            respond(s);
-            return;
-          }
-        }
-        Invoke(*invocation, [respond = std::move(respond)](Result<Bytes> result) {
-          respond(std::move(result));
-        });
-      });
-  comm_.RegisterMethod("dso.get_state",
-                       [this](const sim::RpcContext&, ByteSpan) -> Result<Bytes> {
-                         return VersionedState{version_, semantics_->GetState()}.Serialize();
-                       });
-
-  comm_.RegisterMethod("dso.master_endpoint",
-                       [this](const sim::RpcContext&, ByteSpan) -> Result<Bytes> {
-                         ByteWriter w;
-                         SerializeEndpoint(is_sequencer() ? comm_.endpoint() : sequencer_, &w);
-                         return w.Take();
-                       });
+  comm_.RegisterAsync(kDsoInvoke, [this](const sim::RpcContext& ctx,
+                                         Invocation invocation,
+                                         std::function<void(Result<Bytes>)> respond) {
+    if (!invocation.read_only && write_guard_) {
+      if (Status s = write_guard_(ctx); !s.ok()) {
+        respond(s);
+        return;
+      }
+    }
+    Invoke(invocation, [respond = std::move(respond)](Result<Bytes> result) {
+      respond(std::move(result));
+    });
+  });
+  comm_.Register(kDsoGetState,
+                 [this](const sim::RpcContext&,
+                        const sim::EmptyMessage&) -> Result<VersionedState> {
+                   return VersionedState{version_, semantics_->GetState()};
+                 });
+  comm_.Register(kDsoMasterEndpoint,
+                 [this](const sim::RpcContext&,
+                        const sim::EmptyMessage&) -> Result<EndpointMessage> {
+                   return EndpointMessage{is_sequencer() ? comm_.endpoint() : sequencer_};
+                 });
 
   // Sequencer-only methods: harmless to register everywhere, they just fail politely
   // on non-sequencers.
-  comm_.RegisterMethod(
-      "ar.register", [this](const sim::RpcContext&, ByteSpan request) -> Result<Bytes> {
-        if (!is_sequencer()) {
-          return FailedPrecondition("not the sequencer");
-        }
-        ByteReader r(request);
-        ASSIGN_OR_RETURN(sim::Endpoint member, DeserializeEndpoint(&r));
-        if (std::find(members_.begin(), members_.end(), member) == members_.end()) {
-          members_.push_back(member);
-        }
-        return VersionedState{version_, semantics_->GetState()}.Serialize();
-      });
-  comm_.RegisterAsyncMethod(
-      "ar.order", [this](const sim::RpcContext& ctx, ByteSpan request,
-                         sim::RpcServer::Responder respond) {
-        if (!is_sequencer()) {
-          respond(FailedPrecondition("not the sequencer"));
-          return;
-        }
-        if (write_guard_) {
-          if (Status s = write_guard_(ctx); !s.ok()) {
-            respond(s);
-            return;
-          }
-        }
-        auto invocation = Invocation::Deserialize(request);
-        if (!invocation.ok()) {
-          respond(invocation.status());
-          return;
-        }
-        OrderWrite(*invocation, [respond = std::move(respond)](Result<Bytes> result) {
-          respond(std::move(result));
-        });
-      });
-  comm_.RegisterMethod(
-      "ar.apply", [this](const sim::RpcContext& ctx, ByteSpan request) -> Result<Bytes> {
-        if (write_guard_) {
-          RETURN_IF_ERROR(write_guard_(ctx));
-        }
-        ASSIGN_OR_RETURN(ApplyMessage msg, ApplyMessage::Deserialize(request));
-        RETURN_IF_ERROR(ApplyOrdered(msg.version, msg.invocation));
-        return Bytes{};
-      });
+  comm_.Register(kArRegister,
+                 [this](const sim::RpcContext&,
+                        const EndpointMessage& request) -> Result<VersionedState> {
+                   if (!is_sequencer()) {
+                     return FailedPrecondition("not the sequencer");
+                   }
+                   if (std::find(members_.begin(), members_.end(), request.endpoint) ==
+                       members_.end()) {
+                     members_.push_back(request.endpoint);
+                   }
+                   return VersionedState{version_, semantics_->GetState()};
+                 });
+  comm_.RegisterAsync(kArOrder, [this](const sim::RpcContext& ctx,
+                                       Invocation invocation,
+                                       std::function<void(Result<Bytes>)> respond) {
+    if (!is_sequencer()) {
+      respond(FailedPrecondition("not the sequencer"));
+      return;
+    }
+    if (write_guard_) {
+      if (Status s = write_guard_(ctx); !s.ok()) {
+        respond(s);
+        return;
+      }
+    }
+    OrderWrite(invocation, [respond = std::move(respond)](Result<Bytes> result) {
+      respond(std::move(result));
+    });
+  });
+  comm_.Register(kArApply,
+                 [this](const sim::RpcContext& ctx,
+                        const ApplyMessage& msg) -> Result<sim::EmptyMessage> {
+                   if (write_guard_) {
+                     RETURN_IF_ERROR(write_guard_(ctx));
+                   }
+                   RETURN_IF_ERROR(ApplyOrdered(msg.version, msg.invocation));
+                   return sim::EmptyMessage{};
+                 });
 }
 
 void ActiveReplMember::Start(std::function<void(Status)> done) {
@@ -117,22 +112,15 @@ void ActiveReplMember::Start(std::function<void(Status)> done) {
     done(OkStatus());
     return;
   }
-  ByteWriter w;
-  SerializeEndpoint(comm_.endpoint(), &w);
-  comm_.Call(sequencer_, "ar.register", w.Take(),
-             [this, done = std::move(done)](Result<Bytes> result) {
+  comm_.Call(kArRegister, sequencer_, EndpointMessage{comm_.endpoint()},
+             [this, done = std::move(done)](Result<VersionedState> result) {
                if (!result.ok()) {
                  done(result.status());
                  return;
                }
-               auto vs = VersionedState::Deserialize(*result);
-               if (!vs.ok()) {
-                 done(vs.status());
-                 return;
-               }
-               Status s = semantics_->SetState(vs->state);
+               Status s = semantics_->SetState(result->state);
                if (s.ok()) {
-                 version_ = vs->version;
+                 version_ = result->version;
                }
                done(s);
              });
@@ -147,7 +135,7 @@ void ActiveReplMember::Invoke(const Invocation& invocation, InvokeCallback done)
     OrderWrite(invocation, std::move(done));
     return;
   }
-  comm_.Call(sequencer_, "ar.order", invocation.Serialize(),
+  comm_.Call(kArOrder, sequencer_, invocation,
              [done = std::move(done)](Result<Bytes> result) { done(std::move(result)); });
 }
 
@@ -163,13 +151,16 @@ void ActiveReplMember::OrderWrite(const Invocation& invocation, InvokeCallback d
     done(std::move(result));
     return;
   }
-  Bytes broadcast = ApplyMessage{version_, invocation}.Serialize();
+  ApplyMessage broadcast{version_, invocation};
+  sim::CallOptions apply_options;
+  apply_options.deadline = 5 * sim::kSecond;
   auto remaining = std::make_shared<size_t>(members_.size());
   auto shared_done = std::make_shared<InvokeCallback>(std::move(done));
   auto shared_result = std::make_shared<Result<Bytes>>(std::move(result));
   for (const sim::Endpoint& member : members_) {
-    comm_.Call(member, "ar.apply", broadcast,
-               [remaining, shared_done, shared_result, member](Result<Bytes> ack) {
+    comm_.Call(kArApply, member, broadcast,
+               [remaining, shared_done, shared_result,
+                member](Result<sim::EmptyMessage> ack) {
                  if (!ack.ok()) {
                    GLOG_WARN << "ar.apply to " << sim::ToString(member)
                              << " failed: " << ack.status();
@@ -178,11 +169,12 @@ void ActiveReplMember::OrderWrite(const Invocation& invocation, InvokeCallback d
                    (*shared_done)(std::move(*shared_result));
                  }
                },
-               /*timeout=*/5 * sim::kSecond);
+               apply_options);
   }
 }
 
-Status ActiveReplMember::ApplyOrdered(uint64_t write_version, const Invocation& invocation) {
+Status ActiveReplMember::ApplyOrdered(uint64_t write_version,
+                                      const Invocation& invocation) {
   if (write_version <= version_) {
     return OkStatus();  // duplicate
   }

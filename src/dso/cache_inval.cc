@@ -6,63 +6,69 @@
 
 namespace globe::dso {
 
+namespace {
+
+const sim::TypedMethod<EndpointMessage, VersionMessage> kCiRegister{"ci.register"};
+const sim::TypedMethod<EndpointMessage, sim::EmptyMessage> kCiUnregister{
+    "ci.unregister"};
+const sim::TypedMethod<sim::EmptyMessage, VersionedState> kCiFetch{"ci.fetch"};
+const sim::TypedMethod<VersionMessage, sim::EmptyMessage> kCiInvalidate{
+    "ci.invalidate"};
+
+}  // namespace
+
 CacheInvalMaster::CacheInvalMaster(sim::Transport* transport, sim::NodeId host,
                                    std::unique_ptr<SemanticsObject> semantics,
                                    WriteGuard write_guard)
     : comm_(transport, host),
       semantics_(std::move(semantics)),
       write_guard_(std::move(write_guard)) {
-  comm_.RegisterAsyncMethod(
-      "dso.invoke", [this](const sim::RpcContext& ctx, ByteSpan request,
-                           sim::RpcServer::Responder respond) {
-        auto invocation = Invocation::Deserialize(request);
-        if (!invocation.ok()) {
-          respond(invocation.status());
-          return;
-        }
-        if (!invocation->read_only && write_guard_) {
-          if (Status s = write_guard_(ctx); !s.ok()) {
-            respond(s);
-            return;
-          }
-        }
-        Invoke(*invocation, [respond = std::move(respond)](Result<Bytes> result) {
-          respond(std::move(result));
-        });
-      });
-  comm_.RegisterMethod("dso.get_state",
-                       [this](const sim::RpcContext&, ByteSpan) -> Result<Bytes> {
-                         return VersionedState{version_, semantics_->GetState()}.Serialize();
-                       });
-  comm_.RegisterMethod("dso.master_endpoint",
-                       [this](const sim::RpcContext&, ByteSpan) -> Result<Bytes> {
-                         ByteWriter w;
-                         SerializeEndpoint(comm_.endpoint(), &w);
-                         return w.Take();
-                       });
-  comm_.RegisterMethod(
-      "ci.register", [this](const sim::RpcContext&, ByteSpan request) -> Result<Bytes> {
-        ByteReader r(request);
-        ASSIGN_OR_RETURN(sim::Endpoint cache, DeserializeEndpoint(&r));
-        if (std::find(caches_.begin(), caches_.end(), cache) == caches_.end()) {
-          caches_.push_back(cache);
-        }
-        ByteWriter w;
-        w.WriteU64(version_);
-        return w.Take();
-      });
-  comm_.RegisterMethod(
-      "ci.unregister", [this](const sim::RpcContext&, ByteSpan request) -> Result<Bytes> {
-        ByteReader r(request);
-        ASSIGN_OR_RETURN(sim::Endpoint cache, DeserializeEndpoint(&r));
-        caches_.erase(std::remove(caches_.begin(), caches_.end(), cache), caches_.end());
-        return Bytes{};
-      });
-  comm_.RegisterMethod("ci.fetch",
-                       [this](const sim::RpcContext&, ByteSpan) -> Result<Bytes> {
-                         ++fetches_served_;
-                         return VersionedState{version_, semantics_->GetState()}.Serialize();
-                       });
+  comm_.RegisterAsync(kDsoInvoke, [this](const sim::RpcContext& ctx,
+                                         Invocation invocation,
+                                         std::function<void(Result<Bytes>)> respond) {
+    if (!invocation.read_only && write_guard_) {
+      if (Status s = write_guard_(ctx); !s.ok()) {
+        respond(s);
+        return;
+      }
+    }
+    Invoke(invocation, [respond = std::move(respond)](Result<Bytes> result) {
+      respond(std::move(result));
+    });
+  });
+  comm_.Register(kDsoGetState,
+                 [this](const sim::RpcContext&,
+                        const sim::EmptyMessage&) -> Result<VersionedState> {
+                   return VersionedState{version_, semantics_->GetState()};
+                 });
+  comm_.Register(kDsoMasterEndpoint,
+                 [this](const sim::RpcContext&,
+                        const sim::EmptyMessage&) -> Result<EndpointMessage> {
+                   return EndpointMessage{comm_.endpoint()};
+                 });
+  comm_.Register(kCiRegister,
+                 [this](const sim::RpcContext&,
+                        const EndpointMessage& request) -> Result<VersionMessage> {
+                   if (std::find(caches_.begin(), caches_.end(), request.endpoint) ==
+                       caches_.end()) {
+                     caches_.push_back(request.endpoint);
+                   }
+                   return VersionMessage{version_};
+                 });
+  comm_.Register(kCiUnregister,
+                 [this](const sim::RpcContext&,
+                        const EndpointMessage& request) -> Result<sim::EmptyMessage> {
+                   caches_.erase(
+                       std::remove(caches_.begin(), caches_.end(), request.endpoint),
+                       caches_.end());
+                   return sim::EmptyMessage{};
+                 });
+  comm_.Register(kCiFetch,
+                 [this](const sim::RpcContext&,
+                        const sim::EmptyMessage&) -> Result<VersionedState> {
+                   ++fetches_served_;
+                   return VersionedState{version_, semantics_->GetState()};
+                 });
 }
 
 void CacheInvalMaster::Invoke(const Invocation& invocation, InvokeCallback done) {
@@ -85,15 +91,16 @@ void CacheInvalMaster::ExecuteWrite(const Invocation& invocation, InvokeCallback
     done(std::move(result));
     return;
   }
-  ByteWriter w;
-  w.WriteU64(version_);
-  Bytes invalidation = w.Take();
+  VersionMessage invalidation{version_};
+  sim::CallOptions invalidate_options;
+  invalidate_options.deadline = 5 * sim::kSecond;
   auto remaining = std::make_shared<size_t>(caches_.size());
   auto shared_done = std::make_shared<InvokeCallback>(std::move(done));
   auto shared_result = std::make_shared<Result<Bytes>>(std::move(result));
   for (const sim::Endpoint& cache : caches_) {
-    comm_.Call(cache, "ci.invalidate", invalidation,
-               [remaining, shared_done, shared_result, cache](Result<Bytes> ack) {
+    comm_.Call(kCiInvalidate, cache, invalidation,
+               [remaining, shared_done, shared_result,
+                cache](Result<sim::EmptyMessage> ack) {
                  if (!ack.ok()) {
                    GLOG_WARN << "invalidation to " << sim::ToString(cache)
                              << " failed: " << ack.status();
@@ -102,7 +109,7 @@ void CacheInvalMaster::ExecuteWrite(const Invocation& invocation, InvokeCallback
                    (*shared_done)(std::move(*shared_result));
                  }
                },
-               /*timeout=*/5 * sim::kSecond);
+               invalidate_options);
   }
 }
 
@@ -113,62 +120,52 @@ CacheInvalCache::CacheInvalCache(sim::Transport* transport, sim::NodeId host,
       semantics_(std::move(semantics)),
       write_guard_(std::move(write_guard)),
       master_(master) {
-  comm_.RegisterAsyncMethod(
-      "dso.invoke", [this](const sim::RpcContext& ctx, ByteSpan request,
-                           sim::RpcServer::Responder respond) {
-        auto invocation = Invocation::Deserialize(request);
-        if (!invocation.ok()) {
-          respond(invocation.status());
-          return;
-        }
-        if (!invocation->read_only && write_guard_) {
-          if (Status s = write_guard_(ctx); !s.ok()) {
-            respond(s);
-            return;
-          }
-        }
-        Invoke(*invocation, [respond = std::move(respond)](Result<Bytes> result) {
-          respond(std::move(result));
-        });
-      });
-  comm_.RegisterMethod("dso.get_state",
-                       [this](const sim::RpcContext&, ByteSpan) -> Result<Bytes> {
-                         return VersionedState{version_, semantics_->GetState()}.Serialize();
-                       });
-  comm_.RegisterMethod("dso.master_endpoint",
-                       [this](const sim::RpcContext&, ByteSpan) -> Result<Bytes> {
-                         ByteWriter w;
-                         SerializeEndpoint(master_, &w);
-                         return w.Take();
-                       });
-  comm_.RegisterMethod(
-      "ci.invalidate", [this](const sim::RpcContext& ctx, ByteSpan request) -> Result<Bytes> {
-        if (write_guard_) {
-          RETURN_IF_ERROR(write_guard_(ctx));
-        }
-        ByteReader r(request);
-        ASSIGN_OR_RETURN(uint64_t new_version, r.ReadU64());
-        if (new_version > version_) {
-          valid_ = false;
-        }
-        return Bytes{};
-      });
+  comm_.RegisterAsync(kDsoInvoke, [this](const sim::RpcContext& ctx,
+                                         Invocation invocation,
+                                         std::function<void(Result<Bytes>)> respond) {
+    if (!invocation.read_only && write_guard_) {
+      if (Status s = write_guard_(ctx); !s.ok()) {
+        respond(s);
+        return;
+      }
+    }
+    Invoke(invocation, [respond = std::move(respond)](Result<Bytes> result) {
+      respond(std::move(result));
+    });
+  });
+  comm_.Register(kDsoGetState,
+                 [this](const sim::RpcContext&,
+                        const sim::EmptyMessage&) -> Result<VersionedState> {
+                   return VersionedState{version_, semantics_->GetState()};
+                 });
+  comm_.Register(kDsoMasterEndpoint,
+                 [this](const sim::RpcContext&,
+                        const sim::EmptyMessage&) -> Result<EndpointMessage> {
+                   return EndpointMessage{master_};
+                 });
+  comm_.Register(kCiInvalidate,
+                 [this](const sim::RpcContext& ctx,
+                        const VersionMessage& msg) -> Result<sim::EmptyMessage> {
+                   if (write_guard_) {
+                     RETURN_IF_ERROR(write_guard_(ctx));
+                   }
+                   if (msg.version > version_) {
+                     valid_ = false;
+                   }
+                   return sim::EmptyMessage{};
+                 });
 }
 
 void CacheInvalCache::Start(std::function<void(Status)> done) {
-  ByteWriter w;
-  SerializeEndpoint(comm_.endpoint(), &w);
-  comm_.Call(master_, "ci.register", w.Take(),
-             [done = std::move(done)](Result<Bytes> result) {
+  comm_.Call(kCiRegister, master_, EndpointMessage{comm_.endpoint()},
+             [done = std::move(done)](Result<VersionMessage> result) {
                done(result.ok() ? OkStatus() : result.status());
              });
 }
 
 void CacheInvalCache::Shutdown(std::function<void(Status)> done) {
-  ByteWriter w;
-  SerializeEndpoint(comm_.endpoint(), &w);
-  comm_.Call(master_, "ci.unregister", w.Take(),
-             [done = std::move(done)](Result<Bytes> result) {
+  comm_.Call(kCiUnregister, master_, EndpointMessage{comm_.endpoint()},
+             [done = std::move(done)](Result<sim::EmptyMessage> result) {
                done(result.ok() ? OkStatus() : result.status());
              });
 }
@@ -179,23 +176,19 @@ void CacheInvalCache::WithValidState(std::function<void(Status)> fn) {
     return;
   }
   ++fetches_;
-  comm_.Call(master_, "ci.fetch", {}, [this, fn = std::move(fn)](Result<Bytes> result) {
-    if (!result.ok()) {
-      fn(result.status());
-      return;
-    }
-    auto vs = VersionedState::Deserialize(*result);
-    if (!vs.ok()) {
-      fn(vs.status());
-      return;
-    }
-    Status s = semantics_->SetState(vs->state);
-    if (s.ok()) {
-      version_ = vs->version;
-      valid_ = true;
-    }
-    fn(s);
-  });
+  comm_.Call(kCiFetch, master_, sim::EmptyMessage{},
+             [this, fn = std::move(fn)](Result<VersionedState> result) {
+               if (!result.ok()) {
+                 fn(result.status());
+                 return;
+               }
+               Status s = semantics_->SetState(result->state);
+               if (s.ok()) {
+                 version_ = result->version;
+                 valid_ = true;
+               }
+               fn(s);
+             });
 }
 
 void CacheInvalCache::Invoke(const Invocation& invocation, InvokeCallback done) {
@@ -209,7 +202,7 @@ void CacheInvalCache::Invoke(const Invocation& invocation, InvokeCallback done) 
     });
     return;
   }
-  comm_.Call(master_, "dso.invoke", invocation.Serialize(),
+  comm_.Call(kDsoInvoke, master_, invocation,
              [done = std::move(done)](Result<Bytes> result) { done(std::move(result)); });
 }
 

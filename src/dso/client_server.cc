@@ -8,24 +8,24 @@ ClientServerServer::ClientServerServer(sim::Transport* transport, sim::NodeId ho
     : comm_(transport, host),
       semantics_(std::move(semantics)),
       write_guard_(std::move(write_guard)) {
-  comm_.RegisterMethod(
-      "dso.invoke", [this](const sim::RpcContext& ctx, ByteSpan request) -> Result<Bytes> {
-        ASSIGN_OR_RETURN(Invocation invocation, Invocation::Deserialize(request));
-        if (!invocation.read_only && write_guard_) {
-          RETURN_IF_ERROR(write_guard_(ctx));
-        }
-        return Execute(invocation);
-      });
-  comm_.RegisterMethod("dso.get_state",
-                       [this](const sim::RpcContext&, ByteSpan) -> Result<Bytes> {
-                         return VersionedState{version_, semantics_->GetState()}.Serialize();
-                       });
-  comm_.RegisterMethod("dso.master_endpoint",
-                       [this](const sim::RpcContext&, ByteSpan) -> Result<Bytes> {
-                         ByteWriter w;
-                         SerializeEndpoint(comm_.endpoint(), &w);
-                         return w.Take();
-                       });
+  comm_.Register(kDsoInvoke,
+                 [this](const sim::RpcContext& ctx,
+                        const Invocation& invocation) -> Result<Bytes> {
+                   if (!invocation.read_only && write_guard_) {
+                     RETURN_IF_ERROR(write_guard_(ctx));
+                   }
+                   return Execute(invocation);
+                 });
+  comm_.Register(kDsoGetState,
+                 [this](const sim::RpcContext&,
+                        const sim::EmptyMessage&) -> Result<VersionedState> {
+                   return VersionedState{version_, semantics_->GetState()};
+                 });
+  comm_.Register(kDsoMasterEndpoint,
+                 [this](const sim::RpcContext&,
+                        const sim::EmptyMessage&) -> Result<EndpointMessage> {
+                   return EndpointMessage{comm_.endpoint()};
+                 });
 }
 
 Result<Bytes> ClientServerServer::Execute(const Invocation& invocation) {
@@ -44,7 +44,7 @@ RemoteProxy::RemoteProxy(sim::Transport* transport, sim::NodeId host,
     : comm_(transport, host), peer_(peer) {}
 
 void RemoteProxy::Invoke(const Invocation& invocation, InvokeCallback done) {
-  comm_.Call(peer_.endpoint, "dso.invoke", invocation.Serialize(),
+  comm_.Call(kDsoInvoke, peer_.endpoint, invocation,
              [done = std::move(done)](Result<Bytes> result) { done(std::move(result)); });
 }
 

@@ -4,7 +4,8 @@ namespace globe::dso {
 
 CommunicationObject::CommunicationObject(sim::Transport* transport, sim::NodeId host)
     : transport_(transport),
-      server_(std::make_unique<sim::RpcServer>(transport, host, sim::AllocateEphemeralPort())),
-      client_(std::make_unique<sim::RpcClient>(transport, host)) {}
+      server_(std::make_unique<sim::RpcServer>(transport, host,
+                                               sim::AllocateEphemeralPort())),
+      channel_(std::make_unique<sim::Channel>(transport, host)) {}
 
 }  // namespace globe::dso

@@ -5,13 +5,16 @@
 // responsible for handling communication between parts of the distributed object that
 // reside in different address spaces." Replication subobjects talk to their peers
 // exclusively through this class — they never touch the transport directly, which is
-// what lets the secure transport interpose beneath every protocol uniformly.
+// what lets the secure transport interpose beneath every protocol uniformly. Calls
+// and handlers go through sim::TypedMethod descriptors, so each peer message has one
+// wire definition shared by both sides.
 
 #ifndef SRC_DSO_COMM_H_
 #define SRC_DSO_COMM_H_
 
 #include <memory>
 #include <string>
+#include <utility>
 
 #include "src/sim/rpc.h"
 
@@ -19,7 +22,7 @@ namespace globe::dso {
 
 class CommunicationObject {
  public:
-  // Binds a server on an allocated port of `host` for peer traffic, plus a client
+  // Binds a server on an allocated port of `host` for peer traffic, plus a channel
   // for outgoing calls.
   CommunicationObject(sim::Transport* transport, sim::NodeId host);
 
@@ -30,24 +33,32 @@ class CommunicationObject {
   sim::NodeId host() const { return server_->node(); }
   sim::Transport* transport() { return transport_; }
   sim::Simulator* simulator() { return transport_->simulator(); }
+  sim::Channel* channel() { return channel_.get(); }
 
-  void RegisterMethod(std::string method, sim::RpcServer::SyncHandler handler) {
-    server_->RegisterMethod(std::move(method), std::move(handler));
-  }
-  void RegisterAsyncMethod(std::string method, sim::RpcServer::AsyncHandler handler) {
-    server_->RegisterAsyncMethod(std::move(method), std::move(handler));
+  template <typename Req, typename Resp>
+  void Register(const sim::TypedMethod<Req, Resp>& method,
+                typename sim::TypedMethod<Req, Resp>::SyncHandler handler) {
+    method.Register(server_.get(), std::move(handler));
   }
 
-  void Call(const sim::Endpoint& peer, std::string_view method, Bytes request,
-            sim::RpcClient::Callback done,
-            sim::SimTime timeout = sim::RpcClient::kDefaultTimeout) {
-    client_->Call(peer, method, std::move(request), std::move(done), timeout);
+  template <typename Req, typename Resp>
+  void RegisterAsync(const sim::TypedMethod<Req, Resp>& method,
+                     typename sim::TypedMethod<Req, Resp>::AsyncHandler handler) {
+    method.RegisterAsync(server_.get(), std::move(handler));
+  }
+
+  template <typename Req, typename Resp>
+  sim::CallHandle Call(const sim::TypedMethod<Req, Resp>& method,
+                       const sim::Endpoint& peer, const Req& request,
+                       typename sim::TypedMethod<Req, Resp>::Callback done,
+                       sim::CallOptions options = {}) {
+    return method.Call(channel_.get(), peer, request, std::move(done), options);
   }
 
  private:
   sim::Transport* transport_;
   std::unique_ptr<sim::RpcServer> server_;
-  std::unique_ptr<sim::RpcClient> client_;
+  std::unique_ptr<sim::Channel> channel_;
 };
 
 }  // namespace globe::dso

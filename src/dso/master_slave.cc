@@ -7,57 +7,62 @@
 
 namespace globe::dso {
 
+namespace {
+
+const sim::TypedMethod<EndpointMessage, VersionedState> kMsRegisterSlave{
+    "ms.register_slave"};
+const sim::TypedMethod<EndpointMessage, sim::EmptyMessage> kMsUnregisterSlave{
+    "ms.unregister_slave"};
+const sim::TypedMethod<VersionedState, sim::EmptyMessage> kMsStatePush{"ms.state_push"};
+
+}  // namespace
+
 MasterSlaveMaster::MasterSlaveMaster(sim::Transport* transport, sim::NodeId host,
                                      std::unique_ptr<SemanticsObject> semantics,
                                      WriteGuard write_guard)
     : comm_(transport, host),
       semantics_(std::move(semantics)),
       write_guard_(std::move(write_guard)) {
-  comm_.RegisterAsyncMethod(
-      "dso.invoke", [this](const sim::RpcContext& ctx, ByteSpan request,
-                           sim::RpcServer::Responder respond) {
-        auto invocation = Invocation::Deserialize(request);
-        if (!invocation.ok()) {
-          respond(invocation.status());
-          return;
-        }
-        if (!invocation->read_only && write_guard_) {
-          if (Status s = write_guard_(ctx); !s.ok()) {
-            respond(s);
-            return;
-          }
-        }
-        Invoke(*invocation, [respond = std::move(respond)](Result<Bytes> result) {
-          respond(std::move(result));
-        });
-      });
-  comm_.RegisterMethod("dso.get_state",
-                       [this](const sim::RpcContext&, ByteSpan) -> Result<Bytes> {
-                         return VersionedState{version_, semantics_->GetState()}.Serialize();
-                       });
-  comm_.RegisterMethod("dso.master_endpoint",
-                       [this](const sim::RpcContext&, ByteSpan) -> Result<Bytes> {
-                         ByteWriter w;
-                         SerializeEndpoint(comm_.endpoint(), &w);
-                         return w.Take();
-                       });
-  comm_.RegisterMethod(
-      "ms.register_slave", [this](const sim::RpcContext&, ByteSpan request) -> Result<Bytes> {
-        ByteReader r(request);
-        ASSIGN_OR_RETURN(sim::Endpoint slave, DeserializeEndpoint(&r));
-        if (std::find(slaves_.begin(), slaves_.end(), slave) == slaves_.end()) {
-          slaves_.push_back(slave);
-        }
-        return VersionedState{version_, semantics_->GetState()}.Serialize();
-      });
-  comm_.RegisterMethod(
-      "ms.unregister_slave",
-      [this](const sim::RpcContext&, ByteSpan request) -> Result<Bytes> {
-        ByteReader r(request);
-        ASSIGN_OR_RETURN(sim::Endpoint slave, DeserializeEndpoint(&r));
-        slaves_.erase(std::remove(slaves_.begin(), slaves_.end(), slave), slaves_.end());
-        return Bytes{};
-      });
+  comm_.RegisterAsync(kDsoInvoke, [this](const sim::RpcContext& ctx,
+                                         Invocation invocation,
+                                         std::function<void(Result<Bytes>)> respond) {
+    if (!invocation.read_only && write_guard_) {
+      if (Status s = write_guard_(ctx); !s.ok()) {
+        respond(s);
+        return;
+      }
+    }
+    Invoke(invocation, [respond = std::move(respond)](Result<Bytes> result) {
+      respond(std::move(result));
+    });
+  });
+  comm_.Register(kDsoGetState,
+                 [this](const sim::RpcContext&,
+                        const sim::EmptyMessage&) -> Result<VersionedState> {
+                   return VersionedState{version_, semantics_->GetState()};
+                 });
+  comm_.Register(kDsoMasterEndpoint,
+                 [this](const sim::RpcContext&,
+                        const sim::EmptyMessage&) -> Result<EndpointMessage> {
+                   return EndpointMessage{comm_.endpoint()};
+                 });
+  comm_.Register(kMsRegisterSlave,
+                 [this](const sim::RpcContext&,
+                        const EndpointMessage& request) -> Result<VersionedState> {
+                   if (std::find(slaves_.begin(), slaves_.end(), request.endpoint) ==
+                       slaves_.end()) {
+                     slaves_.push_back(request.endpoint);
+                   }
+                   return VersionedState{version_, semantics_->GetState()};
+                 });
+  comm_.Register(kMsUnregisterSlave,
+                 [this](const sim::RpcContext&,
+                        const EndpointMessage& request) -> Result<sim::EmptyMessage> {
+                   slaves_.erase(
+                       std::remove(slaves_.begin(), slaves_.end(), request.endpoint),
+                       slaves_.end());
+                   return sim::EmptyMessage{};
+                 });
 }
 
 void MasterSlaveMaster::Invoke(const Invocation& invocation, InvokeCallback done) {
@@ -83,13 +88,16 @@ void MasterSlaveMaster::ExecuteWrite(const Invocation& invocation, InvokeCallbac
 
   // Eager push: one state message per slave, respond when all have answered (or
   // failed — a dead slave must not wedge the master; see the fault-injection tests).
-  Bytes push = VersionedState{version_, semantics_->GetState()}.Serialize();
+  VersionedState push{version_, semantics_->GetState()};
+  sim::CallOptions push_options;
+  push_options.deadline = 5 * sim::kSecond;
   auto remaining = std::make_shared<size_t>(slaves_.size());
   auto shared_done = std::make_shared<InvokeCallback>(std::move(done));
   auto shared_result = std::make_shared<Result<Bytes>>(std::move(result));
   for (const sim::Endpoint& slave : slaves_) {
-    comm_.Call(slave, "ms.state_push", push,
-               [remaining, shared_done, shared_result, slave](Result<Bytes> ack) {
+    comm_.Call(kMsStatePush, slave, push,
+               [remaining, shared_done, shared_result,
+                slave](Result<sim::EmptyMessage> ack) {
                  if (!ack.ok()) {
                    GLOG_WARN << "state push to slave " << sim::ToString(slave)
                              << " failed: " << ack.status();
@@ -98,7 +106,7 @@ void MasterSlaveMaster::ExecuteWrite(const Invocation& invocation, InvokeCallbac
                    (*shared_done)(std::move(*shared_result));
                  }
                },
-               /*timeout=*/5 * sim::kSecond);
+               push_options);
   }
 }
 
@@ -109,66 +117,55 @@ MasterSlaveSlave::MasterSlaveSlave(sim::Transport* transport, sim::NodeId host,
       semantics_(std::move(semantics)),
       write_guard_(std::move(write_guard)),
       master_(master) {
-  comm_.RegisterAsyncMethod(
-      "dso.invoke", [this](const sim::RpcContext& ctx, ByteSpan request,
-                           sim::RpcServer::Responder respond) {
-        auto invocation = Invocation::Deserialize(request);
-        if (!invocation.ok()) {
-          respond(invocation.status());
-          return;
-        }
-        if (!invocation->read_only && write_guard_) {
-          if (Status s = write_guard_(ctx); !s.ok()) {
-            respond(s);
-            return;
-          }
-        }
-        Invoke(*invocation, [respond = std::move(respond)](Result<Bytes> result) {
-          respond(std::move(result));
-        });
-      });
-  comm_.RegisterMethod("dso.get_state",
-                       [this](const sim::RpcContext&, ByteSpan) -> Result<Bytes> {
-                         return VersionedState{version_, semantics_->GetState()}.Serialize();
-                       });
-  comm_.RegisterMethod("dso.master_endpoint",
-                       [this](const sim::RpcContext&, ByteSpan) -> Result<Bytes> {
-                         ByteWriter w;
-                         SerializeEndpoint(master_, &w);
-                         return w.Take();
-                       });
-  comm_.RegisterMethod(
-      "ms.state_push", [this](const sim::RpcContext& ctx, ByteSpan request) -> Result<Bytes> {
+  comm_.RegisterAsync(kDsoInvoke, [this](const sim::RpcContext& ctx,
+                                         Invocation invocation,
+                                         std::function<void(Result<Bytes>)> respond) {
+    if (!invocation.read_only && write_guard_) {
+      if (Status s = write_guard_(ctx); !s.ok()) {
+        respond(s);
+        return;
+      }
+    }
+    Invoke(invocation, [respond = std::move(respond)](Result<Bytes> result) {
+      respond(std::move(result));
+    });
+  });
+  comm_.Register(kDsoGetState,
+                 [this](const sim::RpcContext&,
+                        const sim::EmptyMessage&) -> Result<VersionedState> {
+                   return VersionedState{version_, semantics_->GetState()};
+                 });
+  comm_.Register(kDsoMasterEndpoint,
+                 [this](const sim::RpcContext&,
+                        const sim::EmptyMessage&) -> Result<EndpointMessage> {
+                   return EndpointMessage{master_};
+                 });
+  comm_.Register(
+      kMsStatePush,
+      [this](const sim::RpcContext& ctx,
+             const VersionedState& push) -> Result<sim::EmptyMessage> {
         if (write_guard_) {
           RETURN_IF_ERROR(write_guard_(ctx));
         }
-        ASSIGN_OR_RETURN(VersionedState vs, VersionedState::Deserialize(request));
-        if (vs.version <= version_) {
-          return Bytes{};  // stale or duplicate push
+        if (push.version <= version_) {
+          return sim::EmptyMessage{};  // stale or duplicate push
         }
-        RETURN_IF_ERROR(semantics_->SetState(vs.state));
-        version_ = vs.version;
-        return Bytes{};
+        RETURN_IF_ERROR(semantics_->SetState(push.state));
+        version_ = push.version;
+        return sim::EmptyMessage{};
       });
 }
 
 void MasterSlaveSlave::Start(std::function<void(Status)> done) {
-  ByteWriter w;
-  SerializeEndpoint(comm_.endpoint(), &w);
-  comm_.Call(master_, "ms.register_slave", w.Take(),
-             [this, done = std::move(done)](Result<Bytes> result) {
+  comm_.Call(kMsRegisterSlave, master_, EndpointMessage{comm_.endpoint()},
+             [this, done = std::move(done)](Result<VersionedState> result) {
                if (!result.ok()) {
                  done(result.status());
                  return;
                }
-               auto vs = VersionedState::Deserialize(*result);
-               if (!vs.ok()) {
-                 done(vs.status());
-                 return;
-               }
-               Status s = semantics_->SetState(vs->state);
+               Status s = semantics_->SetState(result->state);
                if (s.ok()) {
-                 version_ = vs->version;
+                 version_ = result->version;
                  started_ = true;
                }
                done(s);
@@ -176,10 +173,8 @@ void MasterSlaveSlave::Start(std::function<void(Status)> done) {
 }
 
 void MasterSlaveSlave::Shutdown(std::function<void(Status)> done) {
-  ByteWriter w;
-  SerializeEndpoint(comm_.endpoint(), &w);
-  comm_.Call(master_, "ms.unregister_slave", w.Take(),
-             [done = std::move(done)](Result<Bytes> result) {
+  comm_.Call(kMsUnregisterSlave, master_, EndpointMessage{comm_.endpoint()},
+             [done = std::move(done)](Result<sim::EmptyMessage> result) {
                done(result.ok() ? OkStatus() : result.status());
              });
 }
@@ -190,7 +185,7 @@ void MasterSlaveSlave::Invoke(const Invocation& invocation, InvokeCallback done)
     return;
   }
   // Writes go to the master; our copy is refreshed by its push.
-  comm_.Call(master_, "dso.invoke", invocation.Serialize(),
+  comm_.Call(kDsoInvoke, master_, invocation,
              [done = std::move(done)](Result<Bytes> result) { done(std::move(result)); });
 }
 

@@ -1,9 +1,12 @@
-// Small wire-format helpers shared by the replication protocols.
+// Small wire-format helpers shared by the replication protocols, plus the typed
+// descriptors of the peer methods every replica speaks.
 
 #ifndef SRC_DSO_WIRE_H_
 #define SRC_DSO_WIRE_H_
 
+#include "src/dso/invocation.h"
 #include "src/sim/network.h"
+#include "src/sim/rpc.h"
 #include "src/util/serial.h"
 #include "src/util/status.h"
 
@@ -40,6 +43,48 @@ inline Result<sim::Endpoint> DeserializeEndpoint(ByteReader* r) {
   ASSIGN_OR_RETURN(ep.port, r->ReadU16());
   return ep;
 }
+
+// A bare peer endpoint (registration and master-discovery messages).
+struct EndpointMessage {
+  sim::Endpoint endpoint;
+
+  Bytes Serialize() const {
+    ByteWriter w;
+    SerializeEndpoint(endpoint, &w);
+    return w.Take();
+  }
+  static Result<EndpointMessage> Deserialize(ByteSpan data) {
+    ByteReader r(data);
+    EndpointMessage message;
+    ASSIGN_OR_RETURN(message.endpoint, DeserializeEndpoint(&r));
+    return message;
+  }
+};
+
+// A bare write version (invalidations, registration acknowledgements).
+struct VersionMessage {
+  uint64_t version = 0;
+
+  Bytes Serialize() const {
+    ByteWriter w;
+    w.WriteU64(version);
+    return w.Take();
+  }
+  static Result<VersionMessage> Deserialize(ByteSpan data) {
+    ByteReader r(data);
+    VersionMessage message;
+    ASSIGN_OR_RETURN(message.version, r.ReadU64());
+    return message;
+  }
+};
+
+// The protocol-agnostic peer methods: every replica of every protocol answers
+// these, which is what lets RemoteProxy bind thinly to anything.
+inline constexpr sim::TypedMethod<Invocation, Bytes> kDsoInvoke{"dso.invoke"};
+inline constexpr sim::TypedMethod<sim::EmptyMessage, VersionedState> kDsoGetState{
+    "dso.get_state"};
+inline constexpr sim::TypedMethod<sim::EmptyMessage, EndpointMessage>
+    kDsoMasterEndpoint{"dso.master_endpoint"};
 
 }  // namespace globe::dso
 

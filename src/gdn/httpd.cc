@@ -52,7 +52,8 @@ void GdnHttpd::OnRequest(const sim::TransportDelivery& delivery) {
   auto request = http::HttpRequest::Parse(delivery.payload);
   if (!request.ok()) {
     ++stats_.errors;
-    Reply(delivery.src, http::MakeErrorResponse(400, "Bad Request", "unparseable request"));
+    Reply(delivery.src,
+          http::MakeErrorResponse(400, "Bad Request", "unparseable request"));
     return;
   }
   ServeRequest(*request, delivery.src);
@@ -62,7 +63,8 @@ void GdnHttpd::Reply(const sim::Endpoint& client, const http::HttpResponse& resp
   transport_->Send({node_, sim::kPortHttp}, client, response.Serialize());
 }
 
-void GdnHttpd::ServeRequest(const http::HttpRequest& request, const sim::Endpoint& client) {
+void GdnHttpd::ServeRequest(const http::HttpRequest& request,
+                            const sim::Endpoint& client) {
   if (request.method != "GET") {
     ++stats_.errors;
     Reply(client, http::MakeErrorResponse(400, "Bad Request", "only GET is supported"));
@@ -164,7 +166,8 @@ void GdnHttpd::ServeListing(const std::string& globe_name, const sim::Endpoint& 
                                             proxy.status().ToString()));
       return;
     }
-    (*proxy)->ListContents([this, globe_name, client](Result<std::vector<FileInfo>> files) {
+    (*proxy)->ListContents([this, globe_name,
+                            client](Result<std::vector<FileInfo>> files) {
       if (!files.ok()) {
         ++stats_.errors;
         Reply(client,
@@ -179,7 +182,8 @@ void GdnHttpd::ServeListing(const std::string& globe_name, const sim::Endpoint& 
         std::string href =
             http::UrlEncode(std::string(kPackagesPrefix) + globe_name + kFilesSeparator +
                             file.path);
-        html += "<tr><td><a href=\"" + href + "\">" + HtmlEscape(file.path) + "</a></td><td>" +
+        html += "<tr><td><a href=\"" + href + "\">" + HtmlEscape(file.path) +
+                "</a></td><td>" +
                 std::to_string(file.size) + "</td><td><code>" + file.sha256_hex +
                 "</code></td></tr>";
       }
@@ -227,13 +231,15 @@ void GdnHttpd::ServeSearch(const std::string& query, const sim::Endpoint& client
     return;
   }
   auto run_search = [this, query, client] {
-    search_proxy_->Search(query, [this, query, client](Result<std::vector<SearchMatch>> r) {
+    search_proxy_->Search(query, [this, query,
+                                  client](Result<std::vector<SearchMatch>> r) {
       if (!r.ok()) {
         ++stats_.errors;
         Reply(client, http::MakeErrorResponse(502, "Bad Gateway", r.status().ToString()));
         return;
       }
-      std::string html = "<html><head><title>GDN search</title></head><body><h1>Search: " +
+      std::string html =
+          "<html><head><title>GDN search</title></head><body><h1>Search: " +
                          HtmlEscape(query) + "</h1><ul>";
       for (const SearchMatch& match : *r) {
         html += "<li><a href=\"" +
@@ -275,14 +281,20 @@ void Browser::Fetch(sim::NodeId httpd_node, std::string_view target, FetchCallba
   request.headers["host"] = "node" + std::to_string(httpd_node);
   request.headers["user-agent"] = "globe-browser/1.0";
 
-  // One ephemeral port per request (HTTP/1.0 style); torn down on completion.
+  // One ephemeral port per request (HTTP/1.0 style); torn down on completion. The
+  // timeout event is erased the moment the response lands, so a drained simulator
+  // pays the page's round-trip time, never the timeout.
   auto shared_done = std::make_shared<FetchCallback>(std::move(done));
   auto finished = std::make_shared<bool>(false);
-  auto finish = [this, port, shared_done, finished](Result<http::HttpResponse> result) {
+  auto timeout_event =
+      std::make_shared<sim::Simulator::EventId>(sim::Simulator::kNoEvent);
+  auto finish = [this, port, shared_done, finished,
+                 timeout_event](Result<http::HttpResponse> result) {
     if (*finished) {
       return;
     }
     *finished = true;
+    transport_->simulator()->Cancel(*timeout_event);
     transport_->UnregisterPort(node_, port);
     (*shared_done)(std::move(result));
   };
@@ -292,7 +304,7 @@ void Browser::Fetch(sim::NodeId httpd_node, std::string_view target, FetchCallba
                              finish(http::HttpResponse::Parse(delivery.payload));
                            });
   transport_->Send({node_, port}, {httpd_node, sim::kPortHttp}, request.Serialize());
-  transport_->simulator()->ScheduleAfter(
+  *timeout_event = transport_->simulator()->ScheduleAfter(
       timeout, [finish, alive = std::weak_ptr<bool>(alive_)] {
         if (alive.lock()) {
           finish(Unavailable("HTTP request timed out"));

@@ -1,14 +1,16 @@
 #include "src/gdn/moderator.h"
 
+#include "src/gos/object_server.h"
 #include "src/util/log.h"
 
 namespace globe::gdn {
 
-ModeratorTool::ModeratorTool(sim::Transport* transport, sim::NodeId node, std::string zone,
-                             sim::Endpoint naming_authority, sim::Endpoint resolver,
+ModeratorTool::ModeratorTool(sim::Transport* transport, sim::NodeId node,
+                             std::string zone, sim::Endpoint naming_authority,
+                             sim::Endpoint resolver,
                              gls::DirectoryRef leaf_directory,
                              const dso::ImplementationRepository* repository)
-    : rpc_(std::make_unique<sim::RpcClient>(transport, node)),
+    : rpc_(std::make_unique<sim::Channel>(transport, node)),
       gns_(transport, node, std::move(zone), naming_authority, resolver),
       runtime_(transport, node, std::move(leaf_directory), repository, &gns_) {}
 
@@ -19,34 +21,24 @@ void ModeratorTool::CreatePackage(std::string globe_name, ReplicationScenario sc
     return;
   }
   // Step 2: "create first replica" at one GOS of the scenario.
-  ByteWriter w;
-  w.WriteU16(scenario.protocol);
-  w.WriteU16(kPackageTypeId);
-  w.WriteVarint(scenario.maintainers.size());
-  for (sec::PrincipalId maintainer : scenario.maintainers) {
-    w.WriteU64(maintainer);
-  }
-  rpc_->Call(scenario.first_gos, "gos.create_first_replica", w.Take(),
-             [this, globe_name = std::move(globe_name), scenario = std::move(scenario),
-              done = std::move(done)](Result<Bytes> result) mutable {
-               if (!result.ok()) {
-                 ++stats_.failures;
-                 done(result.status());
-                 return;
-               }
-               ByteReader r(*result);
-               auto oid = gls::ObjectId::Deserialize(&r);
-               if (!oid.ok()) {
-                 ++stats_.failures;
-                 done(oid.status());
-                 return;
-               }
-               CreateSecondaries(*oid, std::move(scenario), std::move(globe_name),
-                                 std::move(done));
-             });
+  gos::CreateFirstReplicaRequest request{scenario.protocol, kPackageTypeId,
+                                         scenario.maintainers};
+  gos::kGosCreateFirstReplica.Call(
+      rpc_.get(), scenario.first_gos, request,
+      [this, globe_name = std::move(globe_name), scenario = std::move(scenario),
+       done = std::move(done)](Result<gos::CreateFirstReplicaResponse> result) mutable {
+        if (!result.ok()) {
+          ++stats_.failures;
+          done(result.status());
+          return;
+        }
+        CreateSecondaries(result->oid, std::move(scenario), std::move(globe_name),
+                          std::move(done));
+      });
 }
 
-void ModeratorTool::CreateSecondaries(const gls::ObjectId& oid, ReplicationScenario scenario,
+void ModeratorTool::CreateSecondaries(const gls::ObjectId& oid,
+                                      ReplicationScenario scenario,
                                       std::string globe_name, OidCallback done) {
   if (scenario.replica_goses.empty()) {
     catalog_[globe_name] = CatalogEntry{oid, std::move(scenario)};
@@ -63,7 +55,8 @@ void ModeratorTool::CreateSecondaries(const gls::ObjectId& oid, ReplicationScena
   // The stored step function holds only a weak reference to itself (a strong
   // one would be a shared_ptr cycle that never frees); each in-flight RPC
   // callback owns the strong reference that keeps the chain alive.
-  *next = [self, oid, remaining, next_weak = std::weak_ptr<std::function<void(size_t)>>(next),
+  *next = [self, oid, remaining,
+           next_weak = std::weak_ptr<std::function<void(size_t)>>(next),
            scenario = std::move(scenario), globe_name = std::move(globe_name),
            done = std::move(done)](size_t index) mutable {
     if (index >= remaining->size()) {
@@ -71,23 +64,18 @@ void ModeratorTool::CreateSecondaries(const gls::ObjectId& oid, ReplicationScena
       self->RegisterName(oid, globe_name, std::move(done));
       return;
     }
-    ByteWriter w;
-    oid.Serialize(&w);
-    w.WriteU16(kPackageTypeId);
-    w.WriteU8(static_cast<uint8_t>(scenario.secondary_role));
-    w.WriteVarint(scenario.maintainers.size());
-    for (sec::PrincipalId maintainer : scenario.maintainers) {
-      w.WriteU64(maintainer);
-    }
+    gos::CreateReplicaRequest request{oid, kPackageTypeId, scenario.secondary_role,
+                                      scenario.maintainers};
     auto next = next_weak.lock();  // always alive: our caller holds a strong ref
-    self->rpc_->Call((*remaining)[index], "gos.create_replica", w.Take(),
-                     [next, index, self](Result<Bytes> result) {
-                       if (!result.ok()) {
-                         GLOG_WARN << "create replica failed: " << result.status();
-                         ++self->stats_.failures;
-                       }
-                       (*next)(index + 1);
-                     });
+    gos::kGosCreateReplica.Call(
+        self->rpc_.get(), (*remaining)[index], request,
+        [next, index, self](Result<gos::CreateReplicaResponse> result) {
+          if (!result.ok()) {
+            GLOG_WARN << "create replica failed: " << result.status();
+            ++self->stats_.failures;
+          }
+          (*next)(index + 1);
+        });
   };
   (*next)(0);
 }
@@ -95,7 +83,8 @@ void ModeratorTool::CreateSecondaries(const gls::ObjectId& oid, ReplicationScena
 void ModeratorTool::RegisterName(const gls::ObjectId& oid, const std::string& globe_name,
                                  OidCallback done) {
   // Step 4: register the symbolic name with the GNS Naming Authority.
-  gns_.AddName(globe_name, oid.ToHex(), [this, oid, done = std::move(done)](Status status) {
+  gns_.AddName(globe_name, oid.ToHex(),
+               [this, oid, done = std::move(done)](Status status) {
     if (!status.ok()) {
       ++stats_.failures;
       done(status);
@@ -111,7 +100,8 @@ void ModeratorTool::OpenPackage(std::string_view globe_name, ProxyCallback done)
   if (it != catalog_.end()) {
     // Skip the GNS round trip for our own packages.
     runtime_.Bind(it->second.oid, {},
-                  [done = std::move(done)](Result<std::unique_ptr<dso::BoundObject>> bound) {
+                  [done = std::move(done)](
+                      Result<std::unique_ptr<dso::BoundObject>> bound) {
                     if (!bound.ok()) {
                       done(bound.status());
                       return;
@@ -121,7 +111,8 @@ void ModeratorTool::OpenPackage(std::string_view globe_name, ProxyCallback done)
     return;
   }
   runtime_.BindByName(globe_name, {},
-                      [done = std::move(done)](Result<std::unique_ptr<dso::BoundObject>> bound) {
+                      [done = std::move(done)](
+                          Result<std::unique_ptr<dso::BoundObject>> bound) {
                         if (!bound.ok()) {
                           done(bound.status());
                           return;
@@ -130,8 +121,8 @@ void ModeratorTool::OpenPackage(std::string_view globe_name, ProxyCallback done)
                       });
 }
 
-void ModeratorTool::AddFile(std::string_view globe_name, std::string_view path, Bytes content,
-                            DoneCallback done) {
+void ModeratorTool::AddFile(std::string_view globe_name, std::string_view path,
+                            Bytes content, DoneCallback done) {
   OpenPackage(globe_name, [this, path = std::string(path), content = std::move(content),
                            done = std::move(done)](
                               Result<std::unique_ptr<PackageProxy>> proxy) mutable {
@@ -202,17 +193,16 @@ void ModeratorTool::RemovePackage(std::string_view globe_name, DoneCallback done
       });
       return;
     }
-    ByteWriter w;
-    oid.Serialize(&w);
     auto next = next_weak.lock();  // always alive: our caller holds a strong ref
-    self->rpc_->Call(goses[index], "gos.remove_replica", w.Take(),
-                     [self, next, index](Result<Bytes> result) {
-                       if (!result.ok()) {
-                         GLOG_WARN << "remove replica failed: " << result.status();
-                         ++self->stats_.failures;
-                       }
-                       (*next)(index + 1);
-                     });
+    gos::kGosRemoveReplica.Call(
+        self->rpc_.get(), goses[index], gos::RemoveReplicaRequest{oid},
+        [self, next, index](Result<sim::EmptyMessage> result) {
+          if (!result.ok()) {
+            GLOG_WARN << "remove replica failed: " << result.status();
+            ++self->stats_.failures;
+          }
+          (*next)(index + 1);
+        });
   };
   (*next)(0);
 }

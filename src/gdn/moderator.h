@@ -81,7 +81,9 @@ class ModeratorTool {
     gls::ObjectId oid;
     ReplicationScenario scenario;
   };
-  const std::map<std::string, CatalogEntry, std::less<>>& catalog() const { return catalog_; }
+  const std::map<std::string, CatalogEntry, std::less<>>& catalog() const {
+    return catalog_;
+  }
 
  private:
   void CreateSecondaries(const gls::ObjectId& oid, ReplicationScenario scenario,
@@ -89,7 +91,7 @@ class ModeratorTool {
   void RegisterName(const gls::ObjectId& oid, const std::string& globe_name,
                     OidCallback done);
 
-  std::unique_ptr<sim::RpcClient> rpc_;
+  std::unique_ptr<sim::Channel> rpc_;
   dns::GnsClient gns_;
   dso::RuntimeSystem runtime_;
   std::map<std::string, CatalogEntry, std::less<>> catalog_;

@@ -60,9 +60,12 @@ struct GdnWorldConfig {
   // GLS lookup caching on the hot read path: every directory subnode keeps a TTL'd
   // cache of the answers its descents returned, and the GDN-HTTPDs issue
   // cache-permitted lookups when binding to packages. Staleness is bounded by the
-  // TTL plus delete-driven invalidation chains (see src/gls/cache.h).
+  // TTL plus delete-driven invalidation chains (see src/gls/cache.h). The TTL is
+  // sized for actual content-churn staleness: RPC deadline events are erased from
+  // the simulator queue when responses land, so a drained step costs round-trip
+  // time and short TTLs behave the same in tests and benches as in a long run.
   bool gls_cache = false;
-  sim::SimTime gls_cache_ttl = 300 * sim::kSecond;
+  sim::SimTime gls_cache_ttl = 30 * sim::kSecond;
 
   sim::NetworkOptions network;
   sec::CryptoProfile crypto;
@@ -133,7 +136,7 @@ class GdnWorld {
   bool IsGdnHost(sim::NodeId node) const { return gdn_hosts_.count(node) > 0; }
 
   // Virtual-time duration of the last DownloadFile / FetchListing, measured from
-  // request to response arrival (timeout events left in the queue do not count).
+  // request to response arrival.
   sim::SimTime last_op_duration() const { return last_op_duration_; }
 
   // ---- Attribute-based search (paper 8 future work) ----

@@ -41,9 +41,11 @@ void LookupCache::Put(const ObjectId& oid, std::vector<ContactAddress> addresses
   PruneQuarantine(now);
 }
 
-bool LookupCache::Invalidate(const ObjectId& oid, sim::SimTime now) {
-  quarantined_[oid] = now + kPutQuarantine;
-  PruneQuarantine(now);
+bool LookupCache::Invalidate(const ObjectId& oid, sim::SimTime now, bool quarantine) {
+  if (quarantine) {
+    quarantined_[oid] = now + kPutQuarantine;
+    PruneQuarantine(now);
+  }
   return entries_.erase(oid) > 0;
 }
 

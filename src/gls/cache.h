@@ -43,9 +43,12 @@ class LookupCache {
   };
 
   // How long Put refuses to re-admit an OID after Invalidate. Sized to outlive any
-  // response that was in flight when the invalidation ran: RPC callbacks fire
-  // within the 30 s sim::RpcClient timeout of their request, and a descent request
-  // issued *after* the invalidating delete sees post-delete (safe) state anyway.
+  // response that was in flight when the invalidation ran: with per-request
+  // service-time queueing a response can trail its request by up to the issuing
+  // call's deadline (default 30 s), not just the network delivery delay. A descent
+  // request issued *after* the invalidating delete sees post-delete (safe) state
+  // anyway, and only deregistration paths quarantine, so this long window never
+  // blocks the hot insert -> lookup -> cache sequence.
   static constexpr sim::SimTime kPutQuarantine = 30 * sim::kSecond;
 
   LookupCache(sim::SimTime ttl, size_t max_entries)
@@ -60,9 +63,12 @@ class LookupCache {
   void Put(const ObjectId& oid, std::vector<ContactAddress> addresses,
            int32_t found_depth, sim::SimTime now);
 
-  // Drops the entry for `oid` and quarantines it against Put until
-  // now + kPutQuarantine. Returns true if an entry was present.
-  bool Invalidate(const ObjectId& oid, sim::SimTime now);
+  // Drops the entry for `oid`. With `quarantine` set it additionally blocks Put
+  // for the OID until now + kPutQuarantine — required on deregistration paths,
+  // where an in-flight pre-delete answer must not re-install the removed address;
+  // insert-driven invalidation skips it (re-caching a pre-insert answer is only
+  // TTL-bounded nearness staleness). Returns true if an entry was present.
+  bool Invalidate(const ObjectId& oid, sim::SimTime now, bool quarantine = true);
 
   void Clear();
   size_t size() const { return entries_.size(); }

@@ -5,7 +5,8 @@
 namespace globe::gls {
 
 GlsDeployment::GlsDeployment(sim::Transport* transport, sim::Topology* topology,
-                             const sec::KeyRegistry* registry, GlsDeploymentOptions options,
+                             const sec::KeyRegistry* registry,
+                             GlsDeploymentOptions options,
                              std::function<void(sim::NodeId)> on_host_created)
     : transport_(transport), topology_(topology) {
   auto count_for = [&](sim::DomainId domain, int depth) {
@@ -36,7 +37,8 @@ GlsDeployment::GlsDeployment(sim::Transport* transport, sim::Topology* topology,
     directories_[domain] = std::move(ref);
   }
 
-  // Pass 2: wire parents and children.
+  // Pass 2: wire parents, children and each subnode's view of its own node (the
+  // sibling set power-of-two routing and the delete fan-out need).
   for (auto& subnode : subnodes_) {
     sim::DomainId domain = subnode->domain();
     sim::DomainId parent = topology->DomainParent(domain);
@@ -46,6 +48,7 @@ GlsDeployment::GlsDeployment(sim::Transport* transport, sim::Topology* topology,
     for (sim::DomainId child : topology->DomainChildren(domain)) {
       subnode->AddChild(child, directories_.at(child));
     }
+    subnode->SetSelf(directories_.at(domain));
   }
 }
 
@@ -61,7 +64,8 @@ std::unique_ptr<GlsClient> GlsDeployment::MakeClient(sim::NodeId host) const {
   return std::make_unique<GlsClient>(transport_, host, LeafDirectoryFor(host));
 }
 
-std::vector<const DirectorySubnode*> GlsDeployment::SubnodesOf(sim::DomainId domain) const {
+std::vector<const DirectorySubnode*> GlsDeployment::SubnodesOf(
+    sim::DomainId domain) const {
   std::vector<const DirectorySubnode*> out;
   for (const auto& subnode : subnodes_) {
     if (subnode->domain() == domain) {
@@ -79,6 +83,7 @@ SubnodeStats GlsDeployment::TotalStats() const {
     total.found_local += s.found_local;
     total.forwards_up += s.forwards_up;
     total.forwards_down += s.forwards_down;
+    total.forwards_sideways += s.forwards_sideways;
     total.inserts += s.inserts;
     total.deletes += s.deletes;
     total.pointer_installs += s.pointer_installs;
@@ -89,6 +94,7 @@ SubnodeStats GlsDeployment::TotalStats() const {
     total.cache_invalidations += s.cache_invalidations;
     total.batch_lookups += s.batch_lookups;
     total.batch_inserts += s.batch_inserts;
+    total.batch_deletes += s.batch_deletes;
   }
   return total;
 }

@@ -32,7 +32,7 @@ struct AddressRequest {  // gls.insert / gls.delete
   }
 };
 
-struct BatchAddressRequest {  // gls.insert_batch
+struct BatchAddressRequest {  // gls.insert_batch / gls.delete_batch
   std::vector<std::pair<ObjectId, ContactAddress>> items;
 
   Bytes Serialize() const {
@@ -49,7 +49,7 @@ struct BatchAddressRequest {  // gls.insert_batch
     BatchAddressRequest request;
     ASSIGN_OR_RETURN(uint64_t count, r.ReadVarint());
     if (count > kMaxWireBatchItems) {
-      return InvalidArgument("implausible insert batch size");
+      return InvalidArgument("implausible address batch size");
     }
     for (uint64_t i = 0; i < count; ++i) {
       ASSIGN_OR_RETURN(ObjectId oid, ObjectId::Deserialize(&r));
@@ -137,6 +137,66 @@ struct BatchLookupRequest {  // gls.lookup_batch
   }
 };
 
+// gls.lookup_batch response: positional, one entry per requested OID. An OK entry
+// carries a serialized LookupResponse; a failed one its status.
+struct BatchLookupResponse {
+  std::vector<Result<Bytes>> items;
+
+  Bytes Serialize() const {
+    ByteWriter w;
+    w.WriteVarint(items.size());
+    for (const auto& item : items) {
+      if (item.ok()) {
+        w.WriteU8(0);
+        w.WriteLengthPrefixed(*item);
+      } else {
+        w.WriteU8(static_cast<uint8_t>(item.status().code()));
+        w.WriteString(item.status().message());
+      }
+    }
+    return w.Take();
+  }
+  static Result<BatchLookupResponse> Deserialize(ByteSpan data) {
+    ByteReader r(data);
+    BatchLookupResponse response;
+    ASSIGN_OR_RETURN(uint64_t count, r.ReadVarint());
+    if (count > kMaxWireBatchItems) {
+      return InvalidArgument("implausible lookup batch size");
+    }
+    for (uint64_t i = 0; i < count; ++i) {
+      ASSIGN_OR_RETURN(uint8_t code, r.ReadU8());
+      if (code == 0) {
+        ASSIGN_OR_RETURN(Bytes payload, r.ReadLengthPrefixed());
+        response.items.emplace_back(std::move(payload));
+      } else {
+        if (code > static_cast<uint8_t>(StatusCode::kDataLoss)) {
+          return InvalidArgument("malformed lookup batch response");
+        }
+        ASSIGN_OR_RETURN(std::string message, r.ReadString());
+        response.items.emplace_back(
+            Status(static_cast<StatusCode>(code), std::move(message)));
+      }
+    }
+    return response;
+  }
+};
+
+struct OidMessage {  // gls.alloc_oid response
+  ObjectId oid;
+
+  Bytes Serialize() const {
+    ByteWriter w;
+    oid.Serialize(&w);
+    return w.Take();
+  }
+  static Result<OidMessage> Deserialize(ByteSpan data) {
+    ByteReader r(data);
+    OidMessage message;
+    ASSIGN_OR_RETURN(message.oid, ObjectId::Deserialize(&r));
+    return message;
+  }
+};
+
 }  // namespace
 
 // gls.lookup wire format; the apex default is effectively +infinity, min()'d with
@@ -171,6 +231,54 @@ struct LookupWireRequest {
 };
 
 namespace {
+
+// The typed method table: one definition per wire method, shared by servers
+// (Register*) and clients (Call) so the two sides cannot drift apart.
+const sim::TypedMethod<LookupWireRequest, LookupResponse> kGlsLookup{"gls.lookup"};
+const sim::TypedMethod<BatchLookupRequest, BatchLookupResponse> kGlsLookupBatch{
+    "gls.lookup_batch"};
+const sim::TypedMethod<AddressRequest, sim::EmptyMessage> kGlsInsert{"gls.insert"};
+const sim::TypedMethod<BatchAddressRequest, sim::EmptyMessage> kGlsInsertBatch{
+    "gls.insert_batch"};
+const sim::TypedMethod<AddressRequest, sim::EmptyMessage> kGlsDelete{"gls.delete"};
+const sim::TypedMethod<BatchAddressRequest, sim::EmptyMessage> kGlsDeleteBatch{
+    "gls.delete_batch"};
+const sim::TypedMethod<PointerRequest, sim::EmptyMessage> kGlsInstallPtr{
+    "gls.install_ptr"};
+const sim::TypedMethod<BatchPointerRequest, sim::EmptyMessage> kGlsInstallPtrBatch{
+    "gls.install_ptr_batch"};
+const sim::TypedMethod<PointerRequest, sim::EmptyMessage> kGlsRemovePtr{
+    "gls.remove_ptr"};
+const sim::TypedMethod<PointerRequest, sim::EmptyMessage> kGlsInvalCache{
+    "gls.inval_cache"};
+const sim::TypedMethod<sim::EmptyMessage, OidMessage> kGlsAllocOid{"gls.alloc_oid"};
+
+using EmptyCallback = std::function<void(Result<sim::EmptyMessage>)>;
+
+// Joins `n` typed-empty completions into one response carrying the first error.
+EmptyCallback JoinEmpty(size_t n, EmptyCallback respond) {
+  struct JoinState {
+    size_t remaining;
+    Status first_error = OkStatus();
+    EmptyCallback respond;
+  };
+  auto state = std::make_shared<JoinState>();
+  state->remaining = n;
+  state->respond = std::move(respond);
+  return [state](Result<sim::EmptyMessage> result) {
+    if (!result.ok() && state->first_error.ok()) {
+      state->first_error = result.status();
+    }
+    if (--state->remaining > 0) {
+      return;
+    }
+    if (state->first_error.ok()) {
+      state->respond(sim::EmptyMessage{});
+    } else {
+      state->respond(state->first_error);
+    }
+  };
+}
 
 Result<LookupResult> ParseLookupResult(ByteSpan payload) {
   auto response = LookupResponse::Deserialize(payload);
@@ -217,11 +325,47 @@ Result<LookupResponse> LookupResponse::Deserialize(ByteSpan data) {
   return response;
 }
 
+// ---------------------------------------------------------------- DirectoryRef
+
+size_t DirectoryRef::AlternateIndex(const ObjectId& oid) const {
+  assert(!subnodes.empty() && "DirectoryRef::AlternateIndex on an empty ref");
+  if (subnodes.size() < 2) {
+    return 0;
+  }
+  size_t home = SubnodeIndex(oid);
+  // An independent slice of the same hash keeps the pick deterministic per OID
+  // while spreading different hot OIDs over different (home, alternate) pairs.
+  size_t offset = 1 + (oid.Hash() >> 20) % (subnodes.size() - 1);
+  return (home + offset) % subnodes.size();
+}
+
+Result<sim::Endpoint> DirectoryRef::TryRoute(const ObjectId& oid,
+                                             const sim::Channel& channel,
+                                             RouteMode mode) const {
+  if (subnodes.empty()) {
+    return FailedPrecondition("DirectoryRef has no subnodes to route to");
+  }
+  size_t home = SubnodeIndex(oid);
+  if (mode == RouteMode::kHashOnly || subnodes.size() < 2) {
+    return subnodes[home];
+  }
+  size_t alternate = AlternateIndex(oid);
+  // Ties go to the home subnode: it holds the authoritative state, so the
+  // alternate's extra sideways hop is only worth paying under observed load.
+  if (sim::LessLoaded(channel.PeerLoad(subnodes[alternate]),
+                      channel.PeerLoad(subnodes[home]))) {
+    return subnodes[alternate];
+  }
+  return subnodes[home];
+}
+
+// ------------------------------------------------------------ DirectorySubnode
+
 DirectorySubnode::DirectorySubnode(sim::Transport* transport, sim::NodeId host,
                                    sim::DomainId domain, int depth, GlsOptions options,
                                    const sec::KeyRegistry* registry, uint64_t rng_seed)
     : server_(transport, host, sim::kPortGls),
-      client_(std::make_unique<sim::RpcClient>(transport, host)),
+      client_(std::make_unique<sim::Channel>(transport, host)),
       clock_(transport->simulator()),
       domain_(domain),
       depth_(depth),
@@ -229,54 +373,227 @@ DirectorySubnode::DirectorySubnode(sim::Transport* transport, sim::NodeId host,
       registry_(registry),
       rng_(rng_seed),
       cache_(options.cache_ttl, options.cache_max_entries) {
-  server_.RegisterAsyncMethod("gls.lookup", [this](const sim::RpcContext& ctx, ByteSpan req,
-                                                   sim::RpcServer::Responder respond) {
-    HandleLookup(ctx, req, std::move(respond));
+  server_.set_service_time(options_.service_time);
+
+  kGlsLookup.RegisterAsync(&server_, [this](const sim::RpcContext&,
+                                            LookupWireRequest request,
+                                            LookupResponder respond) {
+    ++stats_.lookups;
+    ResolveLookup(std::move(request), std::move(respond));
   });
-  server_.RegisterAsyncMethod("gls.lookup_batch",
-                              [this](const sim::RpcContext& ctx, ByteSpan req,
-                                     sim::RpcServer::Responder respond) {
-                                HandleLookupBatch(ctx, req, std::move(respond));
-                              });
-  server_.RegisterAsyncMethod("gls.insert", [this](const sim::RpcContext& ctx, ByteSpan req,
-                                                   sim::RpcServer::Responder respond) {
-    HandleInsert(ctx, req, std::move(respond));
+
+  kGlsLookupBatch.RegisterAsync(
+      &server_, [this](const sim::RpcContext&, BatchLookupRequest request,
+                       sim::TypedMethod<BatchLookupRequest,
+                                        BatchLookupResponse>::AsyncResponder respond) {
+        ++stats_.batch_lookups;
+        if (request.oids.empty()) {
+          respond(BatchLookupResponse{});
+          return;
+        }
+        struct BatchState {
+          BatchLookupResponse response;
+          size_t remaining = 0;
+          std::function<void(Result<BatchLookupResponse>)> respond;
+        };
+        auto state = std::make_shared<BatchState>();
+        state->response.items.assign(request.oids.size(),
+                                     Result<Bytes>(Unavailable("pending")));
+        state->remaining = request.oids.size();
+        state->respond = std::move(respond);
+        for (size_t i = 0; i < request.oids.size(); ++i) {
+          ++stats_.lookups;
+          LookupWireRequest item;
+          item.oid = request.oids[i];
+          item.allow_cached = request.allow_cached;
+          ResolveLookup(std::move(item), [state, i](Result<LookupResponse> result) {
+            state->response.items[i] =
+                result.ok() ? Result<Bytes>(result->Serialize()) : result.status();
+            if (--state->remaining == 0) {
+              state->respond(std::move(state->response));
+            }
+          });
+        }
+      });
+
+  kGlsInsert.RegisterAsync(&server_, [this](const sim::RpcContext& context,
+                                            AddressRequest request,
+                                            EmptyResponder respond) {
+    if (Status s = CheckAuthorized(context); !s.ok()) {
+      ++stats_.denied;
+      respond(s);
+      return;
+    }
+    ++stats_.inserts;
+    InvalidateCached(request.oid, /*quarantine=*/false);
+    auto& at_oid = addresses_[request.oid];
+    if (std::find(at_oid.begin(), at_oid.end(), request.address) == at_oid.end()) {
+      at_oid.push_back(request.address);
+    }
+    PropagatePointerUp(request.oid, std::move(respond));
   });
-  server_.RegisterAsyncMethod("gls.insert_batch",
-                              [this](const sim::RpcContext& ctx, ByteSpan req,
-                                     sim::RpcServer::Responder respond) {
-                                HandleInsertBatch(ctx, req, std::move(respond));
-                              });
-  server_.RegisterAsyncMethod("gls.delete", [this](const sim::RpcContext& ctx, ByteSpan req,
-                                                   sim::RpcServer::Responder respond) {
-    HandleDelete(ctx, req, std::move(respond));
+
+  kGlsInsertBatch.RegisterAsync(&server_, [this](const sim::RpcContext& context,
+                                                 BatchAddressRequest request,
+                                                 EmptyResponder respond) {
+    if (Status s = CheckAuthorized(context); !s.ok()) {
+      ++stats_.denied;
+      respond(s);
+      return;
+    }
+    ++stats_.batch_inserts;
+    std::vector<ObjectId> to_propagate;
+    std::set<ObjectId> seen;
+    for (const auto& [oid, address] : request.items) {
+      ++stats_.inserts;
+      InvalidateCached(oid, /*quarantine=*/false);
+      auto& at_oid = addresses_[oid];
+      if (std::find(at_oid.begin(), at_oid.end(), address) == at_oid.end()) {
+        at_oid.push_back(address);
+      }
+      if (seen.insert(oid).second) {
+        to_propagate.push_back(oid);
+      }
+    }
+    PropagatePointerUpBatch(to_propagate, std::move(respond));
   });
-  server_.RegisterAsyncMethod("gls.install_ptr",
-                              [this](const sim::RpcContext& ctx, ByteSpan req,
-                                     sim::RpcServer::Responder respond) {
-                                HandleInstallPtr(ctx, req, std::move(respond));
-                              });
-  server_.RegisterAsyncMethod("gls.install_ptr_batch",
-                              [this](const sim::RpcContext& ctx, ByteSpan req,
-                                     sim::RpcServer::Responder respond) {
-                                HandleInstallPtrBatch(ctx, req, std::move(respond));
-                              });
-  server_.RegisterAsyncMethod("gls.remove_ptr",
-                              [this](const sim::RpcContext& ctx, ByteSpan req,
-                                     sim::RpcServer::Responder respond) {
-                                HandleRemovePtr(ctx, req, std::move(respond));
-                              });
-  server_.RegisterAsyncMethod("gls.inval_cache",
-                              [this](const sim::RpcContext& ctx, ByteSpan req,
-                                     sim::RpcServer::Responder respond) {
-                                HandleInvalCache(ctx, req, std::move(respond));
-                              });
-  server_.RegisterMethod("gls.alloc_oid",
-                         [this](const sim::RpcContext&, ByteSpan) -> Result<Bytes> {
-                           ByteWriter w;
-                           ObjectId::Generate(&rng_).Serialize(&w);
-                           return w.Take();
-                         });
+
+  kGlsDelete.RegisterAsync(&server_, [this](const sim::RpcContext& context,
+                                            AddressRequest request,
+                                            EmptyResponder respond) {
+    if (Status s = CheckAuthorized(context); !s.ok()) {
+      ++stats_.denied;
+      respond(s);
+      return;
+    }
+    ApplyDelete(request.oid, request.address, std::move(respond));
+  });
+
+  kGlsDeleteBatch.RegisterAsync(&server_, [this](const sim::RpcContext& context,
+                                                 BatchAddressRequest request,
+                                                 EmptyResponder respond) {
+    if (Status s = CheckAuthorized(context); !s.ok()) {
+      ++stats_.denied;
+      respond(s);
+      return;
+    }
+    ++stats_.batch_deletes;
+    if (request.items.empty()) {
+      respond(sim::EmptyMessage{});
+      return;
+    }
+    EmptyCallback join = JoinEmpty(request.items.size(), std::move(respond));
+    for (const auto& [oid, address] : request.items) {
+      ApplyDelete(oid, address, join);
+    }
+  });
+
+  kGlsInstallPtr.RegisterAsync(&server_, [this](const sim::RpcContext& context,
+                                                PointerRequest request,
+                                                EmptyResponder respond) {
+    if (Status s = CheckAuthorized(context); !s.ok()) {
+      ++stats_.denied;
+      respond(s);
+      return;
+    }
+    ++stats_.pointer_installs;
+    InvalidateCached(request.oid, /*quarantine=*/false);
+    bool was_new = pointers_[request.oid].insert(request.child_domain).second;
+    if (!was_new || parent_.empty()) {
+      // The chain above already exists (or we are the root): done.
+      respond(sim::EmptyMessage{});
+      return;
+    }
+    PropagatePointerUp(request.oid, std::move(respond));
+  });
+
+  kGlsInstallPtrBatch.RegisterAsync(&server_, [this](const sim::RpcContext& context,
+                                                     BatchPointerRequest request,
+                                                     EmptyResponder respond) {
+    if (Status s = CheckAuthorized(context); !s.ok()) {
+      ++stats_.denied;
+      respond(s);
+      return;
+    }
+    std::vector<ObjectId> continue_up;
+    for (const ObjectId& oid : request.oids) {
+      ++stats_.pointer_installs;
+      InvalidateCached(oid, /*quarantine=*/false);
+      if (pointers_[oid].insert(request.child_domain).second) {
+        continue_up.push_back(oid);
+      }
+    }
+    // Only freshly installed pointers need the chain extended above us.
+    PropagatePointerUpBatch(continue_up, std::move(respond));
+  });
+
+  kGlsRemovePtr.RegisterAsync(&server_, [this](const sim::RpcContext& context,
+                                               PointerRequest request,
+                                               EmptyResponder respond) {
+    if (Status s = CheckAuthorized(context); !s.ok()) {
+      ++stats_.denied;
+      respond(s);
+      return;
+    }
+    ++stats_.pointer_removes;
+    InvalidateCached(request.oid, /*quarantine=*/true);
+    auto it = pointers_.find(request.oid);
+    if (it != pointers_.end()) {
+      it->second.erase(request.child_domain);
+      if (it->second.empty()) {
+        pointers_.erase(it);
+      }
+    }
+    if (NumPointers(request.oid) == 0 && NumAddresses(request.oid) == 0) {
+      PropagateRemoveUp(request.oid, std::move(respond));
+      return;
+    }
+    // The chain stops pruning here, but subnodes above and beside us may still
+    // cache the removed subtree's addresses.
+    PropagateInvalUp(request.oid, /*include_siblings=*/true, std::move(respond));
+  });
+
+  kGlsInvalCache.RegisterAsync(&server_, [this](const sim::RpcContext& context,
+                                                PointerRequest request,
+                                                EmptyResponder respond) {
+    // Cache purges are mutations of serving state: same authorization as the other
+    // internal chain methods (a cached answer must never outlive a delete, but an
+    // unauthenticated peer must not be able to flush caches either).
+    if (Status s = CheckAuthorized(context); !s.ok()) {
+      ++stats_.denied;
+      respond(s);
+      return;
+    }
+    InvalidateCached(request.oid, /*quarantine=*/true);
+    if (IsAlternateFor(request.oid)) {
+      // Our home sibling received the same fan-out and carries the chain upward.
+      respond(sim::EmptyMessage{});
+      return;
+    }
+    PropagateInvalUp(request.oid, /*include_siblings=*/false, std::move(respond));
+  });
+
+  kGlsAllocOid.Register(&server_,
+                        [this](const sim::RpcContext&,
+                               const sim::EmptyMessage&) -> Result<OidMessage> {
+                          return OidMessage{ObjectId::Generate(&rng_)};
+                        });
+}
+
+void DirectorySubnode::SetSelf(DirectoryRef self) { self_ = std::move(self); }
+
+bool DirectorySubnode::IsAlternateFor(const ObjectId& oid) const {
+  return !self_.empty() && self_.subnodes[self_.SubnodeIndex(oid)] != endpoint();
+}
+
+std::vector<sim::Endpoint> DirectorySubnode::SiblingEndpoints() const {
+  std::vector<sim::Endpoint> siblings;
+  for (const sim::Endpoint& subnode : self_.subnodes) {
+    if (subnode != endpoint()) {
+      siblings.push_back(subnode);
+    }
+  }
+  return siblings;
 }
 
 Status DirectorySubnode::CheckAuthorized(const sim::RpcContext& context) const {
@@ -320,25 +637,13 @@ size_t DirectorySubnode::TotalEntries() const {
   return total;
 }
 
-void DirectorySubnode::InvalidateCached(const ObjectId& oid) {
-  if (options_.enable_cache && cache_.Invalidate(oid, clock_->Now())) {
+void DirectorySubnode::InvalidateCached(const ObjectId& oid, bool quarantine) {
+  if (options_.enable_cache && cache_.Invalidate(oid, clock_->Now(), quarantine)) {
     ++stats_.cache_invalidations;
   }
 }
 
-void DirectorySubnode::HandleLookup(const sim::RpcContext&, ByteSpan request,
-                                    sim::RpcServer::Responder respond) {
-  ++stats_.lookups;
-  auto parsed = LookupWireRequest::Deserialize(request);
-  if (!parsed.ok()) {
-    respond(parsed.status());
-    return;
-  }
-  ResolveLookup(*parsed, std::move(respond));
-}
-
-void DirectorySubnode::ResolveLookup(LookupWireRequest req,
-                                     sim::RpcServer::Responder respond) {
+void DirectorySubnode::ResolveLookup(LookupWireRequest req, LookupResponder respond) {
   req.apex_depth = std::min(req.apex_depth, depth_);
 
   // Contact address here: done. Authoritative state always wins over the cache.
@@ -349,13 +654,13 @@ void DirectorySubnode::ResolveLookup(LookupWireRequest req,
     response.hops = req.hops;
     response.found_depth = depth_;
     response.apex_depth = req.apex_depth;
-    respond(response.Serialize());
+    respond(std::move(response));
     return;
   }
 
-  // Cached answer from an earlier descent: done, without re-walking the pointer
-  // chain. Cached entries never exist unless this node held a forwarding pointer
-  // when they were stored, and every mutation touching the OID here drops them.
+  // Cached answer from an earlier descent or sideways handoff: done, without
+  // re-walking the pointer chain. Every mutation touching the OID at this node
+  // drops these entries, and delete chains fan out to all subnodes of a node.
   if (options_.enable_cache && req.allow_cached != 0) {
     if (const LookupCache::Entry* entry = cache_.Get(req.oid, clock_->Now())) {
       ++stats_.cache_hits;
@@ -365,7 +670,7 @@ void DirectorySubnode::ResolveLookup(LookupWireRequest req,
       response.found_depth = entry->found_depth;
       response.apex_depth = req.apex_depth;
       response.from_cache = 1;
-      respond(response.Serialize());
+      respond(std::move(response));
       return;
     }
     ++stats_.cache_misses;
@@ -384,31 +689,66 @@ void DirectorySubnode::ResolveLookup(LookupWireRequest req,
       respond(Internal("forwarding pointer to unknown child directory"));
       return;
     }
+    auto target =
+        ref_it->second.TryRoute(req.oid, *client_, options_.lookup_route_mode);
+    if (!target.ok()) {
+      respond(target.status());
+      return;
+    }
     ++stats_.forwards_down;
     LookupWireRequest forward = req;
     forward.phase = kPhaseDown;
     ++forward.hops;
-    client_->Call(ref_it->second.Route(req.oid), "gls.lookup", forward.Serialize(),
-                  [this, oid = req.oid,
-                   respond = std::move(respond)](Result<Bytes> result) {
-                    if (options_.enable_cache && result.ok()) {
-                      auto response = LookupResponse::Deserialize(*result);
-                      // Only authoritative answers enter the cache: re-caching a
-                      // descendant's cache hit would restart the TTL and compound
-                      // staleness to depth x TTL.
-                      if (response.ok() && !response->addresses.empty() &&
-                          response->from_cache == 0) {
-                        cache_.Put(oid, std::move(response->addresses),
-                                   response->found_depth, clock_->Now());
+    kGlsLookup.Call(client_.get(), *target, forward,
+                    [this, oid = req.oid,
+                     respond = std::move(respond)](Result<LookupResponse> result) {
+                      if (options_.enable_cache && result.ok() &&
+                          !result->addresses.empty() && result->from_cache == 0) {
+                        // Only authoritative answers enter the cache on descent:
+                        // re-caching a descendant's cache hit would restart the TTL
+                        // and compound staleness to depth x TTL.
+                        cache_.Put(oid, result->addresses, result->found_depth,
+                                   clock_->Now());
                       }
-                    }
-                    respond(std::move(result));
-                  });
+                      respond(std::move(result));
+                    });
     return;
   }
 
-  // Nothing local. Going down this should not happen; going up we continue to the
-  // parent until the root gives a definitive answer.
+  // No state for the OID here. If this subnode is not the OID's hash home on its
+  // own node (power-of-two routing aimed the lookup at us for load spreading), the
+  // lookup is handed sideways to the home sibling — but only where the home can
+  // actually answer: on descent (the home must hold the forwarding pointer) and at
+  // the root (nowhere left to climb). On a climb-path node the alternate climbs
+  // directly instead, which is exactly what its home sibling would do, at zero
+  // extra hops. The sideways answer is cached — cached or not at the home; a
+  // re-cached home cache hit restarts the TTL, a deliberate 2x-TTL-at-one-node
+  // staleness trade without which alternates could never absorb hot load — ONLY
+  // when it was resolved within this level's subtree (apex did not rise above us):
+  // exactly then the home holds the forwarding pointer, so this node's subnodes
+  // are all covered by the delete-driven invalidation fan-out. An answer that
+  // climbed must not be cached here, since no deregistration chain would ever
+  // visit a pure climb-path node.
+  if (IsAlternateFor(req.oid) && (req.phase == kPhaseDown || parent_.empty())) {
+    ++stats_.forwards_sideways;
+    LookupWireRequest forward = req;
+    ++forward.hops;
+    sim::Endpoint home = self_.subnodes[self_.SubnodeIndex(req.oid)];
+    kGlsLookup.Call(client_.get(), home,
+                    forward, [this, oid = req.oid, respond = std::move(respond)](
+                                 Result<LookupResponse> result) {
+                      if (options_.enable_cache && result.ok() &&
+                          !result->addresses.empty() && result->apex_depth >= depth_) {
+                        cache_.Put(oid, result->addresses, result->found_depth,
+                                   clock_->Now());
+                      }
+                      respond(std::move(result));
+                    });
+    return;
+  }
+
+  // Going down this should not happen; going up we continue to the parent until
+  // the root gives a definitive answer.
   if (req.phase == kPhaseDown) {
     respond(Internal("broken forwarding chain at depth " + std::to_string(depth_)));
     return;
@@ -417,133 +757,71 @@ void DirectorySubnode::ResolveLookup(LookupWireRequest req,
     respond(NotFound("object not registered: " + req.oid.ToHex()));
     return;
   }
+  // Load-aware climbs target only the root: it is the one ancestor guaranteed to
+  // hold a forwarding pointer for every registered OID, so its alternates can
+  // absorb load from their sideways-filled caches. A mid-tree parent's alternate
+  // would instead climb past its pointer-holding sibling, pushing the very traffic
+  // power-of-two choices is meant to spread up to the root.
+  RouteMode climb_mode =
+      depth_ == 1 ? options_.lookup_route_mode : RouteMode::kHashOnly;
+  auto target = parent_.TryRoute(req.oid, *client_, climb_mode);
+  if (!target.ok()) {
+    respond(target.status());
+    return;
+  }
   ++stats_.forwards_up;
   LookupWireRequest forward = req;
   ++forward.hops;
-  client_->Call(parent_.Route(req.oid), "gls.lookup", forward.Serialize(),
-                [respond = std::move(respond)](Result<Bytes> result) {
-                  respond(std::move(result));
-                });
+  kGlsLookup.Call(client_.get(), *target, forward,
+                  [respond = std::move(respond)](Result<LookupResponse> result) {
+                    respond(std::move(result));
+                  });
 }
 
-void DirectorySubnode::HandleLookupBatch(const sim::RpcContext&, ByteSpan request,
-                                         sim::RpcServer::Responder respond) {
-  ++stats_.batch_lookups;
-  auto parsed = BatchLookupRequest::Deserialize(request);
-  if (!parsed.ok()) {
-    respond(parsed.status());
+void DirectorySubnode::ApplyDelete(const ObjectId& oid, const ContactAddress& address,
+                                   EmptyResponder respond) {
+  ++stats_.deletes;
+  auto it = addresses_.find(oid);
+  if (it == addresses_.end()) {
+    respond(NotFound("no such contact address registered"));
     return;
   }
-  if (parsed->oids.empty()) {
-    ByteWriter w;
-    w.WriteVarint(0);
-    respond(w.Take());
+  auto& at_oid = it->second;
+  auto pos = std::find(at_oid.begin(), at_oid.end(), address);
+  if (pos == at_oid.end()) {
+    respond(NotFound("no such contact address registered"));
     return;
   }
-
-  struct BatchState {
-    std::vector<Result<Bytes>> results;
-    size_t remaining = 0;
-    sim::RpcServer::Responder respond;
-  };
-  auto state = std::make_shared<BatchState>();
-  state->results.assign(parsed->oids.size(), Result<Bytes>(Unavailable("pending")));
-  state->remaining = parsed->oids.size();
-  state->respond = std::move(respond);
-
-  for (size_t i = 0; i < parsed->oids.size(); ++i) {
-    ++stats_.lookups;
-    LookupWireRequest item;
-    item.oid = parsed->oids[i];
-    item.allow_cached = parsed->allow_cached;
-    ResolveLookup(item, [state, i](Result<Bytes> result) {
-      state->results[i] = std::move(result);
-      if (--state->remaining > 0) {
-        return;
-      }
-      ByteWriter w;
-      w.WriteVarint(state->results.size());
-      for (const auto& item_result : state->results) {
-        if (item_result.ok()) {
-          w.WriteU8(0);
-          w.WriteLengthPrefixed(*item_result);
-        } else {
-          w.WriteU8(static_cast<uint8_t>(item_result.status().code()));
-          w.WriteString(item_result.status().message());
-        }
-      }
-      state->respond(w.Take());
-    });
+  at_oid.erase(pos);
+  InvalidateCached(oid, /*quarantine=*/true);
+  if (!at_oid.empty()) {
+    // Other addresses remain here; the chain stays, but caches above and beside us
+    // must not keep serving the removed address.
+    PropagateInvalUp(oid, /*include_siblings=*/true, std::move(respond));
+    return;
   }
+  addresses_.erase(it);
+  // No addresses left here; if no pointers either, prune the chain above.
+  if (NumPointers(oid) > 0) {
+    PropagateInvalUp(oid, /*include_siblings=*/true, std::move(respond));
+    return;
+  }
+  PropagateRemoveUp(oid, std::move(respond));
 }
 
-void DirectorySubnode::HandleInsert(const sim::RpcContext& context, ByteSpan request,
-                                    sim::RpcServer::Responder respond) {
-  if (Status s = CheckAuthorized(context); !s.ok()) {
-    ++stats_.denied;
-    respond(s);
-    return;
-  }
-  auto parsed = AddressRequest::Deserialize(request);
-  if (!parsed.ok()) {
-    respond(parsed.status());
-    return;
-  }
-  ++stats_.inserts;
-  InvalidateCached(parsed->oid);
-  auto& at_oid = addresses_[parsed->oid];
-  if (std::find(at_oid.begin(), at_oid.end(), parsed->address) == at_oid.end()) {
-    at_oid.push_back(parsed->address);
-  }
-  PropagatePointerUp(parsed->oid, std::move(respond));
-}
-
-void DirectorySubnode::HandleInsertBatch(const sim::RpcContext& context, ByteSpan request,
-                                         sim::RpcServer::Responder respond) {
-  if (Status s = CheckAuthorized(context); !s.ok()) {
-    ++stats_.denied;
-    respond(s);
-    return;
-  }
-  auto parsed = BatchAddressRequest::Deserialize(request);
-  if (!parsed.ok()) {
-    respond(parsed.status());
-    return;
-  }
-  ++stats_.batch_inserts;
-  std::vector<ObjectId> to_propagate;
-  std::set<ObjectId> seen;
-  for (const auto& [oid, address] : parsed->items) {
-    ++stats_.inserts;
-    InvalidateCached(oid);
-    auto& at_oid = addresses_[oid];
-    if (std::find(at_oid.begin(), at_oid.end(), address) == at_oid.end()) {
-      at_oid.push_back(address);
-    }
-    if (seen.insert(oid).second) {
-      to_propagate.push_back(oid);
-    }
-  }
-  PropagatePointerUpBatch(to_propagate, std::move(respond));
-}
-
-void DirectorySubnode::PropagatePointerUp(const ObjectId& oid,
-                                          sim::RpcServer::Responder respond) {
+void DirectorySubnode::PropagatePointerUp(const ObjectId& oid, EmptyResponder respond) {
   if (parent_.empty()) {
-    respond(Bytes{});
+    respond(sim::EmptyMessage{});
     return;
   }
   PointerRequest up{oid, domain_};
-  client_->Call(parent_.Route(oid), "gls.install_ptr", up.Serialize(),
-                [respond = std::move(respond)](Result<Bytes> result) {
-                  respond(std::move(result));
-                });
+  kGlsInstallPtr.Call(client_.get(), parent_.Route(oid), up, std::move(respond));
 }
 
 void DirectorySubnode::PropagatePointerUpBatch(const std::vector<ObjectId>& oids,
-                                               sim::RpcServer::Responder respond) {
+                                               EmptyResponder respond) {
   if (parent_.empty() || oids.empty()) {
-    respond(Bytes{});
+    respond(sim::EmptyMessage{});
     return;
   }
   // One install_ptr_batch message per parent subnode the OIDs hash to.
@@ -551,195 +829,62 @@ void DirectorySubnode::PropagatePointerUpBatch(const std::vector<ObjectId>& oids
   for (const ObjectId& oid : oids) {
     groups[parent_.SubnodeIndex(oid)].push_back(oid);
   }
-  auto remaining = std::make_shared<size_t>(groups.size());
-  auto first_error = std::make_shared<Status>(OkStatus());
-  auto shared_respond =
-      std::make_shared<sim::RpcServer::Responder>(std::move(respond));
+  EmptyCallback join = JoinEmpty(groups.size(), std::move(respond));
   for (auto& [subnode_index, group] : groups) {
     BatchPointerRequest up{domain_, std::move(group)};
-    client_->Call(parent_.subnodes[subnode_index], "gls.install_ptr_batch",
-                  up.Serialize(),
-                  [remaining, first_error, shared_respond](Result<Bytes> result) {
-                    if (!result.ok() && first_error->ok()) {
-                      *first_error = result.status();
-                    }
-                    if (--*remaining > 0) {
-                      return;
-                    }
-                    if (first_error->ok()) {
-                      (*shared_respond)(Bytes{});
-                    } else {
-                      (*shared_respond)(*first_error);
-                    }
-                  });
+    kGlsInstallPtrBatch.Call(client_.get(), parent_.subnodes[subnode_index], up, join);
   }
 }
 
-void DirectorySubnode::HandleInstallPtr(const sim::RpcContext& context, ByteSpan request,
-                                        sim::RpcServer::Responder respond) {
-  if (Status s = CheckAuthorized(context); !s.ok()) {
-    ++stats_.denied;
-    respond(s);
+void DirectorySubnode::PropagateRemoveUp(const ObjectId& oid, EmptyResponder respond) {
+  // With caching on, this node's siblings may hold sideways-filled entries for the
+  // OID; drop those alongside the upward prune.
+  std::vector<sim::Endpoint> sibling_invals =
+      options_.enable_cache ? SiblingEndpoints() : std::vector<sim::Endpoint>{};
+  size_t calls = sibling_invals.size() + (parent_.empty() ? 0 : 1);
+  if (calls == 0) {
+    respond(sim::EmptyMessage{});
     return;
   }
-  auto parsed = PointerRequest::Deserialize(request);
-  if (!parsed.ok()) {
-    respond(parsed.status());
-    return;
+  EmptyCallback join = JoinEmpty(calls, std::move(respond));
+  PointerRequest up{oid, domain_};
+  if (!parent_.empty()) {
+    kGlsRemovePtr.Call(client_.get(), parent_.Route(oid), up, join);
   }
-  ++stats_.pointer_installs;
-  InvalidateCached(parsed->oid);
-  bool was_new = pointers_[parsed->oid].insert(parsed->child_domain).second;
-  if (!was_new || parent_.empty()) {
-    // The chain above already exists (or we are the root): done.
-    respond(Bytes{});
-    return;
+  for (const sim::Endpoint& sibling : sibling_invals) {
+    kGlsInvalCache.Call(client_.get(), sibling, up, join);
   }
-  PropagatePointerUp(parsed->oid, std::move(respond));
 }
 
-void DirectorySubnode::HandleInstallPtrBatch(const sim::RpcContext& context,
-                                             ByteSpan request,
-                                             sim::RpcServer::Responder respond) {
-  if (Status s = CheckAuthorized(context); !s.ok()) {
-    ++stats_.denied;
-    respond(s);
+void DirectorySubnode::PropagateInvalUp(const ObjectId& oid, bool include_siblings,
+                                        EmptyResponder respond) {
+  // Without caching there is nothing stale anywhere: keep the old single-message
+  // delete cost. With caching, the fan-out reaches every subnode of every ancestor
+  // node (and optionally this node's siblings) so no subnode can serve the
+  // deregistered address from its cache — the home subnode at each level carries
+  // the chain further up, its siblings stop after invalidating locally.
+  if (!options_.enable_cache) {
+    respond(sim::EmptyMessage{});
     return;
   }
-  auto parsed = BatchPointerRequest::Deserialize(request);
-  if (!parsed.ok()) {
-    respond(parsed.status());
-    return;
-  }
-  std::vector<ObjectId> continue_up;
-  for (const ObjectId& oid : parsed->oids) {
-    ++stats_.pointer_installs;
-    InvalidateCached(oid);
-    if (pointers_[oid].insert(parsed->child_domain).second) {
-      continue_up.push_back(oid);
+  std::vector<sim::Endpoint> targets;
+  if (include_siblings) {
+    for (const sim::Endpoint& sibling : SiblingEndpoints()) {
+      targets.push_back(sibling);
     }
   }
-  // Only freshly installed pointers need the chain extended above us.
-  PropagatePointerUpBatch(continue_up, std::move(respond));
-}
-
-void DirectorySubnode::HandleDelete(const sim::RpcContext& context, ByteSpan request,
-                                    sim::RpcServer::Responder respond) {
-  if (Status s = CheckAuthorized(context); !s.ok()) {
-    ++stats_.denied;
-    respond(s);
+  for (const sim::Endpoint& parent_subnode : parent_.subnodes) {
+    targets.push_back(parent_subnode);
+  }
+  if (targets.empty()) {
+    respond(sim::EmptyMessage{});
     return;
   }
-  auto parsed = AddressRequest::Deserialize(request);
-  if (!parsed.ok()) {
-    respond(parsed.status());
-    return;
-  }
-  ++stats_.deletes;
-  auto it = addresses_.find(parsed->oid);
-  if (it == addresses_.end()) {
-    respond(NotFound("no such contact address registered"));
-    return;
-  }
-  auto& at_oid = it->second;
-  auto pos = std::find(at_oid.begin(), at_oid.end(), parsed->address);
-  if (pos == at_oid.end()) {
-    respond(NotFound("no such contact address registered"));
-    return;
-  }
-  at_oid.erase(pos);
-  InvalidateCached(parsed->oid);
-  if (!at_oid.empty()) {
-    // Other addresses remain here; the chain stays, but ancestor caches must not
-    // keep serving the removed address.
-    PropagateInvalUp(parsed->oid, std::move(respond));
-    return;
-  }
-  addresses_.erase(it);
-  // No addresses left here; if no pointers either, prune the chain above.
-  if (NumPointers(parsed->oid) > 0) {
-    PropagateInvalUp(parsed->oid, std::move(respond));
-    return;
-  }
-  PropagateRemoveUp(parsed->oid, std::move(respond));
-}
-
-void DirectorySubnode::PropagateRemoveUp(const ObjectId& oid,
-                                         sim::RpcServer::Responder respond) {
-  if (parent_.empty()) {
-    respond(Bytes{});
-    return;
-  }
+  EmptyCallback join = JoinEmpty(targets.size(), std::move(respond));
   PointerRequest up{oid, domain_};
-  client_->Call(parent_.Route(oid), "gls.remove_ptr", up.Serialize(),
-                [respond = std::move(respond)](Result<Bytes> result) {
-                  respond(std::move(result));
-                });
-}
-
-void DirectorySubnode::PropagateInvalUp(const ObjectId& oid,
-                                        sim::RpcServer::Responder respond) {
-  // Without caching there is nothing stale above us: keep the old single-message
-  // delete cost. With caching, the chain runs to the root so no ancestor can serve
-  // the deregistered address from its cache.
-  if (!options_.enable_cache || parent_.empty()) {
-    respond(Bytes{});
-    return;
+  for (const sim::Endpoint& target : targets) {
+    kGlsInvalCache.Call(client_.get(), target, up, join);
   }
-  PointerRequest up{oid, domain_};
-  client_->Call(parent_.Route(oid), "gls.inval_cache", up.Serialize(),
-                [respond = std::move(respond)](Result<Bytes> result) {
-                  respond(std::move(result));
-                });
-}
-
-void DirectorySubnode::HandleInvalCache(const sim::RpcContext& context, ByteSpan request,
-                                        sim::RpcServer::Responder respond) {
-  // Cache purges are mutations of serving state: same authorization as the other
-  // internal chain methods (a cached answer must never outlive a delete, but an
-  // unauthenticated peer must not be able to flush caches either).
-  if (Status s = CheckAuthorized(context); !s.ok()) {
-    ++stats_.denied;
-    respond(s);
-    return;
-  }
-  auto parsed = PointerRequest::Deserialize(request);
-  if (!parsed.ok()) {
-    respond(parsed.status());
-    return;
-  }
-  InvalidateCached(parsed->oid);
-  PropagateInvalUp(parsed->oid, std::move(respond));
-}
-
-void DirectorySubnode::HandleRemovePtr(const sim::RpcContext& context, ByteSpan request,
-                                       sim::RpcServer::Responder respond) {
-  if (Status s = CheckAuthorized(context); !s.ok()) {
-    ++stats_.denied;
-    respond(s);
-    return;
-  }
-  auto parsed = PointerRequest::Deserialize(request);
-  if (!parsed.ok()) {
-    respond(parsed.status());
-    return;
-  }
-  ++stats_.pointer_removes;
-  InvalidateCached(parsed->oid);
-  auto it = pointers_.find(parsed->oid);
-  if (it != pointers_.end()) {
-    it->second.erase(parsed->child_domain);
-    if (it->second.empty()) {
-      pointers_.erase(it);
-    }
-  }
-  if (NumPointers(parsed->oid) == 0 && NumAddresses(parsed->oid) == 0) {
-    PropagateRemoveUp(parsed->oid, std::move(respond));
-    return;
-  }
-  // The chain stops pruning here, but ancestors may still cache the removed
-  // subtree's addresses.
-  PropagateInvalUp(parsed->oid, std::move(respond));
 }
 
 Bytes DirectorySubnode::SaveState() const {
@@ -804,15 +949,56 @@ Status DirectorySubnode::RestoreState(ByteSpan data) {
   return OkStatus();
 }
 
-GlsClient::GlsClient(sim::Transport* transport, sim::NodeId node, DirectoryRef leaf_directory)
+// ---------------------------------------------------------------- GlsClient
+
+namespace {
+
+// Shared by InsertBatch and DeleteBatch: group the items by home subnode, issue one
+// batch call per group, aggregate the first error.
+void CallAddressBatches(
+    sim::Channel* rpc, const DirectoryRef& leaf,
+    const sim::TypedMethod<BatchAddressRequest, sim::EmptyMessage>& method,
+    const std::vector<std::pair<ObjectId, ContactAddress>>& items,
+    sim::CallOptions options, GlsClient::DoneCallback done) {
+  if (leaf.empty()) {
+    done(FailedPrecondition("GLS client has no leaf directory"));
+    return;
+  }
+  if (items.empty()) {
+    done(OkStatus());
+    return;
+  }
+  std::map<size_t, BatchAddressRequest> groups;
+  for (const auto& item : items) {
+    groups[leaf.SubnodeIndex(item.first)].items.push_back(item);
+  }
+  EmptyCallback join =
+      JoinEmpty(groups.size(), [done = std::move(done)](Result<sim::EmptyMessage> r) {
+        done(r.ok() ? OkStatus() : r.status());
+      });
+  for (auto& [subnode_index, group] : groups) {
+    method.Call(rpc, leaf.subnodes[subnode_index], group, join, options);
+  }
+}
+
+}  // namespace
+
+GlsClient::GlsClient(sim::Transport* transport, sim::NodeId node,
+                     DirectoryRef leaf_directory)
     : rpc_(transport, node), leaf_(std::move(leaf_directory)) {}
+
+sim::CallOptions GlsClient::MakeCallOptions() const {
+  sim::CallOptions options;
+  options.retry = retry_;
+  return options;
+}
 
 void GlsClient::Lookup(const ObjectId& oid, LookupCallback done) {
   Lookup(oid, allow_cached_, std::move(done));
 }
 
 void GlsClient::Lookup(const ObjectId& oid, bool allow_cached, LookupCallback done) {
-  auto target = leaf_.TryRoute(oid);
+  auto target = leaf_.TryRoute(oid, rpc_, route_mode_);
   if (!target.ok()) {
     done(target.status());
     return;
@@ -820,14 +1006,17 @@ void GlsClient::Lookup(const ObjectId& oid, bool allow_cached, LookupCallback do
   LookupWireRequest request;
   request.oid = oid;
   request.allow_cached = allow_cached ? 1 : 0;
-  rpc_.Call(*target, "gls.lookup", request.Serialize(),
-            [done = std::move(done)](Result<Bytes> result) {
-              if (!result.ok()) {
-                done(result.status());
-                return;
-              }
-              done(ParseLookupResult(*result));
-            });
+  kGlsLookup.Call(&rpc_, *target, request,
+                  [done = std::move(done)](Result<LookupResponse> result) {
+                    if (!result.ok()) {
+                      done(result.status());
+                      return;
+                    }
+                    done(LookupResult{std::move(result->addresses), result->hops,
+                                      result->found_depth, result->apex_depth,
+                                      result->from_cache != 0});
+                  },
+                  MakeCallOptions());
 }
 
 void GlsClient::LookupBatch(const std::vector<ObjectId>& oids, BatchLookupCallback done) {
@@ -863,49 +1052,30 @@ void GlsClient::LookupBatch(const std::vector<ObjectId>& oids, BatchLookupCallba
       group_request.oids.push_back(oids[i]);
     }
     group_request.allow_cached = allow_cached_ ? 1 : 0;
-    rpc_.Call(leaf_.subnodes[subnode_index], "gls.lookup_batch", group_request.Serialize(),
-              [state, indices = std::move(indices)](Result<Bytes> result) {
-                if (!result.ok()) {
-                  for (size_t i : indices) {
-                    state->results[i] = result.status();
-                  }
-                } else {
-                  ByteReader r(*result);
-                  auto count = r.ReadVarint();
-                  bool well_formed = count.ok() && *count == indices.size();
-                  for (size_t k = 0; well_formed && k < indices.size(); ++k) {
-                    auto code = r.ReadU8();
-                    if (!code.ok()) {
-                      well_formed = false;
-                      break;
-                    }
-                    if (*code == 0) {
-                      auto payload = r.ReadLengthPrefixed();
-                      if (!payload.ok()) {
-                        well_formed = false;
-                        break;
-                      }
-                      state->results[indices[k]] = ParseLookupResult(*payload);
-                    } else {
-                      auto message = r.ReadString();
-                      if (!message.ok() || *code > static_cast<uint8_t>(StatusCode::kDataLoss)) {
-                        well_formed = false;
-                        break;
-                      }
-                      state->results[indices[k]] =
-                          Status(static_cast<StatusCode>(*code), std::move(*message));
-                    }
-                  }
-                  if (!well_formed) {
-                    for (size_t i : indices) {
-                      state->results[i] = InvalidArgument("malformed lookup batch response");
-                    }
-                  }
-                }
-                if (--state->remaining == 0) {
-                  state->done(std::move(state->results));
-                }
-              });
+    kGlsLookupBatch.Call(
+        &rpc_, leaf_.subnodes[subnode_index], group_request,
+        [state, indices = std::move(indices)](Result<BatchLookupResponse> result) {
+          if (!result.ok()) {
+            for (size_t i : indices) {
+              state->results[i] = result.status();
+            }
+          } else if (result->items.size() != indices.size()) {
+            for (size_t i : indices) {
+              state->results[i] = InvalidArgument("malformed lookup batch response");
+            }
+          } else {
+            for (size_t k = 0; k < indices.size(); ++k) {
+              const Result<Bytes>& item = result->items[k];
+              state->results[indices[k]] =
+                  item.ok() ? ParseLookupResult(*item)
+                            : Result<LookupResult>(item.status());
+            }
+          }
+          if (--state->remaining == 0) {
+            state->done(std::move(state->results));
+          }
+        },
+        MakeCallOptions());
   }
 }
 
@@ -916,41 +1086,17 @@ void GlsClient::Insert(const ObjectId& oid, const ContactAddress& address,
     done(target.status());
     return;
   }
-  AddressRequest request{oid, address};
-  rpc_.Call(*target, "gls.insert", request.Serialize(),
-            [done = std::move(done)](Result<Bytes> result) {
-              done(result.ok() ? OkStatus() : result.status());
-            });
+  kGlsInsert.Call(&rpc_, *target, AddressRequest{oid, address},
+                  [done = std::move(done)](Result<sim::EmptyMessage> result) {
+                    done(result.ok() ? OkStatus() : result.status());
+                  },
+                  MakeCallOptions());
 }
 
-void GlsClient::InsertBatch(const std::vector<std::pair<ObjectId, ContactAddress>>& items,
-                            DoneCallback done) {
-  if (leaf_.empty()) {
-    done(FailedPrecondition("GLS client has no leaf directory"));
-    return;
-  }
-  if (items.empty()) {
-    done(OkStatus());
-    return;
-  }
-  std::map<size_t, BatchAddressRequest> groups;
-  for (const auto& item : items) {
-    groups[leaf_.SubnodeIndex(item.first)].items.push_back(item);
-  }
-  auto remaining = std::make_shared<size_t>(groups.size());
-  auto first_error = std::make_shared<Status>(OkStatus());
-  auto shared_done = std::make_shared<DoneCallback>(std::move(done));
-  for (auto& [subnode_index, group] : groups) {
-    rpc_.Call(leaf_.subnodes[subnode_index], "gls.insert_batch", group.Serialize(),
-              [remaining, first_error, shared_done](Result<Bytes> result) {
-                if (!result.ok() && first_error->ok()) {
-                  *first_error = result.status();
-                }
-                if (--*remaining == 0) {
-                  (*shared_done)(*first_error);
-                }
-              });
-  }
+void GlsClient::InsertBatch(
+    const std::vector<std::pair<ObjectId, ContactAddress>>& items, DoneCallback done) {
+  CallAddressBatches(&rpc_, leaf_, kGlsInsertBatch, items, MakeCallOptions(),
+                     std::move(done));
 }
 
 void GlsClient::Delete(const ObjectId& oid, const ContactAddress& address,
@@ -960,11 +1106,17 @@ void GlsClient::Delete(const ObjectId& oid, const ContactAddress& address,
     done(target.status());
     return;
   }
-  AddressRequest request{oid, address};
-  rpc_.Call(*target, "gls.delete", request.Serialize(),
-            [done = std::move(done)](Result<Bytes> result) {
-              done(result.ok() ? OkStatus() : result.status());
-            });
+  kGlsDelete.Call(&rpc_, *target, AddressRequest{oid, address},
+                  [done = std::move(done)](Result<sim::EmptyMessage> result) {
+                    done(result.ok() ? OkStatus() : result.status());
+                  },
+                  MakeCallOptions());
+}
+
+void GlsClient::DeleteBatch(
+    const std::vector<std::pair<ObjectId, ContactAddress>>& items, DoneCallback done) {
+  CallAddressBatches(&rpc_, leaf_, kGlsDeleteBatch, items, MakeCallOptions(),
+                     std::move(done));
 }
 
 void GlsClient::AllocateOid(OidCallback done) {
@@ -972,17 +1124,15 @@ void GlsClient::AllocateOid(OidCallback done) {
     done(FailedPrecondition("GLS client has no leaf directory"));
     return;
   }
-  // Any subnode can allocate; spread the load by picking pseudo-randomly via a
-  // generated id's own hash.
-  rpc_.Call(leaf_.subnodes.front(), "gls.alloc_oid", {},
-            [done = std::move(done)](Result<Bytes> result) {
-              if (!result.ok()) {
-                done(result.status());
-                return;
-              }
-              ByteReader r(*result);
-              done(ObjectId::Deserialize(&r));
-            });
+  kGlsAllocOid.Call(&rpc_, leaf_.subnodes.front(), sim::EmptyMessage{},
+                    [done = std::move(done)](Result<OidMessage> result) {
+                      if (!result.ok()) {
+                        done(result.status());
+                        return;
+                      }
+                      done(result->oid);
+                    },
+                    MakeCallOptions());
 }
 
 }  // namespace globe::gls

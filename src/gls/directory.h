@@ -13,26 +13,34 @@
 // [Ballintijn and van Steen 1999a]. DirectoryRef is the client-visible handle: the
 // subnode set plus the hash routing rule.
 //
-// Two hot-path optimisations sit on top of the plain tree walk:
+// Three hot-path optimisations sit on top of the plain tree walk:
 //   - a per-subnode TTL'd lookup cache (src/gls/cache.h): nodes that forward a
-//     lookup *down* remember the returned contact addresses, so repeat lookups for
-//     hot OIDs stop at the apex instead of re-walking the descent,
-//   - batched registration: gls.insert_batch registers many (OID, address) pairs in
-//     one round trip, and the forwarding-pointer chain is installed with batched
-//     gls.install_ptr_batch hops — a Globe Object Server re-registering N replicas
-//     pays one client round trip instead of N.
+//     lookup *down* (or sideways to the OID's home sibling) remember the returned
+//     contact addresses, so repeat lookups for hot OIDs stop at the apex instead of
+//     re-walking the descent,
+//   - batched registration: gls.insert_batch / gls.delete_batch register or
+//     deregister many (OID, address) pairs in one round trip, and the
+//     forwarding-pointer chain is installed with batched gls.install_ptr_batch hops,
+//   - load-aware routing: lookups may route with power-of-two choices
+//     (RouteMode::kPowerOfTwoChoices) using the issuing Channel's PeerLoad signal,
+//     so a hot OID's requests split between its home subnode and one deterministic
+//     alternate instead of pinning the home. A subnode that receives a lookup it is
+//     not the hash home for answers from its cache or hands the lookup sideways to
+//     the home sibling; mutations always route strictly by hash.
 //
 // RPC methods (port sim::kPortGls on each subnode's host):
-//   gls.lookup            : LookupRequest -> LookupResponse
+//   gls.lookup            : LookupWireRequest -> LookupResponse
 //   gls.lookup_batch      : oids, allow_cached -> per-OID LookupResponse/status
 //   gls.insert            : oid, contact address -> empty   (stores + installs pointers)
 //   gls.insert_batch      : (oid, address) pairs -> empty   (same, one round trip)
 //   gls.delete            : oid, contact address -> empty   (removes + prunes pointers)
+//   gls.delete_batch      : (oid, address) pairs -> empty   (same, one round trip)
 //   gls.install_ptr       : oid, child domain -> empty      (internal, child -> parent)
 //   gls.install_ptr_batch : child domain, oids -> empty     (internal, child -> parent)
 //   gls.remove_ptr        : oid, child domain -> empty      (internal, child -> parent)
 //   gls.inval_cache       : oid, child domain -> empty      (internal: delete-driven
-//                           cache invalidation chained towards the root)
+//                           cache invalidation chained towards the root, fanned out
+//                           to every subnode of each ancestor node)
 //   gls.alloc_oid         : empty -> oid                    (OID allocation, §6.1)
 
 #ifndef SRC_GLS_DIRECTORY_H_
@@ -51,6 +59,14 @@
 #include "src/sim/topology.h"
 
 namespace globe::gls {
+
+// How a lookup picks among a directory node's subnodes. Mutations always use the
+// OID's hash home regardless of mode — partitioned state must stay partitioned.
+enum class RouteMode : uint8_t {
+  kHashOnly = 0,          // the OID's hash home, always
+  kPowerOfTwoChoices = 1  // home vs. one deterministic alternate, whichever the
+                          // issuing Channel observes as less loaded
+};
 
 // Handle to a (possibly partitioned) directory node: route by OID hash.
 struct DirectoryRef {
@@ -72,11 +88,22 @@ struct DirectoryRef {
     return subnodes[SubnodeIndex(oid)];
   }
 
+  // Load-aware routing for lookups: under kPowerOfTwoChoices, picks between the
+  // OID's home subnode and its deterministic alternate, whichever `channel` has
+  // observed as less loaded (outstanding depth, then EWMA latency). Falls back to
+  // the home subnode on ties, in kHashOnly mode, and on unpartitioned nodes.
+  Result<sim::Endpoint> TryRoute(const ObjectId& oid, const sim::Channel& channel,
+                                 RouteMode mode) const;
+
   // The subnode slot an OID hashes to (valid only for a non-empty ref).
   size_t SubnodeIndex(const ObjectId& oid) const {
     assert(!subnodes.empty() && "DirectoryRef::SubnodeIndex on an empty ref");
     return oid.Hash() % subnodes.size();
   }
+
+  // The second-choice slot for power-of-two routing: a deterministic function of
+  // the OID so a hot OID's load splits across exactly two subnodes.
+  size_t AlternateIndex(const ObjectId& oid) const;
 };
 
 // gls.lookup wire format; defined in directory.cc (subnodes forward it, GlsClient
@@ -85,7 +112,7 @@ struct LookupWireRequest;
 
 struct LookupResponse {
   std::vector<ContactAddress> addresses;
-  uint32_t hops = 0;       // directory-to-directory messages traversed
+  uint32_t hops = 0;        // directory-to-directory messages traversed
   int32_t found_depth = 0;  // tree depth of the node holding the addresses
   int32_t apex_depth = 0;   // highest (smallest-depth) node the lookup visited
   uint8_t from_cache = 0;   // 1 when a subnode's lookup cache produced the answer
@@ -101,17 +128,24 @@ struct GlsOptions {
   // authenticated peer whose registry role is kGdnHost or kAdministrator.
   bool enforce_authorization = false;
 
-  // Per-subnode lookup cache (src/gls/cache.h). Populated on lookup descent,
-  // consulted only for lookups that set allow_cached, never for mutations, and
-  // invalidated whenever a mutation touches the OID at this node. When enabled,
-  // deletes additionally chain a gls.inval_cache towards the root so no ancestor
-  // serves a deregistered address from cache.
-  // The TTL is virtual time. Note for synchronous test/bench drivers: draining the
-  // simulator after an operation also runs its pending 30 s RPC-timeout events, so
-  // the clock advances ~30 s per drained step — size TTLs well above that.
+  // Per-subnode lookup cache (src/gls/cache.h). Populated on lookup descent (and on
+  // sideways forwards under power-of-two routing), consulted only for lookups that
+  // set allow_cached, never for mutations, and invalidated whenever a mutation
+  // touches the OID at this node. When enabled, deletes additionally chain a
+  // gls.inval_cache towards the root — fanned out to every subnode of each ancestor
+  // node — so no subnode anywhere serves a deregistered address from cache.
   bool enable_cache = false;
-  sim::SimTime cache_ttl = 300 * sim::kSecond;
+  sim::SimTime cache_ttl = 30 * sim::kSecond;
   size_t cache_max_entries = 4096;
+
+  // Routing mode this subnode uses for the lookups it forwards (climbs, descents).
+  RouteMode lookup_route_mode = RouteMode::kHashOnly;
+
+  // Per-request processing cost of this subnode (0 = instantaneous). With a
+  // non-zero value requests queue FIFO on the subnode's single virtual CPU, which
+  // is what makes load imbalance visible as tail latency (see
+  // bench_gls_partitioning's skew table).
+  sim::SimTime service_time = 0;
 };
 
 struct SubnodeStats {
@@ -119,6 +153,7 @@ struct SubnodeStats {
   uint64_t found_local = 0;
   uint64_t forwards_up = 0;
   uint64_t forwards_down = 0;
+  uint64_t forwards_sideways = 0;  // lookups handed to the OID's home sibling
   uint64_t inserts = 0;
   uint64_t deletes = 0;
   uint64_t pointer_installs = 0;
@@ -129,6 +164,7 @@ struct SubnodeStats {
   uint64_t cache_invalidations = 0;  // cache entries dropped by mutations
   uint64_t batch_lookups = 0;        // gls.lookup_batch requests served
   uint64_t batch_inserts = 0;        // gls.insert_batch requests served
+  uint64_t batch_deletes = 0;        // gls.delete_batch requests served
 };
 
 class DirectorySubnode {
@@ -141,6 +177,10 @@ class DirectorySubnode {
   void AddChild(sim::DomainId child_domain, DirectoryRef ref) {
     children_[child_domain] = std::move(ref);
   }
+  // The full subnode set of this subnode's own directory node (including itself);
+  // needed to recognise lookups routed here by power-of-two choices and hand them
+  // to the OID's home sibling. Optional: without it every OID is treated as local.
+  void SetSelf(DirectoryRef self);
 
   sim::Endpoint endpoint() const { return server_.endpoint(); }
   sim::NodeId host() const { return server_.node(); }
@@ -164,49 +204,49 @@ class DirectorySubnode {
   static constexpr uint8_t kPhaseUp = 0;
   static constexpr uint8_t kPhaseDown = 1;
 
-  void HandleLookup(const sim::RpcContext& context, ByteSpan request,
-                    sim::RpcServer::Responder respond);
-  void HandleLookupBatch(const sim::RpcContext& context, ByteSpan request,
-                         sim::RpcServer::Responder respond);
-  void HandleInsert(const sim::RpcContext& context, ByteSpan request,
-                    sim::RpcServer::Responder respond);
-  void HandleInsertBatch(const sim::RpcContext& context, ByteSpan request,
-                         sim::RpcServer::Responder respond);
-  void HandleDelete(const sim::RpcContext& context, ByteSpan request,
-                    sim::RpcServer::Responder respond);
-  void HandleInstallPtr(const sim::RpcContext& context, ByteSpan request,
-                        sim::RpcServer::Responder respond);
-  void HandleInstallPtrBatch(const sim::RpcContext& context, ByteSpan request,
-                             sim::RpcServer::Responder respond);
-  void HandleRemovePtr(const sim::RpcContext& context, ByteSpan request,
-                       sim::RpcServer::Responder respond);
-  void HandleInvalCache(const sim::RpcContext& context, ByteSpan request,
-                        sim::RpcServer::Responder respond);
+  using LookupResponder = std::function<void(Result<LookupResponse>)>;
+  using EmptyResponder = std::function<void(Result<sim::EmptyMessage>)>;
 
   Status CheckAuthorized(const sim::RpcContext& context) const;
 
   // Lookup core shared by gls.lookup and gls.lookup_batch: local addresses, then the
-  // cache (when allowed), then pointer descent / parent climb.
-  void ResolveLookup(LookupWireRequest request, sim::RpcServer::Responder respond);
+  // cache (when allowed), then pointer descent / sideways handoff / parent climb.
+  void ResolveLookup(LookupWireRequest request, LookupResponder respond);
+
+  // True when this subnode is not the hash home for `oid` on its own node (i.e. a
+  // power-of-two alternate received the lookup).
+  bool IsAlternateFor(const ObjectId& oid) const;
 
   // Drops the cache entry for `oid` if present (mutations must never leave a cached
-  // answer the mutation contradicts).
-  void InvalidateCached(const ObjectId& oid);
+  // answer the mutation contradicts). `quarantine` additionally blocks re-caching
+  // briefly; deregistration paths need it, insert paths do not (see LookupCache).
+  void InvalidateCached(const ObjectId& oid, bool quarantine);
+
+  // One deregistration applied locally plus its coherence chain; shared by
+  // gls.delete and gls.delete_batch.
+  void ApplyDelete(const ObjectId& oid, const ContactAddress& address,
+                   EmptyResponder respond);
 
   // Continues an insert by installing the forwarding pointer chain towards the root,
   // then responds.
-  void PropagatePointerUp(const ObjectId& oid, sim::RpcServer::Responder respond);
+  void PropagatePointerUp(const ObjectId& oid, EmptyResponder respond);
   // Batched equivalent: one install_ptr_batch message per parent subnode.
-  void PropagatePointerUpBatch(const std::vector<ObjectId>& oids,
-                               sim::RpcServer::Responder respond);
-  // Continues a delete by pruning the pointer chain, then responds.
-  void PropagateRemoveUp(const ObjectId& oid, sim::RpcServer::Responder respond);
-  // Continues a delete that stopped pruning by invalidating ancestor caches up to
-  // the root, then responds. No-op (immediate respond) when caching is off.
-  void PropagateInvalUp(const ObjectId& oid, sim::RpcServer::Responder respond);
+  void PropagatePointerUpBatch(const std::vector<ObjectId>& oids, EmptyResponder respond);
+  // Continues a delete by pruning the pointer chain (and, with caching on,
+  // invalidating this node's sibling caches), then responds.
+  void PropagateRemoveUp(const ObjectId& oid, EmptyResponder respond);
+  // Continues a delete that stopped pruning by invalidating every subnode of every
+  // ancestor node up to the root (`include_siblings` additionally covers this
+  // node's own siblings — used where the chain originates or arrives point-to-
+  // point), then responds. No-op (immediate respond) when caching is off.
+  void PropagateInvalUp(const ObjectId& oid, bool include_siblings,
+                        EmptyResponder respond);
+
+  // This subnode's sibling endpoints (empty if SetSelf was never called).
+  std::vector<sim::Endpoint> SiblingEndpoints() const;
 
   sim::RpcServer server_;
-  std::unique_ptr<sim::RpcClient> client_;
+  std::unique_ptr<sim::Channel> client_;
   sim::Simulator* clock_;
   sim::DomainId domain_;
   int depth_;
@@ -215,6 +255,7 @@ class DirectorySubnode {
   Rng rng_;
 
   DirectoryRef parent_;
+  DirectoryRef self_;
   std::map<sim::DomainId, DirectoryRef> children_;
   std::map<ObjectId, std::vector<ContactAddress>> addresses_;
   std::map<ObjectId, std::set<sim::DomainId>> pointers_;
@@ -237,7 +278,8 @@ class GlsClient {
   GlsClient(sim::Transport* transport, sim::NodeId node, DirectoryRef leaf_directory);
 
   using LookupCallback = std::function<void(Result<LookupResult>)>;
-  using BatchLookupCallback = std::function<void(Result<std::vector<Result<LookupResult>>>)>;
+  using BatchLookupCallback =
+      std::function<void(Result<std::vector<Result<LookupResult>>>)>;
   using DoneCallback = std::function<void(Status)>;
   using OidCallback = std::function<void(Result<ObjectId>)>;
 
@@ -246,7 +288,7 @@ class GlsClient {
   // (TTL-bounded staleness in exchange for fewer directory hops).
   void Lookup(const ObjectId& oid, bool allow_cached, LookupCallback done);
   // Resolves many OIDs in one round trip per leaf subnode. The result vector is
-  // positional: results[i] belongs to oids[i].
+  // positional: results[i] belongs to oids[i]. Batches always group by hash home.
   void LookupBatch(const std::vector<ObjectId>& oids, BatchLookupCallback done);
 
   void Insert(const ObjectId& oid, const ContactAddress& address, DoneCallback done);
@@ -255,18 +297,35 @@ class GlsClient {
   void InsertBatch(const std::vector<std::pair<ObjectId, ContactAddress>>& items,
                    DoneCallback done);
   void Delete(const ObjectId& oid, const ContactAddress& address, DoneCallback done);
+  // Deregisters many (OID, address) pairs in one round trip per leaf subnode; the
+  // aggregate status is OK only if every deregistration succeeded. Mirrors
+  // InsertBatch; used by GOS decommission.
+  void DeleteBatch(const std::vector<std::pair<ObjectId, ContactAddress>>& items,
+                   DoneCallback done);
   void AllocateOid(OidCallback done);
 
   // Default for the single-OID Lookup overload without an explicit flag.
   void set_allow_cached(bool allow) { allow_cached_ = allow; }
   bool allow_cached() const { return allow_cached_; }
 
+  // Routing mode for single-OID lookups (mutations always hash-route).
+  void set_route_mode(RouteMode mode) { route_mode_ = mode; }
+  RouteMode route_mode() const { return route_mode_; }
+
+  // Applied to every call this client issues (lookups and mutations alike).
+  void set_retry_policy(sim::RetryPolicy policy) { retry_ = std::move(policy); }
+
   const DirectoryRef& leaf_directory() const { return leaf_; }
+  const sim::Channel& channel() const { return rpc_; }
 
  private:
-  sim::RpcClient rpc_;
+  sim::CallOptions MakeCallOptions() const;
+
+  sim::Channel rpc_;
   DirectoryRef leaf_;
   bool allow_cached_ = false;
+  RouteMode route_mode_ = RouteMode::kHashOnly;
+  sim::RetryPolicy retry_;
 };
 
 }  // namespace globe::gls

@@ -8,134 +8,83 @@ namespace globe::gos {
 
 ObjectServer::ObjectServer(sim::Transport* transport, sim::NodeId host,
                            const dso::ImplementationRepository* repository,
-                           gls::DirectoryRef leaf_directory, const sec::KeyRegistry* registry,
-                           GosOptions options)
+                           gls::DirectoryRef leaf_directory,
+                           const sec::KeyRegistry* registry, GosOptions options)
     : transport_(transport),
       server_(transport, host, sim::kPortGos),
       gls_(transport, host, std::move(leaf_directory)),
       repository_(repository),
       registry_(registry),
       options_(std::move(options)) {
-  server_.RegisterAsyncMethod(
-      "gos.create_first_replica",
-      [this](const sim::RpcContext& ctx, ByteSpan request, sim::RpcServer::Responder respond) {
+  kGosCreateFirstReplica.RegisterAsync(
+      &server_,
+      [this](const sim::RpcContext& ctx, CreateFirstReplicaRequest request,
+             std::function<void(Result<CreateFirstReplicaResponse>)> respond) {
         if (Status s = CheckModerator(ctx); !s.ok()) {
           ++stats_.commands_denied;
           respond(s);
           return;
         }
-        ByteReader r(request);
-        auto protocol = r.ReadU16();
-        auto semantics_type = r.ReadU16();
-        if (!protocol.ok() || !semantics_type.ok()) {
-          respond(InvalidArgument("malformed create_first_replica"));
-          return;
-        }
-        // Optional trailer: maintainer principal ids (absent in older requests).
-        std::vector<sec::PrincipalId> maintainers;
-        if (!r.AtEnd()) {
-          auto count = r.ReadVarint();
-          if (count.ok()) {
-            for (uint64_t i = 0; i < *count; ++i) {
-              auto id = r.ReadU64();
-              if (!id.ok()) {
-                break;
-              }
-              maintainers.push_back(*id);
-            }
-          }
-        }
         CreateFirstReplica(
-            *protocol, *semantics_type,
+            request.protocol, request.semantics_type,
             [respond = std::move(respond)](
                 Result<std::pair<gls::ObjectId, gls::ContactAddress>> result) {
               if (!result.ok()) {
                 respond(result.status());
                 return;
               }
-              ByteWriter w;
-              result->first.Serialize(&w);
-              result->second.Serialize(&w);
-              respond(w.Take());
+              respond(CreateFirstReplicaResponse{result->first, result->second});
             },
-            std::move(maintainers));
+            std::move(request.maintainers));
       });
 
-  server_.RegisterAsyncMethod(
-      "gos.create_replica",
-      [this](const sim::RpcContext& ctx, ByteSpan request, sim::RpcServer::Responder respond) {
+  kGosCreateReplica.RegisterAsync(
+      &server_, [this](const sim::RpcContext& ctx, CreateReplicaRequest request,
+                       std::function<void(Result<CreateReplicaResponse>)> respond) {
         if (Status s = CheckModerator(ctx); !s.ok()) {
           ++stats_.commands_denied;
           respond(s);
           return;
         }
-        ByteReader r(request);
-        auto oid = gls::ObjectId::Deserialize(&r);
-        auto semantics_type = r.ReadU16();
-        auto role = r.ReadU8();
-        if (!oid.ok() || !semantics_type.ok() || !role.ok()) {
-          respond(InvalidArgument("malformed create_replica"));
-          return;
-        }
-        std::vector<sec::PrincipalId> maintainers;
-        if (!r.AtEnd()) {
-          auto count = r.ReadVarint();
-          if (count.ok()) {
-            for (uint64_t i = 0; i < *count; ++i) {
-              auto id = r.ReadU64();
-              if (!id.ok()) {
-                break;
-              }
-              maintainers.push_back(*id);
-            }
-          }
-        }
-        CreateReplica(*oid, *semantics_type, static_cast<gls::ReplicaRole>(*role),
+        CreateReplica(request.oid, request.semantics_type, request.role,
                       [respond = std::move(respond)](
                           Result<std::pair<gls::ObjectId, gls::ContactAddress>> result) {
                         if (!result.ok()) {
                           respond(result.status());
                           return;
                         }
-                        ByteWriter w;
-                        result->second.Serialize(&w);
-                        respond(w.Take());
+                        respond(CreateReplicaResponse{result->second});
                       },
-                      std::move(maintainers));
+                      std::move(request.maintainers));
       });
 
-  server_.RegisterAsyncMethod(
-      "gos.remove_replica",
-      [this](const sim::RpcContext& ctx, ByteSpan request, sim::RpcServer::Responder respond) {
+  kGosRemoveReplica.RegisterAsync(
+      &server_, [this](const sim::RpcContext& ctx, RemoveReplicaRequest request,
+                       std::function<void(Result<sim::EmptyMessage>)> respond) {
         if (Status s = CheckModerator(ctx); !s.ok()) {
           ++stats_.commands_denied;
           respond(s);
           return;
         }
-        ByteReader r(request);
-        auto oid = gls::ObjectId::Deserialize(&r);
-        if (!oid.ok()) {
-          respond(oid.status());
-          return;
-        }
-        RemoveReplica(*oid, [respond = std::move(respond)](Status status) {
+        RemoveReplica(request.oid, [respond = std::move(respond)](Status status) {
           if (status.ok()) {
-            respond(Bytes{});
+            respond(sim::EmptyMessage{});
           } else {
             respond(status);
           }
         });
       });
 
-  server_.RegisterMethod("gos.list_replicas",
-                         [this](const sim::RpcContext&, ByteSpan) -> Result<Bytes> {
-                           ByteWriter w;
-                           w.WriteVarint(replicas_.size());
-                           for (const auto& [oid, replica] : replicas_) {
-                             oid.Serialize(&w);
-                           }
-                           return w.Take();
-                         });
+  kGosListReplicas.Register(
+      &server_,
+      [this](const sim::RpcContext&,
+             const sim::EmptyMessage&) -> Result<ListReplicasResponse> {
+        ListReplicasResponse response;
+        for (const auto& [oid, replica] : replicas_) {
+          response.oids.push_back(oid);
+        }
+        return response;
+      });
 }
 
 Status ObjectServer::CheckModerator(const sim::RpcContext& context) const {
@@ -184,7 +133,8 @@ dso::WriteGuard ObjectServer::GuardFor(std::vector<sec::PrincipalId> maintainers
     return options_.replica_write_guard;
   }
   dso::WriteGuard base = options_.replica_write_guard;
-  return [base, maintainers = std::move(maintainers)](const sim::RpcContext& ctx) -> Status {
+  return [base, maintainers = std::move(maintainers)](
+             const sim::RpcContext& ctx) -> Status {
     if (base(ctx).ok()) {
       return OkStatus();
     }
@@ -230,28 +180,21 @@ void ObjectServer::CreateReplica(const gls::ObjectId& oid, uint16_t semantics_ty
       return;
     }
     sim::Endpoint nearest = lookup->addresses.front().endpoint;
-    auto client = std::make_shared<sim::RpcClient>(transport_, server_.node());
-    client->Call(nearest, "dso.master_endpoint", {},
-                 [this, client, oid, protocol, semantics_type, role,
-                  addresses = std::move(lookup->addresses),
-                  maintainers = std::move(maintainers),
-                  done = std::move(done)](Result<Bytes> result) mutable {
-                   if (!result.ok()) {
-                     done(result.status());
-                     return;
-                   }
-                   ByteReader r(*result);
-                   auto master = dso::DeserializeEndpoint(&r);
-                   if (!master.ok()) {
-                     done(master.status());
-                     return;
-                   }
-                   addresses.push_back(gls::ContactAddress{*master, protocol,
-                                                           gls::ReplicaRole::kMaster});
-                   InstallReplica(oid, protocol, semantics_type, role,
-                                  std::move(addresses), std::move(maintainers),
-                                  std::move(done));
-                 });
+    auto client = std::make_shared<sim::Channel>(transport_, server_.node());
+    dso::kDsoMasterEndpoint.Call(
+        client.get(), nearest, sim::EmptyMessage{},
+        [this, client, oid, protocol, semantics_type, role,
+         addresses = std::move(lookup->addresses), maintainers = std::move(maintainers),
+         done = std::move(done)](Result<dso::EndpointMessage> result) mutable {
+          if (!result.ok()) {
+            done(result.status());
+            return;
+          }
+          addresses.push_back(gls::ContactAddress{result->endpoint, protocol,
+                                                  gls::ReplicaRole::kMaster});
+          InstallReplica(oid, protocol, semantics_type, role, std::move(addresses),
+                         std::move(maintainers), std::move(done));
+        });
   });
 }
 
@@ -319,7 +262,8 @@ void ObjectServer::InstallReplica(const gls::ObjectId& oid, gls::ProtocolId prot
   });
 }
 
-void ObjectServer::RemoveReplica(const gls::ObjectId& oid, std::function<void(Status)> done) {
+void ObjectServer::RemoveReplica(const gls::ObjectId& oid,
+                                 std::function<void(Status)> done) {
   auto it = replicas_.find(oid);
   if (it == replicas_.end()) {
     done(NotFound("no replica of " + oid.ToHex() + " hosted here"));
@@ -448,8 +392,8 @@ void ObjectServer::Restore(ByteSpan checkpoint, std::function<void(Status)> done
     // Secondary replicas would need peers; restore keeps them in their role but they
     // re-register with the master lazily via the GLS addresses.
     if (entry.role != gls::ReplicaRole::kMaster) {
-      setup.peers.push_back(gls::ContactAddress{entry.old_address.endpoint, entry.protocol,
-                                                gls::ReplicaRole::kMaster});
+      setup.peers.push_back(gls::ContactAddress{
+          entry.old_address.endpoint, entry.protocol, gls::ReplicaRole::kMaster});
     }
     auto replica = dso::MakeReplica(entry.protocol, std::move(setup));
     if (!replica.ok()) {
@@ -478,22 +422,47 @@ void ObjectServer::Restore(ByteSpan checkpoint, std::function<void(Status)> done
     return;
   }
 
-  // GLS bookkeeping: out with the stale addresses, then all fresh ones in one
-  // batched registration round trip.
-  auto deletes_remaining = std::make_shared<size_t>(stale.size());
+  // GLS bookkeeping: out with the stale addresses, in with the fresh ones — each
+  // side one batched round trip. Missing stale addresses are fine (e.g. they were
+  // never registered), so the delete batch's status is deliberately ignored.
   auto shared_done = std::make_shared<std::function<void(Status)>>(std::move(done));
-  // Shared so the N delete callbacks don't each copy the fresh-address vector.
-  auto register_fresh = std::make_shared<std::function<void()>>(
-      [this, fresh = std::move(fresh), build_error, shared_done]() {
-        gls_.InsertBatch(fresh, [build_error, shared_done](Status s) {
-          (*shared_done)(!s.ok() ? s : build_error);
+  gls_.DeleteBatch(stale, [this, fresh = std::move(fresh), build_error,
+                           shared_done](Status) {
+    gls_.InsertBatch(fresh, [build_error, shared_done](Status s) {
+      (*shared_done)(!s.ok() ? s : build_error);
+    });
+  });
+}
+
+void ObjectServer::Decommission(std::function<void(Status)> done) {
+  if (replicas_.empty()) {
+    done(OkStatus());
+    return;
+  }
+  std::vector<std::pair<gls::ObjectId, gls::ContactAddress>> registered;
+  std::vector<dso::ReplicationObject*> replications;
+  for (auto& [oid, replica] : replicas_) {
+    registered.emplace_back(oid, replica.registered_address);
+    replications.push_back(replica.replication.get());
+  }
+
+  // Stop every replica first (peers deregister from masters etc.), then drop all
+  // GLS registrations in one gls.delete_batch instead of N gls.delete round trips.
+  auto remaining = std::make_shared<size_t>(replications.size());
+  auto shared_done = std::make_shared<std::function<void(Status)>>(std::move(done));
+  auto deregister = std::make_shared<std::function<void()>>(
+      [this, registered = std::move(registered), shared_done]() {
+        gls_.DeleteBatch(registered, [this, count = registered.size(),
+                                      shared_done](Status s) {
+          stats_.replicas_removed += count;
+          replicas_.clear();
+          (*shared_done)(s);
         });
       });
-  for (const auto& [oid, old_address] : stale) {
-    // A missing stale address is fine (e.g. it was never registered).
-    gls_.Delete(oid, old_address, [deletes_remaining, register_fresh](Status) {
-      if (--*deletes_remaining == 0) {
-        (*register_fresh)();
+  for (dso::ReplicationObject* replication : replications) {
+    replication->Shutdown([remaining, deregister](Status) {
+      if (--*remaining == 0) {
+        (*deregister)();
       }
     });
   }

@@ -25,12 +25,173 @@
 
 #include <map>
 #include <memory>
+#include <vector>
 
 #include "src/dso/protocols.h"
 #include "src/dso/repository.h"
 #include "src/gls/directory.h"
 
 namespace globe::gos {
+
+namespace wire {
+
+inline void SerializeMaintainers(const std::vector<sec::PrincipalId>& maintainers,
+                                 ByteWriter* w) {
+  w->WriteVarint(maintainers.size());
+  for (sec::PrincipalId maintainer : maintainers) {
+    w->WriteU64(maintainer);
+  }
+}
+
+// Maintainer lists ride as an optional trailer so pre-maintainer requests (and
+// checkpoints) stay readable.
+inline Result<std::vector<sec::PrincipalId>> DeserializeMaintainers(ByteReader* r) {
+  std::vector<sec::PrincipalId> maintainers;
+  if (r->AtEnd()) {
+    return maintainers;
+  }
+  ASSIGN_OR_RETURN(uint64_t count, r->ReadVarint());
+  for (uint64_t i = 0; i < count; ++i) {
+    ASSIGN_OR_RETURN(sec::PrincipalId id, r->ReadU64());
+    maintainers.push_back(id);
+  }
+  return maintainers;
+}
+
+}  // namespace wire
+
+// Wire formats of the moderator-facing GOS commands; one definition shared by
+// ObjectServer (server side) and ModeratorTool (client side).
+struct CreateFirstReplicaRequest {
+  gls::ProtocolId protocol = 0;
+  uint16_t semantics_type = 0;
+  std::vector<sec::PrincipalId> maintainers;
+
+  Bytes Serialize() const {
+    ByteWriter w;
+    w.WriteU16(protocol);
+    w.WriteU16(semantics_type);
+    wire::SerializeMaintainers(maintainers, &w);
+    return w.Take();
+  }
+  static Result<CreateFirstReplicaRequest> Deserialize(ByteSpan data) {
+    ByteReader r(data);
+    CreateFirstReplicaRequest request;
+    ASSIGN_OR_RETURN(request.protocol, r.ReadU16());
+    ASSIGN_OR_RETURN(request.semantics_type, r.ReadU16());
+    ASSIGN_OR_RETURN(request.maintainers, wire::DeserializeMaintainers(&r));
+    return request;
+  }
+};
+
+struct CreateFirstReplicaResponse {
+  gls::ObjectId oid;
+  gls::ContactAddress address;
+
+  Bytes Serialize() const {
+    ByteWriter w;
+    oid.Serialize(&w);
+    address.Serialize(&w);
+    return w.Take();
+  }
+  static Result<CreateFirstReplicaResponse> Deserialize(ByteSpan data) {
+    ByteReader r(data);
+    CreateFirstReplicaResponse response;
+    ASSIGN_OR_RETURN(response.oid, gls::ObjectId::Deserialize(&r));
+    ASSIGN_OR_RETURN(response.address, gls::ContactAddress::Deserialize(&r));
+    return response;
+  }
+};
+
+struct CreateReplicaRequest {
+  gls::ObjectId oid;
+  uint16_t semantics_type = 0;
+  gls::ReplicaRole role = gls::ReplicaRole::kSlave;
+  std::vector<sec::PrincipalId> maintainers;
+
+  Bytes Serialize() const {
+    ByteWriter w;
+    oid.Serialize(&w);
+    w.WriteU16(semantics_type);
+    w.WriteU8(static_cast<uint8_t>(role));
+    wire::SerializeMaintainers(maintainers, &w);
+    return w.Take();
+  }
+  static Result<CreateReplicaRequest> Deserialize(ByteSpan data) {
+    ByteReader r(data);
+    CreateReplicaRequest request;
+    ASSIGN_OR_RETURN(request.oid, gls::ObjectId::Deserialize(&r));
+    ASSIGN_OR_RETURN(request.semantics_type, r.ReadU16());
+    ASSIGN_OR_RETURN(uint8_t role, r.ReadU8());
+    request.role = static_cast<gls::ReplicaRole>(role);
+    ASSIGN_OR_RETURN(request.maintainers, wire::DeserializeMaintainers(&r));
+    return request;
+  }
+};
+
+struct CreateReplicaResponse {
+  gls::ContactAddress address;
+
+  Bytes Serialize() const {
+    ByteWriter w;
+    address.Serialize(&w);
+    return w.Take();
+  }
+  static Result<CreateReplicaResponse> Deserialize(ByteSpan data) {
+    ByteReader r(data);
+    CreateReplicaResponse response;
+    ASSIGN_OR_RETURN(response.address, gls::ContactAddress::Deserialize(&r));
+    return response;
+  }
+};
+
+struct RemoveReplicaRequest {
+  gls::ObjectId oid;
+
+  Bytes Serialize() const {
+    ByteWriter w;
+    oid.Serialize(&w);
+    return w.Take();
+  }
+  static Result<RemoveReplicaRequest> Deserialize(ByteSpan data) {
+    ByteReader r(data);
+    RemoveReplicaRequest request;
+    ASSIGN_OR_RETURN(request.oid, gls::ObjectId::Deserialize(&r));
+    return request;
+  }
+};
+
+struct ListReplicasResponse {
+  std::vector<gls::ObjectId> oids;
+
+  Bytes Serialize() const {
+    ByteWriter w;
+    w.WriteVarint(oids.size());
+    for (const gls::ObjectId& oid : oids) {
+      oid.Serialize(&w);
+    }
+    return w.Take();
+  }
+  static Result<ListReplicasResponse> Deserialize(ByteSpan data) {
+    ByteReader r(data);
+    ListReplicasResponse response;
+    ASSIGN_OR_RETURN(uint64_t count, r.ReadVarint());
+    for (uint64_t i = 0; i < count; ++i) {
+      ASSIGN_OR_RETURN(gls::ObjectId oid, gls::ObjectId::Deserialize(&r));
+      response.oids.push_back(oid);
+    }
+    return response;
+  }
+};
+
+inline constexpr sim::TypedMethod<CreateFirstReplicaRequest, CreateFirstReplicaResponse>
+    kGosCreateFirstReplica{"gos.create_first_replica"};
+inline constexpr sim::TypedMethod<CreateReplicaRequest, CreateReplicaResponse>
+    kGosCreateReplica{"gos.create_replica"};
+inline constexpr sim::TypedMethod<RemoveReplicaRequest, sim::EmptyMessage>
+    kGosRemoveReplica{"gos.remove_replica"};
+inline constexpr sim::TypedMethod<sim::EmptyMessage, ListReplicasResponse>
+    kGosListReplicas{"gos.list_replicas"};
 
 struct GosOptions {
   // Enforce "commands only from GDN moderators" (paper §6.1 requirement 1).
@@ -68,6 +229,10 @@ class ObjectServer {
   // Rebuilds replicas from a checkpoint after a restart. Must be called on a freshly
   // constructed server. `done` fires after every replica is re-registered in the GLS.
   void Restore(ByteSpan checkpoint, std::function<void(Status)> done);
+
+  // Takes the server out of service: shuts down every hosted replica and
+  // deregisters all their contact addresses in one gls.delete_batch round trip.
+  void Decommission(std::function<void(Status)> done);
 
   // Local (non-RPC) variants of the moderator commands, used by in-process tools.
   using CreateCallback =

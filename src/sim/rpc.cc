@@ -10,6 +10,7 @@ namespace globe::sim {
 namespace {
 constexpr uint8_t kFrameRequest = 0;
 constexpr uint8_t kFrameResponse = 1;
+constexpr double kEwmaAlpha = 0.2;
 }  // namespace
 
 void PlainTransport::Send(const Endpoint& src, const Endpoint& dst, Bytes payload) {
@@ -31,16 +32,23 @@ uint16_t AllocateEphemeralPort() {
   static std::atomic<uint32_t> next{kPortClientBase};
   uint32_t p = next.fetch_add(1);
   // Wrap within the 16-bit ephemeral range [kPortClientBase, 65535].
-  return static_cast<uint16_t>(kPortClientBase + (p - kPortClientBase) % (65536 - kPortClientBase));
+  return static_cast<uint16_t>(kPortClientBase +
+                               (p - kPortClientBase) % (65536 - kPortClientBase));
 }
 
 RpcServer::RpcServer(Transport* transport, NodeId node, uint16_t port)
-    : transport_(transport), node_(node), port_(port) {
+    : transport_(transport),
+      node_(node),
+      port_(port),
+      alive_(std::make_shared<bool>(true)) {
   transport_->RegisterPort(node_, port_,
                            [this](const TransportDelivery& d) { OnDelivery(d); });
 }
 
-RpcServer::~RpcServer() { transport_->UnregisterPort(node_, port_); }
+RpcServer::~RpcServer() {
+  *alive_ = false;
+  transport_->UnregisterPort(node_, port_);
+}
 
 void RpcServer::RegisterMethod(std::string method, SyncHandler handler) {
   sync_methods_[std::move(method)] = std::move(handler);
@@ -68,20 +76,41 @@ void RpcServer::OnDelivery(const TransportDelivery& delivery) {
 
   RpcContext context{delivery.src, delivery.peer_principal, delivery.integrity_protected};
   uint64_t id = *request_id;
-  Endpoint client = delivery.src;
 
-  if (auto it = sync_methods_.find(*method); it != sync_methods_.end()) {
-    Result<Bytes> result = it->second(context, *payload);
-    SendResponse(client, id, result);
+  if (service_time_ == 0) {
+    Dispatch(*method, *payload, context, id);
     return;
   }
-  if (auto it = async_methods_.find(*method); it != async_methods_.end()) {
-    it->second(context, *payload, [this, client, id](Result<Bytes> result) {
-      SendResponse(client, id, result);
+  // One virtual CPU: requests queue FIFO behind whatever is already being served.
+  Simulator* clock = transport_->simulator();
+  SimTime start = std::max(clock->Now(), busy_until_);
+  busy_until_ = start + service_time_;
+  clock->ScheduleAt(busy_until_, [this, alive = std::weak_ptr<bool>(alive_),
+                                  method = std::move(*method),
+                                  payload = std::move(*payload), context, id]() {
+    auto a = alive.lock();
+    if (!a || !*a) {
+      return;
+    }
+    Dispatch(method, payload, context, id);
+  });
+}
+
+void RpcServer::Dispatch(const std::string& method, const Bytes& payload,
+                         const RpcContext& context, uint64_t request_id) {
+  const Endpoint client = context.client;
+  if (auto it = sync_methods_.find(method); it != sync_methods_.end()) {
+    Result<Bytes> result = it->second(context, payload);
+    SendResponse(client, request_id, result);
+    return;
+  }
+  if (auto it = async_methods_.find(method); it != async_methods_.end()) {
+    it->second(context, payload, [this, client, request_id](Result<Bytes> result) {
+      SendResponse(client, request_id, result);
     });
     return;
   }
-  SendResponse(client, id, NotFound("no such method: " + *method));
+  SendResponse(client, request_id, NotFound("no such method: " + method));
 }
 
 void RpcServer::SendResponse(const Endpoint& client, uint64_t request_id,
@@ -101,58 +130,160 @@ void RpcServer::SendResponse(const Endpoint& client, uint64_t request_id,
   transport_->Send(endpoint(), client, writer.Take());
 }
 
-RpcClient::RpcClient(Transport* transport, NodeId node)
-    : transport_(transport),
-      node_(node),
-      port_(AllocateEphemeralPort()),
-      alive_(std::make_shared<bool>(true)) {
-  transport_->RegisterPort(node_, port_,
-                           [this](const TransportDelivery& d) { OnDelivery(d); });
+// ---------------------------------------------------------------- Channel
+
+namespace {
+
+struct PendingCall {
+  Endpoint server;
+  std::string method;
+  Bytes request;  // kept for retries
+  Channel::Callback done;
+  CallOptions options;
+  uint32_t attempt = 1;                         // 1-based
+  SimTime sent_at = 0;                          // last attempt's send time
+  Simulator::EventId event = Simulator::kNoEvent;  // deadline or pending-backoff event
+  // Every attempt goes on the wire under its own request id, so a late response
+  // can always be attributed to the exact attempt that caused it (a stale OK
+  // completes the call; a stale error was already charged when its deadline
+  // fired and is dropped).
+  uint64_t current_attempt_id = 0;
+  std::vector<uint64_t> attempt_ids;  // all ids this call has used, for cleanup
+};
+
+struct PeerEntry {
+  PeerLoad load;
+};
+
+}  // namespace
+
+struct ChannelState {
+  Transport* transport = nullptr;
+  NodeId node = kNoNode;
+  uint16_t port = 0;
+  uint64_t next_request_id = 1;
+  // Calls are keyed by their first attempt's id; attempt_to_call maps every
+  // issued wire id (first attempt and retries) back to its call.
+  std::map<uint64_t, PendingCall> pending;
+  std::map<uint64_t, uint64_t> attempt_to_call;
+  std::map<Endpoint, PeerEntry> peers;
+  ChannelStats stats;
+};
+
+namespace {
+
+void SendAttempt(const std::shared_ptr<ChannelState>& state, uint64_t id);
+
+void EraseAttemptIds(const std::shared_ptr<ChannelState>& state,
+                     const PendingCall& call) {
+  for (uint64_t attempt_id : call.attempt_ids) {
+    state->attempt_to_call.erase(attempt_id);
+  }
 }
 
-RpcClient::~RpcClient() {
-  *alive_ = false;
-  transport_->UnregisterPort(node_, port_);
+// Completes a call: drops its pending entry and load accounting, then runs the
+// callback last — it may destroy the Channel (the caller's shared_ptr keeps the
+// state alive through the call).
+void Finalize(const std::shared_ptr<ChannelState>& state, uint64_t id,
+              Result<Bytes> result) {
+  auto it = state->pending.find(id);
+  assert(it != state->pending.end());
+  Channel::Callback done = std::move(it->second.done);
+  PeerEntry& peer = state->peers[it->second.server];
+  assert(peer.load.outstanding > 0);
+  --peer.load.outstanding;
+  EraseAttemptIds(state, it->second);
+  state->pending.erase(it);
+  done(std::move(result));
 }
 
-void RpcClient::Call(const Endpoint& server, std::string_view method, Bytes request,
-                     Callback done, SimTime timeout) {
-  uint64_t id = next_request_id_++;
-  pending_[id] = std::move(done);
+void OnAttemptFailed(const std::shared_ptr<ChannelState>& state, uint64_t id,
+                     Status failure) {
+  auto it = state->pending.find(id);
+  if (it == state->pending.end()) {
+    return;
+  }
+  PendingCall& call = it->second;
+  const RetryPolicy& retry = call.options.retry;
+  if (call.attempt < retry.attempts && retry.ShouldRetry(failure)) {
+    ++state->stats.retries;
+    SimTime backoff = retry.BackoffFor(call.attempt);
+    ++call.attempt;
+    // The retry gets a fresh wire id now, so any response still in flight for
+    // the failed attempt is recognisably stale from this point on.
+    uint64_t attempt_id = state->next_request_id++;
+    call.current_attempt_id = attempt_id;
+    call.attempt_ids.push_back(attempt_id);
+    state->attempt_to_call[attempt_id] = id;
+    call.event = state->transport->simulator()->ScheduleAfter(
+        backoff, [weak = std::weak_ptr<ChannelState>(state), id]() {
+          if (auto s = weak.lock()) {
+            SendAttempt(s, id);
+          }
+        });
+    return;
+  }
+  state->peers[call.server].load.failed++;
+  Finalize(state, id, std::move(failure));
+}
+
+void OnDeadline(const std::shared_ptr<ChannelState>& state, uint64_t id) {
+  auto it = state->pending.find(id);
+  if (it == state->pending.end()) {
+    return;  // already answered (the deadline event should have been cancelled)
+  }
+  ++state->stats.deadline_exceeded;
+  it->second.event = Simulator::kNoEvent;
+  OnAttemptFailed(state, id,
+                  Unavailable("rpc deadline exceeded: " + it->second.method));
+}
+
+void SendAttempt(const std::shared_ptr<ChannelState>& state, uint64_t id) {
+  auto it = state->pending.find(id);
+  if (it == state->pending.end()) {
+    return;
+  }
+  PendingCall& call = it->second;
 
   ByteWriter writer;
   writer.WriteU8(kFrameRequest);
-  writer.WriteU64(id);
-  writer.WriteString(method);
-  writer.WriteLengthPrefixed(request);
-  transport_->Send(endpoint(), server, writer.Take());
+  writer.WriteU64(call.current_attempt_id);
+  writer.WriteString(call.method);
+  writer.WriteLengthPrefixed(call.request);
 
-  transport_->simulator()->ScheduleAfter(
-      timeout, [this, id, alive = std::weak_ptr<bool>(alive_)]() {
-        auto a = alive.lock();
-        if (!a || !*a) {
-          return;
-        }
-        auto it = pending_.find(id);
-        if (it == pending_.end()) {
-          return;  // already answered
-        }
-        Callback cb = std::move(it->second);
-        pending_.erase(it);
-        cb(Unavailable("rpc timeout"));
-      });
+  Simulator* clock = state->transport->simulator();
+  call.sent_at = clock->Now();
+  call.event = clock->ScheduleAfter(call.options.deadline,
+                                    [weak = std::weak_ptr<ChannelState>(state), id]() {
+                                      if (auto s = weak.lock()) {
+                                        OnDeadline(s, id);
+                                      }
+                                    });
+  // The request copy exists only to be re-sent; once no retries remain (the
+  // common case — attempts defaults to 1), release it rather than holding a
+  // second copy of a possibly large payload for the call's whole lifetime.
+  if (call.attempt >= call.options.retry.attempts) {
+    call.request = Bytes{};
+  }
+  state->transport->Send({state->node, state->port}, call.server, writer.Take());
 }
 
-void RpcClient::OnDelivery(const TransportDelivery& delivery) {
+void OnChannelDelivery(const std::shared_ptr<ChannelState>& state,
+                       const TransportDelivery& delivery) {
   ByteReader reader(delivery.payload);
   auto type = reader.ReadU8();
   auto request_id = reader.ReadU64();
   if (!type.ok() || !request_id.ok() || *type != kFrameResponse) {
     return;
   }
-  auto it = pending_.find(*request_id);
-  if (it == pending_.end()) {
-    return;  // late response after timeout: ignore
+  auto alias = state->attempt_to_call.find(*request_id);
+  if (alias == state->attempt_to_call.end()) {
+    return;  // late response after completion or cancellation: ignore
+  }
+  uint64_t call_id = alias->second;
+  auto it = state->pending.find(call_id);
+  if (it == state->pending.end()) {
+    return;
   }
   auto code = reader.ReadU8();
   auto message = reader.ReadString();
@@ -160,13 +291,124 @@ void RpcClient::OnDelivery(const TransportDelivery& delivery) {
   if (!code.ok() || !message.ok() || !payload.ok()) {
     return;
   }
-  Callback cb = std::move(it->second);
-  pending_.erase(it);
-  if (*code == static_cast<uint8_t>(StatusCode::kOk)) {
-    cb(std::move(*payload));
-  } else {
-    cb(Status(static_cast<StatusCode>(*code), std::move(*message)));
+  PendingCall& call = it->second;
+
+  // A stale error response — from an attempt whose deadline already fired and
+  // whose retry has been scheduled or sent: that attempt was charged against the
+  // retry budget when it timed out, so processing its response too would burn the
+  // budget twice (or fail the call while a live retry is still in flight). A
+  // stale OK response, by contrast, completes the call and supersedes the retry.
+  if (*request_id != call.current_attempt_id &&
+      *code != static_cast<uint8_t>(StatusCode::kOk)) {
+    return;
   }
+
+  // The response landed: erase the deadline (or pending-backoff) event so the
+  // drained simulator never replays a timeout that did not happen.
+  if (call.event != Simulator::kNoEvent) {
+    state->transport->simulator()->Cancel(call.event);
+    call.event = Simulator::kNoEvent;
+  }
+
+  PeerLoad& load = state->peers[call.server].load;
+  ++load.completed;
+  double latency =
+      static_cast<double>(state->transport->simulator()->Now() - call.sent_at);
+  load.ewma_latency_us = load.ewma_latency_us == 0
+                             ? latency
+                             : (1 - kEwmaAlpha) * load.ewma_latency_us +
+                                   kEwmaAlpha * latency;
+
+  if (*code == static_cast<uint8_t>(StatusCode::kOk)) {
+    Finalize(state, call_id, std::move(*payload));
+    return;
+  }
+  Status failure(static_cast<StatusCode>(*code), std::move(*message));
+  OnAttemptFailed(state, call_id, std::move(failure));
+}
+
+}  // namespace
+
+Channel::Channel(Transport* transport, NodeId node)
+    : state_(std::make_shared<ChannelState>()) {
+  state_->transport = transport;
+  state_->node = node;
+  state_->port = AllocateEphemeralPort();
+  transport->RegisterPort(node, state_->port,
+                          [weak = std::weak_ptr<ChannelState>(state_)](
+                              const TransportDelivery& d) {
+                            if (auto s = weak.lock()) {
+                              OnChannelDelivery(s, d);
+                            }
+                          });
+}
+
+Channel::~Channel() {
+  state_->transport->UnregisterPort(state_->node, state_->port);
+  // Erase every in-flight deadline/backoff event: a destroyed client must not
+  // leave the simulator holding 30 s of dead virtual time.
+  for (auto& [id, call] : state_->pending) {
+    if (call.event != Simulator::kNoEvent) {
+      state_->transport->simulator()->Cancel(call.event);
+    }
+  }
+  state_->pending.clear();
+  state_->attempt_to_call.clear();
+}
+
+CallHandle Channel::Call(const Endpoint& server, std::string_view method, Bytes request,
+                         Callback done, CallOptions options) {
+  uint64_t id = state_->next_request_id++;
+  PendingCall call;
+  call.server = server;
+  call.method = std::string(method);
+  call.request = std::move(request);
+  call.done = std::move(done);
+  call.options = std::move(options);
+  call.current_attempt_id = id;
+  call.attempt_ids.push_back(id);
+  state_->pending.emplace(id, std::move(call));
+  state_->attempt_to_call[id] = id;
+  ++state_->stats.calls;
+  ++state_->peers[server].load.outstanding;
+  SendAttempt(state_, id);
+  return CallHandle(state_, id);
+}
+
+sim::PeerLoad Channel::PeerLoad(const Endpoint& peer) const {
+  auto it = state_->peers.find(peer);
+  return it == state_->peers.end() ? sim::PeerLoad{} : it->second.load;
+}
+
+const ChannelStats& Channel::stats() const { return state_->stats; }
+
+NodeId Channel::node() const { return state_->node; }
+
+Endpoint Channel::endpoint() const { return {state_->node, state_->port}; }
+
+void CallHandle::Cancel() {
+  auto state = state_.lock();
+  if (!state) {
+    return;
+  }
+  auto it = state->pending.find(id_);
+  if (it == state->pending.end()) {
+    return;  // already completed
+  }
+  if (it->second.event != Simulator::kNoEvent) {
+    state->transport->simulator()->Cancel(it->second.event);
+  }
+  PeerEntry& peer = state->peers[it->second.server];
+  assert(peer.load.outstanding > 0);
+  --peer.load.outstanding;
+  EraseAttemptIds(state, it->second);
+  state->pending.erase(it);
+  ++state->stats.cancelled;
+}
+
+bool CallHandle::active() const {
+  auto state = state_.lock();
+  return state && state->pending.count(id_) > 0;
 }
 
 }  // namespace globe::sim

@@ -1,10 +1,25 @@
 // Request/response RPC over the simulated network.
 //
 // Globe services talk to each other in request/response style (GLS lookups, GOS
-// commands, DNS queries, HTTP). This layer provides correlation, timeouts and a
-// pluggable Transport so the secure channel wrapper in src/sec can interpose without
-// the services knowing (the paper §6.3 swaps TCP for TLS exactly this way: "we have
-// cleanly separated communication from functional layers").
+// commands, DNS queries, HTTP). This layer provides correlation, deadlines, retries
+// and a pluggable Transport so the secure channel wrapper in src/sec can interpose
+// without the services knowing (the paper §6.3 swaps TCP for TLS exactly this way:
+// "we have cleanly separated communication from functional layers").
+//
+// Client API, in three layers:
+//   - Channel: the per-process client half. Channel::Call issues a call and returns
+//     a movable CallHandle supporting Cancel(). Every call carries a deadline whose
+//     simulator event is erased the moment the response lands (so draining a
+//     synchronous test step costs the round-trip time, not the timeout), and an
+//     optional declarative RetryPolicy replacing ad-hoc caller retry loops.
+//   - Channel::PeerLoad: per-endpoint outstanding-request depth and an EWMA of
+//     response latency, the load-feedback signal behind power-of-two-choices
+//     routing (DirectoryRef::TryRoute).
+//   - TypedMethod<Req, Resp>: a named method with typed request/response messages
+//     (anything exposing Bytes Serialize() const / static Result<T> Deserialize),
+//     removing the serialize -> Call -> deserialize -> status-check boilerplate
+//     from every call site. Registers server handlers from the same definition, so
+//     a wire message has exactly one description both sides share.
 //
 // Wire format of an RPC frame (all fields via src/util/serial.h):
 //   u8 type (0 = request, 1 = response)
@@ -19,6 +34,8 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <type_traits>
+#include <utility>
 
 #include "src/sim/network.h"
 #include "src/sim/simulator.h"
@@ -86,7 +103,8 @@ class RpcServer {
   // node forwarding a lookup to its parent). `respond` may be called from any later
   // simulator event, exactly once.
   using Responder = std::function<void(Result<Bytes>)>;
-  using AsyncHandler = std::function<void(const RpcContext&, ByteSpan request, Responder respond)>;
+  using AsyncHandler =
+      std::function<void(const RpcContext&, ByteSpan request, Responder respond)>;
 
   RpcServer(Transport* transport, NodeId node, uint16_t port);
   ~RpcServer();
@@ -97,6 +115,13 @@ class RpcServer {
   void RegisterMethod(std::string method, SyncHandler handler);
   void RegisterAsyncMethod(std::string method, AsyncHandler handler);
 
+  // Models request-processing cost: with a non-zero per-request service time,
+  // requests are dispatched FIFO from a single virtual CPU, so a hot server builds
+  // a queue and its observed latency grows with load. 0 (the default) dispatches
+  // inline with no delay, exactly as before.
+  void set_service_time(SimTime per_request) { service_time_ = per_request; }
+  SimTime service_time() const { return service_time_; }
+
   NodeId node() const { return node_; }
   uint16_t port() const { return port_; }
   Endpoint endpoint() const { return {node_, port_}; }
@@ -104,7 +129,10 @@ class RpcServer {
 
  private:
   void OnDelivery(const TransportDelivery& delivery);
-  void SendResponse(const Endpoint& client, uint64_t request_id, const Result<Bytes>& result);
+  void Dispatch(const std::string& method, const Bytes& payload,
+                const RpcContext& context, uint64_t request_id);
+  void SendResponse(const Endpoint& client, uint64_t request_id,
+                    const Result<Bytes>& result);
 
   Transport* transport_;
   NodeId node_;
@@ -112,40 +140,232 @@ class RpcServer {
   std::map<std::string, SyncHandler> sync_methods_;
   std::map<std::string, AsyncHandler> async_methods_;
   uint64_t requests_served_ = 0;
+  SimTime service_time_ = 0;
+  SimTime busy_until_ = 0;
+  // Guards scheduled dispatches against a server destroyed while they queue.
+  std::shared_ptr<bool> alive_;
 };
 
-class RpcClient {
+// Which failures are worth repeating and how. `attempts` counts every try, so 1
+// means no retries; backoff grows geometrically between attempts. Application
+// errors (NotFound, PermissionDenied, ...) are never retried unless `retry_on`
+// says so explicitly — by default only transport-level unavailability (deadline
+// expiry, dead or unreachable servers) is considered transient.
+struct RetryPolicy {
+  uint32_t attempts = 1;
+  SimTime backoff = 200 * kMillisecond;
+  double backoff_multiplier = 2.0;
+  std::function<bool(const Status&)> retry_on;
+
+  bool ShouldRetry(const Status& status) const {
+    if (retry_on) {
+      return retry_on(status);
+    }
+    return status.code() == StatusCode::kUnavailable;
+  }
+
+  SimTime BackoffFor(uint32_t completed_attempts) const {
+    double delay = static_cast<double>(backoff);
+    for (uint32_t i = 1; i < completed_attempts; ++i) {
+      delay *= backoff_multiplier;
+    }
+    return static_cast<SimTime>(delay);
+  }
+};
+
+// Default per-attempt deadline for Channel calls.
+inline constexpr SimTime kDefaultCallDeadline = 30 * kSecond;
+
+struct CallOptions {
+  // Per-attempt deadline. The deadline's simulator event is erased when the
+  // response arrives, so the virtual clock only ever pays it on actual expiry.
+  SimTime deadline = kDefaultCallDeadline;
+  RetryPolicy retry;
+};
+
+// Load feedback for one remote endpoint, as observed by one Channel.
+struct PeerLoad {
+  uint32_t outstanding = 0;     // calls in flight (including attempts being retried)
+  double ewma_latency_us = 0;   // exponentially weighted response latency, 0 = no data
+  uint64_t completed = 0;       // responses received (any status)
+  uint64_t failed = 0;          // calls that exhausted their deadline and retries
+};
+
+// Strict weak ordering for power-of-two-choices picks: fewer in-flight requests
+// wins; observed latency breaks ties.
+inline bool LessLoaded(const PeerLoad& a, const PeerLoad& b) {
+  if (a.outstanding != b.outstanding) {
+    return a.outstanding < b.outstanding;
+  }
+  return a.ewma_latency_us < b.ewma_latency_us;
+}
+
+struct ChannelStats {
+  uint64_t calls = 0;
+  uint64_t retries = 0;
+  uint64_t cancelled = 0;
+  uint64_t deadline_exceeded = 0;  // attempts that expired (before any retry)
+};
+
+// Shared between a Channel, its in-flight calls' simulator events and the
+// CallHandles it hands out; defined in rpc.cc.
+struct ChannelState;
+
+// Handle to one in-flight call. Movable; destroying a handle does NOT cancel the
+// call (fire-and-forget callers may simply drop it).
+class CallHandle {
+ public:
+  CallHandle() = default;
+  CallHandle(CallHandle&&) = default;
+  CallHandle& operator=(CallHandle&&) = default;
+  CallHandle(const CallHandle&) = delete;
+  CallHandle& operator=(const CallHandle&) = delete;
+
+  // Abandons the call: the callback never runs, the pending entry and its deadline
+  // event are erased, and scheduled retries are dropped. No-op once the call has
+  // completed (or on a default-constructed handle).
+  void Cancel();
+
+  // True while the call is still in flight.
+  bool active() const;
+
+ private:
+  friend class Channel;
+  CallHandle(std::weak_ptr<ChannelState> state, uint64_t id)
+      : state_(std::move(state)), id_(id) {}
+
+  std::weak_ptr<ChannelState> state_;
+  uint64_t id_ = 0;
+};
+
+// The client half of the RPC layer: one ephemeral port on one node, any number of
+// concurrent calls to any servers.
+class Channel {
  public:
   using Callback = std::function<void(Result<Bytes>)>;
 
-  static constexpr SimTime kDefaultTimeout = 30 * kSecond;
-
   // Binds to an ephemeral port on `node`.
-  RpcClient(Transport* transport, NodeId node);
-  ~RpcClient();
+  Channel(Transport* transport, NodeId node);
+  ~Channel();
 
-  RpcClient(const RpcClient&) = delete;
-  RpcClient& operator=(const RpcClient&) = delete;
+  Channel(const Channel&) = delete;
+  Channel& operator=(const Channel&) = delete;
 
-  // Issues a call; `done` runs exactly once, with the response payload or an error
-  // (UNAVAILABLE on timeout; whatever status the server returned otherwise).
-  void Call(const Endpoint& server, std::string_view method, Bytes request, Callback done,
-            SimTime timeout = kDefaultTimeout);
+  // Issues a call; `done` runs at most once, with the response payload or an error
+  // (UNAVAILABLE when the deadline and all retries are exhausted; whatever status
+  // the server returned otherwise). It never runs after Cancel() on the returned
+  // handle, nor after this Channel is destroyed.
+  CallHandle Call(const Endpoint& server, std::string_view method, Bytes request,
+                  Callback done, CallOptions options = {});
 
-  NodeId node() const { return node_; }
-  Endpoint endpoint() const { return {node_, port_}; }
+  // Load observed towards one endpoint; zeroes for peers never called.
+  sim::PeerLoad PeerLoad(const Endpoint& peer) const;
+
+  const ChannelStats& stats() const;
+
+  NodeId node() const;
+  Endpoint endpoint() const;
 
  private:
-  void OnDelivery(const TransportDelivery& delivery);
+  std::shared_ptr<ChannelState> state_;
+};
 
-  Transport* transport_;
-  NodeId node_;
-  uint16_t port_;
-  uint64_t next_request_id_ = 1;
-  std::map<uint64_t, Callback> pending_;
-  // Guards timeout callbacks against a client that has been destroyed: shared flag
-  // owned by the client, captured weakly by scheduled timeouts.
-  std::shared_ptr<bool> alive_;
+// Marker for methods whose request or response carries no payload.
+struct EmptyMessage {
+  Bytes Serialize() const { return {}; }
+  static Result<EmptyMessage> Deserialize(ByteSpan) { return EmptyMessage{}; }
+};
+
+namespace wire_internal {
+
+template <typename T>
+Bytes SerializeMessage(const T& value) {
+  if constexpr (std::is_same_v<T, Bytes>) {
+    return value;
+  } else {
+    return value.Serialize();
+  }
+}
+
+template <typename T>
+Result<T> DeserializeMessage(ByteSpan data) {
+  if constexpr (std::is_same_v<T, Bytes>) {
+    return Bytes(data.begin(), data.end());
+  } else {
+    return T::Deserialize(data);
+  }
+}
+
+}  // namespace wire_internal
+
+// A named RPC method with typed request/response messages. Both must either be
+// Bytes (passed through verbatim) or expose
+//   Bytes Serialize() const;
+//   static Result<T> Deserialize(ByteSpan);
+// One constant describes the method for both sides of the wire:
+//
+//   inline const TypedMethod<LookupWireRequest, LookupResponse> kGlsLookup{"gls.lookup"};
+//   kGlsLookup.Call(&channel, server, request, [](Result<LookupResponse> r) { ... });
+//   kGlsLookup.Register(&server, [](const RpcContext&, const LookupWireRequest& req) {
+//     ...
+//   });
+template <typename Req, typename Resp>
+class TypedMethod {
+ public:
+  using Callback = std::function<void(Result<Resp>)>;
+  using SyncHandler = std::function<Result<Resp>(const RpcContext&, const Req&)>;
+  using AsyncResponder = std::function<void(Result<Resp>)>;
+  using AsyncHandler = std::function<void(const RpcContext&, Req, AsyncResponder)>;
+
+  constexpr explicit TypedMethod(const char* name) : name_(name) {}
+
+  const char* name() const { return name_; }
+
+  CallHandle Call(Channel* channel, const Endpoint& server, const Req& request,
+                  Callback done, CallOptions options = {}) const {
+    return channel->Call(server, name_, wire_internal::SerializeMessage(request),
+                         [done = std::move(done)](Result<Bytes> result) {
+                           if (!result.ok()) {
+                             done(result.status());
+                             return;
+                           }
+                           done(wire_internal::DeserializeMessage<Resp>(*result));
+                         },
+                         options);
+  }
+
+  void Register(RpcServer* server, SyncHandler handler) const {
+    server->RegisterMethod(
+        name_, [handler = std::move(handler)](const RpcContext& context,
+                                              ByteSpan payload) -> Result<Bytes> {
+          ASSIGN_OR_RETURN(Req request, wire_internal::DeserializeMessage<Req>(payload));
+          ASSIGN_OR_RETURN(Resp response, handler(context, request));
+          return wire_internal::SerializeMessage(response);
+        });
+  }
+
+  void RegisterAsync(RpcServer* server, AsyncHandler handler) const {
+    server->RegisterAsyncMethod(
+        name_, [handler = std::move(handler)](const RpcContext& context, ByteSpan payload,
+                                              RpcServer::Responder respond) {
+          auto request = wire_internal::DeserializeMessage<Req>(payload);
+          if (!request.ok()) {
+            respond(request.status());
+            return;
+          }
+          handler(context, std::move(*request),
+                  [respond = std::move(respond)](Result<Resp> result) {
+                    if (!result.ok()) {
+                      respond(result.status());
+                      return;
+                    }
+                    respond(wire_internal::SerializeMessage(*result));
+                  });
+        });
+  }
+
+ private:
+  const char* name_;
 };
 
 }  // namespace globe::sim

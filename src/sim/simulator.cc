@@ -4,18 +4,38 @@
 
 namespace globe::sim {
 
-void Simulator::ScheduleAt(SimTime t, std::function<void()> fn) {
+Simulator::EventId Simulator::ScheduleAt(SimTime t, std::function<void()> fn) {
   assert(t >= now_ && "cannot schedule into the past");
-  queue_.push(Event{t, next_seq_++, std::move(fn)});
+  EventId id = next_id_++;
+  queue_.push(Event{t, id, std::move(fn)});
+  pending_ids_.insert(id);
+  return id;
+}
+
+bool Simulator::Cancel(EventId id) {
+  if (pending_ids_.erase(id) == 0) {
+    return false;
+  }
+  cancelled_ids_.insert(id);
+  return true;
+}
+
+void Simulator::DropCancelledPrefix() {
+  while (!queue_.empty() && cancelled_ids_.count(queue_.top().id) > 0) {
+    cancelled_ids_.erase(queue_.top().id);
+    queue_.pop();
+  }
 }
 
 bool Simulator::Step() {
+  DropCancelledPrefix();
   if (queue_.empty()) {
     return false;
   }
   // priority_queue::top returns const&; the event must be copied out before pop.
   Event ev = queue_.top();
   queue_.pop();
+  pending_ids_.erase(ev.id);
   now_ = ev.time;
   ++executed_;
   ev.fn();
@@ -28,7 +48,11 @@ void Simulator::Run() {
 }
 
 void Simulator::RunUntil(SimTime deadline) {
-  while (!queue_.empty() && queue_.top().time <= deadline) {
+  for (;;) {
+    DropCancelledPrefix();
+    if (queue_.empty() || queue_.top().time > deadline) {
+      break;
+    }
     Step();
   }
   if (now_ < deadline) {

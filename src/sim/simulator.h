@@ -5,6 +5,12 @@
 // do messages travel" — the quantities behind every claim in the paper — are exactly
 // measurable. All services (GLS directory nodes, DNS servers, object servers, HTTPDs)
 // run as callbacks driven by one Simulator instance; there is no real concurrency.
+//
+// Events are cancellable: ScheduleAt/ScheduleAfter return an EventId that Cancel()
+// erases from the queue. A cancelled event neither runs nor advances the virtual
+// clock — this is what lets the RPC layer drop a call's deadline event the moment
+// its response arrives, so draining the queue costs the round-trip time rather than
+// the full timeout.
 
 #ifndef SRC_SIM_SIMULATOR_H_
 #define SRC_SIM_SIMULATOR_H_
@@ -12,6 +18,7 @@
 #include <cstdint>
 #include <functional>
 #include <queue>
+#include <unordered_set>
 #include <vector>
 
 namespace globe::sim {
@@ -28,6 +35,10 @@ inline double ToSeconds(SimTime t) { return static_cast<double>(t) / 1e6; }
 
 class Simulator {
  public:
+  // Handle to a scheduled event; kNoEvent is never a live event.
+  using EventId = uint64_t;
+  static constexpr EventId kNoEvent = 0;
+
   Simulator() = default;
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
@@ -36,14 +47,18 @@ class Simulator {
 
   // Schedules fn to run at absolute time t (>= Now). Events scheduled for the same
   // time run in scheduling order (stable).
-  void ScheduleAt(SimTime t, std::function<void()> fn);
+  EventId ScheduleAt(SimTime t, std::function<void()> fn);
 
   // Schedules fn to run after the given delay.
-  void ScheduleAfter(SimTime delay, std::function<void()> fn) {
-    ScheduleAt(now_ + delay, std::move(fn));
+  EventId ScheduleAfter(SimTime delay, std::function<void()> fn) {
+    return ScheduleAt(now_ + delay, std::move(fn));
   }
 
-  // Runs a single event. Returns false if the queue is empty.
+  // Erases a pending event: it will neither run nor advance the clock. Returns
+  // false if the event already ran, was already cancelled, or never existed.
+  bool Cancel(EventId id);
+
+  // Runs a single live event. Returns false if no live events remain.
   bool Step();
 
   // Runs until the queue is empty.
@@ -52,13 +67,13 @@ class Simulator {
   // Runs until the queue is empty or the clock would pass `deadline`.
   void RunUntil(SimTime deadline);
 
-  size_t pending_events() const { return queue_.size(); }
+  size_t pending_events() const { return pending_ids_.size(); }
   uint64_t executed_events() const { return executed_; }
 
  private:
   struct Event {
     SimTime time;
-    uint64_t seq;  // tie-breaker for stable ordering
+    EventId id;  // also the tie-breaker for stable ordering
     std::function<void()> fn;
   };
   struct EventCompare {
@@ -66,14 +81,20 @@ class Simulator {
       if (a.time != b.time) {
         return a.time > b.time;
       }
-      return a.seq > b.seq;
+      return a.id > b.id;
     }
   };
 
+  // Pops cancelled events off the front of the queue without running them or
+  // touching the clock.
+  void DropCancelledPrefix();
+
   SimTime now_ = 0;
-  uint64_t next_seq_ = 0;
+  EventId next_id_ = 1;
   uint64_t executed_ = 0;
   std::priority_queue<Event, std::vector<Event>, EventCompare> queue_;
+  std::unordered_set<EventId> pending_ids_;    // scheduled, not yet run or cancelled
+  std::unordered_set<EventId> cancelled_ids_;  // cancelled but still physically queued
 };
 
 }  // namespace globe::sim

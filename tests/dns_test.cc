@@ -237,7 +237,8 @@ class DnsServiceTest : public ::testing::Test {
     tsig_keys_["gdn-na"] = ToBytes("naming-authority-key");
     tsig_keys_["axfr"] = ToBytes("transfer-key");
 
-    primary_ = std::make_unique<AuthoritativeServer>(&transport_, world_.hosts[0], tsig_keys_);
+    primary_ =
+        std::make_unique<AuthoritativeServer>(&transport_, world_.hosts[0], tsig_keys_);
     Zone zone(kZone, /*soa_minimum_ttl=*/300);
     EXPECT_TRUE(zone.Add({"gimp.graphics.apps.gdn.cs.vu.nl", RrType::kTxt, 3600,
                           "aabbccdd"}).ok());
@@ -246,7 +247,8 @@ class DnsServiceTest : public ::testing::Test {
     resolver_ = std::make_unique<CachingResolver>(&transport_, world_.hosts[4]);
     resolver_->AddUpstream(kZone, primary_->endpoint());
 
-    client_ = std::make_unique<DnsClient>(&transport_, world_.hosts[6], resolver_->endpoint());
+    client_ =
+        std::make_unique<DnsClient>(&transport_, world_.hosts[6], resolver_->endpoint());
   }
 
   QueryResponse ResolveSync(std::string_view name, RrType type = RrType::kTxt) {
@@ -346,10 +348,12 @@ TEST_F(DnsServiceTest, AuthenticUpdateAppliesAndPropagatesToSecondary) {
   update.sequence = 1;
   TsigSign(&update, tsig_keys_["gdn-na"]);
 
-  sim::RpcClient rpc(&transport_, world_.hosts[6]);
+  sim::Channel rpc(&transport_, world_.hosts[6]);
   Status status = InvalidArgument("pending");
   rpc.Call(primary_->endpoint(), "dns.update", update.Serialize(),
-           [&](Result<Bytes> result) { status = result.ok() ? OkStatus() : result.status(); });
+           [&](Result<Bytes> result) {
+             status = result.ok() ? OkStatus() : result.status();
+           });
   simulator_.Run();
   ASSERT_TRUE(status.ok()) << status;
   EXPECT_EQ(primary_->stats().updates_applied, 1u);
@@ -370,14 +374,15 @@ TEST_F(DnsServiceTest, ForgedUpdateRejected) {
   update.sequence = 1;
   TsigSign(&update, ToBytes("attacker-guess"));  // wrong key
 
-  sim::RpcClient rpc(&transport_, world_.hosts[6]);
+  sim::Channel rpc(&transport_, world_.hosts[6]);
   Status status;
   rpc.Call(primary_->endpoint(), "dns.update", update.Serialize(),
            [&](Result<Bytes> result) { status = result.status(); });
   simulator_.Run();
   EXPECT_EQ(status.code(), StatusCode::kPermissionDenied);
   EXPECT_EQ(primary_->stats().updates_rejected, 1u);
-  EXPECT_EQ(primary_->FindZone("evil.gdn.cs.vu.nl")->Lookup("evil.gdn.cs.vu.nl", RrType::kTxt)
+  EXPECT_EQ(primary_->FindZone("evil.gdn.cs.vu.nl")
+                ->Lookup("evil.gdn.cs.vu.nl", RrType::kTxt)
                 .size(),
             0u);
 }
@@ -391,7 +396,7 @@ TEST_F(DnsServiceTest, ReplayedUpdateRejected) {
   TsigSign(&update, tsig_keys_["gdn-na"]);
   Bytes wire = update.Serialize();
 
-  sim::RpcClient rpc(&transport_, world_.hosts[6]);
+  sim::Channel rpc(&transport_, world_.hosts[6]);
   int ok_count = 0, denied_count = 0;
   auto record_result = [&](Result<Bytes> result) {
     if (result.ok()) {
@@ -420,7 +425,7 @@ TEST_F(DnsServiceTest, UpdateToSecondaryRefused) {
   update.sequence = 1;
   TsigSign(&update, tsig_keys_["gdn-na"]);
 
-  sim::RpcClient rpc(&transport_, world_.hosts[6]);
+  sim::Channel rpc(&transport_, world_.hosts[6]);
   Status status;
   rpc.Call(secondary->endpoint(), "dns.update", update.Serialize(),
            [&](Result<Bytes> result) { status = result.status(); });
@@ -429,10 +434,12 @@ TEST_F(DnsServiceTest, UpdateToSecondaryRefused) {
 }
 
 TEST_F(DnsServiceTest, RoundRobinAcrossReplicatedServers) {
-  auto second = std::make_unique<AuthoritativeServer>(&transport_, world_.hosts[2], tsig_keys_);
+  auto second =
+      std::make_unique<AuthoritativeServer>(&transport_, world_.hosts[2], tsig_keys_);
   Zone zone2(kZone, 300);
   EXPECT_TRUE(
-      zone2.Add({"gimp.graphics.apps.gdn.cs.vu.nl", RrType::kTxt, 3600, "aabbccdd"}).ok());
+      zone2.Add({"gimp.graphics.apps.gdn.cs.vu.nl", RrType::kTxt, 3600, "aabbccdd"})
+          .ok());
   second->AddZone(std::move(zone2), /*primary=*/false);
   resolver_->AddUpstream(kZone, second->endpoint());
 
@@ -493,9 +500,11 @@ class GnsTest : public ::testing::Test {
     resolver_->AddUpstream(kZone, dns_server_->endpoint());
 
     moderator_gns_ = std::make_unique<GnsClient>(&secure_, moderator_node_, kZone,
-                                                 authority_->endpoint(), resolver_->endpoint());
+                                                 authority_->endpoint(),
+                                                 resolver_->endpoint());
     user_gns_ = std::make_unique<GnsClient>(&secure_, user_node_, kZone,
-                                            authority_->endpoint(), resolver_->endpoint());
+                                            authority_->endpoint(),
+                                            resolver_->endpoint());
   }
 
   sim::Simulator simulator_;

@@ -209,7 +209,8 @@ TEST_F(GdnWorldTest, ListingIsHtmlWithHashes) {
   ASSERT_TRUE(listing.ok()) << listing.status();
   EXPECT_NE(listing->find("<html>"), std::string::npos);
   EXPECT_NE(listing->find("tetex.tar"), std::string::npos);
-  EXPECT_NE(listing->find(Sha256::HexDigest(ToBytes("tar bytes here"))), std::string::npos);
+  EXPECT_NE(listing->find(Sha256::HexDigest(ToBytes("tar bytes here"))),
+            std::string::npos);
 }
 
 TEST_F(GdnWorldTest, DownloadUnknownPackageIs404) {
@@ -337,7 +338,7 @@ TEST_F(SecureGdnWorldTest, PublishAndDownloadStillWork) {
 
 TEST_F(SecureGdnWorldTest, UserCannotCommandGos) {
   sim::NodeId user = world_.user_hosts()[0];
-  sim::RpcClient rpc(world_.transport(), user);
+  sim::Channel rpc(world_.transport(), user);
   ByteWriter w;
   w.WriteU16(dso::kProtoClientServer);
   w.WriteU16(kPackageTypeId);
@@ -369,14 +370,16 @@ TEST_F(SecureGdnWorldTest, UserCannotModifyPackageReplica) {
   // Reads are allowed...
   Result<Bytes> read = Unavailable("pending");
   auto get = pkg::GetFileContents("f");
-  bound->Invoke(get.method, get.args, true, [&](Result<Bytes> r) { read = std::move(r); });
+  bound->Invoke(get.method, get.args, true,
+                [&](Result<Bytes> r) { read = std::move(r); });
   world_.Run();
   EXPECT_TRUE(read.ok());
 
   // ...but the write is refused by the replica's write guard.
   Result<Bytes> write = Unavailable("pending");
   auto add = pkg::AddFile("f", ToBytes("trojaned"));
-  bound->Invoke(add.method, add.args, false, [&](Result<Bytes> r) { write = std::move(r); });
+  bound->Invoke(add.method, add.args, false,
+                [&](Result<Bytes> r) { write = std::move(r); });
   world_.Run();
   ASSERT_FALSE(write.ok());
   EXPECT_EQ(write.status().code(), StatusCode::kPermissionDenied);
@@ -395,7 +398,8 @@ TEST_F(SecureGdnWorldTest, MaintainerMayManageOnlyTheirPackage) {
       world_.AddMaintainerMachine("gimp-maintainer", maintainer_node);
 
   auto theirs = world_.PublishPackageWithMaintainers(
-      "/apps/theirs", {{"f", ToBytes("v1")}}, dso::kProtoMasterSlave, 0, {}, {maintainer});
+      "/apps/theirs", {{"f", ToBytes("v1")}}, dso::kProtoMasterSlave, 0, {},
+      {maintainer});
   ASSERT_TRUE(theirs.ok()) << theirs.status();
   auto others = world_.PublishPackage("/apps/others", {{"f", ToBytes("v1")}},
                                       dso::kProtoMasterSlave, 0);
@@ -454,7 +458,8 @@ TEST_F(SecureGdnWorldTest, ModeratorCanModifyPackage) {
   std::map<std::string, Bytes> files = {{"f", ToBytes("v1")}};
   ASSERT_TRUE(world_.PublishPackage("/apps/mine", files, dso::kProtoMasterSlave, 0).ok());
   Status status = Unavailable("pending");
-  world_.moderator()->AddFile("/apps/mine", "f", ToBytes("v2"), [&](Status s) { status = s; });
+  world_.moderator()->AddFile("/apps/mine", "f", ToBytes("v2"),
+                              [&](Status s) { status = s; });
   world_.Run();
   EXPECT_TRUE(status.ok()) << status;
 }

@@ -99,7 +99,8 @@ class GlsTreeTest : public ::testing::Test {
         rng_(99) {}
 
   // Registers a replica of `oid` living on `host` and waits for completion.
-  void InsertAt(const ObjectId& oid, NodeId host, ReplicaRole role = ReplicaRole::kMaster) {
+  void InsertAt(const ObjectId& oid, NodeId host,
+                ReplicaRole role = ReplicaRole::kMaster) {
     auto client = deployment_.MakeClient(host);
     Status status = InvalidArgument("pending");
     client->Insert(oid, ContactAddress{{host, sim::kPortGos}, 1, role},
@@ -116,7 +117,8 @@ class GlsTreeTest : public ::testing::Test {
     return out;
   }
 
-  Status DeleteAt(const ObjectId& oid, NodeId host, ReplicaRole role = ReplicaRole::kMaster) {
+  Status DeleteAt(const ObjectId& oid, NodeId host,
+                  ReplicaRole role = ReplicaRole::kMaster) {
     auto client = deployment_.MakeClient(host);
     Status status = InvalidArgument("pending");
     client->Delete(oid, ContactAddress{{host, sim::kPortGos}, 1, role},
@@ -356,7 +358,8 @@ TEST(GlsAuthTest, UnauthenticatedRegistrationRejected) {
                            [&](NodeId host) {
                              gls_hosts.insert(host);
                              secure.SetNodeCredential(
-                                 host, registry.Register("gls-host", sec::Role::kGdnHost));
+                                 host,
+                                 registry.Register("gls-host", sec::Role::kGdnHost));
                            });
 
   // GOS host with a proper GdnHost credential; attacker host with none.
@@ -498,9 +501,8 @@ TEST(LookupCacheTest, EvictsSoonestToExpireWhenFull) {
 // cache (src/gls/cache.h).
 class GlsCacheTest : public ::testing::Test {
  protected:
-  // TTLs are virtual time. Note that draining the simulator after each operation
-  // also runs that operation's pending 30 s RPC-timeout events, so the virtual
-  // clock advances ~30 s per synchronous step; test TTLs are sized well above that.
+  // TTLs are virtual time. Answered calls erase their deadline events, so a drained
+  // synchronous step advances the clock by round-trip time only.
   explicit GlsCacheTest(sim::SimTime ttl = 600 * sim::kSecond)
       : world_(BuildUniformWorld({2, 2, 2}, 2)),
         network_(&simulator_, &world_.topology),
@@ -737,7 +739,8 @@ TEST(GlsAuthTest, CachedAndBatchedPathsStillDenyUnauthenticated) {
                            [&](NodeId host) {
                              gls_hosts.insert(host);
                              secure.SetNodeCredential(
-                                 host, registry.Register("gls-host", sec::Role::kGdnHost));
+                                 host,
+                                 registry.Register("gls-host", sec::Role::kGdnHost));
                            });
 
   NodeId gos_host = world.hosts[0];
@@ -854,6 +857,212 @@ TEST_F(GlsTreeTest, CrashedDirectoryMakesLookupsFailThenRecoverAfterRestart) {
   auto result = LookupFrom(oid, world_.hosts[15]);
   ASSERT_TRUE(result.ok()) << result.status();
   EXPECT_EQ(result->addresses[0].endpoint.node, world_.hosts[0]);
+}
+
+// ---------------------------------------------------------------- delete_batch
+
+TEST_F(GlsTreeTest, DeleteBatchDeregistersAllInOneRoundTrip) {
+  std::vector<std::pair<ObjectId, ContactAddress>> items;
+  for (int i = 0; i < 8; ++i) {
+    items.emplace_back(
+        ObjectId::Generate(&rng_),
+        ContactAddress{{world_.hosts[0], sim::kPortGos}, 1, ReplicaRole::kMaster});
+  }
+  auto client = deployment_.MakeClient(world_.hosts[0]);
+  Status status = Unavailable("pending");
+  client->InsertBatch(items, [&](Status s) { status = s; });
+  simulator_.Run();
+  ASSERT_TRUE(status.ok()) << status;
+
+  status = Unavailable("pending");
+  client->DeleteBatch(items, [&](Status s) { status = s; });
+  simulator_.Run();
+  ASSERT_TRUE(status.ok()) << status;
+
+  // The leaf subnode saw one batch message carrying all eight deregistrations.
+  DomainId leaf_domain = world_.topology.NodeDomain(world_.hosts[0]);
+  auto leaf_subnodes = deployment_.SubnodesOf(leaf_domain);
+  ASSERT_EQ(leaf_subnodes.size(), 1u);
+  EXPECT_EQ(leaf_subnodes[0]->stats().batch_deletes, 1u);
+  EXPECT_EQ(leaf_subnodes[0]->stats().deletes, 8u);
+  EXPECT_EQ(leaf_subnodes[0]->TotalEntries(), 0u);
+
+  // Every registration is gone, all the way up the tree.
+  for (const auto& [oid, address] : items) {
+    auto result = LookupFrom(oid, world_.hosts[15]);
+    EXPECT_EQ(result.status().code(), StatusCode::kNotFound) << oid.ToHex();
+  }
+  for (const auto& subnode : deployment_.subnodes()) {
+    for (const auto& [oid, address] : items) {
+      EXPECT_EQ(subnode->NumPointers(oid), 0u);
+    }
+  }
+}
+
+TEST_F(GlsTreeTest, DeleteBatchSurfacesMissingAddresses) {
+  ObjectId registered = ObjectId::Generate(&rng_);
+  InsertAt(registered, world_.hosts[0]);
+  ContactAddress address{{world_.hosts[0], sim::kPortGos}, 1, ReplicaRole::kMaster};
+
+  std::vector<std::pair<ObjectId, ContactAddress>> items = {
+      {registered, address}, {ObjectId::Generate(&rng_), address}};
+  auto client = deployment_.MakeClient(world_.hosts[0]);
+  Status status = OkStatus();
+  client->DeleteBatch(items, [&](Status s) { status = s; });
+  simulator_.Run();
+  // The unknown item's NotFound surfaces, but the registered one was deleted.
+  EXPECT_EQ(status.code(), StatusCode::kNotFound);
+  EXPECT_EQ(LookupFrom(registered, world_.hosts[15]).status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(GlsCacheTest, DeleteBatchInvalidatesCachePerDeletedOid) {
+  std::vector<std::pair<ObjectId, ContactAddress>> items;
+  for (int i = 0; i < 4; ++i) {
+    items.emplace_back(
+        ObjectId::Generate(&rng_),
+        ContactAddress{{world_.hosts[0], sim::kPortGos}, 1, ReplicaRole::kMaster});
+    InsertAt(items.back().first, world_.hosts[0]);
+  }
+  // Warm the caches along the cross-continent path, then verify a hit.
+  for (const auto& [oid, address] : items) {
+    ASSERT_TRUE(LookupFrom(oid, world_.hosts[15], /*allow_cached=*/true).ok());
+  }
+  auto warm = LookupFrom(items[0].first, world_.hosts[15], /*allow_cached=*/true);
+  ASSERT_TRUE(warm.ok());
+  EXPECT_TRUE(warm->from_cache);
+
+  auto client = deployment_.MakeClient(world_.hosts[0]);
+  Status status = Unavailable("pending");
+  client->DeleteBatch(items, [&](Status s) { status = s; });
+  simulator_.Run();
+  ASSERT_TRUE(status.ok()) << status;
+
+  // No subnode anywhere may serve any of the deleted OIDs from its cache.
+  for (const auto& [oid, address] : items) {
+    auto after = LookupFrom(oid, world_.hosts[15], /*allow_cached=*/true);
+    EXPECT_EQ(after.status().code(), StatusCode::kNotFound) << oid.ToHex();
+  }
+}
+
+// ------------------------------------------------------- power-of-two routing
+
+class GlsP2cTest : public ::testing::Test {
+ protected:
+  GlsP2cTest()
+      : world_(BuildUniformWorld({2, 2, 2}, 2)),
+        network_(&simulator_, &world_.topology),
+        transport_(&network_),
+        deployment_(&transport_, &world_.topology, nullptr, P2cOptions()),
+        rng_(4242) {}
+
+  static GlsDeploymentOptions P2cOptions() {
+    GlsDeploymentOptions options;
+    options.node_options.enable_cache = true;
+    options.node_options.cache_ttl = 600 * sim::kSecond;
+    options.node_options.lookup_route_mode = RouteMode::kPowerOfTwoChoices;
+    // Every directory node is partitioned so each level has an alternate.
+    options.subnode_count = [](DomainId, int) { return 2; };
+    return options;
+  }
+
+  uint64_t TotalSideways() const {
+    uint64_t total = 0;
+    for (const auto& subnode : deployment_.subnodes()) {
+      total += subnode->stats().forwards_sideways;
+    }
+    return total;
+  }
+
+  sim::Simulator simulator_;
+  UniformWorld world_;
+  sim::Network network_;
+  sim::PlainTransport transport_;
+  GlsDeployment deployment_;
+  Rng rng_;
+};
+
+TEST_F(GlsP2cTest, BurstLookupsSucceedViaAlternateSubnodes) {
+  ObjectId oid = ObjectId::Generate(&rng_);
+  ContactAddress address{{world_.hosts[0], sim::kPortGos}, 1, ReplicaRole::kMaster};
+  auto insert_client = deployment_.MakeClient(world_.hosts[0]);
+  Status status = Unavailable("pending");
+  insert_client->Insert(oid, address, [&](Status s) { status = s; });
+  simulator_.Run();
+  ASSERT_TRUE(status.ok()) << status;
+
+  // A burst of concurrent cross-continent lookups: outstanding depth builds up on
+  // the home subnodes, so power-of-two choices diverts part of the burst to the
+  // alternates, which hand the lookups sideways to their home siblings (and cache
+  // the answers). Every lookup must still find the correct address.
+  auto lookup_client = deployment_.MakeClient(world_.hosts[15]);
+  lookup_client->set_route_mode(RouteMode::kPowerOfTwoChoices);
+  lookup_client->set_allow_cached(true);
+  int ok = 0, wrong = 0;
+  for (int i = 0; i < 16; ++i) {
+    lookup_client->Lookup(oid, [&](Result<LookupResult> result) {
+      if (result.ok() && result->addresses.size() == 1 &&
+          result->addresses[0] == address) {
+        ++ok;
+      } else {
+        ++wrong;
+      }
+    });
+  }
+  simulator_.Run();
+  EXPECT_EQ(ok, 16);
+  EXPECT_EQ(wrong, 0);
+  EXPECT_GE(TotalSideways(), 1u);
+}
+
+TEST_F(GlsP2cTest, DeleteInvalidatesAlternateSubnodeCachesToo) {
+  ObjectId oid = ObjectId::Generate(&rng_);
+  ContactAddress address{{world_.hosts[0], sim::kPortGos}, 1, ReplicaRole::kMaster};
+  auto insert_client = deployment_.MakeClient(world_.hosts[0]);
+  Status status = Unavailable("pending");
+  insert_client->Insert(oid, address, [&](Status s) { status = s; });
+  simulator_.Run();
+  ASSERT_TRUE(status.ok()) << status;
+
+  // Two bursts warm both home and alternate caches at every level.
+  auto lookup_client = deployment_.MakeClient(world_.hosts[15]);
+  lookup_client->set_route_mode(RouteMode::kPowerOfTwoChoices);
+  lookup_client->set_allow_cached(true);
+  for (int burst = 0; burst < 2; ++burst) {
+    for (int i = 0; i < 16; ++i) {
+      lookup_client->Lookup(oid, [](Result<LookupResult>) {});
+    }
+    simulator_.Run();
+  }
+
+  status = Unavailable("pending");
+  insert_client->Delete(oid, address, [&](Status s) { status = s; });
+  simulator_.Run();
+  ASSERT_TRUE(status.ok()) << status;
+
+  // After the delete's fan-out, no subnode — home or alternate, at any level — may
+  // serve the deregistered address, cached or otherwise.
+  for (int i = 0; i < 16; ++i) {
+    lookup_client->Lookup(oid, [&](Result<LookupResult> result) {
+      EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+    });
+  }
+  simulator_.Run();
+  for (const auto& subnode : deployment_.subnodes()) {
+    EXPECT_EQ(subnode->NumAddresses(oid), 0u);
+    EXPECT_EQ(subnode->NumPointers(oid), 0u);
+  }
+}
+
+TEST_F(GlsTreeTest, HashOnlyRoutingNeverForwardsSideways) {
+  ObjectId oid = ObjectId::Generate(&rng_);
+  InsertAt(oid, world_.hosts[0]);
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(LookupFrom(oid, world_.hosts[15]).ok());
+  }
+  for (const auto& subnode : deployment_.subnodes()) {
+    EXPECT_EQ(subnode->stats().forwards_sideways, 0u);
+  }
 }
 
 }  // namespace

@@ -227,6 +227,46 @@ TEST_F(GosTest, RestoreReregistersAllReplicasInOneBatch) {
   }
 }
 
+TEST_F(GosTest, DecommissionRemovesAllReplicasInOneDeleteBatch) {
+  std::vector<gls::ObjectId> oids;
+  for (int i = 0; i < 4; ++i) {
+    oids.push_back(CreateFirstSync(gos_a_.get(), dso::kProtoClientServer));
+  }
+
+  auto leaf_subnodes =
+      deployment_.SubnodesOf(world_.topology.NodeDomain(world_.hosts[0]));
+  ASSERT_EQ(leaf_subnodes.size(), 1u);
+  uint64_t batches_before = leaf_subnodes[0]->stats().batch_deletes;
+  uint64_t deletes_before = leaf_subnodes[0]->stats().deletes;
+
+  Status status = InvalidArgument("pending");
+  gos_a_->Decommission([&](Status s) { status = s; });
+  simulator_.Run();
+  ASSERT_TRUE(status.ok()) << status;
+  EXPECT_EQ(gos_a_->num_replicas(), 0u);
+  EXPECT_EQ(gos_a_->stats().replicas_removed, 4u);
+
+  // All four deregistrations went to the leaf directory in one delete_batch.
+  EXPECT_EQ(leaf_subnodes[0]->stats().batch_deletes, batches_before + 1);
+  EXPECT_EQ(leaf_subnodes[0]->stats().deletes, deletes_before + 4);
+
+  // The objects are gone from the GLS worldwide.
+  for (const auto& oid : oids) {
+    auto client = deployment_.MakeClient(world_.hosts[7]);
+    Status lookup_status = OkStatus();
+    client->Lookup(oid, [&](Result<gls::LookupResult> r) { lookup_status = r.status(); });
+    simulator_.Run();
+    EXPECT_EQ(lookup_status.code(), StatusCode::kNotFound) << oid.ToHex();
+  }
+}
+
+TEST_F(GosTest, DecommissionOfEmptyServerIsOk) {
+  Status status = InvalidArgument("pending");
+  gos_b_->Decommission([&](Status s) { status = s; });
+  simulator_.Run();
+  EXPECT_TRUE(status.ok()) << status;
+}
+
 TEST_F(GosTest, RestoreRejectsCorruptCheckpoint) {
   Status status = OkStatus();
   gos_a_->Restore(Bytes{0xff, 0xff, 0x03}, [&](Status s) { status = s; });
@@ -236,7 +276,7 @@ TEST_F(GosTest, RestoreRejectsCorruptCheckpoint) {
 
 TEST_F(GosTest, RpcCommandsWork) {
   // Drive the server through its RPC surface, as the moderator tool does.
-  sim::RpcClient rpc(&transport_, world_.hosts[3]);
+  sim::Channel rpc(&transport_, world_.hosts[3]);
   ByteWriter w;
   w.WriteU16(dso::kProtoClientServer);
   w.WriteU16(KvObject::kTypeId);
@@ -267,7 +307,8 @@ TEST_F(GosTest, RpcCommandsWork) {
   ByteWriter rm;
   oid.Serialize(&rm);
   Status remove_status = InvalidArgument("pending");
-  rpc.Call(gos_a_->endpoint(), "gos.remove_replica", rm.Take(), [&](Result<Bytes> result) {
+  rpc.Call(gos_a_->endpoint(), "gos.remove_replica", rm.Take(),
+           [&](Result<Bytes> result) {
     remove_status = result.ok() ? OkStatus() : result.status();
   });
   simulator_.Run();
@@ -311,7 +352,7 @@ TEST(GosAuthTest, OnlyModeratorsMayCommand) {
   Bytes request = w.Take();
 
   // User's command is refused; moderator's succeeds.
-  sim::RpcClient user_rpc(&secure, user_node);
+  sim::Channel user_rpc(&secure, user_node);
   Status user_status = OkStatus();
   user_rpc.Call(gos.endpoint(), "gos.create_first_replica", request,
                 [&](Result<Bytes> result) { user_status = result.status(); });
@@ -320,7 +361,7 @@ TEST(GosAuthTest, OnlyModeratorsMayCommand) {
   EXPECT_EQ(gos.stats().commands_denied, 1u);
   EXPECT_EQ(gos.num_replicas(), 0u);
 
-  sim::RpcClient moderator_rpc(&secure, moderator_node);
+  sim::Channel moderator_rpc(&secure, moderator_node);
   Status moderator_status = InvalidArgument("pending");
   moderator_rpc.Call(gos.endpoint(), "gos.create_first_replica", request,
                      [&](Result<Bytes> result) {

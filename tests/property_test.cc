@@ -140,13 +140,15 @@ TEST_P(GlsModelTest, AgreesWithReferenceModel) {
       NodeId from = world.hosts[rng.UniformInt(world.hosts.size())];
       auto lookup_client = deployment.MakeClient(from);
       Result<gls::LookupResult> result = Unavailable("pending");
-      lookup_client->Lookup(oid, [&](Result<gls::LookupResult> r) { result = std::move(r); });
+      lookup_client->Lookup(
+          oid, [&](Result<gls::LookupResult> r) { result = std::move(r); });
       simulator.Run();
       bool expected = reference.count(oid) > 0 && !reference.at(oid).empty();
       ASSERT_EQ(result.ok(), expected) << "step " << step;
       if (result.ok()) {
         for (const auto& got : result->addresses) {
-          EXPECT_TRUE(reference.at(oid).count(got) > 0) << "phantom address at step " << step;
+          EXPECT_TRUE(reference.at(oid).count(got) > 0)
+              << "phantom address at step " << step;
         }
       }
     }
@@ -210,7 +212,8 @@ TEST_P(ReplicationModelTest, MasterSlaveConvergesToReference) {
   for (auto* replica : entry_points) {
     for (const auto& [key, value] : reference) {
       Result<Bytes> result = Unavailable("pending");
-      replica->Invoke(testutil::KvGet(key), [&](Result<Bytes> r) { result = std::move(r); });
+      replica->Invoke(testutil::KvGet(key),
+                      [&](Result<Bytes> r) { result = std::move(r); });
       simulator.Run();
       ASSERT_TRUE(result.ok());
       ByteReader r(*result);
@@ -261,15 +264,15 @@ TEST(DnsCacheFreshnessTest, NeverServesExpiredRecords) {
   update.key_name = "gdn-na";
   update.sequence = 1;
   dns::TsigSign(&update, keys["gdn-na"]);
-  sim::RpcClient rpc(&transport, world.hosts[3]);
+  sim::Channel rpc(&transport, world.hosts[3]);
   rpc.Call(server.endpoint(), "dns.update", update.Serialize(), [](Result<Bytes>) {});
   simulator.Run();
 
   // Within the TTL a stale cached answer is legal (that is DNS semantics); once the
   // TTL has certainly elapsed the resolver MUST serve the new record — a cache entry
-  // may never outlive its TTL. (Each resolve() drains the event queue, including
-  // 30-second RPC timeout events, so the virtual clock is far past the 100 s TTL by
-  // the final query regardless of the nominal sleeps.)
+  // may never outlive its TTL. The explicit RunUntil sleeps advance the clock past
+  // the 100 s TTL (a drained resolve() itself now only costs round-trip time, since
+  // answered calls erase their deadline events).
   simulator.RunUntil(simulator.Now() + 50 * sim::kSecond);
   (void)resolve();  // mid-TTL: either version is acceptable, must not crash
   simulator.RunUntil(simulator.Now() + 101 * sim::kSecond);

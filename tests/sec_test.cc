@@ -17,7 +17,7 @@ using sim::BuildUniformWorld;
 using sim::Endpoint;
 using sim::kSecond;
 using sim::NodeId;
-using sim::RpcClient;
+using sim::Channel;
 using sim::RpcContext;
 using sim::RpcServer;
 using sim::UniformWorld;
@@ -153,12 +153,13 @@ class SecureTransportTest : public ::testing::Test {
   CallOutcome RunEcho(NodeId from, NodeId to) {
     RpcServer server(&transport_, to, 700);
     CallOutcome outcome;
-    server.RegisterMethod("echo", [&](const RpcContext& ctx, ByteSpan req) -> Result<Bytes> {
+    server.RegisterMethod(
+        "echo", [&](const RpcContext& ctx, ByteSpan req) -> Result<Bytes> {
       outcome.peer = ctx.peer_principal;
       outcome.integrity = ctx.integrity_protected;
       return Bytes(req.begin(), req.end());
     });
-    RpcClient client(&transport_, from);
+    Channel client(&transport_, from);
     client.Call(server.endpoint(), "echo", ToBytes("payload"), [&](Result<Bytes> result) {
       outcome.ok = result.ok();
       if (result.ok()) {
@@ -246,10 +247,12 @@ TEST_F(SecureTransportTest, TamperedFrameIsDroppedByMac) {
     ++delivered;
     return Bytes(req.begin(), req.end());
   });
-  RpcClient client(&secure, host_a_);
+  Channel client(&secure, host_a_);
   bool ok = true;
-  client.Call(server.endpoint(), "echo", ToBytes("x"), [&](Result<Bytes> r) { ok = r.ok(); },
-              5 * kSecond);
+  sim::CallOptions call_options;
+  call_options.deadline = 5 * kSecond;
+  client.Call(server.endpoint(), "echo", ToBytes("x"),
+              [&](Result<Bytes> r) { ok = r.ok(); }, call_options);
   simulator_.Run();
   EXPECT_EQ(delivered, 0);
   EXPECT_FALSE(ok);
@@ -281,7 +284,8 @@ TEST_F(SecureTransportTest, RawInjectionWithoutSessionIsRejected) {
 TEST_F(SecureTransportTest, ReplayedFrameIsRejected) {
   // Capture legitimate frames off the wire, then re-inject them.
   std::vector<std::pair<std::pair<Endpoint, Endpoint>, Bytes>> captured;
-  network_.SetEavesdropper([&](const Endpoint& src, const Endpoint& dst, ByteSpan payload) {
+  network_.SetEavesdropper(
+      [&](const Endpoint& src, const Endpoint& dst, ByteSpan payload) {
     captured.push_back({{src, dst}, Bytes(payload.begin(), payload.end())});
   });
 
@@ -291,7 +295,7 @@ TEST_F(SecureTransportTest, ReplayedFrameIsRejected) {
     ++delivered;
     return Bytes{};
   });
-  RpcClient client(&transport_, host_a_);
+  Channel client(&transport_, host_a_);
   client.Call(server.endpoint(), "cmd", ToBytes("once"), [](Result<Bytes>) {});
   simulator_.Run();
   ASSERT_EQ(delivered, 1);

@@ -65,6 +65,41 @@ TEST(SimulatorTest, StepReturnsFalseWhenEmpty) {
   EXPECT_FALSE(simulator.Step());
 }
 
+TEST(SimulatorTest, CancelledEventNeitherRunsNorAdvancesClock) {
+  Simulator simulator;
+  int ran = 0;
+  simulator.ScheduleAt(10, [&] { ++ran; });
+  Simulator::EventId cancelled = simulator.ScheduleAt(30 * kSecond, [&] { ran += 100; });
+  EXPECT_EQ(simulator.pending_events(), 2u);
+  EXPECT_TRUE(simulator.Cancel(cancelled));
+  EXPECT_EQ(simulator.pending_events(), 1u);
+  simulator.Run();
+  EXPECT_EQ(ran, 1);
+  // The cancelled event's time must not leak into the clock.
+  EXPECT_EQ(simulator.Now(), 10u);
+  // Double-cancel and cancelling an executed event both report failure.
+  EXPECT_FALSE(simulator.Cancel(cancelled));
+  EXPECT_FALSE(simulator.Cancel(Simulator::kNoEvent));
+}
+
+TEST(SimulatorTest, CancelInsideRunUntilSkipsCleanly) {
+  Simulator simulator;
+  std::vector<int> order;
+  Simulator::EventId second = simulator.ScheduleAt(20, [&] { order.push_back(2); });
+  simulator.ScheduleAt(10, [&] {
+    order.push_back(1);
+    simulator.Cancel(second);
+  });
+  simulator.ScheduleAt(40, [&] { order.push_back(3); });
+  simulator.RunUntil(25);
+  // Only event 1 ran before the deadline; the cancelled one was skipped without
+  // dragging the clock to t=20's successor.
+  EXPECT_EQ(order, (std::vector<int>{1}));
+  EXPECT_EQ(simulator.Now(), 25u);
+  simulator.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 3}));
+}
+
 // ---------------------------------------------------------------- Topology
 
 class WorldTest : public ::testing::Test {
@@ -333,7 +368,7 @@ TEST_F(RpcTest, EchoRoundTrip) {
     return Bytes(req.begin(), req.end());
   });
 
-  RpcClient client(&transport_, client_node);
+  Channel client(&transport_, client_node);
   Bytes reply;
   client.Call(server.endpoint(), "echo", ToBytes("hello globe"),
               [&](Result<Bytes> result) {
@@ -345,13 +380,31 @@ TEST_F(RpcTest, EchoRoundTrip) {
   EXPECT_EQ(server.requests_served(), 1u);
 }
 
+TEST_F(RpcTest, DrainedCallAdvancesClockByRoundTripNotDeadline) {
+  RpcServer server(&transport_, world_.hosts[0], 700);
+  server.RegisterMethod("echo", [](const RpcContext&, ByteSpan req) -> Result<Bytes> {
+    return Bytes(req.begin(), req.end());
+  });
+
+  Channel client(&transport_, world_.hosts[5]);
+  bool answered = false;
+  client.Call(server.endpoint(), "echo", ToBytes("x"),
+              [&](Result<Bytes> result) { answered = result.ok(); });
+  simulator_.Run();
+  ASSERT_TRUE(answered);
+  // The 30 s deadline event was erased when the response landed: draining the
+  // queue costs the path's round-trip time, far under a second — not ~30 s.
+  EXPECT_LT(simulator_.Now(), kSecond);
+  EXPECT_EQ(simulator_.pending_events(), 0u);
+}
+
 TEST_F(RpcTest, ErrorStatusPropagates) {
   RpcServer server(&transport_, world_.hosts[0], 700);
   server.RegisterMethod("fail", [](const RpcContext&, ByteSpan) -> Result<Bytes> {
     return PermissionDenied("not a moderator");
   });
 
-  RpcClient client(&transport_, world_.hosts[1]);
+  Channel client(&transport_, world_.hosts[1]);
   Status got;
   client.Call(server.endpoint(), "fail", {}, [&](Result<Bytes> result) {
     ASSERT_FALSE(result.ok());
@@ -364,7 +417,7 @@ TEST_F(RpcTest, ErrorStatusPropagates) {
 
 TEST_F(RpcTest, UnknownMethodReturnsNotFound) {
   RpcServer server(&transport_, world_.hosts[0], 700);
-  RpcClient client(&transport_, world_.hosts[1]);
+  Channel client(&transport_, world_.hosts[1]);
   Status got;
   client.Call(server.endpoint(), "nope", {}, [&](Result<Bytes> result) {
     got = result.status();
@@ -373,7 +426,7 @@ TEST_F(RpcTest, UnknownMethodReturnsNotFound) {
   EXPECT_EQ(got.code(), StatusCode::kNotFound);
 }
 
-TEST_F(RpcTest, TimeoutWhenServerDown) {
+TEST_F(RpcTest, DeadlineWhenServerDown) {
   NodeId server_node = world_.hosts[0];
   RpcServer server(&transport_, server_node, 700);
   server.RegisterMethod("echo", [](const RpcContext&, ByteSpan req) -> Result<Bytes> {
@@ -381,15 +434,258 @@ TEST_F(RpcTest, TimeoutWhenServerDown) {
   });
   network_.SetNodeUp(server_node, false);
 
-  RpcClient client(&transport_, world_.hosts[1]);
+  Channel client(&transport_, world_.hosts[1]);
   Status got;
-  client.Call(server.endpoint(), "echo", {}, [&](Result<Bytes> result) {
-    got = result.status();
-  }, 5 * kSecond);
+  CallOptions options;
+  options.deadline = 5 * kSecond;
+  client.Call(server.endpoint(), "echo", {},
+              [&](Result<Bytes> result) { got = result.status(); }, options);
   simulator_.Run();
   EXPECT_EQ(got.code(), StatusCode::kUnavailable);
-  // The timeout fired at exactly the deadline.
+  // The deadline fired exactly when it should.
   EXPECT_EQ(simulator_.Now(), 5 * kSecond);
+  EXPECT_EQ(client.stats().deadline_exceeded, 1u);
+  EXPECT_EQ(client.PeerLoad(server.endpoint()).failed, 1u);
+}
+
+TEST_F(RpcTest, CancelledCallNeverRunsItsCallbackNorLeaksPendingState) {
+  RpcServer server(&transport_, world_.hosts[0], 700);
+  server.RegisterMethod("echo", [](const RpcContext&, ByteSpan req) -> Result<Bytes> {
+    return Bytes(req.begin(), req.end());
+  });
+
+  Channel client(&transport_, world_.hosts[5]);
+  int callback_runs = 0;
+  CallHandle handle = client.Call(server.endpoint(), "echo", ToBytes("x"),
+                                  [&](Result<Bytes>) { ++callback_runs; });
+  EXPECT_TRUE(handle.active());
+  handle.Cancel();
+  EXPECT_FALSE(handle.active());
+  // Cancel is idempotent.
+  handle.Cancel();
+
+  simulator_.Run();
+  // The server still answered (the request was already on the wire), but the
+  // callback never fired and no pending entry or deadline event leaked.
+  EXPECT_EQ(server.requests_served(), 1u);
+  EXPECT_EQ(callback_runs, 0);
+  EXPECT_EQ(client.PeerLoad(server.endpoint()).outstanding, 0u);
+  EXPECT_EQ(client.stats().cancelled, 1u);
+  EXPECT_EQ(simulator_.pending_events(), 0u);
+  EXPECT_LT(simulator_.Now(), kSecond);  // the deadline event was erased too
+}
+
+TEST_F(RpcTest, RetryPolicyExhaustionSurfacesLastError) {
+  NodeId server_node = world_.hosts[0];
+  RpcServer server(&transport_, server_node, 700);
+  network_.SetNodeUp(server_node, false);
+
+  Channel client(&transport_, world_.hosts[1]);
+  Status got;
+  CallOptions options;
+  options.deadline = 2 * kSecond;
+  options.retry.attempts = 3;
+  options.retry.backoff = 500 * kMillisecond;
+  options.retry.backoff_multiplier = 2.0;
+  client.Call(server.endpoint(), "echo", {},
+              [&](Result<Bytes> result) { got = result.status(); }, options);
+  simulator_.Run();
+  EXPECT_EQ(got.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(client.stats().retries, 2u);
+  EXPECT_EQ(client.stats().deadline_exceeded, 3u);
+  // 3 deadlines of 2 s plus backoffs of 0.5 s and 1 s.
+  EXPECT_EQ(simulator_.Now(), 3 * 2 * kSecond + 1500 * kMillisecond);
+}
+
+TEST_F(RpcTest, RetryPolicyRecoversFromTransientFailures) {
+  RpcServer server(&transport_, world_.hosts[0], 700);
+  int attempts_seen = 0;
+  server.RegisterMethod("flaky", [&](const RpcContext&, ByteSpan) -> Result<Bytes> {
+    if (++attempts_seen < 3) {
+      return Unavailable("try again");
+    }
+    return ToBytes("finally");
+  });
+
+  Channel client(&transport_, world_.hosts[1]);
+  Bytes reply;
+  CallOptions options;
+  options.retry.attempts = 3;
+  options.retry.backoff = 100 * kMillisecond;
+  client.Call(server.endpoint(), "flaky", {},
+              [&](Result<Bytes> result) {
+                ASSERT_TRUE(result.ok());
+                reply = std::move(*result);
+              },
+              options);
+  simulator_.Run();
+  EXPECT_EQ(globe::ToString(reply), "finally");
+  EXPECT_EQ(attempts_seen, 3);
+  EXPECT_EQ(client.stats().retries, 2u);
+}
+
+TEST_F(RpcTest, StaleErrorResponseDoesNotConsumeRetryBudget) {
+  // The server is so slow (3 s service time) that every attempt's 2 s deadline
+  // fires before its (error) response arrives. The stale response must not be
+  // double-counted as a second failure of the already-charged attempt: both
+  // configured attempts go out on the wire before the call fails.
+  RpcServer server(&transport_, world_.hosts[0], 700);
+  server.set_service_time(3 * kSecond);
+  server.RegisterMethod("slow-fail", [](const RpcContext&, ByteSpan) -> Result<Bytes> {
+    return Unavailable("busy");
+  });
+
+  Channel client(&transport_, world_.hosts[1]);
+  Status got;
+  SimTime failed_at = 0;
+  CallOptions options;
+  options.deadline = 2 * kSecond;
+  options.retry.attempts = 2;
+  options.retry.backoff = 2 * kSecond;
+  client.Call(server.endpoint(), "slow-fail", {},
+              [&](Result<Bytes> result) {
+                got = result.status();
+                failed_at = simulator_.Now();
+              },
+              options);
+  simulator_.Run();
+  EXPECT_EQ(got.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(server.requests_served(), 2u);  // both attempts physically sent
+  EXPECT_EQ(client.stats().retries, 1u);
+  // Attempt 1's deadline (2 s) + backoff (2 s) + attempt 2's deadline (2 s).
+  EXPECT_EQ(failed_at, 6 * kSecond);
+}
+
+TEST_F(RpcTest, StaleErrorAfterRetryWasSentIsIgnored) {
+  // Short backoff: the retry is already on the wire when attempt 1's error
+  // response finally arrives. The stale error must neither fail the call (the
+  // live retry is still pending) nor burn another budget slot.
+  RpcServer server(&transport_, world_.hosts[0], 700);
+  server.set_service_time(3 * kSecond);
+  server.RegisterMethod("slow-fail", [](const RpcContext&, ByteSpan) -> Result<Bytes> {
+    return Unavailable("busy");
+  });
+
+  Channel client(&transport_, world_.hosts[1]);
+  Status got;
+  SimTime failed_at = 0;
+  CallOptions options;
+  options.deadline = 2 * kSecond;
+  options.retry.attempts = 2;
+  options.retry.backoff = 200 * kMillisecond;  // resend at ~2.2 s, stale error ~3 s
+  client.Call(server.endpoint(), "slow-fail", {},
+              [&](Result<Bytes> result) {
+                got = result.status();
+                failed_at = simulator_.Now();
+              },
+              options);
+  simulator_.Run();
+  EXPECT_EQ(got.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(server.requests_served(), 2u);
+  EXPECT_EQ(client.stats().retries, 1u);
+  // The call fails when attempt 2's own deadline expires (2 s + 0.2 s + 2 s),
+  // not when attempt 1's stale error trickles in at ~3 s.
+  EXPECT_EQ(failed_at, 4200 * kMillisecond);
+}
+
+TEST_F(RpcTest, StaleOkAfterRetryWasSentCompletesTheCall) {
+  // The server is slow but succeeds: attempt 1's OK response lands after the
+  // retry went out, and must complete the call (superseding the retry, whose
+  // eventual response is dropped).
+  RpcServer server(&transport_, world_.hosts[0], 700);
+  server.set_service_time(3 * kSecond);
+  server.RegisterMethod("slow-ok", [](const RpcContext&, ByteSpan) -> Result<Bytes> {
+    return ToBytes("done");
+  });
+
+  Channel client(&transport_, world_.hosts[1]);
+  Bytes reply;
+  int callback_runs = 0;
+  CallOptions options;
+  options.deadline = 2 * kSecond;
+  options.retry.attempts = 2;
+  options.retry.backoff = 200 * kMillisecond;
+  client.Call(server.endpoint(), "slow-ok", {},
+              [&](Result<Bytes> result) {
+                ++callback_runs;
+                ASSERT_TRUE(result.ok());
+                reply = std::move(*result);
+              },
+              options);
+  simulator_.Run();
+  EXPECT_EQ(globe::ToString(reply), "done");
+  EXPECT_EQ(callback_runs, 1);
+  EXPECT_EQ(server.requests_served(), 2u);
+  EXPECT_EQ(client.PeerLoad(server.endpoint()).outstanding, 0u);
+  EXPECT_EQ(simulator_.pending_events(), 0u);
+}
+
+TEST_F(RpcTest, ApplicationErrorsAreNotRetried) {
+  RpcServer server(&transport_, world_.hosts[0], 700);
+  int calls = 0;
+  server.RegisterMethod("denied", [&](const RpcContext&, ByteSpan) -> Result<Bytes> {
+    ++calls;
+    return PermissionDenied("no");
+  });
+
+  Channel client(&transport_, world_.hosts[1]);
+  Status got;
+  CallOptions options;
+  options.retry.attempts = 5;
+  client.Call(server.endpoint(), "denied", {},
+              [&](Result<Bytes> result) { got = result.status(); }, options);
+  simulator_.Run();
+  EXPECT_EQ(got.code(), StatusCode::kPermissionDenied);
+  EXPECT_EQ(calls, 1);
+  EXPECT_EQ(client.stats().retries, 0u);
+}
+
+TEST_F(RpcTest, PeerLoadTracksOutstandingDepthAndLatency) {
+  RpcServer server(&transport_, world_.hosts[0], 700);
+  server.RegisterMethod("echo", [](const RpcContext&, ByteSpan req) -> Result<Bytes> {
+    return Bytes(req.begin(), req.end());
+  });
+
+  Channel client(&transport_, world_.hosts[5]);
+  for (int i = 0; i < 4; ++i) {
+    client.Call(server.endpoint(), "echo", {}, [](Result<Bytes>) {});
+  }
+  EXPECT_EQ(client.PeerLoad(server.endpoint()).outstanding, 4u);
+  simulator_.Run();
+  PeerLoad load = client.PeerLoad(server.endpoint());
+  EXPECT_EQ(load.outstanding, 0u);
+  EXPECT_EQ(load.completed, 4u);
+  EXPECT_GT(load.ewma_latency_us, 0.0);
+  // A peer never called reports zeroes, and LessLoaded prefers it.
+  PeerLoad idle = client.PeerLoad({world_.hosts[7], 700});
+  EXPECT_EQ(idle.completed, 0u);
+  EXPECT_TRUE(LessLoaded(idle, load));
+}
+
+TEST_F(RpcTest, ServiceTimeQueuesRequestsFifo) {
+  RpcServer server(&transport_, world_.hosts[0], 700);
+  server.set_service_time(10 * kMillisecond);
+  server.RegisterMethod("work", [](const RpcContext&, ByteSpan) -> Result<Bytes> {
+    return Bytes{};
+  });
+
+  Channel client(&transport_, world_.hosts[1]);
+  std::vector<SimTime> completions;
+  for (int i = 0; i < 5; ++i) {
+    client.Call(server.endpoint(), "work", {},
+                [&](Result<Bytes> result) {
+                  ASSERT_TRUE(result.ok());
+                  completions.push_back(simulator_.Now());
+                });
+  }
+  simulator_.Run();
+  ASSERT_EQ(completions.size(), 5u);
+  // One virtual CPU: the five near-simultaneous requests drained serially, so the
+  // last completion paid the whole 50 ms queue.
+  EXPECT_GE(completions.back(), 5 * 10 * kMillisecond);
+  for (size_t i = 1; i < completions.size(); ++i) {
+    EXPECT_GE(completions[i], completions[i - 1] + 10 * kMillisecond);
+  }
 }
 
 TEST_F(RpcTest, AsyncHandlerCanRespondLater) {
@@ -401,7 +697,7 @@ TEST_F(RpcTest, AsyncHandlerCanRespondLater) {
         });
       });
 
-  RpcClient client(&transport_, world_.hosts[1]);
+  Channel client(&transport_, world_.hosts[1]);
   Bytes reply;
   client.Call(server.endpoint(), "slow", {}, [&](Result<Bytes> result) {
     ASSERT_TRUE(result.ok());
@@ -420,16 +716,17 @@ TEST_F(RpcTest, NestedRpcThroughAsyncHandler) {
   });
 
   RpcServer front(&transport_, world_.hosts[0], 700);
-  auto front_client = std::make_shared<RpcClient>(&transport_, world_.hosts[0]);
+  auto front_client = std::make_shared<Channel>(&transport_, world_.hosts[0]);
   front.RegisterAsyncMethod(
-      "forward", [&, front_client](const RpcContext&, ByteSpan, RpcServer::Responder respond) {
+      "forward",
+      [&, front_client](const RpcContext&, ByteSpan, RpcServer::Responder respond) {
         front_client->Call(back.endpoint(), "get", {},
                            [respond = std::move(respond)](Result<Bytes> result) {
                              respond(std::move(result));
                            });
       });
 
-  RpcClient client(&transport_, world_.hosts[5]);
+  Channel client(&transport_, world_.hosts[5]);
   Bytes reply;
   client.Call(front.endpoint(), "forward", {}, [&](Result<Bytes> result) {
     ASSERT_TRUE(result.ok());
@@ -449,7 +746,7 @@ TEST_F(RpcTest, ManyConcurrentCallsCorrelate) {
     return w.Take();
   });
 
-  RpcClient client(&transport_, world_.hosts[3]);
+  Channel client(&transport_, world_.hosts[3]);
   std::map<uint64_t, uint64_t> results;
   for (uint64_t i = 0; i < 50; ++i) {
     ByteWriter w;
@@ -476,6 +773,75 @@ TEST_F(RpcTest, MalformedFrameIsIgnored) {
   network_.Send({world_.hosts[1], 999}, {world_.hosts[0], 700}, Bytes{0xde, 0xad});
   simulator_.Run();
   EXPECT_EQ(server.requests_served(), 0u);
+}
+
+// ---------------------------------------------------------------- TypedMethod
+
+namespace typed_test {
+
+struct PingRequest {
+  uint64_t value = 0;
+
+  Bytes Serialize() const {
+    ByteWriter w;
+    w.WriteU64(value);
+    return w.Take();
+  }
+  static Result<PingRequest> Deserialize(ByteSpan data) {
+    ByteReader r(data);
+    PingRequest request;
+    ASSIGN_OR_RETURN(request.value, r.ReadU64());
+    return request;
+  }
+};
+
+struct PingResponse {
+  uint64_t doubled = 0;
+
+  Bytes Serialize() const {
+    ByteWriter w;
+    w.WriteU64(doubled);
+    return w.Take();
+  }
+  static Result<PingResponse> Deserialize(ByteSpan data) {
+    ByteReader r(data);
+    PingResponse response;
+    ASSIGN_OR_RETURN(response.doubled, r.ReadU64());
+    return response;
+  }
+};
+
+constexpr TypedMethod<PingRequest, PingResponse> kPing{"test.ping"};
+
+}  // namespace typed_test
+
+TEST_F(RpcTest, TypedMethodRoundTripAndDecodeErrors) {
+  using typed_test::kPing;
+  using typed_test::PingRequest;
+  using typed_test::PingResponse;
+
+  RpcServer server(&transport_, world_.hosts[0], 700);
+  kPing.Register(&server, [](const RpcContext&,
+                             const PingRequest& request) -> Result<PingResponse> {
+    return PingResponse{request.value * 2};
+  });
+
+  Channel client(&transport_, world_.hosts[5]);
+  uint64_t got = 0;
+  kPing.Call(&client, server.endpoint(), PingRequest{21},
+             [&](Result<PingResponse> result) {
+               ASSERT_TRUE(result.ok());
+               got = result->doubled;
+             });
+  simulator_.Run();
+  EXPECT_EQ(got, 42u);
+
+  // A malformed request is rejected by the registration shim, not the handler.
+  Status bad;
+  client.Call(server.endpoint(), "test.ping", Bytes{0x01},
+              [&](Result<Bytes> result) { bad = result.status(); });
+  simulator_.Run();
+  EXPECT_EQ(bad.code(), StatusCode::kOutOfRange);
 }
 
 }  // namespace
