@@ -170,14 +170,16 @@ void GnsClient::AddName(std::string_view globe_name, std::string_view oid_hex,
                GnsAddRequest{std::string(globe_name), std::string(oid_hex)},
                [done = std::move(done)](Result<sim::EmptyMessage> r) {
                  done(r.ok() ? OkStatus() : r.status());
-               });
+               },
+               sim::WriteCallOptions());
 }
 
 void GnsClient::RemoveName(std::string_view globe_name, DoneCallback done) {
   kGnsRemove.Call(&rpc_, naming_authority_, GnsRemoveRequest{std::string(globe_name)},
                   [done = std::move(done)](Result<sim::EmptyMessage> r) {
                     done(r.ok() ? OkStatus() : r.status());
-                  });
+                  },
+                  sim::WriteCallOptions());
 }
 
 void GnsClient::Resolve(std::string_view globe_name, ResolveCallback done) {

@@ -79,9 +79,12 @@ struct GnsRemoveRequest {
   }
 };
 
-inline constexpr sim::TypedMethod<GnsAddRequest, sim::EmptyMessage> kGnsAdd{"gns.add"};
+// Name mutations queue zone updates at the authority; a duplicate delivery must
+// not enqueue (and later apply) the update twice.
+inline constexpr sim::TypedMethod<GnsAddRequest, sim::EmptyMessage> kGnsAdd{
+    "gns.add", sim::kNonIdempotent};
 inline constexpr sim::TypedMethod<GnsRemoveRequest, sim::EmptyMessage> kGnsRemove{
-    "gns.remove"};
+    "gns.remove", sim::kNonIdempotent};
 inline constexpr sim::TypedMethod<sim::EmptyMessage, sim::EmptyMessage> kGnsFlush{
     "gns.flush"};
 

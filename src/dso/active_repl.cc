@@ -29,7 +29,10 @@ struct ApplyMessage {
 };
 
 const sim::TypedMethod<EndpointMessage, VersionedState> kArRegister{"ar.register"};
-const sim::TypedMethod<Invocation, Bytes> kArOrder{"ar.order"};
+// Ordering a write executes it at the sequencer and claims a version slot, so a
+// duplicate delivery must be answered from the dedup table, never re-ordered.
+// ar.apply needs no dedup: ApplyOrdered drops already-applied versions itself.
+const sim::TypedMethod<Invocation, Bytes> kArOrder{"ar.order", sim::kNonIdempotent};
 const sim::TypedMethod<ApplyMessage, sim::EmptyMessage> kArApply{"ar.apply"};
 
 }  // namespace
@@ -123,7 +126,8 @@ void ActiveReplMember::Start(std::function<void(Status)> done) {
                  version_ = result->version;
                }
                done(s);
-             });
+             },
+             WriteCallOptions());
 }
 
 void ActiveReplMember::Invoke(const Invocation& invocation, InvokeCallback done) {
@@ -136,7 +140,8 @@ void ActiveReplMember::Invoke(const Invocation& invocation, InvokeCallback done)
     return;
   }
   comm_.Call(kArOrder, sequencer_, invocation,
-             [done = std::move(done)](Result<Bytes> result) { done(std::move(result)); });
+             [done = std::move(done)](Result<Bytes> result) { done(std::move(result)); },
+             WriteCallOptions());
 }
 
 void ActiveReplMember::OrderWrite(const Invocation& invocation, InvokeCallback done) {
@@ -151,9 +156,10 @@ void ActiveReplMember::OrderWrite(const Invocation& invocation, InvokeCallback d
     done(std::move(result));
     return;
   }
+  // Apply fan-out retries on loss: ApplyOrdered is version-guarded, so a
+  // duplicate apply is a no-op at the member.
   ApplyMessage broadcast{version_, invocation};
-  sim::CallOptions apply_options;
-  apply_options.deadline = 5 * sim::kSecond;
+  sim::CallOptions apply_options = WriteCallOptions(5 * sim::kSecond);
   auto remaining = std::make_shared<size_t>(members_.size());
   auto shared_done = std::make_shared<InvokeCallback>(std::move(done));
   auto shared_result = std::make_shared<Result<Bytes>>(std::move(result));

@@ -91,9 +91,11 @@ void CacheInvalMaster::ExecuteWrite(const Invocation& invocation, InvokeCallback
     done(std::move(result));
     return;
   }
+  // Invalidations retry on loss: the cache compares versions, so a duplicate
+  // invalidation is harmless, and a lost one would leave a cache serving stale
+  // reads for ever — exactly the message this protocol cannot afford to drop.
   VersionMessage invalidation{version_};
-  sim::CallOptions invalidate_options;
-  invalidate_options.deadline = 5 * sim::kSecond;
+  sim::CallOptions invalidate_options = WriteCallOptions(5 * sim::kSecond);
   auto remaining = std::make_shared<size_t>(caches_.size());
   auto shared_done = std::make_shared<InvokeCallback>(std::move(done));
   auto shared_result = std::make_shared<Result<Bytes>>(std::move(result));
@@ -157,17 +159,20 @@ CacheInvalCache::CacheInvalCache(sim::Transport* transport, sim::NodeId host,
 }
 
 void CacheInvalCache::Start(std::function<void(Status)> done) {
+  // Registration is find-before-insert on the master: safe to retry.
   comm_.Call(kCiRegister, master_, EndpointMessage{comm_.endpoint()},
              [done = std::move(done)](Result<VersionMessage> result) {
                done(result.ok() ? OkStatus() : result.status());
-             });
+             },
+             WriteCallOptions());
 }
 
 void CacheInvalCache::Shutdown(std::function<void(Status)> done) {
   comm_.Call(kCiUnregister, master_, EndpointMessage{comm_.endpoint()},
              [done = std::move(done)](Result<sim::EmptyMessage> result) {
                done(result.ok() ? OkStatus() : result.status());
-             });
+             },
+             WriteCallOptions());
 }
 
 void CacheInvalCache::WithValidState(std::function<void(Status)> fn) {
@@ -202,8 +207,10 @@ void CacheInvalCache::Invoke(const Invocation& invocation, InvokeCallback done) 
     });
     return;
   }
+  // Writes forward to the master, which dedups dso.invoke — retries are safe.
   comm_.Call(kDsoInvoke, master_, invocation,
-             [done = std::move(done)](Result<Bytes> result) { done(std::move(result)); });
+             [done = std::move(done)](Result<Bytes> result) { done(std::move(result)); },
+             WriteCallOptions());
 }
 
 }  // namespace globe::dso

@@ -44,8 +44,11 @@ RemoteProxy::RemoteProxy(sim::Transport* transport, sim::NodeId host,
     : comm_(transport, host), peer_(peer) {}
 
 void RemoteProxy::Invoke(const Invocation& invocation, InvokeCallback done) {
+  // Writes carry the retry budget (the replica dedups dso.invoke, so a repeated
+  // delivery cannot execute twice); reads keep the single-attempt default.
   comm_.Call(kDsoInvoke, peer_.endpoint, invocation,
-             [done = std::move(done)](Result<Bytes> result) { done(std::move(result)); });
+             [done = std::move(done)](Result<Bytes> result) { done(std::move(result)); },
+             invocation.read_only ? sim::CallOptions{} : WriteCallOptions());
 }
 
 }  // namespace globe::dso

@@ -87,10 +87,11 @@ void MasterSlaveMaster::ExecuteWrite(const Invocation& invocation, InvokeCallbac
   }
 
   // Eager push: one state message per slave, respond when all have answered (or
-  // failed — a dead slave must not wedge the master; see the fault-injection tests).
+  // failed — a dead slave must not wedge the master; see the fault-injection
+  // tests). Pushes retry on loss: ms.state_push is version-guarded, so a
+  // duplicate is a no-op on the slave even without server-side dedup.
   VersionedState push{version_, semantics_->GetState()};
-  sim::CallOptions push_options;
-  push_options.deadline = 5 * sim::kSecond;
+  sim::CallOptions push_options = WriteCallOptions(5 * sim::kSecond);
   auto remaining = std::make_shared<size_t>(slaves_.size());
   auto shared_done = std::make_shared<InvokeCallback>(std::move(done));
   auto shared_result = std::make_shared<Result<Bytes>>(std::move(result));
@@ -157,6 +158,7 @@ MasterSlaveSlave::MasterSlaveSlave(sim::Transport* transport, sim::NodeId host,
 }
 
 void MasterSlaveSlave::Start(std::function<void(Status)> done) {
+  // Registration is find-before-insert on the master, so retrying it is safe.
   comm_.Call(kMsRegisterSlave, master_, EndpointMessage{comm_.endpoint()},
              [this, done = std::move(done)](Result<VersionedState> result) {
                if (!result.ok()) {
@@ -169,14 +171,16 @@ void MasterSlaveSlave::Start(std::function<void(Status)> done) {
                  started_ = true;
                }
                done(s);
-             });
+             },
+             WriteCallOptions());
 }
 
 void MasterSlaveSlave::Shutdown(std::function<void(Status)> done) {
   comm_.Call(kMsUnregisterSlave, master_, EndpointMessage{comm_.endpoint()},
              [done = std::move(done)](Result<sim::EmptyMessage> result) {
                done(result.ok() ? OkStatus() : result.status());
-             });
+             },
+             WriteCallOptions());
 }
 
 void MasterSlaveSlave::Invoke(const Invocation& invocation, InvokeCallback done) {
@@ -184,9 +188,11 @@ void MasterSlaveSlave::Invoke(const Invocation& invocation, InvokeCallback done)
     done(semantics_->Invoke(invocation));
     return;
   }
-  // Writes go to the master; our copy is refreshed by its push.
+  // Writes go to the master; our copy is refreshed by its push. dso.invoke is
+  // deduped on the master, so the retry budget cannot double-execute a write.
   comm_.Call(kDsoInvoke, master_, invocation,
-             [done = std::move(done)](Result<Bytes> result) { done(std::move(result)); });
+             [done = std::move(done)](Result<Bytes> result) { done(std::move(result)); },
+             WriteCallOptions());
 }
 
 }  // namespace globe::dso

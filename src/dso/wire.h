@@ -79,12 +79,22 @@ struct VersionMessage {
 };
 
 // The protocol-agnostic peer methods: every replica of every protocol answers
-// these, which is what lets RemoteProxy bind thinly to anything.
-inline constexpr sim::TypedMethod<Invocation, Bytes> kDsoInvoke{"dso.invoke"};
+// these, which is what lets RemoteProxy bind thinly to anything. dso.invoke
+// carries writes (semantics mutations are arbitrary, so a duplicate delivery
+// must never execute twice) and is therefore non-idempotent; that it also
+// dedups read invocations costs a little response memory and nothing else.
+inline constexpr sim::TypedMethod<Invocation, Bytes> kDsoInvoke{"dso.invoke",
+                                                                sim::kNonIdempotent};
 inline constexpr sim::TypedMethod<sim::EmptyMessage, VersionedState> kDsoGetState{
     "dso.get_state"};
 inline constexpr sim::TypedMethod<sim::EmptyMessage, EndpointMessage>
     kDsoMasterEndpoint{"dso.master_endpoint"};
+
+// Every protocol retries its write-path calls with sim::WriteCallOptions
+// instead of failing on the first lost message (the replication fan-outs keep
+// their 5 s per-attempt deadlines so a dead peer cannot wedge a master); read
+// paths keep the single-attempt default.
+using sim::WriteCallOptions;
 
 }  // namespace globe::dso
 

@@ -34,7 +34,8 @@ void ModeratorTool::CreatePackage(std::string globe_name, ReplicationScenario sc
         }
         CreateSecondaries(result->oid, std::move(scenario), std::move(globe_name),
                           std::move(done));
-      });
+      },
+      sim::WriteCallOptions());
 }
 
 void ModeratorTool::CreateSecondaries(const gls::ObjectId& oid,
@@ -75,7 +76,8 @@ void ModeratorTool::CreateSecondaries(const gls::ObjectId& oid,
             ++self->stats_.failures;
           }
           (*next)(index + 1);
-        });
+        },
+        sim::WriteCallOptions());
   };
   (*next)(0);
 }
@@ -202,7 +204,8 @@ void ModeratorTool::RemovePackage(std::string_view globe_name, DoneCallback done
             ++self->stats_.failures;
           }
           (*next)(index + 1);
-        });
+        },
+        sim::WriteCallOptions());
   };
   (*next)(0);
 }

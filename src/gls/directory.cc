@@ -233,25 +233,32 @@ struct LookupWireRequest {
 namespace {
 
 // The typed method table: one definition per wire method, shared by servers
-// (Register*) and clients (Call) so the two sides cannot drift apart.
+// (Register*) and clients (Call) so the two sides cannot drift apart. Every
+// mutation is non-idempotent — a duplicate delivery (a retry whose response was
+// lost) must neither re-run the coherence chains nor turn a succeeded delete
+// into NotFound, and a repeated alloc_oid must hand back the same OID. Lookups
+// and cache invalidations are safely repeatable and skip the dedup table.
 const sim::TypedMethod<LookupWireRequest, LookupResponse> kGlsLookup{"gls.lookup"};
 const sim::TypedMethod<BatchLookupRequest, BatchLookupResponse> kGlsLookupBatch{
     "gls.lookup_batch"};
-const sim::TypedMethod<AddressRequest, sim::EmptyMessage> kGlsInsert{"gls.insert"};
+const sim::TypedMethod<AddressRequest, sim::EmptyMessage> kGlsInsert{
+    "gls.insert", sim::kNonIdempotent};
 const sim::TypedMethod<BatchAddressRequest, sim::EmptyMessage> kGlsInsertBatch{
-    "gls.insert_batch"};
-const sim::TypedMethod<AddressRequest, sim::EmptyMessage> kGlsDelete{"gls.delete"};
+    "gls.insert_batch", sim::kNonIdempotent};
+const sim::TypedMethod<AddressRequest, sim::EmptyMessage> kGlsDelete{
+    "gls.delete", sim::kNonIdempotent};
 const sim::TypedMethod<BatchAddressRequest, sim::EmptyMessage> kGlsDeleteBatch{
-    "gls.delete_batch"};
+    "gls.delete_batch", sim::kNonIdempotent};
 const sim::TypedMethod<PointerRequest, sim::EmptyMessage> kGlsInstallPtr{
-    "gls.install_ptr"};
+    "gls.install_ptr", sim::kNonIdempotent};
 const sim::TypedMethod<BatchPointerRequest, sim::EmptyMessage> kGlsInstallPtrBatch{
-    "gls.install_ptr_batch"};
+    "gls.install_ptr_batch", sim::kNonIdempotent};
 const sim::TypedMethod<PointerRequest, sim::EmptyMessage> kGlsRemovePtr{
-    "gls.remove_ptr"};
+    "gls.remove_ptr", sim::kNonIdempotent};
 const sim::TypedMethod<PointerRequest, sim::EmptyMessage> kGlsInvalCache{
     "gls.inval_cache"};
-const sim::TypedMethod<sim::EmptyMessage, OidMessage> kGlsAllocOid{"gls.alloc_oid"};
+const sim::TypedMethod<sim::EmptyMessage, OidMessage> kGlsAllocOid{
+    "gls.alloc_oid", sim::kNonIdempotent};
 
 using EmptyCallback = std::function<void(Result<sim::EmptyMessage>)>;
 
@@ -815,7 +822,8 @@ void DirectorySubnode::PropagatePointerUp(const ObjectId& oid, EmptyResponder re
     return;
   }
   PointerRequest up{oid, domain_};
-  kGlsInstallPtr.Call(client_.get(), parent_.Route(oid), up, std::move(respond));
+  kGlsInstallPtr.Call(client_.get(), parent_.Route(oid), up, std::move(respond),
+                      sim::WriteCallOptions());
 }
 
 void DirectorySubnode::PropagatePointerUpBatch(const std::vector<ObjectId>& oids,
@@ -832,7 +840,8 @@ void DirectorySubnode::PropagatePointerUpBatch(const std::vector<ObjectId>& oids
   EmptyCallback join = JoinEmpty(groups.size(), std::move(respond));
   for (auto& [subnode_index, group] : groups) {
     BatchPointerRequest up{domain_, std::move(group)};
-    kGlsInstallPtrBatch.Call(client_.get(), parent_.subnodes[subnode_index], up, join);
+    kGlsInstallPtrBatch.Call(client_.get(), parent_.subnodes[subnode_index], up, join,
+                             sim::WriteCallOptions());
   }
 }
 
@@ -846,13 +855,19 @@ void DirectorySubnode::PropagateRemoveUp(const ObjectId& oid, EmptyResponder res
     respond(sim::EmptyMessage{});
     return;
   }
+  // Chain traffic retries on loss: a dropped remove_ptr would orphan the
+  // pointer chain, and a dropped inval_cache would leave a sibling serving a
+  // deregistered address from cache until its TTL — exactly the coherence the
+  // delete fan-out exists to guarantee. remove_ptr is deduped server-side;
+  // inval_cache is idempotent, so repeats are harmless either way.
   EmptyCallback join = JoinEmpty(calls, std::move(respond));
   PointerRequest up{oid, domain_};
   if (!parent_.empty()) {
-    kGlsRemovePtr.Call(client_.get(), parent_.Route(oid), up, join);
+    kGlsRemovePtr.Call(client_.get(), parent_.Route(oid), up, join,
+                       sim::WriteCallOptions());
   }
   for (const sim::Endpoint& sibling : sibling_invals) {
-    kGlsInvalCache.Call(client_.get(), sibling, up, join);
+    kGlsInvalCache.Call(client_.get(), sibling, up, join, sim::WriteCallOptions());
   }
 }
 
@@ -883,7 +898,7 @@ void DirectorySubnode::PropagateInvalUp(const ObjectId& oid, bool include_siblin
   EmptyCallback join = JoinEmpty(targets.size(), std::move(respond));
   PointerRequest up{oid, domain_};
   for (const sim::Endpoint& target : targets) {
-    kGlsInvalCache.Call(client_.get(), target, up, join);
+    kGlsInvalCache.Call(client_.get(), target, up, join, sim::WriteCallOptions());
   }
 }
 
@@ -993,6 +1008,12 @@ sim::CallOptions GlsClient::MakeCallOptions() const {
   return options;
 }
 
+sim::CallOptions GlsClient::MakeWriteCallOptions() const {
+  sim::CallOptions options;
+  options.retry = write_retry_;
+  return options;
+}
+
 void GlsClient::Lookup(const ObjectId& oid, LookupCallback done) {
   Lookup(oid, allow_cached_, std::move(done));
 }
@@ -1090,12 +1111,12 @@ void GlsClient::Insert(const ObjectId& oid, const ContactAddress& address,
                   [done = std::move(done)](Result<sim::EmptyMessage> result) {
                     done(result.ok() ? OkStatus() : result.status());
                   },
-                  MakeCallOptions());
+                  MakeWriteCallOptions());
 }
 
 void GlsClient::InsertBatch(
     const std::vector<std::pair<ObjectId, ContactAddress>>& items, DoneCallback done) {
-  CallAddressBatches(&rpc_, leaf_, kGlsInsertBatch, items, MakeCallOptions(),
+  CallAddressBatches(&rpc_, leaf_, kGlsInsertBatch, items, MakeWriteCallOptions(),
                      std::move(done));
 }
 
@@ -1110,12 +1131,12 @@ void GlsClient::Delete(const ObjectId& oid, const ContactAddress& address,
                   [done = std::move(done)](Result<sim::EmptyMessage> result) {
                     done(result.ok() ? OkStatus() : result.status());
                   },
-                  MakeCallOptions());
+                  MakeWriteCallOptions());
 }
 
 void GlsClient::DeleteBatch(
     const std::vector<std::pair<ObjectId, ContactAddress>>& items, DoneCallback done) {
-  CallAddressBatches(&rpc_, leaf_, kGlsDeleteBatch, items, MakeCallOptions(),
+  CallAddressBatches(&rpc_, leaf_, kGlsDeleteBatch, items, MakeWriteCallOptions(),
                      std::move(done));
 }
 
@@ -1132,7 +1153,7 @@ void GlsClient::AllocateOid(OidCallback done) {
                       }
                       done(result->oid);
                     },
-                    MakeCallOptions());
+                    MakeWriteCallOptions());
 }
 
 }  // namespace globe::gls

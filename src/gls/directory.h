@@ -312,20 +312,42 @@ class GlsClient {
   void set_route_mode(RouteMode mode) { route_mode_ = mode; }
   RouteMode route_mode() const { return route_mode_; }
 
-  // Applied to every call this client issues (lookups and mutations alike).
-  void set_retry_policy(sim::RetryPolicy policy) { retry_ = std::move(policy); }
+  // Applied to every call this client issues (lookups and mutations alike),
+  // except mutations whose budget was pinned with set_write_retry_policy.
+  void set_retry_policy(sim::RetryPolicy policy) {
+    if (!write_retry_explicit_) {
+      write_retry_ = policy;
+    }
+    retry_ = std::move(policy);
+  }
+  // Budget for the mutating calls only (Insert/Delete, the batches, and
+  // AllocateOid), overriding set_retry_policy there in either call order.
+  // Defaults to 3 attempts with the UNAVAILABLE-only predicate: GLS mutations
+  // are executed at most once server-side, so a lost response is safe to retry;
+  // lookups keep the single-attempt default unless set_retry_policy says
+  // otherwise.
+  void set_write_retry_policy(sim::RetryPolicy policy) {
+    write_retry_explicit_ = true;
+    write_retry_ = std::move(policy);
+  }
 
   const DirectoryRef& leaf_directory() const { return leaf_; }
   const sim::Channel& channel() const { return rpc_; }
 
  private:
+  // The canonical write budget; mutations are deduped server-side (rpc.h).
+  static sim::RetryPolicy DefaultWriteRetry() { return sim::WriteCallOptions().retry; }
+
   sim::CallOptions MakeCallOptions() const;
+  sim::CallOptions MakeWriteCallOptions() const;
 
   sim::Channel rpc_;
   DirectoryRef leaf_;
   bool allow_cached_ = false;
   RouteMode route_mode_ = RouteMode::kHashOnly;
   sim::RetryPolicy retry_;
+  sim::RetryPolicy write_retry_ = DefaultWriteRetry();
+  bool write_retry_explicit_ = false;
 };
 
 }  // namespace globe::gls

@@ -184,12 +184,16 @@ struct ListReplicasResponse {
   }
 };
 
+// The moderator commands mutate hosting state (and allocate OIDs through the
+// GLS), so a duplicate delivery must replay the first execution's response: a
+// repeated create must not build a second replica or mint a second OID, and a
+// repeated remove must not turn success into NotFound.
 inline constexpr sim::TypedMethod<CreateFirstReplicaRequest, CreateFirstReplicaResponse>
-    kGosCreateFirstReplica{"gos.create_first_replica"};
+    kGosCreateFirstReplica{"gos.create_first_replica", sim::kNonIdempotent};
 inline constexpr sim::TypedMethod<CreateReplicaRequest, CreateReplicaResponse>
-    kGosCreateReplica{"gos.create_replica"};
+    kGosCreateReplica{"gos.create_replica", sim::kNonIdempotent};
 inline constexpr sim::TypedMethod<RemoveReplicaRequest, sim::EmptyMessage>
-    kGosRemoveReplica{"gos.remove_replica"};
+    kGosRemoveReplica{"gos.remove_replica", sim::kNonIdempotent};
 inline constexpr sim::TypedMethod<sim::EmptyMessage, ListReplicasResponse>
     kGosListReplicas{"gos.list_replicas"};
 

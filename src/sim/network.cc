@@ -37,7 +37,9 @@ void TrafficStats::Clear() {
   loopback_messages = 0;
   loopback_bytes = 0;
   dropped_messages = 0;
+  partitioned_messages = 0;
   down_node_messages = 0;
+  dropped_per_link.clear();
 }
 
 Network::Network(Simulator* simulator, const Topology* topology, NetworkOptions options)
@@ -52,6 +54,10 @@ void Network::RegisterPort(NodeId node, uint16_t port, PortHandler handler) {
 
 void Network::UnregisterPort(NodeId node, uint16_t port) {
   handlers_.erase({node, port});
+  // A service torn down while its host is crashed must not resurrect at restart.
+  if (auto it = crashed_.find(node); it != crashed_.end()) {
+    it->second.erase(port);
+  }
 }
 
 double Network::DeliveryDelayUs(NodeId src, NodeId dst, size_t bytes) const {
@@ -72,8 +78,15 @@ void Network::Send(const Endpoint& src, const Endpoint& dst, Bytes payload,
     ++stats_.down_node_messages;
     return;
   }
-  if (options_.drop_probability > 0 && rng_.Bernoulli(options_.drop_probability)) {
+  if (IsPartitioned(src.node, dst.node)) {
+    ++stats_.partitioned_messages;
+    ++stats_.dropped_per_link[{src.node, dst.node}];
+    return;
+  }
+  double drop = EffectiveDropProbability(src.node, dst.node);
+  if (drop > 0 && rng_.Bernoulli(drop)) {
     ++stats_.dropped_messages;
+    ++stats_.dropped_per_link[{src.node, dst.node}];
     return;
   }
 
@@ -98,13 +111,23 @@ void Network::Send(const Endpoint& src, const Endpoint& dst, Bytes payload,
 
   double delay = DeliveryDelayUs(src.node, dst.node, payload.size()) + extra_delay_us;
   Delivery delivery{src, dst, std::move(payload)};
-  simulator_->ScheduleAfter(static_cast<SimTime>(delay),
-                            [this, d = std::move(delivery)]() mutable { Deliver(std::move(d)); });
+  simulator_->ScheduleAfter(
+      static_cast<SimTime>(delay),
+      [this, d = std::move(delivery)]() mutable { Deliver(std::move(d)); });
 }
 
 void Network::Deliver(Delivery delivery) {
-  if (!IsNodeUp(delivery.dst.node)) {
+  // Either endpoint going down while the message was in flight loses it: the
+  // model charges the whole path as one hop, so a crashed sender's message is
+  // still "on its wire" and dies with it.
+  if (!IsNodeUp(delivery.dst.node) || !IsNodeUp(delivery.src.node)) {
     ++stats_.down_node_messages;
+    return;
+  }
+  // A partition that started while the message was in flight cuts it too.
+  if (IsPartitioned(delivery.src.node, delivery.dst.node)) {
+    ++stats_.partitioned_messages;
+    ++stats_.dropped_per_link[{delivery.src.node, delivery.dst.node}];
     return;
   }
   ++per_node_received_[delivery.dst.node];
@@ -128,6 +151,60 @@ void Network::SetNodeUp(NodeId node, bool up) {
 
 bool Network::IsNodeUp(NodeId node) const {
   return node_down_.find(node) == node_down_.end();
+}
+
+double Network::EffectiveDropProbability(NodeId src, NodeId dst) const {
+  auto it = link_drop_.find({src, dst});
+  return it != link_drop_.end() ? it->second : options_.drop_probability;
+}
+
+void Network::SetLinkDropProbability(NodeId src, NodeId dst, double p) {
+  link_drop_[{src, dst}] = p;
+}
+
+void Network::ClearLinkDropProbability(NodeId src, NodeId dst) {
+  link_drop_.erase({src, dst});
+}
+
+void Network::PartitionPair(NodeId a, NodeId b, SimTime duration) {
+  // Re-partitioning an active pair extends the window, never shortens it.
+  SimTime& until = partitions_[PairKey(a, b)];
+  until = std::max(until, simulator_->Now() + duration);
+}
+
+void Network::HealPartition(NodeId a, NodeId b) { partitions_.erase(PairKey(a, b)); }
+
+bool Network::IsPartitioned(NodeId a, NodeId b) const {
+  auto it = partitions_.find(PairKey(a, b));
+  return it != partitions_.end() && simulator_->Now() < it->second;
+}
+
+void Network::CrashNode(NodeId node) {
+  if (IsCrashed(node)) {
+    return;
+  }
+  auto& stash = crashed_[node];
+  for (auto it = handlers_.begin(); it != handlers_.end();) {
+    if (it->first.first == node) {
+      stash[it->first.second] = std::move(it->second);
+      it = handlers_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  SetNodeUp(node, false);
+}
+
+void Network::RestartNode(NodeId node) {
+  if (auto it = crashed_.find(node); it != crashed_.end()) {
+    for (auto& [port, handler] : it->second) {
+      // A port freshly registered while the node was crashed (a service rebuilt
+      // from a checkpoint) wins over the stashed pre-crash handler.
+      handlers_.try_emplace({node, port}, std::move(handler));
+    }
+    crashed_.erase(it);
+  }
+  SetNodeUp(node, true);
 }
 
 }  // namespace globe::sim

@@ -6,16 +6,22 @@
 // the per-level byte counters are how the benchmarks quantify exactly that.
 //
 // Failure injection: nodes can be marked down (messages to/from them vanish), messages
-// can be dropped with a configurable probability, and payload bytes can be flipped to
-// exercise the integrity machinery of the secure transport.
+// can be dropped with a configurable probability — uniformly or per link —, links can
+// be partitioned for a bounded time, nodes can crash (ports detach) and restart, and
+// payload bytes can be flipped to exercise the integrity machinery of the secure
+// transport. Every probabilistic decision draws from the network's seeded RNG and
+// every timed fault runs on the virtual clock, so a failure schedule replays
+// byte-identically across runs — the property the chaos suite is built on.
 
 #ifndef SRC_SIM_NETWORK_H_
 #define SRC_SIM_NETWORK_H_
 
+#include <algorithm>
 #include <functional>
 #include <map>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/sim/simulator.h"
@@ -61,8 +67,13 @@ struct TrafficStats {
   std::vector<PerLevel> per_level;  // indexed by ascent level (0 = same leaf domain)
   uint64_t loopback_messages = 0;
   uint64_t loopback_bytes = 0;
-  uint64_t dropped_messages = 0;
+  uint64_t dropped_messages = 0;      // random loss (uniform or per-link probability)
+  uint64_t partitioned_messages = 0;  // swallowed by an active partition
   uint64_t down_node_messages = 0;
+  // Every message lost to random loss or a partition, keyed by the (src, dst)
+  // node pair it was crossing — so a chaos test can assert *which* link lost
+  // traffic. dropped_messages / partitioned_messages stay the aggregate views.
+  std::map<std::pair<NodeId, NodeId>, uint64_t> dropped_per_link;
 
   uint64_t TotalMessages() const;
   uint64_t TotalBytes() const;
@@ -95,24 +106,54 @@ class Network {
   // processing delay, used by the secure transport to model crypto CPU cost). If the
   // destination port has no handler at delivery time the message is silently lost,
   // like a UDP datagram to a closed port.
-  void Send(const Endpoint& src, const Endpoint& dst, Bytes payload, double extra_delay_us = 0);
+  void Send(const Endpoint& src, const Endpoint& dst, Bytes payload,
+            double extra_delay_us = 0);
 
-  // Failure injection.
+  // Failure injection. All of it is deterministic: probabilities draw from the
+  // seeded RNG, timed faults expire on the virtual clock.
   void SetNodeUp(NodeId node, bool up);
   bool IsNodeUp(NodeId node) const;
   void SetDropProbability(double p) { options_.drop_probability = p; }
   void SetTamperProbability(double p) { options_.tamper_probability = p; }
 
+  // Per-link loss, overriding the uniform drop_probability for messages sent
+  // src -> dst. Directed — set both directions for a symmetric lossy link.
+  void SetLinkDropProbability(NodeId src, NodeId dst, double p);
+  void ClearLinkDropProbability(NodeId src, NodeId dst);
+
+  // Timed bidirectional partition: every message between a and b — in either
+  // direction, including ones already in flight — vanishes until now + duration
+  // (or HealPartition). Re-partitioning an active pair extends the window.
+  void PartitionPair(NodeId a, NodeId b, SimTime duration);
+  void HealPartition(NodeId a, NodeId b);
+  bool IsPartitioned(NodeId a, NodeId b) const;
+
+  // Crash/restart. CrashNode powers the host off: every port handler detaches
+  // (stashed aside) and the node goes down, so traffic to and from it — and
+  // anything already in flight — is lost. RestartNode reattaches the stashed
+  // handlers and brings the node back up: services return with whatever state
+  // their objects kept, which models the paper's §7 persistent directory state
+  // (and the RPC layer's dedup tables) surviving a reboot. Tests that want
+  // volatile-state loss rebuild services from checkpoints before restarting;
+  // ports registered or unregistered while crashed take precedence over the
+  // stash at reattach time.
+  void CrashNode(NodeId node);
+  void RestartNode(NodeId node);
+  bool IsCrashed(NodeId node) const { return crashed_.count(node) > 0; }
+
   // Observation hook: sees every frame as it enters the network (before tampering or
   // drops). Used by tests to play the "attacker tapping the wire" role from §6.2.
-  using Eavesdropper = std::function<void(const Endpoint& src, const Endpoint& dst, ByteSpan)>;
+  using Eavesdropper =
+      std::function<void(const Endpoint& src, const Endpoint& dst, ByteSpan)>;
   void SetEavesdropper(Eavesdropper e) { eavesdropper_ = std::move(e); }
 
   const TrafficStats& stats() const { return stats_; }
   TrafficStats* mutable_stats() { return &stats_; }
 
   // Messages received per node since the last clear; used for server-load measurements.
-  const std::map<NodeId, uint64_t>& per_node_received() const { return per_node_received_; }
+  const std::map<NodeId, uint64_t>& per_node_received() const {
+    return per_node_received_;
+  }
   void ClearPerNodeReceived() { per_node_received_.clear(); }
 
   Simulator* simulator() { return simulator_; }
@@ -123,6 +164,10 @@ class Network {
   double DeliveryDelayUs(NodeId src, NodeId dst, size_t bytes) const;
 
  private:
+  static std::pair<NodeId, NodeId> PairKey(NodeId a, NodeId b) {
+    return {std::min(a, b), std::max(a, b)};
+  }
+  double EffectiveDropProbability(NodeId src, NodeId dst) const;
   void Deliver(Delivery delivery);
 
   Simulator* simulator_;
@@ -133,6 +178,10 @@ class Network {
   // without copying the closure: a handler may close its own port mid-call.
   std::map<std::pair<NodeId, uint16_t>, std::shared_ptr<PortHandler>> handlers_;
   std::map<NodeId, bool> node_down_;  // absent = up
+  std::map<std::pair<NodeId, NodeId>, double> link_drop_;    // directed (src, dst)
+  std::map<std::pair<NodeId, NodeId>, SimTime> partitions_;  // PairKey -> heals at
+  // Port handlers of crashed nodes, waiting for RestartNode.
+  std::map<NodeId, std::map<uint16_t, std::shared_ptr<PortHandler>>> crashed_;
   TrafficStats stats_;
   std::map<NodeId, uint64_t> per_node_received_;
   Eavesdropper eavesdropper_;

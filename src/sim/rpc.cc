@@ -50,11 +50,15 @@ RpcServer::~RpcServer() {
   transport_->UnregisterPort(node_, port_);
 }
 
-void RpcServer::RegisterMethod(std::string method, SyncHandler handler) {
+void RpcServer::RegisterMethod(std::string method, SyncHandler handler,
+                               MethodTraits traits) {
+  method_traits_[method] = traits;
   sync_methods_[std::move(method)] = std::move(handler);
 }
 
-void RpcServer::RegisterAsyncMethod(std::string method, AsyncHandler handler) {
+void RpcServer::RegisterAsyncMethod(std::string method, AsyncHandler handler,
+                                    MethodTraits traits) {
+  method_traits_[method] = traits;
   async_methods_[std::move(method)] = std::move(handler);
 }
 
@@ -66,19 +70,44 @@ void RpcServer::OnDelivery(const TransportDelivery& delivery) {
     GLOG_WARN << "rpc server " << ToString(endpoint()) << ": malformed frame dropped";
     return;
   }
+  auto call_id = reader.ReadU64();
   auto method = reader.ReadString();
   auto payload = reader.ReadLengthPrefixed();
-  if (!method.ok() || !payload.ok()) {
+  if (!call_id.ok() || !method.ok() || !payload.ok()) {
     GLOG_WARN << "rpc server " << ToString(endpoint()) << ": truncated request dropped";
     return;
   }
-  ++requests_served_;
 
   RpcContext context{delivery.src, delivery.peer_principal, delivery.integrity_protected};
   uint64_t id = *request_id;
 
+  // At-most-once execution for non-idempotent methods: a duplicate delivery of
+  // an already-accepted call never reaches the handler (and never pays the
+  // service-time queue) — it is answered from the dedup table, immediately if
+  // the first execution finished, or when it does.
+  std::optional<DedupKey> dedup_key;
+  if (auto traits = method_traits_.find(*method);
+      traits != method_traits_.end() && !traits->second.idempotent) {
+    EvictExpiredDedup();
+    DedupKey key{delivery.src, *call_id};
+    auto [entry, inserted] = dedup_.try_emplace(key);
+    if (!inserted) {
+      ++duplicates_suppressed_;
+      if (entry->second.completed) {
+        SendResponse(delivery.src, id, entry->second.response);
+      } else {
+        entry->second.waiting_attempts.push_back(id);
+      }
+      return;
+    }
+    entry->second.waiting_attempts.push_back(id);
+    dedup_key = key;
+  }
+
+  ++requests_served_;
+
   if (service_time_ == 0) {
-    Dispatch(*method, *payload, context, id);
+    Dispatch(*method, *payload, context, id, dedup_key);
     return;
   }
   // One virtual CPU: requests queue FIFO behind whatever is already being served.
@@ -87,30 +116,81 @@ void RpcServer::OnDelivery(const TransportDelivery& delivery) {
   busy_until_ = start + service_time_;
   clock->ScheduleAt(busy_until_, [this, alive = std::weak_ptr<bool>(alive_),
                                   method = std::move(*method),
-                                  payload = std::move(*payload), context, id]() {
+                                  payload = std::move(*payload), context, id,
+                                  dedup_key]() {
     auto a = alive.lock();
     if (!a || !*a) {
       return;
     }
-    Dispatch(method, payload, context, id);
+    Dispatch(method, payload, context, id, dedup_key);
   });
 }
 
 void RpcServer::Dispatch(const std::string& method, const Bytes& payload,
-                         const RpcContext& context, uint64_t request_id) {
+                         const RpcContext& context, uint64_t request_id,
+                         std::optional<DedupKey> dedup_key) {
   const Endpoint client = context.client;
+  auto respond = [this, client, request_id, dedup_key](const Result<Bytes>& result) {
+    if (dedup_key.has_value()) {
+      CompleteDeduped(*dedup_key, result);
+    } else {
+      SendResponse(client, request_id, result);
+    }
+  };
   if (auto it = sync_methods_.find(method); it != sync_methods_.end()) {
-    Result<Bytes> result = it->second(context, payload);
-    SendResponse(client, request_id, result);
+    respond(it->second(context, payload));
     return;
   }
   if (auto it = async_methods_.find(method); it != async_methods_.end()) {
-    it->second(context, payload, [this, client, request_id](Result<Bytes> result) {
-      SendResponse(client, request_id, result);
-    });
+    it->second(context, payload,
+               [respond](Result<Bytes> result) { respond(result); });
     return;
   }
-  SendResponse(client, request_id, NotFound("no such method: " + method));
+  respond(NotFound("no such method: " + method));
+}
+
+void RpcServer::CompleteDeduped(const DedupKey& key, const Result<Bytes>& result) {
+  auto it = dedup_.find(key);
+  if (it == dedup_.end()) {
+    // Unreachable in practice: in-progress entries are never evicted. Dropping
+    // the response is safe — the client's retry would simply execute afresh.
+    return;
+  }
+  std::vector<uint64_t> waiting = std::move(it->second.waiting_attempts);
+  // A transient failure must not be pinned: UNAVAILABLE is exactly the code
+  // client retry policies repeat, and replaying a cached UNAVAILABLE would doom
+  // every retry of the call for the whole TTL. The entry is dropped instead, so
+  // a retry re-executes — which the handlers in this tree make safe: they
+  // return UNAVAILABLE only from steps that are repeatable (chains whose
+  // sub-calls are themselves deduped or idempotent) or after rolling back.
+  // Definitive outcomes — success and application errors — are cached and
+  // replayed verbatim.
+  if (!result.ok() && result.status().code() == StatusCode::kUnavailable) {
+    dedup_.erase(it);
+  } else {
+    DedupEntry& entry = it->second;
+    entry.completed = true;
+    entry.response = result;
+    entry.expires_at = transport_->simulator()->Now() + dedup_ttl_;
+    dedup_expiry_.emplace_back(entry.expires_at, key);
+  }
+  for (uint64_t attempt : waiting) {
+    SendResponse(key.first, attempt, result);
+  }
+}
+
+void RpcServer::EvictExpiredDedup() {
+  SimTime now = transport_->simulator()->Now();
+  while (!dedup_expiry_.empty() && dedup_expiry_.front().first <= now) {
+    dedup_.erase(dedup_expiry_.front().second);
+    dedup_expiry_.pop_front();
+  }
+  // Bounded memory: beyond the cap the oldest completed entries go first (their
+  // clients have long since seen the response or exhausted their retries).
+  while (dedup_.size() > dedup_max_entries_ && !dedup_expiry_.empty()) {
+    dedup_.erase(dedup_expiry_.front().second);
+    dedup_expiry_.pop_front();
+  }
 }
 
 void RpcServer::SendResponse(const Endpoint& client, uint64_t request_id,
@@ -161,7 +241,6 @@ struct ChannelState {
   Transport* transport = nullptr;
   NodeId node = kNoNode;
   uint16_t port = 0;
-  uint64_t next_request_id = 1;
   // Calls are keyed by their first attempt's id; attempt_to_call maps every
   // issued wire id (first attempt and retries) back to its call.
   std::map<uint64_t, PendingCall> pending;
@@ -171,6 +250,17 @@ struct ChannelState {
 };
 
 namespace {
+
+// Request ids are unique across every Channel in the process, not just within
+// one: ephemeral ports wrap and can hand a new channel an endpoint a dead one
+// used, and the server's (endpoint, call id) dedup key must never see the same
+// pair twice within a TTL. A process-wide counter makes the ids collision-free
+// without affecting determinism (id values never influence behaviour, only
+// correlation).
+uint64_t NextRequestId() {
+  static std::atomic<uint64_t> next{1};
+  return next.fetch_add(1);
+}
 
 void SendAttempt(const std::shared_ptr<ChannelState>& state, uint64_t id);
 
@@ -211,7 +301,7 @@ void OnAttemptFailed(const std::shared_ptr<ChannelState>& state, uint64_t id,
     ++call.attempt;
     // The retry gets a fresh wire id now, so any response still in flight for
     // the failed attempt is recognisably stale from this point on.
-    uint64_t attempt_id = state->next_request_id++;
+    uint64_t attempt_id = NextRequestId();
     call.current_attempt_id = attempt_id;
     call.attempt_ids.push_back(attempt_id);
     state->attempt_to_call[attempt_id] = id;
@@ -248,6 +338,11 @@ void SendAttempt(const std::shared_ptr<ChannelState>& state, uint64_t id) {
   ByteWriter writer;
   writer.WriteU8(kFrameRequest);
   writer.WriteU64(call.current_attempt_id);
+  // The stable call id: every retry repeats it, so the server can recognise a
+  // duplicate delivery of this call and execute non-idempotent methods at most
+  // once (call ids are unique across every channel in the process, so the key
+  // stays unambiguous even if a later channel reuses this one's port).
+  writer.WriteU64(id);
   writer.WriteString(call.method);
   writer.WriteLengthPrefixed(call.request);
 
@@ -358,7 +453,7 @@ Channel::~Channel() {
 
 CallHandle Channel::Call(const Endpoint& server, std::string_view method, Bytes request,
                          Callback done, CallOptions options) {
-  uint64_t id = state_->next_request_id++;
+  uint64_t id = NextRequestId();
   PendingCall call;
   call.server = server;
   call.method = std::string(method);

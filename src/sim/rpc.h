@@ -23,19 +23,23 @@
 //
 // Wire format of an RPC frame (all fields via src/util/serial.h):
 //   u8 type (0 = request, 1 = response)
-//   u64 request id
-//   request:  string method, length-prefixed payload
+//   u64 request id (per attempt: retries go out under fresh ids)
+//   request:  u64 call id (stable across retries; the at-most-once dedup key),
+//             string method, length-prefixed payload
 //   response: u8 status code, string status message, length-prefixed payload
 
 #ifndef SRC_SIM_RPC_H_
 #define SRC_SIM_RPC_H_
 
+#include <deque>
 #include <functional>
 #include <map>
 #include <memory>
+#include <optional>
 #include <string>
 #include <type_traits>
 #include <utility>
+#include <vector>
 
 #include "src/sim/network.h"
 #include "src/sim/simulator.h"
@@ -95,6 +99,24 @@ struct RpcContext {
   bool integrity_protected = false;
 };
 
+// Execution semantics of one server method. Idempotent methods (the default)
+// may run once per delivered attempt — repeating them cannot corrupt state.
+// Non-idempotent methods get at-most-once execution: the server remembers, per
+// (client endpoint, call id), the response of the first execution and replays
+// it on duplicate delivery — a retry whose original response was lost — instead
+// of running the handler again. This is what makes writes safe to retry.
+struct MethodTraits {
+  bool idempotent = true;
+};
+
+inline constexpr MethodTraits kNonIdempotent{/*idempotent=*/false};
+
+// Dedup entries are kept for this long after a call completes. Sized to the
+// maximum retry horizon of any client policy in the tree: with the default 30 s
+// per-attempt deadline and 3-attempt write budgets (geometric backoff from
+// 200 ms), the last duplicate can trail the first execution by ~95 s.
+inline constexpr SimTime kDefaultDedupTtl = 120 * kSecond;
+
 class RpcServer {
  public:
   // Methods that can answer immediately.
@@ -112,8 +134,21 @@ class RpcServer {
   RpcServer(const RpcServer&) = delete;
   RpcServer& operator=(const RpcServer&) = delete;
 
-  void RegisterMethod(std::string method, SyncHandler handler);
-  void RegisterAsyncMethod(std::string method, AsyncHandler handler);
+  void RegisterMethod(std::string method, SyncHandler handler, MethodTraits traits = {});
+  void RegisterAsyncMethod(std::string method, AsyncHandler handler,
+                           MethodTraits traits = {});
+
+  // At-most-once bookkeeping for non-idempotent methods. The TTL must cover the
+  // longest retry horizon of any client calling this server; entries also evict
+  // oldest-first beyond `max_entries`. Both only bound completed calls — a call
+  // whose handler is still running is never forgotten.
+  void set_dedup_ttl(SimTime ttl) { dedup_ttl_ = ttl; }
+  SimTime dedup_ttl() const { return dedup_ttl_; }
+  void set_dedup_max_entries(size_t n) { dedup_max_entries_ = n; }
+  // Duplicate deliveries answered from the dedup table (replayed or joined to
+  // the in-flight execution) instead of re-running the handler.
+  uint64_t duplicates_suppressed() const { return duplicates_suppressed_; }
+  size_t dedup_entries() const { return dedup_.size(); }
 
   // Models request-processing cost: with a non-zero per-request service time,
   // requests are dispatched FIFO from a single virtual CPU, so a hot server builds
@@ -128,20 +163,41 @@ class RpcServer {
   uint64_t requests_served() const { return requests_served_; }
 
  private:
+  // One accepted non-idempotent call, identified by the issuing client endpoint
+  // and the call id that stays stable across its retries.
+  using DedupKey = std::pair<Endpoint, uint64_t>;
+  struct DedupEntry {
+    bool completed = false;
+    Result<Bytes> response{Bytes{}};
+    // Attempt ids whose response is owed once the (single) execution finishes.
+    std::vector<uint64_t> waiting_attempts;
+    SimTime expires_at = 0;  // set at completion
+  };
+
   void OnDelivery(const TransportDelivery& delivery);
   void Dispatch(const std::string& method, const Bytes& payload,
-                const RpcContext& context, uint64_t request_id);
+                const RpcContext& context, uint64_t request_id,
+                std::optional<DedupKey> dedup_key);
   void SendResponse(const Endpoint& client, uint64_t request_id,
                     const Result<Bytes>& result);
+  // Records the execution's response and answers every attempt waiting on it.
+  void CompleteDeduped(const DedupKey& key, const Result<Bytes>& result);
+  void EvictExpiredDedup();
 
   Transport* transport_;
   NodeId node_;
   uint16_t port_;
   std::map<std::string, SyncHandler> sync_methods_;
   std::map<std::string, AsyncHandler> async_methods_;
+  std::map<std::string, MethodTraits> method_traits_;
   uint64_t requests_served_ = 0;
   SimTime service_time_ = 0;
   SimTime busy_until_ = 0;
+  std::map<DedupKey, DedupEntry> dedup_;
+  std::deque<std::pair<SimTime, DedupKey>> dedup_expiry_;  // completion order
+  SimTime dedup_ttl_ = kDefaultDedupTtl;
+  size_t dedup_max_entries_ = 65536;
+  uint64_t duplicates_suppressed_ = 0;
   // Guards scheduled dispatches against a server destroyed while they queue.
   std::shared_ptr<bool> alive_;
 };
@@ -182,6 +238,20 @@ struct CallOptions {
   SimTime deadline = kDefaultCallDeadline;
   RetryPolicy retry;
 };
+
+// The default retry budget for state-modifying calls. Writes are safe to
+// repeat because RpcServer executes non-idempotent methods at most once per
+// call and replays the cached response on duplicate delivery; reads keep the
+// layer's single-attempt default. Callers override the deadline where a dead
+// peer must not wedge them (the replication fan-outs use 5 s per attempt).
+inline CallOptions WriteCallOptions(SimTime deadline = kDefaultCallDeadline,
+                                    uint32_t attempts = 3) {
+  CallOptions options;
+  options.deadline = deadline;
+  options.retry.attempts = attempts;
+  options.retry.backoff = 200 * kMillisecond;
+  return options;
+}
 
 // Load feedback for one remote endpoint, as observed by one Channel.
 struct PeerLoad {
@@ -309,6 +379,10 @@ Result<T> DeserializeMessage(ByteSpan data) {
 //   kGlsLookup.Register(&server, [](const RpcContext&, const LookupWireRequest& req) {
 //     ...
 //   });
+//
+// Methods that mutate state declare it in the same constant
+// (`kGlsInsert{"gls.insert", kNonIdempotent}`), so every server registering the
+// method automatically executes it at most once per call.
 template <typename Req, typename Resp>
 class TypedMethod {
  public:
@@ -317,9 +391,11 @@ class TypedMethod {
   using AsyncResponder = std::function<void(Result<Resp>)>;
   using AsyncHandler = std::function<void(const RpcContext&, Req, AsyncResponder)>;
 
-  constexpr explicit TypedMethod(const char* name) : name_(name) {}
+  constexpr explicit TypedMethod(const char* name, MethodTraits traits = {})
+      : name_(name), traits_(traits) {}
 
   const char* name() const { return name_; }
+  const MethodTraits& traits() const { return traits_; }
 
   CallHandle Call(Channel* channel, const Endpoint& server, const Req& request,
                   Callback done, CallOptions options = {}) const {
@@ -341,7 +417,8 @@ class TypedMethod {
           ASSIGN_OR_RETURN(Req request, wire_internal::DeserializeMessage<Req>(payload));
           ASSIGN_OR_RETURN(Resp response, handler(context, request));
           return wire_internal::SerializeMessage(response);
-        });
+        },
+        traits_);
   }
 
   void RegisterAsync(RpcServer* server, AsyncHandler handler) const {
@@ -361,11 +438,13 @@ class TypedMethod {
                     }
                     respond(wire_internal::SerializeMessage(*result));
                   });
-        });
+        },
+        traits_);
   }
 
  private:
   const char* name_;
+  MethodTraits traits_;
 };
 
 }  // namespace globe::sim

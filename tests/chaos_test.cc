@@ -1,0 +1,618 @@
+// Chaos suite (CTest label `chaos`): randomized fault schedules over fixed
+// seeds, asserting end-state invariants rather than step-by-step behaviour.
+//
+// Everything here rides on the deterministic fault-injection API of
+// sim::Network (per-link loss, timed bidirectional partitions, crash/restart)
+// and the at-most-once execution layer in sim::RpcServer: a write delivered
+// twice — because a retry repeated it after its response was lost — must mutate
+// state exactly once, the GOS replica set must converge to one owner view once
+// the faults heal, and no OID may resolve to a decommissioned address.
+//
+// Seeds: the suite runs the three pinned seeds 1337, 4242 and 9001 (the same
+// set the CI chaos job documents); setting GLOBE_CHAOS_SEED replaces the set
+// with a single seed for reproduction. Every failure schedule is generated from
+// the seed and executed on the virtual clock, so a run replays byte-identically
+// — which the determinism test proves by running each scenario twice and
+// comparing simulator event counts and final state hashes.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/dso/master_slave.h"
+#include "src/dso/wire.h"
+#include "src/gls/deploy.h"
+#include "src/gos/object_server.h"
+#include "src/util/sha256.h"
+
+namespace globe {
+namespace {
+
+using gls::ObjectId;
+using sim::kMillisecond;
+using sim::kSecond;
+using sim::NodeId;
+using sim::SimTime;
+
+std::vector<uint64_t> ChaosSeeds() {
+  if (const char* env = std::getenv("GLOBE_CHAOS_SEED")) {
+    return {std::strtoull(env, nullptr, 0)};
+  }
+  return {1337, 4242, 9001};
+}
+
+// A deliberately non-idempotent semantics object: add(key, delta) increments.
+// A KV put would mask duplicate execution (setting twice equals setting once);
+// a counter makes every double-execution visible in the final state.
+class CounterObject : public dso::SemanticsObject {
+ public:
+  static constexpr uint16_t kTypeId = 21;
+
+  Result<Bytes> Invoke(const dso::Invocation& invocation) override {
+    ByteReader r(invocation.args);
+    if (invocation.method == "add") {
+      ASSIGN_OR_RETURN(std::string key, r.ReadString());
+      ASSIGN_OR_RETURN(uint64_t delta, r.ReadU64());
+      counters_[key] += delta;
+      ByteWriter w;
+      w.WriteU64(counters_[key]);
+      return w.Take();
+    }
+    if (invocation.method == "get") {
+      ASSIGN_OR_RETURN(std::string key, r.ReadString());
+      ByteWriter w;
+      w.WriteU64(counters_.count(key) > 0 ? counters_.at(key) : 0);
+      return w.Take();
+    }
+    return NotFound("no such method: " + invocation.method);
+  }
+
+  Bytes GetState() const override {
+    ByteWriter w;
+    w.WriteVarint(counters_.size());
+    for (const auto& [key, value] : counters_) {
+      w.WriteString(key);
+      w.WriteU64(value);
+    }
+    return w.Take();
+  }
+
+  Status SetState(ByteSpan state) override {
+    ByteReader r(state);
+    std::map<std::string, uint64_t> counters;
+    ASSIGN_OR_RETURN(uint64_t count, r.ReadVarint());
+    for (uint64_t i = 0; i < count; ++i) {
+      ASSIGN_OR_RETURN(std::string key, r.ReadString());
+      ASSIGN_OR_RETURN(uint64_t value, r.ReadU64());
+      counters[key] = value;
+    }
+    counters_ = std::move(counters);
+    return OkStatus();
+  }
+
+  std::unique_ptr<dso::SemanticsObject> CloneEmpty() const override {
+    return std::make_unique<CounterObject>();
+  }
+  uint16_t type_id() const override { return kTypeId; }
+
+  const std::map<std::string, uint64_t>& counters() const { return counters_; }
+
+ private:
+  std::map<std::string, uint64_t> counters_;
+};
+
+dso::Invocation CounterAdd(const std::string& key, uint64_t delta) {
+  ByteWriter w;
+  w.WriteString(key);
+  w.WriteU64(delta);
+  return dso::Invocation{"add", w.Take(), /*read_only=*/false};
+}
+
+std::map<std::string, uint64_t> ParseCounterState(ByteSpan state) {
+  CounterObject counter;
+  EXPECT_TRUE(counter.SetState(state).ok());
+  return counter.counters();
+}
+
+// One small GDN-ish world: a 2x2 topology, a GLS with caching on, and two
+// object servers on different continents.
+struct ChaosWorld {
+  explicit ChaosWorld(uint64_t seed) : world(sim::BuildUniformWorld({2, 2}, 2)) {
+    // The deployment adds the directory hosts to the topology; the network only
+    // reads the topology at send time, so construction order is free.
+    sim::NetworkOptions network_options;
+    network_options.rng_seed = seed;
+    network = std::make_unique<sim::Network>(&simulator, &world.topology,
+                                             network_options);
+    transport = std::make_unique<sim::PlainTransport>(network.get());
+    gls::GlsDeploymentOptions deployment_options;
+    deployment_options.node_options.enable_cache = true;
+    deployment_options.rng_seed = seed;
+    deployment = std::make_unique<gls::GlsDeployment>(
+        transport.get(), &world.topology, nullptr, deployment_options);
+    repository.RegisterSemantics(std::make_unique<CounterObject>());
+    gos_a = std::make_unique<gos::ObjectServer>(
+        transport.get(), world.hosts[0], &repository,
+        deployment->LeafDirectoryFor(world.hosts[0]), nullptr);
+    gos_b = std::make_unique<gos::ObjectServer>(
+        transport.get(), world.hosts[6], &repository,
+        deployment->LeafDirectoryFor(world.hosts[6]), nullptr);
+  }
+
+  std::pair<ObjectId, gls::ContactAddress> CreateMaster() {
+    ObjectId oid;
+    gls::ContactAddress address;
+    Status status = Unavailable("pending");
+    gos_a->CreateFirstReplica(
+        dso::kProtoMasterSlave, CounterObject::kTypeId,
+        [&](Result<std::pair<ObjectId, gls::ContactAddress>> r) {
+          if (r.ok()) {
+            oid = r->first;
+            address = r->second;
+            status = OkStatus();
+          } else {
+            status = r.status();
+          }
+        });
+    simulator.Run();
+    EXPECT_TRUE(status.ok()) << status;
+    return {oid, address};
+  }
+
+  gls::ContactAddress CreateSlave(const ObjectId& oid) {
+    gls::ContactAddress address;
+    Status status = Unavailable("pending");
+    gos_b->CreateReplica(oid, CounterObject::kTypeId, gls::ReplicaRole::kSlave,
+                         [&](Result<std::pair<ObjectId, gls::ContactAddress>> r) {
+                           if (r.ok()) {
+                             address = r->second;
+                             status = OkStatus();
+                           } else {
+                             status = r.status();
+                           }
+                         });
+    simulator.Run();
+    EXPECT_TRUE(status.ok()) << status;
+    return address;
+  }
+
+  sim::Simulator simulator;
+  sim::UniformWorld world;
+  std::unique_ptr<sim::Network> network;
+  std::unique_ptr<sim::PlainTransport> transport;
+  std::unique_ptr<gls::GlsDeployment> deployment;
+  dso::ImplementationRepository repository;
+  std::unique_ptr<gos::ObjectServer> gos_a, gos_b;
+};
+
+// ------------------------------------------------------------- exactly once
+
+// The acceptance scenario: a GOS-hosted write whose response is lost is
+// retried, the duplicate delivery hits the master's dedup table, and the state
+// mutates exactly once.
+TEST(ChaosExactlyOnceTest, DuplicateDeliveredGosWriteMutatesStateOnce) {
+  ChaosWorld w(0xC4A05);
+  auto [oid, master_address] = w.CreateMaster();
+  w.CreateSlave(oid);
+
+  NodeId master_host = master_address.endpoint.node;
+  NodeId client_host = w.world.hosts[3];
+  sim::Channel client(w.transport.get(), client_host);
+
+  // Lose every master -> client response until t = 1.1 s: attempt 1 executes
+  // the write but its response vanishes; the retry at ~1.2 s (1 s deadline +
+  // 200 ms backoff) delivers a duplicate that must be answered from the dedup
+  // table, not re-executed.
+  w.network->SetLinkDropProbability(master_host, client_host, 1.0);
+  w.simulator.ScheduleAt(1100 * kMillisecond, [&] {
+    w.network->ClearLinkDropProbability(master_host, client_host);
+  });
+
+  Result<Bytes> written = Unavailable("pending");
+  sim::CallOptions options;
+  options.deadline = 1 * kSecond;
+  options.retry.attempts = 3;
+  options.retry.backoff = 200 * kMillisecond;
+  dso::kDsoInvoke.Call(&client, master_address.endpoint, CounterAdd("k", 5),
+                       [&](Result<Bytes> r) { written = std::move(r); }, options);
+  w.simulator.Run();
+
+  ASSERT_TRUE(written.ok()) << written.status();
+  ByteReader r(*written);
+  EXPECT_EQ(r.ReadU64().value(), 5u);
+  EXPECT_GE(client.stats().retries, 1u);  // the duplicate really went out
+
+  // Exactly one mutation: the counter holds one delta and the master executed
+  // exactly one write. The slave saw exactly one push.
+  dso::ReplicationObject* master = w.gos_a->FindReplica(oid);
+  dso::ReplicationObject* slave = w.gos_b->FindReplica(oid);
+  ASSERT_NE(master, nullptr);
+  ASSERT_NE(slave, nullptr);
+  EXPECT_EQ(master->version(), 1u);
+  EXPECT_EQ(slave->version(), 1u);
+  EXPECT_EQ(ParseCounterState(master->semantics()->GetState()).at("k"), 5u);
+  EXPECT_EQ(ParseCounterState(slave->semantics()->GetState()).at("k"), 5u);
+
+  // The per-link counters name the link that lost the response.
+  EXPECT_GE(w.network->stats().dropped_per_link.at({master_host, client_host}), 1u);
+}
+
+// Same story one layer down: a duplicate-delivered gls.insert_batch must
+// register its addresses and install its pointer chain exactly once.
+TEST(ChaosExactlyOnceTest, DuplicateDeliveredGlsInsertBatchMutatesStateOnce) {
+  ChaosWorld w(0x615);
+  NodeId client_host = w.world.hosts[5];
+  std::unique_ptr<gls::GlsClient> client = w.deployment->MakeClient(client_host);
+
+  Rng rng(7);
+  ObjectId oid = ObjectId::Generate(&rng);
+  gls::ContactAddress address{{client_host, 4242}, dso::kProtoMasterSlave,
+                              gls::ReplicaRole::kMaster};
+  sim::Endpoint leaf = client->leaf_directory().Route(oid);
+
+  // Lose the leaf subnode's responses past the client's 30 s attempt deadline,
+  // so the default write retry (3 attempts, 200 ms backoff) repeats the batch.
+  w.network->SetLinkDropProbability(leaf.node, client_host, 1.0);
+  w.simulator.ScheduleAt(31 * kSecond, [&] {
+    w.network->ClearLinkDropProbability(leaf.node, client_host);
+  });
+
+  Status status = Unavailable("pending");
+  client->InsertBatch({{oid, address}}, [&](Status s) { status = s; });
+  w.simulator.Run();
+  ASSERT_TRUE(status.ok()) << status;
+  EXPECT_GE(client->channel().stats().retries, 1u);
+
+  // Find the leaf subnode the batch was executed on.
+  const gls::DirectorySubnode* leaf_subnode = nullptr;
+  int leaf_depth = 0;
+  uint64_t total_pointer_installs = 0;
+  for (const auto& subnode : w.deployment->subnodes()) {
+    total_pointer_installs += subnode->stats().pointer_installs;
+    if (subnode->endpoint() == leaf) {
+      leaf_subnode = subnode.get();
+      leaf_depth = subnode->depth();
+    }
+  }
+  ASSERT_NE(leaf_subnode, nullptr);
+  // One execution: one batch served, one insert applied, one address stored.
+  EXPECT_EQ(leaf_subnode->stats().batch_inserts, 1u);
+  EXPECT_EQ(leaf_subnode->stats().inserts, 1u);
+  EXPECT_EQ(leaf_subnode->NumAddresses(oid), 1u);
+  // The pointer chain above was installed exactly once per ancestor level — a
+  // re-executed duplicate would have doubled these counters.
+  EXPECT_EQ(total_pointer_installs, static_cast<uint64_t>(leaf_depth));
+}
+
+// ---------------------------------------------------------- crash/restart
+
+// The rebuild-from-checkpoint flavour of crash/restart: the GOS host powers
+// off mid-service, the dead process's objects are torn down, a fresh server is
+// built from the last checkpoint while the node is still dark (ports
+// registered during the outage win over the stash at reboot), and Restore
+// re-registers the replica in the GLS. Volatile writes since the checkpoint
+// are gone; checkpointed state and directory coherence survive.
+TEST(ChaosCrashRestartTest, RebuildFromCheckpointWipesVolatileStateAndRebinds) {
+  ChaosWorld w(0xB007);
+  auto [oid, old_address] = w.CreateMaster();
+  NodeId gos_host = w.gos_a->host();
+  sim::Channel client(w.transport.get(), w.world.hosts[3]);
+
+  auto write = [&](const std::string& key, uint64_t delta, sim::Endpoint target) {
+    Result<Bytes> result = Unavailable("pending");
+    dso::kDsoInvoke.Call(&client, target, CounterAdd(key, delta),
+                         [&](Result<Bytes> r) { result = std::move(r); },
+                         sim::WriteCallOptions());
+    w.simulator.Run();
+    return result;
+  };
+  ASSERT_TRUE(write("k", 3, old_address.endpoint).ok());
+  Bytes checkpoint = w.gos_a->Checkpoint();
+  // Acknowledged, but newer than the checkpoint: the crash must wipe it.
+  ASSERT_TRUE(write("volatile", 2, old_address.endpoint).ok());
+
+  // Power-cut, rebuild from the checkpoint, reboot, restore.
+  w.network->CrashNode(gos_host);
+  w.gos_a.reset();
+  w.gos_a = std::make_unique<gos::ObjectServer>(
+      w.transport.get(), gos_host, &w.repository,
+      w.deployment->LeafDirectoryFor(gos_host), nullptr);
+  w.network->RestartNode(gos_host);
+  Status restored = Unavailable("pending");
+  w.gos_a->Restore(checkpoint, [&](Status s) { restored = s; });
+  w.simulator.Run();
+  ASSERT_TRUE(restored.ok()) << restored;
+
+  // The GLS serves exactly the rebuilt replica's fresh address; the stale
+  // pre-crash registration is gone.
+  std::unique_ptr<gls::GlsClient> gls = w.deployment->MakeClient(w.world.hosts[3]);
+  Result<gls::LookupResult> lookup = Unavailable("pending");
+  gls->Lookup(oid, [&](Result<gls::LookupResult> r) { lookup = std::move(r); });
+  w.simulator.Run();
+  ASSERT_TRUE(lookup.ok()) << lookup.status();
+  ASSERT_EQ(lookup->addresses.size(), 1u);
+  sim::Endpoint new_endpoint = lookup->addresses[0].endpoint;
+  EXPECT_NE(new_endpoint, old_address.endpoint);
+
+  // Checkpointed state survived, the newer write did not, and the rebuilt
+  // replica serves writes at its new address.
+  ASSERT_TRUE(write("k", 4, new_endpoint).ok());
+  dso::ReplicationObject* master = w.gos_a->FindReplica(oid);
+  ASSERT_NE(master, nullptr);
+  std::map<std::string, uint64_t> state =
+      ParseCounterState(master->semantics()->GetState());
+  EXPECT_EQ(state.at("k"), 7u);            // 3 from the checkpoint + 4 after reboot
+  EXPECT_EQ(state.count("volatile"), 0u);  // wiped with the process
+}
+
+// --------------------------------------------------- randomized fault sweeps
+
+struct ScenarioSummary {
+  uint64_t executed_events = 0;
+  uint64_t master_version = 0;
+  uint64_t slave_version = 0;
+  std::string state_hash;
+  uint64_t total_messages = 0;
+  uint64_t dropped = 0;
+  uint64_t partitioned = 0;
+  size_t acked_writes = 0;
+
+  bool operator==(const ScenarioSummary&) const = default;
+};
+
+// Runs one full randomized scenario: a master/slave replica set under a
+// seed-generated schedule of writes, per-link loss episodes, client<->master
+// partitions and slave crash/restarts; heals everything; then checks the
+// end-state invariants.
+ScenarioSummary RunScenario(uint64_t seed) {
+  ChaosWorld w(seed);
+  auto [oid, master_address] = w.CreateMaster();
+  gls::ContactAddress slave_address = w.CreateSlave(oid);
+
+  NodeId master_host = master_address.endpoint.node;
+  NodeId slave_host = w.gos_b->host();
+  NodeId client_host = w.world.hosts[3];
+  sim::Channel client(w.transport.get(), client_host);
+
+  std::map<std::string, uint64_t> issued;  // upper bound on every counter
+  std::map<std::string, uint64_t> acked;   // lower bound on every counter
+  size_t acked_writes = 0;
+
+  // The whole schedule — writes and faults alike — is generated up front from
+  // the seed and pinned to virtual times, so it replays identically.
+  Rng schedule(seed ^ 0x5eed5c4aULL);
+  constexpr int kTicks = 40;
+  constexpr SimTime kTickSpacing = 500 * kMillisecond;
+  for (int tick = 1; tick <= kTicks; ++tick) {
+    SimTime at = tick * kTickSpacing;
+    switch (schedule.UniformInt(6)) {
+      case 0:
+      case 1:
+      case 2: {  // a write
+        std::string key{'k', static_cast<char>('0' + schedule.UniformInt(4))};
+        uint64_t delta = 1 + schedule.UniformInt(3);
+        issued[key] += delta;
+        w.simulator.ScheduleAt(at, [&w, &client, &acked, &acked_writes,
+                                    master_endpoint = master_address.endpoint, key,
+                                    delta] {
+          sim::CallOptions options;
+          options.deadline = 1 * kSecond;
+          options.retry.attempts = 3;
+          options.retry.backoff = 150 * kMillisecond;
+          dso::kDsoInvoke.Call(&client, master_endpoint, CounterAdd(key, delta),
+                               [&acked, &acked_writes, key, delta](Result<Bytes> r) {
+                                 if (r.ok()) {
+                                   acked[key] += delta;
+                                   ++acked_writes;
+                                 }
+                               },
+                               options);
+        });
+        break;
+      }
+      case 3: {  // a timed client <-> master partition
+        SimTime duration = (200 + schedule.UniformInt(800)) * kMillisecond;
+        w.simulator.ScheduleAt(at, [&w, master_host, client_host, duration] {
+          w.network->PartitionPair(master_host, client_host, duration);
+        });
+        break;
+      }
+      case 4: {  // a per-link loss episode on the write path
+        double loss = 0.2 + 0.1 * static_cast<double>(schedule.UniformInt(4));
+        w.simulator.ScheduleAt(at, [&w, master_host, client_host, loss] {
+          w.network->SetLinkDropProbability(master_host, client_host, loss);
+          w.network->SetLinkDropProbability(client_host, master_host, loss);
+        });
+        w.simulator.ScheduleAt(at + 700 * kMillisecond, [&w, master_host,
+                                                         client_host] {
+          w.network->ClearLinkDropProbability(master_host, client_host);
+          w.network->ClearLinkDropProbability(client_host, master_host);
+        });
+        break;
+      }
+      case 5: {  // crash the slave's host, reboot it shortly after
+        w.simulator.ScheduleAt(at, [&w, slave_host] {
+          if (!w.network->IsCrashed(slave_host)) {
+            w.network->CrashNode(slave_host);
+          }
+        });
+        w.simulator.ScheduleAt(at + 600 * kMillisecond, [&w, slave_host] {
+          if (w.network->IsCrashed(slave_host)) {
+            w.network->RestartNode(slave_host);
+          }
+        });
+        break;
+      }
+    }
+  }
+
+  // Heal everything, then push one final sync write so the slave converges.
+  SimTime heal_at = (kTicks + 1) * kTickSpacing + 5 * kSecond;
+  w.simulator.ScheduleAt(heal_at, [&w, master_host, slave_host, client_host] {
+    w.network->ClearLinkDropProbability(master_host, client_host);
+    w.network->ClearLinkDropProbability(client_host, master_host);
+    w.network->HealPartition(master_host, client_host);
+    if (w.network->IsCrashed(slave_host)) {
+      w.network->RestartNode(slave_host);
+    }
+  });
+  issued["sync"] += 1;
+  w.simulator.ScheduleAt(heal_at + kSecond, [&w, &client, &acked, &acked_writes,
+                                             master_endpoint =
+                                                 master_address.endpoint] {
+    sim::CallOptions options;
+    options.deadline = 2 * kSecond;
+    options.retry.attempts = 5;
+    options.retry.backoff = 200 * kMillisecond;
+    dso::kDsoInvoke.Call(&client, master_endpoint, CounterAdd("sync", 1),
+                         [&acked, &acked_writes](Result<Bytes> r) {
+                           if (r.ok()) {
+                             acked["sync"] += 1;
+                             ++acked_writes;
+                           }
+                         },
+                         options);
+  });
+  w.simulator.Run();
+
+  // ---- End-state invariants ----
+  dso::ReplicationObject* master = w.gos_a->FindReplica(oid);
+  dso::ReplicationObject* slave = w.gos_b->FindReplica(oid);
+  EXPECT_NE(master, nullptr);
+  EXPECT_NE(slave, nullptr);
+  if (master == nullptr || slave == nullptr) {
+    return {};
+  }
+
+  // Converged: one owner view, identical state, identical version.
+  Bytes master_state = master->semantics()->GetState();
+  Bytes slave_state = slave->semantics()->GetState();
+  EXPECT_EQ(master_state, slave_state);
+  EXPECT_EQ(master->version(), slave->version());
+
+  // Both replicas name the same master endpoint.
+  sim::Endpoint owner_seen_by_master, owner_seen_by_slave;
+  dso::kDsoMasterEndpoint.Call(&client, master_address.endpoint, {},
+                               [&](Result<dso::EndpointMessage> r) {
+                                 ASSERT_TRUE(r.ok());
+                                 owner_seen_by_master = r->endpoint;
+                               });
+  dso::kDsoMasterEndpoint.Call(&client, slave_address.endpoint, {},
+                               [&](Result<dso::EndpointMessage> r) {
+                                 ASSERT_TRUE(r.ok());
+                                 owner_seen_by_slave = r->endpoint;
+                               });
+  w.simulator.Run();
+  EXPECT_EQ(owner_seen_by_master, owner_seen_by_slave);
+
+  // At-most-once + retries bound every counter: acked writes are a floor (an
+  // acknowledged write definitely executed, exactly once), issued writes a
+  // ceiling (an unacknowledged write may or may not have landed; a duplicate
+  // delivery never counts twice).
+  std::map<std::string, uint64_t> state = ParseCounterState(master_state);
+  for (const auto& [key, value] : state) {
+    EXPECT_LE(value, issued[key]) << key << ": a write executed more than once";
+  }
+  for (const auto& [key, value] : acked) {
+    EXPECT_GE(state[key], value) << key << ": an acknowledged write is missing";
+  }
+  EXPECT_EQ(state.at("sync"), 1u);  // the healed world really converged
+
+  ScenarioSummary summary;
+  summary.executed_events = w.simulator.executed_events();
+  summary.master_version = master->version();
+  summary.slave_version = slave->version();
+  summary.state_hash =
+      Sha256::HexDigest(master_state) + Sha256::HexDigest(slave_state);
+  summary.total_messages = w.network->stats().TotalMessages();
+  summary.dropped = w.network->stats().dropped_messages;
+  summary.partitioned = w.network->stats().partitioned_messages;
+  summary.acked_writes = acked_writes;
+  return summary;
+}
+
+class ChaosSweepTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ChaosSweepTest, RandomizedFaultScheduleConvergesAndReplaysIdentically) {
+  ScenarioSummary first = RunScenario(GetParam());
+  // The schedule really exercised the system: writes got through and the
+  // injected faults really cost traffic.
+  EXPECT_GT(first.acked_writes, 0u);
+  EXPECT_GT(first.dropped + first.partitioned, 0u);
+  EXPECT_GT(first.master_version, 0u);
+  // Determinism: the same seed replays the identical failure schedule — same
+  // number of simulator events, same message/drop counts, same final state.
+  ScenarioSummary second = RunScenario(GetParam());
+  EXPECT_EQ(first.executed_events, second.executed_events);
+  EXPECT_EQ(first.state_hash, second.state_hash);
+  EXPECT_EQ(first.total_messages, second.total_messages);
+  EXPECT_EQ(first.dropped, second.dropped);
+  EXPECT_EQ(first.partitioned, second.partitioned);
+  EXPECT_TRUE(first == second);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ChaosSweepTest, ::testing::ValuesIn(ChaosSeeds()));
+
+// ----------------------------------------------------------- decommissioning
+
+class ChaosDecommissionTest : public ::testing::TestWithParam<uint64_t> {};
+
+// After a lossy decommission completes, no lookup — cached or not — may ever
+// return the decommissioned server's address.
+TEST_P(ChaosDecommissionTest, NoOidResolvesToADecommissionedAddress) {
+  ChaosWorld w(GetParam());
+  auto [oid, master_address] = w.CreateMaster();
+  gls::ContactAddress slave_address = w.CreateSlave(oid);
+
+  // Warm the directory caches with lookups from a third country, so a stale
+  // cached answer containing the slave's address would survive if the delete
+  // fan-out missed any subnode.
+  NodeId user = w.world.hosts[5];
+  std::unique_ptr<gls::GlsClient> client = w.deployment->MakeClient(user);
+  client->set_allow_cached(true);
+  for (int i = 0; i < 4; ++i) {
+    Result<gls::LookupResult> warm = Unavailable("pending");
+    client->Lookup(oid, [&](Result<gls::LookupResult> r) { warm = std::move(r); });
+    w.simulator.Run();
+    ASSERT_TRUE(warm.ok()) << warm.status();
+    ASSERT_FALSE(warm->addresses.empty());
+  }
+
+  // Decommission the slave's server over a lossy GLS path: the delete batch and
+  // its invalidation chain must retry through 5% loss in both directions.
+  const gls::DirectoryRef& slave_leaf =
+      w.deployment->LeafDirectoryFor(w.gos_b->host());
+  for (const sim::Endpoint& subnode : slave_leaf.subnodes) {
+    w.network->SetLinkDropProbability(w.gos_b->host(), subnode.node, 0.05);
+    w.network->SetLinkDropProbability(subnode.node, w.gos_b->host(), 0.05);
+  }
+  Status decommissioned = Unavailable("pending");
+  w.gos_b->Decommission([&](Status s) { decommissioned = s; });
+  w.simulator.Run();
+  ASSERT_TRUE(decommissioned.ok()) << decommissioned;
+  EXPECT_EQ(w.gos_b->num_replicas(), 0u);
+
+  // Every post-decommission lookup — all cache-permitted — must resolve to the
+  // master only, never to the decommissioned slave.
+  for (int i = 0; i < 8; ++i) {
+    Result<gls::LookupResult> lookup = Unavailable("pending");
+    client->Lookup(oid, [&](Result<gls::LookupResult> r) { lookup = std::move(r); });
+    w.simulator.Run();
+    ASSERT_TRUE(lookup.ok()) << lookup.status();
+    ASSERT_FALSE(lookup->addresses.empty());
+    for (const gls::ContactAddress& address : lookup->addresses) {
+      EXPECT_NE(address.endpoint, slave_address.endpoint)
+          << "lookup " << i << " resolved to the decommissioned replica";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ChaosDecommissionTest,
+                         ::testing::ValuesIn(ChaosSeeds()));
+
+}  // namespace
+}  // namespace globe

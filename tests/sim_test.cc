@@ -620,6 +620,78 @@ TEST_F(RpcTest, StaleOkAfterRetryWasSentCompletesTheCall) {
   EXPECT_EQ(simulator_.pending_events(), 0u);
 }
 
+TEST_F(RpcTest, RetryBackoffAdvancesVirtualTimeGeometrically) {
+  // Each backoff is backoff * multiplier^k for the k-th retry: with the server
+  // unreachable, the whole call costs exactly
+  //   attempts * deadline + backoff * (1 + m + m^2).
+  NodeId server_node = world_.hosts[0];
+  RpcServer server(&transport_, server_node, 700);
+  network_.SetNodeUp(server_node, false);
+
+  Channel client(&transport_, world_.hosts[1]);
+  Status got;
+  CallOptions options;
+  options.deadline = 1 * kSecond;
+  options.retry.attempts = 4;
+  options.retry.backoff = 100 * kMillisecond;
+  options.retry.backoff_multiplier = 3.0;
+  EXPECT_EQ(options.retry.BackoffFor(1), 100 * kMillisecond);
+  EXPECT_EQ(options.retry.BackoffFor(2), 300 * kMillisecond);
+  EXPECT_EQ(options.retry.BackoffFor(3), 900 * kMillisecond);
+  client.Call(server.endpoint(), "echo", {},
+              [&](Result<Bytes> result) { got = result.status(); }, options);
+  simulator_.Run();
+  EXPECT_EQ(got.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(simulator_.Now(), 4 * kSecond + (100 + 300 + 900) * kMillisecond);
+}
+
+TEST_F(RpcTest, RetryExhaustionSurfacesTheLastError) {
+  RpcServer server(&transport_, world_.hosts[0], 700);
+  int attempt = 0;
+  server.RegisterMethod("flaky", [&](const RpcContext&, ByteSpan) -> Result<Bytes> {
+    return Unavailable("err-" + std::to_string(++attempt));
+  });
+
+  Channel client(&transport_, world_.hosts[1]);
+  Status got;
+  CallOptions options;
+  options.retry.attempts = 3;
+  options.retry.backoff = 100 * kMillisecond;
+  client.Call(server.endpoint(), "flaky", {},
+              [&](Result<Bytes> result) { got = result.status(); }, options);
+  simulator_.Run();
+  EXPECT_EQ(got.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(got.message(), "err-3");  // the last attempt's error, not the first
+}
+
+TEST_F(RpcTest, CancelDuringBackoffStopsTheRetryChain) {
+  RpcServer server(&transport_, world_.hosts[0], 700);
+  server.RegisterMethod("flaky", [](const RpcContext&, ByteSpan) -> Result<Bytes> {
+    return Unavailable("try again");
+  });
+
+  Channel client(&transport_, world_.hosts[1]);
+  int callback_runs = 0;
+  CallOptions options;
+  options.retry.attempts = 5;
+  options.retry.backoff = 10 * kSecond;
+  CallHandle handle = client.Call(server.endpoint(), "flaky", {},
+                                  [&](Result<Bytes>) { ++callback_runs; }, options);
+  // Let attempt 1 fail and the first backoff get scheduled, then cancel.
+  simulator_.RunUntil(kSecond);
+  EXPECT_EQ(server.requests_served(), 1u);
+  EXPECT_EQ(client.stats().retries, 1u);  // scheduled, not yet sent
+  EXPECT_TRUE(handle.active());
+  handle.Cancel();
+
+  simulator_.Run();
+  // The pending retry never went out and nothing leaked.
+  EXPECT_EQ(server.requests_served(), 1u);
+  EXPECT_EQ(callback_runs, 0);
+  EXPECT_EQ(client.stats().cancelled, 1u);
+  EXPECT_EQ(simulator_.pending_events(), 0u);
+}
+
 TEST_F(RpcTest, ApplicationErrorsAreNotRetried) {
   RpcServer server(&transport_, world_.hosts[0], 700);
   int calls = 0;
@@ -773,6 +845,363 @@ TEST_F(RpcTest, MalformedFrameIsIgnored) {
   network_.Send({world_.hosts[1], 999}, {world_.hosts[0], 700}, Bytes{0xde, 0xad});
   simulator_.Run();
   EXPECT_EQ(server.requests_served(), 0u);
+}
+
+// ------------------------------------------------------- At-most-once dedup
+
+// Helpers shared by the dedup tests: a raw request frame for `method` under the
+// given attempt and call ids, exactly as Channel would emit it.
+Bytes RequestFrame(uint64_t attempt_id, uint64_t call_id, std::string_view method,
+                   ByteSpan payload) {
+  ByteWriter w;
+  w.WriteU8(0);  // request
+  w.WriteU64(attempt_id);
+  w.WriteU64(call_id);
+  w.WriteString(method);
+  w.WriteLengthPrefixed(payload);
+  return w.Take();
+}
+
+struct ParsedResponse {
+  uint64_t attempt_id = 0;
+  StatusCode code = StatusCode::kInternal;
+  Bytes payload;
+};
+
+Result<ParsedResponse> ParseResponse(ByteSpan frame) {
+  ByteReader r(frame);
+  ParsedResponse response;
+  ASSIGN_OR_RETURN(uint8_t type, r.ReadU8());
+  if (type != 1) {
+    return InvalidArgument("not a response frame");
+  }
+  ASSIGN_OR_RETURN(response.attempt_id, r.ReadU64());
+  ASSIGN_OR_RETURN(uint8_t code, r.ReadU8());
+  response.code = static_cast<StatusCode>(code);
+  ASSIGN_OR_RETURN(std::string message, r.ReadString());
+  ASSIGN_OR_RETURN(response.payload, r.ReadLengthPrefixed());
+  return response;
+}
+
+class DedupTest : public RpcTest {
+ protected:
+  DedupTest() : server_(&transport_, world_.hosts[0], 700) {
+    // A visibly non-idempotent method: every execution bumps the counter and
+    // answers with the post-increment value.
+    server_.RegisterMethod("counter.add",
+                           [this](const RpcContext&, ByteSpan) -> Result<Bytes> {
+                             ByteWriter w;
+                             w.WriteU64(++executions_);
+                             return w.Take();
+                           },
+                           kNonIdempotent);
+    client_ = Endpoint{world_.hosts[1], 41000};
+    network_.RegisterPort(client_.node, client_.port, [this](const Delivery& d) {
+      auto response = ParseResponse(d.payload);
+      ASSERT_TRUE(response.ok());
+      responses_.push_back(*response);
+    });
+  }
+
+  void SendRequest(uint64_t attempt_id, uint64_t call_id) {
+    network_.Send(client_, server_.endpoint(),
+                  RequestFrame(attempt_id, call_id, "counter.add", {}));
+  }
+
+  RpcServer server_;
+  uint64_t executions_ = 0;
+  Endpoint client_;
+  std::vector<ParsedResponse> responses_;
+};
+
+TEST_F(DedupTest, DuplicateDeliveryReplaysTheCachedResponse) {
+  SendRequest(/*attempt_id=*/1, /*call_id=*/1);
+  simulator_.Run();
+  // The retry of call 1 arrives under a fresh attempt id, as Channel sends it.
+  SendRequest(/*attempt_id=*/2, /*call_id=*/1);
+  simulator_.Run();
+
+  EXPECT_EQ(executions_, 1u);  // the handler ran exactly once
+  EXPECT_EQ(server_.duplicates_suppressed(), 1u);
+  EXPECT_EQ(server_.requests_served(), 1u);  // duplicates are not "served"
+  ASSERT_EQ(responses_.size(), 2u);
+  // Each attempt got a response, correlated to its own id, with the payload of
+  // the one real execution.
+  EXPECT_EQ(responses_[0].attempt_id, 1u);
+  EXPECT_EQ(responses_[1].attempt_id, 2u);
+  EXPECT_EQ(responses_[0].payload, responses_[1].payload);
+
+  // A different call id is a different call: it executes.
+  SendRequest(/*attempt_id=*/3, /*call_id=*/2);
+  simulator_.Run();
+  EXPECT_EQ(executions_, 2u);
+}
+
+TEST_F(DedupTest, DuplicateWhileExecutionInProgressJoinsIt) {
+  server_.set_service_time(kSecond);  // the first delivery queues for 1 s
+  SendRequest(/*attempt_id=*/1, /*call_id=*/1);
+  SendRequest(/*attempt_id=*/2, /*call_id=*/1);
+  simulator_.Run();
+
+  EXPECT_EQ(executions_, 1u);
+  EXPECT_EQ(server_.duplicates_suppressed(), 1u);
+  // Both attempts were answered by the single execution when it completed.
+  ASSERT_EQ(responses_.size(), 2u);
+  EXPECT_EQ(responses_[0].payload, responses_[1].payload);
+}
+
+TEST_F(DedupTest, DedupEntriesEvictAfterTtl) {
+  server_.set_dedup_ttl(10 * kSecond);
+  SendRequest(/*attempt_id=*/1, /*call_id=*/1);
+  simulator_.Run();
+  EXPECT_EQ(server_.dedup_entries(), 1u);
+
+  // A very late duplicate — after the TTL — finds no entry and executes again.
+  // The TTL must therefore cover the client's maximum retry horizon.
+  simulator_.ScheduleAfter(11 * kSecond, [] {});
+  simulator_.Run();
+  SendRequest(/*attempt_id=*/2, /*call_id=*/1);
+  simulator_.Run();
+  EXPECT_EQ(executions_, 2u);
+  EXPECT_EQ(server_.duplicates_suppressed(), 0u);
+}
+
+TEST_F(DedupTest, TransientErrorsAreNotPinnedByTheDedupTable) {
+  // UNAVAILABLE is the one code retry policies repeat: caching it would doom
+  // every retry of the call to the same replayed error for the whole TTL. The
+  // entry is dropped instead, so the retry re-executes and can succeed.
+  int attempts_seen = 0;
+  server_.RegisterMethod("flaky.write",
+                         [&](const RpcContext&, ByteSpan) -> Result<Bytes> {
+                           if (++attempts_seen == 1) {
+                             return Unavailable("chain timed out");
+                           }
+                           return ToBytes("done");
+                         },
+                         kNonIdempotent);
+
+  Channel client(&transport_, world_.hosts[2]);
+  Bytes reply;
+  CallOptions options;
+  options.retry.attempts = 3;
+  options.retry.backoff = 100 * kMillisecond;
+  client.Call(server_.endpoint(), "flaky.write", {},
+              [&](Result<Bytes> result) {
+                ASSERT_TRUE(result.ok());
+                reply = std::move(*result);
+              },
+              options);
+  simulator_.Run();
+  EXPECT_EQ(globe::ToString(reply), "done");
+  EXPECT_EQ(attempts_seen, 2);
+  // Only the definitive outcome stayed cached.
+  EXPECT_EQ(server_.dedup_entries(), 1u);
+}
+
+TEST_F(DedupTest, ErrorResponsesAreReplayedToo) {
+  uint64_t failures = 0;
+  server_.RegisterMethod("always.fail",
+                         [&](const RpcContext&, ByteSpan) -> Result<Bytes> {
+                           ++failures;
+                           return FailedPrecondition("nope");
+                         },
+                         kNonIdempotent);
+  network_.Send(client_, server_.endpoint(),
+                RequestFrame(1, 9, "always.fail", {}));
+  network_.Send(client_, server_.endpoint(),
+                RequestFrame(2, 9, "always.fail", {}));
+  simulator_.Run();
+  EXPECT_EQ(failures, 1u);
+  ASSERT_EQ(responses_.size(), 2u);
+  EXPECT_EQ(responses_[0].code, StatusCode::kFailedPrecondition);
+  EXPECT_EQ(responses_[1].code, StatusCode::kFailedPrecondition);
+}
+
+TEST_F(RpcTest, RetriedWriteUnderResponseLossExecutesOnceEndToEnd) {
+  // The full at-most-once story: the server executes the write on the first
+  // delivery, the response is lost, the client's retry delivers a duplicate,
+  // and the dedup table replays the original response instead of re-running
+  // the handler.
+  NodeId server_node = world_.hosts[0];
+  NodeId client_node = world_.hosts[5];
+  RpcServer server(&transport_, server_node, 700);
+  uint64_t executions = 0;
+  server.RegisterMethod("counter.add",
+                        [&](const RpcContext&, ByteSpan) -> Result<Bytes> {
+                          ByteWriter w;
+                          w.WriteU64(++executions);
+                          return w.Take();
+                        },
+                        kNonIdempotent);
+
+  // Lose every response until t = 550 ms; requests flow normally.
+  network_.SetLinkDropProbability(server_node, client_node, 1.0);
+  simulator_.ScheduleAt(550 * kMillisecond, [&] {
+    network_.ClearLinkDropProbability(server_node, client_node);
+  });
+
+  Channel client(&transport_, client_node);
+  Result<Bytes> got = Unavailable("pending");
+  CallOptions options;
+  options.deadline = 500 * kMillisecond;
+  options.retry.attempts = 3;
+  options.retry.backoff = 100 * kMillisecond;
+  client.Call(server.endpoint(), "counter.add", {},
+              [&](Result<Bytes> result) { got = std::move(result); }, options);
+  simulator_.Run();
+
+  ASSERT_TRUE(got.ok());
+  ByteReader r(*got);
+  EXPECT_EQ(r.ReadU64().value(), 1u);  // the first (only) execution's response
+  EXPECT_EQ(executions, 1u);
+  EXPECT_EQ(server.duplicates_suppressed(), 1u);
+  EXPECT_EQ(client.stats().retries, 1u);
+  // The per-link counter names the link that lost the response.
+  EXPECT_GE(network_.stats().dropped_per_link.at({server_node, client_node}), 1u);
+  EXPECT_EQ(network_.stats().dropped_per_link.count({client_node, server_node}), 0u);
+}
+
+// ------------------------------------------------------- Fault injection
+
+TEST_F(NetworkTest, PerLinkLossOverridesUniformAndCountsPerLink) {
+  NodeId a = world_.hosts[0];
+  NodeId b = world_.hosts[1];
+  int delivered = 0;
+  network_.RegisterPort(a, 1, [&](const Delivery&) { ++delivered; });
+  network_.RegisterPort(b, 1, [&](const Delivery&) { ++delivered; });
+
+  network_.SetLinkDropProbability(a, b, 1.0);  // directed: only a -> b
+  network_.Send({a, 2}, {b, 1}, Bytes(8));
+  network_.Send({b, 2}, {a, 1}, Bytes(8));
+  simulator_.Run();
+  EXPECT_EQ(delivered, 1);  // b -> a got through
+  EXPECT_EQ(network_.stats().dropped_messages, 1u);
+  EXPECT_EQ(network_.stats().dropped_per_link.at({a, b}), 1u);
+  EXPECT_EQ(network_.stats().dropped_per_link.count({b, a}), 0u);
+
+  network_.ClearLinkDropProbability(a, b);
+  network_.Send({a, 2}, {b, 1}, Bytes(8));
+  simulator_.Run();
+  EXPECT_EQ(delivered, 2);
+}
+
+TEST_F(NetworkTest, PartitionIsBidirectionalAndAutoHeals) {
+  NodeId a = world_.hosts[0];
+  NodeId b = world_.hosts[1];
+  int delivered = 0;
+  network_.RegisterPort(a, 1, [&](const Delivery&) { ++delivered; });
+  network_.RegisterPort(b, 1, [&](const Delivery&) { ++delivered; });
+
+  network_.PartitionPair(a, b, 5 * kSecond);
+  EXPECT_TRUE(network_.IsPartitioned(a, b));
+  EXPECT_TRUE(network_.IsPartitioned(b, a));
+  network_.Send({a, 2}, {b, 1}, Bytes(8));
+  network_.Send({b, 2}, {a, 1}, Bytes(8));
+  simulator_.Run();
+  EXPECT_EQ(delivered, 0);
+  EXPECT_EQ(network_.stats().partitioned_messages, 2u);
+  EXPECT_EQ(network_.stats().dropped_per_link.at({a, b}), 1u);
+  EXPECT_EQ(network_.stats().dropped_per_link.at({b, a}), 1u);
+
+  // The partition expires on the virtual clock; traffic flows again.
+  simulator_.ScheduleAt(6 * kSecond, [&] {
+    EXPECT_FALSE(network_.IsPartitioned(a, b));
+    network_.Send({a, 2}, {b, 1}, Bytes(8));
+  });
+  simulator_.Run();
+  EXPECT_EQ(delivered, 1);
+}
+
+TEST_F(NetworkTest, PartitionCutsMessagesAlreadyInFlight) {
+  NodeId a = world_.hosts[0];
+  NodeId far = world_.hosts.back();  // other continent: tens of ms in flight
+  int delivered = 0;
+  network_.RegisterPort(far, 1, [&](const Delivery&) { ++delivered; });
+  network_.Send({a, 2}, {far, 1}, Bytes(8));
+  network_.PartitionPair(a, far, 5 * kSecond);  // cut while the message flies
+  simulator_.Run();
+  EXPECT_EQ(delivered, 0);
+  EXPECT_EQ(network_.stats().partitioned_messages, 1u);
+}
+
+TEST_F(NetworkTest, RepartitioningNeverShortensTheWindow) {
+  NodeId a = world_.hosts[0];
+  NodeId b = world_.hosts[1];
+  network_.PartitionPair(a, b, 10 * kSecond);
+  // A shorter re-partition must not pull the heal time earlier.
+  network_.PartitionPair(a, b, 200 * kMillisecond);
+  simulator_.ScheduleAt(5 * kSecond,
+                        [&] { EXPECT_TRUE(network_.IsPartitioned(a, b)); });
+  simulator_.ScheduleAt(11 * kSecond,
+                        [&] { EXPECT_FALSE(network_.IsPartitioned(a, b)); });
+  simulator_.Run();
+}
+
+TEST_F(NetworkTest, CrashCutsMessagesInFlightFromTheCrashedNode) {
+  NodeId a = world_.hosts[0];
+  NodeId far = world_.hosts.back();
+  int delivered = 0;
+  network_.RegisterPort(far, 1, [&](const Delivery&) { ++delivered; });
+  network_.Send({a, 2}, {far, 1}, Bytes(8));
+  network_.CrashNode(a);  // the sender dies while its message is on the wire
+  simulator_.Run();
+  EXPECT_EQ(delivered, 0);
+  EXPECT_EQ(network_.stats().down_node_messages, 1u);
+}
+
+TEST_F(NetworkTest, HealPartitionRestoresTrafficImmediately) {
+  NodeId a = world_.hosts[0];
+  NodeId b = world_.hosts[1];
+  int delivered = 0;
+  network_.RegisterPort(b, 1, [&](const Delivery&) { ++delivered; });
+  network_.PartitionPair(a, b, 1000 * kSecond);
+  network_.HealPartition(a, b);
+  network_.Send({a, 2}, {b, 1}, Bytes(8));
+  simulator_.Run();
+  EXPECT_EQ(delivered, 1);
+}
+
+TEST_F(NetworkTest, CrashNodeDetachesPortsAndRestartReattachesThem) {
+  NodeId a = world_.hosts[0];
+  NodeId b = world_.hosts[1];
+  int delivered = 0;
+  network_.RegisterPort(b, 1, [&](const Delivery&) { ++delivered; });
+
+  network_.CrashNode(b);
+  EXPECT_TRUE(network_.IsCrashed(b));
+  EXPECT_FALSE(network_.IsNodeUp(b));
+  network_.Send({a, 2}, {b, 1}, Bytes(8));
+  simulator_.Run();
+  EXPECT_EQ(delivered, 0);
+
+  network_.RestartNode(b);
+  EXPECT_FALSE(network_.IsCrashed(b));
+  // The stashed handler survived the reboot, like §7 persistent state.
+  network_.Send({a, 2}, {b, 1}, Bytes(8));
+  simulator_.Run();
+  EXPECT_EQ(delivered, 1);
+}
+
+TEST_F(NetworkTest, PortsChangedWhileCrashedWinOverTheStash) {
+  NodeId a = world_.hosts[0];
+  NodeId b = world_.hosts[1];
+  int old_handler = 0, new_handler = 0, second_port = 0;
+  network_.RegisterPort(b, 1, [&](const Delivery&) { ++old_handler; });
+  network_.RegisterPort(b, 2, [&](const Delivery&) { ++second_port; });
+
+  network_.CrashNode(b);
+  // A service rebuilt from a checkpoint re-registers port 1; the one on port 2
+  // is torn down for good.
+  network_.RegisterPort(b, 1, [&](const Delivery&) { ++new_handler; });
+  network_.UnregisterPort(b, 2);
+  network_.RestartNode(b);
+
+  network_.Send({a, 9}, {b, 1}, Bytes(8));
+  network_.Send({a, 9}, {b, 2}, Bytes(8));
+  simulator_.Run();
+  EXPECT_EQ(old_handler, 0);
+  EXPECT_EQ(new_handler, 1);
+  EXPECT_EQ(second_port, 0);
 }
 
 // ---------------------------------------------------------------- TypedMethod
