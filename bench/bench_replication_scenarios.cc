@@ -21,10 +21,18 @@
 // assignment matches the best policy in every column (the paper's Pierre-et-al
 // finding).
 
+// A second table measures GLS-driven master fail-over (dso::ReplicaGroup): a
+// master/slave package loses its master to a crash, the slave detects the
+// missed lease renewals and races gls.claim_master; the table reports the
+// time-to-new-master and the acked-write floor (writes lost must be 0) across
+// lease-timing configurations.
+
 #include <numeric>
 
 #include "bench/bench_util.h"
 #include "src/gdn/world.h"
+#include "src/gls/deploy.h"
+#include "src/gos/object_server.h"
 
 using namespace globe;
 using bench::Fmt;
@@ -150,7 +158,8 @@ ScenarioResult RunScenario(Policy policy, const Workload& workload) {
     }
     auto oid = world.PublishPackage(name, files, protocol, 0, replicas);
     if (!oid.ok()) {
-      std::printf("publish %s failed: %s\n", name.c_str(), oid.status().ToString().c_str());
+      std::printf("publish %s failed: %s\n", name.c_str(),
+                  oid.status().ToString().c_str());
       std::exit(1);
     }
   }
@@ -195,6 +204,174 @@ ScenarioResult RunScenario(Policy policy, const Workload& workload) {
   return result;
 }
 
+// ------------------------------------------------------------- fail-over
+
+// Minimal KV semantics for the fail-over runs: presence of a key proves the
+// write survived the election.
+class KvObject : public dso::SemanticsObject {
+ public:
+  static constexpr uint16_t kTypeId = 31;
+
+  Result<Bytes> Invoke(const dso::Invocation& invocation) override {
+    ByteReader r(invocation.args);
+    if (invocation.method == "put") {
+      ASSIGN_OR_RETURN(std::string key, r.ReadString());
+      ASSIGN_OR_RETURN(std::string value, r.ReadString());
+      entries_[key] = value;
+      return Bytes{};
+    }
+    return NotFound("no such method: " + invocation.method);
+  }
+
+  Bytes GetState() const override {
+    ByteWriter w;
+    w.WriteVarint(entries_.size());
+    for (const auto& [key, value] : entries_) {
+      w.WriteString(key);
+      w.WriteString(value);
+    }
+    return w.Take();
+  }
+
+  Status SetState(ByteSpan state) override {
+    ByteReader r(state);
+    std::map<std::string, std::string> entries;
+    ASSIGN_OR_RETURN(uint64_t count, r.ReadVarint());
+    for (uint64_t i = 0; i < count; ++i) {
+      ASSIGN_OR_RETURN(std::string key, r.ReadString());
+      ASSIGN_OR_RETURN(std::string value, r.ReadString());
+      entries[key] = value;
+    }
+    entries_ = std::move(entries);
+    return OkStatus();
+  }
+
+  std::unique_ptr<dso::SemanticsObject> CloneEmpty() const override {
+    return std::make_unique<KvObject>();
+  }
+  uint16_t type_id() const override { return kTypeId; }
+
+  const std::map<std::string, std::string>& entries() const { return entries_; }
+
+ private:
+  std::map<std::string, std::string> entries_;
+};
+
+struct FailoverResult {
+  double time_to_master_ms = -1;  // -1: no new master was elected
+  size_t acked_before_crash = 0;
+  size_t writes_lost = 0;  // acked writes missing after fail-over (floor!)
+  uint64_t claims = 0;     // claim attempts arbitrated at the GLS root
+  bool post_failover_write_ok = false;
+};
+
+FailoverResult RunFailover(sim::SimTime lease_interval, sim::SimTime lease_timeout) {
+  sim::Simulator simulator;
+  sim::UniformWorld world = sim::BuildUniformWorld({2, 2}, 2);
+  sim::NetworkOptions network_options;
+  network_options.rng_seed = 0xFA11;
+  sim::Network network(&simulator, &world.topology, network_options);
+  sim::PlainTransport transport(&network);
+  gls::GlsDeploymentOptions deployment_options;
+  deployment_options.node_options.enable_cache = true;
+  gls::GlsDeployment deployment(&transport, &world.topology, nullptr,
+                                deployment_options);
+  dso::ImplementationRepository repository;
+  repository.RegisterSemantics(std::make_unique<KvObject>());
+  gos::GosOptions gos_options;
+  gos_options.enable_failover = true;
+  gos_options.failover_lease_interval = lease_interval;
+  gos_options.failover_lease_timeout = lease_timeout;
+  gos::ObjectServer master_gos(&transport, world.hosts[0], &repository,
+                               deployment.LeafDirectoryFor(world.hosts[0]), nullptr,
+                               gos_options);
+  gos::ObjectServer slave_gos(&transport, world.hosts[6], &repository,
+                              deployment.LeafDirectoryFor(world.hosts[6]), nullptr,
+                              gos_options);
+
+  auto run_for = [&](sim::SimTime d) { simulator.RunUntil(simulator.Now() + d); };
+
+  gls::ObjectId oid;
+  gls::ContactAddress master_address;
+  bool created = false;
+  master_gos.CreateFirstReplica(
+      dso::kProtoMasterSlave, KvObject::kTypeId,
+      [&](Result<std::pair<gls::ObjectId, gls::ContactAddress>> r) {
+        if (r.ok()) {
+          oid = r->first;
+          master_address = r->second;
+          created = true;
+        }
+      });
+  run_for(10 * sim::kSecond);
+  gls::ContactAddress slave_address;
+  slave_gos.CreateReplica(oid, KvObject::kTypeId, gls::ReplicaRole::kSlave,
+                          [&](Result<std::pair<gls::ObjectId, gls::ContactAddress>> r) {
+                            if (r.ok()) {
+                              slave_address = r->second;
+                            }
+                          });
+  run_for(10 * sim::kSecond);
+  if (!created) {
+    return {};
+  }
+
+  // 20 writes, each acked (pushed to the slave) before the crash.
+  sim::Channel client(&transport, world.hosts[3]);
+  FailoverResult result;
+  std::vector<std::string> acked_keys;
+  for (int i = 0; i < 20; ++i) {
+    std::string key = Fmt("w%d", i);
+    ByteWriter args;
+    args.WriteString(key);
+    args.WriteString("v");
+    bool ok = false;
+    dso::kDsoInvoke.Call(&client, master_address.endpoint,
+                         dso::Invocation{"put", args.Take(), /*read_only=*/false},
+                         [&ok](Result<Bytes> r) { ok = r.ok(); },
+                         sim::WriteCallOptions());
+    run_for(2 * sim::kSecond);
+    if (ok) {
+      acked_keys.push_back(key);
+    }
+  }
+  result.acked_before_crash = acked_keys.size();
+
+  // Crash; wait out detection + election.
+  sim::SimTime crash_at = simulator.Now();
+  network.CrashNode(master_address.endpoint.node);
+  run_for(3 * lease_timeout + 10 * sim::kSecond);
+
+  dso::ReplicationObject* new_master = slave_gos.FindReplica(oid);
+  if (new_master == nullptr || new_master->group() == nullptr ||
+      new_master->contact_address()->role != gls::ReplicaRole::kMaster) {
+    return result;
+  }
+  result.time_to_master_ms =
+      sim::ToMillis(new_master->group()->stats().elected_at - crash_at);
+  result.claims = deployment.TotalStats().master_claims;
+
+  // Acked floor: every acknowledged write must be present on the new master.
+  KvObject survived;
+  (void)survived.SetState(new_master->semantics()->GetState());
+  for (const std::string& key : acked_keys) {
+    if (survived.entries().count(key) == 0) {
+      ++result.writes_lost;
+    }
+  }
+
+  // The elected master serves writes.
+  ByteWriter args;
+  args.WriteString("post");
+  args.WriteString("v");
+  dso::kDsoInvoke.Call(&client, slave_address.endpoint,
+                       dso::Invocation{"put", args.Take(), /*read_only=*/false},
+                       [&](Result<Bytes> r) { result.post_failover_write_ok = r.ok(); },
+                       sim::WriteCallOptions());
+  run_for(5 * sim::kSecond);
+  return result;
+}
+
 }  // namespace
 
 int main() {
@@ -224,5 +401,30 @@ int main() {
   bench::Note("'replicate-all' pays update WAN for replicas nobody reads;");
   bench::Note("'per-object' assignment approaches the best column of every global");
   bench::Note("policy simultaneously - less WAN traffic AND better response time.");
+
+  bench::Note("");
+  bench::Note("master fail-over (GLS-driven): master/slave package, master crashes");
+  bench::Note("after 20 acked writes; the slave detects missed lease renewals and");
+  bench::Note("races gls.claim_master. 'writes lost' counts acked writes missing");
+  bench::Note("after the election - the acked-write floor requires it to stay 0.");
+  bench::Table failover({"lease int/timeout", "time to new master", "acked writes",
+                         "writes lost", "claims", "serves writes"},
+                        /*column_width=*/19);
+  struct TimingRow {
+    sim::SimTime interval;
+    sim::SimTime timeout;
+  };
+  for (const TimingRow& timing :
+       {TimingRow{1 * sim::kSecond, 3 * sim::kSecond},
+        TimingRow{2 * sim::kSecond, 5 * sim::kSecond},
+        TimingRow{4 * sim::kSecond, 10 * sim::kSecond}}) {
+    FailoverResult r = RunFailover(timing.interval, timing.timeout);
+    failover.Row({Fmt("%.0fs/%.0fs", sim::ToSeconds(timing.interval),
+                      sim::ToSeconds(timing.timeout)),
+                  r.time_to_master_ms < 0 ? "never" : Fmt("%.0f ms", r.time_to_master_ms),
+                  Fmt("%zu", r.acked_before_crash), Fmt("%zu", r.writes_lost),
+                  Fmt("%llu", static_cast<unsigned long long>(r.claims)),
+                  r.post_failover_write_ok ? "yes" : "NO"});
+  }
   return 0;
 }

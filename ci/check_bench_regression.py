@@ -33,6 +33,9 @@ GUARDED_COLUMNS = {
     ],
     "BENCH_gls_cache.json": ["avg hops", "avg latency", "round trips", "network msgs"],
     "BENCH_rpc_channel.json": ["per call", "pending events"],
+    # Fail-over: slower elections are a regression, and the acked-write floor
+    # means "writes lost" has a zero baseline that must stay zero.
+    "BENCH_replication_scenarios.json": ["time to new master", "writes lost"],
 }
 EXCLUDED_COLUMN_MARKERS = ["saved"]
 
@@ -91,7 +94,15 @@ def compare_file(name, baseline, current, threshold):
                     continue
                 base_value = leading_number(base_row[i])
                 cur_value = leading_number(cur_row[i])
-                if base_value is None or cur_value is None:
+                if base_value is None:
+                    continue
+                # A numeric baseline turning non-numeric (e.g. a fail-over
+                # time becoming "never") is a total failure, not a skip.
+                if cur_value is None:
+                    problems.append(
+                        f"{name}: '{label}' / '{headers[i]}' regressed "
+                        f"{base_value:g} -> non-numeric '{cur_row[i]}'"
+                    )
                     continue
                 limit = base_value * (1.0 + threshold)
                 # Baselines of 0 (e.g. 0 hops) must stay 0: any growth from a zero

@@ -1,6 +1,6 @@
 #include "src/dso/active_repl.h"
 
-#include <algorithm>
+#include <memory>
 
 #include "src/util/log.h"
 
@@ -10,11 +10,13 @@ namespace {
 
 struct ApplyMessage {
   uint64_t version = 0;
+  uint64_t epoch = 0;
   Invocation invocation;
 
   Bytes Serialize() const {
     ByteWriter w;
     w.WriteU64(version);
+    w.WriteU64(epoch);
     w.WriteLengthPrefixed(invocation.Serialize());
     return w.Take();
   }
@@ -22,6 +24,7 @@ struct ApplyMessage {
     ByteReader r(data);
     ApplyMessage msg;
     ASSIGN_OR_RETURN(msg.version, r.ReadU64());
+    ASSIGN_OR_RETURN(msg.epoch, r.ReadU64());
     ASSIGN_OR_RETURN(Bytes inv, r.ReadLengthPrefixed());
     ASSIGN_OR_RETURN(msg.invocation, Invocation::Deserialize(inv));
     return msg;
@@ -31,19 +34,36 @@ struct ApplyMessage {
 const sim::TypedMethod<EndpointMessage, VersionedState> kArRegister{"ar.register"};
 // Ordering a write executes it at the sequencer and claims a version slot, so a
 // duplicate delivery must be answered from the dedup table, never re-ordered.
-// ar.apply needs no dedup: ApplyOrdered drops already-applied versions itself.
+// ar.apply needs no dedup: ApplyOrdered drops already-applied versions itself,
+// and the epoch fence refuses applies from a deposed sequencer.
 const sim::TypedMethod<Invocation, Bytes> kArOrder{"ar.order", sim::kNonIdempotent};
-const sim::TypedMethod<ApplyMessage, sim::EmptyMessage> kArApply{"ar.apply"};
+const sim::TypedMethod<ApplyMessage, PushAck> kArApply{"ar.apply"};
 
 }  // namespace
 
 ActiveReplMember::ActiveReplMember(sim::Transport* transport, sim::NodeId host,
                                    std::unique_ptr<SemanticsObject> semantics,
-                                   sim::Endpoint sequencer, WriteGuard write_guard)
+                                   sim::Endpoint sequencer, WriteGuard write_guard,
+                                   FailoverConfig failover)
     : comm_(transport, host),
       semantics_(std::move(semantics)),
       write_guard_(std::move(write_guard)),
-      sequencer_(sequencer) {
+      sequencer_(sequencer),
+      group_(&comm_, sequencer.node == sim::kNoNode ? GroupRole::kMaster
+                                                    : GroupRole::kSlave) {
+  failover.protocol = kProtoActiveRepl;
+  ReplicaGroup::Callbacks callbacks;
+  callbacks.on_won_mastership = [this] {
+    sequencer_ = sim::Endpoint{};
+    pending_.clear();  // our state is now the authoritative prefix
+  };
+  callbacks.on_adopted_master = [this](sim::Endpoint new_sequencer, uint64_t) {
+    sequencer_ = new_sequencer;
+    RegisterWithSequencer([](Status) {});
+  };
+  callbacks.version = [this] { return version_; };
+  group_.EnableFailover(std::move(failover), std::move(callbacks));
+
   comm_.RegisterAsync(kDsoInvoke, [this](const sim::RpcContext& ctx,
                                          Invocation invocation,
                                          std::function<void(Result<Bytes>)> respond) {
@@ -60,12 +80,27 @@ ActiveReplMember::ActiveReplMember(sim::Transport* transport, sim::NodeId host,
   comm_.Register(kDsoGetState,
                  [this](const sim::RpcContext&,
                         const sim::EmptyMessage&) -> Result<VersionedState> {
-                   return VersionedState{version_, semantics_->GetState()};
+                   return VersionedState{version_, group_.epoch(),
+                                         semantics_->GetState()};
                  });
   comm_.Register(kDsoMasterEndpoint,
                  [this](const sim::RpcContext&,
                         const sim::EmptyMessage&) -> Result<EndpointMessage> {
-                   return EndpointMessage{is_sequencer() ? comm_.endpoint() : sequencer_};
+                   return EndpointMessage{is_sequencer() ? comm_.endpoint()
+                                                         : sequencer_};
+                 });
+  comm_.Register(kDsoLease,
+                 [this](const sim::RpcContext& ctx,
+                        const LeaseMessage& lease) -> Result<PushAck> {
+                   if (write_guard_) {
+                     RETURN_IF_ERROR(write_guard_(ctx));
+                   }
+                   PushAck ack = group_.FenceIncoming(lease.epoch);
+                   if (ack.accepted != 0 && !is_sequencer() &&
+                       lease.master != sequencer_) {
+                     sequencer_ = lease.master;
+                   }
+                   return ack;
                  });
 
   // Sequencer-only methods: harmless to register everywhere, they just fail politely
@@ -76,11 +111,9 @@ ActiveReplMember::ActiveReplMember(sim::Transport* transport, sim::NodeId host,
                    if (!is_sequencer()) {
                      return FailedPrecondition("not the sequencer");
                    }
-                   if (std::find(members_.begin(), members_.end(), request.endpoint) ==
-                       members_.end()) {
-                     members_.push_back(request.endpoint);
-                   }
-                   return VersionedState{version_, semantics_->GetState()};
+                   group_.AddMember(request.endpoint);
+                   return VersionedState{version_, group_.epoch(),
+                                         semantics_->GetState()};
                  });
   comm_.RegisterAsync(kArOrder, [this](const sim::RpcContext& ctx,
                                        Invocation invocation,
@@ -101,20 +134,41 @@ ActiveReplMember::ActiveReplMember(sim::Transport* transport, sim::NodeId host,
   });
   comm_.Register(kArApply,
                  [this](const sim::RpcContext& ctx,
-                        const ApplyMessage& msg) -> Result<sim::EmptyMessage> {
+                        const ApplyMessage& msg) -> Result<PushAck> {
                    if (write_guard_) {
                      RETURN_IF_ERROR(write_guard_(ctx));
                    }
+                   PushAck ack = group_.FenceIncoming(msg.epoch);
+                   if (ack.accepted == 0) {
+                     return ack;  // deposed sequencer: refuse the apply
+                   }
+                   if (is_sequencer()) {
+                     return PushAck{0, group_.epoch()};
+                   }
                    RETURN_IF_ERROR(ApplyOrdered(msg.version, msg.invocation));
-                   return sim::EmptyMessage{};
+                   return ack;
                  });
 }
 
 void ActiveReplMember::Start(std::function<void(Status)> done) {
   if (is_sequencer()) {
-    done(OkStatus());
+    group_.StartMaster(std::move(done));
     return;
   }
+  RegisterWithSequencer([this, done = std::move(done)](Status s) {
+    // Watch regardless of the registration outcome: a member whose sequencer
+    // moved (restore across an election) recovers through the claim path.
+    group_.StartFollower();
+    done(s);
+  });
+}
+
+void ActiveReplMember::Shutdown(std::function<void(Status)> done) {
+  group_.Stop();
+  done(OkStatus());
+}
+
+void ActiveReplMember::RegisterWithSequencer(std::function<void(Status)> done) {
   comm_.Call(kArRegister, sequencer_, EndpointMessage{comm_.endpoint()},
              [this, done = std::move(done)](Result<VersionedState> result) {
                if (!result.ok()) {
@@ -124,6 +178,11 @@ void ActiveReplMember::Start(std::function<void(Status)> done) {
                Status s = semantics_->SetState(result->state);
                if (s.ok()) {
                  version_ = result->version;
+                 pending_.clear();  // buffered applies predate this snapshot
+                 if (result->epoch > group_.epoch()) {
+                   group_.set_epoch(result->epoch);
+                 }
+                 group_.RecordLease();
                }
                done(s);
              },
@@ -152,31 +211,33 @@ void ActiveReplMember::OrderWrite(const Invocation& invocation, InvokeCallback d
   }
   ++version_;
 
-  if (members_.empty()) {
-    done(std::move(result));
-    return;
-  }
-  // Apply fan-out retries on loss: ApplyOrdered is version-guarded, so a
-  // duplicate apply is a no-op at the member.
-  ApplyMessage broadcast{version_, invocation};
-  sim::CallOptions apply_options = WriteCallOptions(5 * sim::kSecond);
-  auto remaining = std::make_shared<size_t>(members_.size());
+  // Apply fan-out through the group engine: retries on loss (ApplyOrdered is
+  // version-guarded, so duplicates are no-ops), drops unreachable members (they
+  // re-register for a snapshot), and a fenced apply — a member on a newer
+  // epoch — fails the write unacknowledged: we were deposed.
+  ApplyMessage broadcast{version_, group_.epoch(), invocation};
   auto shared_done = std::make_shared<InvokeCallback>(std::move(done));
   auto shared_result = std::make_shared<Result<Bytes>>(std::move(result));
-  for (const sim::Endpoint& member : members_) {
-    comm_.Call(kArApply, member, broadcast,
-               [remaining, shared_done, shared_result,
-                member](Result<sim::EmptyMessage> ack) {
-                 if (!ack.ok()) {
-                   GLOG_WARN << "ar.apply to " << sim::ToString(member)
-                             << " failed: " << ack.status();
-                 }
-                 if (--*remaining == 0) {
-                   (*shared_done)(std::move(*shared_result));
-                 }
-               },
-               apply_options);
-  }
+  bool strict = group_.failover_enabled();
+  group_.FanOut(kArApply, broadcast, 5 * sim::kSecond, /*drop_unreachable=*/true,
+                [shared_done, shared_result, strict](const FanOutResult& fan) {
+                  if (fan.fenced) {
+                    (*shared_done)(FailedPrecondition(
+                        "no longer the sequencer: deposed by epoch " +
+                        std::to_string(fan.fence_epoch)));
+                    return;
+                  }
+                  if (strict && fan.failures > 0) {
+                    // As in master/slave: an evicted member may be elected
+                    // later, so an apply it never received must not be acked.
+                    (*shared_done)(FailedPrecondition(
+                        "write ordered but not fully replicated: " +
+                        std::to_string(fan.failures) + " of " +
+                        std::to_string(fan.peers) + " apply(s) unconfirmed"));
+                    return;
+                  }
+                  (*shared_done)(std::move(*shared_result));
+                });
 }
 
 Status ActiveReplMember::ApplyOrdered(uint64_t write_version,

@@ -8,10 +8,15 @@
 // not state, travel on the wire, which is what distinguishes this protocol from
 // master/slave for large objects with small updates.
 //
-// Peer methods (beyond dso.invoke / dso.get_state):
-//   ar.register : endpoint -> VersionedState   (member joins at the sequencer)
-//   ar.order    : Invocation -> result bytes   (member -> sequencer)
-//   ar.apply    : u64 version, Invocation -> empty (sequencer -> members)
+// Membership, epochs and sequencer fail-over ride on the shared dso::ReplicaGroup
+// layer: applies are epoch-fenced (a deposed sequencer's broadcasts are refused),
+// and with fail-over enabled a member that misses lease renewals races
+// gls.claim_master and can be elected the new sequencer.
+//
+// Peer methods (beyond dso.invoke / dso.get_state / dso.lease):
+//   ar.register : endpoint -> VersionedState      (member joins at the sequencer)
+//   ar.order    : Invocation -> result bytes      (member -> sequencer)
+//   ar.apply    : version, epoch, Invocation -> PushAck (sequencer -> members)
 
 #ifndef SRC_DSO_ACTIVE_REPL_H_
 #define SRC_DSO_ACTIVE_REPL_H_
@@ -22,6 +27,7 @@
 
 #include "src/dso/comm.h"
 #include "src/dso/protocols.h"
+#include "src/dso/replica_group.h"
 #include "src/dso/subobjects.h"
 #include "src/dso/wire.h"
 
@@ -29,40 +35,46 @@ namespace globe::dso {
 
 class ActiveReplMember : public ReplicationObject {
  public:
-  // Sequencer: pass an empty master endpoint (node == kNoNode). Member: pass the
-  // sequencer's contact endpoint.
+  // Sequencer: pass an empty sequencer endpoint (node == kNoNode). Member: pass
+  // the sequencer's contact endpoint.
   ActiveReplMember(sim::Transport* transport, sim::NodeId host,
                    std::unique_ptr<SemanticsObject> semantics, sim::Endpoint sequencer,
-                   WriteGuard write_guard = nullptr);
+                   WriteGuard write_guard = nullptr, FailoverConfig failover = {});
 
   void Start(std::function<void(Status)> done) override;
+  void Shutdown(std::function<void(Status)> done) override;
 
   void Invoke(const Invocation& invocation, InvokeCallback done) override;
   uint64_t version() const override { return version_; }
+  uint64_t epoch() const override { return group_.epoch(); }
+  void set_epoch(uint64_t e) override { group_.set_epoch(e); }
   std::optional<gls::ContactAddress> contact_address() const override {
     return gls::ContactAddress{comm_.endpoint(), kProtoActiveRepl,
-                               is_sequencer() ? gls::ReplicaRole::kMaster
-                                              : gls::ReplicaRole::kSlave};
+                               ToReplicaRole(group_.role())};
   }
 
-  bool is_sequencer() const { return sequencer_.node == sim::kNoNode; }
-  size_t num_members() const { return members_.size(); }
+  bool is_sequencer() const { return group_.is_master(); }
+  size_t num_members() const { return group_.num_members(); }
   SemanticsObject* semantics() override { return semantics_.get(); }
   void set_version(uint64_t v) override { version_ = v; }
+  const ReplicaGroup* group() const override { return &group_; }
 
  private:
   // Sequencer side: orders a write, applies it, broadcasts it; responds with the
-  // local execution result once every member acknowledged.
+  // local execution result once every member acknowledged. A fenced broadcast
+  // (a member moved to a newer epoch) fails the write unacknowledged.
   void OrderWrite(const Invocation& invocation, InvokeCallback done);
   // Member side: applies broadcast writes strictly in version order.
   Status ApplyOrdered(uint64_t write_version, const Invocation& invocation);
+  // Registration handshake: join at the sequencer, adopt snapshot and epoch.
+  void RegisterWithSequencer(std::function<void(Status)> done);
 
   CommunicationObject comm_;
   std::unique_ptr<SemanticsObject> semantics_;
   WriteGuard write_guard_;
-  sim::Endpoint sequencer_;                // kNoNode when we are the sequencer
-  std::vector<sim::Endpoint> members_;     // sequencer only
-  std::map<uint64_t, Invocation> pending_; // out-of-order buffer (members)
+  sim::Endpoint sequencer_;                 // meaningful while not the sequencer
+  ReplicaGroup group_;
+  std::map<uint64_t, Invocation> pending_;  // out-of-order buffer (members)
   uint64_t version_ = 0;
 };
 

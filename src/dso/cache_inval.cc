@@ -1,6 +1,6 @@
 #include "src/dso/cache_inval.h"
 
-#include <algorithm>
+#include <memory>
 
 #include "src/util/log.h"
 
@@ -12,8 +12,7 @@ const sim::TypedMethod<EndpointMessage, VersionMessage> kCiRegister{"ci.register
 const sim::TypedMethod<EndpointMessage, sim::EmptyMessage> kCiUnregister{
     "ci.unregister"};
 const sim::TypedMethod<sim::EmptyMessage, VersionedState> kCiFetch{"ci.fetch"};
-const sim::TypedMethod<VersionMessage, sim::EmptyMessage> kCiInvalidate{
-    "ci.invalidate"};
+const sim::TypedMethod<VersionMessage, PushAck> kCiInvalidate{"ci.invalidate"};
 
 }  // namespace
 
@@ -22,7 +21,8 @@ CacheInvalMaster::CacheInvalMaster(sim::Transport* transport, sim::NodeId host,
                                    WriteGuard write_guard)
     : comm_(transport, host),
       semantics_(std::move(semantics)),
-      write_guard_(std::move(write_guard)) {
+      write_guard_(std::move(write_guard)),
+      group_(&comm_, GroupRole::kMaster) {
   comm_.RegisterAsync(kDsoInvoke, [this](const sim::RpcContext& ctx,
                                          Invocation invocation,
                                          std::function<void(Result<Bytes>)> respond) {
@@ -39,7 +39,8 @@ CacheInvalMaster::CacheInvalMaster(sim::Transport* transport, sim::NodeId host,
   comm_.Register(kDsoGetState,
                  [this](const sim::RpcContext&,
                         const sim::EmptyMessage&) -> Result<VersionedState> {
-                   return VersionedState{version_, semantics_->GetState()};
+                   return VersionedState{version_, group_.epoch(),
+                                         semantics_->GetState()};
                  });
   comm_.Register(kDsoMasterEndpoint,
                  [this](const sim::RpcContext&,
@@ -49,25 +50,21 @@ CacheInvalMaster::CacheInvalMaster(sim::Transport* transport, sim::NodeId host,
   comm_.Register(kCiRegister,
                  [this](const sim::RpcContext&,
                         const EndpointMessage& request) -> Result<VersionMessage> {
-                   if (std::find(caches_.begin(), caches_.end(), request.endpoint) ==
-                       caches_.end()) {
-                     caches_.push_back(request.endpoint);
-                   }
-                   return VersionMessage{version_};
+                   group_.AddMember(request.endpoint);
+                   return VersionMessage{version_, group_.epoch()};
                  });
   comm_.Register(kCiUnregister,
                  [this](const sim::RpcContext&,
                         const EndpointMessage& request) -> Result<sim::EmptyMessage> {
-                   caches_.erase(
-                       std::remove(caches_.begin(), caches_.end(), request.endpoint),
-                       caches_.end());
+                   group_.RemoveMember(request.endpoint);
                    return sim::EmptyMessage{};
                  });
   comm_.Register(kCiFetch,
                  [this](const sim::RpcContext&,
                         const sim::EmptyMessage&) -> Result<VersionedState> {
                    ++fetches_served_;
-                   return VersionedState{version_, semantics_->GetState()};
+                   return VersionedState{version_, group_.epoch(),
+                                         semantics_->GetState()};
                  });
 }
 
@@ -87,32 +84,20 @@ void CacheInvalMaster::ExecuteWrite(const Invocation& invocation, InvokeCallback
   }
   ++version_;
 
-  if (caches_.empty()) {
-    done(std::move(result));
-    return;
-  }
-  // Invalidations retry on loss: the cache compares versions, so a duplicate
-  // invalidation is harmless, and a lost one would leave a cache serving stale
-  // reads for ever — exactly the message this protocol cannot afford to drop.
-  VersionMessage invalidation{version_};
-  sim::CallOptions invalidate_options = WriteCallOptions(5 * sim::kSecond);
-  auto remaining = std::make_shared<size_t>(caches_.size());
+  // Invalidations through the group fan-out, retrying on loss: the cache
+  // compares versions, so a duplicate invalidation is harmless, and a lost one
+  // would leave a cache serving stale reads for ever — exactly the message this
+  // protocol cannot afford to drop. Unreachable caches are kept in the set: a
+  // cache that returns must still receive the next invalidation, or it would
+  // serve its pre-outage copy indefinitely.
+  VersionMessage invalidation{version_, group_.epoch()};
   auto shared_done = std::make_shared<InvokeCallback>(std::move(done));
   auto shared_result = std::make_shared<Result<Bytes>>(std::move(result));
-  for (const sim::Endpoint& cache : caches_) {
-    comm_.Call(kCiInvalidate, cache, invalidation,
-               [remaining, shared_done, shared_result,
-                cache](Result<sim::EmptyMessage> ack) {
-                 if (!ack.ok()) {
-                   GLOG_WARN << "invalidation to " << sim::ToString(cache)
-                             << " failed: " << ack.status();
-                 }
-                 if (--*remaining == 0) {
-                   (*shared_done)(std::move(*shared_result));
-                 }
-               },
-               invalidate_options);
-  }
+  group_.FanOut(kCiInvalidate, invalidation, 5 * sim::kSecond,
+                /*drop_unreachable=*/false,
+                [shared_done, shared_result](const FanOutResult&) {
+                  (*shared_done)(std::move(*shared_result));
+                });
 }
 
 CacheInvalCache::CacheInvalCache(sim::Transport* transport, sim::NodeId host,
@@ -121,7 +106,8 @@ CacheInvalCache::CacheInvalCache(sim::Transport* transport, sim::NodeId host,
     : comm_(transport, host),
       semantics_(std::move(semantics)),
       write_guard_(std::move(write_guard)),
-      master_(master) {
+      master_(master),
+      group_(&comm_, GroupRole::kCache) {
   comm_.RegisterAsync(kDsoInvoke, [this](const sim::RpcContext& ctx,
                                          Invocation invocation,
                                          std::function<void(Result<Bytes>)> respond) {
@@ -138,7 +124,8 @@ CacheInvalCache::CacheInvalCache(sim::Transport* transport, sim::NodeId host,
   comm_.Register(kDsoGetState,
                  [this](const sim::RpcContext&,
                         const sim::EmptyMessage&) -> Result<VersionedState> {
-                   return VersionedState{version_, semantics_->GetState()};
+                   return VersionedState{version_, group_.epoch(),
+                                         semantics_->GetState()};
                  });
   comm_.Register(kDsoMasterEndpoint,
                  [this](const sim::RpcContext&,
@@ -147,27 +134,35 @@ CacheInvalCache::CacheInvalCache(sim::Transport* transport, sim::NodeId host,
                  });
   comm_.Register(kCiInvalidate,
                  [this](const sim::RpcContext& ctx,
-                        const VersionMessage& msg) -> Result<sim::EmptyMessage> {
+                        const VersionMessage& msg) -> Result<PushAck> {
                    if (write_guard_) {
                      RETURN_IF_ERROR(write_guard_(ctx));
+                   }
+                   PushAck ack = group_.FenceIncoming(msg.epoch);
+                   if (ack.accepted == 0) {
+                     return ack;  // stale-epoch master: keep our copy
                    }
                    if (msg.version > version_) {
                      valid_ = false;
                    }
-                   return sim::EmptyMessage{};
+                   return ack;
                  });
 }
 
 void CacheInvalCache::Start(std::function<void(Status)> done) {
   // Registration is find-before-insert on the master: safe to retry.
   comm_.Call(kCiRegister, master_, EndpointMessage{comm_.endpoint()},
-             [done = std::move(done)](Result<VersionMessage> result) {
+             [this, done = std::move(done)](Result<VersionMessage> result) {
+               if (result.ok() && result->epoch > group_.epoch()) {
+                 group_.set_epoch(result->epoch);
+               }
                done(result.ok() ? OkStatus() : result.status());
              },
              WriteCallOptions());
 }
 
 void CacheInvalCache::Shutdown(std::function<void(Status)> done) {
+  group_.Stop();
   comm_.Call(kCiUnregister, master_, EndpointMessage{comm_.endpoint()},
              [done = std::move(done)](Result<sim::EmptyMessage> result) {
                done(result.ok() ? OkStatus() : result.status());
@@ -190,6 +185,9 @@ void CacheInvalCache::WithValidState(std::function<void(Status)> fn) {
                Status s = semantics_->SetState(result->state);
                if (s.ok()) {
                  version_ = result->version;
+                 if (result->epoch > group_.epoch()) {
+                   group_.set_epoch(result->epoch);
+                 }
                  valid_ = true;
                }
                fn(s);

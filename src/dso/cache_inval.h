@@ -6,11 +6,16 @@
 // objects whose state is large relative to the read traffic — the situation the GDN's
 // popular-but-rarely-updated software packages are in.
 //
+// Cache tracking and the invalidation fan-out ride on the shared dso::ReplicaGroup
+// layer; invalidations are epoch-stamped like every other group push. Caches hold
+// the terminal kCache role — they are never electable (a cache may not even hold
+// valid state), so this protocol has no master fail-over.
+//
 // Peer methods (beyond dso.invoke / dso.get_state):
-//   ci.register   : endpoint -> u64 version   (cache joins; no state transferred yet)
+//   ci.register   : endpoint -> version, epoch  (cache joins; no state transferred)
 //   ci.unregister : endpoint -> empty
-//   ci.fetch      : empty -> VersionedState   (cache -> master, on demand)
-//   ci.invalidate : u64 version -> empty      (master -> caches)
+//   ci.fetch      : empty -> VersionedState     (cache -> master, on demand)
+//   ci.invalidate : version, epoch -> PushAck   (master -> caches)
 
 #ifndef SRC_DSO_CACHE_INVAL_H_
 #define SRC_DSO_CACHE_INVAL_H_
@@ -20,6 +25,7 @@
 
 #include "src/dso/comm.h"
 #include "src/dso/protocols.h"
+#include "src/dso/replica_group.h"
 #include "src/dso/subobjects.h"
 #include "src/dso/wire.h"
 
@@ -33,15 +39,18 @@ class CacheInvalMaster : public ReplicationObject {
 
   void Invoke(const Invocation& invocation, InvokeCallback done) override;
   uint64_t version() const override { return version_; }
+  uint64_t epoch() const override { return group_.epoch(); }
+  void set_epoch(uint64_t e) override { group_.set_epoch(e); }
   std::optional<gls::ContactAddress> contact_address() const override {
     return gls::ContactAddress{comm_.endpoint(), kProtoCacheInval,
-                               gls::ReplicaRole::kMaster};
+                               ToReplicaRole(group_.role())};
   }
 
-  size_t num_caches() const { return caches_.size(); }
+  size_t num_caches() const { return group_.num_members(); }
   uint64_t fetches_served() const { return fetches_served_; }
   SemanticsObject* semantics() override { return semantics_.get(); }
   void set_version(uint64_t v) override { version_ = v; }
+  const ReplicaGroup* group() const override { return &group_; }
 
  private:
   void ExecuteWrite(const Invocation& invocation, InvokeCallback done);
@@ -49,7 +58,7 @@ class CacheInvalMaster : public ReplicationObject {
   CommunicationObject comm_;
   std::unique_ptr<SemanticsObject> semantics_;
   WriteGuard write_guard_;
-  std::vector<sim::Endpoint> caches_;
+  ReplicaGroup group_;
   uint64_t version_ = 0;
   uint64_t fetches_served_ = 0;
 };
@@ -65,13 +74,16 @@ class CacheInvalCache : public ReplicationObject {
 
   void Invoke(const Invocation& invocation, InvokeCallback done) override;
   uint64_t version() const override { return version_; }
+  uint64_t epoch() const override { return group_.epoch(); }
+  void set_epoch(uint64_t e) override { group_.set_epoch(e); }
   std::optional<gls::ContactAddress> contact_address() const override {
     return gls::ContactAddress{comm_.endpoint(), kProtoCacheInval,
-                               gls::ReplicaRole::kCache};
+                               ToReplicaRole(group_.role())};
   }
 
   SemanticsObject* semantics() override { return semantics_.get(); }
   void set_version(uint64_t v) override { version_ = v; }
+  const ReplicaGroup* group() const override { return &group_; }
   bool valid() const { return valid_; }
   uint64_t fetches() const { return fetches_; }
 
@@ -83,6 +95,7 @@ class CacheInvalCache : public ReplicationObject {
   std::unique_ptr<SemanticsObject> semantics_;
   WriteGuard write_guard_;
   sim::Endpoint master_;
+  ReplicaGroup group_;
   bool valid_ = false;
   uint64_t version_ = 0;
   uint64_t fetches_ = 0;

@@ -7,7 +7,8 @@ ClientServerServer::ClientServerServer(sim::Transport* transport, sim::NodeId ho
                                        WriteGuard write_guard)
     : comm_(transport, host),
       semantics_(std::move(semantics)),
-      write_guard_(std::move(write_guard)) {
+      write_guard_(std::move(write_guard)),
+      group_(&comm_, GroupRole::kMaster) {
   comm_.Register(kDsoInvoke,
                  [this](const sim::RpcContext& ctx,
                         const Invocation& invocation) -> Result<Bytes> {
@@ -19,7 +20,8 @@ ClientServerServer::ClientServerServer(sim::Transport* transport, sim::NodeId ho
   comm_.Register(kDsoGetState,
                  [this](const sim::RpcContext&,
                         const sim::EmptyMessage&) -> Result<VersionedState> {
-                   return VersionedState{version_, semantics_->GetState()};
+                   return VersionedState{version_, group_.epoch(),
+                                         semantics_->GetState()};
                  });
   comm_.Register(kDsoMasterEndpoint,
                  [this](const sim::RpcContext&,

@@ -18,6 +18,7 @@
 
 #include "src/dso/comm.h"
 #include "src/dso/protocols.h"
+#include "src/dso/replica_group.h"
 #include "src/dso/subobjects.h"
 #include "src/dso/wire.h"
 
@@ -31,13 +32,16 @@ class ClientServerServer : public ReplicationObject {
 
   void Invoke(const Invocation& invocation, InvokeCallback done) override;
   uint64_t version() const override { return version_; }
+  uint64_t epoch() const override { return group_.epoch(); }
+  void set_epoch(uint64_t e) override { group_.set_epoch(e); }
   std::optional<gls::ContactAddress> contact_address() const override {
     return gls::ContactAddress{comm_.endpoint(), kProtoClientServer,
-                               gls::ReplicaRole::kMaster};
+                               ToReplicaRole(group_.role())};
   }
 
   SemanticsObject* semantics() override { return semantics_.get(); }
   void set_version(uint64_t v) override { version_ = v; }
+  const ReplicaGroup* group() const override { return &group_; }
 
  private:
   Result<Bytes> Execute(const Invocation& invocation);
@@ -45,6 +49,9 @@ class ClientServerServer : public ReplicationObject {
   CommunicationObject comm_;
   std::unique_ptr<SemanticsObject> semantics_;
   WriteGuard write_guard_;
+  // Single-replica protocol: the group is a trivial permanent master — no
+  // members, no transitions — but role/epoch bookkeeping stays uniform.
+  ReplicaGroup group_;
   uint64_t version_ = 0;
 };
 

@@ -1,6 +1,5 @@
 #include "src/dso/master_slave.h"
 
-#include <algorithm>
 #include <memory>
 
 #include "src/util/log.h"
@@ -13,16 +12,39 @@ const sim::TypedMethod<EndpointMessage, VersionedState> kMsRegisterSlave{
     "ms.register_slave"};
 const sim::TypedMethod<EndpointMessage, sim::EmptyMessage> kMsUnregisterSlave{
     "ms.unregister_slave"};
-const sim::TypedMethod<VersionedState, sim::EmptyMessage> kMsStatePush{"ms.state_push"};
+// Pushes are version-guarded (duplicates are no-ops) and epoch-fenced (a stale
+// master's push is refused, never applied), so no server-side dedup is needed.
+const sim::TypedMethod<VersionedState, PushAck> kMsStatePush{"ms.state_push"};
 
 }  // namespace
 
-MasterSlaveMaster::MasterSlaveMaster(sim::Transport* transport, sim::NodeId host,
-                                     std::unique_ptr<SemanticsObject> semantics,
-                                     WriteGuard write_guard)
+MasterSlaveReplica::MasterSlaveReplica(sim::Transport* transport, sim::NodeId host,
+                                       std::unique_ptr<SemanticsObject> semantics,
+                                       GroupRole role, sim::Endpoint master,
+                                       WriteGuard write_guard,
+                                       FailoverConfig failover)
     : comm_(transport, host),
       semantics_(std::move(semantics)),
-      write_guard_(std::move(write_guard)) {
+      write_guard_(std::move(write_guard)),
+      master_(master),
+      group_(&comm_, role) {
+  failover.protocol = kProtoMasterSlave;
+  ReplicaGroup::Callbacks callbacks;
+  callbacks.on_won_mastership = [this] {
+    // The member list starts empty: surviving slaves join as their own lease
+    // watches fire and their claims lose to ours.
+    master_ = sim::Endpoint{};
+  };
+  callbacks.on_adopted_master = [this](sim::Endpoint new_master, uint64_t) {
+    master_ = new_master;
+    // Join the winner and refresh our snapshot (this also discards anything a
+    // deposed master diverged on — those writes were never acknowledged). On
+    // failure the lease watch retries via the next claim.
+    RegisterWithMaster([](Status) {});
+  };
+  callbacks.version = [this] { return version_; };
+  group_.EnableFailover(std::move(failover), std::move(callbacks));
+
   comm_.RegisterAsync(kDsoInvoke, [this](const sim::RpcContext& ctx,
                                          Invocation invocation,
                                          std::function<void(Result<Bytes>)> respond) {
@@ -39,125 +61,86 @@ MasterSlaveMaster::MasterSlaveMaster(sim::Transport* transport, sim::NodeId host
   comm_.Register(kDsoGetState,
                  [this](const sim::RpcContext&,
                         const sim::EmptyMessage&) -> Result<VersionedState> {
-                   return VersionedState{version_, semantics_->GetState()};
+                   return VersionedState{version_, group_.epoch(),
+                                         semantics_->GetState()};
                  });
   comm_.Register(kDsoMasterEndpoint,
                  [this](const sim::RpcContext&,
                         const sim::EmptyMessage&) -> Result<EndpointMessage> {
-                   return EndpointMessage{comm_.endpoint()};
+                   return EndpointMessage{group_.is_master() ? comm_.endpoint()
+                                                             : master_};
+                 });
+  comm_.Register(kDsoLease,
+                 [this](const sim::RpcContext& ctx,
+                        const LeaseMessage& lease) -> Result<PushAck> {
+                   if (write_guard_) {
+                     RETURN_IF_ERROR(write_guard_(ctx));
+                   }
+                   PushAck ack = group_.FenceIncoming(lease.epoch);
+                   if (ack.accepted != 0 && !group_.is_master() &&
+                       lease.master != master_) {
+                     // A newer master introduced itself before our watch fired
+                     // (we are in its member list, or we would not get leases).
+                     master_ = lease.master;
+                   }
+                   return ack;
                  });
   comm_.Register(kMsRegisterSlave,
                  [this](const sim::RpcContext&,
                         const EndpointMessage& request) -> Result<VersionedState> {
-                   if (std::find(slaves_.begin(), slaves_.end(), request.endpoint) ==
-                       slaves_.end()) {
-                     slaves_.push_back(request.endpoint);
+                   if (!group_.is_master()) {
+                     return FailedPrecondition("not the master");
                    }
-                   return VersionedState{version_, semantics_->GetState()};
+                   group_.AddMember(request.endpoint);
+                   return VersionedState{version_, group_.epoch(),
+                                         semantics_->GetState()};
                  });
   comm_.Register(kMsUnregisterSlave,
                  [this](const sim::RpcContext&,
                         const EndpointMessage& request) -> Result<sim::EmptyMessage> {
-                   slaves_.erase(
-                       std::remove(slaves_.begin(), slaves_.end(), request.endpoint),
-                       slaves_.end());
+                   group_.RemoveMember(request.endpoint);
                    return sim::EmptyMessage{};
-                 });
-}
-
-void MasterSlaveMaster::Invoke(const Invocation& invocation, InvokeCallback done) {
-  if (invocation.read_only) {
-    done(semantics_->Invoke(invocation));
-    return;
-  }
-  ExecuteWrite(invocation, std::move(done));
-}
-
-void MasterSlaveMaster::ExecuteWrite(const Invocation& invocation, InvokeCallback done) {
-  Result<Bytes> result = semantics_->Invoke(invocation);
-  if (!result.ok()) {
-    done(std::move(result));
-    return;
-  }
-  ++version_;
-
-  if (slaves_.empty()) {
-    done(std::move(result));
-    return;
-  }
-
-  // Eager push: one state message per slave, respond when all have answered (or
-  // failed — a dead slave must not wedge the master; see the fault-injection
-  // tests). Pushes retry on loss: ms.state_push is version-guarded, so a
-  // duplicate is a no-op on the slave even without server-side dedup.
-  VersionedState push{version_, semantics_->GetState()};
-  sim::CallOptions push_options = WriteCallOptions(5 * sim::kSecond);
-  auto remaining = std::make_shared<size_t>(slaves_.size());
-  auto shared_done = std::make_shared<InvokeCallback>(std::move(done));
-  auto shared_result = std::make_shared<Result<Bytes>>(std::move(result));
-  for (const sim::Endpoint& slave : slaves_) {
-    comm_.Call(kMsStatePush, slave, push,
-               [remaining, shared_done, shared_result,
-                slave](Result<sim::EmptyMessage> ack) {
-                 if (!ack.ok()) {
-                   GLOG_WARN << "state push to slave " << sim::ToString(slave)
-                             << " failed: " << ack.status();
-                 }
-                 if (--*remaining == 0) {
-                   (*shared_done)(std::move(*shared_result));
-                 }
-               },
-               push_options);
-  }
-}
-
-MasterSlaveSlave::MasterSlaveSlave(sim::Transport* transport, sim::NodeId host,
-                                   std::unique_ptr<SemanticsObject> semantics,
-                                   sim::Endpoint master, WriteGuard write_guard)
-    : comm_(transport, host),
-      semantics_(std::move(semantics)),
-      write_guard_(std::move(write_guard)),
-      master_(master) {
-  comm_.RegisterAsync(kDsoInvoke, [this](const sim::RpcContext& ctx,
-                                         Invocation invocation,
-                                         std::function<void(Result<Bytes>)> respond) {
-    if (!invocation.read_only && write_guard_) {
-      if (Status s = write_guard_(ctx); !s.ok()) {
-        respond(s);
-        return;
-      }
-    }
-    Invoke(invocation, [respond = std::move(respond)](Result<Bytes> result) {
-      respond(std::move(result));
-    });
-  });
-  comm_.Register(kDsoGetState,
-                 [this](const sim::RpcContext&,
-                        const sim::EmptyMessage&) -> Result<VersionedState> {
-                   return VersionedState{version_, semantics_->GetState()};
-                 });
-  comm_.Register(kDsoMasterEndpoint,
-                 [this](const sim::RpcContext&,
-                        const sim::EmptyMessage&) -> Result<EndpointMessage> {
-                   return EndpointMessage{master_};
                  });
   comm_.Register(
       kMsStatePush,
       [this](const sim::RpcContext& ctx,
-             const VersionedState& push) -> Result<sim::EmptyMessage> {
+             const VersionedState& push) -> Result<PushAck> {
         if (write_guard_) {
           RETURN_IF_ERROR(write_guard_(ctx));
         }
-        if (push.version <= version_) {
-          return sim::EmptyMessage{};  // stale or duplicate push
+        PushAck ack = group_.FenceIncoming(push.epoch);
+        if (ack.accepted == 0) {
+          return ack;  // stale master: refuse, report our epoch
         }
-        RETURN_IF_ERROR(semantics_->SetState(push.state));
-        version_ = push.version;
-        return sim::EmptyMessage{};
+        if (group_.is_master()) {
+          // Two masters under one epoch should not exist; refuse rather than
+          // let a peer overwrite the authoritative copy.
+          return PushAck{0, group_.epoch()};
+        }
+        if (push.version > version_) {  // else: stale or duplicate push
+          RETURN_IF_ERROR(semantics_->SetState(push.state));
+          version_ = push.version;
+        }
+        return ack;
       });
 }
 
-void MasterSlaveSlave::Start(std::function<void(Status)> done) {
+void MasterSlaveReplica::Start(std::function<void(Status)> done) {
+  if (group_.is_master()) {
+    group_.StartMaster(std::move(done));
+    return;
+  }
+  RegisterWithMaster([this, done = std::move(done)](Status s) {
+    // The lease watch starts even when the registration failed (e.g. a replica
+    // restored from a checkpoint whose master moved): the watch times out,
+    // claims, and either wins mastership or adopts the GLS record's master and
+    // re-registers there — the self-healing loop.
+    group_.StartFollower();
+    done(s);
+  });
+}
+
+void MasterSlaveReplica::RegisterWithMaster(std::function<void(Status)> done) {
   // Registration is find-before-insert on the master, so retrying it is safe.
   comm_.Call(kMsRegisterSlave, master_, EndpointMessage{comm_.endpoint()},
              [this, done = std::move(done)](Result<VersionedState> result) {
@@ -168,14 +151,22 @@ void MasterSlaveSlave::Start(std::function<void(Status)> done) {
                Status s = semantics_->SetState(result->state);
                if (s.ok()) {
                  version_ = result->version;
-                 started_ = true;
+                 if (result->epoch > group_.epoch()) {
+                   group_.set_epoch(result->epoch);
+                 }
+                 group_.RecordLease();
                }
                done(s);
              },
              WriteCallOptions());
 }
 
-void MasterSlaveSlave::Shutdown(std::function<void(Status)> done) {
+void MasterSlaveReplica::Shutdown(std::function<void(Status)> done) {
+  group_.Stop();
+  if (group_.is_master()) {
+    done(OkStatus());
+    return;
+  }
   comm_.Call(kMsUnregisterSlave, master_, EndpointMessage{comm_.endpoint()},
              [done = std::move(done)](Result<sim::EmptyMessage> result) {
                done(result.ok() ? OkStatus() : result.status());
@@ -183,9 +174,13 @@ void MasterSlaveSlave::Shutdown(std::function<void(Status)> done) {
              WriteCallOptions());
 }
 
-void MasterSlaveSlave::Invoke(const Invocation& invocation, InvokeCallback done) {
+void MasterSlaveReplica::Invoke(const Invocation& invocation, InvokeCallback done) {
   if (invocation.read_only) {
     done(semantics_->Invoke(invocation));
+    return;
+  }
+  if (group_.is_master()) {
+    ExecuteWrite(invocation, std::move(done));
     return;
   }
   // Writes go to the master; our copy is refreshed by its push. dso.invoke is
@@ -193,6 +188,51 @@ void MasterSlaveSlave::Invoke(const Invocation& invocation, InvokeCallback done)
   comm_.Call(kDsoInvoke, master_, invocation,
              [done = std::move(done)](Result<Bytes> result) { done(std::move(result)); },
              WriteCallOptions());
+}
+
+void MasterSlaveReplica::ExecuteWrite(const Invocation& invocation,
+                                      InvokeCallback done) {
+  Result<Bytes> result = semantics_->Invoke(invocation);
+  if (!result.ok()) {
+    done(std::move(result));
+    return;
+  }
+  ++version_;
+
+  // Eager push through the group fan-out: one epoch-stamped state message per
+  // slave, respond when all have answered (a dead slave must not wedge the
+  // master; with fail-over on it is dropped from the set and rejoins through
+  // its own lease watch). A slave refusing under a newer epoch means WE were
+  // deposed, so the write must not be acknowledged.
+  VersionedState push{version_, group_.epoch(), semantics_->GetState()};
+  auto shared_done = std::make_shared<InvokeCallback>(std::move(done));
+  auto shared_result = std::make_shared<Result<Bytes>>(std::move(result));
+  bool strict = group_.failover_enabled();
+  group_.FanOut(kMsStatePush, push, 5 * sim::kSecond, /*drop_unreachable=*/true,
+                [shared_done, shared_result, strict](const FanOutResult& fan) {
+                  if (fan.fenced) {
+                    (*shared_done)(FailedPrecondition(
+                        "no longer master: deposed by epoch " +
+                        std::to_string(fan.fence_epoch)));
+                    return;
+                  }
+                  if (strict && fan.failures > 0) {
+                    // With fail-over on, an evicted slave may later be elected:
+                    // acknowledging a write it never received would break the
+                    // acked-write floor. Refuse the ack (definitive, so the
+                    // dedup table replays it — a retry must not re-execute).
+                    // The outcome is INDETERMINATE, not rolled back: the write
+                    // stays applied locally and becomes visible if this master
+                    // survives — the floor only promises that *acked* writes
+                    // are never lost, never that refused ones vanish.
+                    (*shared_done)(FailedPrecondition(
+                        "write executed but not fully replicated: " +
+                        std::to_string(fan.failures) + " of " +
+                        std::to_string(fan.peers) + " push(es) unconfirmed"));
+                    return;
+                  }
+                  (*shared_done)(std::move(*shared_result));
+                });
 }
 
 }  // namespace globe::dso

@@ -6,80 +6,94 @@
 // it eagerly pushes the new state to every registered slave. Slaves execute reads on
 // their local copy and forward writes to the master.
 //
-// Peer methods (beyond the common dso.invoke / dso.get_state):
+// One class serves both roles, driven by the shared dso::ReplicaGroup layer: the
+// role state machine lets a slave be elected master (GLS-driven fail-over) and a
+// partitioned stale master demote itself once its epoch-fenced pushes are refused.
+// MasterSlaveMaster / MasterSlaveSlave remain as constructors for the two starting
+// roles.
+//
+// Peer methods (beyond the common dso.invoke / dso.get_state / dso.lease):
 //   ms.register_slave   : endpoint -> VersionedState   (slave joins, gets snapshot)
 //   ms.unregister_slave : endpoint -> empty
-//   ms.state_push       : VersionedState -> empty      (master -> slave)
+//   ms.state_push       : VersionedState -> PushAck    (master -> slave; refused
+//                                                       under a stale epoch)
 
 #ifndef SRC_DSO_MASTER_SLAVE_H_
 #define SRC_DSO_MASTER_SLAVE_H_
 
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "src/dso/comm.h"
 #include "src/dso/protocols.h"
+#include "src/dso/replica_group.h"
 #include "src/dso/subobjects.h"
 #include "src/dso/wire.h"
 
 namespace globe::dso {
 
-class MasterSlaveMaster : public ReplicationObject {
+class MasterSlaveReplica : public ReplicationObject {
  public:
-  MasterSlaveMaster(sim::Transport* transport, sim::NodeId host,
-                    std::unique_ptr<SemanticsObject> semantics,
-                    WriteGuard write_guard = nullptr);
+  // Master: pass master = {kNoNode, 0}. Slave: the master's peer endpoint.
+  MasterSlaveReplica(sim::Transport* transport, sim::NodeId host,
+                     std::unique_ptr<SemanticsObject> semantics, GroupRole role,
+                     sim::Endpoint master, WriteGuard write_guard = nullptr,
+                     FailoverConfig failover = {});
 
-  void Invoke(const Invocation& invocation, InvokeCallback done) override;
-  uint64_t version() const override { return version_; }
-  std::optional<gls::ContactAddress> contact_address() const override {
-    return gls::ContactAddress{comm_.endpoint(), kProtoMasterSlave,
-                               gls::ReplicaRole::kMaster};
-  }
-
-  size_t num_slaves() const { return slaves_.size(); }
-  SemanticsObject* semantics() override { return semantics_.get(); }
-  void set_version(uint64_t v) override { version_ = v; }
-
- private:
-  // Executes a write locally, then pushes state to all slaves; responds once every
-  // reachable slave has acknowledged (unreachable slaves are dropped from the set).
-  void ExecuteWrite(const Invocation& invocation, InvokeCallback done);
-
-  CommunicationObject comm_;
-  std::unique_ptr<SemanticsObject> semantics_;
-  WriteGuard write_guard_;
-  std::vector<sim::Endpoint> slaves_;
-  uint64_t version_ = 0;
-};
-
-class MasterSlaveSlave : public ReplicationObject {
- public:
-  MasterSlaveSlave(sim::Transport* transport, sim::NodeId host,
-                   std::unique_ptr<SemanticsObject> semantics, sim::Endpoint master,
-                   WriteGuard write_guard = nullptr);
-
-  // Registers with the master and installs the state snapshot.
+  // Masters claim/resume GLS mastership (with fail-over on); slaves register
+  // with the master and install the state snapshot.
   void Start(std::function<void(Status)> done) override;
   void Shutdown(std::function<void(Status)> done) override;
 
   void Invoke(const Invocation& invocation, InvokeCallback done) override;
   uint64_t version() const override { return version_; }
+  uint64_t epoch() const override { return group_.epoch(); }
+  void set_epoch(uint64_t e) override { group_.set_epoch(e); }
   std::optional<gls::ContactAddress> contact_address() const override {
     return gls::ContactAddress{comm_.endpoint(), kProtoMasterSlave,
-                               gls::ReplicaRole::kSlave};
+                               ToReplicaRole(group_.role())};
   }
 
+  size_t num_slaves() const { return group_.num_members(); }
   SemanticsObject* semantics() override { return semantics_.get(); }
   void set_version(uint64_t v) override { version_ = v; }
+  const ReplicaGroup* group() const override { return &group_; }
 
  private:
+  // Executes a write locally, then pushes state to all slaves through the group
+  // fan-out; responds once every remaining slave has acknowledged. A push
+  // refused under a newer epoch means this master was deposed: the write is NOT
+  // acknowledged (FailedPrecondition) and the group resolves the new owner.
+  void ExecuteWrite(const Invocation& invocation, InvokeCallback done);
+  // Registration handshake: join at master_, adopt its snapshot and epoch.
+  void RegisterWithMaster(std::function<void(Status)> done);
+
   CommunicationObject comm_;
   std::unique_ptr<SemanticsObject> semantics_;
   WriteGuard write_guard_;
-  sim::Endpoint master_;
+  sim::Endpoint master_;  // meaningful while the role is slave
+  ReplicaGroup group_;
   uint64_t version_ = 0;
-  bool started_ = false;
+};
+
+class MasterSlaveMaster : public MasterSlaveReplica {
+ public:
+  MasterSlaveMaster(sim::Transport* transport, sim::NodeId host,
+                    std::unique_ptr<SemanticsObject> semantics,
+                    WriteGuard write_guard = nullptr, FailoverConfig failover = {})
+      : MasterSlaveReplica(transport, host, std::move(semantics),
+                           GroupRole::kMaster, sim::Endpoint{},
+                           std::move(write_guard), std::move(failover)) {}
+};
+
+class MasterSlaveSlave : public MasterSlaveReplica {
+ public:
+  MasterSlaveSlave(sim::Transport* transport, sim::NodeId host,
+                   std::unique_ptr<SemanticsObject> semantics, sim::Endpoint master,
+                   WriteGuard write_guard = nullptr, FailoverConfig failover = {})
+      : MasterSlaveReplica(transport, host, std::move(semantics), GroupRole::kSlave,
+                           master, std::move(write_guard), std::move(failover)) {}
 };
 
 }  // namespace globe::dso

@@ -12,7 +12,8 @@ namespace globe::dso {
 WriteGuard RequireRoles(const sec::KeyRegistry* registry, std::vector<sec::Role> roles) {
   return [registry, roles = std::move(roles)](const sim::RpcContext& context) -> Status {
     if (context.peer_principal == sec::kAnonymous || !context.integrity_protected) {
-      return PermissionDenied("state-modifying request requires an authenticated channel");
+      return PermissionDenied(
+          "state-modifying request requires an authenticated channel");
     }
     auto role = registry->RoleOf(context.peer_principal);
     if (!role.ok()) {
@@ -55,7 +56,8 @@ Result<gls::ContactAddress> FindMaster(const std::vector<gls::ContactAddress>& p
 }  // namespace
 
 Result<gls::ContactAddress> NearestAddress(sim::Transport* transport, sim::NodeId host,
-                                           const std::vector<gls::ContactAddress>& addresses) {
+                                           const std::vector<gls::ContactAddress>&
+                                               addresses) {
   if (addresses.empty()) {
     return NotFound("no contact addresses");
   }
@@ -91,24 +93,25 @@ Result<std::unique_ptr<ReplicationObject>> MakeReplica(gls::ProtocolId protocol,
       if (setup.role == gls::ReplicaRole::kMaster) {
         return std::unique_ptr<ReplicationObject>(std::make_unique<MasterSlaveMaster>(
             setup.transport, setup.host, std::move(setup.semantics),
-            std::move(setup.write_guard)));
+            std::move(setup.write_guard), std::move(setup.failover)));
       }
       ASSIGN_OR_RETURN(gls::ContactAddress master, FindMaster(setup.peers));
       return std::unique_ptr<ReplicationObject>(std::make_unique<MasterSlaveSlave>(
           setup.transport, setup.host, std::move(setup.semantics), master.endpoint,
-          std::move(setup.write_guard)));
+          std::move(setup.write_guard), std::move(setup.failover)));
     }
 
     case kProtoActiveRepl: {
       if (setup.role == gls::ReplicaRole::kMaster) {
         return std::unique_ptr<ReplicationObject>(std::make_unique<ActiveReplMember>(
             setup.transport, setup.host, std::move(setup.semantics),
-            sim::Endpoint{sim::kNoNode, 0}, std::move(setup.write_guard)));
+            sim::Endpoint{sim::kNoNode, 0}, std::move(setup.write_guard),
+            std::move(setup.failover)));
       }
       ASSIGN_OR_RETURN(gls::ContactAddress sequencer, FindMaster(setup.peers));
       return std::unique_ptr<ReplicationObject>(std::make_unique<ActiveReplMember>(
           setup.transport, setup.host, std::move(setup.semantics), sequencer.endpoint,
-          std::move(setup.write_guard)));
+          std::move(setup.write_guard), std::move(setup.failover)));
     }
 
     case kProtoCacheInval: {
@@ -131,7 +134,8 @@ Result<std::unique_ptr<ReplicationObject>> MakeReplica(gls::ProtocolId protocol,
 Result<std::unique_ptr<ReplicationObject>> MakeProxy(
     sim::Transport* transport, sim::NodeId host,
     const std::vector<gls::ContactAddress>& addresses) {
-  ASSIGN_OR_RETURN(gls::ContactAddress nearest, NearestAddress(transport, host, addresses));
+  ASSIGN_OR_RETURN(gls::ContactAddress nearest,
+                   NearestAddress(transport, host, addresses));
   return std::unique_ptr<ReplicationObject>(
       std::make_unique<RemoteProxy>(transport, host, nearest));
 }

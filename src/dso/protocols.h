@@ -13,6 +13,7 @@
 #include <memory>
 #include <vector>
 
+#include "src/dso/replica_group.h"
 #include "src/dso/subobjects.h"
 #include "src/gls/oid.h"
 #include "src/sec/principal.h"
@@ -49,6 +50,10 @@ struct ReplicaSetup {
   std::vector<gls::ContactAddress> peers;
   // Write authorization (see WriteGuard above). Null = no checks.
   WriteGuard write_guard;
+  // GLS-driven master fail-over (see dso::ReplicaGroup). Honoured by the
+  // master/slave and active replication protocols; protocols that cannot
+  // re-elect (client/server, cache/invalidate) ignore it. Disabled by default.
+  FailoverConfig failover;
 };
 
 // Creates the replication subobject for a hosted replica. The caller must invoke
@@ -66,7 +71,8 @@ Result<std::unique_ptr<ReplicationObject>> MakeProxy(
 
 // Picks the contact address closest to `host` under the network's link profile.
 Result<gls::ContactAddress> NearestAddress(sim::Transport* transport, sim::NodeId host,
-                                           const std::vector<gls::ContactAddress>& addresses);
+                                           const std::vector<gls::ContactAddress>&
+                                               addresses);
 
 }  // namespace globe::dso
 

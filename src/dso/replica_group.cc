@@ -1,0 +1,392 @@
+#include "src/dso/replica_group.h"
+
+#include <algorithm>
+
+namespace globe::dso {
+
+std::string_view GroupRoleName(GroupRole role) {
+  switch (role) {
+    case GroupRole::kMaster:
+      return "master";
+    case GroupRole::kSlave:
+      return "slave";
+    case GroupRole::kPeer:
+      return "peer";
+    case GroupRole::kCache:
+      return "cache";
+  }
+  return "unknown";
+}
+
+bool RoleTransitionAllowed(GroupRole from, GroupRole to) {
+  if (from == to) {
+    return true;
+  }
+  // The only legal moves are election and deposition. In particular a cache
+  // can never become a master: it holds no authoritative state to serve from.
+  return (from == GroupRole::kSlave && to == GroupRole::kMaster) ||
+         (from == GroupRole::kMaster && to == GroupRole::kSlave);
+}
+
+gls::ReplicaRole ToReplicaRole(GroupRole role) {
+  switch (role) {
+    case GroupRole::kMaster:
+      return gls::ReplicaRole::kMaster;
+    case GroupRole::kSlave:
+    case GroupRole::kPeer:
+      return gls::ReplicaRole::kSlave;
+    case GroupRole::kCache:
+      return gls::ReplicaRole::kCache;
+  }
+  return gls::ReplicaRole::kSlave;
+}
+
+GroupRole FromReplicaRole(gls::ReplicaRole role) {
+  switch (role) {
+    case gls::ReplicaRole::kMaster:
+      return GroupRole::kMaster;
+    case gls::ReplicaRole::kSlave:
+      return GroupRole::kSlave;
+    case gls::ReplicaRole::kCache:
+      return GroupRole::kCache;
+  }
+  return GroupRole::kSlave;
+}
+
+ReplicaGroup::ReplicaGroup(CommunicationObject* comm, GroupRole role)
+    : comm_(comm), role_(role), alive_(std::make_shared<bool>(true)) {}
+
+ReplicaGroup::~ReplicaGroup() { Stop(); }
+
+Status ReplicaGroup::TransitionTo(GroupRole to) {
+  if (to == role_) {
+    return OkStatus();
+  }
+  if (!RoleTransitionAllowed(role_, to)) {
+    return FailedPrecondition(std::string("illegal role transition ") +
+                              std::string(GroupRoleName(role_)) + " -> " +
+                              std::string(GroupRoleName(to)));
+  }
+  GLOG_INFO << "replica " << sim::ToString(comm_->endpoint()) << ": "
+            << GroupRoleName(role_) << " -> " << GroupRoleName(to) << " (epoch "
+            << epoch_ << ")";
+  role_ = to;
+  ++stats_.role_transitions;
+  return OkStatus();
+}
+
+bool ReplicaGroup::AddMember(const sim::Endpoint& peer) {
+  if (std::find(members_.begin(), members_.end(), peer) != members_.end()) {
+    return false;
+  }
+  members_.push_back(peer);
+  return true;
+}
+
+bool ReplicaGroup::RemoveMember(const sim::Endpoint& peer) {
+  auto it = std::find(members_.begin(), members_.end(), peer);
+  if (it == members_.end()) {
+    return false;
+  }
+  members_.erase(it);
+  return true;
+}
+
+PushAck ReplicaGroup::FenceIncoming(uint64_t remote_epoch) {
+  if (remote_epoch < epoch_) {
+    ++stats_.stale_rejected;
+    return PushAck{0, epoch_};
+  }
+  if (remote_epoch > epoch_) {
+    if (is_master()) {
+      // Newer-epoch traffic reaching a replica that still believes it is
+      // master: refuse WITHOUT adopting the epoch — our own fan-outs must stay
+      // stamped with the epoch we actually hold so peers can fence them — and
+      // resolve the true ownership through the arbiter.
+      ++stats_.stale_rejected;
+      OnFencedSelf(remote_epoch);
+      return PushAck{0, epoch_};
+    }
+    epoch_ = remote_epoch;
+  }
+  RecordLease();
+  return PushAck{1, epoch_};
+}
+
+void ReplicaGroup::RecordLease() { last_renewal_ = comm_->simulator()->Now(); }
+
+void ReplicaGroup::EnableFailover(FailoverConfig config, Callbacks callbacks) {
+  config_ = std::move(config);
+  callbacks_ = std::move(callbacks);
+  if (config_.enabled && gls_ == nullptr) {
+    gls_ = std::make_unique<gls::GlsClient>(comm_->transport(), comm_->host(),
+                                            config_.leaf_directory);
+  }
+}
+
+gls::ContactAddress ReplicaGroup::self_address(GroupRole as) const {
+  return gls::ContactAddress{comm_->endpoint(), config_.protocol,
+                             ToReplicaRole(as)};
+}
+
+gls::MasterClaim ReplicaGroup::MakeClaim(uint64_t known_epoch) const {
+  gls::MasterClaim claim;
+  claim.oid = config_.oid;
+  claim.claimant = self_address(GroupRole::kMaster);
+  claim.known_epoch = known_epoch;
+  claim.version = callbacks_.version ? callbacks_.version() : 0;
+  claim.lease_duration = config_.lease_timeout;
+  return claim;
+}
+
+void ReplicaGroup::StartMaster(std::function<void(Status)> done) {
+  if (!config_.enabled) {
+    done(OkStatus());
+    return;
+  }
+  // Fresh master: claim epoch 1. Restarted master: resume at its checkpointed
+  // epoch — a grant bumps the epoch (cleanly fencing anything the crash left in
+  // flight), a rejection means an election happened while we were dark and the
+  // Claim path demotes us onto the winner.
+  Claim(epoch_, [done = std::move(done)] { done(OkStatus()); });
+}
+
+void ReplicaGroup::StartFollower() {
+  if (!config_.enabled) {
+    return;
+  }
+  if (role_ != GroupRole::kSlave && role_ != GroupRole::kPeer) {
+    return;  // caches are not electable and never watch
+  }
+  RecordLease();
+  ScheduleWatchTick();
+}
+
+void ReplicaGroup::Stop() {
+  CancelTimer();
+  *alive_ = false;
+}
+
+void ReplicaGroup::CancelTimer() {
+  if (timer_ != sim::Simulator::kNoEvent) {
+    comm_->simulator()->Cancel(timer_);
+    timer_ = sim::Simulator::kNoEvent;
+  }
+}
+
+void ReplicaGroup::ScheduleMasterTick() {
+  CancelTimer();
+  timer_ = comm_->simulator()->ScheduleAfter(
+      config_.lease_interval, [this, alive = std::weak_ptr<bool>(alive_)] {
+        if (auto a = alive.lock(); a && *a) {
+          MasterTick();
+        }
+      });
+}
+
+void ReplicaGroup::MasterTick() {
+  if (!is_master()) {
+    return;  // demoted since this tick was scheduled
+  }
+  // Epoch 0 means the bootstrap claim never landed (transport trouble reaching
+  // the arbiter at StartMaster time): keep claiming, not renewing — a renewal
+  // cannot create the ownership record. Claim reschedules this tick itself on
+  // every outcome.
+  if (epoch_ == 0) {
+    Claim(0);
+    return;
+  }
+  // (a) Extend the ownership lease at the GLS arbiter. A rejection under a
+  // newer epoch names a newer master: demote onto it. A rejection under an
+  // older-or-equal epoch means the arbiter's record is behind ours (restored
+  // from an old checkpoint): re-claim with our epoch to re-seed it — a renewal
+  // alone can never repair a rolled-back record. Transport failures keep
+  // mastership optimistically — members still receiving dso.lease renewals
+  // will not claim, and the next tick retries.
+  gls_->RenewMasterLease(
+      MakeClaim(epoch_),
+      [this, alive = std::weak_ptr<bool>(alive_)](Result<gls::ClaimOutcome> r) {
+        auto a = alive.lock();
+        if (!a || !*a || !r.ok() || r->granted) {
+          return;
+        }
+        if (r->epoch > epoch_) {
+          Demote(r->master, r->epoch);
+        } else if (is_master()) {
+          Claim(epoch_);
+        }
+      });
+  // (b) Broadcast the lease to members so their watches stay quiet.
+  if (!members_.empty()) {
+    ++stats_.leases_sent;
+    LeaseMessage lease{epoch_, callbacks_.version ? callbacks_.version() : 0,
+                       comm_->endpoint()};
+    FanOut(kDsoLease, lease, config_.lease_interval,
+           /*drop_unreachable=*/false, [](const FanOutResult&) {});
+  }
+  ScheduleMasterTick();
+}
+
+void ReplicaGroup::ScheduleWatchTick() {
+  CancelTimer();
+  // Deterministic per-host stagger so a whole group of slaves does not claim
+  // in the same simulator instant. Keyed on the topology-stable host id, NOT
+  // the ephemeral port: port allocation is process-global, and replayed runs
+  // must schedule identically.
+  sim::SimTime stagger = (comm_->host() % 7) * 29 * sim::kMillisecond;
+  timer_ = comm_->simulator()->ScheduleAfter(
+      config_.watch_interval + stagger,
+      [this, alive = std::weak_ptr<bool>(alive_)] {
+        if (auto a = alive.lock(); a && *a) {
+          WatchTick();
+        }
+      });
+}
+
+void ReplicaGroup::WatchTick() {
+  if (is_master() || !config_.enabled) {
+    return;
+  }
+  sim::SimTime now = comm_->simulator()->Now();
+  if (!claim_in_flight_ && now >= last_renewal_ + config_.lease_timeout) {
+    // The master missed a whole timeout of renewals: race for its epoch.
+    Claim(epoch_);
+  }
+  ScheduleWatchTick();
+}
+
+void ReplicaGroup::Claim(uint64_t known_epoch, std::function<void()> settled) {
+  if (gls_ == nullptr || claim_in_flight_) {
+    if (settled) {
+      settled();
+    }
+    return;
+  }
+  claim_in_flight_ = true;
+  ++stats_.claims;
+  gls_->ClaimMaster(
+      MakeClaim(known_epoch),
+      [this, alive = std::weak_ptr<bool>(alive_),
+       settled = std::move(settled)](Result<gls::ClaimOutcome> outcome) {
+        auto a = alive.lock();
+        if (!a || !*a) {
+          return;
+        }
+        claim_in_flight_ = false;
+        if (!outcome.ok()) {
+          // Transport trouble reaching the arbiter. Followers retry from their
+          // (independently rescheduled) watch; a master must reschedule its own
+          // tick here — the bootstrap claim path has no other timer yet.
+          if (is_master()) {
+            ScheduleMasterTick();
+          }
+          if (settled) {
+            settled();
+          }
+          return;
+        }
+        if (outcome->granted) {
+          Promote(outcome->epoch);
+        } else {
+          ++stats_.claims_lost;
+          if (is_master()) {
+            Demote(outcome->master, outcome->epoch);
+          } else {
+            epoch_ = std::max(epoch_, outcome->epoch);
+            // Fresh patience before suspecting the (possibly new) winner.
+            RecordLease();
+            if (outcome->master.endpoint.node != sim::kNoNode &&
+                outcome->master.endpoint != comm_->endpoint() &&
+                callbacks_.on_adopted_master) {
+              callbacks_.on_adopted_master(outcome->master.endpoint, epoch_);
+            }
+          }
+        }
+        if (settled) {
+          settled();
+        }
+      });
+}
+
+void ReplicaGroup::Promote(uint64_t new_epoch) {
+  ++stats_.claims_won;
+  stats_.elected_at = comm_->simulator()->Now();
+  epoch_ = new_epoch;
+  if (!is_master()) {
+    Status s = TransitionTo(GroupRole::kMaster);
+    if (!s.ok()) {
+      GLOG_ERROR << "won a claim but cannot assume mastership: " << s;
+      return;
+    }
+    // The GLS still lists us as a slave; advertise the new role. The deposed
+    // master's record is its own to fix (each replica only ever mutates the
+    // registrations of its own leaf domain).
+    FixRegistration(GroupRole::kSlave, GroupRole::kMaster);
+  }
+  ScheduleMasterTick();
+  if (callbacks_.on_won_mastership) {
+    callbacks_.on_won_mastership();
+  }
+}
+
+void ReplicaGroup::Demote(const gls::ContactAddress& winner, uint64_t new_epoch) {
+  epoch_ = std::max(epoch_, new_epoch);
+  if (!is_master()) {
+    return;
+  }
+  if (winner.endpoint == comm_->endpoint()) {
+    // The record names US: we already own the recorded epoch (e.g. a granted
+    // claim whose response was lost past the retry budget). Adopt it and keep
+    // the renewal cadence running rather than silently stalling as an
+    // unleased master.
+    if (config_.enabled) {
+      ScheduleMasterTick();
+    }
+    return;
+  }
+  ++stats_.demotions;
+  Status s = TransitionTo(GroupRole::kSlave);
+  if (!s.ok()) {
+    GLOG_ERROR << "cannot demote: " << s;
+    return;
+  }
+  // A deposed master's member list belongs to the winner now: the members'
+  // own watches re-register them there. Stop pushing to them under our dead
+  // epoch.
+  members_.clear();
+  FixRegistration(GroupRole::kMaster, GroupRole::kSlave);
+  RecordLease();
+  ScheduleWatchTick();
+  if (callbacks_.on_adopted_master) {
+    callbacks_.on_adopted_master(winner.endpoint, epoch_);
+  }
+}
+
+void ReplicaGroup::OnFencedSelf(uint64_t fence_epoch) {
+  (void)fence_epoch;  // the arbiter, not the fencing peer, names the winner
+  ++stats_.pushes_fenced;
+  if (!is_master() || !config_.enabled || resolving_) {
+    return;
+  }
+  // Ask the arbiter who owns the group now. Claiming with our (stale) epoch is
+  // refused and names the winner to adopt; if the fence was itself stale (the
+  // newer master already died and its lease lapsed), the claim re-wins.
+  resolving_ = true;
+  Claim(epoch_, [this, alive = std::weak_ptr<bool>(alive_)] {
+    if (auto a = alive.lock(); a && *a) {
+      resolving_ = false;
+    }
+  });
+}
+
+void ReplicaGroup::FixRegistration(GroupRole old_role, GroupRole new_role) {
+  if (gls_ == nullptr) {
+    return;
+  }
+  // Best-effort under the GLS write retry budget: a miss leaves a stale
+  // advisory contact address that the next role change or decommission fixes.
+  gls_->Delete(config_.oid, self_address(old_role), [](Status) {});
+  gls_->Insert(config_.oid, self_address(new_role), [](Status) {});
+}
+
+}  // namespace globe::dso

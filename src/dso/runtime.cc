@@ -14,7 +14,8 @@ RuntimeSystem::RuntimeSystem(sim::Transport* transport, sim::NodeId host,
       repository_(repository),
       gns_(gns) {}
 
-void RuntimeSystem::Bind(const gls::ObjectId& oid, BindOptions options, BindCallback done) {
+void RuntimeSystem::Bind(const gls::ObjectId& oid, BindOptions options,
+                         BindCallback done) {
   ++stats_.binds;
   gls_.Lookup(oid, [this, oid, options = std::move(options),
                     done = std::move(done)](Result<gls::LookupResult> lookup) mutable {
@@ -34,7 +35,8 @@ void RuntimeSystem::BindByName(std::string_view globe_name, BindOptions options,
     return;
   }
   gns_->Resolve(globe_name, [this, options = std::move(options),
-                             done = std::move(done)](Result<std::string> oid_hex) mutable {
+                             done =
+                                 std::move(done)](Result<std::string> oid_hex) mutable {
     if (!oid_hex.ok()) {
       done(oid_hex.status());
       return;
@@ -87,6 +89,9 @@ void RuntimeSystem::FinishBind(const gls::ObjectId& oid, BindOptions options,
   setup.semantics = std::move(*semantics);
   setup.role = *options.as_replica;
   setup.peers = lookup.addresses;
+  setup.failover = options.failover;
+  setup.failover.oid = oid;
+  setup.failover.leaf_directory = gls_.leaf_directory();
   auto replica = MakeReplica(lookup.addresses.front().protocol, std::move(setup));
   if (!replica.ok()) {
     // Protocols that admit no further replicas (e.g. client/server) fall back to a

@@ -32,6 +32,11 @@ struct BindOptions {
   // Publish the new replica's contact address in the GLS so other clients can find
   // it. Only meaningful with as_replica.
   bool register_in_gls = false;
+  // Fail-over wiring for the installed replica (set failover.enabled plus the
+  // lease timings; oid, leaf directory and protocol are filled in by the
+  // runtime). Only meaningful with as_replica on a protocol that re-elects
+  // (master/slave, active); needs register_in_gls to be useful.
+  FailoverConfig failover;
 };
 
 // A bound local representative plus its metadata.
@@ -56,8 +61,10 @@ struct BindStats {
 class RuntimeSystem {
  public:
   // `gns` may be null if only OID-based binding is used on this host.
-  RuntimeSystem(sim::Transport* transport, sim::NodeId host, gls::DirectoryRef leaf_directory,
-                const ImplementationRepository* repository, dns::GnsClient* gns = nullptr);
+  RuntimeSystem(sim::Transport* transport, sim::NodeId host,
+                gls::DirectoryRef leaf_directory,
+                const ImplementationRepository* repository,
+                dns::GnsClient* gns = nullptr);
 
   using BindCallback = std::function<void(Result<std::unique_ptr<BoundObject>>)>;
 

@@ -24,6 +24,8 @@
 
 namespace globe::dso {
 
+class ReplicaGroup;
+
 // User-defined primitive object implementing the DSO's methods. A package DSO's
 // semantics subobject implements addFile / listContents / getFileContents etc.
 // (src/gdn/package.h). Implementations must be deterministic: the active replication
@@ -73,7 +75,9 @@ class ReplicationObject {
 
   // The address other local representatives can contact this one on, if it accepts
   // peer traffic (replicas do; pure client proxies return nullopt).
-  virtual std::optional<gls::ContactAddress> contact_address() const { return std::nullopt; }
+  virtual std::optional<gls::ContactAddress> contact_address() const {
+    return std::nullopt;
+  }
 
   // The local semantics subobject, if this representative holds one (replicas do;
   // thin proxies return nullptr). Used by the GOS persistence machinery.
@@ -82,6 +86,17 @@ class ReplicationObject {
   // Restores the version counter after a GOS restart so replica protocols resume
   // where the checkpoint left off.
   virtual void set_version(uint64_t) {}
+
+  // The replica group's membership epoch (0 for protocols/proxies without one).
+  // Checkpointed alongside the version so a restarted master resumes — or
+  // discovers it lost — its mastership instead of forgetting it ever held it.
+  virtual uint64_t epoch() const { return 0; }
+  virtual void set_epoch(uint64_t) {}
+
+  // The shared membership/epoch layer beneath this replica, if it has one
+  // (src/dso/replica_group.h); thin proxies return nullptr. Exposes role, epoch
+  // and fail-over statistics to the GOS, tests and benches.
+  virtual const ReplicaGroup* group() const { return nullptr; }
 };
 
 }  // namespace globe::dso

@@ -12,14 +12,19 @@
 
 namespace globe::dso {
 
-// A full state snapshot tagged with the master's write version.
+// A full state snapshot tagged with the master's write version and the replica
+// group's membership epoch (see dso::ReplicaGroup): receivers reject snapshots
+// pushed under an epoch older than their own, which is what fences a partitioned
+// stale master out of a group that has re-elected.
 struct VersionedState {
   uint64_t version = 0;
+  uint64_t epoch = 0;
   Bytes state;
 
   Bytes Serialize() const {
     ByteWriter w;
     w.WriteU64(version);
+    w.WriteU64(epoch);
     w.WriteLengthPrefixed(state);
     return w.Take();
   }
@@ -27,6 +32,7 @@ struct VersionedState {
     ByteReader r(data);
     VersionedState vs;
     ASSIGN_OR_RETURN(vs.version, r.ReadU64());
+    ASSIGN_OR_RETURN(vs.epoch, r.ReadU64());
     ASSIGN_OR_RETURN(vs.state, r.ReadLengthPrefixed());
     return vs;
   }
@@ -61,19 +67,70 @@ struct EndpointMessage {
   }
 };
 
-// A bare write version (invalidations, registration acknowledgements).
+// A bare write version plus the sender's epoch (invalidations, registration
+// acknowledgements).
 struct VersionMessage {
   uint64_t version = 0;
+  uint64_t epoch = 0;
 
   Bytes Serialize() const {
     ByteWriter w;
     w.WriteU64(version);
+    w.WriteU64(epoch);
     return w.Take();
   }
   static Result<VersionMessage> Deserialize(ByteSpan data) {
     ByteReader r(data);
     VersionMessage message;
     ASSIGN_OR_RETURN(message.version, r.ReadU64());
+    ASSIGN_OR_RETURN(message.epoch, r.ReadU64());
+    return message;
+  }
+};
+
+// Outcome of one replica-to-replica push (state push, ordered apply,
+// invalidation, lease): accepted, or refused because the sender's epoch is
+// stale. A refusing replica reports its own (newer) epoch, so a fenced master
+// can resolve the new ownership through the GLS instead of retrying for ever.
+struct PushAck {
+  uint8_t accepted = 1;
+  uint64_t epoch = 0;
+
+  Bytes Serialize() const {
+    ByteWriter w;
+    w.WriteU8(accepted);
+    w.WriteU64(epoch);
+    return w.Take();
+  }
+  static Result<PushAck> Deserialize(ByteSpan data) {
+    ByteReader r(data);
+    PushAck ack;
+    ASSIGN_OR_RETURN(ack.accepted, r.ReadU8());
+    ASSIGN_OR_RETURN(ack.epoch, r.ReadU64());
+    return ack;
+  }
+};
+
+// Master -> members lease renewal (fail-over: a member that misses renewals
+// past its lease timeout suspects the master and races gls.claim_master).
+struct LeaseMessage {
+  uint64_t epoch = 0;
+  uint64_t version = 0;
+  sim::Endpoint master;
+
+  Bytes Serialize() const {
+    ByteWriter w;
+    w.WriteU64(epoch);
+    w.WriteU64(version);
+    SerializeEndpoint(master, &w);
+    return w.Take();
+  }
+  static Result<LeaseMessage> Deserialize(ByteSpan data) {
+    ByteReader r(data);
+    LeaseMessage message;
+    ASSIGN_OR_RETURN(message.epoch, r.ReadU64());
+    ASSIGN_OR_RETURN(message.version, r.ReadU64());
+    ASSIGN_OR_RETURN(message.master, DeserializeEndpoint(&r));
     return message;
   }
 };
@@ -89,6 +146,9 @@ inline constexpr sim::TypedMethod<sim::EmptyMessage, VersionedState> kDsoGetStat
     "dso.get_state"};
 inline constexpr sim::TypedMethod<sim::EmptyMessage, EndpointMessage>
     kDsoMasterEndpoint{"dso.master_endpoint"};
+// Lease renewals are idempotent by construction (receivers only compare epochs
+// and refresh a timestamp), so they skip the dedup table.
+inline constexpr sim::TypedMethod<LeaseMessage, PushAck> kDsoLease{"dso.lease"};
 
 // Every protocol retries its write-path calls with sim::WriteCallOptions
 // instead of failing on the first lost message (the replication fan-outs keep

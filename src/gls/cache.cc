@@ -16,14 +16,14 @@ const LookupCache::Entry* LookupCache::Get(const ObjectId& oid, sim::SimTime now
   return &it->second;
 }
 
-void LookupCache::Put(const ObjectId& oid, std::vector<ContactAddress> addresses,
-                      int32_t found_depth, sim::SimTime now) {
-  if (max_entries_ == 0 || addresses.empty()) {
-    return;
+LookupCache::Entry* LookupCache::Install(const ObjectId& oid, sim::SimTime now,
+                                         sim::SimTime ttl) {
+  if (max_entries_ == 0) {
+    return nullptr;
   }
   if (auto it = quarantined_.find(oid); it != quarantined_.end()) {
     if (now < it->second) {
-      return;  // a recent invalidation outranks this (possibly stale) answer
+      return nullptr;  // a recent invalidation outranks this (possibly stale) answer
     }
     quarantined_.erase(it);
   }
@@ -31,14 +31,37 @@ void LookupCache::Put(const ObjectId& oid, std::vector<ContactAddress> addresses
     EvictOne();
   }
   Entry& entry = entries_[oid];
-  entry.addresses = std::move(addresses);
-  entry.found_depth = found_depth;
-  entry.expires_at = now + ttl_;
+  entry.expires_at = now + ttl;
   order_.emplace_back(oid, entry.expires_at);
   if (order_.size() > 2 * max_entries_) {
     PruneOrder();
   }
   PruneQuarantine(now);
+  return &entry;
+}
+
+void LookupCache::Put(const ObjectId& oid, std::vector<ContactAddress> addresses,
+                      int32_t found_depth, sim::SimTime now) {
+  if (addresses.empty()) {
+    return;
+  }
+  Entry* entry = Install(oid, now, ttl_);
+  if (entry == nullptr) {
+    return;
+  }
+  entry->addresses = std::move(addresses);
+  entry->found_depth = found_depth;
+  entry->negative = 0;
+}
+
+void LookupCache::PutNegative(const ObjectId& oid, sim::SimTime now) {
+  Entry* entry = Install(oid, now, negative_ttl_);
+  if (entry == nullptr) {
+    return;
+  }
+  entry->addresses.clear();
+  entry->found_depth = 0;
+  entry->negative = 1;
 }
 
 bool LookupCache::Invalidate(const ObjectId& oid, sim::SimTime now, bool quarantine) {
@@ -105,6 +128,7 @@ void LookupCache::Serialize(ByteWriter* writer) const {
     }
     writer->WriteU32(static_cast<uint32_t>(entry.found_depth));
     writer->WriteU64(entry.expires_at);
+    writer->WriteU8(entry.negative);
   }
 }
 
@@ -130,6 +154,7 @@ Status LookupCache::Restore(ByteReader* reader) {
     ASSIGN_OR_RETURN(uint32_t found_depth, reader->ReadU32());
     entry.found_depth = static_cast<int32_t>(found_depth);
     ASSIGN_OR_RETURN(entry.expires_at, reader->ReadU64());
+    ASSIGN_OR_RETURN(entry.negative, reader->ReadU8());
     entries[oid] = std::move(entry);
   }
   // Rebuild the eviction queue in expiry order; when the checkpoint holds more

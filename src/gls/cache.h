@@ -40,7 +40,20 @@ class LookupCache {
     std::vector<ContactAddress> addresses;
     int32_t found_depth = 0;
     sim::SimTime expires_at = 0;
+    // Negative entry: a recent climb for this OID came back NotFound. Served
+    // (as NotFound) only to allow_cached lookups, so repeat misses for deleted
+    // or unknown OIDs stop at the first cache instead of re-climbing to the
+    // root. Short-TTL'd: an OID registered elsewhere becomes visible here at
+    // the latest when the negative entry expires (insert/install_ptr chains
+    // invalidate the nodes they touch immediately).
+    uint8_t negative = 0;
   };
+
+  // Default TTL for negative entries: long enough to absorb a miss storm,
+  // short enough that a registration the local mutation chains never touch
+  // becomes visible quickly. Re-caching a parent's negative answer restarts
+  // this TTL, so worst-case staleness is bounded by depth x negative TTL.
+  static constexpr sim::SimTime kDefaultNegativeTtl = 5 * sim::kSecond;
 
   // How long Put refuses to re-admit an OID after Invalidate. Sized to outlive any
   // response that was in flight when the invalidation ran: with per-request
@@ -51,8 +64,9 @@ class LookupCache {
   // blocks the hot insert -> lookup -> cache sequence.
   static constexpr sim::SimTime kPutQuarantine = 30 * sim::kSecond;
 
-  LookupCache(sim::SimTime ttl, size_t max_entries)
-      : ttl_(ttl), max_entries_(max_entries) {}
+  LookupCache(sim::SimTime ttl, size_t max_entries,
+              sim::SimTime negative_ttl = kDefaultNegativeTtl)
+      : ttl_(ttl), negative_ttl_(negative_ttl), max_entries_(max_entries) {}
 
   // The live entry for `oid`, or nullptr. An expired entry is erased on access.
   const Entry* Get(const ObjectId& oid, sim::SimTime now);
@@ -62,6 +76,11 @@ class LookupCache {
   // expiry when full.
   void Put(const ObjectId& oid, std::vector<ContactAddress> addresses,
            int32_t found_depth, sim::SimTime now);
+
+  // Stores a negative (NotFound) entry with expiry now + negative_ttl. Respects
+  // the same quarantine and capacity rules as Put; overwrites any positive
+  // entry (the authoritative chain just said the OID is gone).
+  void PutNegative(const ObjectId& oid, sim::SimTime now);
 
   // Drops the entry for `oid`. With `quarantine` set it additionally blocks Put
   // for the OID until now + kPutQuarantine — required on deregistration paths,
@@ -73,6 +92,7 @@ class LookupCache {
   void Clear();
   size_t size() const { return entries_.size(); }
   sim::SimTime ttl() const { return ttl_; }
+  sim::SimTime negative_ttl() const { return negative_ttl_; }
 
   // Persistence: cache contents ride along in DirectorySubnode::SaveState so a
   // rebooted subnode resumes warm. Expiry times are absolute simulated time;
@@ -82,12 +102,17 @@ class LookupCache {
 
  private:
   void EvictOne();
+  // Shared tail of Put/PutNegative: quarantine and capacity checks, then the
+  // entry install and order-queue upkeep.
+  Entry* Install(const ObjectId& oid, sim::SimTime now, sim::SimTime ttl);
 
   sim::SimTime ttl_;
+  sim::SimTime negative_ttl_;
   size_t max_entries_;
   std::map<ObjectId, Entry> entries_;
-  // Put order equals expiry order (expires_at = now + ttl is nondecreasing), so
-  // the front of this queue is always the entry soonest to expire. Refreshed or
+  // Insertion order approximates expiry order (exactly, before negative entries
+  // existed; their shorter TTL can put a sooner-expiring entry behind a later
+  // one), so the front of this queue is the eviction victim. Refreshed or
   // invalidated entries leave stale queue references behind; EvictOne skips them
   // and PruneOrder() compacts the queue when they accumulate.
   std::deque<std::pair<ObjectId, sim::SimTime>> order_;

@@ -95,6 +95,10 @@ SubnodeStats GlsDeployment::TotalStats() const {
     total.batch_lookups += s.batch_lookups;
     total.batch_inserts += s.batch_inserts;
     total.batch_deletes += s.batch_deletes;
+    total.negative_cache_hits += s.negative_cache_hits;
+    total.master_claims += s.master_claims;
+    total.master_claims_granted += s.master_claims_granted;
+    total.lease_renewals += s.lease_renewals;
   }
   return total;
 }

@@ -230,6 +230,58 @@ struct LookupWireRequest {
   }
 };
 
+// gls.claim_master / gls.renew_lease wire formats: one conditional ownership
+// update (or lease extension) racing towards the OID's root home subnode.
+struct ClaimWireRequest {
+  ObjectId oid;
+  ContactAddress claimant;
+  uint64_t known_epoch = 0;
+  uint64_t version = 0;         // claimant's applied write version (the floor)
+  uint64_t lease_duration = 0;  // microseconds of ownership per grant/renewal
+
+  Bytes Serialize() const {
+    ByteWriter w;
+    oid.Serialize(&w);
+    claimant.Serialize(&w);
+    w.WriteU64(known_epoch);
+    w.WriteU64(version);
+    w.WriteU64(lease_duration);
+    return w.Take();
+  }
+  static Result<ClaimWireRequest> Deserialize(ByteSpan data) {
+    ByteReader r(data);
+    ClaimWireRequest request;
+    ASSIGN_OR_RETURN(request.oid, ObjectId::Deserialize(&r));
+    ASSIGN_OR_RETURN(request.claimant, ContactAddress::Deserialize(&r));
+    ASSIGN_OR_RETURN(request.known_epoch, r.ReadU64());
+    ASSIGN_OR_RETURN(request.version, r.ReadU64());
+    ASSIGN_OR_RETURN(request.lease_duration, r.ReadU64());
+    return request;
+  }
+};
+
+struct ClaimWireResponse {
+  uint8_t granted = 0;
+  uint64_t epoch = 0;
+  ContactAddress master;
+
+  Bytes Serialize() const {
+    ByteWriter w;
+    w.WriteU8(granted);
+    w.WriteU64(epoch);
+    master.Serialize(&w);
+    return w.Take();
+  }
+  static Result<ClaimWireResponse> Deserialize(ByteSpan data) {
+    ByteReader r(data);
+    ClaimWireResponse response;
+    ASSIGN_OR_RETURN(response.granted, r.ReadU8());
+    ASSIGN_OR_RETURN(response.epoch, r.ReadU64());
+    ASSIGN_OR_RETURN(response.master, ContactAddress::Deserialize(&r));
+    return response;
+  }
+};
+
 namespace {
 
 // The typed method table: one definition per wire method, shared by servers
@@ -259,6 +311,12 @@ const sim::TypedMethod<PointerRequest, sim::EmptyMessage> kGlsInvalCache{
     "gls.inval_cache"};
 const sim::TypedMethod<sim::EmptyMessage, OidMessage> kGlsAllocOid{
     "gls.alloc_oid", sim::kNonIdempotent};
+// A duplicate-delivered claim must replay the first arbitration instead of
+// granting a second epoch; renewals only refresh a timestamp and skip the table.
+const sim::TypedMethod<ClaimWireRequest, ClaimWireResponse> kGlsClaimMaster{
+    "gls.claim_master", sim::kNonIdempotent};
+const sim::TypedMethod<ClaimWireRequest, ClaimWireResponse> kGlsRenewLease{
+    "gls.renew_lease"};
 
 using EmptyCallback = std::function<void(Result<sim::EmptyMessage>)>;
 
@@ -379,8 +437,11 @@ DirectorySubnode::DirectorySubnode(sim::Transport* transport, sim::NodeId host,
       options_(options),
       registry_(registry),
       rng_(rng_seed),
-      cache_(options.cache_ttl, options.cache_max_entries) {
+      cache_(options.cache_ttl, options.cache_max_entries,
+             options.cache_negative_ttl) {
   server_.set_service_time(options_.service_time);
+  server_.set_worker_pool_width(
+      static_cast<size_t>(std::max(options_.service_workers, 1)));
 
   kGlsLookup.RegisterAsync(&server_, [this](const sim::RpcContext&,
                                             LookupWireRequest request,
@@ -585,6 +646,29 @@ DirectorySubnode::DirectorySubnode(sim::Transport* transport, sim::NodeId host,
                                const sim::EmptyMessage&) -> Result<OidMessage> {
                           return OidMessage{ObjectId::Generate(&rng_)};
                         });
+
+  // Ownership (fail-over) arbitration: claims and renewals are mutations of
+  // serving state and carry the same authorization as the other write methods.
+  kGlsClaimMaster.RegisterAsync(
+      &server_, [this](const sim::RpcContext& context, ClaimWireRequest request,
+                       std::function<void(Result<ClaimWireResponse>)> respond) {
+        if (Status s = CheckAuthorized(context); !s.ok()) {
+          ++stats_.denied;
+          respond(s);
+          return;
+        }
+        ResolveOwnership(/*is_claim=*/true, request, std::move(respond));
+      });
+  kGlsRenewLease.RegisterAsync(
+      &server_, [this](const sim::RpcContext& context, ClaimWireRequest request,
+                       std::function<void(Result<ClaimWireResponse>)> respond) {
+        if (Status s = CheckAuthorized(context); !s.ok()) {
+          ++stats_.denied;
+          respond(s);
+          return;
+        }
+        ResolveOwnership(/*is_claim=*/false, request, std::move(respond));
+      });
 }
 
 void DirectorySubnode::SetSelf(DirectoryRef self) { self_ = std::move(self); }
@@ -633,6 +717,11 @@ size_t DirectorySubnode::NumPointers(const ObjectId& oid) const {
   return it == pointers_.end() ? 0 : it->second.size();
 }
 
+uint64_t DirectorySubnode::OwnerEpoch(const ObjectId& oid) const {
+  auto it = owners_.find(oid);
+  return it == owners_.end() ? 0 : it->second.epoch;
+}
+
 size_t DirectorySubnode::TotalEntries() const {
   size_t total = 0;
   for (const auto& [oid, addresses] : addresses_) {
@@ -670,6 +759,15 @@ void DirectorySubnode::ResolveLookup(LookupWireRequest req, LookupResponder resp
   // drops these entries, and delete chains fan out to all subnodes of a node.
   if (options_.enable_cache && req.allow_cached != 0) {
     if (const LookupCache::Entry* entry = cache_.Get(req.oid, clock_->Now())) {
+      if (entry->negative != 0) {
+        // A recent climb said NotFound: absorb the repeat miss here instead of
+        // re-climbing. Inserts and pointer installs at this node drop the
+        // entry; elsewhere the short negative TTL bounds the false-negative
+        // window.
+        ++stats_.negative_cache_hits;
+        respond(NotFound("object not registered: " + req.oid.ToHex()));
+        return;
+      }
       ++stats_.cache_hits;
       LookupResponse response;
       response.addresses = entry->addresses;
@@ -780,9 +878,108 @@ void DirectorySubnode::ResolveLookup(LookupWireRequest req, LookupResponder resp
   LookupWireRequest forward = req;
   ++forward.hops;
   kGlsLookup.Call(client_.get(), *target, forward,
-                  [respond = std::move(respond)](Result<LookupResponse> result) {
+                  [this, oid = req.oid,
+                   respond = std::move(respond)](Result<LookupResponse> result) {
+                    if (options_.enable_cache && !result.ok() &&
+                        result.status().code() == StatusCode::kNotFound) {
+                      // Negative caching: a short-TTL NotFound entry absorbs
+                      // repeat misses for this deleted/unknown OID. Invalidated
+                      // by any insert/install_ptr that touches this subnode.
+                      cache_.PutNegative(oid, clock_->Now());
+                    }
                     respond(std::move(result));
                   });
+}
+
+void DirectorySubnode::ResolveOwnership(
+    bool is_claim, const ClaimWireRequest& request,
+    std::function<void(Result<ClaimWireResponse>)> respond) {
+  // Below the root: forward strictly by hash (never power-of-two — the record
+  // must live at exactly one subnode) and relay the arbiter's answer.
+  if (!parent_.empty()) {
+    const auto& method = is_claim ? kGlsClaimMaster : kGlsRenewLease;
+    method.Call(client_.get(), parent_.Route(request.oid), request,
+                std::move(respond), sim::WriteCallOptions());
+    return;
+  }
+
+  sim::SimTime now = clock_->Now();
+  if (!is_claim) {
+    ++stats_.lease_renewals;
+    auto it = owners_.find(request.oid);
+    if (it == owners_.end()) {
+      if (request.known_epoch == 0) {
+        respond(ClaimWireResponse{0, 0, ContactAddress{}});
+        return;
+      }
+      // The arbiter lost its record (restored from an older checkpoint):
+      // re-seed from the incumbent rather than forcing an election.
+      it = owners_.emplace(request.oid,
+                           OwnerRecord{request.known_epoch, request.claimant, 0,
+                                       request.version})
+               .first;
+    }
+    OwnerRecord& rec = it->second;
+    // Incumbency is per host, not per endpoint: a master rebuilt after a
+    // reboot comes back on a fresh port of the same node. The renewal also
+    // refreshes the recorded address, so losers always adopt a live endpoint.
+    if (request.known_epoch == rec.epoch &&
+        rec.master.endpoint.node == request.claimant.endpoint.node) {
+      rec.master = request.claimant;
+      rec.lease_expires_at = now + request.lease_duration;
+      // The renewal raises the acked-write floor: electable successors must
+      // hold at least this much replicated state.
+      rec.version_floor = std::max(rec.version_floor, request.version);
+      respond(ClaimWireResponse{1, rec.epoch, rec.master});
+      return;
+    }
+    respond(ClaimWireResponse{0, rec.epoch, rec.master});
+    return;
+  }
+
+  ++stats_.master_claims;
+  OwnerRecord& rec = owners_[request.oid];
+  bool vacant = rec.epoch == 0;
+  // Host-based incumbency (see the renewal path): a master that rebooted onto
+  // a fresh port can resume its own mastership without waiting out the lease,
+  // while claims from other hosts stay fenced until the lease lapses.
+  bool incumbent =
+      !vacant && rec.master.endpoint.node == request.claimant.endpoint.node;
+  bool lease_lapsed = rec.lease_expires_at <= now;
+  // A claimant presenting an epoch strictly ahead of the record proves the
+  // record is behind (this arbiter restored from an old checkpoint): its claim
+  // must win even over a live lease, or a re-seeded stale master could depose
+  // the real one and roll back acknowledged writes.
+  bool ahead = request.known_epoch > rec.epoch;
+  // Version floor: a non-incumbent claimant below the acked-write high-water
+  // mark the master reported is provably missing acknowledged writes (e.g. a
+  // slave evicted from the push fan-out before it resynced) — electing it
+  // would roll the group back. The incumbent is exempt: its checkpoint
+  // restore is the one sanctioned rollback (acked-since-checkpoint loss is
+  // the documented crash-rebuild semantics).
+  bool fresh_enough = incumbent || request.version >= rec.version_floor;
+  // The conditional update: the claimant's view must not be behind the record
+  // (epoch fence), mastership must actually be takeable — vacant, lapsed,
+  // already the claimant's (a restarted master resuming), or provably ahead —
+  // and the claimant must hold enough replicated state.
+  if (request.known_epoch >= rec.epoch &&
+      (vacant || incumbent || lease_lapsed || ahead) && fresh_enough) {
+    rec.epoch = std::max(request.known_epoch, rec.epoch) + 1;
+    rec.master = request.claimant;
+    rec.lease_expires_at = now + request.lease_duration;
+    rec.version_floor = request.version;
+    ++stats_.master_claims_granted;
+    // Re-election changes which address is authoritative: purge our cached
+    // answer and our siblings' (and quarantine re-caching) before answering, so
+    // no root subnode keeps serving the deposed master from cache.
+    InvalidateCached(request.oid, /*quarantine=*/true);
+    ClaimWireResponse response{1, rec.epoch, rec.master};
+    PropagateInvalUp(request.oid, /*include_siblings=*/true,
+                     [respond = std::move(respond),
+                      response](Result<sim::EmptyMessage>) { respond(response); });
+    return;
+  }
+  respond(ClaimWireResponse{0, rec.epoch, rec.master});
 }
 
 void DirectorySubnode::ApplyDelete(const ObjectId& oid, const ContactAddress& address,
@@ -921,6 +1118,20 @@ Bytes DirectorySubnode::SaveState() const {
     }
   }
   cache_.Serialize(&w);
+  // Master-ownership records: fail-over arbitration must survive an arbiter
+  // reboot, or a rebuilt root would re-grant epoch 1 and unfence stale masters.
+  w.WriteVarint(owners_.size());
+  for (const auto& [oid, rec] : owners_) {
+    oid.Serialize(&w);
+    w.WriteU64(rec.epoch);
+    rec.master.Serialize(&w);
+    w.WriteU64(rec.lease_expires_at);
+    w.WriteU64(rec.version_floor);
+  }
+  // The RPC server's at-most-once table rides along (the ROADMAP item): a
+  // subnode rebuilt from this checkpoint still replays duplicates of mutations
+  // the pre-crash server executed instead of running them twice.
+  server_.SerializeDedup(&w);
   return w.Take();
 }
 
@@ -952,14 +1163,33 @@ Status DirectorySubnode::RestoreState(ByteSpan data) {
       children.insert(child);
     }
   }
-  // Cache section: absent in checkpoints taken before caching existed — an empty
-  // cache is always a safe restore state.
-  LookupCache cache(options_.cache_ttl, options_.cache_max_entries);
+  // Trailing sections, each absent in checkpoints taken before the feature
+  // existed: the lookup cache, the master-ownership records, the dedup table.
+  // An empty value is a safe restore state for every one of them.
+  LookupCache cache(options_.cache_ttl, options_.cache_max_entries,
+                    options_.cache_negative_ttl);
   if (!r.AtEnd()) {
     RETURN_IF_ERROR(cache.Restore(&r));
   }
+  std::map<ObjectId, OwnerRecord> owners;
+  if (!r.AtEnd()) {
+    ASSIGN_OR_RETURN(uint64_t num_owner_oids, r.ReadVarint());
+    for (uint64_t i = 0; i < num_owner_oids; ++i) {
+      ASSIGN_OR_RETURN(ObjectId oid, ObjectId::Deserialize(&r));
+      OwnerRecord rec;
+      ASSIGN_OR_RETURN(rec.epoch, r.ReadU64());
+      ASSIGN_OR_RETURN(rec.master, ContactAddress::Deserialize(&r));
+      ASSIGN_OR_RETURN(rec.lease_expires_at, r.ReadU64());
+      ASSIGN_OR_RETURN(rec.version_floor, r.ReadU64());
+      owners[oid] = rec;
+    }
+  }
+  if (!r.AtEnd()) {
+    RETURN_IF_ERROR(server_.RestoreDedup(&r));
+  }
   addresses_ = std::move(addresses);
   pointers_ = std::move(pointers);
+  owners_ = std::move(owners);
   cache_ = std::move(cache);
   return OkStatus();
 }
@@ -1138,6 +1368,45 @@ void GlsClient::DeleteBatch(
     const std::vector<std::pair<ObjectId, ContactAddress>>& items, DoneCallback done) {
   CallAddressBatches(&rpc_, leaf_, kGlsDeleteBatch, items, MakeWriteCallOptions(),
                      std::move(done));
+}
+
+namespace {
+
+// Shared by ClaimMaster and RenewMasterLease: route by hash to the leaf home
+// subnode (which forwards to the root arbiter) and unwrap the wire response.
+void CallOwnership(sim::Channel* rpc, const DirectoryRef& leaf,
+                   const sim::TypedMethod<ClaimWireRequest, ClaimWireResponse>& method,
+                   const MasterClaim& claim, sim::CallOptions options,
+                   GlsClient::ClaimCallback done) {
+  auto target = leaf.TryRoute(claim.oid);
+  if (!target.ok()) {
+    done(target.status());
+    return;
+  }
+  ClaimWireRequest request{claim.oid, claim.claimant, claim.known_epoch,
+                           claim.version, claim.lease_duration};
+  method.Call(rpc, *target, request,
+              [done = std::move(done)](Result<ClaimWireResponse> result) {
+                if (!result.ok()) {
+                  done(result.status());
+                  return;
+                }
+                done(ClaimOutcome{result->granted != 0, result->epoch,
+                                  result->master});
+              },
+              options);
+}
+
+}  // namespace
+
+void GlsClient::ClaimMaster(const MasterClaim& claim, ClaimCallback done) {
+  CallOwnership(&rpc_, leaf_, kGlsClaimMaster, claim, MakeWriteCallOptions(),
+                std::move(done));
+}
+
+void GlsClient::RenewMasterLease(const MasterClaim& claim, ClaimCallback done) {
+  CallOwnership(&rpc_, leaf_, kGlsRenewLease, claim, MakeWriteCallOptions(),
+                std::move(done));
 }
 
 void GlsClient::AllocateOid(OidCallback done) {

@@ -42,6 +42,12 @@
 //                           cache invalidation chained towards the root, fanned out
 //                           to every subnode of each ancestor node)
 //   gls.alloc_oid         : empty -> oid                    (OID allocation, §6.1)
+//   gls.claim_master      : oid, claimant, known epoch -> granted?, epoch, master
+//                           (master fail-over: epoch-fenced conditional ownership
+//                           update, arbitrated at the OID's root home subnode)
+//   gls.renew_lease       : oid, master, epoch -> granted?, epoch, master
+//                           (the incumbent master extends its ownership lease; a
+//                           rejection names the newer master to adopt)
 
 #ifndef SRC_GLS_DIRECTORY_H_
 #define SRC_GLS_DIRECTORY_H_
@@ -110,6 +116,10 @@ struct DirectoryRef {
 // issues the initial request).
 struct LookupWireRequest;
 
+// gls.claim_master / gls.renew_lease wire formats; defined in directory.cc.
+struct ClaimWireRequest;
+struct ClaimWireResponse;
+
 struct LookupResponse {
   std::vector<ContactAddress> addresses;
   uint32_t hops = 0;        // directory-to-directory messages traversed
@@ -137,15 +147,23 @@ struct GlsOptions {
   bool enable_cache = false;
   sim::SimTime cache_ttl = 30 * sim::kSecond;
   size_t cache_max_entries = 4096;
+  // TTL of negative (NotFound) cache entries: repeat misses for deleted or
+  // unknown OIDs are answered from the first cache on the climb path instead of
+  // re-walking to the root. Kept short because a registration whose mutation
+  // chain never touches this subnode only becomes visible here on expiry.
+  sim::SimTime cache_negative_ttl = LookupCache::kDefaultNegativeTtl;
 
   // Routing mode this subnode uses for the lookups it forwards (climbs, descents).
   RouteMode lookup_route_mode = RouteMode::kHashOnly;
 
   // Per-request processing cost of this subnode (0 = instantaneous). With a
-  // non-zero value requests queue FIFO on the subnode's single virtual CPU, which
+  // non-zero value requests queue FIFO on the subnode's virtual CPU pool, which
   // is what makes load imbalance visible as tail latency (see
   // bench_gls_partitioning's skew table).
   sim::SimTime service_time = 0;
+  // Virtual CPUs serving that queue (RpcServer::set_worker_pool_width): >1
+  // models a multi-core subnode machine.
+  int service_workers = 1;
 };
 
 struct SubnodeStats {
@@ -165,6 +183,10 @@ struct SubnodeStats {
   uint64_t batch_lookups = 0;        // gls.lookup_batch requests served
   uint64_t batch_inserts = 0;        // gls.insert_batch requests served
   uint64_t batch_deletes = 0;        // gls.delete_batch requests served
+  uint64_t negative_cache_hits = 0;  // lookups answered NotFound from the cache
+  uint64_t master_claims = 0;          // gls.claim_master arbitrated here (root)
+  uint64_t master_claims_granted = 0;  // claims that won the next epoch
+  uint64_t lease_renewals = 0;         // gls.renew_lease arbitrated here (root)
 };
 
 class DirectorySubnode {
@@ -193,16 +215,36 @@ class DirectorySubnode {
   size_t NumPointers(const ObjectId& oid) const;
   size_t TotalEntries() const;
   size_t CacheSize() const { return cache_.size(); }
+  size_t DedupEntries() const { return server_.dedup_entries(); }
+  // The master-ownership epoch this subnode arbitrates for `oid` (0 = no record
+  // — only the OID's root home subnode ever holds one).
+  uint64_t OwnerEpoch(const ObjectId& oid) const;
 
   // Persistence: "persistent storage of the state of a directory node (location
   // information and forwarding pointers)" with "a simple crash recovery mechanism"
-  // (paper §7). Cache contents ride along so a rebooted subnode resumes warm.
+  // (paper §7). Cache contents, master-ownership records and the RPC server's
+  // at-most-once dedup table ride along, so a subnode rebuilt from its checkpoint
+  // resumes warm, keeps arbitrating fail-over, and still replays duplicates of
+  // writes the pre-crash server executed.
   Bytes SaveState() const;
   Status RestoreState(ByteSpan data);
 
  private:
   static constexpr uint8_t kPhaseUp = 0;
   static constexpr uint8_t kPhaseDown = 1;
+
+  // Per-OID master-ownership record (fail-over): the current epoch, the address
+  // that holds it, and how long its lease runs. Kept only at the OID's root home
+  // subnode — the one node every claim deterministically routes to, which is
+  // what makes the conditional update a real arbitration.
+  struct OwnerRecord {
+    uint64_t epoch = 0;
+    ContactAddress master;
+    sim::SimTime lease_expires_at = 0;
+    // Acked-write high-water mark the master reported on its last renewal;
+    // non-incumbent claimants below it are refused (see MasterClaim::version).
+    uint64_t version_floor = 0;
+  };
 
   using LookupResponder = std::function<void(Result<LookupResponse>)>;
   using EmptyResponder = std::function<void(Result<sim::EmptyMessage>)>;
@@ -212,6 +254,11 @@ class DirectorySubnode {
   // Lookup core shared by gls.lookup and gls.lookup_batch: local addresses, then the
   // cache (when allowed), then pointer descent / sideways handoff / parent climb.
   void ResolveLookup(LookupWireRequest request, LookupResponder respond);
+
+  // gls.claim_master / gls.renew_lease core: forwarded strictly by hash towards
+  // the root, arbitrated against the OwnerRecord there.
+  void ResolveOwnership(bool is_claim, const ClaimWireRequest& request,
+                        std::function<void(Result<ClaimWireResponse>)> respond);
 
   // True when this subnode is not the hash home for `oid` on its own node (i.e. a
   // power-of-two alternate received the lookup).
@@ -259,6 +306,7 @@ class DirectorySubnode {
   std::map<sim::DomainId, DirectoryRef> children_;
   std::map<ObjectId, std::vector<ContactAddress>> addresses_;
   std::map<ObjectId, std::set<sim::DomainId>> pointers_;
+  std::map<ObjectId, OwnerRecord> owners_;
   LookupCache cache_;
   SubnodeStats stats_;
 };
@@ -269,6 +317,31 @@ struct LookupResult {
   int32_t found_depth = 0;
   int32_t apex_depth = 0;
   bool from_cache = false;
+};
+
+// One attempt to take (gls.claim_master) or keep (gls.renew_lease) mastership
+// of an object's replica group. `known_epoch` is the epoch the caller believes
+// is current: a claim is granted only if the record has not moved past it AND
+// the incumbent's lease has lapsed (or the caller is the incumbent), which is
+// the conditional update that makes concurrent claimants race safely.
+struct MasterClaim {
+  ObjectId oid;
+  ContactAddress claimant;
+  uint64_t known_epoch = 0;
+  // The claimant's applied write version. Renewals raise the record's
+  // version floor with it; claims below the floor are refused (the claimant
+  // is provably missing acknowledged writes), except from the incumbent —
+  // whose checkpoint restore is the one sanctioned rollback.
+  uint64_t version = 0;
+  sim::SimTime lease_duration = 5 * sim::kSecond;
+};
+
+// The arbiter's answer. Rejections carry the current record so losers (and
+// deposed masters) can adopt the winner.
+struct ClaimOutcome {
+  bool granted = false;
+  uint64_t epoch = 0;
+  ContactAddress master;
 };
 
 // Client-side stub: the run-time-system piece that talks to the leaf directory node
@@ -303,6 +376,18 @@ class GlsClient {
   void DeleteBatch(const std::vector<std::pair<ObjectId, ContactAddress>>& items,
                    DoneCallback done);
   void AllocateOid(OidCallback done);
+
+  // Master fail-over: races an epoch-fenced conditional ownership update to the
+  // OID's root home subnode (the leaf forwards strictly by hash). Exactly one
+  // concurrent claimant is granted the next epoch; everyone else gets the
+  // current record back. Executed at most once server-side, so the write retry
+  // budget cannot double-grant.
+  using ClaimCallback = std::function<void(Result<ClaimOutcome>)>;
+  void ClaimMaster(const MasterClaim& claim, ClaimCallback done);
+  // The incumbent extends its ownership lease; a rejection names the newer
+  // epoch/master to adopt. Idempotent (only a timestamp refresh), so it skips
+  // the dedup table.
+  void RenewMasterLease(const MasterClaim& claim, ClaimCallback done);
 
   // Default for the single-OID Lookup overload without an explicit flag.
   void set_allow_cached(bool allow) { allow_cached_ = allow; }

@@ -112,6 +112,21 @@ dso::ReplicationObject* ObjectServer::FindReplica(const gls::ObjectId& oid) {
   return it == replicas_.end() ? nullptr : it->second.replication.get();
 }
 
+dso::FailoverConfig ObjectServer::FailoverFor(const gls::ObjectId& oid) const {
+  dso::FailoverConfig failover;
+  failover.enabled = options_.enable_failover;
+  failover.oid = oid;
+  failover.leaf_directory = gls_.leaf_directory();
+  failover.lease_interval = options_.failover_lease_interval;
+  failover.lease_timeout = options_.failover_lease_timeout;
+  return failover;
+}
+
+gls::ContactAddress ObjectServer::CurrentAddress(const HostedReplica& replica) {
+  auto address = replica.replication->contact_address();
+  return address.has_value() ? *address : replica.registered_address;
+}
+
 void ObjectServer::CreateFirstReplica(gls::ProtocolId protocol, uint16_t semantics_type,
                                       CreateCallback done,
                                       std::vector<sec::PrincipalId> maintainers) {
@@ -219,6 +234,7 @@ void ObjectServer::InstallReplica(const gls::ObjectId& oid, gls::ProtocolId prot
   setup.role = role;
   setup.peers = std::move(peers);
   setup.write_guard = GuardFor(maintainers);
+  setup.failover = FailoverFor(oid);
   auto replica = dso::MakeReplica(protocol, std::move(setup));
   if (!replica.ok()) {
     done(replica.status());
@@ -269,7 +285,9 @@ void ObjectServer::RemoveReplica(const gls::ObjectId& oid,
     done(NotFound("no replica of " + oid.ToHex() + " hosted here"));
     return;
   }
-  gls::ContactAddress address = it->second.registered_address;
+  // Deregister what the replica advertises NOW: fail-over may have rewritten
+  // its role (and hence its GLS record) since the replica was installed.
+  gls::ContactAddress address = CurrentAddress(it->second);
   dso::ReplicationObject* replication = it->second.replication.get();
   replication->Shutdown([this, oid, address, done = std::move(done)](Status) {
     gls_.Delete(oid, address, [this, oid, done = std::move(done)](Status s) {
@@ -290,6 +308,7 @@ Bytes ObjectServer::Checkpoint() const {
     w.WriteU8(static_cast<uint8_t>(replica.role));
     replica.registered_address.Serialize(&w);
     w.WriteU64(replica.replication->version());
+    w.WriteU64(replica.replication->epoch());
     w.WriteVarint(replica.maintainers.size());
     for (sec::PrincipalId maintainer : replica.maintainers) {
       w.WriteU64(maintainer);
@@ -309,6 +328,7 @@ void ObjectServer::Restore(ByteSpan checkpoint, std::function<void(Status)> done
     gls::ReplicaRole role;
     gls::ContactAddress old_address;
     uint64_t version;
+    uint64_t epoch;
     std::vector<sec::PrincipalId> maintainers;
     Bytes state;
   };
@@ -328,6 +348,7 @@ void ObjectServer::Restore(ByteSpan checkpoint, std::function<void(Status)> done
       auto role = r.ReadU8();
       auto address = gls::ContactAddress::Deserialize(&r);
       auto version = r.ReadU64();
+      auto epoch = r.ReadU64();
       std::vector<sec::PrincipalId> maintainers;
       auto maintainer_count = r.ReadVarint();
       if (maintainer_count.ok()) {
@@ -342,13 +363,14 @@ void ObjectServer::Restore(ByteSpan checkpoint, std::function<void(Status)> done
       }
       auto state = r.ReadLengthPrefixed();
       if (!oid.ok() || !protocol.ok() || !semantics_type.ok() || !role.ok() ||
-          !address.ok() || !version.ok() || !maintainer_count.ok() || !state.ok()) {
+          !address.ok() || !version.ok() || !epoch.ok() || !maintainer_count.ok() ||
+          !state.ok()) {
         done(InvalidArgument("corrupt GOS checkpoint"));
         return;
       }
       entries.push_back(Entry{*oid, *protocol, *semantics_type,
                               static_cast<gls::ReplicaRole>(*role), *address, *version,
-                              std::move(maintainers), std::move(*state)});
+                              *epoch, std::move(maintainers), std::move(*state)});
     }
   }
 
@@ -389,6 +411,7 @@ void ObjectServer::Restore(ByteSpan checkpoint, std::function<void(Status)> done
     setup.semantics = std::move(*semantics);
     setup.role = entry.role;
     setup.write_guard = GuardFor(entry.maintainers);
+    setup.failover = FailoverFor(entry.oid);
     // Secondary replicas would need peers; restore keeps them in their role but they
     // re-register with the master lazily via the GLS addresses.
     if (entry.role != gls::ReplicaRole::kMaster) {
@@ -401,6 +424,7 @@ void ObjectServer::Restore(ByteSpan checkpoint, std::function<void(Status)> done
       continue;
     }
     (*replica)->set_version(entry.version);
+    (*replica)->set_epoch(entry.epoch);
 
     HostedReplica hosted;
     hosted.protocol = entry.protocol;
@@ -415,6 +439,21 @@ void ObjectServer::Restore(ByteSpan checkpoint, std::function<void(Status)> done
 
     stale.emplace_back(entry.oid, entry.old_address);
     fresh.emplace_back(entry.oid, new_address);
+
+    // With fail-over on, the rebuilt replica resumes its group role: a master
+    // re-claims (or discovers it lost) GLS mastership at its checkpointed
+    // epoch; a slave starts its lease watch (its recorded master peer is the
+    // stale pre-crash address, so the initial re-registration usually fails —
+    // the watch then claims, is refused, and adopts the live master from the
+    // GLS ownership record within about a lease timeout).
+    if (options_.enable_failover) {
+      replicas_.at(entry.oid).replication->Start([oid = entry.oid](Status s) {
+        if (!s.ok()) {
+          GLOG_WARN << "restored replica of " << oid.ToHex()
+                    << " could not resume its group role: " << s;
+        }
+      });
+    }
   }
 
   if (fresh.empty()) {
@@ -442,7 +481,9 @@ void ObjectServer::Decommission(std::function<void(Status)> done) {
   std::vector<std::pair<gls::ObjectId, gls::ContactAddress>> registered;
   std::vector<dso::ReplicationObject*> replications;
   for (auto& [oid, replica] : replicas_) {
-    registered.emplace_back(oid, replica.registered_address);
+    // Current addresses, not installation-time ones: a fail-over role change
+    // re-registered the replica under its new role.
+    registered.emplace_back(oid, CurrentAddress(replica));
     replications.push_back(replica.replication.get());
   }
 

@@ -202,6 +202,14 @@ struct GosOptions {
   bool enforce_authorization = false;
   // Guard installed on hosted replicas' write paths (see dso::WriteGuard).
   dso::WriteGuard replica_write_guard;
+  // GLS-driven master fail-over for hosted master/slave and active replicas
+  // (see dso::ReplicaGroup): masters lease their ownership through the GLS and
+  // broadcast renewals; slaves that miss renewals race gls.claim_master. Off by
+  // default — the lease timers keep the simulator queue non-empty, so tests
+  // that drain with Run() must opt in and drive time with RunUntil.
+  bool enable_failover = false;
+  sim::SimTime failover_lease_interval = 2 * sim::kSecond;
+  sim::SimTime failover_lease_timeout = 5 * sim::kSecond;
 };
 
 struct GosStats {
@@ -268,6 +276,12 @@ class ObjectServer {
   // The replica write guard for a package with the given maintainers: the world
   // guard passes, or the authenticated peer is one of the maintainers.
   dso::WriteGuard GuardFor(std::vector<sec::PrincipalId> maintainers) const;
+  // The fail-over wiring for a hosted replica of `oid` (disabled config when
+  // the server does not opt in).
+  dso::FailoverConfig FailoverFor(const gls::ObjectId& oid) const;
+  // The address a replica currently advertises — its registration may have been
+  // rewritten by a fail-over role change since InstallReplica recorded it.
+  static gls::ContactAddress CurrentAddress(const HostedReplica& replica);
   // Builds, starts and GLS-registers a replica; shared by both create paths.
   void InstallReplica(const gls::ObjectId& oid, gls::ProtocolId protocol,
                       uint16_t semantics_type, gls::ReplicaRole role,

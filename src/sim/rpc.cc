@@ -1,5 +1,6 @@
 #include "src/sim/rpc.h"
 
+#include <algorithm>
 #include <atomic>
 #include <cassert>
 
@@ -110,11 +111,13 @@ void RpcServer::OnDelivery(const TransportDelivery& delivery) {
     Dispatch(*method, *payload, context, id, dedup_key);
     return;
   }
-  // One virtual CPU: requests queue FIFO behind whatever is already being served.
+  // Requests queue FIFO behind whatever is already being served; with a pool
+  // width above one, the earliest-free virtual CPU takes the next request.
   Simulator* clock = transport_->simulator();
-  SimTime start = std::max(clock->Now(), busy_until_);
-  busy_until_ = start + service_time_;
-  clock->ScheduleAt(busy_until_, [this, alive = std::weak_ptr<bool>(alive_),
+  auto worker = std::min_element(worker_busy_until_.begin(), worker_busy_until_.end());
+  SimTime start = std::max(clock->Now(), *worker);
+  *worker = start + service_time_;
+  clock->ScheduleAt(*worker, [this, alive = std::weak_ptr<bool>(alive_),
                                   method = std::move(*method),
                                   payload = std::move(*payload), context, id,
                                   dedup_key]() {
@@ -191,6 +194,69 @@ void RpcServer::EvictExpiredDedup() {
     dedup_.erase(dedup_expiry_.front().second);
     dedup_expiry_.pop_front();
   }
+}
+
+void RpcServer::SerializeDedup(ByteWriter* writer) const {
+  // The expiry queue holds exactly the completed entries, in completion order
+  // (in-flight executions are keyed in dedup_ but never queued); filter
+  // defensively anyway so a checkpoint can never reference a missing entry.
+  std::vector<std::pair<SimTime, DedupKey>> live;
+  for (const auto& item : dedup_expiry_) {
+    auto it = dedup_.find(item.second);
+    if (it != dedup_.end() && it->second.completed) {
+      live.push_back(item);
+    }
+  }
+  writer->WriteVarint(live.size());
+  for (const auto& [expires_at, key] : live) {
+    const DedupEntry& entry = dedup_.at(key);
+    writer->WriteU32(key.first.node);
+    writer->WriteU16(key.first.port);
+    writer->WriteU64(key.second);
+    writer->WriteU64(expires_at);
+    if (entry.response.ok()) {
+      writer->WriteU8(static_cast<uint8_t>(StatusCode::kOk));
+      writer->WriteLengthPrefixed(entry.response.value());
+    } else {
+      writer->WriteU8(static_cast<uint8_t>(entry.response.status().code()));
+      writer->WriteString(entry.response.status().message());
+    }
+  }
+}
+
+Status RpcServer::RestoreDedup(ByteReader* reader) {
+  constexpr uint64_t kMaxRestoredEntries = 1 << 20;
+  std::map<DedupKey, DedupEntry> restored;
+  std::deque<std::pair<SimTime, DedupKey>> expiry;
+  ASSIGN_OR_RETURN(uint64_t count, reader->ReadVarint());
+  if (count > kMaxRestoredEntries) {
+    return InvalidArgument("implausible dedup entry count");
+  }
+  for (uint64_t i = 0; i < count; ++i) {
+    DedupKey key;
+    ASSIGN_OR_RETURN(key.first.node, reader->ReadU32());
+    ASSIGN_OR_RETURN(key.first.port, reader->ReadU16());
+    ASSIGN_OR_RETURN(key.second, reader->ReadU64());
+    DedupEntry entry;
+    entry.completed = true;
+    ASSIGN_OR_RETURN(entry.expires_at, reader->ReadU64());
+    ASSIGN_OR_RETURN(uint8_t code, reader->ReadU8());
+    if (code == static_cast<uint8_t>(StatusCode::kOk)) {
+      ASSIGN_OR_RETURN(Bytes payload, reader->ReadLengthPrefixed());
+      entry.response = std::move(payload);
+    } else {
+      if (code > static_cast<uint8_t>(StatusCode::kDataLoss)) {
+        return InvalidArgument("malformed dedup entry status");
+      }
+      ASSIGN_OR_RETURN(std::string message, reader->ReadString());
+      entry.response = Status(static_cast<StatusCode>(code), std::move(message));
+    }
+    expiry.emplace_back(entry.expires_at, key);
+    restored[key] = std::move(entry);
+  }
+  dedup_ = std::move(restored);
+  dedup_expiry_ = std::move(expiry);
+  return OkStatus();
 }
 
 void RpcServer::SendResponse(const Endpoint& client, uint64_t request_id,

@@ -151,11 +151,29 @@ class RpcServer {
   size_t dedup_entries() const { return dedup_.size(); }
 
   // Models request-processing cost: with a non-zero per-request service time,
-  // requests are dispatched FIFO from a single virtual CPU, so a hot server builds
-  // a queue and its observed latency grows with load. 0 (the default) dispatches
-  // inline with no delay, exactly as before.
+  // requests are dispatched FIFO from a pool of virtual CPUs (one by default), so
+  // a hot server builds a queue and its observed latency grows with load. 0 (the
+  // default) dispatches inline with no delay, exactly as before.
   void set_service_time(SimTime per_request) { service_time_ = per_request; }
   SimTime service_time() const { return service_time_; }
+
+  // Width of the virtual CPU pool behind set_service_time: with N workers up to N
+  // requests are served concurrently and the FIFO queue drains N-wide — the
+  // multi-core subnode model. Width 1 (the default) is the single-CPU behaviour.
+  void set_worker_pool_width(size_t width) {
+    worker_busy_until_.assign(width == 0 ? 1 : width, 0);
+  }
+  size_t worker_pool_width() const { return worker_busy_until_.size(); }
+
+  // Persistence of the at-most-once table: completed entries ride along in a
+  // host's checkpoint (mirroring how the GLS lookup cache rides in
+  // DirectorySubnode::SaveState), so a server rebuilt from a checkpoint across a
+  // crash still replays — instead of re-executing — duplicates of writes it
+  // already ran. In-flight executions are deliberately not persisted: they died
+  // with the process, and their retries should execute afresh on the rebuilt
+  // server.
+  void SerializeDedup(ByteWriter* writer) const;
+  Status RestoreDedup(ByteReader* reader);
 
   NodeId node() const { return node_; }
   uint16_t port() const { return port_; }
@@ -192,7 +210,7 @@ class RpcServer {
   std::map<std::string, MethodTraits> method_traits_;
   uint64_t requests_served_ = 0;
   SimTime service_time_ = 0;
-  SimTime busy_until_ = 0;
+  std::vector<SimTime> worker_busy_until_{0};  // one slot per virtual CPU
   std::map<DedupKey, DedupEntry> dedup_;
   std::deque<std::pair<SimTime, DedupKey>> dedup_expiry_;  // completion order
   SimTime dedup_ttl_ = kDefaultDedupTtl;

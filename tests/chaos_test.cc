@@ -557,6 +557,413 @@ TEST_P(ChaosSweepTest, RandomizedFaultScheduleConvergesAndReplaysIdentically) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ChaosSweepTest, ::testing::ValuesIn(ChaosSeeds()));
 
+// ------------------------------------------------------- master fail-over
+
+// ChaosWorld with the GOS fail-over machinery switched on. The lease timers
+// keep the simulator queue non-empty, so everything here drives virtual time
+// with RunUntil instead of draining with Run().
+struct FailoverWorld {
+  explicit FailoverWorld(uint64_t seed) : world(sim::BuildUniformWorld({2, 2}, 2)) {
+    sim::NetworkOptions network_options;
+    network_options.rng_seed = seed;
+    network = std::make_unique<sim::Network>(&simulator, &world.topology,
+                                             network_options);
+    transport = std::make_unique<sim::PlainTransport>(network.get());
+    gls::GlsDeploymentOptions deployment_options;
+    deployment_options.node_options.enable_cache = true;
+    deployment_options.rng_seed = seed;
+    deployment = std::make_unique<gls::GlsDeployment>(
+        transport.get(), &world.topology, nullptr, deployment_options);
+    repository.RegisterSemantics(std::make_unique<CounterObject>());
+    gos::GosOptions gos_options;
+    gos_options.enable_failover = true;
+    gos_a = std::make_unique<gos::ObjectServer>(
+        transport.get(), world.hosts[0], &repository,
+        deployment->LeafDirectoryFor(world.hosts[0]), nullptr, gos_options);
+    gos_b = std::make_unique<gos::ObjectServer>(
+        transport.get(), world.hosts[6], &repository,
+        deployment->LeafDirectoryFor(world.hosts[6]), nullptr, gos_options);
+    gos_c = std::make_unique<gos::ObjectServer>(
+        transport.get(), world.hosts[2], &repository,
+        deployment->LeafDirectoryFor(world.hosts[2]), nullptr, gos_options);
+  }
+
+  void RunFor(SimTime duration) { simulator.RunUntil(simulator.Now() + duration); }
+
+  std::pair<ObjectId, gls::ContactAddress> CreateMaster() {
+    ObjectId oid;
+    gls::ContactAddress address;
+    Status status = Unavailable("pending");
+    gos_a->CreateFirstReplica(
+        dso::kProtoMasterSlave, CounterObject::kTypeId,
+        [&](Result<std::pair<ObjectId, gls::ContactAddress>> r) {
+          if (r.ok()) {
+            oid = r->first;
+            address = r->second;
+            status = OkStatus();
+          } else {
+            status = r.status();
+          }
+        });
+    RunFor(10 * kSecond);
+    EXPECT_TRUE(status.ok()) << status;
+    return {oid, address};
+  }
+
+  gls::ContactAddress CreateSlave(gos::ObjectServer* gos, const ObjectId& oid) {
+    gls::ContactAddress address;
+    Status status = Unavailable("pending");
+    gos->CreateReplica(oid, CounterObject::kTypeId, gls::ReplicaRole::kSlave,
+                       [&](Result<std::pair<ObjectId, gls::ContactAddress>> r) {
+                         if (r.ok()) {
+                           address = r->second;
+                           status = OkStatus();
+                         } else {
+                           status = r.status();
+                         }
+                       });
+    RunFor(10 * kSecond);
+    EXPECT_TRUE(status.ok()) << status;
+    return address;
+  }
+
+  // The root home subnode arbitrating `oid` (where the OwnerRecord lives).
+  const gls::DirectorySubnode* RootArbiter(const ObjectId& oid) {
+    const gls::DirectorySubnode* root = nullptr;
+    for (const auto& subnode : deployment->subnodes()) {
+      if (subnode->depth() == 0 && subnode->OwnerEpoch(oid) > 0) {
+        root = subnode.get();
+      }
+    }
+    return root;
+  }
+
+  sim::Simulator simulator;
+  sim::UniformWorld world;
+  std::unique_ptr<sim::Network> network;
+  std::unique_ptr<sim::PlainTransport> transport;
+  std::unique_ptr<gls::GlsDeployment> deployment;
+  dso::ImplementationRepository repository;
+  std::unique_ptr<gos::ObjectServer> gos_a, gos_b, gos_c;
+};
+
+// The headline scenario: the master crashes mid-push. The slave detects the
+// missed lease renewals, wins gls.claim_master for epoch 2, re-registers as
+// the master-role contact address, and serves writes — with every previously
+// acknowledged write intact (the acked-write floor).
+TEST(ChaosFailoverTest, MasterCrashMidPushElectsSlaveWithoutLosingAckedWrites) {
+  FailoverWorld w(0xFA11);
+  auto [oid, master_address] = w.CreateMaster();
+  gls::ContactAddress slave_address = w.CreateSlave(w.gos_b.get(), oid);
+  NodeId master_host = master_address.endpoint.node;
+  sim::Channel client(w.transport.get(), w.world.hosts[3]);
+
+  // An acknowledged write: pushed to the slave before the master acks, so it
+  // must survive the fail-over no matter what.
+  Result<Bytes> acked = Unavailable("pending");
+  dso::kDsoInvoke.Call(&client, master_address.endpoint, CounterAdd("k", 5),
+                       [&](Result<Bytes> r) { acked = std::move(r); },
+                       sim::WriteCallOptions());
+  w.RunFor(5 * kSecond);
+  ASSERT_TRUE(acked.ok()) << acked.status();
+
+  // Mid-push crash: issue a write and power the master off while it is in
+  // flight. Whether the push reached the slave is irrelevant — the master died
+  // before acknowledging, so the write is outside the floor.
+  SimTime crash_at = w.simulator.Now() + 50 * kMillisecond;
+  dso::kDsoInvoke.Call(&client, master_address.endpoint, CounterAdd("mid", 3),
+                       [](Result<Bytes>) {}, sim::WriteCallOptions());
+  w.simulator.ScheduleAt(crash_at, [&w, master_host = master_host] {
+    w.network->CrashNode(master_host);
+  });
+
+  // Election: the slave misses renewals, claims, and wins epoch 2.
+  w.RunFor(20 * kSecond);
+  dso::ReplicationObject* new_master = w.gos_b->FindReplica(oid);
+  ASSERT_NE(new_master, nullptr);
+  EXPECT_EQ(new_master->contact_address()->role, gls::ReplicaRole::kMaster);
+  EXPECT_EQ(new_master->epoch(), 2u);
+  ASSERT_NE(new_master->group(), nullptr);
+  EXPECT_EQ(new_master->group()->stats().claims_won, 1u);
+  // Time to new master: bounded by lease timeout + watch cadence + one claim
+  // round trip (plus one spurious-rejection cycle at worst).
+  EXPECT_LE(new_master->group()->stats().elected_at,
+            crash_at + 15 * kSecond);
+
+  // The arbiter granted exactly one takeover: epoch 2, held by the old slave.
+  const gls::DirectorySubnode* arbiter = w.RootArbiter(oid);
+  ASSERT_NE(arbiter, nullptr);
+  EXPECT_EQ(arbiter->OwnerEpoch(oid), 2u);
+
+  // The GLS now serves a master-role contact address at the new master. (Ask
+  // from the new master's continent: lookups resolve the nearest subtree, and
+  // the crashed master's stale registration still sits in the other one until
+  // it restarts or is decommissioned.)
+  std::unique_ptr<gls::GlsClient> gls = w.deployment->MakeClient(w.world.hosts[7]);
+  Result<gls::LookupResult> lookup = Unavailable("pending");
+  gls->Lookup(oid, [&](Result<gls::LookupResult> r) { lookup = std::move(r); });
+  w.RunFor(5 * kSecond);
+  ASSERT_TRUE(lookup.ok()) << lookup.status();
+  bool new_master_registered = false;
+  for (const gls::ContactAddress& address : lookup->addresses) {
+    if (address.endpoint == slave_address.endpoint) {
+      EXPECT_EQ(address.role, gls::ReplicaRole::kMaster);
+      new_master_registered = true;
+    }
+  }
+  EXPECT_TRUE(new_master_registered);
+
+  // The acked floor holds, the unacked mid-push write executed at most once,
+  // and the new master serves writes.
+  Result<Bytes> after = Unavailable("pending");
+  dso::kDsoInvoke.Call(&client, slave_address.endpoint, CounterAdd("after", 2),
+                       [&](Result<Bytes> r) { after = std::move(r); },
+                       sim::WriteCallOptions());
+  w.RunFor(5 * kSecond);
+  ASSERT_TRUE(after.ok()) << after.status();
+  std::map<std::string, uint64_t> state =
+      ParseCounterState(new_master->semantics()->GetState());
+  EXPECT_EQ(state.at("k"), 5u);
+  EXPECT_EQ(state.at("after"), 2u);
+  EXPECT_LE(state.count("mid") > 0 ? state.at("mid") : 0, 3u);
+}
+
+// A timed partition produces a stale master: the group elects a successor
+// behind its back, and once the partition heals the old master's epoch-fenced
+// traffic is refused, it demotes itself, adopts the winner and re-syncs.
+TEST(ChaosFailoverTest, PartitionedStaleMasterIsEpochFencedAndDemotes) {
+  FailoverWorld w(0x9A57);
+  auto [oid, master_address] = w.CreateMaster();
+  gls::ContactAddress slave_address = w.CreateSlave(w.gos_b.get(), oid);
+  NodeId master_host = master_address.endpoint.node;
+  NodeId slave_host = w.gos_b->host();
+  NodeId client_host = w.world.hosts[3];
+  sim::Channel client(w.transport.get(), client_host);
+
+  std::map<std::string, uint64_t> issued;
+  std::map<std::string, uint64_t> acked;
+  auto write = [&](const std::string& key, uint64_t delta, sim::Endpoint target,
+                   SimTime at) {
+    issued[key] += delta;
+    w.simulator.ScheduleAt(at, [&w, &client, &acked, key, delta, target] {
+      sim::CallOptions options = sim::WriteCallOptions(2 * kSecond);
+      dso::kDsoInvoke.Call(&client, target, CounterAdd(key, delta),
+                           [&acked, key, delta](Result<Bytes> r) {
+                             if (r.ok()) {
+                               acked[key] += delta;
+                             }
+                           },
+                           options);
+    });
+  };
+
+  // Acked before the trouble starts.
+  write("k", 5, master_address.endpoint, w.simulator.Now() + 100 * kMillisecond);
+  w.RunFor(5 * kSecond);
+  ASSERT_EQ(acked.at("k"), 5u);
+
+  // Cut the master off from the slave, the client AND every directory host for
+  // 20 s: it can neither renew its GLS lease nor reach its group.
+  SimTime partition_start = w.simulator.Now();
+  constexpr SimTime kPartition = 20 * kSecond;
+  w.network->PartitionPair(master_host, slave_host, kPartition);
+  w.network->PartitionPair(master_host, client_host, kPartition);
+  for (const auto& subnode : w.deployment->subnodes()) {
+    w.network->PartitionPair(master_host, subnode->host(), kPartition);
+  }
+
+  // A write aimed at the stale master during the partition cannot execute (the
+  // client is cut off from it) — issued, never acked, never landed.
+  write("during", 1, master_address.endpoint, partition_start + 8 * kSecond);
+  // Writes keep flowing once the slave has been elected.
+  write("elected", 4, slave_address.endpoint, partition_start + 15 * kSecond);
+
+  // Shortly after the heal, a write still aimed at the old master: either its
+  // push is epoch-fenced (write refused, master demotes) or the master already
+  // demoted and forwards it to the new master (write acked).
+  write("late", 2, master_address.endpoint,
+        partition_start + kPartition + 100 * kMillisecond);
+
+  w.RunFor(kPartition + 25 * kSecond);
+
+  dso::ReplicationObject* old_master = w.gos_a->FindReplica(oid);
+  dso::ReplicationObject* new_master = w.gos_b->FindReplica(oid);
+  ASSERT_NE(old_master, nullptr);
+  ASSERT_NE(new_master, nullptr);
+
+  // The group re-elected behind the partition and fenced the stale master out:
+  // the old master was refused under the new epoch at least once, demoted
+  // itself exactly once, and both replicas agree on epoch 2 with the old
+  // master now a slave of the new one.
+  EXPECT_EQ(new_master->contact_address()->role, gls::ReplicaRole::kMaster);
+  EXPECT_EQ(old_master->contact_address()->role, gls::ReplicaRole::kSlave);
+  EXPECT_EQ(new_master->epoch(), 2u);
+  EXPECT_EQ(old_master->epoch(), 2u);
+  EXPECT_GE(new_master->group()->stats().stale_rejected, 1u);
+  EXPECT_EQ(old_master->group()->stats().demotions, 1u);
+  EXPECT_EQ(new_master->group()->stats().claims_won, 1u);
+
+  // Converged: the demoted master re-registered and adopted the winner's
+  // state; a final write through the NEW master reaches both.
+  write("sync", 1, slave_address.endpoint, w.simulator.Now() + kSecond);
+  w.RunFor(10 * kSecond);
+  Bytes new_state = new_master->semantics()->GetState();
+  Bytes old_state = old_master->semantics()->GetState();
+  EXPECT_EQ(new_state, old_state);
+  EXPECT_EQ(new_master->version(), old_master->version());
+
+  // Acked floor and issued ceiling hold across the whole schedule.
+  std::map<std::string, uint64_t> state = ParseCounterState(new_state);
+  for (const auto& [key, value] : state) {
+    EXPECT_LE(value, issued[key]) << key;
+  }
+  for (const auto& [key, value] : acked) {
+    EXPECT_GE(state.count(key) > 0 ? state.at(key) : 0, value) << key;
+  }
+  EXPECT_EQ(state.count("during"), 0u);  // never reached the stale master
+  EXPECT_EQ(state.at("sync"), 1u);
+}
+
+// -------------------------------------- fail-over under loss + determinism
+
+struct FailoverSummary {
+  uint64_t executed_events = 0;
+  std::string state_hash;
+  uint64_t winner_epoch = 0;
+  int masters = 0;
+  uint64_t claims_won_total = 0;
+  size_t acked_writes = 0;
+
+  bool operator==(const FailoverSummary&) const = default;
+};
+
+// Two slaves race a re-election through 10% per-link loss on every slave <->
+// directory link: exactly one must win, the loser adopts it, and the healed
+// group converges — byte-identically across replays of the same seed.
+FailoverSummary RunFailoverScenario(uint64_t seed) {
+  FailoverWorld w(seed);
+  auto [oid, master_address] = w.CreateMaster();
+  w.CreateSlave(w.gos_b.get(), oid);
+  w.CreateSlave(w.gos_c.get(), oid);
+  NodeId master_host = master_address.endpoint.node;
+  sim::Channel client(w.transport.get(), w.world.hosts[3]);
+
+  std::map<std::string, uint64_t> issued, acked;
+  size_t acked_writes = 0;
+  auto write = [&](const std::string& key, uint64_t delta, sim::Endpoint target,
+                   SimTime at) {
+    issued[key] += delta;
+    w.simulator.ScheduleAt(at, [&w, &client, &acked, &acked_writes, key, delta,
+                                target] {
+      dso::kDsoInvoke.Call(&client, target, CounterAdd(key, delta),
+                           [&acked, &acked_writes, key, delta](Result<Bytes> r) {
+                             if (r.ok()) {
+                               acked[key] += delta;
+                               ++acked_writes;
+                             }
+                           },
+                           sim::WriteCallOptions(2 * kSecond));
+    });
+  };
+
+  for (int i = 0; i < 4; ++i) {
+    std::string key{'k', static_cast<char>('0' + i)};
+    write(key, i + 1, master_address.endpoint,
+          w.simulator.Now() + (i + 1) * 300 * kMillisecond);
+  }
+  w.RunFor(5 * kSecond);
+
+  // 10% loss on every slave <-> directory link, both directions: claims,
+  // registrations and GLS re-registrations must retry through it.
+  std::vector<NodeId> slave_hosts = {w.gos_b->host(), w.gos_c->host()};
+  for (NodeId slave : slave_hosts) {
+    for (const auto& subnode : w.deployment->subnodes()) {
+      w.network->SetLinkDropProbability(slave, subnode->host(), 0.10);
+      w.network->SetLinkDropProbability(subnode->host(), slave, 0.10);
+    }
+  }
+  w.network->CrashNode(master_host);
+  w.RunFor(30 * kSecond);
+
+  dso::ReplicationObject* replica_b = w.gos_b->FindReplica(oid);
+  dso::ReplicationObject* replica_c = w.gos_c->FindReplica(oid);
+  EXPECT_NE(replica_b, nullptr);
+  EXPECT_NE(replica_c, nullptr);
+  if (replica_b == nullptr || replica_c == nullptr) {
+    return {};
+  }
+
+  // Exactly one winner; the loser follows it.
+  int masters = 0;
+  dso::ReplicationObject* winner = nullptr;
+  for (dso::ReplicationObject* replica : {replica_b, replica_c}) {
+    if (replica->contact_address()->role == gls::ReplicaRole::kMaster) {
+      ++masters;
+      winner = replica;
+    }
+  }
+  EXPECT_EQ(masters, 1);
+  if (winner == nullptr) {
+    return {};
+  }
+  uint64_t claims_won_total = replica_b->group()->stats().claims_won +
+                              replica_c->group()->stats().claims_won;
+  EXPECT_EQ(claims_won_total, 1u);
+
+  // Heal the loss and push one final write through the winner: the group must
+  // converge on identical state.
+  for (NodeId slave : slave_hosts) {
+    for (const auto& subnode : w.deployment->subnodes()) {
+      w.network->ClearLinkDropProbability(slave, subnode->host());
+      w.network->ClearLinkDropProbability(subnode->host(), slave);
+    }
+  }
+  write("sync", 1, winner->contact_address()->endpoint,
+        w.simulator.Now() + kSecond);
+  w.RunFor(15 * kSecond);
+
+  Bytes state_b = replica_b->semantics()->GetState();
+  Bytes state_c = replica_c->semantics()->GetState();
+  EXPECT_EQ(state_b, state_c);
+  EXPECT_EQ(replica_b->version(), replica_c->version());
+
+  std::map<std::string, uint64_t> state = ParseCounterState(state_b);
+  for (const auto& [key, value] : state) {
+    EXPECT_LE(value, issued[key]) << key;
+  }
+  for (const auto& [key, value] : acked) {
+    EXPECT_GE(state.count(key) > 0 ? state.at(key) : 0, value) << key;
+  }
+  EXPECT_EQ(state.at("sync"), 1u);
+
+  FailoverSummary summary;
+  summary.executed_events = w.simulator.executed_events();
+  summary.state_hash = Sha256::HexDigest(state_b) + Sha256::HexDigest(state_c);
+  summary.winner_epoch = winner->epoch();
+  summary.masters = masters;
+  summary.claims_won_total = claims_won_total;
+  summary.acked_writes = acked_writes;
+  return summary;
+}
+
+class ChaosFailoverSweepTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ChaosFailoverSweepTest, ReElectionUnderLossConvergesAndReplaysIdentically) {
+  FailoverSummary first = RunFailoverScenario(GetParam());
+  EXPECT_EQ(first.masters, 1);
+  EXPECT_GE(first.winner_epoch, 2u);
+  EXPECT_GT(first.acked_writes, 0u);
+  // Determinism: the same seed replays the identical election — same event
+  // count, same winner, same converged state bytes.
+  FailoverSummary second = RunFailoverScenario(GetParam());
+  EXPECT_EQ(first.executed_events, second.executed_events);
+  EXPECT_EQ(first.state_hash, second.state_hash);
+  EXPECT_TRUE(first == second);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ChaosFailoverSweepTest,
+                         ::testing::ValuesIn(ChaosSeeds()));
+
 // ----------------------------------------------------------- decommissioning
 
 class ChaosDecommissionTest : public ::testing::TestWithParam<uint64_t> {};

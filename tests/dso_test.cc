@@ -131,7 +131,8 @@ class ProtocolTest : public ::testing::Test {
   // Synchronous invoke helper.
   Result<Bytes> InvokeSync(ReplicationObject* replication, const Invocation& invocation) {
     Result<Bytes> out = Unavailable("pending");
-    replication->Invoke(invocation, [&](Result<Bytes> result) { out = std::move(result); });
+    replication->Invoke(invocation,
+                        [&](Result<Bytes> result) { out = std::move(result); });
     simulator_.Run();
     return out;
   }
@@ -259,6 +260,33 @@ TEST_F(ProtocolTest, MasterSlaveUnregisterStopsPushes) {
   EXPECT_EQ(slave.version(), 0u);  // no longer updated
 }
 
+TEST_F(ProtocolTest, StaleEpochPushIsFencedAndWriteNotAcked) {
+  MasterSlaveMaster master(&transport_, world_.hosts[0], std::make_unique<MapObject>());
+  MasterSlaveSlave slave(&transport_, world_.hosts[2], std::make_unique<MapObject>(),
+                         master.contact_address()->endpoint);
+  StartSync(&slave);
+
+  // The slave moved to a newer membership epoch (as it would after adopting an
+  // elected master): the old master's push must be refused and — since an
+  // unreplicated write must not be acknowledged — the write fails.
+  slave.set_epoch(7);
+  auto result = InvokeSync(&master, Put("k", "v"));
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(slave.version(), 0u);  // the fenced push was never applied
+  EXPECT_EQ(master.group()->stats().pushes_fenced, 1u);
+  EXPECT_EQ(slave.group()->stats().stale_rejected, 1u);
+}
+
+TEST_F(ProtocolTest, RoleTransitionTableIsEnforced) {
+  EXPECT_TRUE(RoleTransitionAllowed(GroupRole::kSlave, GroupRole::kMaster));
+  EXPECT_TRUE(RoleTransitionAllowed(GroupRole::kMaster, GroupRole::kSlave));
+  EXPECT_FALSE(RoleTransitionAllowed(GroupRole::kCache, GroupRole::kMaster));
+  EXPECT_FALSE(RoleTransitionAllowed(GroupRole::kMaster, GroupRole::kCache));
+  EXPECT_FALSE(RoleTransitionAllowed(GroupRole::kPeer, GroupRole::kMaster));
+  EXPECT_TRUE(RoleTransitionAllowed(GroupRole::kMaster, GroupRole::kMaster));
+}
+
 // ---------------------------------------------------------------- Active replication
 
 TEST_F(ProtocolTest, ActiveReplicationAppliesWritesEverywhere) {
@@ -315,6 +343,21 @@ TEST_F(ProtocolTest, ActiveReplicationLateJoinerGetsSnapshot) {
   StartSync(&late);
   EXPECT_EQ(late.version(), 2u);
   EXPECT_EQ(GetSync(&late, "b"), "2");
+}
+
+TEST_F(ProtocolTest, StaleEpochApplyIsFencedAtActiveMembers) {
+  ActiveReplMember sequencer(&transport_, world_.hosts[0], std::make_unique<MapObject>(),
+                             sim::Endpoint{sim::kNoNode, 0});
+  ActiveReplMember member(&transport_, world_.hosts[2], std::make_unique<MapObject>(),
+                          sequencer.contact_address()->endpoint);
+  StartSync(&member);
+
+  member.set_epoch(3);
+  auto result = InvokeSync(&sequencer, Put("k", "v"));
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(member.version(), 0u);
+  EXPECT_EQ(sequencer.group()->stats().pushes_fenced, 1u);
 }
 
 // ---------------------------------------------------------------- Cache/invalidate

@@ -591,12 +591,17 @@ TEST_F(GlsCacheTest, LookupAfterDeleteNeverServesStaleCache) {
   }
 
   ASSERT_TRUE(DeleteAt(oid, world_.hosts[0]).ok());
+  uint64_t positive_hits_after_delete = deployment_.TotalStats().cache_hits;
   auto result = LookupFrom(oid, world_.hosts[8], /*allow_cached=*/true);
   ASSERT_FALSE(result.ok());
   EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
-  for (const auto& subnode : deployment_.subnodes()) {
-    EXPECT_EQ(subnode->CacheSize(), 0u) << subnode->domain();
-  }
+  // That miss may plant short-TTL negative entries on its climb path; what must
+  // be gone everywhere is any positive entry still naming the deleted address —
+  // repeat lookups stay NotFound and never hit a positive cache entry.
+  auto repeat = LookupFrom(oid, world_.hosts[8], /*allow_cached=*/true);
+  ASSERT_FALSE(repeat.ok());
+  EXPECT_EQ(repeat.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(deployment_.TotalStats().cache_hits, positive_hits_after_delete);
 }
 
 TEST_F(GlsCacheTest, PartialDeleteInvalidatesAncestorCaches) {
@@ -1063,6 +1068,211 @@ TEST_F(GlsTreeTest, HashOnlyRoutingNeverForwardsSideways) {
   for (const auto& subnode : deployment_.subnodes()) {
     EXPECT_EQ(subnode->stats().forwards_sideways, 0u);
   }
+}
+
+// ---------------------------------------------------------- Negative caching
+
+TEST_F(GlsCacheTest, NegativeCacheAbsorbsRepeatMisses) {
+  ObjectId oid = ObjectId::Generate(&rng_);
+
+  // First miss climbs to the root; the NotFound answer plants short-TTL
+  // negative entries at every node that forwarded the climb.
+  auto first = LookupFrom(oid, world_.hosts[8], /*allow_cached=*/true);
+  ASSERT_FALSE(first.ok());
+  EXPECT_EQ(first.status().code(), StatusCode::kNotFound);
+  uint64_t climbs_after_first = deployment_.TotalStats().forwards_up;
+  EXPECT_GT(climbs_after_first, 0u);
+
+  // The repeat miss is absorbed at the leaf: NotFound again, zero new climbs.
+  auto repeat = LookupFrom(oid, world_.hosts[8], /*allow_cached=*/true);
+  ASSERT_FALSE(repeat.ok());
+  EXPECT_EQ(repeat.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(deployment_.TotalStats().forwards_up, climbs_after_first);
+  EXPECT_GE(deployment_.TotalStats().negative_cache_hits, 1u);
+
+  // A lookup that does not allow cached answers still re-walks and is never
+  // served the negative entry.
+  auto strict = LookupFrom(oid, world_.hosts[8], /*allow_cached=*/false);
+  ASSERT_FALSE(strict.ok());
+  EXPECT_GT(deployment_.TotalStats().forwards_up, climbs_after_first);
+
+  // Registering the OID in the looker's own domain invalidates the negative
+  // entries on the whole install chain (leaf included): the next cached lookup
+  // resolves immediately.
+  InsertAt(oid, world_.hosts[9]);  // same site (and leaf) as hosts[8]
+  auto found = LookupFrom(oid, world_.hosts[8], /*allow_cached=*/true);
+  ASSERT_TRUE(found.ok()) << found.status();
+  ASSERT_EQ(found->addresses.size(), 1u);
+  EXPECT_EQ(found->addresses[0].endpoint.node, world_.hosts[9]);
+}
+
+TEST_F(GlsCacheTest, NegativeEntriesExpireAfterTheirShortTtl) {
+  ObjectId oid = ObjectId::Generate(&rng_);
+  ASSERT_FALSE(LookupFrom(oid, world_.hosts[8], /*allow_cached=*/true).ok());
+
+  // Register the OID on the OTHER continent: its install chain never touches
+  // hosts[8]'s climb path, so the stale negative entry is served...
+  InsertAt(oid, world_.hosts[0]);
+  auto stale = LookupFrom(oid, world_.hosts[8], /*allow_cached=*/true);
+  ASSERT_FALSE(stale.ok());
+  EXPECT_EQ(stale.status().code(), StatusCode::kNotFound);
+
+  // ...only until the short negative TTL lapses; then the lookup resolves.
+  sim::SimTime negative_ttl = LookupCache::kDefaultNegativeTtl;
+  simulator_.ScheduleAfter(negative_ttl + sim::kSecond, [] {});
+  simulator_.Run();
+  auto fresh = LookupFrom(oid, world_.hosts[8], /*allow_cached=*/true);
+  ASSERT_TRUE(fresh.ok()) << fresh.status();
+  ASSERT_EQ(fresh->addresses.size(), 1u);
+  EXPECT_EQ(fresh->addresses[0].endpoint.node, world_.hosts[0]);
+}
+
+// ------------------------------------------------- Master-ownership records
+
+class GlsOwnershipTest : public GlsTreeTest {
+ protected:
+  Result<ClaimOutcome> Claim(const ObjectId& oid, const ContactAddress& claimant,
+                             uint64_t known_epoch, NodeId from, bool renew = false,
+                             uint64_t version = 0) {
+    auto client = deployment_.MakeClient(from);
+    MasterClaim claim{oid, claimant, known_epoch, version,
+                      /*lease_duration=*/5 * sim::kSecond};
+    Result<ClaimOutcome> out = Unavailable("pending");
+    auto done = [&](Result<ClaimOutcome> result) { out = std::move(result); };
+    if (renew) {
+      client->RenewMasterLease(claim, done);
+    } else {
+      client->ClaimMaster(claim, done);
+    }
+    simulator_.Run();
+    return out;
+  }
+
+  const DirectorySubnode* Root() const {
+    for (const auto& subnode : deployment_.subnodes()) {
+      if (subnode->depth() == 0) {
+        return subnode.get();
+      }
+    }
+    return nullptr;
+  }
+};
+
+TEST_F(GlsOwnershipTest, ClaimMasterArbitratesEpochsAndLeases) {
+  Rng rng(7);
+  ObjectId oid = ObjectId::Generate(&rng);
+  ContactAddress a{{world_.hosts[0], sim::kPortGos}, 2, ReplicaRole::kMaster};
+  ContactAddress b{{world_.hosts[10], sim::kPortGos}, 2, ReplicaRole::kMaster};
+
+  // Vacant record: the first claim wins epoch 1.
+  auto first = Claim(oid, a, /*known_epoch=*/0, world_.hosts[0]);
+  ASSERT_TRUE(first.ok()) << first.status();
+  EXPECT_TRUE(first->granted);
+  EXPECT_EQ(first->epoch, 1u);
+  EXPECT_EQ(first->master.endpoint, a.endpoint);
+
+  // A rival with the right epoch but an unexpired incumbent lease is refused
+  // and told who holds mastership.
+  auto rival = Claim(oid, b, /*known_epoch=*/1, world_.hosts[10]);
+  ASSERT_TRUE(rival.ok());
+  EXPECT_FALSE(rival->granted);
+  EXPECT_EQ(rival->epoch, 1u);
+  EXPECT_EQ(rival->master.endpoint, a.endpoint);
+
+  // A stale-epoch claim is refused regardless of the lease.
+  auto stale = Claim(oid, b, /*known_epoch=*/0, world_.hosts[10]);
+  ASSERT_TRUE(stale.ok());
+  EXPECT_FALSE(stale->granted);
+
+  // Once the incumbent's lease lapses, the same rival claim is granted epoch 2.
+  simulator_.ScheduleAfter(6 * sim::kSecond, [] {});
+  simulator_.Run();
+  auto takeover = Claim(oid, b, /*known_epoch=*/1, world_.hosts[10]);
+  ASSERT_TRUE(takeover.ok());
+  EXPECT_TRUE(takeover->granted);
+  EXPECT_EQ(takeover->epoch, 2u);
+
+  // The deposed master's renewal is rejected and names the winner; the
+  // incumbent's own renewal extends the lease.
+  auto deposed = Claim(oid, a, /*known_epoch=*/1, world_.hosts[0], /*renew=*/true);
+  ASSERT_TRUE(deposed.ok());
+  EXPECT_FALSE(deposed->granted);
+  EXPECT_EQ(deposed->epoch, 2u);
+  EXPECT_EQ(deposed->master.endpoint, b.endpoint);
+  auto renewed = Claim(oid, b, /*known_epoch=*/2, world_.hosts[10], /*renew=*/true);
+  ASSERT_TRUE(renewed.ok());
+  EXPECT_TRUE(renewed->granted);
+
+  // All arbitration happened at the OID's root home subnode.
+  const DirectorySubnode* root = Root();
+  ASSERT_NE(root, nullptr);
+  EXPECT_EQ(root->OwnerEpoch(oid), 2u);
+  EXPECT_EQ(root->stats().master_claims, 4u);
+  EXPECT_EQ(root->stats().master_claims_granted, 2u);
+  EXPECT_EQ(root->stats().lease_renewals, 2u);
+}
+
+TEST_F(GlsOwnershipTest, VersionFloorBlocksStaleClaimants) {
+  Rng rng(9);
+  ObjectId oid = ObjectId::Generate(&rng);
+  ContactAddress a{{world_.hosts[0], sim::kPortGos}, 2, ReplicaRole::kMaster};
+  ContactAddress b{{world_.hosts[10], sim::kPortGos}, 2, ReplicaRole::kMaster};
+
+  ASSERT_TRUE(Claim(oid, a, 0, world_.hosts[0])->granted);
+  // The incumbent's renewal reports 7 acked writes: the floor rises.
+  ASSERT_TRUE(
+      Claim(oid, a, 1, world_.hosts[0], /*renew=*/true, /*version=*/7)->granted);
+
+  simulator_.ScheduleAfter(6 * sim::kSecond, [] {});
+  simulator_.Run();  // the lease lapses: mastership is takeable
+
+  // A claimant missing acked writes (version 3 < floor 7) is refused even
+  // though the lease lapsed; one at the floor is elected.
+  auto stale = Claim(oid, b, 1, world_.hosts[10], /*renew=*/false, /*version=*/3);
+  ASSERT_TRUE(stale.ok());
+  EXPECT_FALSE(stale->granted);
+  auto fresh = Claim(oid, b, 1, world_.hosts[10], /*renew=*/false, /*version=*/7);
+  ASSERT_TRUE(fresh.ok());
+  EXPECT_TRUE(fresh->granted);
+  EXPECT_EQ(fresh->epoch, 2u);
+
+  // The incumbent exemption: A (same host) may resume below the floor — its
+  // checkpoint restore is the sanctioned rollback.
+  simulator_.ScheduleAfter(6 * sim::kSecond, [] {});
+  simulator_.Run();
+  auto resume = Claim(oid, a, 2, world_.hosts[0], /*renew=*/false, /*version=*/0);
+  ASSERT_TRUE(resume.ok());
+  EXPECT_FALSE(resume->granted);  // wrong: a is not the incumbent any more
+  auto b_resume = Claim(oid, b, 2, world_.hosts[10], /*renew=*/false, /*version=*/0);
+  ASSERT_TRUE(b_resume.ok());
+  EXPECT_TRUE(b_resume->granted);  // b IS the incumbent: exempt from the floor
+}
+
+TEST_F(GlsOwnershipTest, OwnershipAndDedupSurviveSaveRestore) {
+  Rng rng(8);
+  ObjectId oid = ObjectId::Generate(&rng);
+  ContactAddress a{{world_.hosts[0], sim::kPortGos}, 2, ReplicaRole::kMaster};
+  ASSERT_TRUE(Claim(oid, a, 0, world_.hosts[0])->granted);
+
+  DirectorySubnode* root = const_cast<DirectorySubnode*>(Root());
+  ASSERT_NE(root, nullptr);
+  EXPECT_EQ(root->OwnerEpoch(oid), 1u);
+  // The claim is non-idempotent, so the arbitration left a dedup entry behind.
+  size_t dedup_before = root->DedupEntries();
+  EXPECT_GT(dedup_before, 0u);
+
+  Bytes checkpoint = root->SaveState();
+  ASSERT_TRUE(root->RestoreState(checkpoint).ok());
+
+  // The record and the dedup table both survived the rebuild: a fresh epoch-0
+  // claim is still refused, and the at-most-once history is intact.
+  EXPECT_EQ(root->OwnerEpoch(oid), 1u);
+  EXPECT_EQ(root->DedupEntries(), dedup_before);
+  ContactAddress b{{world_.hosts[10], sim::kPortGos}, 2, ReplicaRole::kMaster};
+  auto rejected = Claim(oid, b, /*known_epoch=*/0, world_.hosts[10]);
+  ASSERT_TRUE(rejected.ok());
+  EXPECT_FALSE(rejected->granted);
+  EXPECT_EQ(rejected->master.endpoint, a.endpoint);
 }
 
 }  // namespace

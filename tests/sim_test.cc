@@ -760,6 +760,37 @@ TEST_F(RpcTest, ServiceTimeQueuesRequestsFifo) {
   }
 }
 
+TEST_F(RpcTest, WorkerPoolWidthDrainsTheQueueConcurrently) {
+  // Same FIFO queue, two virtual CPUs: four near-simultaneous requests drain
+  // pairwise — two complete after one service time, two after two — instead of
+  // the single-CPU four-deep serial queue.
+  RpcServer server(&transport_, world_.hosts[0], 700);
+  server.set_service_time(10 * kMillisecond);
+  server.set_worker_pool_width(2);
+  EXPECT_EQ(server.worker_pool_width(), 2u);
+  server.RegisterMethod("work", [](const RpcContext&, ByteSpan) -> Result<Bytes> {
+    return Bytes{};
+  });
+
+  Channel client(&transport_, world_.hosts[1]);
+  std::vector<SimTime> completions;
+  for (int i = 0; i < 4; ++i) {
+    client.Call(server.endpoint(), "work", {},
+                [&](Result<Bytes> result) {
+                  ASSERT_TRUE(result.ok());
+                  completions.push_back(simulator_.Now());
+                });
+  }
+  simulator_.Run();
+  ASSERT_EQ(completions.size(), 4u);
+  // Pairwise batches: requests 0/1 finish together, 2/3 one service time later.
+  EXPECT_EQ(completions[0], completions[1]);
+  EXPECT_EQ(completions[2], completions[3]);
+  EXPECT_EQ(completions[2] - completions[0], 10 * kMillisecond);
+  // The whole burst cost two service times of queueing, not four.
+  EXPECT_LT(completions.back() - completions.front(), 4 * 10 * kMillisecond);
+}
+
 TEST_F(RpcTest, AsyncHandlerCanRespondLater) {
   RpcServer server(&transport_, world_.hosts[0], 700);
   server.RegisterAsyncMethod(
@@ -964,6 +995,51 @@ TEST_F(DedupTest, DedupEntriesEvictAfterTtl) {
   simulator_.Run();
   EXPECT_EQ(executions_, 2u);
   EXPECT_EQ(server_.duplicates_suppressed(), 0u);
+}
+
+TEST_F(DedupTest, DedupTableSurvivesCheckpointRestore) {
+  // A server rebuilt from a checkpoint (the DirectorySubnode::SaveState flow)
+  // must still answer duplicates of writes the pre-crash server executed from
+  // the restored table, not run them again.
+  SendRequest(/*attempt_id=*/1, /*call_id=*/1);
+  simulator_.Run();
+  ASSERT_EQ(responses_.size(), 1u);
+  Bytes original_payload = responses_[0].payload;
+
+  ByteWriter w;
+  server_.SerializeDedup(&w);
+  Bytes checkpoint = w.Take();
+
+  // The rebuilt server: same method registered, fresh (empty) handler state.
+  RpcServer rebuilt(&transport_, world_.hosts[2], 700);
+  uint64_t rebuilt_executions = 0;
+  rebuilt.RegisterMethod("counter.add",
+                         [&](const RpcContext&, ByteSpan) -> Result<Bytes> {
+                           ByteWriter out;
+                           out.WriteU64(1000 + ++rebuilt_executions);
+                           return out.Take();
+                         },
+                         kNonIdempotent);
+  ByteReader r(checkpoint);
+  ASSERT_TRUE(rebuilt.RestoreDedup(&r).ok());
+  EXPECT_EQ(rebuilt.dedup_entries(), 1u);
+
+  // The client's retry of call 1 reaches the rebuilt server: the dedup key is
+  // (client endpoint, call id), so the restored entry replays the original
+  // response and the handler never runs.
+  network_.Send(client_, rebuilt.endpoint(),
+                RequestFrame(/*attempt_id=*/2, /*call_id=*/1, "counter.add", {}));
+  simulator_.Run();
+  EXPECT_EQ(rebuilt_executions, 0u);
+  EXPECT_EQ(rebuilt.duplicates_suppressed(), 1u);
+  ASSERT_EQ(responses_.size(), 2u);
+  EXPECT_EQ(responses_[1].payload, original_payload);
+
+  // A genuinely new call still executes on the rebuilt server.
+  network_.Send(client_, rebuilt.endpoint(),
+                RequestFrame(/*attempt_id=*/3, /*call_id=*/2, "counter.add", {}));
+  simulator_.Run();
+  EXPECT_EQ(rebuilt_executions, 1u);
 }
 
 TEST_F(DedupTest, TransientErrorsAreNotPinnedByTheDedupTable) {
