@@ -14,6 +14,7 @@
 
 #include "bench/bench_util.h"
 #include "src/gls/deploy.h"
+#include "src/sim/backend.h"
 
 using namespace globe;
 using bench::Fmt;

@@ -17,6 +17,7 @@
 #include "src/dns/resolver.h"
 #include "src/dns/server.h"
 #include "src/sim/rpc.h"
+#include "src/sim/backend.h"
 
 using namespace globe;
 using bench::Fmt;
@@ -59,7 +60,8 @@ ResolveRunResult RunResolveSweep(int num_servers, bool cache_enabled) {
   resolver_options.enable_cache = cache_enabled;
   std::vector<std::unique_ptr<dns::CachingResolver>> resolvers;
   for (sim::NodeId host : {world.hosts[1], world.hosts[9]}) {
-    auto resolver = std::make_unique<dns::CachingResolver>(&transport, host, resolver_options);
+    auto resolver =
+        std::make_unique<dns::CachingResolver>(&transport, host, resolver_options);
     for (auto& server : servers) {
       resolver->AddUpstream(kZone, server->endpoint());
     }
@@ -91,7 +93,8 @@ ResolveRunResult RunResolveSweep(int num_servers, bool cache_enabled) {
   ResolveRunResult result;
   result.mean_ms = completed > 0 ? total_ms / completed : 0;
   for (auto& server : servers) {
-    result.max_server_queries = std::max(result.max_server_queries, server->stats().queries);
+    result.max_server_queries =
+        std::max(result.max_server_queries, server->stats().queries);
   }
   for (auto& resolver : resolvers) {
     result.cache_hits += resolver->stats().cache_hits;
@@ -102,11 +105,13 @@ ResolveRunResult RunResolveSweep(int num_servers, bool cache_enabled) {
 }  // namespace
 
 int main() {
-  bench::Title("E9 bench_gns_dns", "DNS-based GNS: caching, replication, batching (paper 5)");
+  bench::Title("E9 bench_gns_dns",
+               "DNS-based GNS: caching, replication, batching (paper 5)");
 
   // ---- Part 1: resolve sweep. ----
   bench::Note("600 Zipf resolutions over 64 names, 2 resolvers");
-  bench::Table sweep({"auth servers", "cache", "mean resolve", "max srv load", "cache hits"});
+  bench::Table sweep(
+      {"auth servers", "cache", "mean resolve", "max srv load", "cache hits"});
   for (int servers : {1, 2, 4, 8}) {
     for (bool cache : {false, true}) {
       ResolveRunResult r = RunResolveSweep(servers, cache);
@@ -161,9 +166,11 @@ int main() {
   }
 
   bench::Note("");
-  bench::Note("expected shape (paper): caching slashes resolve latency and authoritative");
+  bench::Note(
+      "expected shape (paper): caching slashes resolve latency and authoritative");
   bench::Note("load; replicated servers split the remaining load ~1/n (round-robin);");
-  bench::Note("batching divides UPDATE message count and zone pushes by the batch factor,");
+  bench::Note(
+      "batching divides UPDATE message count and zone pushes by the batch factor,");
   bench::Note("'keeping the number of updates to our zone low'.");
   return 0;
 }

@@ -22,6 +22,7 @@
 #include "src/dso/client_server.h"
 #include "src/dso/master_slave.h"
 #include "src/gdn/package.h"
+#include "src/sim/backend.h"
 
 using namespace globe;
 using bench::Fmt;
@@ -89,7 +90,8 @@ MixResult RunMix(gls::ProtocolId protocol, double write_fraction) {
 
   // One client proxy near each replica (or near the master for client/server).
   std::vector<std::unique_ptr<dso::ReplicationObject>> proxies;
-  std::vector<sim::NodeId> client_hosts = {world.hosts[1], world.hosts[5], world.hosts[9]};
+  std::vector<sim::NodeId> client_hosts = {world.hosts[1], world.hosts[5],
+                                           world.hosts[9]};
   for (size_t i = 0; i < client_hosts.size(); ++i) {
     const auto& target = replicas[std::min(i, replicas.size() - 1)];
     auto proxy = std::make_unique<dso::RemoteProxy>(&transport, client_hosts[i],
@@ -167,7 +169,9 @@ int main() {
   bench::Note("expected shape (paper): no single protocol wins every mix - the reason");
   bench::Note("Globe makes replication pluggable per object. client/server is flat and");
   bench::Note("slow (all ops remote); master/slave and active replication serve reads");
-  bench::Note("locally, with active replication far cheaper per write (it ships the 512 B");
-  bench::Note("invocation, not the 200 KB state); cache/inval excels when writes are rare.");
+  bench::Note(
+      "locally, with active replication far cheaper per write (it ships the 512 B");
+  bench::Note(
+      "invocation, not the 200 KB state); cache/inval excels when writes are rare.");
   return 0;
 }

@@ -33,6 +33,7 @@
 #include "src/gdn/world.h"
 #include "src/gls/deploy.h"
 #include "src/gos/object_server.h"
+#include "src/sim/backend.h"
 
 using namespace globe;
 using bench::Fmt;

@@ -19,9 +19,8 @@
 #include <vector>
 
 #include "bench/bench_util.h"
-#include "src/sim/network.h"
+#include "src/sim/backend.h"
 #include "src/sim/rpc.h"
-#include "src/sim/topology.h"
 
 using namespace globe;
 using bench::Fmt;

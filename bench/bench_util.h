@@ -14,7 +14,7 @@
 #include <string>
 #include <vector>
 
-#include "src/sim/simulator.h"
+#include "src/sim/clock.h"
 #include "src/util/strings.h"
 
 namespace globe::bench {

@@ -36,6 +36,10 @@ GUARDED_COLUMNS = {
     # Fail-over: slower elections are a regression, and the acked-write floor
     # means "writes lost" has a zero baseline that must stay zero.
     "BENCH_replication_scenarios.json": ["time to new master", "writes lost"],
+    # Socket backend wire protocol: frames and bytes per RPC are exact protocol
+    # properties; wall-clock and allocation columns are machine/toolchain-bound
+    # and deliberately unguarded.
+    "BENCH_wire_hotpath.json": ["frames/op", "wire bytes/op"],
 }
 EXCLUDED_COLUMN_MARKERS = ["saved"]
 

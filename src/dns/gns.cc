@@ -46,7 +46,7 @@ GnsNamingAuthority::GnsNamingAuthority(sim::Transport* transport, sim::NodeId no
                                        NamingAuthorityOptions options)
     : server_(transport, node, sim::kPortGnsAuthority),
       dns_client_(std::make_unique<sim::Channel>(transport, node)),
-      simulator_(transport->simulator()),
+      clock_(transport->clock()),
       zone_(std::move(zone)),
       registry_(registry),
       tsig_key_name_(std::move(tsig_key_name)),
@@ -127,7 +127,7 @@ void GnsNamingAuthority::MaybeScheduleFlush() {
     return;
   }
   flush_scheduled_ = true;
-  simulator_->ScheduleAfter(options_.max_batch_delay, [this] {
+  clock_->ScheduleAfter(options_.max_batch_delay, [this] {
     flush_scheduled_ = false;
     Flush();
   });

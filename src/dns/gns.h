@@ -131,7 +131,7 @@ class GnsNamingAuthority {
 
   sim::RpcServer server_;
   std::unique_ptr<sim::Channel> dns_client_;
-  sim::Simulator* simulator_;
+  sim::Clock* clock_;
   std::string zone_;
   const sec::KeyRegistry* registry_;
   std::string tsig_key_name_;

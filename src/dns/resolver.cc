@@ -9,7 +9,7 @@ CachingResolver::CachingResolver(sim::Transport* transport, sim::NodeId node,
                                  ResolverOptions options)
     : server_(transport, node, sim::kPortDns),
       upstream_client_(std::make_unique<sim::Channel>(transport, node)),
-      simulator_(transport->simulator()),
+      clock_(transport->clock()),
       options_(options) {
   kDnsResolve.RegisterAsync(
       &server_, [this](const sim::RpcContext&, QueryRequest request,
@@ -54,7 +54,7 @@ void CachingResolver::HandleResolve(QueryRequest request,
   if (options_.enable_cache) {
     auto it = cache_.find({name, type});
     if (it != cache_.end()) {
-      if (it->second.expires_at > simulator_->Now()) {
+      if (it->second.expires_at > clock_->Now()) {
         QueryResponse cached = it->second.response;
         cached.from_cache = true;
         if (cached.rcode == Rcode::kNxDomain || cached.answers.empty()) {
@@ -104,7 +104,7 @@ void CachingResolver::HandleResolve(QueryRequest request,
           if (ttl_seconds > 0 && result->rcode != Rcode::kServFail &&
               result->rcode != Rcode::kRefused) {
             cache_[{name, type}] =
-                CacheEntry{*result, simulator_->Now() + ttl_seconds * sim::kSecond};
+                CacheEntry{*result, clock_->Now() + ttl_seconds * sim::kSecond};
           }
         }
         respond(std::move(result));

@@ -66,7 +66,7 @@ class CachingResolver {
 
   sim::RpcServer server_;
   std::unique_ptr<sim::Channel> upstream_client_;
-  sim::Simulator* simulator_;
+  sim::Clock* clock_;
   ResolverOptions options_;
   std::map<std::string, Upstream, std::less<>> upstreams_;  // by zone suffix
   std::map<std::pair<std::string, RrType>, CacheEntry> cache_;

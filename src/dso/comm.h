@@ -32,7 +32,7 @@ class CommunicationObject {
   sim::Endpoint endpoint() const { return server_->endpoint(); }
   sim::NodeId host() const { return server_->node(); }
   sim::Transport* transport() { return transport_; }
-  sim::Simulator* simulator() { return transport_->simulator(); }
+  sim::Clock* clock() { return transport_->clock(); }
   sim::Channel* channel() { return channel_.get(); }
 
   template <typename Req, typename Resp>

@@ -61,12 +61,14 @@ Result<gls::ContactAddress> NearestAddress(sim::Transport* transport, sim::NodeI
   if (addresses.empty()) {
     return NotFound("no contact addresses");
   }
-  const sim::Topology& topology = transport->network()->topology();
-  const sim::LinkProfile& profile = transport->network()->options().profile;
+  // Ranks by the transport's advisory delay estimate. Under the simulated
+  // network this is the topology latency; socket backends report 0 for every
+  // peer, so the first listed address wins — a deterministic, sensible default
+  // when all peers are equally near.
   const gls::ContactAddress* best = nullptr;
   double best_latency = std::numeric_limits<double>::infinity();
   for (const auto& address : addresses) {
-    double latency = topology.LatencyUs(host, address.endpoint.node, profile);
+    double latency = transport->EstimateDeliveryDelayUs(host, address.endpoint.node, 0);
     if (latency < best_latency) {
       best_latency = latency;
       best = &address;

@@ -113,7 +113,7 @@ PushAck ReplicaGroup::FenceIncoming(uint64_t remote_epoch) {
   return PushAck{1, epoch_};
 }
 
-void ReplicaGroup::RecordLease() { last_renewal_ = comm_->simulator()->Now(); }
+void ReplicaGroup::RecordLease() { last_renewal_ = comm_->clock()->Now(); }
 
 void ReplicaGroup::EnableFailover(FailoverConfig config, Callbacks callbacks) {
   config_ = std::move(config);
@@ -168,15 +168,15 @@ void ReplicaGroup::Stop() {
 }
 
 void ReplicaGroup::CancelTimer() {
-  if (timer_ != sim::Simulator::kNoEvent) {
-    comm_->simulator()->Cancel(timer_);
-    timer_ = sim::Simulator::kNoEvent;
+  if (timer_ != sim::Clock::kNoTimer) {
+    comm_->clock()->CancelTimer(timer_);
+    timer_ = sim::Clock::kNoTimer;
   }
 }
 
 void ReplicaGroup::ScheduleMasterTick() {
   CancelTimer();
-  timer_ = comm_->simulator()->ScheduleAfter(
+  timer_ = comm_->clock()->ScheduleAfter(
       config_.lease_interval, [this, alive = std::weak_ptr<bool>(alive_)] {
         if (auto a = alive.lock(); a && *a) {
           MasterTick();
@@ -234,7 +234,7 @@ void ReplicaGroup::ScheduleWatchTick() {
   // the ephemeral port: port allocation is process-global, and replayed runs
   // must schedule identically.
   sim::SimTime stagger = (comm_->host() % 7) * 29 * sim::kMillisecond;
-  timer_ = comm_->simulator()->ScheduleAfter(
+  timer_ = comm_->clock()->ScheduleAfter(
       config_.watch_interval + stagger,
       [this, alive = std::weak_ptr<bool>(alive_)] {
         if (auto a = alive.lock(); a && *a) {
@@ -247,7 +247,7 @@ void ReplicaGroup::WatchTick() {
   if (is_master() || !config_.enabled) {
     return;
   }
-  sim::SimTime now = comm_->simulator()->Now();
+  sim::SimTime now = comm_->clock()->Now();
   if (!claim_in_flight_ && now >= last_renewal_ + config_.lease_timeout) {
     // The master missed a whole timeout of renewals: race for its epoch.
     Claim(epoch_);
@@ -310,7 +310,7 @@ void ReplicaGroup::Claim(uint64_t known_epoch, std::function<void()> settled) {
 
 void ReplicaGroup::Promote(uint64_t new_epoch) {
   ++stats_.claims_won;
-  stats_.elected_at = comm_->simulator()->Now();
+  stats_.elected_at = comm_->clock()->Now();
   epoch_ = new_epoch;
   if (!is_master()) {
     Status s = TransitionTo(GroupRole::kMaster);

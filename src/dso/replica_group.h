@@ -257,7 +257,7 @@ class ReplicaGroup {
   sim::SimTime last_renewal_ = 0;
   bool claim_in_flight_ = false;
   bool resolving_ = false;  // a fence-triggered ownership resolution is underway
-  sim::Simulator::EventId timer_ = sim::Simulator::kNoEvent;
+  sim::Clock::TimerId timer_ = sim::Clock::kNoTimer;
   // Mutes timer events and GLS callbacks after Stop()/destruction.
   std::shared_ptr<bool> alive_;
   GroupStats stats_;

@@ -5,7 +5,7 @@
 #define SRC_DSO_WIRE_H_
 
 #include "src/dso/invocation.h"
-#include "src/sim/network.h"
+#include "src/sim/endpoint.h"
 #include "src/sim/rpc.h"
 #include "src/util/serial.h"
 #include "src/util/status.h"

@@ -48,6 +48,9 @@ GdnHttpd::GdnHttpd(sim::Transport* transport, sim::NodeId node, std::string zone
 GdnHttpd::~GdnHttpd() { transport_->UnregisterPort(node_, sim::kPortHttp); }
 
 void GdnHttpd::OnRequest(const sim::TransportDelivery& delivery) {
+  if (delivery.transport_error) {
+    return;  // a client hung up; nothing to serve
+  }
   ++stats_.requests;
   auto request = http::HttpRequest::Parse(delivery.payload);
   if (!request.ok()) {
@@ -286,25 +289,28 @@ void Browser::Fetch(sim::NodeId httpd_node, std::string_view target, FetchCallba
   // pays the page's round-trip time, never the timeout.
   auto shared_done = std::make_shared<FetchCallback>(std::move(done));
   auto finished = std::make_shared<bool>(false);
-  auto timeout_event =
-      std::make_shared<sim::Simulator::EventId>(sim::Simulator::kNoEvent);
+  auto timeout_event = std::make_shared<sim::Clock::TimerId>(sim::Clock::kNoTimer);
   auto finish = [this, port, shared_done, finished,
                  timeout_event](Result<http::HttpResponse> result) {
     if (*finished) {
       return;
     }
     *finished = true;
-    transport_->simulator()->Cancel(*timeout_event);
+    transport_->clock()->CancelTimer(*timeout_event);
     transport_->UnregisterPort(node_, port);
     (*shared_done)(std::move(result));
   };
 
   transport_->RegisterPort(node_, port,
                            [finish](const sim::TransportDelivery& delivery) {
+                             if (delivery.transport_error) {
+                               finish(Unavailable("connection to httpd lost"));
+                               return;
+                             }
                              finish(http::HttpResponse::Parse(delivery.payload));
                            });
   transport_->Send({node_, port}, {httpd_node, sim::kPortHttp}, request.Serialize());
-  *timeout_event = transport_->simulator()->ScheduleAfter(
+  *timeout_event = transport_->clock()->ScheduleAfter(
       timeout, [finish, alive = std::weak_ptr<bool>(alive_)] {
         if (alive.lock()) {
           finish(Unavailable("HTTP request timed out"));

@@ -9,14 +9,15 @@ namespace globe::gdn {
 GdnWorld::GdnWorld(GdnWorldConfig config)
     : config_(std::move(config)),
       world_(sim::BuildUniformWorld(config_.fanouts, config_.user_hosts_per_site)) {
-  network_ = std::make_unique<sim::Network>(&simulator_, &world_.topology, config_.network);
+  network_ =
+      std::make_unique<sim::Network>(&simulator_, &world_.topology, config_.network);
 
+  plain_transport_ = std::make_unique<sim::PlainTransport>(network_.get());
   if (config_.secure) {
-    secure_transport_ =
-        std::make_unique<sec::SecureTransport>(network_.get(), &registry_, config_.crypto);
+    secure_transport_ = std::make_unique<sec::SecureTransport>(
+        plain_transport_.get(), &registry_, config_.crypto);
     transport_ = secure_transport_.get();
   } else {
-    plain_transport_ = std::make_unique<sim::PlainTransport>(network_.get());
     transport_ = plain_transport_.get();
   }
 
@@ -64,19 +65,23 @@ GdnWorld::GdnWorld(GdnWorldConfig config)
   tsig_keys_["gdn-na"] = Bytes{0x6e, 0x61, 0x2d, 0x6b, 0x65, 0x79, 0x21, 0x21};
   tsig_keys_["axfr"] = Bytes{0x61, 0x78, 0x66, 0x72, 0x2d, 0x6b, 0x65, 0x79};
 
-  sim::DomainId primary_site = world_.topology.DomainChildren(countries_[0].domain).front();
+  sim::DomainId primary_site =
+      world_.topology.DomainChildren(countries_[0].domain).front();
   sim::NodeId dns_primary_host = world_.topology.AddNode("dns.primary", primary_site);
   CredentialHost(dns_primary_host, "dns-primary");
-  dns_primary_ =
-      std::make_unique<dns::AuthoritativeServer>(transport_, dns_primary_host, tsig_keys_);
-  dns_primary_->AddZone(dns::Zone(config_.zone, /*soa_minimum_ttl=*/300), /*primary=*/true);
+  dns_primary_ = std::make_unique<dns::AuthoritativeServer>(
+      transport_, dns_primary_host, tsig_keys_);
+  dns_primary_->AddZone(dns::Zone(config_.zone, /*soa_minimum_ttl=*/300),
+                        /*primary=*/true);
 
   for (int i = 0; i < config_.dns_secondaries; ++i) {
     size_t country = (i + 1) % countries_.size();
-    sim::DomainId site = world_.topology.DomainChildren(countries_[country].domain).front();
+    sim::DomainId site =
+        world_.topology.DomainChildren(countries_[country].domain).front();
     sim::NodeId host = world_.topology.AddNode("dns.secondary" + std::to_string(i), site);
     CredentialHost(host, "dns-secondary");
-    auto secondary = std::make_unique<dns::AuthoritativeServer>(transport_, host, tsig_keys_);
+    auto secondary =
+        std::make_unique<dns::AuthoritativeServer>(transport_, host, tsig_keys_);
     secondary->AddZone(dns::Zone(config_.zone, 300), /*primary=*/false);
     dns_primary_->AddSecondary(config_.zone, secondary->endpoint());
     dns_secondaries_.push_back(std::move(secondary));
@@ -162,8 +167,9 @@ void GdnWorld::SetupSearchIndex() {
     return;
   }
   for (size_t i = 1; i < goses_.size(); ++i) {
-    goses_[i]->CreateReplica(search_oid_, kSearchIndexTypeId, gls::ReplicaRole::kSlave,
-                             [](Result<std::pair<gls::ObjectId, gls::ContactAddress>>) {});
+    goses_[i]->CreateReplica(
+        search_oid_, kSearchIndexTypeId, gls::ReplicaRole::kSlave,
+        [](Result<std::pair<gls::ObjectId, gls::ContactAddress>>) {});
     Run();
   }
   for (auto& httpd : httpds_) {
@@ -299,8 +305,9 @@ Result<gls::ObjectId> GdnWorld::PublishPackage(const std::string& globe_name,
                                                               : gls::ReplicaRole::kSlave;
 
   Result<gls::ObjectId> oid = Unavailable("pending");
-  moderator_->CreatePackage(globe_name, scenario,
-                            [&](Result<gls::ObjectId> result) { oid = std::move(result); });
+  moderator_->CreatePackage(globe_name, scenario, [&](Result<gls::ObjectId> result) {
+    oid = std::move(result);
+  });
   Run();
   if (!oid.ok()) {
     return oid;
@@ -341,7 +348,8 @@ sec::PrincipalId GdnWorld::AddMaintainerMachine(const std::string& name,
 
 Result<gls::ObjectId> GdnWorld::PublishPackageWithMaintainers(
     const std::string& globe_name, const std::map<std::string, Bytes>& files,
-    gls::ProtocolId protocol, size_t master_country, std::vector<size_t> replica_countries,
+    gls::ProtocolId protocol, size_t master_country,
+    std::vector<size_t> replica_countries,
     std::vector<sec::PrincipalId> maintainers) {
   ReplicationScenario scenario;
   scenario.protocol = protocol;
@@ -354,8 +362,9 @@ Result<gls::ObjectId> GdnWorld::PublishPackageWithMaintainers(
   scenario.maintainers = std::move(maintainers);
 
   Result<gls::ObjectId> oid = Unavailable("pending");
-  moderator_->CreatePackage(globe_name, scenario,
-                            [&](Result<gls::ObjectId> result) { oid = std::move(result); });
+  moderator_->CreatePackage(globe_name, scenario, [&](Result<gls::ObjectId> result) {
+    oid = std::move(result);
+  });
   Run();
   if (!oid.ok()) {
     return oid;
@@ -398,7 +407,8 @@ Result<Bytes> GdnWorld::DownloadFile(sim::NodeId user, const std::string& globe_
   return out;
 }
 
-Result<std::string> GdnWorld::FetchListing(sim::NodeId user, const std::string& globe_name) {
+Result<std::string> GdnWorld::FetchListing(sim::NodeId user,
+                                           const std::string& globe_name) {
   auto browser = MakeBrowser(user);
   GdnHttpd* httpd = NearestHttpd(user);
   Result<std::string> out = Unavailable("pending");

@@ -33,6 +33,7 @@
 #include "src/gls/deploy.h"
 #include "src/gos/object_server.h"
 #include "src/sec/secure_transport.h"
+#include "src/sim/backend.h"  // GdnWorld is a composition root: it owns the sim stack
 
 namespace globe::gdn {
 

@@ -30,7 +30,7 @@
 #include <vector>
 
 #include "src/gls/oid.h"
-#include "src/sim/simulator.h"
+#include "src/sim/clock.h"
 
 namespace globe::gls {
 

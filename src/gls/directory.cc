@@ -431,7 +431,7 @@ DirectorySubnode::DirectorySubnode(sim::Transport* transport, sim::NodeId host,
                                    const sec::KeyRegistry* registry, uint64_t rng_seed)
     : server_(transport, host, sim::kPortGls),
       client_(std::make_unique<sim::Channel>(transport, host)),
-      clock_(transport->simulator()),
+      clock_(transport->clock()),
       domain_(domain),
       depth_(depth),
       options_(options),

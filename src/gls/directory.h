@@ -294,7 +294,7 @@ class DirectorySubnode {
 
   sim::RpcServer server_;
   std::unique_ptr<sim::Channel> client_;
-  sim::Simulator* clock_;
+  sim::Clock* clock_;
   sim::DomainId domain_;
   int depth_;
   GlsOptions options_;

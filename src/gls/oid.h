@@ -11,7 +11,7 @@
 #include <cstdint>
 #include <string>
 
-#include "src/sim/network.h"
+#include "src/sim/endpoint.h"
 #include "src/util/rng.h"
 #include "src/util/serial.h"
 #include "src/util/status.h"

@@ -1,0 +1,166 @@
+#include "src/net/event_loop.h"
+
+#include <sys/epoll.h>
+#include <time.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cassert>
+
+#include "src/util/log.h"
+
+namespace globe::net {
+
+namespace {
+
+uint64_t MonotonicNanos() {
+  timespec ts;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<uint64_t>(ts.tv_sec) * 1'000'000'000ULL +
+         static_cast<uint64_t>(ts.tv_nsec);
+}
+
+}  // namespace
+
+EventLoop::EventLoop() : start_ns_(MonotonicNanos()) {
+  epoll_fd_ = epoll_create1(EPOLL_CLOEXEC);
+  assert(epoll_fd_ >= 0);
+}
+
+EventLoop::~EventLoop() {
+  if (epoll_fd_ >= 0) {
+    close(epoll_fd_);
+  }
+}
+
+sim::SimTime EventLoop::Now() const { return (MonotonicNanos() - start_ns_) / 1000; }
+
+EventLoop::TimerId EventLoop::ScheduleAfter(sim::SimTime delay,
+                                            std::function<void()> fn) {
+  TimerId id = next_timer_id_++;
+  sim::SimTime due = Now() + delay;
+  timers_.emplace(id, Timer{due, std::move(fn)});
+  heap_.push(HeapEntry{due, id});
+  return id;
+}
+
+bool EventLoop::CancelTimer(TimerId id) {
+  // The heap entry stays behind and is skipped when popped.
+  return timers_.erase(id) > 0;
+}
+
+sim::SimTime EventLoop::NextTimerDelay() {
+  // Drop lazily-cancelled entries off the top so they never distort the wait.
+  while (!heap_.empty() && timers_.find(heap_.top().id) == timers_.end()) {
+    heap_.pop();
+  }
+  if (heap_.empty()) {
+    return static_cast<sim::SimTime>(-1);
+  }
+  sim::SimTime due = heap_.top().due;
+  sim::SimTime now = Now();
+  return due > now ? due - now : 0;
+}
+
+void EventLoop::FireDueTimers() {
+  sim::SimTime now = Now();
+  // Only timers due at entry run in this pass: a callback that reschedules
+  // itself with zero delay cannot starve the poll.
+  std::vector<std::function<void()>> due;
+  while (!heap_.empty() && heap_.top().due <= now) {
+    HeapEntry top = heap_.top();
+    heap_.pop();
+    auto it = timers_.find(top.id);
+    if (it == timers_.end()) {
+      continue;  // cancelled
+    }
+    if (it->second.due != top.due) {
+      continue;  // stale heap entry (id reused is impossible; defensive)
+    }
+    due.push_back(std::move(it->second.fn));
+    timers_.erase(it);
+  }
+  for (auto& fn : due) {
+    fn();
+  }
+}
+
+void EventLoop::WatchFd(int fd, uint32_t events, FdHandler handler) {
+  epoll_event ev{};
+  ev.events = events;
+  ev.data.fd = fd;
+  bool existing = fd_handlers_.count(fd) > 0;
+  fd_handlers_[fd] = std::make_shared<FdHandler>(std::move(handler));
+  int rc = epoll_ctl(epoll_fd_, existing ? EPOLL_CTL_MOD : EPOLL_CTL_ADD, fd, &ev);
+  if (rc != 0) {
+    GLOG_WARN << "epoll_ctl add failed for fd " << fd;
+  }
+}
+
+void EventLoop::ModifyFd(int fd, uint32_t events) {
+  epoll_event ev{};
+  ev.events = events;
+  ev.data.fd = fd;
+  if (epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, fd, &ev) != 0) {
+    GLOG_WARN << "epoll_ctl mod failed for fd " << fd;
+  }
+}
+
+void EventLoop::UnwatchFd(int fd) {
+  if (fd_handlers_.erase(fd) > 0) {
+    epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+  }
+}
+
+void EventLoop::PollOnce(sim::SimTime max_wait_us) {
+  FireDueTimers();
+
+  sim::SimTime wait = std::min(max_wait_us, NextTimerDelay());
+  // epoll granularity is milliseconds; round up so a 500 us wait does not
+  // busy-spin, but never wait when something is already due.
+  int timeout_ms =
+      wait == 0 ? 0
+                : static_cast<int>(std::min<sim::SimTime>((wait + 999) / 1000, 1000));
+
+  epoll_event events[64];
+  int n = epoll_wait(epoll_fd_, events, 64, timeout_ms);
+  for (int i = 0; i < n; ++i) {
+    auto it = fd_handlers_.find(events[i].data.fd);
+    if (it == fd_handlers_.end()) {
+      continue;  // unwatched by an earlier handler in this batch
+    }
+    // Pin: the handler may unwatch its own fd.
+    std::shared_ptr<FdHandler> handler = it->second;
+    (*handler)(events[i].events);
+  }
+
+  FireDueTimers();
+}
+
+bool EventLoop::RunUntil(const std::function<bool()>& pred, sim::SimTime timeout_us) {
+  sim::SimTime deadline = Now() + timeout_us;
+  while (!pred()) {
+    sim::SimTime now = Now();
+    if (now >= deadline || stopped_) {
+      return pred();
+    }
+    PollOnce(deadline - now);
+  }
+  return true;
+}
+
+void EventLoop::RunFor(sim::SimTime duration_us) {
+  sim::SimTime deadline = Now() + duration_us;
+  while (Now() < deadline && !stopped_) {
+    PollOnce(deadline - Now());
+  }
+}
+
+void EventLoop::Run() {
+  stopped_ = false;
+  while (!stopped_) {
+    PollOnce(100 * sim::kMillisecond);
+  }
+}
+
+}  // namespace globe::net

@@ -1,0 +1,100 @@
+// Single-threaded epoll event loop implementing the Clock seam on real time.
+//
+// This is the socket backend's counterpart to sim::Simulator: the same Clock
+// interface (Now / ScheduleAfter / CancelTimer), but "now" is CLOCK_MONOTONIC
+// and readiness comes from epoll instead of a virtual event queue. Everything
+// above the transport seam — Channel deadlines, retry backoff, dedup TTLs —
+// runs unmodified on either implementation.
+//
+// Threading model: strictly single-threaded. All fd handlers and timers run on
+// the thread calling PollOnce/RunUntil/RunFor, never concurrently. Handlers may
+// freely watch/unwatch fds and schedule/cancel timers from inside a callback,
+// including their own.
+
+#ifndef SRC_NET_EVENT_LOOP_H_
+#define SRC_NET_EVENT_LOOP_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <queue>
+#include <utility>
+#include <vector>
+
+#include "src/sim/clock.h"
+
+namespace globe::net {
+
+class EventLoop : public sim::Clock {
+ public:
+  EventLoop();
+  ~EventLoop() override;
+
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  // Clock: microseconds of CLOCK_MONOTONIC elapsed since this loop was built.
+  sim::SimTime Now() const override;
+  TimerId ScheduleAfter(sim::SimTime delay, std::function<void()> fn) override;
+  bool CancelTimer(TimerId id) override;
+
+  // Fd readiness. The handler receives the ready epoll event mask (EPOLLIN,
+  // EPOLLOUT, EPOLLERR, EPOLLHUP, EPOLLRDHUP). The loop never owns the fd —
+  // callers close it after UnwatchFd.
+  using FdHandler = std::function<void(uint32_t events)>;
+  void WatchFd(int fd, uint32_t events, FdHandler handler);
+  void ModifyFd(int fd, uint32_t events);
+  void UnwatchFd(int fd);
+
+  // One poll pass: fires due timers, waits for fd readiness at most
+  // `max_wait_us` (clipped to the next timer's due time), dispatches handlers,
+  // fires timers that came due meanwhile.
+  void PollOnce(sim::SimTime max_wait_us);
+
+  // Polls until pred() is true or `timeout_us` elapses. Returns pred().
+  bool RunUntil(const std::function<bool()>& pred, sim::SimTime timeout_us);
+
+  // Polls for a fixed duration.
+  void RunFor(sim::SimTime duration_us);
+
+  // Polls until Stop() is called (from a handler or a signal-driven timer).
+  void Run();
+  void Stop() { stopped_ = true; }
+
+  size_t pending_timers() const { return timers_.size(); }
+  int epoll_fd() const { return epoll_fd_; }
+
+ private:
+  void FireDueTimers();
+  // Microseconds until the next timer is due; SimTime max if none.
+  sim::SimTime NextTimerDelay();
+
+  struct Timer {
+    sim::SimTime due;
+    std::function<void()> fn;
+  };
+  struct HeapEntry {
+    sim::SimTime due;
+    TimerId id;  // tie-breaker: scheduling order
+    bool operator>(const HeapEntry& o) const {
+      return due != o.due ? due > o.due : id > o.id;
+    }
+  };
+
+  int epoll_fd_ = -1;
+  uint64_t start_ns_ = 0;
+  TimerId next_timer_id_ = 1;
+  bool stopped_ = false;
+  std::map<TimerId, Timer> timers_;
+  // Min-heap over (due, id); cancelled entries are skipped lazily (their id is
+  // gone from timers_).
+  std::priority_queue<HeapEntry, std::vector<HeapEntry>, std::greater<>> heap_;
+  // shared_ptr so a handler that unwatches (even its own fd) mid-dispatch never
+  // destroys the std::function the loop is executing.
+  std::map<int, std::shared_ptr<FdHandler>> fd_handlers_;
+};
+
+}  // namespace globe::net
+
+#endif  // SRC_NET_EVENT_LOOP_H_

@@ -1,0 +1,170 @@
+// sim::Transport over real non-blocking TCP sockets.
+//
+// The second backend behind the transport seam: the same Channel / RpcServer /
+// TypedMethod stack that runs on the simulated network — at-most-once dedup,
+// retries, deadlines included — runs unmodified over loopback (or LAN) TCP.
+//
+// Model:
+//   - A transport hosts any number of logical nodes. Listen(node) opens one
+//     TCP listener per hosted node; all of that node's service ports (GLS 700,
+//     GOS 701, DNS 53, ...) are multiplexed over it and demultiplexed by the
+//     frame header's destination endpoint.
+//   - Frames are length-prefixed:
+//       u32 frame length (header + payload, excluding this word)
+//       u32 src node | u16 src port | u32 dst node | u16 dst port
+//       payload bytes
+//     A decoded length above sim::kMaxFrameBytes closes the connection — a
+//     corrupt prefix must never trigger an unbounded allocation.
+//   - Outbound connections are keyed by destination node and multiplex every
+//     local source talking to it, mirroring how the kernel shares one TCP
+//     connection per host pair. Ephemeral client endpoints never listen:
+//     responses flow back over the connection that carried the request (the
+//     receiver learns src endpoint -> connection as frames arrive).
+//   - Explicit per-connection state machine: kConnecting -> kOpen -> kClosed.
+//     Read and write buffers are reused across frames; the steady state
+//     allocates only the payload Bytes handed to the delivery handler.
+//   - Peer loss (connect refused, reset, EOF) is surfaced as a
+//     TransportDelivery with transport_error=true to every local endpoint that
+//     had traffic towards that peer, so RPC retries engage immediately instead
+//     of waiting out deadlines.
+//   - ListenHttp(node) opens a *raw HTTP* listener mapped to (node, port 80):
+//     inbound bytes are parsed as HTTP/1.0 requests and delivered to the
+//     registered port-80 handler (gdn::GdnHttpd) with a synthesized client
+//     endpoint; Send() towards that endpoint writes the raw response and
+//     closes, so a plain `curl` can download a package from a running node.
+//
+// Single-threaded: all methods must be called from the EventLoop's thread.
+
+#ifndef SRC_NET_SOCKET_TRANSPORT_H_
+#define SRC_NET_SOCKET_TRANSPORT_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/net/event_loop.h"
+#include "src/sim/transport.h"
+#include "src/util/status.h"
+
+namespace globe::net {
+
+// Synthesized source node for raw-HTTP clients (browsers, curl). Reserved:
+// never a hosted node.
+constexpr sim::NodeId kHttpClientNode = 0xFFFFFF00;
+
+struct WireStats {
+  uint64_t frames_sent = 0;
+  uint64_t frames_received = 0;
+  uint64_t bytes_sent = 0;      // on-the-wire bytes, length prefixes included
+  uint64_t bytes_received = 0;
+  uint64_t connections_opened = 0;    // outbound connects initiated
+  uint64_t connections_accepted = 0;  // inbound accepts (frame + http)
+  uint64_t disconnects = 0;           // peer loss on established/able connections
+  uint64_t oversized_rejected = 0;    // sends refused or decodes aborted
+  uint64_t undeliverable = 0;         // sends with no route and no learned path
+  uint64_t http_requests = 0;
+
+  void Clear() { *this = WireStats(); }
+};
+
+class SocketTransport : public sim::Transport {
+ public:
+  explicit SocketTransport(EventLoop* loop, std::string bind_address = "127.0.0.1");
+  ~SocketTransport() override;
+
+  SocketTransport(const SocketTransport&) = delete;
+  SocketTransport& operator=(const SocketTransport&) = delete;
+
+  // Opens the frame listener for a hosted node on bind_address:tcp_port
+  // (0 = kernel-assigned). Adds a loopback route so locally hosted nodes reach
+  // each other over real TCP. Returns the bound port.
+  Result<uint16_t> Listen(sim::NodeId node, uint16_t tcp_port = 0);
+
+  // Opens a raw-HTTP listener feeding (node, sim::kPortHttp). Returns the port.
+  Result<uint16_t> ListenHttp(sim::NodeId node, uint16_t tcp_port = 0);
+
+  // Teaches the transport where frames addressed to `node` connect to. Listen()
+  // installs self-routes automatically; cross-process peers are added here.
+  void AddRoute(sim::NodeId node, const std::string& host, uint16_t tcp_port);
+
+  // sim::Transport. Send routes: learned reply path first, then the route
+  // table; an unroutable destination fails fast with a transport_error
+  // delivery back to the local src port.
+  void Send(const sim::Endpoint& src, const sim::Endpoint& dst, Bytes payload) override;
+  void RegisterPort(sim::NodeId node, uint16_t port, sim::TransportHandler handler) override;
+  void UnregisterPort(sim::NodeId node, uint16_t port) override;
+  sim::Clock* clock() override { return loop_; }
+
+  const WireStats& stats() const { return stats_; }
+  WireStats* mutable_stats() { return &stats_; }
+
+ private:
+  enum class ConnState : uint8_t { kConnecting, kOpen, kClosed };
+  enum class ConnKind : uint8_t { kFrame, kHttp };
+
+  struct Connection {
+    int fd = -1;
+    ConnState state = ConnState::kConnecting;
+    ConnKind kind = ConnKind::kFrame;
+    sim::NodeId peer_node = sim::kNoNode;  // outbound: the routed destination
+    bool outbound = false;
+    bool close_after_flush = false;  // http: one response then hang up
+    // Reused buffers — grow to high-water mark, never shrink mid-connection.
+    Bytes read_buf;
+    size_t read_pos = 0;  // consumed prefix of read_buf
+    Bytes write_buf;
+    size_t write_pos = 0;
+    // (local src, remote dst) endpoint pairs that sent over this connection;
+    // on peer loss each local src gets a transport_error delivery naming the
+    // remote dst it lost.
+    std::set<std::pair<sim::Endpoint, sim::Endpoint>> sent_pairs;
+    // http: the synthesized client endpoint of this connection.
+    sim::Endpoint http_client;
+  };
+
+  Result<int> OpenListener(uint16_t tcp_port, uint16_t* bound_port);
+  void AcceptReady(int listen_fd, ConnKind kind, sim::NodeId http_node);
+  Connection* ConnectTo(sim::NodeId node);
+  void ConnectionReady(const std::shared_ptr<Connection>& conn, uint32_t events);
+  void ReadReady(const std::shared_ptr<Connection>& conn);
+  void WriteReady(const std::shared_ptr<Connection>& conn);
+  void ParseFrames(const std::shared_ptr<Connection>& conn);
+  void ParseHttp(const std::shared_ptr<Connection>& conn);
+  void QueueBytes(const std::shared_ptr<Connection>& conn, const uint8_t* data,
+                  size_t len);
+  void FlushWrites(const std::shared_ptr<Connection>& conn);
+  void CloseConnection(const std::shared_ptr<Connection>& conn, bool peer_lost);
+  void Deliver(sim::TransportDelivery delivery);
+  void DeliverError(const sim::Endpoint& local, const sim::Endpoint& lost_peer);
+  void UpdateEpollMask(const std::shared_ptr<Connection>& conn);
+
+  EventLoop* loop_;
+  std::string bind_address_;
+  std::map<std::pair<sim::NodeId, uint16_t>, std::shared_ptr<sim::TransportHandler>>
+      handlers_;
+  struct Route {
+    std::string host;
+    uint16_t port = 0;
+  };
+  std::map<sim::NodeId, Route> routes_;
+  struct Listener {
+    int fd = -1;
+    ConnKind kind = ConnKind::kFrame;
+    sim::NodeId node = sim::kNoNode;
+  };
+  std::vector<Listener> listeners_;
+  std::map<int, std::shared_ptr<Connection>> connections_;       // by fd
+  std::map<sim::NodeId, std::shared_ptr<Connection>> outbound_;  // by dst node
+  // Reply paths learned from inbound frames: src endpoint -> connection.
+  std::map<sim::Endpoint, std::shared_ptr<Connection>> learned_;
+  uint16_t next_http_slot_ = 1;
+  WireStats stats_;
+};
+
+}  // namespace globe::net
+
+#endif  // SRC_NET_SOCKET_TRANSPORT_H_

@@ -31,9 +31,15 @@ Bytes MacInput(uint64_t session_id, uint64_t seq, const sim::Endpoint& src,
 }
 }  // namespace
 
-SecureTransport::SecureTransport(sim::Network* network, const KeyRegistry* registry,
+SecureTransport::SecureTransport(sim::Transport* inner, const KeyRegistry* registry,
                                  CryptoProfile profile)
-    : network_(network), registry_(registry), profile_(profile), rng_(0x5ec43a11) {}
+    : inner_(inner),
+      registry_(registry),
+      profile_(profile),
+      rng_(0x5ec43a11),
+      alive_(std::make_shared<bool>(true)) {}
+
+SecureTransport::~SecureTransport() { *alive_ = false; }
 
 void SecureTransport::SetNodeCredential(sim::NodeId node, Credential credential) {
   credentials_[node] = std::move(credential);
@@ -42,13 +48,13 @@ void SecureTransport::SetNodeCredential(sim::NodeId node, Credential credential)
 void SecureTransport::RegisterPort(sim::NodeId node, uint16_t port,
                                    sim::TransportHandler handler) {
   handlers_[{node, port}] = std::make_shared<sim::TransportHandler>(std::move(handler));
-  network_->RegisterPort(node, port,
-                         [this](const sim::Delivery& d) { OnRawDelivery(d); });
+  inner_->RegisterPort(node, port,
+                       [this](const sim::TransportDelivery& d) { OnRawDelivery(d); });
 }
 
 void SecureTransport::UnregisterPort(sim::NodeId node, uint16_t port) {
   handlers_.erase({node, port});
-  network_->UnregisterPort(node, port);
+  inner_->UnregisterPort(node, port);
 }
 
 void SecureTransport::ResetChannel(sim::NodeId a, sim::NodeId b) {
@@ -59,7 +65,8 @@ void SecureTransport::ResetChannel(sim::NodeId a, sim::NodeId b) {
   }
 }
 
-SecureTransport::Session* SecureTransport::GetOrEstablish(sim::NodeId src, sim::NodeId dst) {
+SecureTransport::Session* SecureTransport::GetOrEstablish(sim::NodeId src,
+                                                           sim::NodeId dst) {
   NodePair pair = MakePair(src, dst);
   auto it = sessions_.find(pair);
   if (it != sessions_.end()) {
@@ -92,17 +99,18 @@ SecureTransport::Session* SecureTransport::GetOrEstablish(sim::NodeId src, sim::
     }
     if (config.auth == AuthMode::kMutualAuth && !authenticate(src)) {
       ++stats_.auth_failures;
-      GLOG_WARN << "handshake failed: initiator node " << src << " has no valid credential";
+      GLOG_WARN << "handshake failed: initiator node " << src
+                << " has no valid credential";
       return nullptr;
     }
 
     // Charge the handshake: one synthetic 2 KB flight on the wire (so the traffic
     // accounting sees it) plus the round trips and CPU as a delivery floor — no data
     // frame in either direction may arrive before the handshake completes.
-    network_->Send({src, kHandshakeSinkPort}, {dst, kHandshakeSinkPort},
-                   Bytes(profile_.handshake_bytes));
-    double one_way = network_->topology().LatencyUs(src, dst, network_->options().profile);
-    double ready_at = static_cast<double>(network_->simulator()->Now()) +
+    inner_->Send({src, kHandshakeSinkPort}, {dst, kHandshakeSinkPort},
+                 Bytes(profile_.handshake_bytes));
+    double one_way = inner_->EstimateDeliveryDelayUs(src, dst, 0);
+    double ready_at = static_cast<double>(inner_->clock()->Now()) +
                       profile_.handshake_rtts * 2 * one_way + profile_.handshake_cpu_us;
     session.delivery_floor[src] = ready_at;
     session.delivery_floor[dst] = ready_at;
@@ -125,7 +133,7 @@ void SecureTransport::Send(const sim::Endpoint& src, const sim::Endpoint& dst,
     w.WriteU8(kFramePlain);
     w.WriteLengthPrefixed(payload);
     ++stats_.plain_frames_sent;
-    network_->Send(src, dst, w.Take());
+    inner_->Send(src, dst, w.Take());
     return;
   }
 
@@ -146,7 +154,8 @@ void SecureTransport::Send(const sim::Endpoint& src, const sim::Endpoint& dst,
     ApplyKeystream(session->key, nonce, &ciphertext);
     crypto_us += static_cast<double>(ciphertext.size()) * profile_.cipher_us_per_byte;
   }
-  Bytes mac = HmacSha256(session->key, MacInput(session->id, seq, src, dst, flags, ciphertext));
+  Bytes mac = HmacSha256(session->key,
+                         MacInput(session->id, seq, src, dst, flags, ciphertext));
 
   ByteWriter w;
   w.WriteU8(kVersion);
@@ -160,9 +169,12 @@ void SecureTransport::Send(const sim::Endpoint& src, const sim::Endpoint& dst,
   Bytes frame = w.Take();
 
   // Enforce per-direction FIFO delivery (TCP semantics under TLS): delay the frame
-  // until at least the channel's delivery floor, then advance the floor.
-  double base_delay = network_->DeliveryDelayUs(src.node, dst.node, frame.size());
-  double now = static_cast<double>(network_->simulator()->Now());
+  // until at least the channel's delivery floor, then advance the floor. Crypto CPU
+  // and floor padding are charged by holding the frame back on the clock before it
+  // enters the inner transport, so the arrival time matches the old model exactly:
+  // send time + extra + the inner transport's own delay.
+  double base_delay = inner_->EstimateDeliveryDelayUs(src.node, dst.node, frame.size());
+  double now = static_cast<double>(inner_->clock()->Now());
   double delivery_at = now + base_delay + extra_delay_us + crypto_us;
   double& floor = session->delivery_floor[src.node];
   if (delivery_at < floor) {
@@ -173,12 +185,34 @@ void SecureTransport::Send(const sim::Endpoint& src, const sim::Endpoint& dst,
 
   ++stats_.frames_sent;
   stats_.crypto_us += crypto_us;
-  network_->Send(src, dst, std::move(frame), extra_delay_us + crypto_us);
+  double hold_us = extra_delay_us + crypto_us;
+  if (hold_us <= 0) {
+    inner_->Send(src, dst, std::move(frame));
+    return;
+  }
+  inner_->clock()->ScheduleAfter(
+      static_cast<sim::SimTime>(hold_us),
+      [this, alive = std::weak_ptr<bool>(alive_), src, dst,
+       frame = std::move(frame)]() mutable {
+        auto a = alive.lock();
+        if (!a || !*a) {
+          return;
+        }
+        inner_->Send(src, dst, std::move(frame));
+      });
 }
 
-void SecureTransport::OnRawDelivery(const sim::Delivery& delivery) {
+void SecureTransport::OnRawDelivery(const sim::TransportDelivery& delivery) {
   auto handler_it = handlers_.find({delivery.dst.node, delivery.dst.port});
   if (handler_it == handlers_.end()) {
+    return;
+  }
+
+  if (delivery.transport_error) {
+    // Connection-level failure from the backend: not a frame at all. Forward it
+    // untouched so the RPC layer can fail calls towards the lost peer fast.
+    std::shared_ptr<sim::TransportHandler> handler = handler_it->second;
+    (*handler)(delivery);
     return;
   }
 
@@ -199,8 +233,9 @@ void SecureTransport::OnRawDelivery(const sim::Delivery& delivery) {
     // Pin the handler: it may unregister its own port mid-call, which would
     // destroy the std::function we are executing.
     std::shared_ptr<sim::TransportHandler> handler = handler_it->second;
-    (*handler)(sim::TransportDelivery{delivery.src, delivery.dst, std::move(*payload), kAnonymous,
-               /*integrity_protected=*/false});
+    (*handler)(sim::TransportDelivery{delivery.src, delivery.dst,
+                                      std::move(*payload), kAnonymous,
+                                      /*integrity_protected=*/false});
     return;
   }
 
@@ -229,7 +264,8 @@ void SecureTransport::OnRawDelivery(const sim::Delivery& delivery) {
       MacInput(*session_id, *seq, delivery.src, delivery.dst, *flags, *ciphertext);
   if (!VerifyHmacSha256(session.key, expected_input, *mac)) {
     ++stats_.mac_failures;
-    GLOG_WARN << "MAC verification failed on frame " << sim::ToString(delivery.src) << " -> "
+    GLOG_WARN << "MAC verification failed on frame "
+              << sim::ToString(delivery.src) << " -> "
               << sim::ToString(delivery.dst) << " (tampered or forged)";
     return;
   }
@@ -251,14 +287,16 @@ void SecureTransport::OnRawDelivery(const sim::Delivery& delivery) {
   }
 
   PrincipalId peer = kAnonymous;
-  if (auto it = session.principals.find(delivery.src.node); it != session.principals.end()) {
+  if (auto it = session.principals.find(delivery.src.node);
+      it != session.principals.end()) {
     peer = it->second;
   }
   // Pin the handler: it may unregister its own port mid-call, which would
   // destroy the std::function we are executing.
   std::shared_ptr<sim::TransportHandler> handler = handler_it->second;
-  (*handler)(sim::TransportDelivery{delivery.src, delivery.dst, std::move(plaintext), peer,
-             /*integrity_protected=*/true});
+  (*handler)(sim::TransportDelivery{delivery.src, delivery.dst,
+                                    std::move(plaintext), peer,
+                                    /*integrity_protected=*/true});
 }
 
 }  // namespace globe::sec

@@ -1,13 +1,14 @@
-// TLS-style secure transport over the simulated network.
+// TLS-style secure transport decorating any inner transport.
 //
 // Paper §6.3: "we replace all communication between GDN parties by integrity-protected
 // and authenticated communication ... all TCP connections between GDN parties are
 // replaced by connections secured via the TLS protocol", with two-way authentication
 // between GDN hosts and server-side authentication towards users' machines (Figure 4).
 //
-// This class implements sim::Transport so the RPC layer (and thus every service) is
-// oblivious to it — the same clean communication/functional separation the paper relies
-// on to make the TLS retrofit cheap.
+// This class implements sim::Transport by wrapping an inner Transport (the
+// simulated network's PlainTransport, or a socket backend) so the RPC layer — and
+// thus every service — is oblivious to it: the same clean communication/functional
+// separation the paper relies on to make the TLS retrofit cheap.
 //
 // Model of one channel (a node pair), mirroring a TLS connection:
 //   - Handshake on first use: a synthetic 2 KB flight is charged to the network (so
@@ -32,10 +33,10 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <utility>
 
 #include "src/sec/principal.h"
-#include "src/sim/network.h"
-#include "src/sim/rpc.h"
+#include "src/sim/transport.h"
 #include "src/util/rng.h"
 
 namespace globe::sec {
@@ -82,8 +83,9 @@ struct SecureStats {
 
 class SecureTransport : public sim::Transport {
  public:
-  SecureTransport(sim::Network* network, const KeyRegistry* registry,
+  SecureTransport(sim::Transport* inner, const KeyRegistry* registry,
                   CryptoProfile profile = {});
+  ~SecureTransport() override;
 
   // Installs the host credential a node uses when it must authenticate. Nodes without
   // credentials can only initiate kServerAuth or kPlain channels.
@@ -93,10 +95,14 @@ class SecureTransport : public sim::Transport {
 
   // sim::Transport interface.
   void Send(const sim::Endpoint& src, const sim::Endpoint& dst, Bytes payload) override;
-  void RegisterPort(sim::NodeId node, uint16_t port, sim::TransportHandler handler) override;
+  void RegisterPort(sim::NodeId node, uint16_t port,
+                    sim::TransportHandler handler) override;
   void UnregisterPort(sim::NodeId node, uint16_t port) override;
-  sim::Simulator* simulator() override { return network_->simulator(); }
-  sim::Network* network() override { return network_; }
+  sim::Clock* clock() override { return inner_->clock(); }
+  double EstimateDeliveryDelayUs(sim::NodeId src, sim::NodeId dst,
+                                 size_t bytes) const override {
+    return inner_->EstimateDeliveryDelayUs(src, dst, bytes);
+  }
 
   const SecureStats& stats() const { return stats_; }
   SecureStats* mutable_stats() { return &stats_; }
@@ -130,9 +136,9 @@ class SecureTransport : public sim::Transport {
   // failed.
   Session* GetOrEstablish(sim::NodeId src, sim::NodeId dst);
 
-  void OnRawDelivery(const sim::Delivery& delivery);
+  void OnRawDelivery(const sim::TransportDelivery& delivery);
 
-  sim::Network* network_;
+  sim::Transport* inner_;
   const KeyRegistry* registry_;
   CryptoProfile profile_;
   ChannelPolicy policy_;
@@ -144,8 +150,12 @@ class SecureTransport : public sim::Transport {
   // Values are shared_ptr so OnRawDelivery() can pin the handler it is
   // invoking without copying the closure: a handler may close its own port
   // mid-call.
-  std::map<std::pair<sim::NodeId, uint16_t>, std::shared_ptr<sim::TransportHandler>> handlers_;
+  std::map<std::pair<sim::NodeId, uint16_t>, std::shared_ptr<sim::TransportHandler>>
+      handlers_;
   SecureStats stats_;
+  // Guards frames held back on the clock (crypto cost, delivery floors) against
+  // a transport destroyed before they go out.
+  std::shared_ptr<bool> alive_;
 };
 
 }  // namespace globe::sec

@@ -4,10 +4,6 @@
 
 namespace globe::sim {
 
-std::string ToString(const Endpoint& ep) {
-  return "node" + std::to_string(ep.node) + ":" + std::to_string(ep.port);
-}
-
 uint64_t TrafficStats::TotalMessages() const {
   uint64_t total = loopback_messages;
   for (const auto& level : per_level) {
@@ -205,6 +201,28 @@ void Network::RestartNode(NodeId node) {
     crashed_.erase(it);
   }
   SetNodeUp(node, true);
+}
+
+// ---------------------------------------------------------- PlainTransport
+
+void PlainTransport::Send(const Endpoint& src, const Endpoint& dst, Bytes payload) {
+  if (payload.size() > kMaxFrameBytes) {
+    // Same refusal the socket backend's codec applies: the frame never leaves
+    // the sender, and the caller's deadline/retry machinery observes the loss.
+    return;
+  }
+  network_->Send(src, dst, std::move(payload));
+}
+
+void PlainTransport::RegisterPort(NodeId node, uint16_t port, TransportHandler handler) {
+  network_->RegisterPort(node, port, [handler = std::move(handler)](const Delivery& d) {
+    handler(TransportDelivery{d.src, d.dst, d.payload, /*peer_principal=*/0,
+                              /*integrity_protected=*/false});
+  });
+}
+
+void PlainTransport::UnregisterPort(NodeId node, uint16_t port) {
+  network_->UnregisterPort(node, port);
 }
 
 }  // namespace globe::sim

@@ -26,28 +26,11 @@
 
 #include "src/sim/simulator.h"
 #include "src/sim/topology.h"
+#include "src/sim/transport.h"
 #include "src/util/bytes.h"
 #include "src/util/rng.h"
 
 namespace globe::sim {
-
-// Well-known ports for the Globe services (arbitrary but fixed).
-constexpr uint16_t kPortDns = 53;
-constexpr uint16_t kPortHttp = 80;
-constexpr uint16_t kPortGls = 700;
-constexpr uint16_t kPortGos = 701;
-constexpr uint16_t kPortGnsAuthority = 530;
-constexpr uint16_t kPortClientBase = 40000;  // ephemeral ports for clients
-
-struct Endpoint {
-  NodeId node = kNoNode;
-  uint16_t port = 0;
-
-  bool operator==(const Endpoint&) const = default;
-  auto operator<=>(const Endpoint&) const = default;
-};
-
-std::string ToString(const Endpoint& ep);
 
 // A delivered message as seen by the receiving handler.
 struct Delivery {
@@ -185,6 +168,27 @@ class Network {
   TrafficStats stats_;
   std::map<NodeId, uint64_t> per_node_received_;
   Eavesdropper eavesdropper_;
+};
+
+// The simulation-backed Transport: forwards frames to the raw network and runs
+// timers on the virtual clock. Mirrors the socket backend's frame-size limit so
+// oversized sends fail identically in both worlds.
+class PlainTransport : public Transport {
+ public:
+  explicit PlainTransport(Network* network) : network_(network) {}
+
+  void Send(const Endpoint& src, const Endpoint& dst, Bytes payload) override;
+  void RegisterPort(NodeId node, uint16_t port, TransportHandler handler) override;
+  void UnregisterPort(NodeId node, uint16_t port) override;
+  Clock* clock() override { return network_->simulator(); }
+  double EstimateDeliveryDelayUs(NodeId src, NodeId dst, size_t bytes) const override {
+    return network_->DeliveryDelayUs(src, dst, bytes);
+  }
+
+  Network* network() { return network_; }
+
+ private:
+  Network* network_;
 };
 
 }  // namespace globe::sim

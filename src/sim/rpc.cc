@@ -14,21 +14,6 @@ constexpr uint8_t kFrameResponse = 1;
 constexpr double kEwmaAlpha = 0.2;
 }  // namespace
 
-void PlainTransport::Send(const Endpoint& src, const Endpoint& dst, Bytes payload) {
-  network_->Send(src, dst, std::move(payload));
-}
-
-void PlainTransport::RegisterPort(NodeId node, uint16_t port, TransportHandler handler) {
-  network_->RegisterPort(node, port, [handler = std::move(handler)](const Delivery& d) {
-    handler(TransportDelivery{d.src, d.dst, d.payload, /*peer_principal=*/0,
-                              /*integrity_protected=*/false});
-  });
-}
-
-void PlainTransport::UnregisterPort(NodeId node, uint16_t port) {
-  network_->UnregisterPort(node, port);
-}
-
 uint16_t AllocateEphemeralPort() {
   static std::atomic<uint32_t> next{kPortClientBase};
   uint32_t p = next.fetch_add(1);
@@ -64,6 +49,14 @@ void RpcServer::RegisterAsyncMethod(std::string method, AsyncHandler handler,
 }
 
 void RpcServer::OnDelivery(const TransportDelivery& delivery) {
+  if (delivery.transport_error) {
+    // A lost path to some client. Servers are passive: the client's retry
+    // machinery owns recovery, and any response we owed it is simply dropped
+    // on the floor exactly as if the frame had been lost in flight.
+    return;
+  }
+  // The whole frame is parsed as views over the delivery buffer: no field is
+  // copied unless it must outlive this callback (deferred dispatch below).
   ByteReader reader(delivery.payload);
   auto type = reader.ReadU8();
   auto request_id = reader.ReadU64();
@@ -72,8 +65,8 @@ void RpcServer::OnDelivery(const TransportDelivery& delivery) {
     return;
   }
   auto call_id = reader.ReadU64();
-  auto method = reader.ReadString();
-  auto payload = reader.ReadLengthPrefixed();
+  auto method = reader.ReadStringView();
+  auto payload = reader.ReadLengthPrefixedView();
   if (!call_id.ok() || !method.ok() || !payload.ok()) {
     GLOG_WARN << "rpc server " << ToString(endpoint()) << ": truncated request dropped";
     return;
@@ -113,23 +106,27 @@ void RpcServer::OnDelivery(const TransportDelivery& delivery) {
   }
   // Requests queue FIFO behind whatever is already being served; with a pool
   // width above one, the earliest-free virtual CPU takes the next request.
-  Simulator* clock = transport_->simulator();
+  // This is the one path that copies method and payload: they must survive
+  // until the worker gets to them.
+  Clock* clock = transport_->clock();
   auto worker = std::min_element(worker_busy_until_.begin(), worker_busy_until_.end());
-  SimTime start = std::max(clock->Now(), *worker);
+  SimTime now = clock->Now();
+  SimTime start = std::max(now, *worker);
   *worker = start + service_time_;
-  clock->ScheduleAt(*worker, [this, alive = std::weak_ptr<bool>(alive_),
-                                  method = std::move(*method),
-                                  payload = std::move(*payload), context, id,
-                                  dedup_key]() {
-    auto a = alive.lock();
-    if (!a || !*a) {
-      return;
-    }
-    Dispatch(method, payload, context, id, dedup_key);
-  });
+  clock->ScheduleAfter(
+      *worker - now, [this, alive = std::weak_ptr<bool>(alive_),
+                      method = std::string(*method),
+                      payload = Bytes(payload->begin(), payload->end()), context, id,
+                      dedup_key]() {
+        auto a = alive.lock();
+        if (!a || !*a) {
+          return;
+        }
+        Dispatch(method, payload, context, id, dedup_key);
+      });
 }
 
-void RpcServer::Dispatch(const std::string& method, const Bytes& payload,
+void RpcServer::Dispatch(std::string_view method, ByteSpan payload,
                          const RpcContext& context, uint64_t request_id,
                          std::optional<DedupKey> dedup_key) {
   const Endpoint client = context.client;
@@ -149,7 +146,7 @@ void RpcServer::Dispatch(const std::string& method, const Bytes& payload,
                [respond](Result<Bytes> result) { respond(result); });
     return;
   }
-  respond(NotFound("no such method: " + method));
+  respond(NotFound("no such method: " + std::string(method)));
 }
 
 void RpcServer::CompleteDeduped(const DedupKey& key, const Result<Bytes>& result) {
@@ -174,7 +171,7 @@ void RpcServer::CompleteDeduped(const DedupKey& key, const Result<Bytes>& result
     DedupEntry& entry = it->second;
     entry.completed = true;
     entry.response = result;
-    entry.expires_at = transport_->simulator()->Now() + dedup_ttl_;
+    entry.expires_at = transport_->clock()->Now() + dedup_ttl_;
     dedup_expiry_.emplace_back(entry.expires_at, key);
   }
   for (uint64_t attempt : waiting) {
@@ -183,7 +180,7 @@ void RpcServer::CompleteDeduped(const DedupKey& key, const Result<Bytes>& result
 }
 
 void RpcServer::EvictExpiredDedup() {
-  SimTime now = transport_->simulator()->Now();
+  SimTime now = transport_->clock()->Now();
   while (!dedup_expiry_.empty() && dedup_expiry_.front().first <= now) {
     dedup_.erase(dedup_expiry_.front().second);
     dedup_expiry_.pop_front();
@@ -286,9 +283,14 @@ struct PendingCall {
   Bytes request;  // kept for retries
   Channel::Callback done;
   CallOptions options;
-  uint32_t attempt = 1;                         // 1-based
-  SimTime sent_at = 0;                          // last attempt's send time
-  Simulator::EventId event = Simulator::kNoEvent;  // deadline or pending-backoff event
+  uint32_t attempt = 1;  // 1-based
+  SimTime sent_at = 0;   // last attempt's send time
+  // Timer lifecycle, one slot per role so no path can orphan one: exactly one
+  // of these is live while the call is in flight — the deadline while an
+  // attempt is on the wire, the backoff while waiting to resend — and every
+  // exit (response, cancel, channel teardown, peer failure) clears both.
+  Clock::TimerId deadline_timer = Clock::kNoTimer;
+  Clock::TimerId backoff_timer = Clock::kNoTimer;
   // Every attempt goes on the wire under its own request id, so a late response
   // can always be attributed to the exact attempt that caused it (a stale OK
   // completes the call; a stale error was already charged when its deadline
@@ -337,6 +339,18 @@ void EraseAttemptIds(const std::shared_ptr<ChannelState>& state,
   }
 }
 
+void CancelCallTimers(const std::shared_ptr<ChannelState>& state, PendingCall& call) {
+  Clock* clock = state->transport->clock();
+  if (call.deadline_timer != Clock::kNoTimer) {
+    clock->CancelTimer(call.deadline_timer);
+    call.deadline_timer = Clock::kNoTimer;
+  }
+  if (call.backoff_timer != Clock::kNoTimer) {
+    clock->CancelTimer(call.backoff_timer);
+    call.backoff_timer = Clock::kNoTimer;
+  }
+}
+
 // Completes a call: drops its pending entry and load accounting, then runs the
 // callback last — it may destroy the Channel (the caller's shared_ptr keeps the
 // state alive through the call).
@@ -344,6 +358,8 @@ void Finalize(const std::shared_ptr<ChannelState>& state, uint64_t id,
               Result<Bytes> result) {
   auto it = state->pending.find(id);
   assert(it != state->pending.end());
+  assert(it->second.deadline_timer == Clock::kNoTimer &&
+         it->second.backoff_timer == Clock::kNoTimer);
   Channel::Callback done = std::move(it->second.done);
   PeerEntry& peer = state->peers[it->second.server];
   assert(peer.load.outstanding > 0);
@@ -353,6 +369,9 @@ void Finalize(const std::shared_ptr<ChannelState>& state, uint64_t id,
   done(std::move(result));
 }
 
+// Charges one failed attempt against the call's retry budget. The caller must
+// already have cleared the call's timers (the deadline fired, or the response
+// that carried the error cancelled it).
 void OnAttemptFailed(const std::shared_ptr<ChannelState>& state, uint64_t id,
                      Status failure) {
   auto it = state->pending.find(id);
@@ -360,6 +379,8 @@ void OnAttemptFailed(const std::shared_ptr<ChannelState>& state, uint64_t id,
     return;
   }
   PendingCall& call = it->second;
+  assert(call.deadline_timer == Clock::kNoTimer &&
+         call.backoff_timer == Clock::kNoTimer);
   const RetryPolicy& retry = call.options.retry;
   if (call.attempt < retry.attempts && retry.ShouldRetry(failure)) {
     ++state->stats.retries;
@@ -371,7 +392,7 @@ void OnAttemptFailed(const std::shared_ptr<ChannelState>& state, uint64_t id,
     call.current_attempt_id = attempt_id;
     call.attempt_ids.push_back(attempt_id);
     state->attempt_to_call[attempt_id] = id;
-    call.event = state->transport->simulator()->ScheduleAfter(
+    call.backoff_timer = state->transport->clock()->ScheduleAfter(
         backoff, [weak = std::weak_ptr<ChannelState>(state), id]() {
           if (auto s = weak.lock()) {
             SendAttempt(s, id);
@@ -386,10 +407,10 @@ void OnAttemptFailed(const std::shared_ptr<ChannelState>& state, uint64_t id,
 void OnDeadline(const std::shared_ptr<ChannelState>& state, uint64_t id) {
   auto it = state->pending.find(id);
   if (it == state->pending.end()) {
-    return;  // already answered (the deadline event should have been cancelled)
+    return;  // already answered (the deadline timer should have been cancelled)
   }
   ++state->stats.deadline_exceeded;
-  it->second.event = Simulator::kNoEvent;
+  it->second.deadline_timer = Clock::kNoTimer;
   OnAttemptFailed(state, id,
                   Unavailable("rpc deadline exceeded: " + it->second.method));
 }
@@ -400,6 +421,7 @@ void SendAttempt(const std::shared_ptr<ChannelState>& state, uint64_t id) {
     return;
   }
   PendingCall& call = it->second;
+  call.backoff_timer = Clock::kNoTimer;  // if we got here via backoff, it fired
 
   ByteWriter writer;
   writer.WriteU8(kFrameRequest);
@@ -412,14 +434,14 @@ void SendAttempt(const std::shared_ptr<ChannelState>& state, uint64_t id) {
   writer.WriteString(call.method);
   writer.WriteLengthPrefixed(call.request);
 
-  Simulator* clock = state->transport->simulator();
+  Clock* clock = state->transport->clock();
   call.sent_at = clock->Now();
-  call.event = clock->ScheduleAfter(call.options.deadline,
-                                    [weak = std::weak_ptr<ChannelState>(state), id]() {
-                                      if (auto s = weak.lock()) {
-                                        OnDeadline(s, id);
-                                      }
-                                    });
+  call.deadline_timer = clock->ScheduleAfter(
+      call.options.deadline, [weak = std::weak_ptr<ChannelState>(state), id]() {
+        if (auto s = weak.lock()) {
+          OnDeadline(s, id);
+        }
+      });
   // The request copy exists only to be re-sent; once no retries remain (the
   // common case — attempts defaults to 1), release it rather than holding a
   // second copy of a possibly large payload for the call's whole lifetime.
@@ -429,8 +451,36 @@ void SendAttempt(const std::shared_ptr<ChannelState>& state, uint64_t id) {
   state->transport->Send({state->node, state->port}, call.server, writer.Take());
 }
 
+// The transport lost its path to `peer` (socket backend: connection refused,
+// reset, or EOF). Every call with an attempt on the wire towards that peer
+// fails fast with UNAVAILABLE — exactly the code retry policies treat as
+// transient, so budgets and backoff engage instead of waiting out deadlines.
+// Calls already sitting in backoff are left alone: their resend will probe the
+// peer again.
+void OnPeerFailed(const std::shared_ptr<ChannelState>& state, const Endpoint& peer) {
+  std::vector<uint64_t> affected;
+  for (auto& [id, call] : state->pending) {
+    if (call.server == peer && call.deadline_timer != Clock::kNoTimer) {
+      affected.push_back(id);
+    }
+  }
+  for (uint64_t id : affected) {
+    auto it = state->pending.find(id);
+    if (it == state->pending.end()) {
+      continue;  // a previous failure's callback cancelled it
+    }
+    CancelCallTimers(state, it->second);
+    OnAttemptFailed(state, id,
+                    Unavailable("transport lost peer " + ToString(peer)));
+  }
+}
+
 void OnChannelDelivery(const std::shared_ptr<ChannelState>& state,
                        const TransportDelivery& delivery) {
+  if (delivery.transport_error) {
+    OnPeerFailed(state, delivery.src);
+    return;
+  }
   ByteReader reader(delivery.payload);
   auto type = reader.ReadU8();
   auto request_id = reader.ReadU64();
@@ -447,8 +497,8 @@ void OnChannelDelivery(const std::shared_ptr<ChannelState>& state,
     return;
   }
   auto code = reader.ReadU8();
-  auto message = reader.ReadString();
-  auto payload = reader.ReadLengthPrefixed();
+  auto message = reader.ReadStringView();
+  auto payload = reader.ReadLengthPrefixedView();
   if (!code.ok() || !message.ok() || !payload.ok()) {
     return;
   }
@@ -464,27 +514,25 @@ void OnChannelDelivery(const std::shared_ptr<ChannelState>& state,
     return;
   }
 
-  // The response landed: erase the deadline (or pending-backoff) event so the
-  // drained simulator never replays a timeout that did not happen.
-  if (call.event != Simulator::kNoEvent) {
-    state->transport->simulator()->Cancel(call.event);
-    call.event = Simulator::kNoEvent;
-  }
+  // The response landed: erase the deadline (or, for a stale OK that overtakes
+  // a scheduled retry, the pending backoff) so the drained clock never replays
+  // a timeout that did not happen.
+  CancelCallTimers(state, call);
 
   PeerLoad& load = state->peers[call.server].load;
   ++load.completed;
   double latency =
-      static_cast<double>(state->transport->simulator()->Now() - call.sent_at);
+      static_cast<double>(state->transport->clock()->Now() - call.sent_at);
   load.ewma_latency_us = load.ewma_latency_us == 0
                              ? latency
                              : (1 - kEwmaAlpha) * load.ewma_latency_us +
                                    kEwmaAlpha * latency;
 
   if (*code == static_cast<uint8_t>(StatusCode::kOk)) {
-    Finalize(state, call_id, std::move(*payload));
+    Finalize(state, call_id, Bytes(payload->begin(), payload->end()));
     return;
   }
-  Status failure(static_cast<StatusCode>(*code), std::move(*message));
+  Status failure(static_cast<StatusCode>(*code), std::string(*message));
   OnAttemptFailed(state, call_id, std::move(failure));
 }
 
@@ -506,12 +554,10 @@ Channel::Channel(Transport* transport, NodeId node)
 
 Channel::~Channel() {
   state_->transport->UnregisterPort(state_->node, state_->port);
-  // Erase every in-flight deadline/backoff event: a destroyed client must not
-  // leave the simulator holding 30 s of dead virtual time.
+  // Erase every in-flight deadline/backoff timer: a destroyed client must not
+  // leave the clock holding 30 s of dead time.
   for (auto& [id, call] : state_->pending) {
-    if (call.event != Simulator::kNoEvent) {
-      state_->transport->simulator()->Cancel(call.event);
-    }
+    CancelCallTimers(state_, call);
   }
   state_->pending.clear();
   state_->attempt_to_call.clear();
@@ -556,9 +602,10 @@ void CallHandle::Cancel() {
   if (it == state->pending.end()) {
     return;  // already completed
   }
-  if (it->second.event != Simulator::kNoEvent) {
-    state->transport->simulator()->Cancel(it->second.event);
-  }
+  // Both timer slots are cleared, so a call cancelled between attempts — while
+  // its backoff timer (not a deadline) is the live one — schedules nothing
+  // further on either backend.
+  CancelCallTimers(state, it->second);
   PeerEntry& peer = state->peers[it->second.server];
   assert(peer.load.outstanding > 0);
   --peer.load.outstanding;

@@ -1,10 +1,12 @@
-// Request/response RPC over the simulated network.
+// Request/response RPC over the transport seam.
 //
 // Globe services talk to each other in request/response style (GLS lookups, GOS
 // commands, DNS queries, HTTP). This layer provides correlation, deadlines, retries
 // and a pluggable Transport so the secure channel wrapper in src/sec can interpose
 // without the services knowing (the paper §6.3 swaps TCP for TLS exactly this way:
-// "we have cleanly separated communication from functional layers").
+// "we have cleanly separated communication from functional layers"). Everything
+// here is written against sim::Transport and sim::Clock only, so the same stack
+// runs over the simulated network and over real TCP (src/net).
 //
 // Client API, in three layers:
 //   - Channel: the per-process client half. Channel::Call issues a call and returns
@@ -37,60 +39,18 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <type_traits>
 #include <utility>
 #include <vector>
 
-#include "src/sim/network.h"
-#include "src/sim/simulator.h"
+#include "src/sim/clock.h"
+#include "src/sim/endpoint.h"
+#include "src/sim/transport.h"
 #include "src/util/serial.h"
 #include "src/util/status.h"
 
 namespace globe::sim {
-
-// What the RPC layer sees after the transport has processed an incoming frame.
-// `peer_principal` is filled in by authenticated transports (0 = unauthenticated);
-// plain transports always deliver 0.
-struct TransportDelivery {
-  Endpoint src;
-  Endpoint dst;
-  Bytes payload;
-  uint64_t peer_principal = 0;
-  bool integrity_protected = false;
-};
-
-using TransportHandler = std::function<void(const TransportDelivery&)>;
-
-// Abstract message transport. PlainTransport forwards to the raw network;
-// sec::SecureTransport adds handshakes, MACs and optional encryption.
-class Transport {
- public:
-  virtual ~Transport() = default;
-  virtual void Send(const Endpoint& src, const Endpoint& dst, Bytes payload) = 0;
-  virtual void RegisterPort(NodeId node, uint16_t port, TransportHandler handler) = 0;
-  virtual void UnregisterPort(NodeId node, uint16_t port) = 0;
-  virtual Simulator* simulator() = 0;
-  // The underlying network, for topology-aware decisions (nearest-replica picks) and
-  // traffic statistics. Never used to bypass the transport for sending.
-  virtual Network* network() = 0;
-};
-
-class PlainTransport : public Transport {
- public:
-  explicit PlainTransport(Network* network) : network_(network) {}
-
-  void Send(const Endpoint& src, const Endpoint& dst, Bytes payload) override;
-  void RegisterPort(NodeId node, uint16_t port, TransportHandler handler) override;
-  void UnregisterPort(NodeId node, uint16_t port) override;
-  Simulator* simulator() override { return network_->simulator(); }
-  Network* network() override { return network_; }
-
- private:
-  Network* network_;
-};
-
-// Allocates process-wide unique ephemeral ports for RPC clients.
-uint16_t AllocateEphemeralPort();
 
 // Per-call metadata passed to server handlers.
 struct RpcContext {
@@ -193,7 +153,7 @@ class RpcServer {
   };
 
   void OnDelivery(const TransportDelivery& delivery);
-  void Dispatch(const std::string& method, const Bytes& payload,
+  void Dispatch(std::string_view method, ByteSpan payload,
                 const RpcContext& context, uint64_t request_id,
                 std::optional<DedupKey> dedup_key);
   void SendResponse(const Endpoint& client, uint64_t request_id,
@@ -205,9 +165,11 @@ class RpcServer {
   Transport* transport_;
   NodeId node_;
   uint16_t port_;
-  std::map<std::string, SyncHandler> sync_methods_;
-  std::map<std::string, AsyncHandler> async_methods_;
-  std::map<std::string, MethodTraits> method_traits_;
+  // Transparent comparators: lookups run on string_views into the receive
+  // buffer without materialising a std::string per request.
+  std::map<std::string, SyncHandler, std::less<>> sync_methods_;
+  std::map<std::string, AsyncHandler, std::less<>> async_methods_;
+  std::map<std::string, MethodTraits, std::less<>> method_traits_;
   uint64_t requests_served_ = 0;
   SimTime service_time_ = 0;
   std::vector<SimTime> worker_busy_until_{0};  // one slot per virtual CPU

@@ -21,42 +21,38 @@
 #include <unordered_set>
 #include <vector>
 
+#include "src/sim/clock.h"
+
 namespace globe::sim {
 
-// Simulated time in microseconds since simulation start.
-using SimTime = uint64_t;
-
-constexpr SimTime kMicrosecond = 1;
-constexpr SimTime kMillisecond = 1000;
-constexpr SimTime kSecond = 1000 * 1000;
-
-inline double ToMillis(SimTime t) { return static_cast<double>(t) / 1000.0; }
-inline double ToSeconds(SimTime t) { return static_cast<double>(t) / 1e6; }
-
-class Simulator {
+// The virtual-time implementation of the Clock seam (src/sim/clock.h): an
+// event queue whose head defines "now".
+class Simulator : public Clock {
  public:
-  // Handle to a scheduled event; kNoEvent is never a live event.
-  using EventId = uint64_t;
-  static constexpr EventId kNoEvent = 0;
+  // Handle to a scheduled event; kNoEvent is never a live event. Events are
+  // Clock timers — EventId is the historical name for TimerId.
+  using EventId = Clock::TimerId;
+  static constexpr EventId kNoEvent = Clock::kNoTimer;
 
   Simulator() = default;
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
 
-  SimTime Now() const { return now_; }
+  SimTime Now() const override { return now_; }
 
   // Schedules fn to run at absolute time t (>= Now). Events scheduled for the same
   // time run in scheduling order (stable).
   EventId ScheduleAt(SimTime t, std::function<void()> fn);
 
   // Schedules fn to run after the given delay.
-  EventId ScheduleAfter(SimTime delay, std::function<void()> fn) {
+  EventId ScheduleAfter(SimTime delay, std::function<void()> fn) override {
     return ScheduleAt(now_ + delay, std::move(fn));
   }
 
   // Erases a pending event: it will neither run nor advance the clock. Returns
   // false if the event already ran, was already cancelled, or never existed.
   bool Cancel(EventId id);
+  bool CancelTimer(TimerId id) override { return Cancel(id); }
 
   // Runs a single live event. Returns false if no live events remain.
   bool Step();

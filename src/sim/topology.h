@@ -14,15 +14,14 @@
 #include <string>
 #include <vector>
 
+#include "src/sim/endpoint.h"  // NodeId lives with the transport seam
 #include "src/util/status.h"
 
 namespace globe::sim {
 
 using DomainId = uint32_t;
-using NodeId = uint32_t;
 
 constexpr DomainId kNoDomain = static_cast<DomainId>(-1);
-constexpr NodeId kNoNode = static_cast<NodeId>(-1);
 
 // Communication cost parameters indexed by "ascent level": the number of tree levels
 // one must climb from the leaf domains to reach the lowest common ancestor.
@@ -61,7 +60,9 @@ class Topology {
   const std::string& NodeName(NodeId n) const { return nodes_[n].name; }
   DomainId DomainParent(DomainId d) const { return domains_[d].parent; }
   DomainId NodeDomain(NodeId n) const { return nodes_[n].domain; }
-  const std::vector<DomainId>& DomainChildren(DomainId d) const { return domains_[d].children; }
+  const std::vector<DomainId>& DomainChildren(DomainId d) const {
+    return domains_[d].children;
+  }
   int DomainDepth(DomainId d) const { return domains_[d].depth; }
 
   // Lowest common ancestor of two domains. Both must belong to the same tree.

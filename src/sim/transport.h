@@ -1,0 +1,88 @@
+// The transport seam: pluggable message delivery between Globe endpoints.
+//
+// Everything above this interface — Channel, RpcServer, TypedMethod, the GLS
+// directory tree, DNS, object servers, HTTPD — is written against Transport
+// and Clock only. Backends below it decide what a frame physically is:
+//   - sim::PlainTransport forwards to the simulated sim::Network (virtual
+//     time, fault injection, per-level traffic accounting);
+//   - sec::SecureTransport decorates any inner Transport with handshakes,
+//     MACs and optional encryption;
+//   - net::SocketTransport frames messages over non-blocking TCP driven by an
+//     epoll event loop (real time, real bytes).
+// The paper swaps TCP for TLS exactly this way (§6.3): "we have cleanly
+// separated communication from functional layers".
+
+#ifndef SRC_SIM_TRANSPORT_H_
+#define SRC_SIM_TRANSPORT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+
+#include "src/sim/clock.h"
+#include "src/sim/endpoint.h"
+#include "src/util/bytes.h"
+
+namespace globe::sim {
+
+// Frames larger than this are refused at the send side by every backend (and
+// at the decode side by the socket backend, where a corrupt length prefix must
+// not trigger an unbounded allocation). Generously above the largest legitimate
+// frame in the tree — 1 MB object-server file blocks plus headers.
+constexpr size_t kMaxFrameBytes = 8 * 1024 * 1024;
+
+// What the RPC layer sees after the transport has processed an incoming frame.
+// `peer_principal` is filled in by authenticated transports (0 = unauthenticated);
+// plain transports always deliver 0.
+//
+// A delivery with `transport_error` set carries no payload: it tells the port
+// that the transport lost its path to `src` (connection refused, peer reset,
+// EOF mid-stream) and any requests in flight towards it should fail fast with
+// UNAVAILABLE instead of waiting out their deadlines. The simulated network
+// never emits these — lost datagrams simply vanish, and deadlines do the work.
+struct TransportDelivery {
+  Endpoint src;
+  Endpoint dst;
+  Bytes payload;
+  uint64_t peer_principal = 0;
+  bool integrity_protected = false;
+  bool transport_error = false;
+};
+
+using TransportHandler = std::function<void(const TransportDelivery&)>;
+
+// Abstract message transport. Delivery is asynchronous (handlers run from the
+// backend's clock/event loop, never from inside Send) and unreliable: a frame
+// may be lost, and the RPC layer's deadlines + retries are the recovery story
+// on every backend.
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  virtual void Send(const Endpoint& src, const Endpoint& dst, Bytes payload) = 0;
+  virtual void RegisterPort(NodeId node, uint16_t port, TransportHandler handler) = 0;
+  virtual void UnregisterPort(NodeId node, uint16_t port) = 0;
+
+  // The clock driving this transport. All timers code above the seam schedules
+  // (deadlines, backoff, TTL eviction) run on it, interleaved with deliveries.
+  virtual Clock* clock() = 0;
+
+  // Estimated one-way delivery delay for a payload of the given size, in
+  // microseconds. Purely advisory — used for nearest-replica ranking and the
+  // secure transport's FIFO delivery floors, never for correctness. Backends
+  // without a topology (real sockets) report 0: every peer looks equally near,
+  // which is exactly true on loopback.
+  virtual double EstimateDeliveryDelayUs(NodeId src, NodeId dst, size_t bytes) const {
+    (void)src;
+    (void)dst;
+    (void)bytes;
+    return 0;
+  }
+};
+
+// Allocates process-wide unique ephemeral ports for RPC clients.
+uint16_t AllocateEphemeralPort();
+
+}  // namespace globe::sim
+
+#endif  // SRC_SIM_TRANSPORT_H_

@@ -54,7 +54,8 @@ Result<uint16_t> ByteReader::ReadU16() {
   if (remaining() < 2) {
     return OutOfRange("ReadU16 past end");
   }
-  uint16_t v = static_cast<uint16_t>(data_[pos_]) | static_cast<uint16_t>(data_[pos_ + 1]) << 8;
+  uint16_t v = static_cast<uint16_t>(data_[pos_]) |
+               static_cast<uint16_t>(data_[pos_ + 1]) << 8;
   pos_ += 2;
   return v;
 }
@@ -122,6 +123,28 @@ Result<Bytes> ByteReader::ReadLengthPrefixed() {
 Result<std::string> ByteReader::ReadString() {
   ASSIGN_OR_RETURN(Bytes bytes, ReadLengthPrefixed());
   return std::string(bytes.begin(), bytes.end());
+}
+
+Result<ByteSpan> ByteReader::ReadSpan(size_t n) {
+  if (remaining() < n) {
+    return OutOfRange("ReadSpan past end");
+  }
+  ByteSpan out = data_.subspan(pos_, n);
+  pos_ += n;
+  return out;
+}
+
+Result<ByteSpan> ByteReader::ReadLengthPrefixedView() {
+  ASSIGN_OR_RETURN(uint64_t len, ReadVarint());
+  if (len > remaining()) {
+    return OutOfRange("length prefix exceeds remaining data");
+  }
+  return ReadSpan(static_cast<size_t>(len));
+}
+
+Result<std::string_view> ByteReader::ReadStringView() {
+  ASSIGN_OR_RETURN(ByteSpan bytes, ReadLengthPrefixedView());
+  return std::string_view(reinterpret_cast<const char*>(bytes.data()), bytes.size());
 }
 
 Result<bool> ByteReader::ReadBool() {

@@ -60,6 +60,14 @@ class ByteReader {
   Result<std::string> ReadString();
   Result<bool> ReadBool();
 
+  // Zero-copy variants: the returned view aliases the span this reader was
+  // constructed over, so it is valid only while that buffer is. The RPC hot
+  // path parses frames with these — one receive buffer, no per-field copies —
+  // and copies exactly the fields that must outlive the delivery.
+  Result<ByteSpan> ReadSpan(size_t n);            // raw view
+  Result<ByteSpan> ReadLengthPrefixedView();      // varint length + raw view
+  Result<std::string_view> ReadStringView();      // varint length + raw view
+
   size_t remaining() const { return data_.size() - pos_; }
   bool AtEnd() const { return pos_ == data_.size(); }
   size_t position() const { return pos_; }

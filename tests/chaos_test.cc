@@ -28,6 +28,7 @@
 #include "src/gls/deploy.h"
 #include "src/gos/object_server.h"
 #include "src/util/sha256.h"
+#include "src/sim/backend.h"
 
 namespace globe {
 namespace {

@@ -12,6 +12,7 @@
 #include "src/dns/zone.h"
 #include "src/sec/secure_transport.h"
 #include "src/sim/rpc.h"
+#include "src/sim/backend.h"
 
 namespace globe::dns {
 namespace {
@@ -460,7 +461,8 @@ class GnsTest : public ::testing::Test {
   GnsTest()
       : world_(BuildUniformWorld({2, 2, 2}, 2)),
         network_(&simulator_, &world_.topology),
-        secure_(&network_, &registry_) {
+        plain_(&network_),
+        secure_(&plain_, &registry_) {
     moderator_cred_ = registry_.Register("moderator-arno", sec::Role::kModerator);
     user_cred_ = registry_.Register("random-user", sec::Role::kUser);
     na_host_cred_ = registry_.Register("na-host", sec::Role::kGdnHost);
@@ -510,6 +512,7 @@ class GnsTest : public ::testing::Test {
   sim::Simulator simulator_;
   UniformWorld world_;
   sim::Network network_;
+  sim::PlainTransport plain_;
   sec::KeyRegistry registry_;
   sec::SecureTransport secure_;
   sec::Credential moderator_cred_, user_cred_, na_host_cred_;

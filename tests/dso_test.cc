@@ -15,6 +15,7 @@
 #include "src/dso/repository.h"
 #include "src/dso/runtime.h"
 #include "src/gls/deploy.h"
+#include "src/sim/backend.h"
 
 namespace globe::dso {
 namespace {

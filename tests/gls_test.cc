@@ -11,6 +11,7 @@
 #include "src/gls/oid.h"
 #include "src/sec/secure_transport.h"
 #include "src/sim/rpc.h"
+#include "src/sim/backend.h"
 
 namespace globe::gls {
 namespace {
@@ -349,7 +350,8 @@ TEST(GlsAuthTest, UnauthenticatedRegistrationRejected) {
   UniformWorld world = BuildUniformWorld({2, 2}, 2);
   sec::KeyRegistry registry;
   sim::Network network(&simulator, &world.topology);
-  sec::SecureTransport secure(&network, &registry);
+  sim::PlainTransport plain(&network);
+  sec::SecureTransport secure(&plain, &registry);
 
   GlsDeploymentOptions options;
   options.node_options.enforce_authorization = true;
@@ -733,7 +735,8 @@ TEST(GlsAuthTest, CachedAndBatchedPathsStillDenyUnauthenticated) {
   UniformWorld world = BuildUniformWorld({2, 2}, 2);
   sec::KeyRegistry registry;
   sim::Network network(&simulator, &world.topology);
-  sec::SecureTransport secure(&network, &registry);
+  sim::PlainTransport plain(&network);
+  sec::SecureTransport secure(&plain, &registry);
 
   GlsDeploymentOptions options;
   options.node_options.enforce_authorization = true;

@@ -7,6 +7,7 @@
 #include "src/gos/object_server.h"
 #include "src/sec/secure_transport.h"
 #include "tests/test_util.h"
+#include "src/sim/backend.h"
 
 namespace globe::gos {
 namespace {
@@ -321,7 +322,8 @@ TEST(GosAuthTest, OnlyModeratorsMayCommand) {
   UniformWorld world = BuildUniformWorld({2, 2}, 2);
   sec::KeyRegistry registry;
   sim::Network network(&simulator, &world.topology);
-  sec::SecureTransport secure(&network, &registry);
+  sim::PlainTransport plain(&network);
+  sec::SecureTransport secure(&plain, &registry);
   dso::ImplementationRepository repository;
   repository.RegisterSemantics(std::make_unique<KvObject>());
   gls::GlsDeployment deployment(&secure, &world.topology, &registry);

@@ -18,6 +18,7 @@
 #include "src/gls/deploy.h"
 #include "src/http/http.h"
 #include "tests/test_util.h"
+#include "src/sim/backend.h"
 
 namespace globe {
 namespace {

@@ -9,6 +9,7 @@
 #include "src/sec/secure_transport.h"
 #include "src/sim/rpc.h"
 #include "src/util/rng.h"
+#include "src/sim/backend.h"
 
 namespace globe::sec {
 namespace {
@@ -117,7 +118,8 @@ class SecureTransportTest : public ::testing::Test {
   SecureTransportTest()
       : world_(BuildUniformWorld({2, 2}, 2)),
         network_(&simulator_, &world_.topology),
-        transport_(&network_, &registry_) {
+        plain_(&network_),
+        transport_(&plain_, &registry_) {
     host_a_ = world_.hosts[0];
     host_b_ = world_.hosts[5];  // different continent
     user_machine_ = world_.hosts[2];
@@ -173,6 +175,7 @@ class SecureTransportTest : public ::testing::Test {
   sim::Simulator simulator_;
   UniformWorld world_;
   sim::Network network_;
+  sim::PlainTransport plain_;
   KeyRegistry registry_;
   SecureTransport transport_;
   NodeId host_a_, host_b_, user_machine_;
@@ -234,7 +237,8 @@ TEST_F(SecureTransportTest, TamperedFrameIsDroppedByMac) {
   sim::NetworkOptions options;
   options.tamper_probability = 1.0;
   sim::Network lossy(&simulator_, &world_.topology, options);
-  SecureTransport secure(&lossy, &registry_);
+  sim::PlainTransport lossy_plain(&lossy);
+  SecureTransport secure(&lossy_plain, &registry_);
   secure.SetNodeCredential(host_a_, cred_a_);
   secure.SetNodeCredential(host_b_, cred_b_);
   secure.SetChannelPolicy([](NodeId, NodeId) {

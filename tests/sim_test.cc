@@ -4,10 +4,8 @@
 
 #include <vector>
 
-#include "src/sim/network.h"
+#include "src/sim/backend.h"
 #include "src/sim/rpc.h"
-#include "src/sim/simulator.h"
-#include "src/sim/topology.h"
 
 namespace globe::sim {
 namespace {

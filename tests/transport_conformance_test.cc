@@ -1,0 +1,437 @@
+// Transport conformance: one suite, every backend.
+//
+// The transport seam promises the layers above it (Channel, RpcServer, the
+// whole service stack) the same observable behaviour whatever carries the
+// frames. These tests run identically — same source, parameterized fixture —
+// against the simulated network (virtual time) and the epoll socket backend
+// (real loopback TCP, wall-clock time):
+//   - delivery order between one endpoint pair is preserved,
+//   - unregistering a port mid-delivery drops frames safely (including a
+//     handler unregistering its own port),
+//   - frames over kMaxFrameBytes are refused at the send side without harming
+//     the connection,
+//   - a dead peer surfaces as UNAVAILABLE and retries engage,
+//   - a cancelled call schedules no further attempts (the retry-backoff timer
+//     regression), and
+//   - a typed RPC round-trips.
+// Plus a socket-only end-to-end: a real HTTP GET over a plain TCP socket
+// fetches a package file from a StandaloneGdnNode.
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/gdn/standalone.h"
+#include "src/net/event_loop.h"
+#include "src/net/socket_transport.h"
+#include "src/sim/backend.h"
+#include "src/sim/rpc.h"
+#include "src/util/strings.h"
+
+namespace globe {
+namespace {
+
+enum class Backend { kSim, kNet };
+
+// What a conformance test needs from a backend: transports for a "client
+// process" and a "server process", node allocation, a way to crash the server
+// process, and a pump. On the simulated backend both processes share one
+// network and time is virtual; on the socket backend they are two transports
+// joined only by loopback TCP and time is the wall clock.
+class TransportFixture {
+ public:
+  virtual ~TransportFixture() = default;
+  virtual sim::Transport* client_transport() = 0;
+  virtual sim::Transport* server_transport() = 0;
+  virtual sim::NodeId NewClientNode() = 0;
+  virtual sim::NodeId NewServerNode() = 0;
+  // The server process dies: its ports become unreachable, established
+  // connections (where connections exist) reset.
+  virtual void KillServer() = 0;
+  virtual bool RunUntil(const std::function<bool()>& pred, sim::SimTime timeout) = 0;
+  virtual void RunFor(sim::SimTime duration) = 0;
+};
+
+class SimFixture : public TransportFixture {
+ public:
+  SimFixture() {
+    domain_ = topology_.AddDomain("conformance", sim::kNoDomain);
+    network_ = std::make_unique<sim::Network>(&simulator_, &topology_,
+                                              sim::NetworkOptions{});
+    transport_ = std::make_unique<sim::PlainTransport>(network_.get());
+  }
+
+  sim::Transport* client_transport() override { return transport_.get(); }
+  sim::Transport* server_transport() override { return transport_.get(); }
+  sim::NodeId NewClientNode() override { return topology_.AddNode("client", domain_); }
+  sim::NodeId NewServerNode() override {
+    sim::NodeId node = topology_.AddNode("server", domain_);
+    server_nodes_.push_back(node);
+    return node;
+  }
+  void KillServer() override {
+    for (sim::NodeId node : server_nodes_) {
+      network_->SetNodeUp(node, false);
+    }
+  }
+  bool RunUntil(const std::function<bool()>& pred, sim::SimTime timeout) override {
+    sim::SimTime deadline = simulator_.Now() + timeout;
+    while (!pred()) {
+      if (simulator_.Now() >= deadline) {
+        return false;
+      }
+      if (!simulator_.Step()) {
+        return pred();
+      }
+    }
+    return true;
+  }
+  void RunFor(sim::SimTime duration) override {
+    simulator_.RunUntil(simulator_.Now() + duration);
+  }
+
+ private:
+  sim::Simulator simulator_;
+  sim::Topology topology_;
+  sim::DomainId domain_ = sim::kNoDomain;
+  std::unique_ptr<sim::Network> network_;
+  std::unique_ptr<sim::PlainTransport> transport_;
+  std::vector<sim::NodeId> server_nodes_;
+};
+
+class NetFixture : public TransportFixture {
+ public:
+  NetFixture() {
+    client_ = std::make_unique<net::SocketTransport>(&loop_);
+    server_ = std::make_unique<net::SocketTransport>(&loop_);
+  }
+
+  sim::Transport* client_transport() override { return client_.get(); }
+  sim::Transport* server_transport() override { return server_.get(); }
+  sim::NodeId NewClientNode() override { return next_node_++; }
+  sim::NodeId NewServerNode() override {
+    sim::NodeId node = next_node_++;
+    auto port = server_->Listen(node);
+    EXPECT_TRUE(port.ok()) << port.status();
+    client_->AddRoute(node, "127.0.0.1", *port);
+    return node;
+  }
+  void KillServer() override {
+    // Destroying the transport closes the listeners and every connection;
+    // peers observe resets / refused connects.
+    server_.reset();
+  }
+  bool RunUntil(const std::function<bool()>& pred, sim::SimTime timeout) override {
+    return loop_.RunUntil(pred, timeout);
+  }
+  void RunFor(sim::SimTime duration) override { loop_.RunFor(duration); }
+
+ private:
+  net::EventLoop loop_;
+  std::unique_ptr<net::SocketTransport> client_;
+  std::unique_ptr<net::SocketTransport> server_;
+  sim::NodeId next_node_ = 1;
+};
+
+class TransportConformanceTest : public ::testing::TestWithParam<Backend> {
+ protected:
+  void SetUp() override {
+    if (GetParam() == Backend::kSim) {
+      fixture_ = std::make_unique<SimFixture>();
+    } else {
+      fixture_ = std::make_unique<NetFixture>();
+    }
+  }
+
+  std::unique_ptr<TransportFixture> fixture_;
+};
+
+TEST_P(TransportConformanceTest, DeliveryOrderIsPreserved) {
+  sim::NodeId client = fixture_->NewClientNode();
+  sim::NodeId server = fixture_->NewServerNode();
+
+  std::vector<uint8_t> received;
+  fixture_->server_transport()->RegisterPort(
+      server, 7000, [&](const sim::TransportDelivery& d) {
+        if (!d.transport_error) {
+          received.push_back(d.payload.at(0));
+        }
+      });
+
+  constexpr int kFrames = 100;
+  for (int i = 0; i < kFrames; ++i) {
+    fixture_->client_transport()->Send({client, 41000}, {server, 7000},
+                                       Bytes{static_cast<uint8_t>(i)});
+  }
+  ASSERT_TRUE(fixture_->RunUntil(
+      [&]() { return received.size() == kFrames; }, 10 * sim::kSecond));
+  for (int i = 0; i < kFrames; ++i) {
+    EXPECT_EQ(received[i], static_cast<uint8_t>(i)) << "frame " << i << " out of order";
+  }
+  fixture_->server_transport()->UnregisterPort(server, 7000);
+}
+
+TEST_P(TransportConformanceTest, PortUnregisterDuringDelivery) {
+  sim::NodeId client = fixture_->NewClientNode();
+  sim::NodeId server = fixture_->NewServerNode();
+  sim::Transport* st = fixture_->server_transport();
+
+  int a_deliveries = 0;
+  int b_deliveries = 0;
+  st->RegisterPort(server, 7001, [&](const sim::TransportDelivery& d) {
+    if (d.transport_error) {
+      return;
+    }
+    ++a_deliveries;
+    // Mid-delivery, tear down the neighbour port AND this very port. Frames
+    // already in flight to either must be dropped, not crash.
+    st->UnregisterPort(server, 7002);
+    st->UnregisterPort(server, 7001);
+  });
+  st->RegisterPort(server, 7002, [&](const sim::TransportDelivery& d) {
+    if (!d.transport_error) {
+      ++b_deliveries;
+    }
+  });
+
+  sim::Transport* ct = fixture_->client_transport();
+  ct->Send({client, 41000}, {server, 7001}, Bytes{1});
+  ct->Send({client, 41000}, {server, 7001}, Bytes{2});  // self-unregistered
+  ct->Send({client, 41000}, {server, 7002}, Bytes{3});  // neighbour-unregistered
+
+  fixture_->RunUntil([&]() { return a_deliveries >= 1; }, 10 * sim::kSecond);
+  fixture_->RunFor(200 * sim::kMillisecond);
+  EXPECT_EQ(a_deliveries, 1);
+  EXPECT_EQ(b_deliveries, 0);
+}
+
+TEST_P(TransportConformanceTest, OversizedFrameIsRefusedAtSend) {
+  sim::NodeId client = fixture_->NewClientNode();
+  sim::NodeId server = fixture_->NewServerNode();
+
+  size_t deliveries = 0;
+  size_t last_size = 0;
+  fixture_->server_transport()->RegisterPort(
+      server, 7003, [&](const sim::TransportDelivery& d) {
+        if (!d.transport_error) {
+          ++deliveries;
+          last_size = d.payload.size();
+        }
+      });
+
+  fixture_->client_transport()->Send({client, 41000}, {server, 7003},
+                                     Bytes(sim::kMaxFrameBytes + 1, 0xAA));
+  // The refusal must not poison the path: a legitimate frame still arrives.
+  fixture_->client_transport()->Send({client, 41000}, {server, 7003}, Bytes{0x55});
+
+  ASSERT_TRUE(
+      fixture_->RunUntil([&]() { return deliveries >= 1; }, 10 * sim::kSecond));
+  fixture_->RunFor(100 * sim::kMillisecond);
+  EXPECT_EQ(deliveries, 1u);
+  EXPECT_EQ(last_size, 1u);
+  fixture_->server_transport()->UnregisterPort(server, 7003);
+}
+
+TEST_P(TransportConformanceTest, TypedRpcRoundTrip) {
+  sim::NodeId client_node = fixture_->NewClientNode();
+  sim::NodeId server_node = fixture_->NewServerNode();
+
+  sim::RpcServer server(fixture_->server_transport(), server_node, 7004);
+  server.RegisterMethod("echo", [](const sim::RpcContext&, ByteSpan request) {
+    return Bytes(request.begin(), request.end());
+  });
+
+  sim::Channel channel(fixture_->client_transport(), client_node);
+  Result<Bytes> out = Unavailable("pending");
+  bool done = false;
+  channel.Call(server.endpoint(), "echo", Bytes{1, 2, 3, 4}, [&](Result<Bytes> r) {
+    out = std::move(r);
+    done = true;
+  });
+  ASSERT_TRUE(fixture_->RunUntil([&]() { return done; }, 10 * sim::kSecond));
+  ASSERT_TRUE(out.ok()) << out.status();
+  EXPECT_EQ(*out, (Bytes{1, 2, 3, 4}));
+}
+
+TEST_P(TransportConformanceTest, DeadPeerSurfacesUnavailableAndRetriesEngage) {
+  sim::NodeId client_node = fixture_->NewClientNode();
+  sim::NodeId server_node = fixture_->NewServerNode();
+
+  auto server = std::make_unique<sim::RpcServer>(fixture_->server_transport(),
+                                                 server_node, 7005);
+  server->RegisterMethod("ping", [](const sim::RpcContext&, ByteSpan) {
+    return Bytes{};
+  });
+
+  sim::Channel channel(fixture_->client_transport(), client_node);
+
+  // Prove the path works, and (on the socket backend) establish the connection
+  // whose reset the client must then observe.
+  bool warm_done = false;
+  channel.Call(server->endpoint(), "ping", Bytes{}, [&](Result<Bytes> r) {
+    EXPECT_TRUE(r.ok()) << r.status();
+    warm_done = true;
+  });
+  ASSERT_TRUE(fixture_->RunUntil([&]() { return warm_done; }, 10 * sim::kSecond));
+
+  sim::Endpoint dead = server->endpoint();
+  server.reset();  // destroy before the process dies so no dangling handler runs
+  fixture_->KillServer();
+  fixture_->RunFor(100 * sim::kMillisecond);  // let resets propagate
+
+  sim::CallOptions options;
+  options.deadline = 300 * sim::kMillisecond;
+  options.retry.attempts = 2;
+  options.retry.backoff = 100 * sim::kMillisecond;
+  Result<Bytes> out = Unavailable("pending");
+  bool done = false;
+  channel.Call(
+      dead, "ping", Bytes{},
+      [&](Result<Bytes> r) {
+        out = std::move(r);
+        done = true;
+      },
+      options);
+  ASSERT_TRUE(fixture_->RunUntil([&]() { return done; }, 30 * sim::kSecond));
+  ASSERT_FALSE(out.ok());
+  EXPECT_EQ(out.status().code(), StatusCode::kUnavailable) << out.status();
+  EXPECT_GE(channel.stats().retries, 1u);
+}
+
+// Regression for the retry-backoff timer lifecycle: cancelling a call while it
+// waits out the backoff between attempts must cancel the pending resend. Before
+// the timer split, a stale backoff timer could fire after Cancel() and launch
+// another attempt at the server.
+TEST_P(TransportConformanceTest, CancelledCallSchedulesNoFurtherAttempts) {
+  sim::NodeId client_node = fixture_->NewClientNode();
+  sim::NodeId server_node = fixture_->NewServerNode();
+
+  int executions = 0;
+  sim::RpcServer server(fixture_->server_transport(), server_node, 7006);
+  server.RegisterMethod("flaky", [&](const sim::RpcContext&, ByteSpan) -> Result<Bytes> {
+    ++executions;
+    return Unavailable("try again");  // retriable: the client schedules a backoff
+  });
+
+  sim::Channel channel(fixture_->client_transport(), client_node);
+  sim::CallOptions options;
+  options.deadline = 5 * sim::kSecond;
+  options.retry.attempts = 3;
+  options.retry.backoff = 800 * sim::kMillisecond;
+
+  bool callback_ran = false;
+  sim::CallHandle call = channel.Call(
+      {server_node, 7006}, "flaky", Bytes{},
+      [&](Result<Bytes>) { callback_ran = true; }, options);
+
+  // First attempt executes and its UNAVAILABLE answer lands; the call is now
+  // sitting in the 800 ms backoff before attempt two.
+  ASSERT_TRUE(fixture_->RunUntil([&]() { return executions == 1; }, 10 * sim::kSecond));
+  fixture_->RunFor(100 * sim::kMillisecond);
+  ASSERT_TRUE(call.active());
+
+  call.Cancel();
+  EXPECT_FALSE(call.active());
+
+  // Ride well past where attempts two and three would have fired.
+  fixture_->RunFor(3 * sim::kSecond);
+  EXPECT_EQ(executions, 1) << "a cancelled call sent another attempt";
+  EXPECT_FALSE(callback_ran);
+  EXPECT_EQ(channel.stats().cancelled, 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Backends, TransportConformanceTest,
+                         ::testing::Values(Backend::kSim, Backend::kNet),
+                         [](const ::testing::TestParamInfo<Backend>& info) {
+                           return info.param == Backend::kSim ? "sim" : "net";
+                         });
+
+// ---- Socket-only end to end: plain HTTP over a real TCP socket. ----
+
+namespace {
+
+// A minimal blocking HTTP/1.0 client, run on its own thread while the node's
+// event loop turns on the test thread. Returns the raw response text.
+std::string BlockingHttpGet(uint16_t port, const std::string& target) {
+  int fd = socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return "";
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  if (connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    close(fd);
+    return "";
+  }
+  std::string request = "GET " + target + " HTTP/1.0\r\nHost: localhost\r\n\r\n";
+  size_t sent = 0;
+  while (sent < request.size()) {
+    ssize_t n = ::send(fd, request.data() + sent, request.size() - sent, 0);
+    if (n <= 0) {
+      close(fd);
+      return "";
+    }
+    sent += static_cast<size_t>(n);
+  }
+  std::string response;
+  char buf[4096];
+  ssize_t n;
+  while ((n = recv(fd, buf, sizeof(buf), 0)) > 0) {
+    response.append(buf, static_cast<size_t>(n));
+  }
+  close(fd);
+  return response;
+}
+
+}  // namespace
+
+TEST(SocketTransportEndToEnd, HttpGetFetchesPublishedPackage) {
+  net::EventLoop loop;
+  net::SocketTransport transport(&loop);
+
+  gdn::StandaloneGdnNode node(&transport, {}, [&](sim::NodeId n) {
+    auto port = transport.Listen(n);
+    ASSERT_TRUE(port.ok()) << port.status();
+  });
+  auto http_port = transport.ListenHttp(node.httpd_node(), 0);
+  ASSERT_TRUE(http_port.ok()) << http_port.status();
+
+  gdn::StandaloneGdnNode::Pump pump = [&](const std::function<bool()>& done) {
+    if (!done) {
+      loop.RunFor(200 * sim::kMillisecond);
+      return true;
+    }
+    return loop.RunUntil(done, 10 * sim::kSecond);
+  };
+  const std::string body_text = "conformance suite payload\n";
+  auto oid = node.PublishPackage("/tests/Conformance",
+                                 {{"data.txt", ToBytes(body_text)}}, pump);
+  ASSERT_TRUE(oid.ok()) << oid.status();
+
+  std::atomic<bool> fetched{false};
+  std::string response;
+  std::thread client([&]() {
+    response = BlockingHttpGet(*http_port, "/packages/tests/Conformance/files/data.txt");
+    fetched = true;
+  });
+  EXPECT_TRUE(loop.RunUntil([&]() { return fetched.load(); }, 30 * sim::kSecond));
+  client.join();
+
+  ASSERT_FALSE(response.empty()) << "no HTTP response over the socket";
+  EXPECT_NE(response.find("200"), std::string::npos) << response.substr(0, 200);
+  EXPECT_NE(response.find(body_text), std::string::npos);
+  EXPECT_GE(transport.stats().http_requests, 1u);
+}
+
+}  // namespace
+}  // namespace globe
