@@ -49,7 +49,7 @@ void DeadlineErasureTable() {
     sim::Channel client(&transport, world.hosts.back());
 
     for (int i = 0; i < calls; ++i) {
-      client.Call(server.endpoint(), "echo", Bytes(64), [](Result<Bytes>) {});
+      client.Call(server.endpoint(), "echo", Bytes(64), [](Result<sim::PayloadView>) {});
       simulator.Run();  // synchronous step: drain after every call
     }
     table.Row({Fmt("%d", calls), bench::Ms(simulator.Now()),
@@ -88,7 +88,7 @@ void RetryTable() {
       for (int i = 0; i < kCalls; ++i) {
         sim::SimTime issued = simulator.Now();
         client.Call(server.endpoint(), "echo", Bytes(64),
-                    [&](Result<Bytes> result) {
+                    [&](Result<sim::PayloadView> result) {
                       if (result.ok()) {
                         ++delivered;
                         total_latency_us +=
@@ -147,7 +147,7 @@ void AtMostOnceWriteTable() {
     options.retry.backoff = 100 * sim::kMillisecond;
     for (int i = 0; i < kWrites; ++i) {
       client.Call(server.endpoint(), "counter.add", Bytes(32),
-                  [&](Result<Bytes> result) { acked += result.ok() ? 1 : 0; },
+                  [&](Result<sim::PayloadView> result) { acked += result.ok() ? 1 : 0; },
                   options);
       simulator.Run();
     }
@@ -182,8 +182,8 @@ void PeerLoadTable() {
   sim::Channel client(&transport, world.hosts.back());
   // Equal burst to both, drained once: the slow server's queue shows up as EWMA.
   for (int i = 0; i < 32; ++i) {
-    client.Call(fast.endpoint(), "echo", Bytes(64), [](Result<Bytes>) {});
-    client.Call(slow.endpoint(), "echo", Bytes(64), [](Result<Bytes>) {});
+    client.Call(fast.endpoint(), "echo", Bytes(64), [](Result<sim::PayloadView>) {});
+    client.Call(slow.endpoint(), "echo", Bytes(64), [](Result<sim::PayloadView>) {});
   }
   simulator.Run();
 
@@ -195,7 +195,7 @@ void PeerLoadTable() {
                                     client.PeerLoad(slow.endpoint()));
     const sim::Endpoint& target = use_fast ? fast.endpoint() : slow.endpoint();
     (use_fast ? picked_fast : picked_slow)++;
-    client.Call(target, "echo", Bytes(64), [](Result<Bytes>) {});
+    client.Call(target, "echo", Bytes(64), [](Result<sim::PayloadView>) {});
     simulator.Run();
   }
 

@@ -52,7 +52,7 @@ std::vector<AttackOutcome> RunAttacks(gdn::GdnWorld& world) {
     w.WriteU16(gdn::kPackageTypeId);
     Status status = Unavailable("no answer");
     rpc.Call(world.GosOf(0)->endpoint(), "gos.create_first_replica", w.Take(),
-             [&](Result<Bytes> r) { status = r.ok() ? OkStatus() : r.status(); });
+             [&](Result<sim::PayloadView> r) { status = r.ok() ? OkStatus() : r.status(); });
     world.Run();
     outcomes[0] = {!status.ok(), status.ToString()};
   }
@@ -116,7 +116,7 @@ std::vector<AttackOutcome> RunAttacks(gdn::GdnWorld& world) {
     sim::Channel rpc(world.transport(), attacker);
     Status status = Unavailable("no answer");
     rpc.Call(world.dns_primary()->endpoint(), "dns.update", update.Serialize(),
-             [&](Result<Bytes> r) { status = r.ok() ? OkStatus() : r.status(); });
+             [&](Result<sim::PayloadView> r) { status = r.ok() ? OkStatus() : r.status(); });
     world.Run();
     outcomes[4] = {!status.ok(), status.ToString()};
   }

@@ -108,7 +108,10 @@ Result<UpdateRequest> UpdateRequest::Deserialize(ByteSpan data) {
   }
   ASSIGN_OR_RETURN(update.key_name, r.ReadString());
   ASSIGN_OR_RETURN(update.sequence, r.ReadU64());
-  ASSIGN_OR_RETURN(update.mac, r.ReadLengthPrefixed());
+  // The MAC is held for TSIG verification after the wire buffer is gone:
+  // ownership boundary, copied explicitly.
+  ASSIGN_OR_RETURN(ByteSpan mac, r.ReadLengthPrefixedView());
+  update.mac = ToBytes(mac);
   return update;
 }
 
@@ -140,10 +143,14 @@ Bytes ZoneTransfer::Serialize() const {
 Result<ZoneTransfer> ZoneTransfer::Deserialize(ByteSpan data) {
   ByteReader r(data);
   ZoneTransfer transfer;
-  ASSIGN_OR_RETURN(transfer.zone_bytes, r.ReadLengthPrefixed());
+  // Both fields outlive the wire buffer (the zone is installed, the MAC
+  // verified later): ownership boundaries, copied explicitly.
+  ASSIGN_OR_RETURN(ByteSpan zone_bytes, r.ReadLengthPrefixedView());
+  transfer.zone_bytes = ToBytes(zone_bytes);
   ASSIGN_OR_RETURN(transfer.key_name, r.ReadString());
   ASSIGN_OR_RETURN(transfer.sequence, r.ReadU64());
-  ASSIGN_OR_RETURN(transfer.mac, r.ReadLengthPrefixed());
+  ASSIGN_OR_RETURN(ByteSpan mac, r.ReadLengthPrefixedView());
+  transfer.mac = ToBytes(mac);
   return transfer;
 }
 

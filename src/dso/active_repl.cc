@@ -25,7 +25,9 @@ struct ApplyMessage {
     ApplyMessage msg;
     ASSIGN_OR_RETURN(msg.version, r.ReadU64());
     ASSIGN_OR_RETURN(msg.epoch, r.ReadU64());
-    ASSIGN_OR_RETURN(Bytes inv, r.ReadLengthPrefixed());
+    // Decode the nested invocation straight out of the outer frame; only the
+    // Invocation's own fields copy (it owns them past the parse).
+    ASSIGN_OR_RETURN(ByteSpan inv, r.ReadLengthPrefixedView());
     ASSIGN_OR_RETURN(msg.invocation, Invocation::Deserialize(inv));
     return msg;
   }

@@ -13,8 +13,12 @@ Bytes Invocation::Serialize() const {
 Result<Invocation> Invocation::Deserialize(ByteSpan data) {
   ByteReader r(data);
   Invocation invocation;
-  ASSIGN_OR_RETURN(invocation.method, r.ReadString());
-  ASSIGN_OR_RETURN(invocation.args, r.ReadLengthPrefixed());
+  // Invocations are retained past the parse (queued, replicated, retried), so
+  // the method and args fields own their bytes — copied here, at the boundary.
+  ASSIGN_OR_RETURN(std::string_view method, r.ReadStringView());
+  invocation.method = std::string(method);
+  ASSIGN_OR_RETURN(ByteSpan args, r.ReadLengthPrefixedView());
+  invocation.args = ToBytes(args);
   ASSIGN_OR_RETURN(invocation.read_only, r.ReadBool());
   return invocation;
 }

@@ -33,7 +33,10 @@ struct VersionedState {
     VersionedState vs;
     ASSIGN_OR_RETURN(vs.version, r.ReadU64());
     ASSIGN_OR_RETURN(vs.epoch, r.ReadU64());
-    ASSIGN_OR_RETURN(vs.state, r.ReadLengthPrefixed());
+    // The snapshot outlives the wire buffer (it becomes the replica's state):
+    // a true ownership boundary, copied explicitly.
+    ASSIGN_OR_RETURN(ByteSpan state, r.ReadLengthPrefixedView());
+    vs.state = ToBytes(state);
     return vs;
   }
 };

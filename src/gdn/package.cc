@@ -9,12 +9,13 @@ Result<Bytes> PackageObject::Invoke(const dso::Invocation& invocation) {
 
   if (invocation.method == "pkg.addFile") {
     ASSIGN_OR_RETURN(std::string path, r.ReadString());
-    ASSIGN_OR_RETURN(Bytes content, r.ReadLengthPrefixed());
+    ASSIGN_OR_RETURN(ByteSpan content, r.ReadLengthPrefixedView());
     if (path.empty()) {
       return InvalidArgument("file path may not be empty");
     }
+    // Digest over the view; the one copy is the content entering the package.
     std::string digest = Sha256::HexDigest(content);
-    files_[path] = FileEntry{std::move(content), std::move(digest)};
+    files_[path] = FileEntry{ToBytes(content), std::move(digest)};
     return Bytes{};
   }
 
@@ -94,12 +95,14 @@ Status PackageObject::SetState(ByteSpan state) {
   for (uint64_t i = 0; i < count; ++i) {
     ASSIGN_OR_RETURN(std::string path, r.ReadString());
     FileEntry entry;
-    ASSIGN_OR_RETURN(entry.content, r.ReadLengthPrefixed());
+    ASSIGN_OR_RETURN(ByteSpan content, r.ReadLengthPrefixedView());
     ASSIGN_OR_RETURN(entry.sha256_hex, r.ReadString());
-    // Integrity check: reject state whose digests do not match the content (§6.1).
-    if (Sha256::HexDigest(entry.content) != entry.sha256_hex) {
+    // Integrity check: reject state whose digests do not match the content
+    // (§6.1) — over the view, before paying the copy into the package.
+    if (Sha256::HexDigest(content) != entry.sha256_hex) {
       return DataLoss("file digest mismatch in package state for " + path);
     }
+    entry.content = ToBytes(content);
     files[path] = std::move(entry);
   }
   description_ = std::move(description);

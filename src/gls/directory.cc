@@ -166,15 +166,17 @@ struct BatchLookupResponse {
     for (uint64_t i = 0; i < count; ++i) {
       ASSIGN_OR_RETURN(uint8_t code, r.ReadU8());
       if (code == 0) {
-        ASSIGN_OR_RETURN(Bytes payload, r.ReadLengthPrefixed());
-        response.items.emplace_back(std::move(payload));
+        // The batch response owns its items (callers deserialize them after
+        // the wire buffer is gone): ownership boundary, copied explicitly.
+        ASSIGN_OR_RETURN(ByteSpan payload, r.ReadLengthPrefixedView());
+        response.items.emplace_back(ToBytes(payload));
       } else {
         if (code > static_cast<uint8_t>(StatusCode::kDataLoss)) {
           return InvalidArgument("malformed lookup batch response");
         }
-        ASSIGN_OR_RETURN(std::string message, r.ReadString());
+        ASSIGN_OR_RETURN(std::string_view message, r.ReadStringView());
         response.items.emplace_back(
-            Status(static_cast<StatusCode>(code), std::move(message)));
+            Status(static_cast<StatusCode>(code), std::string(message)));
       }
     }
     return response;

@@ -361,16 +361,18 @@ void ObjectServer::Restore(ByteSpan checkpoint, std::function<void(Status)> done
           maintainers.push_back(*id);
         }
       }
-      auto state = r.ReadLengthPrefixed();
+      auto state = r.ReadLengthPrefixedView();
       if (!oid.ok() || !protocol.ok() || !semantics_type.ok() || !role.ok() ||
           !address.ok() || !version.ok() || !epoch.ok() || !maintainer_count.ok() ||
           !state.ok()) {
         done(InvalidArgument("corrupt GOS checkpoint"));
         return;
       }
+      // The entry owns the snapshot past this parse (the checkpoint buffer is
+      // released before replicas rebuild): copied at the ownership boundary.
       entries.push_back(Entry{*oid, *protocol, *semantics_type,
                               static_cast<gls::ReplicaRole>(*role), *address, *version,
-                              *epoch, std::move(maintainers), std::move(*state)});
+                              *epoch, std::move(maintainers), ToBytes(*state)});
     }
   }
 

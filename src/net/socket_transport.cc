@@ -79,6 +79,28 @@ size_t ParseContentLength(const uint8_t* headers, size_t len) {
 
 }  // namespace
 
+std::shared_ptr<Bytes> BufferPool::Acquire() {
+  std::unique_ptr<Bytes> buf;
+  if (!free_list_->buffers.empty()) {
+    buf = std::move(free_list_->buffers.back());
+    free_list_->buffers.pop_back();
+    ++recycled_;
+  } else {
+    buf = std::make_unique<Bytes>();
+  }
+  // The deleter runs when the last pinned view drops — possibly long after
+  // this pool (transport) is gone, hence the weak_ptr guard.
+  std::weak_ptr<FreeList> weak = free_list_;
+  return std::shared_ptr<Bytes>(buf.release(), [weak](Bytes* b) {
+    if (auto fl = weak.lock(); fl && fl->buffers.size() < kMaxFree) {
+      b->clear();
+      fl->buffers.emplace_back(b);
+    } else {
+      delete b;
+    }
+  });
+}
+
 SocketTransport::SocketTransport(EventLoop* loop, std::string bind_address)
     : loop_(loop), bind_address_(std::move(bind_address)) {}
 
@@ -163,8 +185,24 @@ void SocketTransport::UnregisterPort(sim::NodeId node, uint16_t port) {
   handlers_.erase({node, port});
 }
 
+void SocketTransport::QueueFrame(const std::shared_ptr<Connection>& conn,
+                                 const sim::Endpoint& src, const sim::Endpoint& dst,
+                                 ByteSpan payload) {
+  conn->sent_pairs.insert({src, dst});
+  Bytes* buf = &conn->write_buf;
+  PutU32(buf, static_cast<uint32_t>(kFrameHeaderBytes + payload.size()));
+  PutU32(buf, src.node);
+  PutU16(buf, src.port);
+  PutU32(buf, dst.node);
+  PutU16(buf, dst.port);
+  buf->insert(buf->end(), payload.begin(), payload.end());
+  ++stats_.frames_sent;
+  stats_.bytes_sent += 4 + kFrameHeaderBytes + payload.size();
+  FlushWrites(conn);  // no-op while still kConnecting; drains on completion
+}
+
 void SocketTransport::Send(const sim::Endpoint& src, const sim::Endpoint& dst,
-                           Bytes payload) {
+                           ByteSpan payload) {
   if (payload.size() > sim::kMaxFrameBytes) {
     ++stats_.oversized_rejected;
     GLOG_WARN << "socket transport refusing oversized frame (" << payload.size()
@@ -184,17 +222,7 @@ void SocketTransport::Send(const sim::Endpoint& src, const sim::Endpoint& dst,
       FlushWrites(conn);
       return;
     }
-    conn->sent_pairs.insert({src, dst});
-    Bytes* buf = &conn->write_buf;
-    PutU32(buf, static_cast<uint32_t>(kFrameHeaderBytes + payload.size()));
-    PutU32(buf, src.node);
-    PutU16(buf, src.port);
-    PutU32(buf, dst.node);
-    PutU16(buf, dst.port);
-    buf->insert(buf->end(), payload.begin(), payload.end());
-    ++stats_.frames_sent;
-    stats_.bytes_sent += 4 + kFrameHeaderBytes + payload.size();
-    FlushWrites(conn);
+    QueueFrame(conn, src, dst, payload);
     return;
   }
 
@@ -211,17 +239,7 @@ void SocketTransport::Send(const sim::Endpoint& src, const sim::Endpoint& dst,
       DeliverError(src, dst);
       return;
     }
-    conn->sent_pairs.insert({src, dst});
-    Bytes* buf = &conn->write_buf;
-    PutU32(buf, static_cast<uint32_t>(kFrameHeaderBytes + payload.size()));
-    PutU32(buf, src.node);
-    PutU16(buf, src.port);
-    PutU32(buf, dst.node);
-    PutU16(buf, dst.port);
-    buf->insert(buf->end(), payload.begin(), payload.end());
-    ++stats_.frames_sent;
-    stats_.bytes_sent += 4 + kFrameHeaderBytes + payload.size();
-    FlushWrites(conn);  // no-op while still kConnecting; drains on completion
+    QueueFrame(conn, src, dst, payload);
     return;
   }
 
@@ -258,6 +276,8 @@ SocketTransport::Connection* SocketTransport::ConnectTo(sim::NodeId node) {
   conn->kind = ConnKind::kFrame;
   conn->peer_node = node;
   conn->outbound = true;
+  conn->read_buf = read_buf_pool_.Acquire();
+  stats_.read_bufs_recycled = read_buf_pool_.recycled();
   connections_[fd] = conn;
   outbound_[node] = conn;
   ++stats_.connections_opened;
@@ -279,6 +299,8 @@ void SocketTransport::AcceptReady(int listen_fd, ConnKind kind, sim::NodeId http
     conn->state = ConnState::kOpen;
     conn->kind = kind;
     conn->outbound = false;
+    conn->read_buf = read_buf_pool_.Acquire();
+    stats_.read_bufs_recycled = read_buf_pool_.recycled();
     connections_[fd] = conn;
     ++stats_.connections_accepted;
     if (kind == ConnKind::kHttp) {
@@ -329,13 +351,32 @@ void SocketTransport::ConnectionReady(const std::shared_ptr<Connection>& conn,
   }
 }
 
+void SocketTransport::EnsureExclusiveReadBuffer(Connection* conn) {
+  if (conn->read_buf.use_count() == 1) {
+    return;
+  }
+  // Delivered views still pin the buffer: growing it could reallocate and
+  // dangle every one of them. Swap in a fresh pool buffer, carrying over only
+  // the unconsumed tail (at most one partial frame); the pinned buffer returns
+  // to the freelist when its last view drops.
+  std::shared_ptr<Bytes> fresh = read_buf_pool_.Acquire();
+  stats_.read_bufs_recycled = read_buf_pool_.recycled();
+  fresh->assign(conn->read_buf->begin() + static_cast<ptrdiff_t>(conn->read_pos),
+                conn->read_buf->end());
+  conn->read_buf = std::move(fresh);
+  conn->read_pos = 0;
+  ++stats_.read_buf_swaps;
+}
+
 void SocketTransport::ReadReady(const std::shared_ptr<Connection>& conn) {
   while (true) {
-    size_t old_size = conn->read_buf.size();
-    conn->read_buf.resize(old_size + kReadChunk);
-    ssize_t n = recv(conn->fd, conn->read_buf.data() + old_size, kReadChunk, 0);
+    EnsureExclusiveReadBuffer(conn.get());
+    Bytes& buf = *conn->read_buf;
+    size_t old_size = buf.size();
+    buf.resize(old_size + kReadChunk);
+    ssize_t n = recv(conn->fd, buf.data() + old_size, kReadChunk, 0);
     if (n > 0) {
-      conn->read_buf.resize(old_size + static_cast<size_t>(n));
+      buf.resize(old_size + static_cast<size_t>(n));
       stats_.bytes_received += static_cast<uint64_t>(n);
       if (conn->kind == ConnKind::kFrame) {
         ParseFrames(conn);
@@ -347,7 +388,7 @@ void SocketTransport::ReadReady(const std::shared_ptr<Connection>& conn) {
       }
       continue;
     }
-    conn->read_buf.resize(old_size);
+    buf.resize(old_size);
     if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
       return;
     }
@@ -363,7 +404,9 @@ void SocketTransport::ReadReady(const std::shared_ptr<Connection>& conn) {
 }
 
 void SocketTransport::ParseFrames(const std::shared_ptr<Connection>& conn) {
-  Bytes& buf = conn->read_buf;
+  // The buffer is never resized inside this loop, so payload views stay valid
+  // across deliveries even while earlier frames' views are still pinned.
+  Bytes& buf = *conn->read_buf;
   while (conn->state != ConnState::kClosed) {
     size_t available = buf.size() - conn->read_pos;
     if (available < 4) {
@@ -392,7 +435,11 @@ void SocketTransport::ParseFrames(const std::shared_ptr<Connection>& conn) {
     delivery.dst.port = GetU16(base + 14);
     size_t payload_len = frame_len - kFrameHeaderBytes;
     const uint8_t* payload = base + 4 + kFrameHeaderBytes;
-    delivery.payload.assign(payload, payload + payload_len);
+    // Zero-copy delivery: the payload is a pinned view straight into the read
+    // buffer. A handler that stashes it keeps the buffer alive; the next
+    // ReadReady then swaps the connection onto a fresh pool buffer.
+    delivery.payload =
+        sim::PayloadView(conn->read_buf, ByteSpan(payload, payload_len));
     conn->read_pos += 4 + frame_len;
     ++stats_.frames_received;
 
@@ -400,15 +447,18 @@ void SocketTransport::ParseFrames(const std::shared_ptr<Connection>& conn) {
     learned_[delivery.src] = conn;
     Deliver(std::move(delivery));
   }
-  if (conn->read_pos > 0 && conn->state != ConnState::kClosed) {
-    // Compact the consumed prefix; capacity is retained across frames.
+  if (conn->read_pos > 0 && conn->state != ConnState::kClosed &&
+      conn->read_buf.use_count() == 1) {
+    // Compact the consumed prefix in place; capacity is retained across
+    // frames. Skipped while views pin the buffer — the next ReadReady swaps
+    // it out instead.
     buf.erase(buf.begin(), buf.begin() + static_cast<ptrdiff_t>(conn->read_pos));
     conn->read_pos = 0;
   }
 }
 
 void SocketTransport::ParseHttp(const std::shared_ptr<Connection>& conn) {
-  Bytes& buf = conn->read_buf;
+  Bytes& buf = *conn->read_buf;
   while (conn->state != ConnState::kClosed) {
     size_t available = buf.size() - conn->read_pos;
     if (available == 0) {
@@ -447,11 +497,12 @@ void SocketTransport::ParseHttp(const std::shared_ptr<Connection>& conn) {
     sim::TransportDelivery delivery;
     delivery.src = conn->http_client;
     delivery.dst = sim::Endpoint{conn->peer_node, sim::kPortHttp};
-    delivery.payload.assign(base, base + request_len);
+    delivery.payload = sim::PayloadView(conn->read_buf, ByteSpan(base, request_len));
     conn->read_pos += request_len;
     Deliver(std::move(delivery));
   }
-  if (conn->read_pos > 0 && conn->state != ConnState::kClosed) {
+  if (conn->read_pos > 0 && conn->state != ConnState::kClosed &&
+      conn->read_buf.use_count() == 1) {
     buf.erase(buf.begin(), buf.begin() + static_cast<ptrdiff_t>(conn->read_pos));
     conn->read_pos = 0;
   }

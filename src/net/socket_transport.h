@@ -21,8 +21,10 @@
 //     responses flow back over the connection that carried the request (the
 //     receiver learns src endpoint -> connection as frames arrive).
 //   - Explicit per-connection state machine: kConnecting -> kOpen -> kClosed.
-//     Read and write buffers are reused across frames; the steady state
-//     allocates only the payload Bytes handed to the delivery handler.
+//     Read and write buffers are reused across frames; payloads are delivered
+//     as pinned views into the refcounted read buffer (zero copies, zero
+//     steady-state allocation — see BufferPool), and a stashed view only costs
+//     one buffer swap at the next read.
 //   - Peer loss (connect refused, reset, EOF) is surfaced as a
 //     TransportDelivery with transport_error=true to every local endpoint that
 //     had traffic towards that peer, so RPC retries engage immediately instead
@@ -67,8 +69,35 @@ struct WireStats {
   uint64_t oversized_rejected = 0;    // sends refused or decodes aborted
   uint64_t undeliverable = 0;         // sends with no route and no learned path
   uint64_t http_requests = 0;
+  uint64_t read_buf_swaps = 0;        // read buffer swapped out under pinned views
+  uint64_t read_bufs_recycled = 0;    // buffers re-acquired from the freelist
 
   void Clear() { *this = WireStats(); }
+};
+
+// Freelist of receive buffers. A connection's read buffer is handed to delivery
+// handlers as pinned views; when the handler stashes a view, the connection
+// swaps to a fresh buffer from here and the pinned one returns to the freelist
+// when its last view drops — even after the connection (or the transport
+// itself) is gone, which is why the freelist is guarded by a weak_ptr.
+class BufferPool {
+ public:
+  BufferPool() : free_list_(std::make_shared<FreeList>()) {}
+
+  // A buffer with no other owners (use_count() == 1), recycled if possible.
+  std::shared_ptr<Bytes> Acquire();
+
+  uint64_t recycled() const { return recycled_; }
+
+ private:
+  // Bounds idle memory: buffers grow to a connection's high-water mark, so an
+  // unbounded freelist could pin many megabytes after a burst of churn.
+  static constexpr size_t kMaxFree = 16;
+  struct FreeList {
+    std::vector<std::unique_ptr<Bytes>> buffers;
+  };
+  std::shared_ptr<FreeList> free_list_;
+  uint64_t recycled_ = 0;
 };
 
 class SocketTransport : public sim::Transport {
@@ -93,8 +122,9 @@ class SocketTransport : public sim::Transport {
 
   // sim::Transport. Send routes: learned reply path first, then the route
   // table; an unroutable destination fails fast with a transport_error
-  // delivery back to the local src port.
-  void Send(const sim::Endpoint& src, const sim::Endpoint& dst, Bytes payload) override;
+  // delivery back to the local src port. The span is framed straight into the
+  // connection's write buffer — no owned copy, no allocation in steady state.
+  void Send(const sim::Endpoint& src, const sim::Endpoint& dst, ByteSpan payload) override;
   void RegisterPort(sim::NodeId node, uint16_t port, sim::TransportHandler handler) override;
   void UnregisterPort(sim::NodeId node, uint16_t port) override;
   sim::Clock* clock() override { return loop_; }
@@ -114,7 +144,10 @@ class SocketTransport : public sim::Transport {
     bool outbound = false;
     bool close_after_flush = false;  // http: one response then hang up
     // Reused buffers — grow to high-water mark, never shrink mid-connection.
-    Bytes read_buf;
+    // The read buffer is refcounted: frames are delivered as views into it,
+    // and it may only be resized/compacted while the connection is its sole
+    // owner (EnsureExclusiveReadBuffer swaps in a fresh pool buffer otherwise).
+    std::shared_ptr<Bytes> read_buf;
     size_t read_pos = 0;  // consumed prefix of read_buf
     Bytes write_buf;
     size_t write_pos = 0;
@@ -134,6 +167,11 @@ class SocketTransport : public sim::Transport {
   void WriteReady(const std::shared_ptr<Connection>& conn);
   void ParseFrames(const std::shared_ptr<Connection>& conn);
   void ParseHttp(const std::shared_ptr<Connection>& conn);
+  // Makes conn the sole owner of its read buffer (delivered views pin the old
+  // one; the unconsumed tail — a partial frame — is carried over).
+  void EnsureExclusiveReadBuffer(Connection* conn);
+  void QueueFrame(const std::shared_ptr<Connection>& conn, const sim::Endpoint& src,
+                  const sim::Endpoint& dst, ByteSpan payload);
   void QueueBytes(const std::shared_ptr<Connection>& conn, const uint8_t* data,
                   size_t len);
   void FlushWrites(const std::shared_ptr<Connection>& conn);
@@ -162,6 +200,7 @@ class SocketTransport : public sim::Transport {
   // Reply paths learned from inbound frames: src endpoint -> connection.
   std::map<sim::Endpoint, std::shared_ptr<Connection>> learned_;
   uint16_t next_http_slot_ = 1;
+  BufferPool read_buf_pool_;
   WireStats stats_;
 };
 

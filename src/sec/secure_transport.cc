@@ -16,6 +16,26 @@ constexpr uint8_t kFlagEncrypted = 0x01;
 // bytes are charged to the network's traffic counters and then discarded.
 constexpr uint16_t kHandshakeSinkPort = 1;
 
+// The MAC input header: everything but the ciphertext bytes themselves. The
+// streaming path feeds this scratch header and then the ciphertext span into
+// the session's HMAC midstate — same MAC bytes as the legacy concatenation,
+// without materialising the concatenation.
+void WriteMacHeader(ByteWriter* w, uint64_t session_id, uint64_t seq,
+                    const sim::Endpoint& src, const sim::Endpoint& dst, uint8_t flags,
+                    uint64_t ciphertext_len) {
+  w->Reset();
+  w->WriteU64(session_id);
+  w->WriteU64(seq);
+  w->WriteU32(src.node);
+  w->WriteU16(src.port);
+  w->WriteU32(dst.node);
+  w->WriteU16(dst.port);
+  w->WriteU8(flags);
+  w->WriteVarint(ciphertext_len);
+}
+
+// Legacy one-shot MAC input (VerifyMode::kPerFrame): one concatenated buffer,
+// ciphertext copy included — the per-frame cost the batched mode amortizes away.
 Bytes MacInput(uint64_t session_id, uint64_t seq, const sim::Endpoint& src,
                const sim::Endpoint& dst, uint8_t flags, ByteSpan ciphertext) {
   ByteWriter w;
@@ -77,6 +97,7 @@ SecureTransport::Session* SecureTransport::GetOrEstablish(sim::NodeId src,
   Session session;
   session.id = next_session_id_++;
   session.key = rng_.RandomBytes(32);
+  session.mac_key = HmacKey(session.key);
   session.config = config;
 
   // Certificate verification, simulated: the authenticated side(s) must hold the key
@@ -124,16 +145,16 @@ SecureTransport::Session* SecureTransport::GetOrEstablish(sim::NodeId src,
 }
 
 void SecureTransport::Send(const sim::Endpoint& src, const sim::Endpoint& dst,
-                           Bytes payload) {
+                           ByteSpan payload) {
   ChannelConfig config = policy_ ? policy_(src.node, dst.node) : ChannelConfig{};
 
   if (config.auth == AuthMode::kPlain) {
-    ByteWriter w;
-    w.WriteU8(kVersion);
-    w.WriteU8(kFramePlain);
-    w.WriteLengthPrefixed(payload);
+    frame_scratch_.Reset();
+    frame_scratch_.WriteU8(kVersion);
+    frame_scratch_.WriteU8(kFramePlain);
+    frame_scratch_.WriteLengthPrefixed(payload);
     ++stats_.plain_frames_sent;
-    inner_->Send(src, dst, w.Take());
+    inner_->Send(src, dst, frame_scratch_.span());
     return;
   }
 
@@ -145,35 +166,42 @@ void SecureTransport::Send(const sim::Endpoint& src, const sim::Endpoint& dst,
 
   uint64_t seq = session->next_seq[src.node]++;
   uint8_t flags = 0;
-  Bytes ciphertext = std::move(payload);
-  double crypto_us = static_cast<double>(ciphertext.size()) * profile_.mac_us_per_byte;
+  ByteSpan ciphertext = payload;
+  Bytes encrypted;  // only materialised when the channel encrypts
+  double crypto_us = static_cast<double>(payload.size()) * profile_.mac_us_per_byte;
   if (session->config.encrypt) {
     flags |= kFlagEncrypted;
     // Distinct nonces per direction prevent keystream reuse.
     uint64_t nonce = seq * 2 + (src.node < dst.node ? 0 : 1);
-    ApplyKeystream(session->key, nonce, &ciphertext);
-    crypto_us += static_cast<double>(ciphertext.size()) * profile_.cipher_us_per_byte;
+    encrypted = ToBytes(payload);
+    ApplyKeystream(session->key, nonce, &encrypted);
+    ciphertext = encrypted;
+    crypto_us += static_cast<double>(encrypted.size()) * profile_.cipher_us_per_byte;
   }
-  Bytes mac = HmacSha256(session->key,
-                         MacInput(session->id, seq, src, dst, flags, ciphertext));
+  // Multi-part MAC from the session's precomputed midstates: header scratch +
+  // ciphertext span, no concatenation buffer, no key schedule recomputation.
+  WriteMacHeader(&mac_scratch_, session->id, seq, src, dst, flags, ciphertext.size());
+  Sha256 inner_hash = session->mac_key.Start();
+  inner_hash.Update(mac_scratch_.span());
+  inner_hash.Update(ciphertext);
+  Bytes mac = session->mac_key.Finish(std::move(inner_hash));
 
-  ByteWriter w;
-  w.WriteU8(kVersion);
-  w.WriteU8(kFrameSecure);
-  w.WriteU64(session->id);
-  w.WriteU64(seq);
-  w.WriteU8(flags);
-  w.WriteLengthPrefixed(ciphertext);
-  w.WriteLengthPrefixed(mac);
-
-  Bytes frame = w.Take();
+  frame_scratch_.Reset();
+  frame_scratch_.WriteU8(kVersion);
+  frame_scratch_.WriteU8(kFrameSecure);
+  frame_scratch_.WriteU64(session->id);
+  frame_scratch_.WriteU64(seq);
+  frame_scratch_.WriteU8(flags);
+  frame_scratch_.WriteLengthPrefixed(ciphertext);
+  frame_scratch_.WriteLengthPrefixed(mac);
 
   // Enforce per-direction FIFO delivery (TCP semantics under TLS): delay the frame
   // until at least the channel's delivery floor, then advance the floor. Crypto CPU
   // and floor padding are charged by holding the frame back on the clock before it
   // enters the inner transport, so the arrival time matches the old model exactly:
   // send time + extra + the inner transport's own delay.
-  double base_delay = inner_->EstimateDeliveryDelayUs(src.node, dst.node, frame.size());
+  double base_delay =
+      inner_->EstimateDeliveryDelayUs(src.node, dst.node, frame_scratch_.size());
   double now = static_cast<double>(inner_->clock()->Now());
   double delivery_at = now + base_delay + extra_delay_us + crypto_us;
   double& floor = session->delivery_floor[src.node];
@@ -187,18 +215,19 @@ void SecureTransport::Send(const sim::Endpoint& src, const sim::Endpoint& dst,
   stats_.crypto_us += crypto_us;
   double hold_us = extra_delay_us + crypto_us;
   if (hold_us <= 0) {
-    inner_->Send(src, dst, std::move(frame));
+    inner_->Send(src, dst, frame_scratch_.span());
     return;
   }
+  // Held-back frames outlive the scratch buffer: the closure owns a copy.
   inner_->clock()->ScheduleAfter(
       static_cast<sim::SimTime>(hold_us),
       [this, alive = std::weak_ptr<bool>(alive_), src, dst,
-       frame = std::move(frame)]() mutable {
+       frame = Bytes(frame_scratch_.data())]() {
         auto a = alive.lock();
         if (!a || !*a) {
           return;
         }
-        inner_->Send(src, dst, std::move(frame));
+        inner_->Send(src, dst, frame);
       });
 }
 
@@ -225,16 +254,17 @@ void SecureTransport::OnRawDelivery(const sim::TransportDelivery& delivery) {
   }
 
   if (*frame_type == kFramePlain) {
-    auto payload = r.ReadLengthPrefixed();
+    auto payload = r.ReadLengthPrefixedView();
     if (!payload.ok()) {
       ++stats_.malformed_frames;
       return;
     }
     // Pin the handler: it may unregister its own port mid-call, which would
-    // destroy the std::function we are executing.
+    // destroy the std::function we are executing. The payload is a sub-view
+    // sharing the inner delivery's backing buffer — no copy.
     std::shared_ptr<sim::TransportHandler> handler = handler_it->second;
     (*handler)(sim::TransportDelivery{delivery.src, delivery.dst,
-                                      std::move(*payload), kAnonymous,
+                                      delivery.payload.Share(*payload), kAnonymous,
                                       /*integrity_protected=*/false});
     return;
   }
@@ -246,56 +276,121 @@ void SecureTransport::OnRawDelivery(const sim::TransportDelivery& delivery) {
   auto session_id = r.ReadU64();
   auto seq = r.ReadU64();
   auto flags = r.ReadU8();
-  auto ciphertext = r.ReadLengthPrefixed();
-  auto mac = r.ReadLengthPrefixed();
+  auto ciphertext = r.ReadLengthPrefixedView();
+  auto mac = r.ReadLengthPrefixedView();
   if (!session_id.ok() || !seq.ok() || !flags.ok() || !ciphertext.ok() || !mac.ok()) {
     ++stats_.malformed_frames;
     return;
   }
 
-  auto pair_it = session_by_id_.find(*session_id);
+  PendingSecureFrame frame{delivery.src,
+                           delivery.dst,
+                           *session_id,
+                           *seq,
+                           *flags,
+                           delivery.payload.Share(*ciphertext),
+                           delivery.payload.Share(*mac)};
+
+  if (verify_mode_ == VerifyMode::kPerFrame) {
+    VerifyAndDeliver(frame);
+    return;
+  }
+
+  // Batched mode: pin the frame's views and verify at the end of the wake, so
+  // every frame the backend parsed out of this read shares one flush. The
+  // 0-delay event preserves delivery time on both clocks (virtual and real)
+  // and fires deterministically, so pinned-seed chaos replays are unaffected.
+  pending_.push_back(std::move(frame));
+  if (pending_.size() == 1) {
+    inner_->clock()->ScheduleAfter(0, [this, alive = std::weak_ptr<bool>(alive_)]() {
+      auto a = alive.lock();
+      if (!a || !*a) {
+        return;
+      }
+      FlushPending();
+    });
+  }
+}
+
+void SecureTransport::FlushPending() {
+  std::vector<PendingSecureFrame> batch;
+  batch.swap(pending_);
+  if (batch.empty()) {
+    return;
+  }
+  ++stats_.verify_batches;
+  stats_.batched_frames += batch.size();
+  stats_.max_batch_frames = std::max(stats_.max_batch_frames,
+                                     static_cast<uint64_t>(batch.size()));
+  for (PendingSecureFrame& frame : batch) {
+    VerifyAndDeliver(frame);
+  }
+}
+
+void SecureTransport::VerifyAndDeliver(PendingSecureFrame& frame) {
+  // Re-resolved at verification time: the port may have closed between arrival
+  // and a batched flush, which drops the frame exactly like a closed UDP port.
+  auto handler_it = handlers_.find({frame.dst.node, frame.dst.port});
+  if (handler_it == handlers_.end()) {
+    return;
+  }
+  auto pair_it = session_by_id_.find(frame.session_id);
   if (pair_it == session_by_id_.end()) {
     ++stats_.unknown_session;
     return;
   }
   Session& session = sessions_.at(pair_it->second);
 
-  Bytes expected_input =
-      MacInput(*session_id, *seq, delivery.src, delivery.dst, *flags, *ciphertext);
-  if (!VerifyHmacSha256(session.key, expected_input, *mac)) {
+  bool mac_ok;
+  if (verify_mode_ == VerifyMode::kPerFrame) {
+    // Legacy cost model: rebuild the key schedule and concatenate the MAC
+    // input for every frame.
+    Bytes expected_input = MacInput(frame.session_id, frame.seq, frame.src, frame.dst,
+                                    frame.flags, frame.ciphertext);
+    mac_ok = VerifyHmacSha256(session.key, expected_input, frame.mac);
+  } else {
+    WriteMacHeader(&mac_scratch_, frame.session_id, frame.seq, frame.src, frame.dst,
+                   frame.flags, frame.ciphertext.size());
+    Sha256 inner_hash = session.mac_key.Start();
+    inner_hash.Update(mac_scratch_.span());
+    inner_hash.Update(frame.ciphertext);
+    mac_ok = session.mac_key.Verify(std::move(inner_hash), frame.mac);
+  }
+  if (!mac_ok) {
     ++stats_.mac_failures;
-    GLOG_WARN << "MAC verification failed on frame "
-              << sim::ToString(delivery.src) << " -> "
-              << sim::ToString(delivery.dst) << " (tampered or forged)";
+    GLOG_WARN << "MAC verification failed on frame " << sim::ToString(frame.src)
+              << " -> " << sim::ToString(frame.dst) << " (tampered or forged)";
     return;
   }
 
   // Replay protection: per direction, `last_accepted` holds one past the highest
   // sequence number accepted so far (0 = nothing accepted yet). Frames at or above it
   // are fresh; anything below is a replay or stale reordering.
-  uint64_t& last = session.last_accepted[delivery.src.node];
-  if (*seq < last) {
+  uint64_t& last = session.last_accepted[frame.src.node];
+  if (frame.seq < last) {
     ++stats_.replay_rejects;
     return;
   }
-  last = *seq + 1;
+  last = frame.seq + 1;
 
-  Bytes plaintext = std::move(*ciphertext);
-  if (*flags & kFlagEncrypted) {
-    uint64_t nonce = *seq * 2 + (delivery.src.node < delivery.dst.node ? 0 : 1);
-    ApplyKeystream(session.key, nonce, &plaintext);
+  // Unencrypted channels deliver the ciphertext view itself — zero-copy end to
+  // end; decryption is the one true ownership boundary left.
+  sim::PayloadView plaintext = frame.ciphertext;
+  if (frame.flags & kFlagEncrypted) {
+    uint64_t nonce = frame.seq * 2 + (frame.src.node < frame.dst.node ? 0 : 1);
+    Bytes decrypted = frame.ciphertext.Copy();
+    ApplyKeystream(session.key, nonce, &decrypted);
+    plaintext = sim::PayloadView::Own(std::move(decrypted));
   }
 
   PrincipalId peer = kAnonymous;
-  if (auto it = session.principals.find(delivery.src.node);
-      it != session.principals.end()) {
+  if (auto it = session.principals.find(frame.src.node); it != session.principals.end()) {
     peer = it->second;
   }
   // Pin the handler: it may unregister its own port mid-call, which would
   // destroy the std::function we are executing.
   std::shared_ptr<sim::TransportHandler> handler = handler_it->second;
-  (*handler)(sim::TransportDelivery{delivery.src, delivery.dst,
-                                    std::move(plaintext), peer,
+  (*handler)(sim::TransportDelivery{frame.src, frame.dst, std::move(plaintext), peer,
                                     /*integrity_protected=*/true});
 }
 

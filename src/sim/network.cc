@@ -106,7 +106,9 @@ void Network::Send(const Endpoint& src, const Endpoint& dst, Bytes payload,
   }
 
   double delay = DeliveryDelayUs(src.node, dst.node, payload.size()) + extra_delay_us;
-  Delivery delivery{src, dst, std::move(payload)};
+  // The payload is stored once, owned by the in-flight event; the handler (and
+  // anything it hands the view to) pins that single allocation.
+  Delivery delivery{src, dst, PayloadView::Own(std::move(payload))};
   simulator_->ScheduleAfter(
       static_cast<SimTime>(delay),
       [this, d = std::move(delivery)]() mutable { Deliver(std::move(d)); });
@@ -205,13 +207,15 @@ void Network::RestartNode(NodeId node) {
 
 // ---------------------------------------------------------- PlainTransport
 
-void PlainTransport::Send(const Endpoint& src, const Endpoint& dst, Bytes payload) {
+void PlainTransport::Send(const Endpoint& src, const Endpoint& dst, ByteSpan payload) {
   if (payload.size() > kMaxFrameBytes) {
     // Same refusal the socket backend's codec applies: the frame never leaves
     // the sender, and the caller's deadline/retry machinery observes the loss.
     return;
   }
-  network_->Send(src, dst, std::move(payload));
+  // The caller keeps ownership of its (scratch) buffer; the one copy here is
+  // the payload entering the in-flight delivery event.
+  network_->Send(src, dst, ToBytes(payload));
 }
 
 void PlainTransport::RegisterPort(NodeId node, uint16_t port, TransportHandler handler) {

@@ -32,11 +32,13 @@
 
 namespace globe::sim {
 
-// A delivered message as seen by the receiving handler.
+// A delivered message as seen by the receiving handler. The payload is stored
+// once, in the in-flight delivery event, and handed out as a pinned view:
+// a handler that stashes the view keeps exactly that allocation alive.
 struct Delivery {
   Endpoint src;
   Endpoint dst;
-  Bytes payload;
+  PayloadView payload;
 };
 
 using PortHandler = std::function<void(const Delivery&)>;
@@ -177,7 +179,7 @@ class PlainTransport : public Transport {
  public:
   explicit PlainTransport(Network* network) : network_(network) {}
 
-  void Send(const Endpoint& src, const Endpoint& dst, Bytes payload) override;
+  void Send(const Endpoint& src, const Endpoint& dst, ByteSpan payload) override;
   void RegisterPort(NodeId node, uint16_t port, TransportHandler handler) override;
   void UnregisterPort(NodeId node, uint16_t port) override;
   Clock* clock() override { return network_->simulator(); }

@@ -106,8 +106,9 @@ void RpcServer::OnDelivery(const TransportDelivery& delivery) {
   }
   // Requests queue FIFO behind whatever is already being served; with a pool
   // width above one, the earliest-free virtual CPU takes the next request.
-  // This is the one path that copies method and payload: they must survive
-  // until the worker gets to them.
+  // The queued request pins the delivery buffer instead of copying: `pin` holds
+  // the backing alive, and the method/payload views stay valid until the worker
+  // gets to them.
   Clock* clock = transport_->clock();
   auto worker = std::min_element(worker_busy_until_.begin(), worker_busy_until_.end());
   SimTime now = clock->Now();
@@ -115,9 +116,8 @@ void RpcServer::OnDelivery(const TransportDelivery& delivery) {
   *worker = start + service_time_;
   clock->ScheduleAfter(
       *worker - now, [this, alive = std::weak_ptr<bool>(alive_),
-                      method = std::string(*method),
-                      payload = Bytes(payload->begin(), payload->end()), context, id,
-                      dedup_key]() {
+                      pin = delivery.payload, method = *method, payload = *payload,
+                      context, id, dedup_key]() {
         auto a = alive.lock();
         if (!a || !*a) {
           return;
@@ -239,14 +239,16 @@ Status RpcServer::RestoreDedup(ByteReader* reader) {
     ASSIGN_OR_RETURN(entry.expires_at, reader->ReadU64());
     ASSIGN_OR_RETURN(uint8_t code, reader->ReadU8());
     if (code == static_cast<uint8_t>(StatusCode::kOk)) {
-      ASSIGN_OR_RETURN(Bytes payload, reader->ReadLengthPrefixed());
-      entry.response = std::move(payload);
+      // The dedup table owns its cached responses past this parse: a true
+      // ownership boundary, copied explicitly.
+      ASSIGN_OR_RETURN(ByteSpan payload, reader->ReadLengthPrefixedView());
+      entry.response = ToBytes(payload);
     } else {
       if (code > static_cast<uint8_t>(StatusCode::kDataLoss)) {
         return InvalidArgument("malformed dedup entry status");
       }
-      ASSIGN_OR_RETURN(std::string message, reader->ReadString());
-      entry.response = Status(static_cast<StatusCode>(code), std::move(message));
+      ASSIGN_OR_RETURN(std::string_view message, reader->ReadStringView());
+      entry.response = Status(static_cast<StatusCode>(code), std::string(message));
     }
     expiry.emplace_back(entry.expires_at, key);
     restored[key] = std::move(entry);
@@ -258,19 +260,23 @@ Status RpcServer::RestoreDedup(ByteReader* reader) {
 
 void RpcServer::SendResponse(const Endpoint& client, uint64_t request_id,
                              const Result<Bytes>& result) {
-  ByteWriter writer;
-  writer.WriteU8(kFrameResponse);
-  writer.WriteU64(request_id);
+  // The scratch writer keeps its capacity across responses; the transport
+  // consumes the span before Send returns, so reuse is safe even when a
+  // handler's response triggers another synchronous send downstream.
+  send_scratch_.Reset();
+  send_scratch_.WriteU8(kFrameResponse);
+  send_scratch_.WriteU64(request_id);
   if (result.ok()) {
-    writer.WriteU8(static_cast<uint8_t>(StatusCode::kOk));
-    writer.WriteString("");
-    writer.WriteLengthPrefixed(result.value());
+    send_scratch_.WriteU8(static_cast<uint8_t>(StatusCode::kOk));
+    send_scratch_.WriteString("");
+    send_scratch_.WriteLengthPrefixed(result.value());
   } else {
-    writer.WriteU8(static_cast<uint8_t>(result.status().code()));
-    writer.WriteString(result.status().message());
-    writer.WriteLengthPrefixed({});
+    send_scratch_.WriteU8(static_cast<uint8_t>(result.status().code()));
+    send_scratch_.WriteString(result.status().message());
+    send_scratch_.WriteLengthPrefixed({});
   }
-  transport_->Send(endpoint(), client, writer.Take());
+  ++responses_sent_;
+  transport_->Send(endpoint(), client, send_scratch_.span());
 }
 
 // ---------------------------------------------------------------- Channel
@@ -315,6 +321,9 @@ struct ChannelState {
   std::map<uint64_t, uint64_t> attempt_to_call;
   std::map<Endpoint, PeerEntry> peers;
   ChannelStats stats;
+  // Scratch buffer for request frames, reused across attempts (the transport
+  // consumes the span before Send returns).
+  ByteWriter send_scratch;
 };
 
 namespace {
@@ -355,7 +364,7 @@ void CancelCallTimers(const std::shared_ptr<ChannelState>& state, PendingCall& c
 // callback last — it may destroy the Channel (the caller's shared_ptr keeps the
 // state alive through the call).
 void Finalize(const std::shared_ptr<ChannelState>& state, uint64_t id,
-              Result<Bytes> result) {
+              Result<PayloadView> result) {
   auto it = state->pending.find(id);
   assert(it != state->pending.end());
   assert(it->second.deadline_timer == Clock::kNoTimer &&
@@ -423,7 +432,8 @@ void SendAttempt(const std::shared_ptr<ChannelState>& state, uint64_t id) {
   PendingCall& call = it->second;
   call.backoff_timer = Clock::kNoTimer;  // if we got here via backoff, it fired
 
-  ByteWriter writer;
+  ByteWriter& writer = state->send_scratch;
+  writer.Reset();
   writer.WriteU8(kFrameRequest);
   writer.WriteU64(call.current_attempt_id);
   // The stable call id: every retry repeats it, so the server can recognise a
@@ -448,7 +458,7 @@ void SendAttempt(const std::shared_ptr<ChannelState>& state, uint64_t id) {
   if (call.attempt >= call.options.retry.attempts) {
     call.request = Bytes{};
   }
-  state->transport->Send({state->node, state->port}, call.server, writer.Take());
+  state->transport->Send({state->node, state->port}, call.server, writer.span());
 }
 
 // The transport lost its path to `peer` (socket backend: connection refused,
@@ -529,7 +539,9 @@ void OnChannelDelivery(const std::shared_ptr<ChannelState>& state,
                                    kEwmaAlpha * latency;
 
   if (*code == static_cast<uint8_t>(StatusCode::kOk)) {
-    Finalize(state, call_id, Bytes(payload->begin(), payload->end()));
+    // The callback receives a sub-view of the delivery buffer — the payload is
+    // never copied on the response path; callers that retain it pin or copy.
+    Finalize(state, call_id, delivery.payload.Share(*payload));
     return;
   }
   Status failure(static_cast<StatusCode>(*code), std::string(*message));

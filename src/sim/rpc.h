@@ -139,6 +139,9 @@ class RpcServer {
   uint16_t port() const { return port_; }
   Endpoint endpoint() const { return {node_, port_}; }
   uint64_t requests_served() const { return requests_served_; }
+  // Response frames serialized through the reusable scratch writer instead of a
+  // fresh allocation per response.
+  uint64_t responses_sent() const { return responses_sent_; }
 
  private:
   // One accepted non-idempotent call, identified by the issuing client endpoint
@@ -171,6 +174,10 @@ class RpcServer {
   std::map<std::string, AsyncHandler, std::less<>> async_methods_;
   std::map<std::string, MethodTraits, std::less<>> method_traits_;
   uint64_t requests_served_ = 0;
+  uint64_t responses_sent_ = 0;
+  // Scratch buffer for response frames, reused across responses (Transport::Send
+  // consumes the span before returning).
+  ByteWriter send_scratch_;
   SimTime service_time_ = 0;
   std::vector<SimTime> worker_busy_until_{0};  // one slot per virtual CPU
   std::map<DedupKey, DedupEntry> dedup_;
@@ -292,7 +299,10 @@ class CallHandle {
 // concurrent calls to any servers.
 class Channel {
  public:
-  using Callback = std::function<void(Result<Bytes>)>;
+  // The response payload is a pinned view into the transport's delivery buffer:
+  // reading it inside the callback is free; a callback that stashes it keeps the
+  // backing buffer alive (copy the view, or `result->Copy()` for owned bytes).
+  using Callback = std::function<void(Result<PayloadView>)>;
 
   // Binds to an ephemeral port on `node`.
   Channel(Transport* transport, NodeId node);
@@ -380,12 +390,14 @@ class TypedMethod {
   CallHandle Call(Channel* channel, const Endpoint& server, const Req& request,
                   Callback done, CallOptions options = {}) const {
     return channel->Call(server, name_, wire_internal::SerializeMessage(request),
-                         [done = std::move(done)](Result<Bytes> result) {
+                         [done = std::move(done)](Result<PayloadView> result) {
                            if (!result.ok()) {
                              done(result.status());
                              return;
                            }
-                           done(wire_internal::DeserializeMessage<Resp>(*result));
+                           // Deserialization is the ownership boundary: the typed
+                           // response copies exactly the fields it keeps.
+                           done(wire_internal::DeserializeMessage<Resp>(result->span()));
                          },
                          options);
   }

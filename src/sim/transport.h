@@ -18,6 +18,8 @@
 #include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <memory>
+#include <utility>
 
 #include "src/sim/clock.h"
 #include "src/sim/endpoint.h"
@@ -31,9 +33,65 @@ namespace globe::sim {
 // frame in the tree — 1 MB object-server file blocks plus headers.
 constexpr size_t kMaxFrameBytes = 8 * 1024 * 1024;
 
+// A pinned, zero-copy view of a delivered payload.
+//
+// The span aliases the backend's receive buffer (the socket transport's read
+// buffer, the simulated network's event payload, a secure frame's ciphertext)
+// and the shared_ptr keeps that buffer alive for as long as any view of it
+// exists. Delivery handlers may therefore parse in place — and even stash the
+// view past the delivery callback — without ever copying; the backend only
+// reuses (or frees) the buffer once the last view drops. `Copy()` is the
+// explicit escape hatch for the few fields that must outlive the view itself
+// as owned bytes (dedup cache entries, checkpointed state, retained messages).
+//
+// Copying a PayloadView is a refcount bump, never a byte copy.
+class PayloadView {
+ public:
+  PayloadView() = default;
+  PayloadView(std::shared_ptr<const void> backing, ByteSpan view)
+      : backing_(std::move(backing)), view_(view) {}
+
+  // Wraps an owned buffer: the view pins exactly that allocation.
+  static PayloadView Own(Bytes bytes) {
+    auto owned = std::make_shared<Bytes>(std::move(bytes));
+    ByteSpan view(owned->data(), owned->size());
+    return PayloadView(std::move(owned), view);
+  }
+
+  // A different window onto the same backing buffer (e.g. the plaintext slice
+  // of a parsed frame). `span` must lie within the backing allocation.
+  PayloadView Share(ByteSpan span) const { return PayloadView(backing_, span); }
+
+  ByteSpan span() const { return view_; }
+  const uint8_t* data() const { return view_.data(); }
+  size_t size() const { return view_.size(); }
+  bool empty() const { return view_.empty(); }
+
+  // Reads compose with ByteReader and every span-taking API directly.
+  operator ByteSpan() const { return view_; }  // NOLINT(google-explicit-constructor)
+
+  // The explicit ownership boundary: materialises the bytes and releases the
+  // pin. Everything long-lived must go through here (or ToBytes on a sub-span).
+  Bytes Copy() const { return Bytes(view_.begin(), view_.end()); }
+
+  // Drops the pin without waiting for destruction.
+  void Reset() {
+    backing_.reset();
+    view_ = {};
+  }
+
+ private:
+  std::shared_ptr<const void> backing_;
+  ByteSpan view_;
+};
+
 // What the RPC layer sees after the transport has processed an incoming frame.
 // `peer_principal` is filled in by authenticated transports (0 = unauthenticated);
 // plain transports always deliver 0.
+//
+// The payload is a pinned view into the backend's receive buffer (see
+// PayloadView): valid in place for as long as the handler — or anything the
+// handler hands it to — holds the view.
 //
 // A delivery with `transport_error` set carries no payload: it tells the port
 // that the transport lost its path to `src` (connection refused, peer reset,
@@ -43,7 +101,7 @@ constexpr size_t kMaxFrameBytes = 8 * 1024 * 1024;
 struct TransportDelivery {
   Endpoint src;
   Endpoint dst;
-  Bytes payload;
+  PayloadView payload;
   uint64_t peer_principal = 0;
   bool integrity_protected = false;
   bool transport_error = false;
@@ -55,11 +113,15 @@ using TransportHandler = std::function<void(const TransportDelivery&)>;
 // backend's clock/event loop, never from inside Send) and unreliable: a frame
 // may be lost, and the RPC layer's deadlines + retries are the recovery story
 // on every backend.
+//
+// Send takes a borrowed span: the transport consumes (copies or transmits) the
+// bytes before returning, so callers keep ownership and may reuse a scratch
+// buffer (ByteWriter::Reset) for the next frame immediately.
 class Transport {
  public:
   virtual ~Transport() = default;
 
-  virtual void Send(const Endpoint& src, const Endpoint& dst, Bytes payload) = 0;
+  virtual void Send(const Endpoint& src, const Endpoint& dst, ByteSpan payload) = 0;
   virtual void RegisterPort(NodeId node, uint16_t port, TransportHandler handler) = 0;
   virtual void UnregisterPort(NodeId node, uint16_t port) = 0;
 

@@ -20,6 +20,10 @@ using ByteSpan = std::span<const uint8_t>;
 // Converts a string's characters to bytes verbatim (no encoding applied).
 Bytes ToBytes(std::string_view s);
 
+// Materialises a view as owned bytes — the explicit copy at an ownership
+// boundary, for a parsed wire field that must outlive its receive buffer.
+inline Bytes ToBytes(ByteSpan bytes) { return Bytes(bytes.begin(), bytes.end()); }
+
 // Converts bytes back to a std::string verbatim.
 std::string ToString(ByteSpan bytes);
 

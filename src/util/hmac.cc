@@ -2,7 +2,7 @@
 
 namespace globe {
 
-Bytes HmacSha256(ByteSpan key, ByteSpan message) {
+HmacKey::HmacKey(ByteSpan key) {
   constexpr size_t kBlock = Sha256::kBlockSize;
   Bytes k(kBlock, 0);
   if (key.size() > kBlock) {
@@ -12,23 +12,36 @@ Bytes HmacSha256(ByteSpan key, ByteSpan message) {
     std::copy(key.begin(), key.end(), k.begin());
   }
 
-  Bytes ipad(kBlock), opad(kBlock);
+  Bytes pad(kBlock);
   for (size_t i = 0; i < kBlock; ++i) {
-    ipad[i] = k[i] ^ 0x36;
-    opad[i] = k[i] ^ 0x5c;
+    pad[i] = k[i] ^ 0x36;
   }
+  inner_midstate_.Update(pad);
+  for (size_t i = 0; i < kBlock; ++i) {
+    pad[i] = k[i] ^ 0x5c;
+  }
+  outer_midstate_.Update(pad);
+}
 
-  Sha256 inner;
-  inner.Update(ipad);
-  inner.Update(message);
+Bytes HmacKey::Finish(Sha256 inner) const {
   auto inner_digest = inner.Finish();
-
-  Sha256 outer;
-  outer.Update(opad);
+  Sha256 outer = outer_midstate_;
   outer.Update(ByteSpan(inner_digest.data(), inner_digest.size()));
   auto outer_digest = outer.Finish();
   return Bytes(outer_digest.begin(), outer_digest.end());
 }
+
+bool HmacKey::Verify(Sha256 inner, ByteSpan mac) const {
+  return ConstantTimeEqual(Finish(std::move(inner)), mac);
+}
+
+Bytes HmacKey::Mac(ByteSpan message) const {
+  Sha256 inner = Start();
+  inner.Update(message);
+  return Finish(std::move(inner));
+}
+
+Bytes HmacSha256(ByteSpan key, ByteSpan message) { return HmacKey(key).Mac(message); }
 
 bool VerifyHmacSha256(ByteSpan key, ByteSpan message, ByteSpan mac) {
   Bytes expected = HmacSha256(key, message);

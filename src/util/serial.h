@@ -21,6 +21,12 @@
 namespace globe {
 
 // Appends values to an owned byte buffer. Never fails; growth is amortized.
+//
+// Reusable-buffer mode: Reset() empties the writer but keeps its capacity, so a
+// long-lived scratch writer (the Channel's per-call serializer, a server's
+// response writer) stops allocating once it reaches its high-water mark. Frame
+// the bytes with span() and hand them to Transport::Send, which consumes them
+// before returning; Take() is for callers that need to keep the buffer.
 class ByteWriter {
  public:
   ByteWriter() = default;
@@ -36,8 +42,12 @@ class ByteWriter {
   void WriteBool(bool v) { WriteU8(v ? 1 : 0); }
 
   const Bytes& data() const { return buffer_; }
+  ByteSpan span() const { return buffer_; }
   Bytes Take() { return std::move(buffer_); }
   size_t size() const { return buffer_.size(); }
+
+  // Clears the contents, retaining capacity for reuse.
+  void Reset() { buffer_.clear(); }
 
  private:
   Bytes buffer_;

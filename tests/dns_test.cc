@@ -352,7 +352,7 @@ TEST_F(DnsServiceTest, AuthenticUpdateAppliesAndPropagatesToSecondary) {
   sim::Channel rpc(&transport_, world_.hosts[6]);
   Status status = InvalidArgument("pending");
   rpc.Call(primary_->endpoint(), "dns.update", update.Serialize(),
-           [&](Result<Bytes> result) {
+           [&](Result<sim::PayloadView> result) {
              status = result.ok() ? OkStatus() : result.status();
            });
   simulator_.Run();
@@ -378,7 +378,7 @@ TEST_F(DnsServiceTest, ForgedUpdateRejected) {
   sim::Channel rpc(&transport_, world_.hosts[6]);
   Status status;
   rpc.Call(primary_->endpoint(), "dns.update", update.Serialize(),
-           [&](Result<Bytes> result) { status = result.status(); });
+           [&](Result<sim::PayloadView> result) { status = result.status(); });
   simulator_.Run();
   EXPECT_EQ(status.code(), StatusCode::kPermissionDenied);
   EXPECT_EQ(primary_->stats().updates_rejected, 1u);
@@ -399,7 +399,7 @@ TEST_F(DnsServiceTest, ReplayedUpdateRejected) {
 
   sim::Channel rpc(&transport_, world_.hosts[6]);
   int ok_count = 0, denied_count = 0;
-  auto record_result = [&](Result<Bytes> result) {
+  auto record_result = [&](Result<sim::PayloadView> result) {
     if (result.ok()) {
       ++ok_count;
     } else if (result.status().code() == StatusCode::kPermissionDenied) {
@@ -429,7 +429,7 @@ TEST_F(DnsServiceTest, UpdateToSecondaryRefused) {
   sim::Channel rpc(&transport_, world_.hosts[6]);
   Status status;
   rpc.Call(secondary->endpoint(), "dns.update", update.Serialize(),
-           [&](Result<Bytes> result) { status = result.status(); });
+           [&](Result<sim::PayloadView> result) { status = result.status(); });
   simulator_.Run();
   EXPECT_EQ(status.code(), StatusCode::kFailedPrecondition);
 }

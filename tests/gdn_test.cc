@@ -344,7 +344,7 @@ TEST_F(SecureGdnWorldTest, UserCannotCommandGos) {
   w.WriteU16(kPackageTypeId);
   Status status = OkStatus();
   rpc.Call(world_.GosOf(0)->endpoint(), "gos.create_first_replica", w.Take(),
-           [&](Result<Bytes> result) { status = result.status(); });
+           [&](Result<sim::PayloadView> result) { status = result.status(); });
   world_.Run();
   EXPECT_EQ(status.code(), StatusCode::kPermissionDenied);
 }

@@ -284,7 +284,7 @@ TEST_F(GosTest, RpcCommandsWork) {
   gls::ObjectId oid;
   bool ok = false;
   rpc.Call(gos_a_->endpoint(), "gos.create_first_replica", w.Take(),
-           [&](Result<Bytes> result) {
+           [&](Result<sim::PayloadView> result) {
              ASSERT_TRUE(result.ok()) << result.status();
              ByteReader r(*result);
              oid = *gls::ObjectId::Deserialize(&r);
@@ -296,7 +296,7 @@ TEST_F(GosTest, RpcCommandsWork) {
 
   // list_replicas sees it.
   size_t listed = 0;
-  rpc.Call(gos_a_->endpoint(), "gos.list_replicas", {}, [&](Result<Bytes> result) {
+  rpc.Call(gos_a_->endpoint(), "gos.list_replicas", {}, [&](Result<sim::PayloadView> result) {
     ASSERT_TRUE(result.ok());
     ByteReader r(*result);
     listed = static_cast<size_t>(*r.ReadVarint());
@@ -309,7 +309,7 @@ TEST_F(GosTest, RpcCommandsWork) {
   oid.Serialize(&rm);
   Status remove_status = InvalidArgument("pending");
   rpc.Call(gos_a_->endpoint(), "gos.remove_replica", rm.Take(),
-           [&](Result<Bytes> result) {
+           [&](Result<sim::PayloadView> result) {
     remove_status = result.ok() ? OkStatus() : result.status();
   });
   simulator_.Run();
@@ -357,7 +357,7 @@ TEST(GosAuthTest, OnlyModeratorsMayCommand) {
   sim::Channel user_rpc(&secure, user_node);
   Status user_status = OkStatus();
   user_rpc.Call(gos.endpoint(), "gos.create_first_replica", request,
-                [&](Result<Bytes> result) { user_status = result.status(); });
+                [&](Result<sim::PayloadView> result) { user_status = result.status(); });
   simulator.Run();
   EXPECT_EQ(user_status.code(), StatusCode::kPermissionDenied);
   EXPECT_EQ(gos.stats().commands_denied, 1u);
@@ -366,7 +366,7 @@ TEST(GosAuthTest, OnlyModeratorsMayCommand) {
   sim::Channel moderator_rpc(&secure, moderator_node);
   Status moderator_status = InvalidArgument("pending");
   moderator_rpc.Call(gos.endpoint(), "gos.create_first_replica", request,
-                     [&](Result<Bytes> result) {
+                     [&](Result<sim::PayloadView> result) {
                        moderator_status = result.ok() ? OkStatus() : result.status();
                      });
   simulator.Run();

@@ -266,7 +266,7 @@ TEST(DnsCacheFreshnessTest, NeverServesExpiredRecords) {
   update.sequence = 1;
   dns::TsigSign(&update, keys["gdn-na"]);
   sim::Channel rpc(&transport, world.hosts[3]);
-  rpc.Call(server.endpoint(), "dns.update", update.Serialize(), [](Result<Bytes>) {});
+  rpc.Call(server.endpoint(), "dns.update", update.Serialize(), [](Result<sim::PayloadView>) {});
   simulator.Run();
 
   // Within the TTL a stale cached answer is legal (that is DNS semantics); once the

@@ -162,10 +162,10 @@ class SecureTransportTest : public ::testing::Test {
       return Bytes(req.begin(), req.end());
     });
     Channel client(&transport_, from);
-    client.Call(server.endpoint(), "echo", ToBytes("payload"), [&](Result<Bytes> result) {
+    client.Call(server.endpoint(), "echo", ToBytes("payload"), [&](Result<sim::PayloadView> result) {
       outcome.ok = result.ok();
       if (result.ok()) {
-        outcome.reply = std::move(*result);
+        outcome.reply = result->Copy();
       }
     });
     simulator_.Run();
@@ -256,7 +256,7 @@ TEST_F(SecureTransportTest, TamperedFrameIsDroppedByMac) {
   sim::CallOptions call_options;
   call_options.deadline = 5 * kSecond;
   client.Call(server.endpoint(), "echo", ToBytes("x"),
-              [&](Result<Bytes> r) { ok = r.ok(); }, call_options);
+              [&](Result<sim::PayloadView> r) { ok = r.ok(); }, call_options);
   simulator_.Run();
   EXPECT_EQ(delivered, 0);
   EXPECT_FALSE(ok);
@@ -300,7 +300,7 @@ TEST_F(SecureTransportTest, ReplayedFrameIsRejected) {
     return Bytes{};
   });
   Channel client(&transport_, host_a_);
-  client.Call(server.endpoint(), "cmd", ToBytes("once"), [](Result<Bytes>) {});
+  client.Call(server.endpoint(), "cmd", ToBytes("once"), [](Result<sim::PayloadView>) {});
   simulator_.Run();
   ASSERT_EQ(delivered, 1);
 

@@ -218,7 +218,7 @@ TEST_F(NetworkTest, DeliversToRegisteredPort) {
   NodeId a = world_.hosts[0];
   NodeId b = world_.hosts[1];
   Bytes received;
-  network_.RegisterPort(b, 100, [&](const Delivery& d) { received = d.payload; });
+  network_.RegisterPort(b, 100, [&](const Delivery& d) { received = d.payload.Copy(); });
   network_.Send({a, 50}, {b, 100}, ToBytes("ping"));
   simulator_.Run();
   EXPECT_EQ(globe::ToString(received), "ping");
@@ -369,9 +369,9 @@ TEST_F(RpcTest, EchoRoundTrip) {
   Channel client(&transport_, client_node);
   Bytes reply;
   client.Call(server.endpoint(), "echo", ToBytes("hello globe"),
-              [&](Result<Bytes> result) {
+              [&](Result<PayloadView> result) {
                 ASSERT_TRUE(result.ok());
-                reply = std::move(*result);
+                reply = result->Copy();
               });
   simulator_.Run();
   EXPECT_EQ(globe::ToString(reply), "hello globe");
@@ -387,7 +387,7 @@ TEST_F(RpcTest, DrainedCallAdvancesClockByRoundTripNotDeadline) {
   Channel client(&transport_, world_.hosts[5]);
   bool answered = false;
   client.Call(server.endpoint(), "echo", ToBytes("x"),
-              [&](Result<Bytes> result) { answered = result.ok(); });
+              [&](Result<PayloadView> result) { answered = result.ok(); });
   simulator_.Run();
   ASSERT_TRUE(answered);
   // The 30 s deadline event was erased when the response landed: draining the
@@ -404,7 +404,7 @@ TEST_F(RpcTest, ErrorStatusPropagates) {
 
   Channel client(&transport_, world_.hosts[1]);
   Status got;
-  client.Call(server.endpoint(), "fail", {}, [&](Result<Bytes> result) {
+  client.Call(server.endpoint(), "fail", {}, [&](Result<PayloadView> result) {
     ASSERT_FALSE(result.ok());
     got = result.status();
   });
@@ -417,7 +417,7 @@ TEST_F(RpcTest, UnknownMethodReturnsNotFound) {
   RpcServer server(&transport_, world_.hosts[0], 700);
   Channel client(&transport_, world_.hosts[1]);
   Status got;
-  client.Call(server.endpoint(), "nope", {}, [&](Result<Bytes> result) {
+  client.Call(server.endpoint(), "nope", {}, [&](Result<PayloadView> result) {
     got = result.status();
   });
   simulator_.Run();
@@ -437,7 +437,7 @@ TEST_F(RpcTest, DeadlineWhenServerDown) {
   CallOptions options;
   options.deadline = 5 * kSecond;
   client.Call(server.endpoint(), "echo", {},
-              [&](Result<Bytes> result) { got = result.status(); }, options);
+              [&](Result<PayloadView> result) { got = result.status(); }, options);
   simulator_.Run();
   EXPECT_EQ(got.code(), StatusCode::kUnavailable);
   // The deadline fired exactly when it should.
@@ -455,7 +455,7 @@ TEST_F(RpcTest, CancelledCallNeverRunsItsCallbackNorLeaksPendingState) {
   Channel client(&transport_, world_.hosts[5]);
   int callback_runs = 0;
   CallHandle handle = client.Call(server.endpoint(), "echo", ToBytes("x"),
-                                  [&](Result<Bytes>) { ++callback_runs; });
+                                  [&](Result<PayloadView>) { ++callback_runs; });
   EXPECT_TRUE(handle.active());
   handle.Cancel();
   EXPECT_FALSE(handle.active());
@@ -486,7 +486,7 @@ TEST_F(RpcTest, RetryPolicyExhaustionSurfacesLastError) {
   options.retry.backoff = 500 * kMillisecond;
   options.retry.backoff_multiplier = 2.0;
   client.Call(server.endpoint(), "echo", {},
-              [&](Result<Bytes> result) { got = result.status(); }, options);
+              [&](Result<PayloadView> result) { got = result.status(); }, options);
   simulator_.Run();
   EXPECT_EQ(got.code(), StatusCode::kUnavailable);
   EXPECT_EQ(client.stats().retries, 2u);
@@ -511,9 +511,9 @@ TEST_F(RpcTest, RetryPolicyRecoversFromTransientFailures) {
   options.retry.attempts = 3;
   options.retry.backoff = 100 * kMillisecond;
   client.Call(server.endpoint(), "flaky", {},
-              [&](Result<Bytes> result) {
+              [&](Result<PayloadView> result) {
                 ASSERT_TRUE(result.ok());
-                reply = std::move(*result);
+                reply = result->Copy();
               },
               options);
   simulator_.Run();
@@ -541,7 +541,7 @@ TEST_F(RpcTest, StaleErrorResponseDoesNotConsumeRetryBudget) {
   options.retry.attempts = 2;
   options.retry.backoff = 2 * kSecond;
   client.Call(server.endpoint(), "slow-fail", {},
-              [&](Result<Bytes> result) {
+              [&](Result<PayloadView> result) {
                 got = result.status();
                 failed_at = simulator_.Now();
               },
@@ -572,7 +572,7 @@ TEST_F(RpcTest, StaleErrorAfterRetryWasSentIsIgnored) {
   options.retry.attempts = 2;
   options.retry.backoff = 200 * kMillisecond;  // resend at ~2.2 s, stale error ~3 s
   client.Call(server.endpoint(), "slow-fail", {},
-              [&](Result<Bytes> result) {
+              [&](Result<PayloadView> result) {
                 got = result.status();
                 failed_at = simulator_.Now();
               },
@@ -604,10 +604,10 @@ TEST_F(RpcTest, StaleOkAfterRetryWasSentCompletesTheCall) {
   options.retry.attempts = 2;
   options.retry.backoff = 200 * kMillisecond;
   client.Call(server.endpoint(), "slow-ok", {},
-              [&](Result<Bytes> result) {
+              [&](Result<PayloadView> result) {
                 ++callback_runs;
                 ASSERT_TRUE(result.ok());
-                reply = std::move(*result);
+                reply = result->Copy();
               },
               options);
   simulator_.Run();
@@ -637,7 +637,7 @@ TEST_F(RpcTest, RetryBackoffAdvancesVirtualTimeGeometrically) {
   EXPECT_EQ(options.retry.BackoffFor(2), 300 * kMillisecond);
   EXPECT_EQ(options.retry.BackoffFor(3), 900 * kMillisecond);
   client.Call(server.endpoint(), "echo", {},
-              [&](Result<Bytes> result) { got = result.status(); }, options);
+              [&](Result<PayloadView> result) { got = result.status(); }, options);
   simulator_.Run();
   EXPECT_EQ(got.code(), StatusCode::kUnavailable);
   EXPECT_EQ(simulator_.Now(), 4 * kSecond + (100 + 300 + 900) * kMillisecond);
@@ -656,7 +656,7 @@ TEST_F(RpcTest, RetryExhaustionSurfacesTheLastError) {
   options.retry.attempts = 3;
   options.retry.backoff = 100 * kMillisecond;
   client.Call(server.endpoint(), "flaky", {},
-              [&](Result<Bytes> result) { got = result.status(); }, options);
+              [&](Result<PayloadView> result) { got = result.status(); }, options);
   simulator_.Run();
   EXPECT_EQ(got.code(), StatusCode::kUnavailable);
   EXPECT_EQ(got.message(), "err-3");  // the last attempt's error, not the first
@@ -674,7 +674,7 @@ TEST_F(RpcTest, CancelDuringBackoffStopsTheRetryChain) {
   options.retry.attempts = 5;
   options.retry.backoff = 10 * kSecond;
   CallHandle handle = client.Call(server.endpoint(), "flaky", {},
-                                  [&](Result<Bytes>) { ++callback_runs; }, options);
+                                  [&](Result<PayloadView>) { ++callback_runs; }, options);
   // Let attempt 1 fail and the first backoff get scheduled, then cancel.
   simulator_.RunUntil(kSecond);
   EXPECT_EQ(server.requests_served(), 1u);
@@ -703,7 +703,7 @@ TEST_F(RpcTest, ApplicationErrorsAreNotRetried) {
   CallOptions options;
   options.retry.attempts = 5;
   client.Call(server.endpoint(), "denied", {},
-              [&](Result<Bytes> result) { got = result.status(); }, options);
+              [&](Result<PayloadView> result) { got = result.status(); }, options);
   simulator_.Run();
   EXPECT_EQ(got.code(), StatusCode::kPermissionDenied);
   EXPECT_EQ(calls, 1);
@@ -718,7 +718,7 @@ TEST_F(RpcTest, PeerLoadTracksOutstandingDepthAndLatency) {
 
   Channel client(&transport_, world_.hosts[5]);
   for (int i = 0; i < 4; ++i) {
-    client.Call(server.endpoint(), "echo", {}, [](Result<Bytes>) {});
+    client.Call(server.endpoint(), "echo", {}, [](Result<PayloadView>) {});
   }
   EXPECT_EQ(client.PeerLoad(server.endpoint()).outstanding, 4u);
   simulator_.Run();
@@ -743,7 +743,7 @@ TEST_F(RpcTest, ServiceTimeQueuesRequestsFifo) {
   std::vector<SimTime> completions;
   for (int i = 0; i < 5; ++i) {
     client.Call(server.endpoint(), "work", {},
-                [&](Result<Bytes> result) {
+                [&](Result<PayloadView> result) {
                   ASSERT_TRUE(result.ok());
                   completions.push_back(simulator_.Now());
                 });
@@ -774,7 +774,7 @@ TEST_F(RpcTest, WorkerPoolWidthDrainsTheQueueConcurrently) {
   std::vector<SimTime> completions;
   for (int i = 0; i < 4; ++i) {
     client.Call(server.endpoint(), "work", {},
-                [&](Result<Bytes> result) {
+                [&](Result<PayloadView> result) {
                   ASSERT_TRUE(result.ok());
                   completions.push_back(simulator_.Now());
                 });
@@ -800,9 +800,9 @@ TEST_F(RpcTest, AsyncHandlerCanRespondLater) {
 
   Channel client(&transport_, world_.hosts[1]);
   Bytes reply;
-  client.Call(server.endpoint(), "slow", {}, [&](Result<Bytes> result) {
+  client.Call(server.endpoint(), "slow", {}, [&](Result<PayloadView> result) {
     ASSERT_TRUE(result.ok());
-    reply = std::move(*result);
+    reply = result->Copy();
   });
   simulator_.Run();
   EXPECT_EQ(globe::ToString(reply), "done");
@@ -822,16 +822,22 @@ TEST_F(RpcTest, NestedRpcThroughAsyncHandler) {
       "forward",
       [&, front_client](const RpcContext&, ByteSpan, RpcServer::Responder respond) {
         front_client->Call(back.endpoint(), "get", {},
-                           [respond = std::move(respond)](Result<Bytes> result) {
-                             respond(std::move(result));
+                           [respond = std::move(respond)](Result<PayloadView> result) {
+                             if (!result.ok()) {
+                               respond(result.status());
+                               return;
+                             }
+                             // The forwarded response outlives this delivery:
+                             // copy at the ownership boundary.
+                             respond(result->Copy());
                            });
       });
 
   Channel client(&transport_, world_.hosts[5]);
   Bytes reply;
-  client.Call(front.endpoint(), "forward", {}, [&](Result<Bytes> result) {
+  client.Call(front.endpoint(), "forward", {}, [&](Result<PayloadView> result) {
     ASSERT_TRUE(result.ok());
-    reply = std::move(*result);
+    reply = result->Copy();
   });
   simulator_.Run();
   EXPECT_EQ(globe::ToString(reply), "from-back");
@@ -852,7 +858,7 @@ TEST_F(RpcTest, ManyConcurrentCallsCorrelate) {
   for (uint64_t i = 0; i < 50; ++i) {
     ByteWriter w;
     w.WriteU64(i);
-    client.Call(server.endpoint(), "double", w.Take(), [&, i](Result<Bytes> result) {
+    client.Call(server.endpoint(), "double", w.Take(), [&, i](Result<PayloadView> result) {
       ASSERT_TRUE(result.ok());
       ByteReader r(*result);
       results[i] = r.ReadU64().value();
@@ -1060,9 +1066,9 @@ TEST_F(DedupTest, TransientErrorsAreNotPinnedByTheDedupTable) {
   options.retry.attempts = 3;
   options.retry.backoff = 100 * kMillisecond;
   client.Call(server_.endpoint(), "flaky.write", {},
-              [&](Result<Bytes> result) {
+              [&](Result<PayloadView> result) {
                 ASSERT_TRUE(result.ok());
-                reply = std::move(*result);
+                reply = result->Copy();
               },
               options);
   simulator_.Run();
@@ -1115,13 +1121,13 @@ TEST_F(RpcTest, RetriedWriteUnderResponseLossExecutesOnceEndToEnd) {
   });
 
   Channel client(&transport_, client_node);
-  Result<Bytes> got = Unavailable("pending");
+  Result<PayloadView> got = Unavailable("pending");
   CallOptions options;
   options.deadline = 500 * kMillisecond;
   options.retry.attempts = 3;
   options.retry.backoff = 100 * kMillisecond;
   client.Call(server.endpoint(), "counter.add", {},
-              [&](Result<Bytes> result) { got = std::move(result); }, options);
+              [&](Result<PayloadView> result) { got = std::move(result); }, options);
   simulator_.Run();
 
   ASSERT_TRUE(got.ok());
@@ -1342,7 +1348,7 @@ TEST_F(RpcTest, TypedMethodRoundTripAndDecodeErrors) {
   // A malformed request is rejected by the registration shim, not the handler.
   Status bad;
   client.Call(server.endpoint(), "test.ping", Bytes{0x01},
-              [&](Result<Bytes> result) { bad = result.status(); });
+              [&](Result<PayloadView> result) { bad = result.status(); });
   simulator_.Run();
   EXPECT_EQ(bad.code(), StatusCode::kOutOfRange);
 }

@@ -14,14 +14,22 @@
 //   - a cancelled call schedules no further attempts (the retry-backoff timer
 //     regression), and
 //   - a typed RPC round-trips.
-// Plus a socket-only end-to-end: a real HTTP GET over a plain TCP socket
-// fetches a package file from a StandaloneGdnNode.
+// Payload-lifetime conformance (the PayloadView contract):
+//   - a stashed view observes stable bytes while later traffic churns the
+//     backend's receive buffers, until the holder releases it,
+//   - a request pinned across a deferred (service-time) dispatch stays valid,
+//   - a response view stashed past the channel callback stays valid, and
+//   - batched MAC verification rejects exactly the tampered frame in a batch.
+// Plus socket-only end-to-ends: a real HTTP GET over a plain TCP socket
+// fetches a package file from a StandaloneGdnNode, and read buffers recycle
+// through the pool under connection churn without invalidating pinned views.
 
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <atomic>
 #include <memory>
 #include <thread>
@@ -30,6 +38,7 @@
 #include <gtest/gtest.h>
 
 #include "src/gdn/standalone.h"
+#include "src/sec/secure_transport.h"
 #include "src/net/event_loop.h"
 #include "src/net/socket_transport.h"
 #include "src/sim/backend.h"
@@ -162,7 +171,7 @@ TEST_P(TransportConformanceTest, DeliveryOrderIsPreserved) {
   fixture_->server_transport()->RegisterPort(
       server, 7000, [&](const sim::TransportDelivery& d) {
         if (!d.transport_error) {
-          received.push_back(d.payload.at(0));
+          received.push_back(d.payload.span()[0]);
         }
       });
 
@@ -252,8 +261,8 @@ TEST_P(TransportConformanceTest, TypedRpcRoundTrip) {
   sim::Channel channel(fixture_->client_transport(), client_node);
   Result<Bytes> out = Unavailable("pending");
   bool done = false;
-  channel.Call(server.endpoint(), "echo", Bytes{1, 2, 3, 4}, [&](Result<Bytes> r) {
-    out = std::move(r);
+  channel.Call(server.endpoint(), "echo", Bytes{1, 2, 3, 4}, [&](Result<sim::PayloadView> r) {
+    out = r.ok() ? Result<Bytes>(r->Copy()) : Result<Bytes>(r.status());
     done = true;
   });
   ASSERT_TRUE(fixture_->RunUntil([&]() { return done; }, 10 * sim::kSecond));
@@ -276,7 +285,7 @@ TEST_P(TransportConformanceTest, DeadPeerSurfacesUnavailableAndRetriesEngage) {
   // Prove the path works, and (on the socket backend) establish the connection
   // whose reset the client must then observe.
   bool warm_done = false;
-  channel.Call(server->endpoint(), "ping", Bytes{}, [&](Result<Bytes> r) {
+  channel.Call(server->endpoint(), "ping", Bytes{}, [&](Result<sim::PayloadView> r) {
     EXPECT_TRUE(r.ok()) << r.status();
     warm_done = true;
   });
@@ -291,11 +300,11 @@ TEST_P(TransportConformanceTest, DeadPeerSurfacesUnavailableAndRetriesEngage) {
   options.deadline = 300 * sim::kMillisecond;
   options.retry.attempts = 2;
   options.retry.backoff = 100 * sim::kMillisecond;
-  Result<Bytes> out = Unavailable("pending");
+  Result<sim::PayloadView> out = Unavailable("pending");
   bool done = false;
   channel.Call(
       dead, "ping", Bytes{},
-      [&](Result<Bytes> r) {
+      [&](Result<sim::PayloadView> r) {
         out = std::move(r);
         done = true;
       },
@@ -330,7 +339,7 @@ TEST_P(TransportConformanceTest, CancelledCallSchedulesNoFurtherAttempts) {
   bool callback_ran = false;
   sim::CallHandle call = channel.Call(
       {server_node, 7006}, "flaky", Bytes{},
-      [&](Result<Bytes>) { callback_ran = true; }, options);
+      [&](Result<sim::PayloadView>) { callback_ran = true; }, options);
 
   // First attempt executes and its UNAVAILABLE answer lands; the call is now
   // sitting in the 800 ms backoff before attempt two.
@@ -346,6 +355,246 @@ TEST_P(TransportConformanceTest, CancelledCallSchedulesNoFurtherAttempts) {
   EXPECT_EQ(executions, 1) << "a cancelled call sent another attempt";
   EXPECT_FALSE(callback_ran);
   EXPECT_EQ(channel.stats().cancelled, 1u);
+}
+
+// ---- Payload-lifetime conformance: the PayloadView contract. ----
+
+// A handler stashes the delivery's view without copying; 64 further frames
+// then churn the receive path (on the socket backend this forces the
+// connection to swap its pinned read buffer). The stashed bytes must read
+// back unchanged until the holder releases the pin. Under ASan, a backend
+// that recycled the buffer out from under the view fails here loudly.
+TEST_P(TransportConformanceTest, StashedViewObservesStableBytesUnderBufferChurn) {
+  sim::NodeId client = fixture_->NewClientNode();
+  sim::NodeId server = fixture_->NewServerNode();
+
+  Bytes first(4096);
+  for (size_t i = 0; i < first.size(); ++i) {
+    first[i] = static_cast<uint8_t>(i * 7 + 3);
+  }
+
+  sim::PayloadView stashed;
+  size_t churn_seen = 0;
+  fixture_->server_transport()->RegisterPort(
+      server, 7007, [&](const sim::TransportDelivery& d) {
+        if (d.transport_error) {
+          return;
+        }
+        if (stashed.empty()) {
+          stashed = d.payload;  // pin the view, no copy
+        } else {
+          ++churn_seen;
+        }
+      });
+
+  fixture_->client_transport()->Send({client, 41000}, {server, 7007}, first);
+  ASSERT_TRUE(
+      fixture_->RunUntil([&]() { return !stashed.empty(); }, 10 * sim::kSecond));
+
+  constexpr size_t kChurnFrames = 64;
+  for (size_t i = 0; i < kChurnFrames; ++i) {
+    fixture_->client_transport()->Send({client, 41000}, {server, 7007},
+                                       Bytes(4096, static_cast<uint8_t>(0xC0 + i)));
+  }
+  ASSERT_TRUE(fixture_->RunUntil([&]() { return churn_seen == kChurnFrames; },
+                                 10 * sim::kSecond));
+
+  ASSERT_EQ(stashed.size(), first.size());
+  EXPECT_TRUE(std::equal(stashed.span().begin(), stashed.span().end(), first.begin()))
+      << "stashed view changed underneath its pin";
+  stashed.Reset();  // release: the backing buffer may now return to the pool
+  fixture_->server_transport()->UnregisterPort(server, 7007);
+}
+
+// Regression for the deferred-dispatch path: with a service time set, the
+// server parses the request on arrival but dispatches it only when a virtual
+// CPU frees up. The request payload is a pinned view; churn traffic arriving
+// on the same connection in between must not invalidate it.
+TEST_P(TransportConformanceTest, DeferredDispatchPinsRequestAcrossServiceTime) {
+  sim::NodeId client_node = fixture_->NewClientNode();
+  sim::NodeId server_node = fixture_->NewServerNode();
+
+  Bytes request(2048);
+  for (size_t i = 0; i < request.size(); ++i) {
+    request[i] = static_cast<uint8_t>(i * 13 + 1);
+  }
+
+  sim::RpcServer server(fixture_->server_transport(), server_node, 7008);
+  server.set_service_time(50 * sim::kMillisecond);
+  server.RegisterMethod("echo", [](const sim::RpcContext&, ByteSpan req) {
+    return Bytes(req.begin(), req.end());
+  });
+  // A raw port on the same node: its frames share the connection (and thus the
+  // read buffer) with the queued request.
+  size_t churn_seen = 0;
+  fixture_->server_transport()->RegisterPort(
+      server_node, 7018, [&](const sim::TransportDelivery& d) {
+        if (!d.transport_error) {
+          ++churn_seen;
+        }
+      });
+
+  sim::Channel channel(fixture_->client_transport(), client_node);
+  Result<Bytes> out = Unavailable("pending");
+  bool done = false;
+  channel.Call(server.endpoint(), "echo", request, [&](Result<sim::PayloadView> r) {
+    out = r.ok() ? Result<Bytes>(r->Copy()) : Result<Bytes>(r.status());
+    done = true;
+  });
+  constexpr size_t kChurnFrames = 32;
+  for (size_t i = 0; i < kChurnFrames; ++i) {
+    fixture_->client_transport()->Send({client_node, 41000}, {server_node, 7018},
+                                       Bytes(2048, static_cast<uint8_t>(i)));
+  }
+
+  ASSERT_TRUE(fixture_->RunUntil([&]() { return done; }, 30 * sim::kSecond));
+  ASSERT_TRUE(out.ok()) << out.status();
+  EXPECT_EQ(*out, request) << "request bytes changed while waiting for a worker";
+  EXPECT_EQ(churn_seen, kChurnFrames);
+  fixture_->server_transport()->UnregisterPort(server_node, 7018);
+}
+
+// A channel callback keeps the Result<PayloadView> past Finalize — the other
+// way a view legitimately outlives its delivery. 32 further calls churn the
+// same connection before the stash is read.
+TEST_P(TransportConformanceTest, StashedResponseViewSurvivesLaterTraffic) {
+  sim::NodeId client_node = fixture_->NewClientNode();
+  sim::NodeId server_node = fixture_->NewServerNode();
+
+  sim::RpcServer server(fixture_->server_transport(), server_node, 7009);
+  server.RegisterMethod("echo", [](const sim::RpcContext&, ByteSpan req) {
+    return Bytes(req.begin(), req.end());
+  });
+
+  Bytes expected(1024);
+  for (size_t i = 0; i < expected.size(); ++i) {
+    expected[i] = static_cast<uint8_t>(i * 31 + 7);
+  }
+
+  sim::Channel channel(fixture_->client_transport(), client_node);
+  Result<sim::PayloadView> saved = Unavailable("pending");
+  bool first_done = false;
+  channel.Call(server.endpoint(), "echo", expected, [&](Result<sim::PayloadView> r) {
+    saved = std::move(r);  // stash the pinned response past the callback
+    first_done = true;
+  });
+  ASSERT_TRUE(fixture_->RunUntil([&]() { return first_done; }, 10 * sim::kSecond));
+
+  size_t later_done = 0;
+  for (size_t i = 0; i < 32; ++i) {
+    channel.Call(server.endpoint(), "echo", Bytes(1024, static_cast<uint8_t>(i)),
+                 [&](Result<sim::PayloadView> r) {
+                   if (r.ok()) {
+                     ++later_done;
+                   }
+                 });
+  }
+  ASSERT_TRUE(
+      fixture_->RunUntil([&]() { return later_done == 32; }, 30 * sim::kSecond));
+
+  ASSERT_TRUE(saved.ok()) << saved.status();
+  EXPECT_EQ(saved->Copy(), expected) << "stashed response changed under later traffic";
+}
+
+// A decorator that corrupts the Nth data frame on its way into the backend —
+// the wire attacker sitting between the secure layer and the transport.
+class TamperTransport : public sim::Transport {
+ public:
+  explicit TamperTransport(sim::Transport* inner) : inner_(inner) {}
+
+  void set_tamper_index(int index) { tamper_index_ = index; }
+  int data_frames() const { return data_frames_; }
+
+  void Send(const sim::Endpoint& src, const sim::Endpoint& dst,
+            ByteSpan payload) override {
+    // Port 1 is the secure transport's synthetic handshake sink; only count
+    // (and only corrupt) data frames.
+    if (dst.port != 1 && data_frames_++ == tamper_index_) {
+      Bytes corrupted = ToBytes(payload);
+      corrupted.back() ^= 0x01;  // last byte = last MAC byte
+      inner_->Send(src, dst, corrupted);
+      return;
+    }
+    inner_->Send(src, dst, payload);
+  }
+  void RegisterPort(sim::NodeId node, uint16_t port,
+                    sim::TransportHandler handler) override {
+    inner_->RegisterPort(node, port, std::move(handler));
+  }
+  void UnregisterPort(sim::NodeId node, uint16_t port) override {
+    inner_->UnregisterPort(node, port);
+  }
+  sim::Clock* clock() override { return inner_->clock(); }
+  double EstimateDeliveryDelayUs(sim::NodeId src, sim::NodeId dst,
+                                 size_t bytes) const override {
+    return inner_->EstimateDeliveryDelayUs(src, dst, bytes);
+  }
+
+ private:
+  sim::Transport* inner_;
+  int tamper_index_ = -1;
+  int data_frames_ = 0;
+};
+
+// Batched verification must fail frames individually: one corrupted frame in
+// a burst is rejected, its batch-mates deliver in order. Runs the secure
+// transport over both backends (one shared instance holds both ends' session
+// state; on the socket backend Listen()'s self-route loops the frames through
+// real TCP).
+TEST_P(TransportConformanceTest, BatchedMacVerifyRejectsExactlyTheTamperedFrame) {
+  sim::NodeId client = fixture_->NewClientNode();
+  sim::NodeId server = fixture_->NewServerNode();
+
+  TamperTransport tamper(fixture_->server_transport());
+  sec::KeyRegistry registry;
+  sec::CryptoProfile profile;
+  profile.mac_us_per_byte = 0;
+  profile.cipher_us_per_byte = 0;
+  profile.handshake_cpu_us = 0;
+  profile.handshake_bytes = 64;
+  profile.handshake_rtts = 0;
+  sec::SecureTransport secure(&tamper, &registry, profile);
+  ASSERT_EQ(secure.verify_mode(), sec::VerifyMode::kBatched);
+
+  secure.SetNodeCredential(client, registry.Register("conf-client", sec::Role::kGdnHost));
+  secure.SetNodeCredential(server, registry.Register("conf-server", sec::Role::kGdnHost));
+  secure.SetChannelPolicy([](sim::NodeId, sim::NodeId) {
+    sec::ChannelConfig config;
+    config.auth = sec::AuthMode::kMutualAuth;
+    return config;
+  });
+
+  std::vector<uint8_t> delivered;
+  secure.RegisterPort(server, 7010, [&](const sim::TransportDelivery& d) {
+    if (!d.transport_error) {
+      delivered.push_back(d.payload.span()[0]);
+    }
+  });
+
+  // Frame 0 establishes the session and drains the handshake.
+  secure.Send({client, 41000}, {server, 7010}, Bytes{0});
+  ASSERT_TRUE(
+      fixture_->RunUntil([&]() { return delivered.size() == 1; }, 10 * sim::kSecond));
+
+  // A burst of five; the third is corrupted on the wire.
+  tamper.set_tamper_index(tamper.data_frames() + 2);
+  for (uint8_t i = 1; i <= 5; ++i) {
+    secure.Send({client, 41000}, {server, 7010}, Bytes{i});
+  }
+  ASSERT_TRUE(
+      fixture_->RunUntil([&]() { return delivered.size() == 5; }, 10 * sim::kSecond));
+  fixture_->RunFor(100 * sim::kMillisecond);
+
+  EXPECT_EQ(delivered, (std::vector<uint8_t>{0, 1, 2, 4, 5}))
+      << "exactly the tampered frame must be missing";
+  EXPECT_EQ(secure.stats().mac_failures, 1u);
+  EXPECT_GE(secure.stats().verify_batches, 2u);
+  EXPECT_EQ(secure.stats().batched_frames, 6u);
+  if (GetParam() == Backend::kSim) {
+    // On virtual time the whole burst lands in one wake: one flush of five.
+    EXPECT_EQ(secure.stats().max_batch_frames, 5u);
+  }
+  secure.UnregisterPort(server, 7010);
 }
 
 INSTANTIATE_TEST_SUITE_P(Backends, TransportConformanceTest,
@@ -431,6 +680,53 @@ TEST(SocketTransportEndToEnd, HttpGetFetchesPublishedPackage) {
   EXPECT_NE(response.find("200"), std::string::npos) << response.substr(0, 200);
   EXPECT_NE(response.find(body_text), std::string::npos);
   EXPECT_GE(transport.stats().http_requests, 1u);
+}
+
+// Connection churn: each short-lived client connection acquires a read buffer
+// from the server's pool and returns it on close — except the one still pinned
+// by a stashed view, which must keep its bytes until released. Later accepts
+// must observe freelist hits.
+TEST(SocketTransportEndToEnd, ReadBuffersRecycleUnderConnectionChurn) {
+  net::EventLoop loop;
+  net::SocketTransport server(&loop);
+  const sim::NodeId node = 1;
+  auto port = server.Listen(node);
+  ASSERT_TRUE(port.ok()) << port.status();
+
+  sim::PayloadView stashed;
+  Bytes expected;
+  size_t frames = 0;
+  server.RegisterPort(node, 7100, [&](const sim::TransportDelivery& d) {
+    if (d.transport_error) {
+      return;
+    }
+    ++frames;
+    if (stashed.empty()) {
+      stashed = d.payload;  // pins the first connection's read buffer
+      expected = d.payload.Copy();
+    }
+  });
+
+  constexpr int kConnections = 6;
+  for (int i = 0; i < kConnections; ++i) {
+    size_t before = frames;
+    net::SocketTransport client(&loop);
+    client.AddRoute(node, "127.0.0.1", *port);
+    client.Send({static_cast<sim::NodeId>(100 + i), 41000}, {node, 7100},
+                Bytes(2048, static_cast<uint8_t>(0x10 + i)));
+    ASSERT_TRUE(
+        loop.RunUntil([&]() { return frames == before + 1; }, 10 * sim::kSecond));
+    // The client destructs here: its connection closes and the server-side
+    // read buffer (unless pinned) returns to the pool.
+  }
+  loop.RunFor(100 * sim::kMillisecond);  // drain the final EOF
+
+  EXPECT_EQ(frames, static_cast<size_t>(kConnections));
+  EXPECT_GE(server.stats().read_bufs_recycled, 1u)
+      << "closed connections' buffers never came back from the freelist";
+  ASSERT_EQ(stashed.size(), expected.size());
+  EXPECT_TRUE(std::equal(stashed.span().begin(), stashed.span().end(), expected.begin()))
+      << "pinned buffer was recycled while a view still held it";
 }
 
 }  // namespace

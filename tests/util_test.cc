@@ -326,6 +326,42 @@ TEST(HmacTest, DifferentKeysDifferentMacs) {
   EXPECT_NE(HmacSha256(ToBytes("k1"), msg), HmacSha256(ToBytes("k2"), msg));
 }
 
+// HmacKey (precomputed midstates) must produce byte-identical MACs to the
+// one-shot functions, for short, block-size and over-block keys.
+TEST(HmacKeyTest, MatchesOneShotHmac) {
+  const Bytes keys[] = {ToBytes("Jefe"), Bytes(64, 0x0b), Bytes(131, 0xaa), Bytes{}};
+  const Bytes msg = ToBytes("what do ya want for nothing?");
+  for (const Bytes& key : keys) {
+    HmacKey prepared(key);
+    EXPECT_EQ(prepared.Mac(msg), HmacSha256(key, msg)) << "key size " << key.size();
+  }
+}
+
+// The streaming interface over split parts equals the MAC of the concatenation
+// — the property the secure transport's header+ciphertext MAC relies on.
+TEST(HmacKeyTest, StreamingPartsEqualConcatenation) {
+  HmacKey key(ToBytes("session-key"));
+  const Bytes part1 = ToBytes("header fields|");
+  const Bytes part2 = Bytes(300, 0x5c);  // "ciphertext", crosses a block boundary
+  Bytes whole = part1;
+  whole.insert(whole.end(), part2.begin(), part2.end());
+
+  Sha256 inner = key.Start();
+  inner.Update(part1);
+  inner.Update(part2);
+  EXPECT_EQ(key.Finish(std::move(inner)), key.Mac(whole));
+
+  Sha256 verify_inner = key.Start();
+  verify_inner.Update(part1);
+  verify_inner.Update(part2);
+  EXPECT_TRUE(key.Verify(std::move(verify_inner), key.Mac(whole)));
+
+  Sha256 bad_inner = key.Start();
+  bad_inner.Update(part2);  // wrong order
+  bad_inner.Update(part1);
+  EXPECT_FALSE(key.Verify(std::move(bad_inner), key.Mac(whole)));
+}
+
 // ---------------------------------------------------------------- RNG / Zipf
 
 TEST(RngTest, Deterministic) {
