@@ -26,6 +26,18 @@
 // missed lease renewals and races gls.claim_master; the table reports the
 // time-to-new-master and the acked-write floor (writes lost must be 0) across
 // lease-timing configurations.
+//
+// A third table exercises the *online* controller (src/ctl) on a viral
+// package: one object starts central (client/server, all reads cross the WAN
+// to country 0), then a flash crowd arrives from every country. Three
+// strategies replay the identical trace:
+//   static-central — the object never moves (what you get with no controller)
+//   static-oracle  — replicated at every country from t=0 (knows the future)
+//   adaptive       — ctl::ReplicationController watches the access telemetry
+//                    and migrates the live object mid-trace
+// The controller should land within a modest factor of the oracle on hot-phase
+// read latency and total WAN bytes while acked writes survive every migration
+// (writes lost must stay 0).
 
 #include <numeric>
 
@@ -202,6 +214,151 @@ ScenarioResult RunScenario(Policy policy, const Workload& workload) {
   result.mean_read_ms = reads > 0 ? total_read_ms / reads : 0;
   result.read_wan_bytes = wan_after_reads;
   result.total_wan_bytes = world.network().stats().BytesAtOrAbove(2);
+  return result;
+}
+
+// ------------------------------------------------------------- viral object
+
+enum class ViralMode { kStaticCentral, kStaticOracle, kAdaptive };
+
+const char* ViralModeName(ViralMode mode) {
+  switch (mode) {
+    case ViralMode::kStaticCentral:
+      return "static-central";
+    case ViralMode::kStaticOracle:
+      return "static-oracle";
+    case ViralMode::kAdaptive:
+      return "adaptive";
+  }
+  return "?";
+}
+
+struct ViralResult {
+  double hot_read_ms = 0;
+  uint64_t hot_read_wan = 0;
+  uint64_t total_wan = 0;
+  uint64_t migrations = 0;
+  size_t acked_writes = 0;
+  size_t writes_lost = 0;
+};
+
+constexpr int kViralWarmReads = 30;
+constexpr int kViralHotReads = 240;
+constexpr int kViralWriteEvery = 20;     // one write per N hot reads
+constexpr int kViralEvaluateEvery = 12;  // controller ticks per N hot reads
+
+ViralResult RunViral(ViralMode mode) {
+  gdn::GdnWorldConfig config;
+  config.fanouts = {3, 2, 2};  // 6 countries
+  config.user_hosts_per_site = 2;
+  gdn::GdnWorld world(config);
+
+  std::vector<size_t> all_other_countries;
+  for (size_t c = 1; c < world.num_countries(); ++c) {
+    all_other_countries.push_back(c);
+  }
+  std::vector<std::vector<sim::NodeId>> users_by_country(world.num_countries());
+  for (sim::NodeId user : world.user_hosts()) {
+    int country = world.CountryOf(user);
+    if (country >= 0) {
+      users_by_country[static_cast<size_t>(country)].push_back(user);
+    }
+  }
+
+  const std::string name = "/apps/bench/viral";
+  gls::ProtocolId protocol = dso::kProtoClientServer;
+  std::vector<size_t> replicas;
+  if (mode == ViralMode::kStaticOracle) {
+    // The oracle knows the flash crowd is coming: cache/invalidate caches at
+    // every country from the start (what the controller converges to for a
+    // read-heavy object with occasional updates).
+    protocol = dso::kProtoCacheInval;
+    replicas = all_other_countries;
+  }
+  auto oid = world.PublishPackage(name, {{"data", Bytes(40000, 0x55)}}, protocol,
+                                  /*master_country=*/0, replicas);
+  if (!oid.ok()) {
+    std::printf("publish %s failed: %s\n", name.c_str(),
+                oid.status().ToString().c_str());
+    std::exit(1);
+  }
+  if (mode == ViralMode::kAdaptive) {
+    world.EnableAdaptiveReplication();
+  }
+
+  world.network().mutable_stats()->Clear();
+  ViralResult result;
+  std::vector<std::pair<std::string, Bytes>> acked;
+  int write_index = 0;
+
+  auto do_write = [&] {
+    std::string path = Fmt("w%d", write_index);
+    Bytes content(2000, static_cast<uint8_t>(0x60 + write_index));
+    ++write_index;
+    Status status = Unavailable("pending");
+    world.moderator()->AddFile(name, path, content, [&](Status s) { status = s; });
+    world.Run();
+    if (status.ok()) {
+      acked.emplace_back(path, std::move(content));
+    }
+  };
+  auto do_read = [&](size_t country, size_t user_index) -> double {
+    const auto& users = users_by_country[country];
+    sim::NodeId user = users[user_index % users.size()];
+    auto content = world.DownloadFile(user, name, "data");
+    return content.ok() ? sim::ToMillis(world.last_op_duration()) : -1.0;
+  };
+
+  // Warm phase: home-country traffic only; the controller (if any) must leave
+  // the object central.
+  for (int i = 0; i < kViralWarmReads; ++i) {
+    do_read(0, static_cast<size_t>(i));
+    if ((i + 1) % 10 == 0) {
+      do_write();
+    }
+    if (mode == ViralMode::kAdaptive && (i + 1) % kViralEvaluateEvery == 0) {
+      world.EvaluateAdaptiveNow();
+    }
+  }
+
+  // Hot phase: the flash crowd — reads round-robin over every country.
+  double hot_ms = 0;
+  int hot_reads = 0;
+  uint64_t hot_wan_before = world.network().stats().BytesAtOrAbove(2);
+  uint64_t hot_write_wan = 0;
+  for (int i = 0; i < kViralHotReads; ++i) {
+    size_t country = static_cast<size_t>(i) % world.num_countries();
+    double ms = do_read(country, static_cast<size_t>(i) / world.num_countries());
+    if (ms >= 0) {
+      hot_ms += ms;
+      ++hot_reads;
+    }
+    if ((i + 1) % kViralWriteEvery == 0) {
+      uint64_t before = world.network().stats().BytesAtOrAbove(2);
+      do_write();
+      hot_write_wan += world.network().stats().BytesAtOrAbove(2) - before;
+    }
+    if (mode == ViralMode::kAdaptive && (i + 1) % kViralEvaluateEvery == 0) {
+      world.EvaluateAdaptiveNow();
+    }
+  }
+  result.hot_read_ms = hot_reads > 0 ? hot_ms / hot_reads : -1;
+  result.hot_read_wan =
+      world.network().stats().BytesAtOrAbove(2) - hot_wan_before - hot_write_wan;
+  result.total_wan = world.network().stats().BytesAtOrAbove(2);
+  result.acked_writes = acked.size();
+  if (mode == ViralMode::kAdaptive && world.controller() != nullptr) {
+    result.migrations = world.controller()->stats().migrations_succeeded;
+  }
+
+  // Acked-write floor: every acknowledged write must be readable, bytes
+  // intact, after all migrations (verification traffic is not counted).
+  for (const auto& [path, content] : acked) {
+    auto read_back = world.DownloadFile(users_by_country[0][0], name, path);
+    if (!read_back.ok() || *read_back != content) {
+      ++result.writes_lost;
+    }
+  }
   return result;
 }
 
@@ -402,6 +559,24 @@ int main() {
   bench::Note("'replicate-all' pays update WAN for replicas nobody reads;");
   bench::Note("'per-object' assignment approaches the best column of every global");
   bench::Note("policy simultaneously - less WAN traffic AND better response time.");
+
+  bench::Note("");
+  bench::Note("viral object (online controller, src/ctl): one package starts central");
+  bench::Note("in country 0, then a flash crowd reads it from all 6 countries.");
+  bench::Note("'adaptive' runs ctl::ReplicationController against live telemetry and");
+  bench::Note("migrates the object mid-trace; 'static-oracle' knew the future at");
+  bench::Note("publish time. Acked writes must survive every migration (lost = 0).");
+  bench::Table viral({"strategy", "hot mean read", "hot read WAN", "total WAN",
+                      "migrations", "acked writes", "writes lost"},
+                     /*column_width=*/15);
+  for (ViralMode mode : {ViralMode::kStaticCentral, ViralMode::kStaticOracle,
+                         ViralMode::kAdaptive}) {
+    ViralResult r = RunViral(mode);
+    viral.Row({ViralModeName(mode), Fmt("%.1f ms", r.hot_read_ms),
+               FormatBytes(r.hot_read_wan), FormatBytes(r.total_wan),
+               Fmt("%llu", static_cast<unsigned long long>(r.migrations)),
+               Fmt("%zu", r.acked_writes), Fmt("%zu", r.writes_lost)});
+  }
 
   bench::Note("");
   bench::Note("master fail-over (GLS-driven): master/slave package, master crashes");

@@ -34,8 +34,20 @@ GUARDED_COLUMNS = {
     "BENCH_gls_cache.json": ["avg hops", "avg latency", "round trips", "network msgs"],
     "BENCH_rpc_channel.json": ["per call", "pending events"],
     # Fail-over: slower elections are a regression, and the acked-write floor
-    # means "writes lost" has a zero baseline that must stay zero.
-    "BENCH_replication_scenarios.json": ["time to new master", "writes lost"],
+    # means "writes lost" has a zero baseline that must stay zero (the viral
+    # table's "writes lost" column rides the same guard). The viral table also
+    # pins the online controller against the static oracle: "mean read" /
+    # "read WAN" / "total WAN" guard read latency and WAN bytes in both the
+    # policy and viral tables, and "migrations" keeps the adaptive row at one
+    # migration — a flapping controller shows up as thrash here.
+    "BENCH_replication_scenarios.json": [
+        "time to new master",
+        "writes lost",
+        "mean read",
+        "read wan",
+        "total wan",
+        "migrations",
+    ],
     # Socket backend wire protocol: frames and bytes per RPC are exact protocol
     # properties. Allocations per op are guarded too — the zero-copy delivery
     # path keeps them small, flat across payload sizes, and (measured) stable

@@ -1,0 +1,206 @@
+// Per-object access telemetry (the input side of adaptive replication).
+//
+// The paper's placement argument (§3.1, following Pierre et al.) is that the
+// right replication policy for an object is a function of its read/write ratio,
+// its payload sizes, and *where* its clients are. AccessStats is exactly that
+// triple, collected at the replicas that serve the traffic (dso::AccessHook)
+// and read by ctl::ReplicationController's cost model.
+//
+// Rates are exponentially time-decayed event weights over the virtual clock:
+// each observation decays the accumulated weight by exp(-dt/tau) and adds one,
+// so weight/tau approximates the recent events-per-second without any timer —
+// the same family of estimator as sim::PeerLoad's latency EWMA, generalized to
+// rates and made checkpointable. Everything is deterministic: identical sample
+// sequences at identical virtual times produce identical stats.
+
+#ifndef SRC_CTL_ACCESS_STATS_H_
+#define SRC_CTL_ACCESS_STATS_H_
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <map>
+
+#include "src/sim/clock.h"
+#include "src/util/serial.h"
+#include "src/util/status.h"
+
+namespace globe::ctl {
+
+// A region identifier — under the GDN world this is the continent/country index
+// the client node belongs to; 0 is the catch-all when no region mapping exists.
+using RegionId = uint32_t;
+
+// Exponentially decayed event-rate estimator. `Observe` adds one event of
+// `bytes` payload at `now`; `RatePerSec(now)` reads the decayed rate.
+class RateEstimator {
+ public:
+  // tau is the decay time constant: after tau idle microseconds the estimated
+  // rate has fallen to 1/e of its value. 30s reacts to a flash crowd within a
+  // few evaluation ticks while riding out sub-second burstiness.
+  static constexpr sim::SimTime kDefaultTau = 30 * sim::kSecond;
+
+  void Observe(sim::SimTime now, uint64_t bytes) {
+    weight_ = DecayedWeight(now) + 1.0;
+    last_update_ = now;
+    ++count_;
+    total_bytes_ += bytes;
+  }
+
+  double RatePerSec(sim::SimTime now) const {
+    return DecayedWeight(now) / sim::ToSeconds(kDefaultTau);
+  }
+
+  // Folds another estimator's history in (for aggregating per-server stats
+  // into a global view). Sound because decayed weights are additive: both
+  // sides decay to the same instant, then sum.
+  void MergeFrom(const RateEstimator& other) {
+    if (other.count_ == 0) {
+      return;
+    }
+    sim::SimTime now = std::max(last_update_, other.last_update_);
+    weight_ = DecayedWeight(now) + other.DecayedWeight(now);
+    last_update_ = now;
+    count_ += other.count_;
+    total_bytes_ += other.total_bytes_;
+  }
+
+  uint64_t count() const { return count_; }
+  uint64_t total_bytes() const { return total_bytes_; }
+  double MeanBytes() const {
+    return count_ == 0 ? 0.0
+                       : static_cast<double>(total_bytes_) /
+                             static_cast<double>(count_);
+  }
+
+  void Serialize(ByteWriter* w) const {
+    w->WriteU64(std::bit_cast<uint64_t>(weight_));
+    w->WriteU64(last_update_);
+    w->WriteU64(count_);
+    w->WriteU64(total_bytes_);
+  }
+  Status Restore(ByteReader* r) {
+    ASSIGN_OR_RETURN(uint64_t weight_bits, r->ReadU64());
+    weight_ = std::bit_cast<double>(weight_bits);
+    ASSIGN_OR_RETURN(last_update_, r->ReadU64());
+    ASSIGN_OR_RETURN(count_, r->ReadU64());
+    ASSIGN_OR_RETURN(total_bytes_, r->ReadU64());
+    return OkStatus();
+  }
+
+ private:
+  double DecayedWeight(sim::SimTime now) const {
+    if (count_ == 0) {
+      return 0.0;
+    }
+    sim::SimTime dt = now > last_update_ ? now - last_update_ : 0;
+    return weight_ * std::exp(-sim::ToSeconds(dt) / sim::ToSeconds(kDefaultTau));
+  }
+
+  double weight_ = 0.0;
+  sim::SimTime last_update_ = 0;
+  uint64_t count_ = 0;
+  uint64_t total_bytes_ = 0;
+};
+
+// Everything the controller's cost model needs to know about one object.
+class AccessStats {
+ public:
+  void RecordRead(sim::SimTime now, uint64_t bytes, RegionId region) {
+    reads_.Observe(now, bytes);
+    region_reads_[region].Observe(now, bytes);
+  }
+  void RecordWrite(sim::SimTime now, uint64_t bytes, RegionId region) {
+    writes_.Observe(now, bytes);
+    region_writes_[region].Observe(now, bytes);
+  }
+
+  double ReadRatePerSec(sim::SimTime now) const { return reads_.RatePerSec(now); }
+  double WriteRatePerSec(sim::SimTime now) const { return writes_.RatePerSec(now); }
+  uint64_t total_reads() const { return reads_.count(); }
+  uint64_t total_writes() const { return writes_.count(); }
+  double MeanReadBytes() const { return reads_.MeanBytes(); }
+  double MeanWriteBytes() const { return writes_.MeanBytes(); }
+
+  // Normalized share of the recent read rate per region (sums to ~1 when any
+  // region is active). The controller places replicas where this is heavy.
+  std::map<RegionId, double> RegionReadShares(sim::SimTime now) const {
+    std::map<RegionId, double> shares;
+    double total = 0.0;
+    for (const auto& [region, est] : region_reads_) {
+      double rate = est.RatePerSec(now);
+      if (rate > 0.0) {
+        shares[region] = rate;
+        total += rate;
+      }
+    }
+    if (total > 0.0) {
+      for (auto& [region, share] : shares) {
+        share /= total;
+      }
+    }
+    return shares;
+  }
+
+  // Folds another object's-worth of samples in, region by region. Used to
+  // aggregate the registries of every server hosting a replica of the same
+  // object into the one global view the controller decides from.
+  void MergeFrom(const AccessStats& other) {
+    reads_.MergeFrom(other.reads_);
+    writes_.MergeFrom(other.writes_);
+    for (const auto& [region, est] : other.region_reads_) {
+      region_reads_[region].MergeFrom(est);
+    }
+    for (const auto& [region, est] : other.region_writes_) {
+      region_writes_[region].MergeFrom(est);
+    }
+  }
+
+  const std::map<RegionId, RateEstimator>& region_reads() const {
+    return region_reads_;
+  }
+  const std::map<RegionId, RateEstimator>& region_writes() const {
+    return region_writes_;
+  }
+
+  void Serialize(ByteWriter* w) const {
+    reads_.Serialize(w);
+    writes_.Serialize(w);
+    w->WriteVarint(region_reads_.size());
+    for (const auto& [region, est] : region_reads_) {
+      w->WriteU32(region);
+      est.Serialize(w);
+    }
+    w->WriteVarint(region_writes_.size());
+    for (const auto& [region, est] : region_writes_) {
+      w->WriteU32(region);
+      est.Serialize(w);
+    }
+  }
+  Status Restore(ByteReader* r) {
+    RETURN_IF_ERROR(reads_.Restore(r));
+    RETURN_IF_ERROR(writes_.Restore(r));
+    ASSIGN_OR_RETURN(uint64_t num_read_regions, r->ReadVarint());
+    for (uint64_t i = 0; i < num_read_regions; ++i) {
+      ASSIGN_OR_RETURN(RegionId region, r->ReadU32());
+      RETURN_IF_ERROR(region_reads_[region].Restore(r));
+    }
+    ASSIGN_OR_RETURN(uint64_t num_write_regions, r->ReadVarint());
+    for (uint64_t i = 0; i < num_write_regions; ++i) {
+      ASSIGN_OR_RETURN(RegionId region, r->ReadU32());
+      RETURN_IF_ERROR(region_writes_[region].Restore(r));
+    }
+    return OkStatus();
+  }
+
+ private:
+  RateEstimator reads_;
+  RateEstimator writes_;
+  std::map<RegionId, RateEstimator> region_reads_;
+  std::map<RegionId, RateEstimator> region_writes_;
+};
+
+}  // namespace globe::ctl
+
+#endif  // SRC_CTL_ACCESS_STATS_H_

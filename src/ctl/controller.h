@@ -1,0 +1,164 @@
+// The online replication controller (ROADMAP item 4; paper §3.1).
+//
+// bench_replication_scenarios proves the paper's claim that per-object policy
+// assignment beats every global policy — with an *offline oracle* doing the
+// assigning. This controller is the online version: a periodic evaluator that
+// reads each object's AccessStats, runs the read/write-ratio × geography cost
+// model over the four protocols, and asks its PolicyActuator to migrate the
+// object live when a different policy wins by enough.
+//
+// The cost model scores each candidate policy in estimated WAN bytes/second:
+//
+//   central (client/server)  remote reads and writes each cross the WAN:
+//                            R·Sr·(1-share_home) + W·Sw·(1-wshare_home)
+//   master/slave             reads local everywhere; each write pushes full
+//                            state to the K-1 secondary regions: W·S·(K-1)
+//   active replication      reads local; each write broadcasts the invocation
+//                            (args, not state) to K-1 regions: W·Sw·(K-1)
+//   cache/invalidate        reads local while valid; each write invalidates
+//                            (tiny) and each remote region refetches state on
+//                            its next read: sum_r min(R_r, W)·S  +  W·64·(K-1)
+//
+// with R/W the decayed read/write rates, Sr/Sw the mean read/write payloads,
+// S the state-size estimate, K the number of replica regions, share_home the
+// fraction of reads from the master's region. The model intentionally uses
+// only quantities the telemetry layer actually measures.
+//
+// Safety knobs, because a live migration is not free:
+//   - hysteresis: the winner must beat the incumbent's cost by a margin
+//     (default 25%) or the object stays put — a flapping object cannot thrash;
+//   - min_dwell: a freshly migrated object is immune for a window;
+//   - migration budget: at most N migrations per evaluation tick, hottest
+//     (highest absolute savings) first.
+//
+// The actual switch is the actuator's job (the GOS executes it as an
+// epoch-fenced ReplicaGroup transition; see gos::ObjectServer::SwitchProtocol).
+
+#ifndef SRC_CTL_CONTROLLER_H_
+#define SRC_CTL_CONTROLLER_H_
+
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "src/ctl/metrics_registry.h"
+#include "src/dso/protocols.h"
+#include "src/gls/oid.h"
+#include "src/sim/clock.h"
+
+namespace globe::ctl {
+
+struct ControllerConfig {
+  // How often the evaluator runs (0 = never on a timer; call EvaluateNow()).
+  sim::SimTime evaluate_interval = 5 * sim::kSecond;
+  // A challenger policy must undercut the incumbent's estimated cost by this
+  // fraction to trigger a migration.
+  double hysteresis = 0.25;
+  // A migrated object cannot migrate again within this window.
+  sim::SimTime min_dwell = 15 * sim::kSecond;
+  // Migrations allowed per evaluation tick (hottest savings first).
+  int migration_budget_per_tick = 2;
+  // Objects below this combined read+write rate (events/sec) are left alone —
+  // there is no traffic to optimize and the estimates are noise.
+  double min_rate_per_sec = 0.5;
+  // A region must carry at least this share of the read rate to earn a
+  // replica under a replicated policy.
+  double min_region_share = 0.10;
+  // Cap on replica regions (master's region included).
+  size_t max_replica_regions = 8;
+  // Bytes assumed per invalidation message in the cache/invalidate model.
+  double invalidation_bytes = 64.0;
+};
+
+// What the controller decided an object's policy should be.
+struct PolicyDecision {
+  gls::ProtocolId protocol = 0;
+  // Regions that should host a secondary replica (master's home region is
+  // implicit and never listed). Empty for single-replica policies.
+  std::vector<RegionId> replica_regions;
+};
+
+// Executes one live policy migration. Implementations must call `done`
+// exactly once; until then the controller counts the object as in flight and
+// will not re-decide it.
+class PolicyActuator {
+ public:
+  virtual ~PolicyActuator() = default;
+  virtual void Migrate(const gls::ObjectId& oid, const PolicyDecision& decision,
+                       std::function<void(Status)> done) = 0;
+};
+
+struct ControllerStats {
+  uint64_t evaluations = 0;        // ticks run
+  uint64_t migrations_started = 0;
+  uint64_t migrations_succeeded = 0;
+  uint64_t migrations_failed = 0;
+  uint64_t held_by_hysteresis = 0;  // challenger won but not by enough
+  uint64_t held_by_dwell = 0;       // inside the post-migration window
+  uint64_t held_by_budget = 0;      // tick budget exhausted
+};
+
+class ReplicationController {
+ public:
+  ReplicationController(sim::Clock* clock, MetricsRegistry* metrics,
+                        PolicyActuator* actuator, ControllerConfig config = {});
+  ~ReplicationController();
+
+  // Objects are only ever migrated if tracked: the hosting server registers
+  // each replica-holding object with its current protocol (and re-registers
+  // after a restore). Tracking is idempotent; the newest protocol wins.
+  void Track(const gls::ObjectId& oid, gls::ProtocolId current_protocol);
+  void Untrack(const gls::ObjectId& oid);
+
+  // Starts/stops the periodic evaluation timer.
+  void Start();
+  void Stop();
+
+  // One evaluation tick, callable without the timer (tests, benches).
+  void EvaluateNow();
+
+  // The pure cost model, exposed for tests and the bench's oracle comparison:
+  // decides the best policy for `stats` as seen at `now`, with `current` as
+  // the incumbent (hysteresis applies; dwell/budget do not).
+  PolicyDecision Decide(const AccessStats& stats, gls::ProtocolId current,
+                        sim::SimTime now) const;
+
+  gls::ProtocolId CurrentProtocolOf(const gls::ObjectId& oid) const;
+  const ControllerStats& stats() const { return stats_; }
+
+  // Decision memory (current protocol + last-migration time per object) rides
+  // in the hosting server's checkpoint so a restart keeps dwell windows and
+  // does not re-learn policies from scratch.
+  void Serialize(ByteWriter* w) const;
+  Status Restore(ByteReader* r);
+
+ private:
+  struct TrackedObject {
+    gls::ProtocolId protocol = 0;
+    sim::SimTime last_migration = 0;
+    uint64_t migrations = 0;
+    bool in_flight = false;
+  };
+
+  // Cost (estimated WAN bytes/sec) of running `protocol` for an object with
+  // these stats; `regions` is the replica-region set a replicated policy uses.
+  double EstimateCost(gls::ProtocolId protocol, const AccessStats& stats,
+                      const std::map<RegionId, double>& shares,
+                      RegionId home_region, size_t num_regions,
+                      sim::SimTime now) const;
+
+  void Tick();
+
+  sim::Clock* clock_;
+  MetricsRegistry* metrics_;
+  PolicyActuator* actuator_;
+  ControllerConfig config_;
+  std::map<gls::ObjectId, TrackedObject> objects_;
+  ControllerStats stats_;
+  sim::Clock::TimerId timer_ = sim::Clock::kNoTimer;
+  bool running_ = false;
+};
+
+}  // namespace globe::ctl
+
+#endif  // SRC_CTL_CONTROLLER_H_

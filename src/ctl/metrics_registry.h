@@ -1,0 +1,83 @@
+// The access-telemetry layer: per-object AccessStats keyed by OID, fed by the
+// dso::AccessHook a hosting server (GOS, GDN-HTTPD) installs on its replicas,
+// and snapshotted by the ctl::ReplicationController, tests and benches.
+//
+// One registry per hosting server. The region function maps a client NodeId to
+// the RegionId buckets the controller reasons in (under the GDN world: the
+// country the node lives in); without one every sample lands in region 0 and
+// the controller still sees rates and sizes, just no geography.
+
+#ifndef SRC_CTL_METRICS_REGISTRY_H_
+#define SRC_CTL_METRICS_REGISTRY_H_
+
+#include <functional>
+#include <map>
+
+#include "src/ctl/access_stats.h"
+#include "src/dso/subobjects.h"
+#include "src/gls/oid.h"
+#include "src/sim/clock.h"
+
+namespace globe::ctl {
+
+using RegionFn = std::function<RegionId(sim::NodeId)>;
+
+class MetricsRegistry {
+ public:
+  explicit MetricsRegistry(sim::Clock* clock, RegionFn region_of = nullptr)
+      : clock_(clock), region_of_(std::move(region_of)) {}
+
+  // The hook a hosting server installs on a replica of `oid` (dso::ReplicaSetup
+  // .access_hook). Cheap: one map lookup plus two EWMA updates per sample.
+  // Outlives nothing — the returned closure holds `this`, so the registry must
+  // outlive every replica it instruments (the hosting server owns both).
+  dso::AccessHook HookFor(const gls::ObjectId& oid) {
+    return [this, oid](const dso::AccessSample& sample) { Record(oid, sample); };
+  }
+
+  void Record(const gls::ObjectId& oid, const dso::AccessSample& sample) {
+    RegionId region = region_of_ ? region_of_(sample.client) : 0;
+    AccessStats& stats = stats_[oid];
+    if (sample.is_write) {
+      stats.RecordWrite(clock_->Now(), sample.bytes, region);
+    } else {
+      stats.RecordRead(clock_->Now(), sample.bytes, region);
+    }
+  }
+
+  // nullptr when no sample for the OID was ever recorded.
+  const AccessStats* Find(const gls::ObjectId& oid) const {
+    auto it = stats_.find(oid);
+    return it == stats_.end() ? nullptr : &it->second;
+  }
+
+  const std::map<gls::ObjectId, AccessStats>& all() const { return stats_; }
+  size_t size() const { return stats_.size(); }
+
+  // Decommissioned objects should not leak telemetry entries.
+  void Forget(const gls::ObjectId& oid) { stats_.erase(oid); }
+
+  // Aggregation across hosting servers: a world-level registry clears and
+  // re-merges every server's registry before each controller evaluation, so
+  // the controller sees reads served by secondaries, not just the master.
+  void Clear() { stats_.clear(); }
+  void MergeFrom(const MetricsRegistry& other) {
+    for (const auto& [oid, stats] : other.stats_) {
+      stats_[oid].MergeFrom(stats);
+    }
+  }
+
+  // Rides in the hosting server's checkpoint so a restarted GOS resumes with
+  // warm rate estimates instead of re-learning every object from zero.
+  void Serialize(ByteWriter* w) const;
+  Status Restore(ByteReader* r);
+
+ private:
+  sim::Clock* clock_;
+  RegionFn region_of_;
+  std::map<gls::ObjectId, AccessStats> stats_;
+};
+
+}  // namespace globe::ctl
+
+#endif  // SRC_CTL_METRICS_REGISTRY_H_

@@ -75,9 +75,10 @@ ActiveReplMember::ActiveReplMember(sim::Transport* transport, sim::NodeId host,
         return;
       }
     }
-    Invoke(invocation, [respond = std::move(respond)](Result<Bytes> result) {
-      respond(std::move(result));
-    });
+    InvokeFrom(invocation, ctx.client.node,
+               [respond = std::move(respond)](Result<Bytes> result) {
+                 respond(std::move(result));
+               });
   });
   comm_.Register(kDsoGetState,
                  [this](const sim::RpcContext&,
@@ -130,9 +131,10 @@ ActiveReplMember::ActiveReplMember(sim::Transport* transport, sim::NodeId host,
         return;
       }
     }
-    OrderWrite(invocation, [respond = std::move(respond)](Result<Bytes> result) {
-      respond(std::move(result));
-    });
+    OrderWrite(invocation, ctx.client.node,
+               [respond = std::move(respond)](Result<Bytes> result) {
+                 respond(std::move(result));
+               });
   });
   comm_.Register(kArApply,
                  [this](const sim::RpcContext& ctx,
@@ -192,12 +194,21 @@ void ActiveReplMember::RegisterWithSequencer(std::function<void(Status)> done) {
 }
 
 void ActiveReplMember::Invoke(const Invocation& invocation, InvokeCallback done) {
+  InvokeFrom(invocation, comm_.endpoint().node, std::move(done));
+}
+
+void ActiveReplMember::InvokeFrom(const Invocation& invocation, sim::NodeId client,
+                                  InvokeCallback done) {
   if (invocation.read_only) {
-    done(semantics_->Invoke(invocation));
+    Result<Bytes> result = semantics_->Invoke(invocation);
+    if (access_hook_ && result.ok()) {
+      access_hook_(AccessSample{false, result->size(), client});
+    }
+    done(std::move(result));
     return;
   }
   if (is_sequencer()) {
-    OrderWrite(invocation, std::move(done));
+    OrderWrite(invocation, client, std::move(done));
     return;
   }
   comm_.Call(kArOrder, sequencer_, invocation,
@@ -205,13 +216,17 @@ void ActiveReplMember::Invoke(const Invocation& invocation, InvokeCallback done)
              WriteCallOptions());
 }
 
-void ActiveReplMember::OrderWrite(const Invocation& invocation, InvokeCallback done) {
+void ActiveReplMember::OrderWrite(const Invocation& invocation, sim::NodeId client,
+                                  InvokeCallback done) {
   Result<Bytes> result = semantics_->Invoke(invocation);
   if (!result.ok()) {
     done(std::move(result));
     return;
   }
   ++version_;
+  if (access_hook_) {
+    access_hook_(AccessSample{true, invocation.args.size(), client});
+  }
 
   // Apply fan-out through the group engine: retries on loss (ApplyOrdered is
   // version-guarded, so duplicates are no-ops), drops unreachable members (they

@@ -58,12 +58,18 @@ class ActiveReplMember : public ReplicationObject {
   SemanticsObject* semantics() override { return semantics_.get(); }
   void set_version(uint64_t v) override { version_ = v; }
   const ReplicaGroup* group() const override { return &group_; }
+  void set_access_hook(AccessHook hook) override { access_hook_ = std::move(hook); }
 
  private:
+  // Reads are recorded at the serving member; writes once, at the sequencer
+  // that orders them (broadcast applies at other members are not accesses).
+  void InvokeFrom(const Invocation& invocation, sim::NodeId client,
+                  InvokeCallback done);
   // Sequencer side: orders a write, applies it, broadcasts it; responds with the
   // local execution result once every member acknowledged. A fenced broadcast
   // (a member moved to a newer epoch) fails the write unacknowledged.
-  void OrderWrite(const Invocation& invocation, InvokeCallback done);
+  void OrderWrite(const Invocation& invocation, sim::NodeId client,
+                  InvokeCallback done);
   // Member side: applies broadcast writes strictly in version order.
   Status ApplyOrdered(uint64_t write_version, const Invocation& invocation);
   // Registration handshake: join at the sequencer, adopt snapshot and epoch.
@@ -76,6 +82,7 @@ class ActiveReplMember : public ReplicationObject {
   ReplicaGroup group_;
   std::map<uint64_t, Invocation> pending_;  // out-of-order buffer (members)
   uint64_t version_ = 0;
+  AccessHook access_hook_;
 };
 
 }  // namespace globe::dso

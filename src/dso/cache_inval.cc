@@ -32,9 +32,10 @@ CacheInvalMaster::CacheInvalMaster(sim::Transport* transport, sim::NodeId host,
         return;
       }
     }
-    Invoke(invocation, [respond = std::move(respond)](Result<Bytes> result) {
-      respond(std::move(result));
-    });
+    InvokeFrom(invocation, ctx.client.node,
+               [respond = std::move(respond)](Result<Bytes> result) {
+                 respond(std::move(result));
+               });
   });
   comm_.Register(kDsoGetState,
                  [this](const sim::RpcContext&,
@@ -69,20 +70,33 @@ CacheInvalMaster::CacheInvalMaster(sim::Transport* transport, sim::NodeId host,
 }
 
 void CacheInvalMaster::Invoke(const Invocation& invocation, InvokeCallback done) {
-  if (invocation.read_only) {
-    done(semantics_->Invoke(invocation));
-    return;
-  }
-  ExecuteWrite(invocation, std::move(done));
+  InvokeFrom(invocation, comm_.endpoint().node, std::move(done));
 }
 
-void CacheInvalMaster::ExecuteWrite(const Invocation& invocation, InvokeCallback done) {
+void CacheInvalMaster::InvokeFrom(const Invocation& invocation, sim::NodeId client,
+                                  InvokeCallback done) {
+  if (invocation.read_only) {
+    Result<Bytes> result = semantics_->Invoke(invocation);
+    if (access_hook_ && result.ok()) {
+      access_hook_(AccessSample{false, result->size(), client});
+    }
+    done(std::move(result));
+    return;
+  }
+  ExecuteWrite(invocation, client, std::move(done));
+}
+
+void CacheInvalMaster::ExecuteWrite(const Invocation& invocation, sim::NodeId client,
+                                    InvokeCallback done) {
   Result<Bytes> result = semantics_->Invoke(invocation);
   if (!result.ok()) {
     done(std::move(result));
     return;
   }
   ++version_;
+  if (access_hook_) {
+    access_hook_(AccessSample{true, invocation.args.size(), client});
+  }
 
   // Invalidations through the group fan-out, retrying on loss: the cache
   // compares versions, so a duplicate invalidation is harmless, and a lost one
@@ -117,9 +131,10 @@ CacheInvalCache::CacheInvalCache(sim::Transport* transport, sim::NodeId host,
         return;
       }
     }
-    Invoke(invocation, [respond = std::move(respond)](Result<Bytes> result) {
-      respond(std::move(result));
-    });
+    InvokeFrom(invocation, ctx.client.node,
+               [respond = std::move(respond)](Result<Bytes> result) {
+                 respond(std::move(result));
+               });
   });
   comm_.Register(kDsoGetState,
                  [this](const sim::RpcContext&,
@@ -195,13 +210,22 @@ void CacheInvalCache::WithValidState(std::function<void(Status)> fn) {
 }
 
 void CacheInvalCache::Invoke(const Invocation& invocation, InvokeCallback done) {
+  InvokeFrom(invocation, comm_.endpoint().node, std::move(done));
+}
+
+void CacheInvalCache::InvokeFrom(const Invocation& invocation, sim::NodeId client,
+                                 InvokeCallback done) {
   if (invocation.read_only) {
-    WithValidState([this, invocation, done = std::move(done)](Status s) {
+    WithValidState([this, invocation, client, done = std::move(done)](Status s) {
       if (!s.ok()) {
         done(s);
         return;
       }
-      done(semantics_->Invoke(invocation));
+      Result<Bytes> result = semantics_->Invoke(invocation);
+      if (access_hook_ && result.ok()) {
+        access_hook_(AccessSample{false, result->size(), client});
+      }
+      done(std::move(result));
     });
     return;
   }

@@ -51,9 +51,15 @@ class CacheInvalMaster : public ReplicationObject {
   SemanticsObject* semantics() override { return semantics_.get(); }
   void set_version(uint64_t v) override { version_ = v; }
   const ReplicaGroup* group() const override { return &group_; }
+  void set_access_hook(AccessHook hook) override { access_hook_ = std::move(hook); }
 
  private:
-  void ExecuteWrite(const Invocation& invocation, InvokeCallback done);
+  // Reads and writes both execute at the master (caches forward writes here),
+  // so both sample kinds are recorded here.
+  void InvokeFrom(const Invocation& invocation, sim::NodeId client,
+                  InvokeCallback done);
+  void ExecuteWrite(const Invocation& invocation, sim::NodeId client,
+                    InvokeCallback done);
 
   CommunicationObject comm_;
   std::unique_ptr<SemanticsObject> semantics_;
@@ -61,6 +67,7 @@ class CacheInvalMaster : public ReplicationObject {
   ReplicaGroup group_;
   uint64_t version_ = 0;
   uint64_t fetches_served_ = 0;
+  AccessHook access_hook_;
 };
 
 class CacheInvalCache : public ReplicationObject {
@@ -86,8 +93,13 @@ class CacheInvalCache : public ReplicationObject {
   const ReplicaGroup* group() const override { return &group_; }
   bool valid() const { return valid_; }
   uint64_t fetches() const { return fetches_; }
+  void set_access_hook(AccessHook hook) override { access_hook_ = std::move(hook); }
 
  private:
+  // Reads served from the local copy are recorded here; forwarded writes are
+  // recorded at the master, not here, so they are never double-counted.
+  void InvokeFrom(const Invocation& invocation, sim::NodeId client,
+                  InvokeCallback done);
   // Ensures a valid local copy (fetching if necessary), then runs fn.
   void WithValidState(std::function<void(Status)> fn);
 
@@ -99,6 +111,7 @@ class CacheInvalCache : public ReplicationObject {
   bool valid_ = false;
   uint64_t version_ = 0;
   uint64_t fetches_ = 0;
+  AccessHook access_hook_;
 };
 
 }  // namespace globe::dso

@@ -15,7 +15,7 @@ ClientServerServer::ClientServerServer(sim::Transport* transport, sim::NodeId ho
                    if (!invocation.read_only && write_guard_) {
                      RETURN_IF_ERROR(write_guard_(ctx));
                    }
-                   return Execute(invocation);
+                   return Execute(invocation, ctx.client.node);
                  });
   comm_.Register(kDsoGetState,
                  [this](const sim::RpcContext&,
@@ -30,15 +30,23 @@ ClientServerServer::ClientServerServer(sim::Transport* transport, sim::NodeId ho
                  });
 }
 
-Result<Bytes> ClientServerServer::Execute(const Invocation& invocation) {
+Result<Bytes> ClientServerServer::Execute(const Invocation& invocation,
+                                          sim::NodeId client) {
   if (!invocation.read_only) {
     ++version_;
   }
-  return semantics_->Invoke(invocation);
+  Result<Bytes> result = semantics_->Invoke(invocation);
+  if (access_hook_ && result.ok()) {
+    access_hook_(AccessSample{!invocation.read_only,
+                              invocation.read_only ? result->size()
+                                                   : invocation.args.size(),
+                              client});
+  }
+  return result;
 }
 
 void ClientServerServer::Invoke(const Invocation& invocation, InvokeCallback done) {
-  done(Execute(invocation));
+  done(Execute(invocation, comm_.endpoint().node));
 }
 
 RemoteProxy::RemoteProxy(sim::Transport* transport, sim::NodeId host,

@@ -42,9 +42,12 @@ class ClientServerServer : public ReplicationObject {
   SemanticsObject* semantics() override { return semantics_.get(); }
   void set_version(uint64_t v) override { version_ = v; }
   const ReplicaGroup* group() const override { return &group_; }
+  void set_access_hook(AccessHook hook) override { access_hook_ = std::move(hook); }
 
  private:
-  Result<Bytes> Execute(const Invocation& invocation);
+  // Single-server protocol: every access — read or write — executes here, so
+  // every sample is recorded here, attributed to the invoking client.
+  Result<Bytes> Execute(const Invocation& invocation, sim::NodeId client);
 
   CommunicationObject comm_;
   std::unique_ptr<SemanticsObject> semantics_;
@@ -53,6 +56,7 @@ class ClientServerServer : public ReplicationObject {
   // members, no transitions — but role/epoch bookkeeping stays uniform.
   ReplicaGroup group_;
   uint64_t version_ = 0;
+  AccessHook access_hook_;
 };
 
 // Thin client-side representative: no semantics subobject, no local state; every

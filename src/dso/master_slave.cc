@@ -54,9 +54,10 @@ MasterSlaveReplica::MasterSlaveReplica(sim::Transport* transport, sim::NodeId ho
         return;
       }
     }
-    Invoke(invocation, [respond = std::move(respond)](Result<Bytes> result) {
-      respond(std::move(result));
-    });
+    InvokeFrom(invocation, ctx.client.node,
+               [respond = std::move(respond)](Result<Bytes> result) {
+                 respond(std::move(result));
+               });
   });
   comm_.Register(kDsoGetState,
                  [this](const sim::RpcContext&,
@@ -175,12 +176,21 @@ void MasterSlaveReplica::Shutdown(std::function<void(Status)> done) {
 }
 
 void MasterSlaveReplica::Invoke(const Invocation& invocation, InvokeCallback done) {
+  InvokeFrom(invocation, comm_.endpoint().node, std::move(done));
+}
+
+void MasterSlaveReplica::InvokeFrom(const Invocation& invocation, sim::NodeId client,
+                                    InvokeCallback done) {
   if (invocation.read_only) {
-    done(semantics_->Invoke(invocation));
+    Result<Bytes> result = semantics_->Invoke(invocation);
+    if (access_hook_ && result.ok()) {
+      access_hook_(AccessSample{false, result->size(), client});
+    }
+    done(std::move(result));
     return;
   }
   if (group_.is_master()) {
-    ExecuteWrite(invocation, std::move(done));
+    ExecuteWrite(invocation, client, std::move(done));
     return;
   }
   // Writes go to the master; our copy is refreshed by its push. dso.invoke is
@@ -191,13 +201,16 @@ void MasterSlaveReplica::Invoke(const Invocation& invocation, InvokeCallback don
 }
 
 void MasterSlaveReplica::ExecuteWrite(const Invocation& invocation,
-                                      InvokeCallback done) {
+                                      sim::NodeId client, InvokeCallback done) {
   Result<Bytes> result = semantics_->Invoke(invocation);
   if (!result.ok()) {
     done(std::move(result));
     return;
   }
   ++version_;
+  if (access_hook_) {
+    access_hook_(AccessSample{true, invocation.args.size(), client});
+  }
 
   // Eager push through the group fan-out: one epoch-stamped state message per
   // slave, respond when all have answered (a dead slave must not wedge the

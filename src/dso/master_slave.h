@@ -59,13 +59,20 @@ class MasterSlaveReplica : public ReplicationObject {
   SemanticsObject* semantics() override { return semantics_.get(); }
   void set_version(uint64_t v) override { version_ = v; }
   const ReplicaGroup* group() const override { return &group_; }
+  void set_access_hook(AccessHook hook) override { access_hook_ = std::move(hook); }
 
  private:
+  // Invoke with the originating client known: reads are recorded here (every
+  // replica serves them), writes only where they execute, so a forwarded write
+  // is counted once — at the master, attributed to the forwarding replica.
+  void InvokeFrom(const Invocation& invocation, sim::NodeId client,
+                  InvokeCallback done);
   // Executes a write locally, then pushes state to all slaves through the group
   // fan-out; responds once every remaining slave has acknowledged. A push
   // refused under a newer epoch means this master was deposed: the write is NOT
   // acknowledged (FailedPrecondition) and the group resolves the new owner.
-  void ExecuteWrite(const Invocation& invocation, InvokeCallback done);
+  void ExecuteWrite(const Invocation& invocation, sim::NodeId client,
+                    InvokeCallback done);
   // Registration handshake: join at master_, adopt its snapshot and epoch.
   void RegisterWithMaster(std::function<void(Status)> done);
 
@@ -75,6 +82,7 @@ class MasterSlaveReplica : public ReplicationObject {
   sim::Endpoint master_;  // meaningful while the role is slave
   ReplicaGroup group_;
   uint64_t version_ = 0;
+  AccessHook access_hook_;
 };
 
 class MasterSlaveMaster : public MasterSlaveReplica {

@@ -82,7 +82,11 @@ Result<std::unique_ptr<ReplicationObject>> MakeReplica(gls::ProtocolId protocol,
   if (setup.semantics == nullptr) {
     return InvalidArgument("replica requires a semantics subobject");
   }
-  switch (protocol) {
+  // The hook is installed post-construction on whichever protocol class the
+  // switch below builds, so every branch stays a plain constructor call.
+  AccessHook hook = std::move(setup.access_hook);
+  auto result = [&]() -> Result<std::unique_ptr<ReplicationObject>> {
+    switch (protocol) {
     case kProtoClientServer:
       if (setup.role != gls::ReplicaRole::kMaster) {
         return InvalidArgument("client/server supports a single master replica only");
@@ -130,7 +134,12 @@ Result<std::unique_ptr<ReplicationObject>> MakeReplica(gls::ProtocolId protocol,
 
     default:
       return InvalidArgument("unknown replication protocol " + std::to_string(protocol));
+    }
+  }();
+  if (result.ok() && hook) {
+    (*result)->set_access_hook(std::move(hook));
   }
+  return result;
 }
 
 Result<std::unique_ptr<ReplicationObject>> MakeProxy(

@@ -54,6 +54,9 @@ struct ReplicaSetup {
   // master/slave and active replication protocols; protocols that cannot
   // re-elect (client/server, cache/invalidate) ignore it. Disabled by default.
   FailoverConfig failover;
+  // Telemetry hook the hosting server wants installed on the replica (see
+  // dso::AccessHook). Null = no telemetry.
+  AccessHook access_hook;
 };
 
 // Creates the replication subobject for a hosted replica. The caller must invoke

@@ -20,11 +20,27 @@
 
 #include "src/dso/invocation.h"
 #include "src/gls/oid.h"
+#include "src/sim/endpoint.h"
 #include "src/util/status.h"
 
 namespace globe::dso {
 
 class ReplicaGroup;
+
+// One observed access at a serving replica, reported to the hosting server's
+// telemetry layer (src/ctl). Reads are recorded where they are served, writes
+// only where they execute (master/sequencer), so rates are never double-counted
+// across a replica group. `client` is the node the invocation originated from —
+// the controller's geography signal.
+struct AccessSample {
+  bool is_write = false;
+  size_t bytes = 0;  // response bytes for reads, argument bytes for writes
+  sim::NodeId client = sim::kNoNode;
+};
+
+// Installed by the hosting server (GOS) on replicas it wants telemetry from.
+// Fired synchronously on the serving path — implementations must be cheap.
+using AccessHook = std::function<void(const AccessSample&)>;
 
 // User-defined primitive object implementing the DSO's methods. A package DSO's
 // semantics subobject implements addFile / listContents / getFileContents etc.
@@ -97,6 +113,11 @@ class ReplicationObject {
   // (src/dso/replica_group.h); thin proxies return nullptr. Exposes role, epoch
   // and fail-over statistics to the GOS, tests and benches.
   virtual const ReplicaGroup* group() const { return nullptr; }
+
+  // Installs the hosting server's telemetry hook (see AccessHook above).
+  // Protocols that serve traffic record reads where served and writes where
+  // executed; thin proxies and protocols without telemetry ignore it.
+  virtual void set_access_hook(AccessHook) {}
 };
 
 }  // namespace globe::dso

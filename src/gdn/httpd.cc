@@ -160,8 +160,10 @@ void GdnHttpd::WithPackage(const std::string& globe_name, UseProxy use) {
       });
 }
 
-void GdnHttpd::ServeListing(const std::string& globe_name, const sim::Endpoint& client) {
-  WithPackage(globe_name, [this, globe_name, client](Result<PackageProxy*> proxy) {
+void GdnHttpd::ServeListing(const std::string& globe_name, const sim::Endpoint& client,
+                            bool retried) {
+  WithPackage(globe_name, [this, globe_name, client,
+                           retried](Result<PackageProxy*> proxy) {
     if (!proxy.ok()) {
       ++stats_.errors;
       int code = proxy.status().code() == StatusCode::kNotFound ? 404 : 502;
@@ -169,9 +171,18 @@ void GdnHttpd::ServeListing(const std::string& globe_name, const sim::Endpoint& 
                                             proxy.status().ToString()));
       return;
     }
-    (*proxy)->ListContents([this, globe_name,
-                            client](Result<std::vector<FileInfo>> files) {
+    (*proxy)->ListContents([this, globe_name, client,
+                            retried](Result<std::vector<FileInfo>> files) {
       if (!files.ok()) {
+        if (!retried) {
+          // The bound representative may be a stale incarnation (its object
+          // migrated protocols, or its master moved): drop it, rebind through
+          // the GLS, and retry this request once.
+          ++stats_.rebinds;
+          bound_.erase(globe_name);
+          ServeListing(globe_name, client, /*retried=*/true);
+          return;
+        }
         ++stats_.errors;
         Reply(client,
               http::MakeErrorResponse(502, "Bad Gateway", files.status().ToString()));
@@ -200,8 +211,9 @@ void GdnHttpd::ServeListing(const std::string& globe_name, const sim::Endpoint& 
 }
 
 void GdnHttpd::ServeFile(const std::string& globe_name, const std::string& file_path,
-                         const sim::Endpoint& client) {
-  WithPackage(globe_name, [this, file_path, client](Result<PackageProxy*> proxy) {
+                         const sim::Endpoint& client, bool retried) {
+  WithPackage(globe_name, [this, globe_name, file_path, client,
+                           retried](Result<PackageProxy*> proxy) {
     if (!proxy.ok()) {
       ++stats_.errors;
       int code = proxy.status().code() == StatusCode::kNotFound ? 404 : 502;
@@ -209,8 +221,17 @@ void GdnHttpd::ServeFile(const std::string& globe_name, const std::string& file_
                                             proxy.status().ToString()));
       return;
     }
-    (*proxy)->GetFileContents(file_path, [this, client](Result<Bytes> content) {
+    (*proxy)->GetFileContents(file_path, [this, globe_name, file_path, client,
+                                          retried](Result<Bytes> content) {
       if (!content.ok()) {
+        // NotFound is an answer (the file is not in the package); anything
+        // else smells like a stale binding — rebind and retry once.
+        if (!retried && content.status().code() != StatusCode::kNotFound) {
+          ++stats_.rebinds;
+          bound_.erase(globe_name);
+          ServeFile(globe_name, file_path, client, /*retried=*/true);
+          return;
+        }
         ++stats_.errors;
         int code = content.status().code() == StatusCode::kNotFound ? 404 : 502;
         Reply(client, http::MakeErrorResponse(code, std::string(http::ReasonPhrase(code)),

@@ -54,6 +54,10 @@ struct HttpdStats {
   uint64_t errors = 0;
   uint64_t binds = 0;
   uint64_t bind_reuses = 0;
+  // Bindings dropped and re-established after a proxy invoke failed — the
+  // bound representative was a stale incarnation (its object migrated to
+  // another protocol, or its master moved).
+  uint64_t rebinds = 0;
 };
 
 class GdnHttpd {
@@ -82,9 +86,12 @@ class GdnHttpd {
   void WithPackage(const std::string& globe_name, UseProxy use);
 
   void ServeFrontPage(const sim::Endpoint& client);
-  void ServeListing(const std::string& globe_name, const sim::Endpoint& client);
+  // `retried`: this request already dropped a stale binding and rebound once;
+  // a second failure is served as an error instead of looping.
+  void ServeListing(const std::string& globe_name, const sim::Endpoint& client,
+                    bool retried = false);
   void ServeFile(const std::string& globe_name, const std::string& file_path,
-                 const sim::Endpoint& client);
+                 const sim::Endpoint& client, bool retried = false);
   void ServeSearch(const std::string& query, const sim::Endpoint& client);
 
   sim::Transport* transport_;

@@ -1,10 +1,29 @@
 #include "src/gdn/world.h"
 
+#include <algorithm>
 #include <cassert>
 
 #include "src/util/log.h"
 
 namespace globe::gdn {
+
+namespace {
+
+// Bridges the replication controller to the world: every migration the
+// controller decides is executed through GdnWorld::ExecuteMigration.
+class WorldActuator : public ctl::PolicyActuator {
+ public:
+  explicit WorldActuator(GdnWorld* world) : world_(world) {}
+  void Migrate(const gls::ObjectId& oid, const ctl::PolicyDecision& decision,
+               std::function<void(Status)> done) override {
+    world_->ExecuteMigration(oid, decision, std::move(done));
+  }
+
+ private:
+  GdnWorld* world_;
+};
+
+}  // namespace
 
 GdnWorld::GdnWorld(GdnWorldConfig config)
     : config_(std::move(config)),
@@ -111,6 +130,12 @@ GdnWorld::GdnWorld(GdnWorldConfig config)
   // ---- Object servers + colocated GDN-HTTPDs. ----
   gos::GosOptions gos_options;
   gos_options.enforce_authorization = config_.secure;
+  // Access telemetry buckets clients by country; the replication controller's
+  // regions are country indices (countries_ is complete by this point).
+  gos_options.region_of = [this](sim::NodeId node) {
+    int country = CountryOf(node);
+    return country < 0 ? 0u : static_cast<ctl::RegionId>(country);
+  };
   if (config_.secure) {
     gos_options.replica_write_guard = dso::RequireRoles(
         &registry_,
@@ -333,7 +358,176 @@ Result<gls::ObjectId> GdnWorld::PublishPackage(const std::string& globe_name,
     }
     RETURN_IF_ERROR(RegisterInSearchIndex(globe_name, description));
   }
+  if (controller_ != nullptr) {
+    controller_->Track(*oid, protocol);
+  }
   return oid;
+}
+
+ctl::ReplicationController* GdnWorld::EnableAdaptiveReplication(
+    ctl::ControllerConfig config, bool start_timer) {
+  if (controller_ != nullptr) {
+    return controller_.get();
+  }
+  world_metrics_ = std::make_unique<ctl::MetricsRegistry>(transport_->clock());
+  actuator_ = std::make_unique<WorldActuator>(this);
+  controller_ = std::make_unique<ctl::ReplicationController>(
+      transport_->clock(), world_metrics_.get(), actuator_.get(), config);
+  adaptive_interval_ = config.evaluate_interval;
+
+  // Track every package DSO currently mastered on a GOS. The search index is
+  // GDN infrastructure and keeps its static master/slave deployment.
+  for (auto& gos : goses_) {
+    for (const gls::ObjectId& oid : gos->ReplicaOids()) {
+      if (oid == search_oid_) {
+        continue;
+      }
+      dso::ReplicationObject* replica = gos->FindReplica(oid);
+      auto address = replica != nullptr ? replica->contact_address() : std::nullopt;
+      if (address.has_value() && address->role == gls::ReplicaRole::kMaster) {
+        controller_->Track(oid, gos->ProtocolOf(oid));
+      }
+    }
+  }
+
+  if (start_timer && adaptive_interval_ > 0) {
+    ScheduleAdaptiveTick();
+  }
+  return controller_.get();
+}
+
+void GdnWorld::ScheduleAdaptiveTick() {
+  simulator_.ScheduleAfter(adaptive_interval_, [this] {
+    EvaluateAdaptiveNow();
+    ScheduleAdaptiveTick();
+  });
+}
+
+void GdnWorld::EvaluateAdaptiveNow() {
+  if (controller_ == nullptr) {
+    return;
+  }
+  // Rebuild the global telemetry view: each GOS only sees the traffic its own
+  // replica served, so the controller reads the merge of all of them.
+  world_metrics_->Clear();
+  for (auto& gos : goses_) {
+    world_metrics_->MergeFrom(*gos->metrics());
+  }
+  controller_->EvaluateNow();
+}
+
+void GdnWorld::ExecuteMigration(const gls::ObjectId& oid,
+                                const ctl::PolicyDecision& decision,
+                                std::function<void(Status)> done) {
+  // Locate the master GOS and the GOSes currently hosting secondaries.
+  int master = -1;
+  std::vector<size_t> secondaries;
+  for (size_t i = 0; i < goses_.size(); ++i) {
+    if (goses_[i]->ProtocolOf(oid) == 0) {
+      continue;
+    }
+    dso::ReplicationObject* replica = goses_[i]->FindReplica(oid);
+    auto address = replica != nullptr ? replica->contact_address() : std::nullopt;
+    if (address.has_value() && address->role == gls::ReplicaRole::kMaster) {
+      master = static_cast<int>(i);
+    } else {
+      secondaries.push_back(i);
+    }
+  }
+  if (master < 0) {
+    done(NotFound("no GOS masters " + oid.ToHex()));
+    return;
+  }
+  uint16_t semantics_type = goses_[master]->SemanticsTypeOf(oid);
+  gls::ProtocolId old_protocol = goses_[master]->ProtocolOf(oid);
+  bool protocol_change = decision.protocol != old_protocol;
+
+  // Target secondary countries (regions are country indices in this world).
+  std::vector<size_t> targets;
+  for (ctl::RegionId region : decision.replica_regions) {
+    auto country = static_cast<size_t>(region);
+    if (country < goses_.size() && static_cast<int>(country) != master) {
+      targets.push_back(country);
+    }
+  }
+
+  // A protocol change rebuilds every secondary (the old ones speak the old
+  // protocol); a placement-only change touches just the set difference.
+  std::vector<size_t> to_remove;
+  std::vector<size_t> to_add;
+  for (size_t s : secondaries) {
+    if (protocol_change ||
+        std::find(targets.begin(), targets.end(), s) == targets.end()) {
+      to_remove.push_back(s);
+    }
+  }
+  for (size_t t : targets) {
+    if (protocol_change ||
+        std::find(secondaries.begin(), secondaries.end(), t) == secondaries.end()) {
+      to_add.push_back(t);
+    }
+  }
+
+  gls::ReplicaRole new_role = decision.protocol == dso::kProtoCacheInval
+                                  ? gls::ReplicaRole::kCache
+                                  : gls::ReplicaRole::kSlave;
+
+  // Phase 3: create the new secondaries under the (possibly new) protocol.
+  auto add_phase = std::make_shared<std::function<void(Status)>>(
+      [this, oid, semantics_type, new_role, to_add,
+       done = std::move(done)](Status prior) mutable {
+        if (!prior.ok() || to_add.empty()) {
+          done(prior);
+          return;
+        }
+        auto remaining = std::make_shared<size_t>(to_add.size());
+        auto first_error = std::make_shared<Status>(OkStatus());
+        for (size_t t : to_add) {
+          goses_[t]->CreateReplica(
+              oid, semantics_type, new_role,
+              [remaining, first_error, done](
+                  Result<std::pair<gls::ObjectId, gls::ContactAddress>> r) {
+                if (!r.ok() && first_error->ok()) {
+                  *first_error = r.status();
+                }
+                if (--*remaining == 0) {
+                  done(*first_error);
+                }
+              });
+        }
+      });
+
+  // Phase 2: switch the master's protocol (epoch-fenced; see
+  // gos::ObjectServer::SwitchProtocol).
+  auto switch_phase = [this, oid, protocol_change,
+                       new_protocol = decision.protocol, master,
+                       add_phase](Status prior) {
+    if (!prior.ok() || !protocol_change) {
+      (*add_phase)(prior);
+      return;
+    }
+    goses_[master]->SwitchProtocol(
+        oid, new_protocol, [add_phase](Status s) { (*add_phase)(s); });
+  };
+
+  // Phase 1: retire the secondaries that do not survive.
+  if (to_remove.empty()) {
+    switch_phase(OkStatus());
+    return;
+  }
+  auto remaining = std::make_shared<size_t>(to_remove.size());
+  auto first_error = std::make_shared<Status>(OkStatus());
+  auto next = std::make_shared<std::function<void(Status)>>(std::move(switch_phase));
+  for (size_t s : to_remove) {
+    goses_[s]->RemoveReplica(oid, [remaining, first_error, next](Status st) {
+      if (!st.ok() && first_error->ok()) {
+        *first_error = st;
+      }
+      if (--*remaining == 0) {
+        (*next)(*first_error);
+      }
+    });
+  }
 }
 
 sec::PrincipalId GdnWorld::AddMaintainerMachine(const std::string& name,
@@ -378,6 +572,9 @@ Result<gls::ObjectId> GdnWorld::PublishPackageWithMaintainers(
     if (!status.ok()) {
       return status;
     }
+  }
+  if (controller_ != nullptr) {
+    controller_->Track(*oid, protocol);
   }
   return oid;
 }

@@ -24,6 +24,7 @@
 #include <string>
 #include <vector>
 
+#include "src/ctl/controller.h"
 #include "src/dns/gns.h"
 #include "src/dns/resolver.h"
 #include "src/dns/server.h"
@@ -152,6 +153,34 @@ class GdnWorld {
   // A user searches over HTTP via their nearest HTTPD; returns the result HTML.
   Result<std::string> SearchViaHttp(sim::NodeId user, const std::string& query);
 
+  // ---- Adaptive per-object replication (ROADMAP item 4; paper §3.1) ----
+  // Turns on the online replication controller: before every evaluation the
+  // world aggregates each GOS's access telemetry into one global registry
+  // (reads served by secondaries count, not just what the master sees), runs
+  // the ctl cost model, and executes winning migrations live through the
+  // GOSes — remove stale secondaries, SwitchProtocol at the master, create
+  // secondaries under the new policy. Regions are country indices. Already-
+  // published master replicas are tracked immediately; later PublishPackage
+  // calls track automatically. The search index stays on its static policy.
+  //
+  // With `start_timer`, evaluation self-schedules every
+  // config.evaluate_interval; the timer keeps the simulator queue non-empty,
+  // so drive time with RunUntil (like fail-over leases). Without it, call
+  // EvaluateAdaptiveNow() at your own cadence.
+  ctl::ReplicationController* EnableAdaptiveReplication(
+      ctl::ControllerConfig config = {}, bool start_timer = false);
+  // One aggregate-and-evaluate pass; no-op before EnableAdaptiveReplication.
+  void EvaluateAdaptiveNow();
+  ctl::ReplicationController* controller() { return controller_.get(); }
+  ctl::MetricsRegistry* world_metrics() { return world_metrics_.get(); }
+
+  // The world's ctl::PolicyActuator implementation (public for tests; normal
+  // use is through the controller). Aborts on the first failing step so the
+  // controller keeps the old policy and retries a later tick.
+  void ExecuteMigration(const gls::ObjectId& oid,
+                        const ctl::PolicyDecision& decision,
+                        std::function<void(Status)> done);
+
   // ---- Maintainer role (paper §2 future work) ----
   // Turns `node` into a maintainer machine: registers a kMaintainer principal,
   // installs its credential and admits it to mutual authentication with GDN hosts.
@@ -201,7 +230,13 @@ class GdnWorld {
   std::unique_ptr<dso::RuntimeSystem> search_admin_runtime_;
   std::unique_ptr<SearchProxy> search_admin_;
 
+  std::unique_ptr<ctl::MetricsRegistry> world_metrics_;
+  std::unique_ptr<ctl::PolicyActuator> actuator_;
+  std::unique_ptr<ctl::ReplicationController> controller_;
+  sim::SimTime adaptive_interval_ = 0;
+
   void SetupSearchIndex();
+  void ScheduleAdaptiveTick();
 };
 
 }  // namespace globe::gdn

@@ -99,6 +99,8 @@ SubnodeStats GlsDeployment::TotalStats() const {
     total.master_claims += s.master_claims;
     total.master_claims_granted += s.master_claims_granted;
     total.lease_renewals += s.lease_renewals;
+    total.stale_scrubs += s.stale_scrubs;
+    total.insert_invals += s.insert_invals;
   }
   return total;
 }

@@ -63,11 +63,19 @@ struct BatchAddressRequest {  // gls.insert_batch / gls.delete_batch
 struct PointerRequest {  // gls.install_ptr / gls.remove_ptr / gls.inval_cache
   ObjectId oid;
   sim::DomainId child_domain = sim::kNoDomain;
+  // gls.inval_cache only: whether the receiving cache should quarantine the
+  // OID against immediate re-caching. Deregistration chains need it (a racing
+  // lookup could re-cache the address being removed); insert-driven chains
+  // must NOT set it, or the freshly registered nearer replica could not be
+  // cached until the quarantine lapsed. Rides as an optional trailer so
+  // pre-upgrade peers interoperate (absent = quarantine, the old behaviour).
+  uint8_t quarantine = 1;
 
   Bytes Serialize() const {
     ByteWriter w;
     oid.Serialize(&w);
     w.WriteU32(child_domain);
+    w.WriteU8(quarantine);
     return w.Take();
   }
   static Result<PointerRequest> Deserialize(ByteSpan data) {
@@ -75,6 +83,9 @@ struct PointerRequest {  // gls.install_ptr / gls.remove_ptr / gls.inval_cache
     PointerRequest request;
     ASSIGN_OR_RETURN(request.oid, ObjectId::Deserialize(&r));
     ASSIGN_OR_RETURN(request.child_domain, r.ReadU32());
+    if (!r.AtEnd()) {
+      ASSIGN_OR_RETURN(request.quarantine, r.ReadU8());
+    }
     return request;
   }
 };
@@ -311,6 +322,11 @@ const sim::TypedMethod<PointerRequest, sim::EmptyMessage> kGlsRemovePtr{
     "gls.remove_ptr", sim::kNonIdempotent};
 const sim::TypedMethod<PointerRequest, sim::EmptyMessage> kGlsInvalCache{
     "gls.inval_cache"};
+// Deposed-master cleanup: removes one exact (oid, address) pair wherever the
+// registration subtree still holds it. Idempotent by construction — a missing
+// address is success — so duplicates skip the dedup table like invalidations.
+const sim::TypedMethod<AddressRequest, sim::EmptyMessage> kGlsScrubAddress{
+    "gls.scrub_address"};
 const sim::TypedMethod<sim::EmptyMessage, OidMessage> kGlsAllocOid{
     "gls.alloc_oid", sim::kNonIdempotent};
 // A duplicate-delivered claim must replay the first arbitration instead of
@@ -569,12 +585,20 @@ DirectorySubnode::DirectorySubnode(sim::Transport* transport, sim::NodeId host,
     ++stats_.pointer_installs;
     InvalidateCached(request.oid, /*quarantine=*/false);
     bool was_new = pointers_[request.oid].insert(request.child_domain).second;
-    if (!was_new || parent_.empty()) {
-      // The chain above already exists (or we are the root): done.
-      respond(sim::EmptyMessage{});
+    if (was_new && !parent_.empty()) {
+      PropagatePointerUp(request.oid, std::move(respond));
       return;
     }
-    PropagatePointerUp(request.oid, std::move(respond));
+    // The chain above already exists (or we are the root), but cached answers
+    // above and beside us may still name only the farther replicas this OID
+    // had before the registration below: mirror the delete chain's inval
+    // fan-out so the new replica becomes visible without waiting out the TTL.
+    // quarantine=false — fresh lookups should re-cache the new set at once.
+    if (options_.enable_cache) {
+      ++stats_.insert_invals;
+    }
+    PropagateInvalUp(request.oid, /*include_siblings=*/true,
+                     /*quarantine=*/false, std::move(respond));
   });
 
   kGlsInstallPtrBatch.RegisterAsync(&server_, [this](const sim::RpcContext& context,
@@ -586,15 +610,30 @@ DirectorySubnode::DirectorySubnode(sim::Transport* transport, sim::NodeId host,
       return;
     }
     std::vector<ObjectId> continue_up;
+    std::vector<ObjectId> stale_chain;
     for (const ObjectId& oid : request.oids) {
       ++stats_.pointer_installs;
       InvalidateCached(oid, /*quarantine=*/false);
-      if (pointers_[oid].insert(request.child_domain).second) {
+      bool was_new = pointers_[oid].insert(request.child_domain).second;
+      if (was_new && !parent_.empty()) {
         continue_up.push_back(oid);
+      } else {
+        stale_chain.push_back(oid);
       }
     }
-    // Only freshly installed pointers need the chain extended above us.
-    PropagatePointerUpBatch(continue_up, std::move(respond));
+    // Freshly installed pointers extend the chain above us; where the chain
+    // already ends (or we are the root) the same inval fan-out as the
+    // single-install path keeps stale cached answers from hiding the new
+    // registration until TTL lapse.
+    EmptyCallback join = JoinEmpty(1 + stale_chain.size(), std::move(respond));
+    PropagatePointerUpBatch(continue_up, join);
+    for (const ObjectId& oid : stale_chain) {
+      if (options_.enable_cache) {
+        ++stats_.insert_invals;
+      }
+      PropagateInvalUp(oid, /*include_siblings=*/true, /*quarantine=*/false,
+                       join);
+    }
   });
 
   kGlsRemovePtr.RegisterAsync(&server_, [this](const sim::RpcContext& context,
@@ -620,7 +659,8 @@ DirectorySubnode::DirectorySubnode(sim::Transport* transport, sim::NodeId host,
     }
     // The chain stops pruning here, but subnodes above and beside us may still
     // cache the removed subtree's addresses.
-    PropagateInvalUp(request.oid, /*include_siblings=*/true, std::move(respond));
+    PropagateInvalUp(request.oid, /*include_siblings=*/true, /*quarantine=*/true,
+                     std::move(respond));
   });
 
   kGlsInvalCache.RegisterAsync(&server_, [this](const sim::RpcContext& context,
@@ -634,13 +674,25 @@ DirectorySubnode::DirectorySubnode(sim::Transport* transport, sim::NodeId host,
       respond(s);
       return;
     }
-    InvalidateCached(request.oid, /*quarantine=*/true);
+    InvalidateCached(request.oid, request.quarantine != 0);
     if (IsAlternateFor(request.oid)) {
       // Our home sibling received the same fan-out and carries the chain upward.
       respond(sim::EmptyMessage{});
       return;
     }
-    PropagateInvalUp(request.oid, /*include_siblings=*/false, std::move(respond));
+    PropagateInvalUp(request.oid, /*include_siblings=*/false,
+                     request.quarantine != 0, std::move(respond));
+  });
+
+  kGlsScrubAddress.RegisterAsync(&server_, [this](const sim::RpcContext& context,
+                                                  AddressRequest request,
+                                                  EmptyResponder respond) {
+    if (Status s = CheckAuthorized(context); !s.ok()) {
+      ++stats_.denied;
+      respond(s);
+      return;
+    }
+    ScrubAddress(request.oid, request.address, std::move(respond));
   });
 
   kGlsAllocOid.Register(&server_,
@@ -966,6 +1018,7 @@ void DirectorySubnode::ResolveOwnership(
   // and the claimant must hold enough replicated state.
   if (request.known_epoch >= rec.epoch &&
       (vacant || incumbent || lease_lapsed || ahead) && fresh_enough) {
+    ContactAddress deposed = rec.master;
     rec.epoch = std::max(request.known_epoch, rec.epoch) + 1;
     rec.master = request.claimant;
     rec.lease_expires_at = now + request.lease_duration;
@@ -975,8 +1028,17 @@ void DirectorySubnode::ResolveOwnership(
     // answer and our siblings' (and quarantine re-caching) before answering, so
     // no root subnode keeps serving the deposed master from cache.
     InvalidateCached(request.oid, /*quarantine=*/true);
+    if (!vacant && deposed.endpoint != request.claimant.endpoint) {
+      // The loser's leaf registration is now stale; a crashed master never
+      // deletes it itself, so it would otherwise linger until restart. Scrub
+      // it from the registration subtree in the background — fire-and-forget,
+      // because the grant must not block on leaf round-trips, and the scrub is
+      // idempotent if it races the deposed master's own cleanup.
+      ++stats_.stale_scrubs;
+      ScrubAddress(request.oid, deposed, [](Result<sim::EmptyMessage>) {});
+    }
     ClaimWireResponse response{1, rec.epoch, rec.master};
-    PropagateInvalUp(request.oid, /*include_siblings=*/true,
+    PropagateInvalUp(request.oid, /*include_siblings=*/true, /*quarantine=*/true,
                      [respond = std::move(respond),
                       response](Result<sim::EmptyMessage>) { respond(response); });
     return;
@@ -1003,16 +1065,55 @@ void DirectorySubnode::ApplyDelete(const ObjectId& oid, const ContactAddress& ad
   if (!at_oid.empty()) {
     // Other addresses remain here; the chain stays, but caches above and beside us
     // must not keep serving the removed address.
-    PropagateInvalUp(oid, /*include_siblings=*/true, std::move(respond));
+    PropagateInvalUp(oid, /*include_siblings=*/true, /*quarantine=*/true,
+                     std::move(respond));
     return;
   }
   addresses_.erase(it);
   // No addresses left here; if no pointers either, prune the chain above.
   if (NumPointers(oid) > 0) {
-    PropagateInvalUp(oid, /*include_siblings=*/true, std::move(respond));
+    PropagateInvalUp(oid, /*include_siblings=*/true, /*quarantine=*/true,
+                     std::move(respond));
     return;
   }
   PropagateRemoveUp(oid, std::move(respond));
+}
+
+void DirectorySubnode::ScrubAddress(const ObjectId& oid, const ContactAddress& address,
+                                    EmptyResponder respond) {
+  auto it = addresses_.find(oid);
+  if (it != addresses_.end() &&
+      std::find(it->second.begin(), it->second.end(), address) != it->second.end()) {
+    // Registered here: run the ordinary delete, which also fires the coherence
+    // chain (inval fan-out or pointer prune) the removal requires.
+    ApplyDelete(oid, address, std::move(respond));
+    return;
+  }
+  auto ptr_it = pointers_.find(oid);
+  if (ptr_it == pointers_.end() || ptr_it->second.empty()) {
+    // Nothing registered below us either — the address is already gone
+    // (the deposed master cleaned up itself, or a duplicate scrub landed).
+    respond(sim::EmptyMessage{});
+    return;
+  }
+  // Descend every branch of the registration subtree: the stale leaf entry is
+  // under exactly one of them, and the others answer cheaply with "not here".
+  std::vector<sim::Endpoint> targets;
+  for (sim::DomainId child : ptr_it->second) {
+    auto ref_it = children_.find(child);
+    if (ref_it != children_.end() && !ref_it->second.empty()) {
+      targets.push_back(ref_it->second.Route(oid));
+    }
+  }
+  if (targets.empty()) {
+    respond(sim::EmptyMessage{});
+    return;
+  }
+  EmptyCallback join = JoinEmpty(targets.size(), std::move(respond));
+  AddressRequest down{oid, address};
+  for (const sim::Endpoint& target : targets) {
+    kGlsScrubAddress.Call(client_.get(), target, down, join, sim::WriteCallOptions());
+  }
 }
 
 void DirectorySubnode::PropagatePointerUp(const ObjectId& oid, EmptyResponder respond) {
@@ -1071,7 +1172,7 @@ void DirectorySubnode::PropagateRemoveUp(const ObjectId& oid, EmptyResponder res
 }
 
 void DirectorySubnode::PropagateInvalUp(const ObjectId& oid, bool include_siblings,
-                                        EmptyResponder respond) {
+                                        bool quarantine, EmptyResponder respond) {
   // Without caching there is nothing stale anywhere: keep the old single-message
   // delete cost. With caching, the fan-out reaches every subnode of every ancestor
   // node (and optionally this node's siblings) so no subnode can serve the
@@ -1096,6 +1197,7 @@ void DirectorySubnode::PropagateInvalUp(const ObjectId& oid, bool include_siblin
   }
   EmptyCallback join = JoinEmpty(targets.size(), std::move(respond));
   PointerRequest up{oid, domain_};
+  up.quarantine = quarantine ? 1 : 0;
   for (const sim::Endpoint& target : targets) {
     kGlsInvalCache.Call(client_.get(), target, up, join, sim::WriteCallOptions());
   }

@@ -187,6 +187,8 @@ struct SubnodeStats {
   uint64_t master_claims = 0;          // gls.claim_master arbitrated here (root)
   uint64_t master_claims_granted = 0;  // claims that won the next epoch
   uint64_t lease_renewals = 0;         // gls.renew_lease arbitrated here (root)
+  uint64_t stale_scrubs = 0;    // deposed-master scrub chains started here (root)
+  uint64_t insert_invals = 0;   // install-driven inval fan-outs started here
 };
 
 class DirectorySubnode {
@@ -274,6 +276,14 @@ class DirectorySubnode {
   void ApplyDelete(const ObjectId& oid, const ContactAddress& address,
                    EmptyResponder respond);
 
+  // Deposed-master cleanup (gls.scrub_address): deletes the exact
+  // (oid, address) pair if registered here, otherwise descends the pointer
+  // chain towards wherever it might be. Idempotent — a missing address is
+  // success, so the scrub races benignly with the deposed master's own
+  // deregistration.
+  void ScrubAddress(const ObjectId& oid, const ContactAddress& address,
+                    EmptyResponder respond);
+
   // Continues an insert by installing the forwarding pointer chain towards the root,
   // then responds.
   void PropagatePointerUp(const ObjectId& oid, EmptyResponder respond);
@@ -286,7 +296,10 @@ class DirectorySubnode {
   // ancestor node up to the root (`include_siblings` additionally covers this
   // node's own siblings — used where the chain originates or arrives point-to-
   // point), then responds. No-op (immediate respond) when caching is off.
-  void PropagateInvalUp(const ObjectId& oid, bool include_siblings,
+  // `quarantine` is threaded into the fan-out: deregistration chains set it so a
+  // racing lookup cannot re-cache the address being removed; insert-driven
+  // chains clear it so the just-registered replica is cacheable immediately.
+  void PropagateInvalUp(const ObjectId& oid, bool include_siblings, bool quarantine,
                         EmptyResponder respond);
 
   // This subnode's sibling endpoints (empty if SetSelf was never called).

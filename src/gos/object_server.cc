@@ -15,7 +15,8 @@ ObjectServer::ObjectServer(sim::Transport* transport, sim::NodeId host,
       gls_(transport, host, std::move(leaf_directory)),
       repository_(repository),
       registry_(registry),
-      options_(std::move(options)) {
+      options_(std::move(options)),
+      metrics_(transport->clock(), options_.region_of) {
   kGosCreateFirstReplica.RegisterAsync(
       &server_,
       [this](const sim::RpcContext& ctx, CreateFirstReplicaRequest request,
@@ -110,6 +111,16 @@ Status ObjectServer::CheckModerator(const sim::RpcContext& context) const {
 dso::ReplicationObject* ObjectServer::FindReplica(const gls::ObjectId& oid) {
   auto it = replicas_.find(oid);
   return it == replicas_.end() ? nullptr : it->second.replication.get();
+}
+
+gls::ProtocolId ObjectServer::ProtocolOf(const gls::ObjectId& oid) const {
+  auto it = replicas_.find(oid);
+  return it == replicas_.end() ? 0 : it->second.protocol;
+}
+
+uint16_t ObjectServer::SemanticsTypeOf(const gls::ObjectId& oid) const {
+  auto it = replicas_.find(oid);
+  return it == replicas_.end() ? 0 : it->second.semantics_type;
 }
 
 dso::FailoverConfig ObjectServer::FailoverFor(const gls::ObjectId& oid) const {
@@ -235,6 +246,7 @@ void ObjectServer::InstallReplica(const gls::ObjectId& oid, gls::ProtocolId prot
   setup.peers = std::move(peers);
   setup.write_guard = GuardFor(maintainers);
   setup.failover = FailoverFor(oid);
+  setup.access_hook = metrics_.HookFor(oid);
   auto replica = dso::MakeReplica(protocol, std::move(setup));
   if (!replica.ok()) {
     done(replica.status());
@@ -290,10 +302,155 @@ void ObjectServer::RemoveReplica(const gls::ObjectId& oid,
   gls::ContactAddress address = CurrentAddress(it->second);
   dso::ReplicationObject* replication = it->second.replication.get();
   replication->Shutdown([this, oid, address, done = std::move(done)](Status) {
-    gls_.Delete(oid, address, [this, oid, done = std::move(done)](Status s) {
+    gls_.Delete(oid, address, [this, oid, address, done = std::move(done)](Status s) {
       replicas_.erase(oid);
+      metrics_.Forget(oid);
       ++stats_.replicas_removed;
+      TombstoneEndpoint(oid, address.endpoint);
       done(s);
+    });
+  });
+}
+
+void ObjectServer::TombstoneEndpoint(const gls::ObjectId& oid,
+                                     const sim::Endpoint& endpoint) {
+  if (endpoint.node != server_.node() || tombstones_.count(endpoint.port) > 0) {
+    return;
+  }
+  auto responder =
+      std::make_unique<sim::RpcServer>(transport_, server_.node(), endpoint.port);
+  auto moved = [oid](const sim::RpcContext&, ByteSpan) -> Result<Bytes> {
+    return FailedPrecondition("replica of " + oid.ToHex() +
+                              " retired (policy migration); rebind");
+  };
+  for (const char* method :
+       {"dso.invoke", "dso.get_state", "dso.master_endpoint", "dso.lease"}) {
+    responder->RegisterMethod(method, moved);
+  }
+  tombstones_[endpoint.port] = std::move(responder);
+  ++stats_.tombstones;
+}
+
+void ObjectServer::SwitchProtocol(const gls::ObjectId& oid,
+                                  gls::ProtocolId new_protocol,
+                                  std::function<void(Status)> done) {
+  auto it = replicas_.find(oid);
+  if (it == replicas_.end()) {
+    done(NotFound("no replica of " + oid.ToHex() + " hosted here"));
+    return;
+  }
+  HostedReplica& old = it->second;
+  if (old.role != gls::ReplicaRole::kMaster) {
+    done(FailedPrecondition("only the master replica may switch protocol"));
+    return;
+  }
+  if (old.protocol == new_protocol) {
+    done(OkStatus());
+    return;
+  }
+
+  // Snapshot everything the new incarnation needs before tearing the old one
+  // down: state, version, epoch, and the address the GLS currently advertises.
+  Bytes state = old.semantics != nullptr ? old.semantics->GetState() : Bytes{};
+  uint64_t version = old.replication->version();
+  uint64_t epoch = old.replication->epoch();
+  gls::ContactAddress old_address = CurrentAddress(old);
+  uint16_t semantics_type = old.semantics_type;
+  std::vector<sec::PrincipalId> maintainers = old.maintainers;
+
+  dso::ReplicationObject* replication = old.replication.get();
+  replication->Shutdown([this, oid, new_protocol, state = std::move(state),
+                         version, epoch, old_address, semantics_type,
+                         maintainers = std::move(maintainers),
+                         done = std::move(done)](Status) mutable {
+    // Master shutdowns complete synchronously, so this callback may still be
+    // on the old replication object's stack. Defer the rebuild one event so
+    // replacing (= destroying) that object is safe.
+    transport_->clock()->ScheduleAfter(
+        0, [this, oid, new_protocol, state = std::move(state), version, epoch,
+            old_address, semantics_type, maintainers = std::move(maintainers),
+            done = std::move(done)]() mutable {
+          RebuildAs(oid, new_protocol, state, version, epoch, old_address,
+                    semantics_type, std::move(maintainers), std::move(done));
+        });
+  });
+}
+
+void ObjectServer::RebuildAs(const gls::ObjectId& oid, gls::ProtocolId new_protocol,
+                             const Bytes& state, uint64_t version, uint64_t epoch,
+                             const gls::ContactAddress& old_address,
+                             uint16_t semantics_type,
+                             std::vector<sec::PrincipalId> maintainers,
+                             std::function<void(Status)> done) {
+  auto it = replicas_.find(oid);
+  if (it == replicas_.end()) {
+    done(FailedPrecondition("replica of " + oid.ToHex() + " removed mid-switch"));
+    return;
+  }
+  auto semantics = repository_->Instantiate(semantics_type);
+  if (!semantics.ok()) {
+    done(semantics.status());
+    return;
+  }
+  if (Status set = (*semantics)->SetState(state); !set.ok()) {
+    done(set);
+    return;
+  }
+  dso::ReplicaSetup setup;
+  setup.transport = transport_;
+  setup.host = server_.node();
+  setup.semantics = std::move(*semantics);
+  setup.role = gls::ReplicaRole::kMaster;
+  setup.write_guard = GuardFor(maintainers);
+  setup.failover = FailoverFor(oid);
+  setup.access_hook = metrics_.HookFor(oid);
+  auto replica = dso::MakeReplica(new_protocol, std::move(setup));
+  if (!replica.ok()) {
+    done(replica.status());
+    return;
+  }
+  // The new incarnation lives one epoch above the old group: stragglers still
+  // carrying the old epoch are fenced instead of landing on the fresh replica.
+  (*replica)->set_version(version);
+  (*replica)->set_epoch(epoch + 1);
+
+  HostedReplica& hosted = it->second;
+  hosted.protocol = new_protocol;
+  hosted.replication = std::move(*replica);
+  hosted.semantics = hosted.replication->semantics();
+  auto address = hosted.replication->contact_address();
+  if (!address.has_value()) {
+    done(Internal("replica has no contact address"));
+    return;
+  }
+  hosted.registered_address = *address;
+  // Clients still bound to the old incarnation must fail fast, not wait out
+  // a 30 s call deadline against a silently closed port.
+  TombstoneEndpoint(oid, old_address.endpoint);
+
+  hosted.replication->Start([this, oid, old_address,
+                             done = std::move(done)](Status status) mutable {
+    if (!status.ok()) {
+      done(status);
+      return;
+    }
+    auto it = replicas_.find(oid);
+    if (it == replicas_.end()) {
+      done(FailedPrecondition("replica of " + oid.ToHex() + " removed mid-switch"));
+      return;
+    }
+    gls::ContactAddress fresh = it->second.registered_address;
+    // Swap the GLS registration: drop the old incarnation's address, register
+    // the new one. The insert drives the insert-path invalidation chain, so
+    // cached lookups converge on the new address without waiting out a TTL.
+    gls_.Delete(oid, old_address, [this, oid, fresh,
+                                   done = std::move(done)](Status) mutable {
+      gls_.Insert(oid, fresh, [this, done = std::move(done)](Status s) {
+        if (s.ok()) {
+          ++stats_.protocol_switches;
+        }
+        done(s);
+      });
     });
   });
 }
@@ -316,6 +473,9 @@ Bytes ObjectServer::Checkpoint() const {
     w.WriteLengthPrefixed(replica.semantics != nullptr ? replica.semantics->GetState()
                                                        : Bytes{});
   }
+  // Optional trailer (absent in pre-telemetry checkpoints): the access
+  // telemetry, so a restarted server resumes with warm rate estimates.
+  metrics_.Serialize(&w);
   const_cast<GosStats&>(stats_).checkpoints++;
   return w.Take();
 }
@@ -374,6 +534,13 @@ void ObjectServer::Restore(ByteSpan checkpoint, std::function<void(Status)> done
                               static_cast<gls::ReplicaRole>(*role), *address, *version,
                               *epoch, std::move(maintainers), ToBytes(*state)});
     }
+    // Optional telemetry trailer (pre-telemetry checkpoints end here).
+    if (!r.AtEnd()) {
+      if (Status s = metrics_.Restore(&r); !s.ok()) {
+        done(s);
+        return;
+      }
+    }
   }
 
   ++stats_.restores;
@@ -414,6 +581,7 @@ void ObjectServer::Restore(ByteSpan checkpoint, std::function<void(Status)> done
     setup.role = entry.role;
     setup.write_guard = GuardFor(entry.maintainers);
     setup.failover = FailoverFor(entry.oid);
+    setup.access_hook = metrics_.HookFor(entry.oid);
     // Secondary replicas would need peers; restore keeps them in their role but they
     // re-register with the master lazily via the GLS addresses.
     if (entry.role != gls::ReplicaRole::kMaster) {

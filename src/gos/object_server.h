@@ -27,6 +27,7 @@
 #include <memory>
 #include <vector>
 
+#include "src/ctl/metrics_registry.h"
 #include "src/dso/protocols.h"
 #include "src/dso/repository.h"
 #include "src/gls/directory.h"
@@ -210,6 +211,9 @@ struct GosOptions {
   bool enable_failover = false;
   sim::SimTime failover_lease_interval = 2 * sim::kSecond;
   sim::SimTime failover_lease_timeout = 5 * sim::kSecond;
+  // Maps a client NodeId to the region bucket the replication controller
+  // reasons in (under the GDN world: the country index). Unset = one region.
+  ctl::RegionFn region_of;
 };
 
 struct GosStats {
@@ -218,6 +222,10 @@ struct GosStats {
   uint64_t commands_denied = 0;
   uint64_t checkpoints = 0;
   uint64_t restores = 0;
+  uint64_t protocol_switches = 0;
+  // Retired replica endpoints answering with an immediate "object migrated"
+  // error so stale bindings fail fast instead of waiting out RPC deadlines.
+  uint64_t tombstones = 0;
 };
 
 class ObjectServer {
@@ -234,6 +242,34 @@ class ObjectServer {
 
   // Direct access to a hosted replica's replication object (tests, benches).
   dso::ReplicationObject* FindReplica(const gls::ObjectId& oid);
+
+  // The replication protocol / semantics type a hosted replica runs, or 0 if
+  // the object is not hosted here.
+  gls::ProtocolId ProtocolOf(const gls::ObjectId& oid) const;
+  uint16_t SemanticsTypeOf(const gls::ObjectId& oid) const;
+
+  // Every OID with a replica hosted here (the local flavor of gos.list_replicas).
+  std::vector<gls::ObjectId> ReplicaOids() const {
+    std::vector<gls::ObjectId> oids;
+    for (const auto& [oid, replica] : replicas_) {
+      oids.push_back(oid);
+    }
+    return oids;
+  }
+
+  // Per-object access telemetry for every replica this server hosts; the
+  // replication controller (src/ctl) reads its decisions from here.
+  ctl::MetricsRegistry* metrics() { return &metrics_; }
+  const ctl::MetricsRegistry& metrics() const { return metrics_; }
+
+  // Live policy migration (the GOS half of ctl::PolicyActuator::Migrate): tears
+  // the hosted replica down, rebuilds it under `new_protocol` with the same
+  // semantics state and version, bumps the group epoch by one so in-flight
+  // traffic fenced on the old epoch cannot land on the new incarnation, and
+  // swaps the GLS registration to the new contact address. The object must be
+  // hosted here in the master role.
+  void SwitchProtocol(const gls::ObjectId& oid, gls::ProtocolId new_protocol,
+                      std::function<void(Status)> done);
 
   // Persistence: full-state snapshot of every hosted replica.
   Bytes Checkpoint() const;
@@ -287,6 +323,19 @@ class ObjectServer {
                       uint16_t semantics_type, gls::ReplicaRole role,
                       std::vector<gls::ContactAddress> peers,
                       std::vector<sec::PrincipalId> maintainers, CreateCallback done);
+  // The rebuild half of SwitchProtocol, run one event after the old replica's
+  // shutdown so destroying that replica happens off its own call stack.
+  void RebuildAs(const gls::ObjectId& oid, gls::ProtocolId new_protocol,
+                 const Bytes& state, uint64_t version, uint64_t epoch,
+                 const gls::ContactAddress& old_address, uint16_t semantics_type,
+                 std::vector<sec::PrincipalId> maintainers,
+                 std::function<void(Status)> done);
+  // Registers a responder on a retired replica port that fails every dso.*
+  // call immediately with "object migrated". The simulated network drops
+  // datagrams to closed ports silently, so without this, every client still
+  // bound to the old endpoint waits out a full RPC deadline before its
+  // rebind-on-failure logic (e.g. GdnHttpd's) can kick in.
+  void TombstoneEndpoint(const gls::ObjectId& oid, const sim::Endpoint& endpoint);
 
   sim::Transport* transport_;
   sim::RpcServer server_;
@@ -294,7 +343,10 @@ class ObjectServer {
   const dso::ImplementationRepository* repository_;
   const sec::KeyRegistry* registry_;
   GosOptions options_;
+  ctl::MetricsRegistry metrics_;
   std::map<gls::ObjectId, HostedReplica> replicas_;
+  // Responders for retired replica ports, keyed by port (see TombstoneEndpoint).
+  std::map<uint16_t, std::unique_ptr<sim::RpcServer>> tombstones_;
   GosStats stats_;
 };
 

@@ -144,12 +144,13 @@ struct ChaosWorld {
         deployment->LeafDirectoryFor(world.hosts[6]), nullptr);
   }
 
-  std::pair<ObjectId, gls::ContactAddress> CreateMaster() {
+  std::pair<ObjectId, gls::ContactAddress> CreateMaster(
+      gls::ProtocolId protocol = dso::kProtoMasterSlave) {
     ObjectId oid;
     gls::ContactAddress address;
     Status status = Unavailable("pending");
     gos_a->CreateFirstReplica(
-        dso::kProtoMasterSlave, CounterObject::kTypeId,
+        protocol, CounterObject::kTypeId,
         [&](Result<std::pair<ObjectId, gls::ContactAddress>> r) {
           if (r.ok()) {
             oid = r->first;
@@ -557,6 +558,243 @@ TEST_P(ChaosSweepTest, RandomizedFaultScheduleConvergesAndReplaysIdentically) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ChaosSweepTest, ::testing::ValuesIn(ChaosSeeds()));
+
+// ------------------------------------------ policy migration under chaos
+
+struct MigrationSummary {
+  uint64_t executed_events = 0;
+  std::string state_hash;
+  uint64_t protocol_switches = 0;
+  uint64_t tombstones = 0;
+  uint64_t total_messages = 0;
+  uint64_t dropped = 0;
+  uint64_t partitioned = 0;
+  size_t acked_writes = 0;
+
+  bool operator==(const MigrationSummary&) const = default;
+};
+
+// A live object migrates client_server -> master_slave -> cache_inval (the
+// controller's actuation path, driven here directly) while a seed-generated
+// schedule throws writes, loss episodes, client<->server partitions and
+// directory-host crashes at it. The client keeps writing to the endpoint it
+// last learned, so writes scheduled before a switch but fired after it hit the
+// retired port — the tombstone must fail them fast instead of letting them
+// wait out deadlines against a silently closed port. Acked writes are the
+// floor (each must survive both rebuilds), issued writes the ceiling (the
+// dedup table keeps retried duplicates from landing twice), and the whole run
+// must replay byte-identically.
+MigrationSummary RunMigrationScenario(uint64_t seed) {
+  ChaosWorld w(seed);
+  auto [oid, initial_address] = w.CreateMaster(dso::kProtoClientServer);
+  NodeId gos_host = w.gos_a->host();
+  NodeId client_host = w.world.hosts[3];
+  NodeId dir_host = w.deployment->LeafDirectoryFor(gos_host).subnodes[0].node;
+  sim::Channel client(w.transport.get(), client_host);
+
+  // The endpoint the client believes in. Migration completions update it, so
+  // in-between writes target whatever incarnation the client last saw.
+  sim::Endpoint believed = initial_address.endpoint;
+
+  std::map<std::string, uint64_t> issued, acked;
+  size_t acked_writes = 0;
+  auto write_at = [&](SimTime at, const std::string& key, uint64_t delta) {
+    issued[key] += delta;
+    w.simulator.ScheduleAt(at, [&, key, delta] {
+      sim::CallOptions options;
+      options.deadline = 1 * kSecond;
+      options.retry.attempts = 3;
+      options.retry.backoff = 150 * kMillisecond;
+      dso::kDsoInvoke.Call(&client, believed, CounterAdd(key, delta),
+                           [&, key, delta](Result<Bytes> r) {
+                             if (r.ok()) {
+                               acked[key] += delta;
+                               ++acked_writes;
+                             }
+                           },
+                           options);
+    });
+  };
+
+  // One guaranteed duplicate delivery: lose every server -> client response
+  // around a pinned write, so every seed exercises the dedup table at least
+  // once (and the drop counter below is never trivially zero).
+  w.simulator.ScheduleAt(1900 * kMillisecond, [&] {
+    w.network->SetLinkDropProbability(gos_host, client_host, 1.0);
+  });
+  w.simulator.ScheduleAt(2600 * kMillisecond, [&] {
+    w.network->ClearLinkDropProbability(gos_host, client_host);
+  });
+  write_at(2000 * kMillisecond, "dup", 7);
+
+  // The random schedule, generated up front and pinned to virtual times.
+  Rng schedule(seed ^ 0x6D16121EULL);
+  constexpr int kTicks = 36;
+  constexpr SimTime kTickSpacing = 400 * kMillisecond;
+  for (int tick = 1; tick <= kTicks; ++tick) {
+    SimTime at = tick * kTickSpacing;
+    switch (schedule.UniformInt(6)) {
+      case 0:
+      case 1:
+      case 2: {  // a write to the currently-believed endpoint
+        std::string key{'k', static_cast<char>('0' + schedule.UniformInt(4))};
+        write_at(at, key, 1 + schedule.UniformInt(3));
+        break;
+      }
+      case 3: {  // a per-link loss episode on the write path
+        double loss = 0.2 + 0.1 * static_cast<double>(schedule.UniformInt(4));
+        w.simulator.ScheduleAt(at, [&, loss] {
+          w.network->SetLinkDropProbability(gos_host, client_host, loss);
+          w.network->SetLinkDropProbability(client_host, gos_host, loss);
+        });
+        w.simulator.ScheduleAt(at + 700 * kMillisecond, [&] {
+          w.network->ClearLinkDropProbability(gos_host, client_host);
+          w.network->ClearLinkDropProbability(client_host, gos_host);
+        });
+        break;
+      }
+      case 4: {  // a timed client <-> server partition
+        SimTime duration = (200 + schedule.UniformInt(800)) * kMillisecond;
+        w.simulator.ScheduleAt(at, [&, duration] {
+          w.network->PartitionPair(gos_host, client_host, duration);
+        });
+        break;
+      }
+      case 5: {  // crash the GOS host's leaf directory, reboot shortly after —
+                 // the migration's GLS delete/insert swap must retry through it
+        w.simulator.ScheduleAt(at, [&] {
+          if (!w.network->IsCrashed(dir_host)) {
+            w.network->CrashNode(dir_host);
+          }
+        });
+        w.simulator.ScheduleAt(at + 600 * kMillisecond, [&] {
+          if (w.network->IsCrashed(dir_host)) {
+            w.network->RestartNode(dir_host);
+          }
+        });
+        break;
+      }
+    }
+  }
+
+  // Two live migrations mid-schedule. The second waits for the first to
+  // complete (a directory crash can stretch the GLS swap past its nominal
+  // time), and the final sync write rebinds through an uncached lookup — the
+  // registration swap must have made the fresh address visible.
+  Status first_switch = Unavailable("pending");
+  Status second_switch = Unavailable("pending");
+  auto adopt_fresh_endpoint = [&] {
+    dso::ReplicationObject* master = w.gos_a->FindReplica(oid);
+    if (master != nullptr && master->contact_address().has_value()) {
+      believed = master->contact_address()->endpoint;
+    }
+  };
+  auto do_sync = [&] {
+    issued["sync"] += 1;
+    std::shared_ptr<gls::GlsClient> gls = w.deployment->MakeClient(client_host);
+    gls->set_allow_cached(false);
+    gls->Lookup(oid, [&, gls](Result<gls::LookupResult> r) {
+      EXPECT_TRUE(r.ok()) << r.status();
+      if (!r.ok() || r->addresses.empty()) {
+        return;
+      }
+      believed = r->addresses[0].endpoint;
+      dso::kDsoInvoke.Call(&client, believed, CounterAdd("sync", 1),
+                           [&](Result<Bytes> rr) {
+                             if (rr.ok()) {
+                               acked["sync"] += 1;
+                               ++acked_writes;
+                             }
+                           },
+                           sim::WriteCallOptions());
+    });
+  };
+  w.simulator.ScheduleAt(5 * kSecond, [&] {
+    w.gos_a->SwitchProtocol(oid, dso::kProtoMasterSlave, [&](Status s) {
+      first_switch = s;
+      adopt_fresh_endpoint();
+      w.simulator.ScheduleAt(
+          std::max(w.simulator.Now(), 10 * kSecond) + kMillisecond, [&] {
+            w.gos_a->SwitchProtocol(oid, dso::kProtoCacheInval, [&](Status s2) {
+              second_switch = s2;
+              adopt_fresh_endpoint();
+              w.simulator.ScheduleAt(w.simulator.Now() + kSecond, do_sync);
+            });
+          });
+    });
+  });
+
+  // Heal everything left over once the schedule has played out.
+  w.simulator.ScheduleAt((kTicks + 4) * kTickSpacing, [&] {
+    w.network->ClearLinkDropProbability(gos_host, client_host);
+    w.network->ClearLinkDropProbability(client_host, gos_host);
+    w.network->HealPartition(gos_host, client_host);
+    if (w.network->IsCrashed(dir_host)) {
+      w.network->RestartNode(dir_host);
+    }
+  });
+  w.simulator.Run();
+
+  // ---- End-state invariants ----
+  EXPECT_TRUE(first_switch.ok()) << first_switch;
+  EXPECT_TRUE(second_switch.ok()) << second_switch;
+  dso::ReplicationObject* master = w.gos_a->FindReplica(oid);
+  EXPECT_NE(master, nullptr);
+  if (master == nullptr) {
+    return {};
+  }
+  EXPECT_GE(client.stats().retries, 1u);  // the forced duplicate really went out
+
+  // At-most-once across both rebuilds: acked writes are a floor (they
+  // executed exactly once and the state snapshot carried them through every
+  // incarnation), issued writes a ceiling (a duplicate delivery — whether
+  // absorbed by the dedup table or refused by a tombstone — never lands
+  // twice). The post-migration sync write proves the rebound address serves.
+  Bytes final_state = master->semantics()->GetState();
+  std::map<std::string, uint64_t> state = ParseCounterState(final_state);
+  for (const auto& [key, value] : state) {
+    EXPECT_LE(value, issued[key]) << key << ": a write executed more than once";
+  }
+  for (const auto& [key, value] : acked) {
+    EXPECT_GE(state.count(key) > 0 ? state.at(key) : 0, value)
+        << key << ": an acknowledged write was dropped by a migration";
+  }
+  EXPECT_EQ(state.count("sync") > 0 ? state.at("sync") : 0, 1u);
+  EXPECT_EQ(w.gos_a->stats().protocol_switches, 2u);
+  EXPECT_EQ(w.gos_a->stats().tombstones, 2u);
+
+  MigrationSummary summary;
+  summary.executed_events = w.simulator.executed_events();
+  summary.state_hash = Sha256::HexDigest(final_state);
+  summary.protocol_switches = w.gos_a->stats().protocol_switches;
+  summary.tombstones = w.gos_a->stats().tombstones;
+  summary.total_messages = w.network->stats().TotalMessages();
+  summary.dropped = w.network->stats().dropped_messages;
+  summary.partitioned = w.network->stats().partitioned_messages;
+  summary.acked_writes = acked_writes;
+  return summary;
+}
+
+class ChaosMigrationSweepTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ChaosMigrationSweepTest, LiveMigrationKeepsAckedWritesAndReplaysIdentically) {
+  MigrationSummary first = RunMigrationScenario(GetParam());
+  EXPECT_GT(first.acked_writes, 0u);
+  EXPECT_EQ(first.protocol_switches, 2u);
+  EXPECT_EQ(first.tombstones, 2u);
+  EXPECT_GT(first.dropped + first.partitioned, 0u);
+  // Determinism: the same seed replays the identical migration race — same
+  // event count, same fault toll, same state bytes. (Endpoint port numbers are
+  // process-wide monotonic, so they are the one thing two in-process runs
+  // cannot share.)
+  MigrationSummary second = RunMigrationScenario(GetParam());
+  EXPECT_EQ(first.executed_events, second.executed_events);
+  EXPECT_EQ(first.state_hash, second.state_hash);
+  EXPECT_TRUE(first == second);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ChaosMigrationSweepTest,
+                         ::testing::ValuesIn(ChaosSeeds()));
 
 // ------------------------------------------------------- master fail-over
 

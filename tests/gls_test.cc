@@ -626,6 +626,32 @@ TEST_F(GlsCacheTest, PartialDeleteInvalidatesAncestorCaches) {
   }
 }
 
+TEST_F(GlsCacheTest, InsertInvalidatesWarmCachesWithoutWaitingTtl) {
+  // One replica, then a warm apex cache for a far-away looker. Registering a
+  // second replica must drop that cached single-address answer immediately
+  // (the install chain's inval fan-out, quarantine=false), not after the
+  // 600 s TTL: the very next cached-allowed lookup re-walks authoritatively.
+  ObjectId oid = ObjectId::Generate(&rng_);
+  InsertAt(oid, world_.hosts[0]);  // site 0 of country 0
+  ASSERT_TRUE(LookupFrom(oid, world_.hosts[8], /*allow_cached=*/true).ok());
+  auto warm = LookupFrom(oid, world_.hosts[8], /*allow_cached=*/true);
+  ASSERT_TRUE(warm.ok()) << warm.status();
+  ASSERT_TRUE(warm->from_cache);  // the stale answer the insert must kill
+
+  InsertAt(oid, world_.hosts[2]);  // site 1 of country 0
+  EXPECT_GT(deployment_.TotalStats().insert_invals, 0u);
+
+  // Fresh descent, not the warm entry. Either replica is a correct answer
+  // (descent picks one branch at random); what may not happen is a cache hit
+  // still naming only the pre-insert set.
+  auto result = LookupFrom(oid, world_.hosts[8], /*allow_cached=*/true);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_FALSE(result->from_cache);
+  ASSERT_EQ(result->addresses.size(), 1u);
+  NodeId found = result->addresses[0].endpoint.node;
+  EXPECT_TRUE(found == world_.hosts[0] || found == world_.hosts[2]) << found;
+}
+
 class GlsCacheShortTtlTest : public GlsCacheTest {
  protected:
   GlsCacheShortTtlTest() : GlsCacheTest(120 * sim::kSecond) {}
@@ -1213,6 +1239,47 @@ TEST_F(GlsOwnershipTest, ClaimMasterArbitratesEpochsAndLeases) {
   EXPECT_EQ(root->stats().master_claims, 4u);
   EXPECT_EQ(root->stats().master_claims_granted, 2u);
   EXPECT_EQ(root->stats().lease_renewals, 2u);
+}
+
+TEST_F(GlsOwnershipTest, TakeoverScrubsDeposedMastersLeafRegistration) {
+  Rng rng(11);
+  ObjectId oid = ObjectId::Generate(&rng);
+  // Claimant addresses match what InsertAt registers, so the ownership record's
+  // deposed master IS the leaf registration the scrub must find.
+  ContactAddress a{{world_.hosts[0], sim::kPortGos}, 1, ReplicaRole::kMaster};
+  ContactAddress b{{world_.hosts[10], sim::kPortGos}, 1, ReplicaRole::kMaster};
+
+  InsertAt(oid, world_.hosts[0]);
+  ASSERT_TRUE(Claim(oid, a, /*known_epoch=*/0, world_.hosts[0])->granted);
+  auto before = LookupFrom(oid, world_.hosts[10]);
+  ASSERT_TRUE(before.ok()) << before.status();
+  ASSERT_EQ(before->addresses.size(), 1u);
+  EXPECT_EQ(before->addresses[0].endpoint.node, world_.hosts[0]);
+
+  // A crashes without deregistering; its lease lapses and B takes over. The
+  // grant must scrub A's now-stale leaf entry in the background (the Claim
+  // helper drains the simulator, which includes the fire-and-forget chain) —
+  // otherwise lookups keep routing clients to a dead master until A restarts.
+  simulator_.ScheduleAfter(6 * sim::kSecond, [] {});
+  simulator_.Run();
+  auto takeover = Claim(oid, b, /*known_epoch=*/1, world_.hosts[10]);
+  ASSERT_TRUE(takeover.ok()) << takeover.status();
+  ASSERT_TRUE(takeover->granted);
+
+  auto gone = LookupFrom(oid, world_.hosts[10]);
+  ASSERT_FALSE(gone.ok());
+  EXPECT_EQ(gone.status().code(), StatusCode::kNotFound);
+  const DirectorySubnode* root = Root();
+  ASSERT_NE(root, nullptr);
+  EXPECT_EQ(root->stats().stale_scrubs, 1u);
+
+  // Once the winner registers itself, lookups see exactly the new master —
+  // no lingering trace of the deposed one.
+  InsertAt(oid, world_.hosts[10]);
+  auto fresh = LookupFrom(oid, world_.hosts[3]);
+  ASSERT_TRUE(fresh.ok()) << fresh.status();
+  ASSERT_EQ(fresh->addresses.size(), 1u);
+  EXPECT_EQ(fresh->addresses[0].endpoint.node, world_.hosts[10]);
 }
 
 TEST_F(GlsOwnershipTest, VersionFloorBlocksStaleClaimants) {

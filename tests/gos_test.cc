@@ -317,6 +317,132 @@ TEST_F(GosTest, RpcCommandsWork) {
   EXPECT_EQ(gos_a_->num_replicas(), 0u);
 }
 
+TEST_F(GosTest, SwitchProtocolPreservesStateAndFencesEpoch) {
+  gls::ObjectId oid = CreateFirstSync(gos_a_.get(), dso::kProtoMasterSlave);
+  auto* master = gos_a_->FindReplica(oid);
+  ASSERT_TRUE(InvokeSync(master, KvPut("emacs", "20.7")).ok());
+  ASSERT_TRUE(InvokeSync(master, KvPut("vim", "5.6")).ok());
+  uint64_t version_before = master->version();
+  uint64_t epoch_before = master->epoch();
+  gls::ContactAddress old_address = *master->contact_address();
+
+  Status status = InvalidArgument("pending");
+  gos_a_->SwitchProtocol(oid, dso::kProtoCacheInval, [&](Status s) { status = s; });
+  simulator_.Run();
+  ASSERT_TRUE(status.ok()) << status;
+  EXPECT_EQ(gos_a_->ProtocolOf(oid), dso::kProtoCacheInval);
+  EXPECT_EQ(gos_a_->stats().protocol_switches, 1u);
+
+  // Same state and version, one epoch up: stragglers fenced on the old epoch
+  // cannot land on the new incarnation.
+  auto* fresh = gos_a_->FindReplica(oid);
+  ASSERT_NE(fresh, nullptr);
+  EXPECT_EQ(fresh->version(), version_before);
+  EXPECT_EQ(fresh->epoch(), epoch_before + 1);
+  auto read = InvokeSync(fresh, KvGet("emacs"));
+  ASSERT_TRUE(read.ok()) << read.status();
+  ByteReader r(*read);
+  EXPECT_EQ(r.ReadString().value(), "20.7");
+
+  // The GLS now advertises exactly the new incarnation's address.
+  auto client = deployment_.MakeClient(world_.hosts[7]);
+  std::vector<gls::ContactAddress> addresses;
+  client->Lookup(oid, [&](Result<gls::LookupResult> r2) {
+    ASSERT_TRUE(r2.ok()) << r2.status();
+    addresses = r2->addresses;
+  });
+  simulator_.Run();
+  ASSERT_EQ(addresses.size(), 1u);
+  EXPECT_EQ(addresses[0], *fresh->contact_address());
+  EXPECT_EQ(addresses[0].protocol, dso::kProtoCacheInval);
+  EXPECT_NE(addresses[0].endpoint, old_address.endpoint);
+}
+
+TEST_F(GosTest, SwitchProtocolTombstonesTheRetiredEndpoint) {
+  gls::ObjectId oid = CreateFirstSync(gos_a_.get(), dso::kProtoClientServer);
+  gls::ContactAddress old_address = *gos_a_->FindReplica(oid)->contact_address();
+
+  Status status = InvalidArgument("pending");
+  gos_a_->SwitchProtocol(oid, dso::kProtoMasterSlave, [&](Status s) { status = s; });
+  simulator_.Run();
+  ASSERT_TRUE(status.ok()) << status;
+  EXPECT_EQ(gos_a_->stats().tombstones, 1u);
+
+  // A client still bound to the retired endpoint fails immediately (and with
+  // a rebind-worthy error), instead of waiting out the 30 s call deadline.
+  sim::Channel stale(&transport_, world_.hosts[7]);
+  Status call_status = OkStatus();
+  stale.Call(old_address.endpoint, "dso.get_state", {},
+             [&](Result<sim::PayloadView> result) { call_status = result.status(); });
+  sim::SimTime before = simulator_.Now();
+  simulator_.Run();
+  EXPECT_EQ(call_status.code(), StatusCode::kFailedPrecondition) << call_status;
+  EXPECT_LT(simulator_.Now() - before, sim::kSecond);
+}
+
+TEST_F(GosTest, SwitchProtocolGuardsRolesAndNoOps) {
+  gls::ObjectId oid = CreateFirstSync(gos_a_.get(), dso::kProtoMasterSlave);
+  ASSERT_TRUE(CreateReplicaSync(gos_b_.get(), oid, gls::ReplicaRole::kSlave).ok());
+
+  // Same protocol: a no-op success, not a rebuild.
+  Status same = InvalidArgument("pending");
+  gos_a_->SwitchProtocol(oid, dso::kProtoMasterSlave, [&](Status s) { same = s; });
+  simulator_.Run();
+  EXPECT_TRUE(same.ok());
+  EXPECT_EQ(gos_a_->stats().protocol_switches, 0u);
+
+  // Only the master may switch.
+  Status at_slave = OkStatus();
+  gos_b_->SwitchProtocol(oid, dso::kProtoCacheInval, [&](Status s) { at_slave = s; });
+  simulator_.Run();
+  EXPECT_EQ(at_slave.code(), StatusCode::kFailedPrecondition);
+
+  // Unknown objects are reported as such.
+  Rng rng(11);
+  Status unknown = OkStatus();
+  gos_a_->SwitchProtocol(gls::ObjectId::Generate(&rng), dso::kProtoCacheInval,
+                         [&](Status s) { unknown = s; });
+  simulator_.Run();
+  EXPECT_EQ(unknown.code(), StatusCode::kNotFound);
+}
+
+TEST_F(GosTest, AccessTelemetryFollowsReplicasAcrossRestore) {
+  gls::ObjectId oid = CreateFirstSync(gos_a_.get(), dso::kProtoClientServer);
+  auto* replica = gos_a_->FindReplica(oid);
+  ASSERT_TRUE(InvokeSync(replica, KvPut("apache", "1.3.12")).ok());
+  ASSERT_TRUE(InvokeSync(replica, KvGet("apache")).ok());
+  ASSERT_TRUE(InvokeSync(replica, KvGet("apache")).ok());
+
+  const ctl::AccessStats* stats = gos_a_->metrics()->Find(oid);
+  ASSERT_NE(stats, nullptr);
+  EXPECT_EQ(stats->total_writes(), 1u);
+  EXPECT_EQ(stats->total_reads(), 2u);
+  EXPECT_GT(stats->MeanReadBytes(), 0.0);
+
+  // The telemetry rides the checkpoint: a restored server resumes with warm
+  // rate estimates instead of re-learning the object from zero.
+  Bytes checkpoint = gos_a_->Checkpoint();
+  network_.SetNodeUp(world_.hosts[0], false);
+  gos_a_.reset();
+  network_.SetNodeUp(world_.hosts[0], true);
+  gos_a_ = std::make_unique<ObjectServer>(&transport_, world_.hosts[0], &repository_,
+                                          deployment_.LeafDirectoryFor(world_.hosts[0]),
+                                          nullptr);
+  Status restore_status = InvalidArgument("pending");
+  gos_a_->Restore(checkpoint, [&](Status s) { restore_status = s; });
+  simulator_.Run();
+  ASSERT_TRUE(restore_status.ok()) << restore_status;
+
+  const ctl::AccessStats* restored = gos_a_->metrics()->Find(oid);
+  ASSERT_NE(restored, nullptr);
+  EXPECT_EQ(restored->total_writes(), 1u);
+  EXPECT_EQ(restored->total_reads(), 2u);
+
+  // And the hook is re-installed: new traffic keeps counting.
+  ASSERT_TRUE(InvokeSync(gos_a_->FindReplica(oid), KvGet("apache")).ok());
+  EXPECT_EQ(gos_a_->metrics()->Find(oid)->total_reads(), 3u);
+}
+
 TEST(GosAuthTest, OnlyModeratorsMayCommand) {
   sim::Simulator simulator;
   UniformWorld world = BuildUniformWorld({2, 2}, 2);
