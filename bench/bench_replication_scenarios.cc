@@ -417,13 +417,21 @@ class KvObject : public dso::SemanticsObject {
 
 struct FailoverResult {
   double time_to_master_ms = -1;  // -1: no new master was elected
+  double mean_write_ms = 0;       // mean client-visible write latency (acked)
   size_t acked_before_crash = 0;
   size_t writes_lost = 0;  // acked writes missing after fail-over (floor!)
   uint64_t claims = 0;     // claim attempts arbitrated at the GLS root
   bool post_failover_write_ok = false;
 };
 
-FailoverResult RunFailover(sim::SimTime lease_interval, sim::SimTime lease_timeout) {
+// `quorum`: run the group in quorum-acknowledged mode — the master acks the
+// client only once a majority of the current-epoch membership durably holds
+// the write. Lease-only mode acks from the master alone (faster writes, but
+// the documented loss window: a write acked between pushes can die with the
+// master). The fail-over table contrasts both modes at identical lease
+// timings.
+FailoverResult RunFailover(sim::SimTime lease_interval, sim::SimTime lease_timeout,
+                           bool quorum) {
   sim::Simulator simulator;
   sim::UniformWorld world = sim::BuildUniformWorld({2, 2}, 2);
   sim::NetworkOptions network_options;
@@ -440,6 +448,7 @@ FailoverResult RunFailover(sim::SimTime lease_interval, sim::SimTime lease_timeo
   gos_options.enable_failover = true;
   gos_options.failover_lease_interval = lease_interval;
   gos_options.failover_lease_timeout = lease_timeout;
+  gos_options.failover_quorum = quorum;
   gos::ObjectServer master_gos(&transport, world.hosts[0], &repository,
                                deployment.LeafDirectoryFor(world.hosts[0]), nullptr,
                                gos_options);
@@ -478,22 +487,31 @@ FailoverResult RunFailover(sim::SimTime lease_interval, sim::SimTime lease_timeo
   sim::Channel client(&transport, world.hosts[3]);
   FailoverResult result;
   std::vector<std::string> acked_keys;
+  double total_write_ms = 0;
   for (int i = 0; i < 20; ++i) {
     std::string key = Fmt("w%d", i);
     ByteWriter args;
     args.WriteString(key);
     args.WriteString("v");
     bool ok = false;
+    sim::SimTime started = simulator.Now();
+    sim::SimTime acked_at = started;
     dso::kDsoInvoke.Call(&client, master_address.endpoint,
                          dso::Invocation{"put", args.Take(), /*read_only=*/false},
-                         [&ok](Result<Bytes> r) { ok = r.ok(); },
+                         [&](Result<Bytes> r) {
+                           ok = r.ok();
+                           acked_at = simulator.Now();
+                         },
                          sim::WriteCallOptions());
     run_for(2 * sim::kSecond);
     if (ok) {
       acked_keys.push_back(key);
+      total_write_ms += sim::ToMillis(acked_at - started);
     }
   }
   result.acked_before_crash = acked_keys.size();
+  result.mean_write_ms =
+      acked_keys.empty() ? 0 : total_write_ms / static_cast<double>(acked_keys.size());
 
   // Crash; wait out detection + election.
   sim::SimTime crash_at = simulator.Now();
@@ -583,24 +601,32 @@ int main() {
   bench::Note("after 20 acked writes; the slave detects missed lease renewals and");
   bench::Note("races gls.claim_master. 'writes lost' counts acked writes missing");
   bench::Note("after the election - the acked-write floor requires it to stay 0.");
-  bench::Table failover({"lease int/timeout", "time to new master", "acked writes",
-                         "writes lost", "claims", "serves writes"},
+  bench::Note("'lease-only' acks from the master alone; 'quorum-ack' waits for a");
+  bench::Note("majority of the membership to hold the write before acking, paying");
+  bench::Note("one extra round-trip per write to close the loss window.");
+  bench::Table failover({"mode", "lease int/timeout", "mean write",
+                         "time to new master", "acked writes", "writes lost",
+                         "claims", "serves writes"},
                         /*column_width=*/19);
   struct TimingRow {
     sim::SimTime interval;
     sim::SimTime timeout;
   };
-  for (const TimingRow& timing :
-       {TimingRow{1 * sim::kSecond, 3 * sim::kSecond},
-        TimingRow{2 * sim::kSecond, 5 * sim::kSecond},
-        TimingRow{4 * sim::kSecond, 10 * sim::kSecond}}) {
-    FailoverResult r = RunFailover(timing.interval, timing.timeout);
-    failover.Row({Fmt("%.0fs/%.0fs", sim::ToSeconds(timing.interval),
-                      sim::ToSeconds(timing.timeout)),
-                  r.time_to_master_ms < 0 ? "never" : Fmt("%.0f ms", r.time_to_master_ms),
-                  Fmt("%zu", r.acked_before_crash), Fmt("%zu", r.writes_lost),
-                  Fmt("%llu", static_cast<unsigned long long>(r.claims)),
-                  r.post_failover_write_ok ? "yes" : "NO"});
+  for (bool quorum : {false, true}) {
+    for (const TimingRow& timing :
+         {TimingRow{1 * sim::kSecond, 3 * sim::kSecond},
+          TimingRow{2 * sim::kSecond, 5 * sim::kSecond},
+          TimingRow{4 * sim::kSecond, 10 * sim::kSecond}}) {
+      FailoverResult r = RunFailover(timing.interval, timing.timeout, quorum);
+      failover.Row({quorum ? "quorum-ack" : "lease-only",
+                    Fmt("%.0fs/%.0fs", sim::ToSeconds(timing.interval),
+                        sim::ToSeconds(timing.timeout)),
+                    Fmt("%.1f ms", r.mean_write_ms),
+                    r.time_to_master_ms < 0 ? "never" : Fmt("%.0f ms", r.time_to_master_ms),
+                    Fmt("%zu", r.acked_before_crash), Fmt("%zu", r.writes_lost),
+                    Fmt("%llu", static_cast<unsigned long long>(r.claims)),
+                    r.post_failover_write_ok ? "yes" : "NO"});
+    }
   }
   return 0;
 }

@@ -42,6 +42,7 @@ GUARDED_COLUMNS = {
     # migration — a flapping controller shows up as thrash here.
     "BENCH_replication_scenarios.json": [
         "time to new master",
+        "mean write",
         "writes lost",
         "mean read",
         "read wan",
@@ -98,12 +99,18 @@ def compare_file(name, baseline, current, threshold):
             if any(g in header.lower() for g in guards)
             and not any(marker in header.lower() for marker in EXCLUDED_COLUMN_MARKERS)
         ]
-        cur_rows = {row[0]: row for row in cur_table.get("rows", []) if row}
+        # Rows are identified by their label cells: everything before the first
+        # guarded (data) column. Tables with several label columns — e.g. the
+        # fail-over table's (mode, lease timings) — stay unambiguous this way.
+        label_len = max(1, min(guarded)) if guarded else 1
+        cur_rows = {
+            tuple(row[:label_len]): row for row in cur_table.get("rows", []) if row
+        }
         for base_row in base_table.get("rows", []):
             if not base_row:
                 continue
-            label = base_row[0]
-            cur_row = cur_rows.get(label)
+            label = " / ".join(base_row[:label_len])
+            cur_row = cur_rows.get(tuple(base_row[:label_len]))
             if cur_row is None:
                 problems.append(f"{name}: row '{label}' missing from current run")
                 continue

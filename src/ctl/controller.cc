@@ -82,6 +82,12 @@ double ReplicationController::EstimateCost(gls::ProtocolId protocol,
   auto home_it = shares.find(home_region);
   double home_share = home_it == shares.end() ? 0.0 : home_it->second;
   double secondaries = num_regions > 0 ? static_cast<double>(num_regions - 1) : 0.0;
+  // Replicated policies maintain a group (lease renewals, membership upkeep)
+  // even when the region selector found no secondary region worth a replica:
+  // charge at least one secondary's standing cost so K = 1 never scores 0 and
+  // ties central on enumeration order.
+  double maintenance =
+      config_.replica_maintenance_bytes_per_sec * std::max(secondaries, 1.0);
 
   switch (protocol) {
     case dso::kProtoClientServer:
@@ -95,10 +101,10 @@ double ReplicationController::EstimateCost(gls::ProtocolId protocol,
     case dso::kProtoMasterSlave:
       // Reads local everywhere; each write pushes full state to each
       // secondary region.
-      return write_rate * state_bytes * secondaries;
+      return write_rate * state_bytes * secondaries + maintenance;
     case dso::kProtoActiveRepl:
       // Reads local; writes broadcast the invocation (args, not state).
-      return write_rate * write_bytes * secondaries;
+      return write_rate * write_bytes * secondaries + maintenance;
     case dso::kProtoCacheInval: {
       // Each write sends a tiny invalidation per secondary; a secondary
       // region then refetches state on its next read — at most once per
@@ -110,7 +116,8 @@ double ReplicationController::EstimateCost(gls::ProtocolId protocol,
         }
         refetch += std::min(share * read_rate, write_rate) * state_bytes;
       }
-      return refetch + write_rate * config_.invalidation_bytes * secondaries;
+      return refetch + write_rate * config_.invalidation_bytes * secondaries +
+             maintenance;
     }
     default:
       return std::numeric_limits<double>::infinity();

@@ -22,7 +22,10 @@
 // with R/W the decayed read/write rates, Sr/Sw the mean read/write payloads,
 // S the state-size estimate, K the number of replica regions, share_home the
 // fraction of reads from the master's region. The model intentionally uses
-// only quantities the telemetry layer actually measures.
+// only quantities the telemetry layer actually measures. Every replicated
+// policy additionally pays a standing maintenance term M·max(K-1, 1) (lease
+// renewals, membership upkeep), so even with no secondary region worth a
+// replica it never scores a flat 0 and ties central.
 //
 // Safety knobs, because a live migration is not free:
 //   - hysteresis: the winner must beat the incumbent's cost by a margin
@@ -68,6 +71,13 @@ struct ControllerConfig {
   size_t max_replica_regions = 8;
   // Bytes assumed per invalidation message in the cache/invalidate model.
   double invalidation_bytes = 64.0;
+  // Standing per-secondary cost (lease renewals, membership upkeep) charged to
+  // every replicated policy, with at least one secondary assumed: a replicated
+  // policy maintains a group even when the region selector finds no secondary
+  // region worth a replica (K = 1). Without this floor every replicated policy
+  // scores a flat 0 in the degenerate K = 1 case and ties central — and which
+  // policy wins the tie depends on candidate enumeration order.
+  double replica_maintenance_bytes_per_sec = 16.0;
 };
 
 // What the controller decided an object's policy should be.

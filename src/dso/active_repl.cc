@@ -1,5 +1,6 @@
 #include "src/dso/active_repl.h"
 
+#include <limits>
 #include <memory>
 
 #include "src/util/log.h"
@@ -11,12 +12,17 @@ namespace {
 struct ApplyMessage {
   uint64_t version = 0;
   uint64_t epoch = 0;
+  // Commit floor at send time (see VersionedState::committed): members execute
+  // buffered writes only up to the floor; this write itself executes when a
+  // later message's floor reaches it.
+  uint64_t committed = 0;
   Invocation invocation;
 
   Bytes Serialize() const {
     ByteWriter w;
     w.WriteU64(version);
     w.WriteU64(epoch);
+    w.WriteU64(committed);
     w.WriteLengthPrefixed(invocation.Serialize());
     return w.Take();
   }
@@ -25,6 +31,7 @@ struct ApplyMessage {
     ApplyMessage msg;
     ASSIGN_OR_RETURN(msg.version, r.ReadU64());
     ASSIGN_OR_RETURN(msg.epoch, r.ReadU64());
+    ASSIGN_OR_RETURN(msg.committed, r.ReadU64());
     // Decode the nested invocation straight out of the outer frame; only the
     // Invocation's own fields copy (it owns them past the parse).
     ASSIGN_OR_RETURN(ByteSpan inv, r.ReadLengthPrefixedView());
@@ -55,8 +62,15 @@ ActiveReplMember::ActiveReplMember(sim::Transport* transport, sim::NodeId host,
                                                     : GroupRole::kSlave) {
   failover.protocol = kProtoActiveRepl;
   ReplicaGroup::Callbacks callbacks;
-  callbacks.on_won_mastership = [this] {
+  callbacks.on_won_mastership = [this](uint64_t committed_floor) {
     sequencer_ = sim::Endpoint{};
+    if (group_.quorum_enabled()) {
+      // Execute the buffered suffix the acked-write floor covers, then drop
+      // the rest: anything above the floor was refused at its sequencer and
+      // must not resurrect through this election.
+      group_.RecordCommit(committed_floor);
+      DrainPending();
+    }
     pending_.clear();  // our state is now the authoritative prefix
   };
   callbacks.on_adopted_master = [this](sim::Endpoint new_sequencer, uint64_t) {
@@ -64,6 +78,7 @@ ActiveReplMember::ActiveReplMember(sim::Transport* transport, sim::NodeId host,
     RegisterWithSequencer([](Status) {});
   };
   callbacks.version = [this] { return version_; };
+  callbacks.durable_version = [this] { return DurableVersion(); };
   group_.EnableFailover(std::move(failover), std::move(callbacks));
 
   comm_.RegisterAsync(kDsoInvoke, [this](const sim::RpcContext& ctx,
@@ -83,7 +98,7 @@ ActiveReplMember::ActiveReplMember(sim::Transport* transport, sim::NodeId host,
   comm_.Register(kDsoGetState,
                  [this](const sim::RpcContext&,
                         const sim::EmptyMessage&) -> Result<VersionedState> {
-                   return VersionedState{version_, group_.epoch(),
+                   return VersionedState{version_, group_.epoch(), version_,
                                          semantics_->GetState()};
                  });
   comm_.Register(kDsoMasterEndpoint,
@@ -99,10 +114,18 @@ ActiveReplMember::ActiveReplMember(sim::Transport* transport, sim::NodeId host,
                      RETURN_IF_ERROR(write_guard_(ctx));
                    }
                    PushAck ack = group_.FenceIncoming(lease.epoch);
-                   if (ack.accepted != 0 && !is_sequencer() &&
-                       lease.master != sequencer_) {
-                     sequencer_ = lease.master;
+                   if (ack.accepted != 0 && !is_sequencer()) {
+                     if (lease.master != sequencer_) {
+                       sequencer_ = lease.master;
+                     }
+                     // The lease carries the commit floor: execute buffered
+                     // writes it has reached; a floor past our contiguous
+                     // suffix exposes a hole only a snapshot can fill.
+                     group_.RecordCommit(lease.committed);
+                     DrainPending();
+                     MaybeResync();
                    }
+                   ack.durable_version = DurableVersion();
                    return ack;
                  });
 
@@ -115,12 +138,23 @@ ActiveReplMember::ActiveReplMember(sim::Transport* transport, sim::NodeId host,
                      return FailedPrecondition("not the sequencer");
                    }
                    group_.AddMember(request.endpoint);
-                   return VersionedState{version_, group_.epoch(),
+                   if (write_in_flight_) {
+                     // Mid-quorum-round: hand out the rollback point, never
+                     // state that may yet be rolled back and refused.
+                     return VersionedState{pre_write_version_, group_.epoch(),
+                                           pre_write_version_, pre_write_state_};
+                   }
+                   return VersionedState{version_, group_.epoch(), version_,
                                          semantics_->GetState()};
                  });
   comm_.RegisterAsync(kArOrder, [this](const sim::RpcContext& ctx,
                                        Invocation invocation,
                                        std::function<void(Result<Bytes>)> respond) {
+    if (group_.retired()) {
+      group_.CountRetiredRefusal();
+      respond(FailedPrecondition("replica retired (object migrated); rebind"));
+      return;
+    }
     if (!is_sequencer()) {
       respond(FailedPrecondition("not the sequencer"));
       return;
@@ -149,7 +183,9 @@ ActiveReplMember::ActiveReplMember(sim::Transport* transport, sim::NodeId host,
                    if (is_sequencer()) {
                      return PushAck{0, group_.epoch()};
                    }
+                   group_.RecordCommit(msg.committed);
                    RETURN_IF_ERROR(ApplyOrdered(msg.version, msg.invocation));
+                   ack.durable_version = DurableVersion();
                    return ack;
                  });
 }
@@ -183,6 +219,7 @@ void ActiveReplMember::RegisterWithSequencer(std::function<void(Status)> done) {
                if (s.ok()) {
                  version_ = result->version;
                  pending_.clear();  // buffered applies predate this snapshot
+                 group_.RecordCommit(result->committed);
                  if (result->epoch > group_.epoch()) {
                    group_.set_epoch(result->epoch);
                  }
@@ -199,6 +236,11 @@ void ActiveReplMember::Invoke(const Invocation& invocation, InvokeCallback done)
 
 void ActiveReplMember::InvokeFrom(const Invocation& invocation, sim::NodeId client,
                                   InvokeCallback done) {
+  if (group_.retired()) {
+    group_.CountRetiredRefusal();
+    done(FailedPrecondition("replica retired (object migrated); rebind"));
+    return;
+  }
   if (invocation.read_only) {
     Result<Bytes> result = semantics_->Invoke(invocation);
     if (access_hook_ && result.ok()) {
@@ -208,6 +250,11 @@ void ActiveReplMember::InvokeFrom(const Invocation& invocation, sim::NodeId clie
     return;
   }
   if (is_sequencer()) {
+    if (group_.quorum_enabled()) {
+      write_queue_.push_back(QueuedWrite{invocation, client, std::move(done)});
+      PumpQuorumOrders();
+      return;
+    }
     OrderWrite(invocation, client, std::move(done));
     return;
   }
@@ -232,11 +279,12 @@ void ActiveReplMember::OrderWrite(const Invocation& invocation, sim::NodeId clie
   // version-guarded, so duplicates are no-ops), drops unreachable members (they
   // re-register for a snapshot), and a fenced apply — a member on a newer
   // epoch — fails the write unacknowledged: we were deposed.
-  ApplyMessage broadcast{version_, group_.epoch(), invocation};
+  ApplyMessage broadcast{version_, group_.epoch(), version_, invocation};
   auto shared_done = std::make_shared<InvokeCallback>(std::move(done));
   auto shared_result = std::make_shared<Result<Bytes>>(std::move(result));
   bool strict = group_.failover_enabled();
   group_.FanOut(kArApply, broadcast, 5 * sim::kSecond, /*drop_unreachable=*/true,
+                /*commit_point=*/0,
                 [shared_done, shared_result, strict](const FanOutResult& fan) {
                   if (fan.fenced) {
                     (*shared_done)(FailedPrecondition(
@@ -262,9 +310,22 @@ Status ActiveReplMember::ApplyOrdered(uint64_t write_version,
   if (write_version <= version_) {
     return OkStatus();  // duplicate
   }
+  // Overwrite is unconditional: after a rollback at the sequencer the version
+  // slot is reused, and the superseding invocation must replace the refused
+  // one a previous broadcast left buffered here.
   pending_[write_version] = invocation;
-  // Apply every consecutively-numbered buffered write.
-  while (true) {
+  Status s = DrainPending();
+  MaybeResync();
+  return s;
+}
+
+Status ActiveReplMember::DrainPending() {
+  // Quorum mode executes only up to the commit floor; without quorum writes
+  // execute as soon as they are consecutive (the floor is not a gate).
+  uint64_t limit = group_.quorum_enabled()
+                       ? group_.committed_version()
+                       : std::numeric_limits<uint64_t>::max();
+  while (version_ < limit) {
     auto it = pending_.find(version_ + 1);
     if (it == pending_.end()) {
       break;
@@ -279,6 +340,126 @@ Status ActiveReplMember::ApplyOrdered(uint64_t write_version,
     pending_.erase(it);
   }
   return OkStatus();
+}
+
+void ActiveReplMember::MaybeResync() {
+  if (!group_.quorum_enabled() || resync_in_flight_ || is_sequencer() ||
+      sequencer_.node == sim::kNoNode) {
+    return;
+  }
+  if (group_.committed_version() <= DurableVersion()) {
+    return;
+  }
+  // The commit floor moved past a write we never received (we were unreachable
+  // for one broadcast): no later broadcast can fill the hole, only a snapshot.
+  resync_in_flight_ = true;
+  RegisterWithSequencer([this](Status) { resync_in_flight_ = false; });
+}
+
+void ActiveReplMember::PumpQuorumOrders() {
+  if (write_in_flight_ || write_queue_.empty()) {
+    return;
+  }
+  if (!is_sequencer()) {
+    // Deposed while writes were queued: forward them to the winner.
+    while (!write_queue_.empty()) {
+      QueuedWrite w = std::move(write_queue_.front());
+      write_queue_.pop_front();
+      comm_.Call(kArOrder, sequencer_, w.invocation,
+                 [done = std::move(w.done)](Result<Bytes> result) {
+                   done(std::move(result));
+                 },
+                 WriteCallOptions());
+    }
+    return;
+  }
+  if (!group_.QuorumPossible()) {
+    QueuedWrite w = std::move(write_queue_.front());
+    write_queue_.pop_front();
+    group_.CountQuorumRefusal();
+    w.done(FailedPrecondition(
+        "write refused: quorum unreachable (" +
+        std::to_string(1 + group_.num_members()) + " of " +
+        std::to_string(group_.group_strength()) + " replicas reachable, need " +
+        std::to_string(group_.quorum_size()) + "); nothing was applied"));
+    PumpQuorumOrders();
+    return;
+  }
+
+  write_in_flight_ = true;
+  QueuedWrite w = std::move(write_queue_.front());
+  write_queue_.pop_front();
+  pre_write_state_ = semantics_->GetState();
+  pre_write_version_ = version_;
+  Result<Bytes> result = semantics_->Invoke(w.invocation);
+  if (!result.ok()) {
+    write_in_flight_ = false;
+    w.done(std::move(result));
+    PumpQuorumOrders();
+    return;
+  }
+  ++version_;
+  if (access_hook_) {
+    access_hook_(AccessSample{true, w.invocation.args.size(), w.client});
+  }
+
+  uint64_t commit_point = version_;
+  // Stamp the CURRENT floor: members buffer this write and execute it once the
+  // floor — published below before the ack — reaches it.
+  ApplyMessage broadcast{commit_point, group_.epoch(),
+                         group_.committed_version(), w.invocation};
+  auto shared_done = std::make_shared<InvokeCallback>(std::move(w.done));
+  auto shared_result = std::make_shared<Result<Bytes>>(std::move(result));
+  group_.FanOut(
+      kArApply, broadcast, 5 * sim::kSecond, /*drop_unreachable=*/true,
+      commit_point,
+      [this, shared_done, shared_result, commit_point](const FanOutResult& fan) {
+        auto refuse = [&](const std::string& why) {
+          RollbackWrite();
+          group_.CountQuorumRefusal();
+          write_in_flight_ = false;
+          (*shared_done)(FailedPrecondition(why));
+          PumpQuorumOrders();
+        };
+        if (fan.fenced) {
+          refuse("no longer the sequencer: deposed by epoch " +
+                 std::to_string(fan.fence_epoch) + "; write rolled back");
+          return;
+        }
+        size_t votes = 1 + fan.acks;
+        if (votes < group_.quorum_size()) {
+          refuse("write under-replicated (" + std::to_string(votes) + " of " +
+                 std::to_string(group_.group_strength()) +
+                 " replicas hold it, need " +
+                 std::to_string(group_.quorum_size()) + "); rolled back");
+          return;
+        }
+        group_.PublishCommitFloor(
+            commit_point, [this, shared_done, shared_result](Status s) {
+              if (!s.ok()) {
+                RollbackWrite();
+                group_.CountQuorumRefusal();
+                write_in_flight_ = false;
+                (*shared_done)(FailedPrecondition(
+                    "write held by a quorum but the commit floor could not be "
+                    "published; rolled back: " +
+                    s.message()));
+                PumpQuorumOrders();
+                return;
+              }
+              group_.CountQuorumCommit();
+              write_in_flight_ = false;
+              (*shared_done)(std::move(*shared_result));
+              PumpQuorumOrders();
+            });
+      });
+}
+
+void ActiveReplMember::RollbackWrite() {
+  if (Status s = semantics_->SetState(pre_write_state_); !s.ok()) {
+    GLOG_ERROR << "quorum rollback failed to restore state: " << s;
+  }
+  version_ = pre_write_version_;
 }
 
 }  // namespace globe::dso

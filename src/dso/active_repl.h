@@ -21,6 +21,7 @@
 #ifndef SRC_DSO_ACTIVE_REPL_H_
 #define SRC_DSO_ACTIVE_REPL_H_
 
+#include <deque>
 #include <map>
 #include <memory>
 #include <vector>
@@ -61,6 +62,14 @@ class ActiveReplMember : public ReplicationObject {
   void set_access_hook(AccessHook hook) override { access_hook_ = std::move(hook); }
 
  private:
+  // A write waiting for the single in-flight quorum ordering round (quorum
+  // mode serializes writes at the sequencer; see master_slave.h).
+  struct QueuedWrite {
+    Invocation invocation;
+    sim::NodeId client;
+    InvokeCallback done;
+  };
+
   // Reads are recorded at the serving member; writes once, at the sequencer
   // that orders them (broadcast applies at other members are not accesses).
   void InvokeFrom(const Invocation& invocation, sim::NodeId client,
@@ -70,8 +79,31 @@ class ActiveReplMember : public ReplicationObject {
   // (a member moved to a newer epoch) fails the write unacknowledged.
   void OrderWrite(const Invocation& invocation, sim::NodeId client,
                   InvokeCallback done);
-  // Member side: applies broadcast writes strictly in version order.
+  // Quorum ordering pump: one write in flight, refused up front without a
+  // reachable quorum, rolled back (state and version slot) unless a majority
+  // durably holds it and the commit floor was published before the ack.
+  void PumpQuorumOrders();
+  void RollbackWrite();
+  // Member side: applies broadcast writes strictly in version order. In quorum
+  // mode a write executes only once the commit floor reaches it; above the
+  // floor it stays buffered in pending_ — held durably, reported in
+  // DurableVersion, executed when a later apply or lease raises the floor.
   Status ApplyOrdered(uint64_t write_version, const Invocation& invocation);
+  // Executes every buffered consecutive write the commit floor has reached;
+  // returns the first apply error (the write stays buffered for retry).
+  Status DrainPending();
+  // Applied version plus the contiguous buffered suffix (a member with a hole
+  // cannot count anything past it — it could not materialize those if elected).
+  uint64_t DurableVersion() const {
+    uint64_t durable = version_;
+    while (pending_.find(durable + 1) != pending_.end()) {
+      ++durable;
+    }
+    return durable;
+  }
+  // A member that learns a commit floor past its contiguous suffix has a hole
+  // it can never fill from broadcasts alone: resync from the sequencer.
+  void MaybeResync();
   // Registration handshake: join at the sequencer, adopt snapshot and epoch.
   void RegisterWithSequencer(std::function<void(Status)> done);
 
@@ -83,6 +115,13 @@ class ActiveReplMember : public ReplicationObject {
   std::map<uint64_t, Invocation> pending_;  // out-of-order buffer (members)
   uint64_t version_ = 0;
   AccessHook access_hook_;
+  std::deque<QueuedWrite> write_queue_;  // sequencer side, quorum mode
+  bool write_in_flight_ = false;
+  bool resync_in_flight_ = false;
+  // Rollback point of the in-flight quorum write; also what registration
+  // snapshots hand out mid-write.
+  Bytes pre_write_state_;
+  uint64_t pre_write_version_ = 0;
 };
 
 }  // namespace globe::dso

@@ -40,7 +40,7 @@ CacheInvalMaster::CacheInvalMaster(sim::Transport* transport, sim::NodeId host,
   comm_.Register(kDsoGetState,
                  [this](const sim::RpcContext&,
                         const sim::EmptyMessage&) -> Result<VersionedState> {
-                   return VersionedState{version_, group_.epoch(),
+                   return VersionedState{version_, group_.epoch(), version_,
                                          semantics_->GetState()};
                  });
   comm_.Register(kDsoMasterEndpoint,
@@ -64,7 +64,7 @@ CacheInvalMaster::CacheInvalMaster(sim::Transport* transport, sim::NodeId host,
                  [this](const sim::RpcContext&,
                         const sim::EmptyMessage&) -> Result<VersionedState> {
                    ++fetches_served_;
-                   return VersionedState{version_, group_.epoch(),
+                   return VersionedState{version_, group_.epoch(), version_,
                                          semantics_->GetState()};
                  });
 }
@@ -75,6 +75,11 @@ void CacheInvalMaster::Invoke(const Invocation& invocation, InvokeCallback done)
 
 void CacheInvalMaster::InvokeFrom(const Invocation& invocation, sim::NodeId client,
                                   InvokeCallback done) {
+  if (group_.retired()) {
+    group_.CountRetiredRefusal();
+    done(FailedPrecondition("replica retired (object migrated); rebind"));
+    return;
+  }
   if (invocation.read_only) {
     Result<Bytes> result = semantics_->Invoke(invocation);
     if (access_hook_ && result.ok()) {
@@ -108,7 +113,7 @@ void CacheInvalMaster::ExecuteWrite(const Invocation& invocation, sim::NodeId cl
   auto shared_done = std::make_shared<InvokeCallback>(std::move(done));
   auto shared_result = std::make_shared<Result<Bytes>>(std::move(result));
   group_.FanOut(kCiInvalidate, invalidation, 5 * sim::kSecond,
-                /*drop_unreachable=*/false,
+                /*drop_unreachable=*/false, /*commit_point=*/0,
                 [shared_done, shared_result](const FanOutResult&) {
                   (*shared_done)(std::move(*shared_result));
                 });
@@ -139,7 +144,7 @@ CacheInvalCache::CacheInvalCache(sim::Transport* transport, sim::NodeId host,
   comm_.Register(kDsoGetState,
                  [this](const sim::RpcContext&,
                         const sim::EmptyMessage&) -> Result<VersionedState> {
-                   return VersionedState{version_, group_.epoch(),
+                   return VersionedState{version_, group_.epoch(), version_,
                                          semantics_->GetState()};
                  });
   comm_.Register(kDsoMasterEndpoint,
@@ -215,6 +220,11 @@ void CacheInvalCache::Invoke(const Invocation& invocation, InvokeCallback done) 
 
 void CacheInvalCache::InvokeFrom(const Invocation& invocation, sim::NodeId client,
                                  InvokeCallback done) {
+  if (group_.retired()) {
+    group_.CountRetiredRefusal();
+    done(FailedPrecondition("replica retired (object migrated); rebind"));
+    return;
+  }
   if (invocation.read_only) {
     WithValidState([this, invocation, client, done = std::move(done)](Status s) {
       if (!s.ok()) {

@@ -12,6 +12,11 @@ ClientServerServer::ClientServerServer(sim::Transport* transport, sim::NodeId ho
   comm_.Register(kDsoInvoke,
                  [this](const sim::RpcContext& ctx,
                         const Invocation& invocation) -> Result<Bytes> {
+                   if (group_.retired()) {
+                     group_.CountRetiredRefusal();
+                     return FailedPrecondition(
+                         "replica retired (object migrated); rebind");
+                   }
                    if (!invocation.read_only && write_guard_) {
                      RETURN_IF_ERROR(write_guard_(ctx));
                    }
@@ -20,7 +25,7 @@ ClientServerServer::ClientServerServer(sim::Transport* transport, sim::NodeId ho
   comm_.Register(kDsoGetState,
                  [this](const sim::RpcContext&,
                         const sim::EmptyMessage&) -> Result<VersionedState> {
-                   return VersionedState{version_, group_.epoch(),
+                   return VersionedState{version_, group_.epoch(), version_,
                                          semantics_->GetState()};
                  });
   comm_.Register(kDsoMasterEndpoint,

@@ -30,10 +30,15 @@ MasterSlaveReplica::MasterSlaveReplica(sim::Transport* transport, sim::NodeId ho
       group_(&comm_, role) {
   failover.protocol = kProtoMasterSlave;
   ReplicaGroup::Callbacks callbacks;
-  callbacks.on_won_mastership = [this] {
+  callbacks.on_won_mastership = [this](uint64_t committed_floor) {
     // The member list starts empty: surviving slaves join as their own lease
     // watches fire and their claims lose to ours.
     master_ = sim::Endpoint{};
+    // The grant names the acked-write floor: execute the staged suffix up to
+    // exactly there, discard anything above it (those writes were refused at
+    // their master and must not resurrect through an election).
+    ApplyStagedUpTo(committed_floor);
+    staged_ = Staged{};
   };
   callbacks.on_adopted_master = [this](sim::Endpoint new_master, uint64_t) {
     master_ = new_master;
@@ -43,6 +48,7 @@ MasterSlaveReplica::MasterSlaveReplica(sim::Transport* transport, sim::NodeId ho
     RegisterWithMaster([](Status) {});
   };
   callbacks.version = [this] { return version_; };
+  callbacks.durable_version = [this] { return DurableVersion(); };
   group_.EnableFailover(std::move(failover), std::move(callbacks));
 
   comm_.RegisterAsync(kDsoInvoke, [this](const sim::RpcContext& ctx,
@@ -62,7 +68,7 @@ MasterSlaveReplica::MasterSlaveReplica(sim::Transport* transport, sim::NodeId ho
   comm_.Register(kDsoGetState,
                  [this](const sim::RpcContext&,
                         const sim::EmptyMessage&) -> Result<VersionedState> {
-                   return VersionedState{version_, group_.epoch(),
+                   return VersionedState{version_, group_.epoch(), version_,
                                          semantics_->GetState()};
                  });
   comm_.Register(kDsoMasterEndpoint,
@@ -78,12 +84,20 @@ MasterSlaveReplica::MasterSlaveReplica(sim::Transport* transport, sim::NodeId ho
                      RETURN_IF_ERROR(write_guard_(ctx));
                    }
                    PushAck ack = group_.FenceIncoming(lease.epoch);
-                   if (ack.accepted != 0 && !group_.is_master() &&
-                       lease.master != master_) {
-                     // A newer master introduced itself before our watch fired
-                     // (we are in its member list, or we would not get leases).
-                     master_ = lease.master;
+                   if (ack.accepted != 0 && !group_.is_master()) {
+                     if (lease.master != master_) {
+                       // A newer master introduced itself before our watch
+                       // fired (we are in its member list, or we would not get
+                       // leases).
+                       master_ = lease.master;
+                     }
+                     // The lease piggybacks the commit floor: execute staged
+                     // writes the floor has reached, so slave staleness under
+                     // quorum mode is bounded by one lease interval.
+                     group_.RecordCommit(lease.committed);
+                     ApplyStagedUpTo(lease.committed);
                    }
+                   ack.durable_version = DurableVersion();
                    return ack;
                  });
   comm_.Register(kMsRegisterSlave,
@@ -93,7 +107,13 @@ MasterSlaveReplica::MasterSlaveReplica(sim::Transport* transport, sim::NodeId ho
                      return FailedPrecondition("not the master");
                    }
                    group_.AddMember(request.endpoint);
-                   return VersionedState{version_, group_.epoch(),
+                   if (write_in_flight_) {
+                     // Mid-quorum-round: hand out the rollback point, never
+                     // state that may yet be rolled back and refused.
+                     return VersionedState{pre_write_version_, group_.epoch(),
+                                           pre_write_version_, pre_write_state_};
+                   }
+                   return VersionedState{version_, group_.epoch(), version_,
                                          semantics_->GetState()};
                  });
   comm_.Register(kMsUnregisterSlave,
@@ -118,10 +138,24 @@ MasterSlaveReplica::MasterSlaveReplica(sim::Transport* transport, sim::NodeId ho
           // let a peer overwrite the authoritative copy.
           return PushAck{0, group_.epoch()};
         }
-        if (push.version > version_) {  // else: stale or duplicate push
-          RETURN_IF_ERROR(semantics_->SetState(push.state));
-          version_ = push.version;
+        // The push carries the commit floor: settle anything it has reached.
+        group_.RecordCommit(push.committed);
+        ApplyStagedUpTo(push.committed);
+        if (push.version <= push.committed) {
+          // Committed (non-quorum masters stamp committed == version): apply
+          // directly, exactly the original eager-push behaviour.
+          if (push.version > version_) {  // else: stale or duplicate push
+            RETURN_IF_ERROR(semantics_->SetState(push.state));
+            version_ = push.version;
+          }
+        } else if (push.version > version_) {
+          // Above the floor: hold it durably without executing — it commits
+          // when a later push or lease raises the floor past it. Overwrite is
+          // unconditional: a re-pushed version slot (after a rollback at the
+          // master) carries the write that superseded the rolled-back one.
+          staged_ = Staged{push.version, push.epoch, push.state};
         }
+        ack.durable_version = DurableVersion();
         return ack;
       });
 }
@@ -152,6 +186,10 @@ void MasterSlaveReplica::RegisterWithMaster(std::function<void(Status)> done) {
                Status s = semantics_->SetState(result->state);
                if (s.ok()) {
                  version_ = result->version;
+                 // The snapshot supersedes anything held from a previous
+                 // membership — including a staged write that was refused.
+                 staged_ = Staged{};
+                 group_.RecordCommit(result->committed);
                  if (result->epoch > group_.epoch()) {
                    group_.set_epoch(result->epoch);
                  }
@@ -181,6 +219,13 @@ void MasterSlaveReplica::Invoke(const Invocation& invocation, InvokeCallback don
 
 void MasterSlaveReplica::InvokeFrom(const Invocation& invocation, sim::NodeId client,
                                     InvokeCallback done) {
+  if (group_.retired()) {
+    // The object migrated away from this binding: refusing reads too is the
+    // point — a retired slave must never serve dead state silently.
+    group_.CountRetiredRefusal();
+    done(FailedPrecondition("replica retired (object migrated); rebind"));
+    return;
+  }
   if (invocation.read_only) {
     Result<Bytes> result = semantics_->Invoke(invocation);
     if (access_hook_ && result.ok()) {
@@ -190,6 +235,11 @@ void MasterSlaveReplica::InvokeFrom(const Invocation& invocation, sim::NodeId cl
     return;
   }
   if (group_.is_master()) {
+    if (group_.quorum_enabled()) {
+      write_queue_.push_back(QueuedWrite{invocation, client, std::move(done)});
+      PumpQuorumWrites();
+      return;
+    }
     ExecuteWrite(invocation, client, std::move(done));
     return;
   }
@@ -217,11 +267,12 @@ void MasterSlaveReplica::ExecuteWrite(const Invocation& invocation,
   // master; with fail-over on it is dropped from the set and rejoins through
   // its own lease watch). A slave refusing under a newer epoch means WE were
   // deposed, so the write must not be acknowledged.
-  VersionedState push{version_, group_.epoch(), semantics_->GetState()};
+  VersionedState push{version_, group_.epoch(), version_, semantics_->GetState()};
   auto shared_done = std::make_shared<InvokeCallback>(std::move(done));
   auto shared_result = std::make_shared<Result<Bytes>>(std::move(result));
   bool strict = group_.failover_enabled();
   group_.FanOut(kMsStatePush, push, 5 * sim::kSecond, /*drop_unreachable=*/true,
+                /*commit_point=*/0,
                 [shared_done, shared_result, strict](const FanOutResult& fan) {
                   if (fan.fenced) {
                     (*shared_done)(FailedPrecondition(
@@ -246,6 +297,143 @@ void MasterSlaveReplica::ExecuteWrite(const Invocation& invocation,
                   }
                   (*shared_done)(std::move(*shared_result));
                 });
+}
+
+void MasterSlaveReplica::PumpQuorumWrites() {
+  if (write_in_flight_ || write_queue_.empty()) {
+    return;
+  }
+  if (!group_.is_master()) {
+    // Demoted while writes were queued: forward them to the winner (deduped
+    // there, so a client retry cannot double-execute).
+    while (!write_queue_.empty()) {
+      QueuedWrite w = std::move(write_queue_.front());
+      write_queue_.pop_front();
+      comm_.Call(kDsoInvoke, master_, w.invocation,
+                 [done = std::move(w.done)](Result<Bytes> result) {
+                   done(std::move(result));
+                 },
+                 WriteCallOptions());
+    }
+    return;
+  }
+  if (!group_.QuorumPossible()) {
+    // The reachable group cannot assemble a majority (e.g. this master is
+    // partitioned from everyone): refuse without executing. Definitive — the
+    // dedup table replays the refusal, and nothing was applied anywhere.
+    QueuedWrite w = std::move(write_queue_.front());
+    write_queue_.pop_front();
+    group_.CountQuorumRefusal();
+    w.done(FailedPrecondition(
+        "write refused: quorum unreachable (" +
+        std::to_string(1 + group_.num_members()) + " of " +
+        std::to_string(group_.group_strength()) + " replicas reachable, need " +
+        std::to_string(group_.quorum_size()) + "); nothing was applied"));
+    PumpQuorumWrites();
+    return;
+  }
+
+  write_in_flight_ = true;
+  QueuedWrite w = std::move(write_queue_.front());
+  write_queue_.pop_front();
+  pre_write_state_ = semantics_->GetState();
+  pre_write_version_ = version_;
+  Result<Bytes> result = semantics_->Invoke(w.invocation);
+  if (!result.ok()) {
+    write_in_flight_ = false;
+    w.done(std::move(result));
+    PumpQuorumWrites();
+    return;
+  }
+  ++version_;
+  if (access_hook_) {
+    access_hook_(AccessSample{true, w.invocation.args.size(), w.client});
+  }
+
+  uint64_t commit_point = version_;
+  // The push stamps the CURRENT floor, not the new write: members stage this
+  // write and execute it only once the floor catches up — which happens after
+  // the floor publication below succeeds, via the next push or lease.
+  VersionedState push{commit_point, group_.epoch(), group_.committed_version(),
+                      semantics_->GetState()};
+  auto shared_done = std::make_shared<InvokeCallback>(std::move(w.done));
+  auto shared_result = std::make_shared<Result<Bytes>>(std::move(result));
+  group_.FanOut(
+      kMsStatePush, push, 5 * sim::kSecond, /*drop_unreachable=*/true,
+      commit_point,
+      [this, shared_done, shared_result, commit_point](const FanOutResult& fan) {
+        auto refuse = [&](const std::string& why) {
+          RollbackWrite();
+          group_.CountQuorumRefusal();
+          write_in_flight_ = false;
+          (*shared_done)(FailedPrecondition(why));
+          PumpQuorumWrites();
+        };
+        if (fan.fenced) {
+          refuse("no longer master: deposed by epoch " +
+                 std::to_string(fan.fence_epoch) + "; write rolled back");
+          return;
+        }
+        // This master's own durable copy plus every member whose durable
+        // version reached the write.
+        size_t votes = 1 + fan.acks;
+        if (votes < group_.quorum_size()) {
+          refuse("write under-replicated (" + std::to_string(votes) + " of " +
+                 std::to_string(group_.group_strength()) +
+                 " replicas hold it, need " +
+                 std::to_string(group_.quorum_size()) + "); rolled back");
+          return;
+        }
+        // A quorum durably holds the write: publish the exact floor to the
+        // arbiter, and only then ack. If publication fails the write is rolled
+        // back and refused even though members hold it staged — staged entries
+        // above the floor never execute and are overwritten by the slot reuse.
+        group_.PublishCommitFloor(
+            commit_point, [this, shared_done, shared_result](Status s) {
+              if (!s.ok()) {
+                RollbackWrite();
+                group_.CountQuorumRefusal();
+                write_in_flight_ = false;
+                (*shared_done)(FailedPrecondition(
+                    "write held by a quorum but the commit floor could not be "
+                    "published; rolled back: " +
+                    s.message()));
+                PumpQuorumWrites();
+                return;
+              }
+              group_.CountQuorumCommit();
+              write_in_flight_ = false;
+              (*shared_done)(std::move(*shared_result));
+              PumpQuorumWrites();
+            });
+      });
+}
+
+void MasterSlaveReplica::RollbackWrite() {
+  if (Status s = semantics_->SetState(pre_write_state_); !s.ok()) {
+    GLOG_ERROR << "quorum rollback failed to restore state: " << s;
+  }
+  version_ = pre_write_version_;
+}
+
+void MasterSlaveReplica::ApplyStagedUpTo(uint64_t floor) {
+  if (staged_.version == 0 || staged_.version > floor) {
+    return;
+  }
+  if (staged_.version > version_) {
+    // A committed version's payload is unique (the floor only ever rises past
+    // writes a quorum acked), so executing a staged entry from an older epoch
+    // is safe: any superseding write of the same slot would have overwritten
+    // it through the push path before the floor reached this version.
+    if (Status s = semantics_->SetState(staged_.state); s.ok()) {
+      version_ = staged_.version;
+    } else {
+      GLOG_ERROR << "failed to apply staged write " << staged_.version << ": "
+                 << s;
+      return;  // keep the staged entry; a later floor carrier retries
+    }
+  }
+  staged_ = Staged{};
 }
 
 }  // namespace globe::dso

@@ -21,6 +21,7 @@
 #ifndef SRC_DSO_MASTER_SLAVE_H_
 #define SRC_DSO_MASTER_SLAVE_H_
 
+#include <deque>
 #include <memory>
 #include <utility>
 #include <vector>
@@ -62,6 +63,26 @@ class MasterSlaveReplica : public ReplicationObject {
   void set_access_hook(AccessHook hook) override { access_hook_ = std::move(hook); }
 
  private:
+  // A write held durably by a slave but not yet executed: it executes only once
+  // the group's commit floor reaches its version (quorum mode). version == 0
+  // means the slot is empty. The slot is overwritten by any newer push of the
+  // same or a higher version — a rolled-back write's version slot is reused by
+  // the next write, and the stale payload must not survive that reuse.
+  struct Staged {
+    uint64_t version = 0;
+    uint64_t epoch = 0;
+    Bytes state;
+  };
+  // A write waiting for the single in-flight quorum round to finish. Quorum
+  // mode serializes writes: the commit floor must be published in version
+  // order, and the pre-write snapshot (the rollback point) only exists for one
+  // write at a time.
+  struct QueuedWrite {
+    Invocation invocation;
+    sim::NodeId client;
+    InvokeCallback done;
+  };
+
   // Invoke with the originating client known: reads are recorded here (every
   // replica serves them), writes only where they execute, so a forwarded write
   // is counted once — at the master, attributed to the forwarding replica.
@@ -73,6 +94,23 @@ class MasterSlaveReplica : public ReplicationObject {
   // acknowledged (FailedPrecondition) and the group resolves the new owner.
   void ExecuteWrite(const Invocation& invocation, sim::NodeId client,
                     InvokeCallback done);
+  // Quorum write pump: pops the next queued write, refuses it up front if the
+  // reachable group cannot assemble a quorum, otherwise executes it, fans the
+  // push out with the write as its commit point, publishes the commit floor on
+  // quorum and only then acks — rolling back state AND version on any failure.
+  void PumpQuorumWrites();
+  // Restores the pre-write snapshot after a failed quorum round. Safe to reuse
+  // the version slot afterwards: every push of the failed round either settled
+  // or exhausted its per-attempt deadline before the fan-out completed, so no
+  // stale same-version datagram is still in flight.
+  void RollbackWrite();
+  // Executes every staged write whose version the commit floor has reached.
+  void ApplyStagedUpTo(uint64_t floor);
+  // Applied version plus the staged suffix — what this replica could serve if
+  // elected; reported in push acks and claims.
+  uint64_t DurableVersion() const {
+    return staged_.version > version_ ? staged_.version : version_;
+  }
   // Registration handshake: join at master_, adopt its snapshot and epoch.
   void RegisterWithMaster(std::function<void(Status)> done);
 
@@ -83,6 +121,14 @@ class MasterSlaveReplica : public ReplicationObject {
   ReplicaGroup group_;
   uint64_t version_ = 0;
   AccessHook access_hook_;
+  Staged staged_;                        // slave side: held-not-applied write
+  std::deque<QueuedWrite> write_queue_;  // master side, quorum mode
+  bool write_in_flight_ = false;
+  // Rollback point of the in-flight quorum write; also what registration
+  // snapshots hand out mid-write, so a joining slave never adopts state that
+  // may yet roll back.
+  Bytes pre_write_state_;
+  uint64_t pre_write_version_ = 0;
 };
 
 class MasterSlaveMaster : public MasterSlaveReplica {

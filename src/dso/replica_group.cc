@@ -54,7 +54,31 @@ GroupRole FromReplicaRole(gls::ReplicaRole role) {
 }
 
 ReplicaGroup::ReplicaGroup(CommunicationObject* comm, GroupRole role)
-    : comm_(comm), role_(role), alive_(std::make_shared<bool>(true)) {}
+    : comm_(comm), role_(role), alive_(std::make_shared<bool>(true)) {
+  // Every replica of every protocol answers dso.retire: an epoch-fenced order
+  // to stop serving because the object migrated away from this binding. The
+  // epoch comparison is strict — a retire stamped with our own (or an older)
+  // epoch is stale and refused, so a retire fan-out can never kill the very
+  // group that issued the migration's new epoch.
+  comm_->Register(kDsoRetire,
+                  [this](const sim::RpcContext&,
+                         const VersionMessage& msg) -> Result<PushAck> {
+                    if (retired_) {
+                      return PushAck{1, epoch_};
+                    }
+                    if (msg.epoch <= epoch_) {
+                      ++stats_.stale_rejected;
+                      return PushAck{0, epoch_};
+                    }
+                    GLOG_INFO << "replica " << sim::ToString(comm_->endpoint())
+                              << " retired (object migrated, epoch "
+                              << msg.epoch << ")";
+                    retired_ = true;
+                    epoch_ = msg.epoch;
+                    CancelTimer();
+                    return PushAck{1, epoch_};
+                  });
+}
 
 ReplicaGroup::~ReplicaGroup() { Stop(); }
 
@@ -76,6 +100,12 @@ Status ReplicaGroup::TransitionTo(GroupRole to) {
 }
 
 bool ReplicaGroup::AddMember(const sim::Endpoint& peer) {
+  // Re-registration is the sanctioned way back into the quorum count: the
+  // member re-synced from the master's snapshot, so it holds the floor again.
+  if (auto it = std::find(evicted_.begin(), evicted_.end(), peer);
+      it != evicted_.end()) {
+    evicted_.erase(it);
+  }
   if (std::find(members_.begin(), members_.end(), peer) != members_.end()) {
     return false;
   }
@@ -84,12 +114,24 @@ bool ReplicaGroup::AddMember(const sim::Endpoint& peer) {
 }
 
 bool ReplicaGroup::RemoveMember(const sim::Endpoint& peer) {
+  // Graceful removal (unregister/shutdown) forgets the peer entirely: it left
+  // the group, so it must leave the quorum denominator too.
+  if (auto it = std::find(evicted_.begin(), evicted_.end(), peer);
+      it != evicted_.end()) {
+    evicted_.erase(it);
+  }
   auto it = std::find(members_.begin(), members_.end(), peer);
   if (it == members_.end()) {
     return false;
   }
   members_.erase(it);
   return true;
+}
+
+void ReplicaGroup::Evict(const sim::Endpoint& peer) {
+  if (std::find(evicted_.begin(), evicted_.end(), peer) == evicted_.end()) {
+    evicted_.push_back(peer);
+  }
 }
 
 PushAck ReplicaGroup::FenceIncoming(uint64_t remote_epoch) {
@@ -134,7 +176,22 @@ gls::MasterClaim ReplicaGroup::MakeClaim(uint64_t known_epoch) const {
   claim.oid = config_.oid;
   claim.claimant = self_address(GroupRole::kMaster);
   claim.known_epoch = known_epoch;
-  claim.version = callbacks_.version ? callbacks_.version() : 0;
+  uint64_t applied = callbacks_.version ? callbacks_.version() : 0;
+  if (quorum_enabled()) {
+    // Quorum mode reports the *committed* floor, never the applied version: a
+    // master mid-write has applied a version that may yet roll back, and the
+    // arbiter's floor must only ever name writes a quorum durably holds. A
+    // follower claimant reports everything it could serve if elected — applied
+    // state plus its staged suffix — so the floor check measures what the
+    // claimant holds, not merely what it has executed.
+    uint64_t durable =
+        callbacks_.durable_version ? callbacks_.durable_version() : applied;
+    claim.version = is_master() ? committed_version_
+                                : std::max(durable, committed_version_);
+    claim.strict_floor = true;
+  } else {
+    claim.version = applied;
+  }
   claim.lease_duration = config_.lease_timeout;
   return claim;
 }
@@ -185,8 +242,8 @@ void ReplicaGroup::ScheduleMasterTick() {
 }
 
 void ReplicaGroup::MasterTick() {
-  if (!is_master()) {
-    return;  // demoted since this tick was scheduled
+  if (!is_master() || retired_) {
+    return;  // demoted (or retired by a migration) since this tick was scheduled
   }
   // Epoch 0 means the bootstrap claim never landed (transport trouble reaching
   // the arbiter at StartMaster time): keep claiming, not renewing — a renewal
@@ -216,13 +273,19 @@ void ReplicaGroup::MasterTick() {
           Claim(epoch_);
         }
       });
-  // (b) Broadcast the lease to members so their watches stay quiet.
+  // (b) Broadcast the lease to members so their watches stay quiet. The lease
+  // piggybacks the commit floor so quorum members apply staged writes within
+  // one interval even when no further write arrives; without quorum the floor
+  // equals the applied version, which is a no-op for receivers.
   if (!members_.empty()) {
     ++stats_.leases_sent;
-    LeaseMessage lease{epoch_, callbacks_.version ? callbacks_.version() : 0,
+    uint64_t applied = callbacks_.version ? callbacks_.version() : 0;
+    LeaseMessage lease{epoch_, applied,
+                       quorum_enabled() ? committed_version_ : applied,
                        comm_->endpoint()};
     FanOut(kDsoLease, lease, config_.lease_interval,
-           /*drop_unreachable=*/false, [](const FanOutResult&) {});
+           /*drop_unreachable=*/false, /*commit_point=*/0,
+           [](const FanOutResult&) {});
   }
   ScheduleMasterTick();
 }
@@ -244,7 +307,7 @@ void ReplicaGroup::ScheduleWatchTick() {
 }
 
 void ReplicaGroup::WatchTick() {
-  if (is_master() || !config_.enabled) {
+  if (is_master() || !config_.enabled || retired_) {
     return;
   }
   sim::SimTime now = comm_->clock()->Now();
@@ -256,7 +319,7 @@ void ReplicaGroup::WatchTick() {
 }
 
 void ReplicaGroup::Claim(uint64_t known_epoch, std::function<void()> settled) {
-  if (gls_ == nullptr || claim_in_flight_) {
+  if (gls_ == nullptr || claim_in_flight_ || retired_) {
     if (settled) {
       settled();
     }
@@ -286,7 +349,7 @@ void ReplicaGroup::Claim(uint64_t known_epoch, std::function<void()> settled) {
           return;
         }
         if (outcome->granted) {
-          Promote(outcome->epoch);
+          Promote(outcome->epoch, outcome->version_floor);
         } else {
           ++stats_.claims_lost;
           if (is_master()) {
@@ -308,10 +371,14 @@ void ReplicaGroup::Claim(uint64_t known_epoch, std::function<void()> settled) {
       });
 }
 
-void ReplicaGroup::Promote(uint64_t new_epoch) {
+void ReplicaGroup::Promote(uint64_t new_epoch, uint64_t committed_floor) {
   ++stats_.claims_won;
   stats_.elected_at = comm_->clock()->Now();
   epoch_ = new_epoch;
+  // The grant reports the arbiter's acked-write floor: everything at or below
+  // it was acked to some client and must survive this election; everything
+  // above it was refused at its master and must not resurrect.
+  committed_version_ = std::max(committed_version_, committed_floor);
   if (!is_master()) {
     Status s = TransitionTo(GroupRole::kMaster);
     if (!s.ok()) {
@@ -325,7 +392,7 @@ void ReplicaGroup::Promote(uint64_t new_epoch) {
   }
   ScheduleMasterTick();
   if (callbacks_.on_won_mastership) {
-    callbacks_.on_won_mastership();
+    callbacks_.on_won_mastership(committed_version_);
   }
 }
 
@@ -352,8 +419,10 @@ void ReplicaGroup::Demote(const gls::ContactAddress& winner, uint64_t new_epoch)
   }
   // A deposed master's member list belongs to the winner now: the members'
   // own watches re-register them there. Stop pushing to them under our dead
-  // epoch.
+  // epoch. The evicted set goes with it — quorum accounting restarts from
+  // scratch if this replica is ever re-elected.
   members_.clear();
+  evicted_.clear();
   FixRegistration(GroupRole::kMaster, GroupRole::kSlave);
   RecordLease();
   ScheduleWatchTick();
@@ -377,6 +446,44 @@ void ReplicaGroup::OnFencedSelf(uint64_t fence_epoch) {
       resolving_ = false;
     }
   });
+}
+
+void ReplicaGroup::PublishCommitFloor(uint64_t version,
+                                      std::function<void(Status)> done) {
+  if (gls_ == nullptr || !quorum_enabled()) {
+    RecordCommit(version);
+    done(OkStatus());
+    return;
+  }
+  // The local floor advances only AFTER the arbiter accepted the publication:
+  // if it advanced first, the master's next push would stamp a committed floor
+  // covering a write that may yet be rolled back, and members would apply it.
+  ++stats_.floor_publishes;
+  gls::MasterClaim claim = MakeClaim(epoch_);
+  claim.version = std::max(version, committed_version_);
+  gls_->RenewMasterLease(
+      claim, [this, alive = std::weak_ptr<bool>(alive_), version,
+              done = std::move(done)](Result<gls::ClaimOutcome> r) {
+        auto a = alive.lock();
+        if (!a || !*a) {
+          return;
+        }
+        if (!r.ok()) {
+          done(r.status());
+          return;
+        }
+        if (!r->granted) {
+          // A newer master exists (or the arbiter's record is ahead of us):
+          // this write must not be acked. Demotion first, then the refusal.
+          if (r->epoch > epoch_) {
+            Demote(r->master, r->epoch);
+          }
+          done(FailedPrecondition("commit-floor publication refused"));
+          return;
+        }
+        RecordCommit(version);
+        done(OkStatus());
+      });
 }
 
 void ReplicaGroup::FixRegistration(GroupRole old_role, GroupRole new_role) {

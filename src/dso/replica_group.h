@@ -31,10 +31,29 @@
 // fails the write instead of acking state a future master may lack. A master
 // partitioned from all of its members therefore stops acking writes, and the
 // GLS lease machinery eventually deposes it.
+//
+// Quorum-acknowledged writes (FailoverConfig::quorum) close the three residual
+// loss windows of the lease-only mode:
+//   - membership accounting: a member dropped as unreachable moves to an
+//     *evicted* set instead of being forgotten, so the quorum denominator —
+//     master + members + evicted — cannot shrink under a partition. A master
+//     cut off from every member faces a denominator its lone vote can never
+//     satisfy and refuses writes outright instead of executing alone;
+//   - per-write commit point: each push carries the write version as its
+//     commit point, and members answer with the durable version they hold
+//     (PushAck::durable_version). The master acknowledges the client only once
+//     a strict majority durably holds the write; an under-replicated write is
+//     rolled back at the master (members only ever *staged* it) and refused
+//     definitively, never left indeterminate;
+//   - exact committed floor: the commit floor is published to the GLS arbiter
+//     (gls.renew_lease with strict_floor) BEFORE the client ack, so an
+//     election can never seat a claimant that is missing an acked write — the
+//     floor at the arbiter is never behind an acknowledged version.
 
 #ifndef SRC_DSO_REPLICA_GROUP_H_
 #define SRC_DSO_REPLICA_GROUP_H_
 
+#include <algorithm>
 #include <functional>
 #include <memory>
 #include <string_view>
@@ -83,6 +102,13 @@ struct FailoverConfig {
   sim::SimTime lease_timeout = 5 * sim::kSecond;
   // Member check cadence (staggered per endpoint to split simultaneous claims).
   sim::SimTime watch_interval = 1 * sim::kSecond;
+  // Quorum-acknowledged writes: a write is acked iff a strict majority of the
+  // group (master + members + evicted members) durably holds it, the commit
+  // floor is published to the arbiter before the ack, and an under-replicated
+  // write is rolled back instead of surfacing as indeterminate. Costs one GLS
+  // round trip per write batch (the floor publication) on top of the push
+  // fan-out; see the README guarantee-class table.
+  bool quorum = false;
 };
 
 struct GroupStats {
@@ -96,12 +122,18 @@ struct GroupStats {
   uint64_t claims_lost = 0;
   uint64_t demotions = 0;           // master -> slave transitions taken
   sim::SimTime elected_at = 0;      // when this replica last won mastership
+  uint64_t quorum_commits = 0;      // writes committed under quorum mode
+  uint64_t quorum_refusals = 0;     // writes refused (rolled back/never applied)
+  uint64_t floor_publishes = 0;     // commit-floor renewals sent to the arbiter
+  uint64_t retired_refusals = 0;    // calls refused after dso.retire latched
 };
 
 // Aggregate outcome of one fan-out round.
 struct FanOutResult {
   size_t peers = 0;     // members addressed
   size_t failures = 0;  // transport failures (peer possibly dropped)
+  size_t acks = 0;      // accepted acks whose durable version reached the
+                        // round's commit point (every accept when the point is 0)
   bool fenced = false;  // some peer refused under a newer epoch
   uint64_t fence_epoch = 0;
 };
@@ -111,14 +143,22 @@ class ReplicaGroup {
   struct Callbacks {
     // The replica won (or resumed) mastership: role is kMaster, the epoch is
     // updated, the renewal cadence is running. Protocols reset master-pointer
-    // state here.
-    std::function<void()> on_won_mastership;
+    // state here. `committed_floor` is the arbiter's acked-write floor at the
+    // moment of the grant: a quorum-mode protocol applies its staged writes up
+    // to (exactly) the floor and discards anything above it — those writes
+    // were refused at their master and must not resurrect.
+    std::function<void(uint64_t committed_floor)> on_won_mastership;
     // A newer master exists — lost claim, fenced push, rejected renewal. Role
     // is kSlave (after a demotion) and the epoch is updated; protocols point
     // their forwarding at `master` and re-register with it here.
     std::function<void(sim::Endpoint master, uint64_t epoch)> on_adopted_master;
     // Current write version, stamped into lease broadcasts (optional).
     std::function<uint64_t()> version;
+    // Highest write version this replica durably holds — applied state plus
+    // any staged suffix it could materialize if elected (optional; defaults
+    // to `version`). Claims report it so the arbiter's floor check sees what
+    // the claimant could actually serve, not just what it has applied.
+    std::function<uint64_t()> durable_version;
   };
 
   ReplicaGroup(CommunicationObject* comm, GroupRole role);
@@ -136,11 +176,47 @@ class ReplicaGroup {
   Status TransitionTo(GroupRole to);
 
   // Membership (master side). AddMember is find-before-insert, so registration
-  // handshakes are safe to retry.
+  // handshakes are safe to retry; it also clears the peer's evicted mark (a
+  // re-registration is the one sanctioned way back into the quorum count).
+  // RemoveMember is the graceful path (unregister/shutdown) and forgets the
+  // peer entirely.
   bool AddMember(const sim::Endpoint& peer);
   bool RemoveMember(const sim::Endpoint& peer);
   const std::vector<sim::Endpoint>& members() const { return members_; }
   size_t num_members() const { return members_.size(); }
+
+  // Quorum accounting (FailoverConfig::quorum). Group strength counts this
+  // replica, its reachable members AND the members evicted as unreachable —
+  // eviction must not shrink the write quorum's denominator, or a master
+  // partitioned from everyone would happily reach "quorum" of itself.
+  bool quorum_enabled() const { return config_.enabled && config_.quorum; }
+  size_t group_strength() const { return 1 + members_.size() + evicted_.size(); }
+  size_t quorum_size() const { return group_strength() / 2 + 1; }
+  // Whether the reachable group can still assemble a quorum at all; a master
+  // that cannot refuses writes up front instead of executing and rolling back.
+  bool QuorumPossible() const { return 1 + members_.size() >= quorum_size(); }
+
+  // The acked-write commit floor: the highest version known committed (held by
+  // a quorum and published to the arbiter). Monotone.
+  uint64_t committed_version() const { return committed_version_; }
+  void RecordCommit(uint64_t version) {
+    committed_version_ = std::max(committed_version_, version);
+  }
+
+  // Publishes the commit floor to the GLS arbiter (a strict-floor lease
+  // renewal) and reports the outcome. Quorum masters call this BEFORE acking a
+  // write: once it succeeds, no claimant below the floor can win an election,
+  // so the acked write can never be lost to a fail-over. A rejection under a
+  // newer epoch demotes this master first and then reports the error.
+  void PublishCommitFloor(uint64_t version, std::function<void(Status)> done);
+
+  // dso.retire latched (the object migrated away from this binding under a
+  // newer epoch): the replica must refuse every invocation, reads included.
+  bool retired() const { return retired_; }
+  // Protocol bookkeeping hooks for the shared stats block.
+  void CountRetiredRefusal() { ++stats_.retired_refusals; }
+  void CountQuorumCommit() { ++stats_.quorum_commits; }
+  void CountQuorumRefusal() { ++stats_.quorum_refusals; }
 
   // Epoch fence for incoming group traffic (pushes, applies, invalidations,
   // leases): refuses anything from an older epoch, adopts a newer one, and
@@ -157,12 +233,18 @@ class ReplicaGroup {
   // when `drop_unreachable` is set AND fail-over is enabled — an evicted
   // member's own lease watch brings it back via re-registration; without
   // fail-over nothing could, so the member is kept and resynced by the next
-  // successful push, as the protocols always did. Members that refuse under a
-  // newer epoch mark the round fenced, which (with fail-over on) triggers this
-  // master's demotion. `done` runs once after every member answered or failed.
+  // successful push, as the protocols always did. In quorum mode an evicted
+  // member is remembered in the evicted set so the quorum denominator holds.
+  // Members that refuse under a newer epoch mark the round fenced, which (with
+  // fail-over on) triggers this master's demotion. `commit_point` is the write
+  // version this round must make durable: an accepted ack counts towards
+  // FanOutResult::acks only when the peer's reported durable version reaches
+  // it (pass 0 — e.g. leases, invalidations — to count every accept). `done`
+  // runs once after every member answered or failed.
   template <typename Req>
   void FanOut(const sim::TypedMethod<Req, PushAck>& method, const Req& request,
               sim::SimTime per_attempt_deadline, bool drop_unreachable,
+              uint64_t commit_point,
               std::function<void(const FanOutResult&)> done) {
     if (members_.empty()) {
       done(FanOutResult{});
@@ -181,7 +263,8 @@ class ReplicaGroup {
     std::vector<sim::Endpoint> peers = members_;  // acks may mutate the set
     for (const sim::Endpoint& peer : peers) {
       comm_->Call(method, peer, request,
-                  [this, round, peer, drop_unreachable](Result<PushAck> ack) {
+                  [this, round, peer, drop_unreachable,
+                   commit_point](Result<PushAck> ack) {
                     if (!ack.ok()) {
                       ++round->result.failures;
                       GLOG_WARN << GroupRoleName(role_) << " push to "
@@ -190,11 +273,14 @@ class ReplicaGroup {
                       if (drop_unreachable && config_.enabled &&
                           RemoveMember(peer)) {
                         ++stats_.members_dropped;
+                        if (quorum_enabled()) Evict(peer);
                       }
                     } else if (ack->accepted == 0) {
                       round->result.fenced = true;
                       round->result.fence_epoch =
                           std::max(round->result.fence_epoch, ack->epoch);
+                    } else if (ack->durable_version >= commit_point) {
+                      ++round->result.acks;
                     }
                     if (--round->remaining == 0) {
                       if (round->result.fenced) {
@@ -238,8 +324,11 @@ class ReplicaGroup {
   // Races a conditional ownership update; `settled` (optional) runs after the
   // outcome — grant or loss — has been fully applied.
   void Claim(uint64_t known_epoch, std::function<void()> settled = nullptr);
-  void Promote(uint64_t new_epoch);
+  void Promote(uint64_t new_epoch, uint64_t committed_floor);
   void Demote(const gls::ContactAddress& winner, uint64_t new_epoch);
+  // Marks a just-dropped member as evicted (find-before-insert): it stays in
+  // the quorum denominator until it re-registers or is gracefully removed.
+  void Evict(const sim::Endpoint& peer);
   // A newer epoch surfaced in our own fan-out: resolve ownership via the GLS.
   void OnFencedSelf(uint64_t fence_epoch);
   // Re-registers this replica's contact address under its new role.
@@ -251,6 +340,11 @@ class ReplicaGroup {
   GroupRole role_;
   uint64_t epoch_ = 0;
   std::vector<sim::Endpoint> members_;
+  // Members dropped as unreachable (quorum mode only): still counted in
+  // group_strength, cleared by re-registration, graceful removal or demotion.
+  std::vector<sim::Endpoint> evicted_;
+  uint64_t committed_version_ = 0;
+  bool retired_ = false;
   FailoverConfig config_;
   Callbacks callbacks_;
   std::unique_ptr<gls::GlsClient> gls_;

@@ -16,15 +16,24 @@ namespace globe::dso {
 // group's membership epoch (see dso::ReplicaGroup): receivers reject snapshots
 // pushed under an epoch older than their own, which is what fences a partitioned
 // stale master out of a group that has re-elected.
+//
+// `committed` is the group's commit floor — the highest write version a quorum
+// durably holds. A receiver applies a push only up to the floor: a push whose
+// version lies above it is *staged* (held durably, acknowledged, but not
+// executed) until a later message raises the floor past it. Masters running
+// without quorum mode stamp committed == version, which applies immediately and
+// preserves the original eager-push behaviour byte for byte.
 struct VersionedState {
   uint64_t version = 0;
   uint64_t epoch = 0;
+  uint64_t committed = 0;
   Bytes state;
 
   Bytes Serialize() const {
     ByteWriter w;
     w.WriteU64(version);
     w.WriteU64(epoch);
+    w.WriteU64(committed);
     w.WriteLengthPrefixed(state);
     return w.Take();
   }
@@ -33,6 +42,7 @@ struct VersionedState {
     VersionedState vs;
     ASSIGN_OR_RETURN(vs.version, r.ReadU64());
     ASSIGN_OR_RETURN(vs.epoch, r.ReadU64());
+    ASSIGN_OR_RETURN(vs.committed, r.ReadU64());
     // The snapshot outlives the wire buffer (it becomes the replica's state):
     // a true ownership boundary, copied explicitly.
     ASSIGN_OR_RETURN(ByteSpan state, r.ReadLengthPrefixedView());
@@ -95,14 +105,24 @@ struct VersionMessage {
 // invalidation, lease): accepted, or refused because the sender's epoch is
 // stale. A refusing replica reports its own (newer) epoch, so a fenced master
 // can resolve the new ownership through the GLS instead of retrying for ever.
+//
+// `durable_version` is the per-write commit point of quorum-acknowledged
+// writes: the highest write version the acking replica durably holds after
+// this push (applied state, or a staged entry it can materialize if elected).
+// A master in quorum mode counts an ack towards the write's quorum only when
+// the reported durable version reaches the write — an ack from a replica that
+// accepted the message but could not retain the write (e.g. an active replica
+// with a gap below it) is an answer, not a vote.
 struct PushAck {
   uint8_t accepted = 1;
   uint64_t epoch = 0;
+  uint64_t durable_version = 0;
 
   Bytes Serialize() const {
     ByteWriter w;
     w.WriteU8(accepted);
     w.WriteU64(epoch);
+    w.WriteU64(durable_version);
     return w.Take();
   }
   static Result<PushAck> Deserialize(ByteSpan data) {
@@ -110,21 +130,26 @@ struct PushAck {
     PushAck ack;
     ASSIGN_OR_RETURN(ack.accepted, r.ReadU8());
     ASSIGN_OR_RETURN(ack.epoch, r.ReadU64());
+    ASSIGN_OR_RETURN(ack.durable_version, r.ReadU64());
     return ack;
   }
 };
 
 // Master -> members lease renewal (fail-over: a member that misses renewals
 // past its lease timeout suspects the master and races gls.claim_master).
+// `committed` piggybacks the commit floor so quorum-mode members apply staged
+// writes within one lease interval even when no further write arrives.
 struct LeaseMessage {
   uint64_t epoch = 0;
   uint64_t version = 0;
+  uint64_t committed = 0;
   sim::Endpoint master;
 
   Bytes Serialize() const {
     ByteWriter w;
     w.WriteU64(epoch);
     w.WriteU64(version);
+    w.WriteU64(committed);
     SerializeEndpoint(master, &w);
     return w.Take();
   }
@@ -133,6 +158,7 @@ struct LeaseMessage {
     LeaseMessage message;
     ASSIGN_OR_RETURN(message.epoch, r.ReadU64());
     ASSIGN_OR_RETURN(message.version, r.ReadU64());
+    ASSIGN_OR_RETURN(message.committed, r.ReadU64());
     ASSIGN_OR_RETURN(message.master, DeserializeEndpoint(&r));
     return message;
   }
@@ -152,6 +178,12 @@ inline constexpr sim::TypedMethod<sim::EmptyMessage, EndpointMessage>
 // Lease renewals are idempotent by construction (receivers only compare epochs
 // and refresh a timestamp), so they skip the dedup table.
 inline constexpr sim::TypedMethod<LeaseMessage, PushAck> kDsoLease{"dso.lease"};
+// Epoch-fenced retirement (policy migration): a replica told that its object
+// moved to a strictly newer epoch stops serving — reads included — so a
+// formerly-bound representative (e.g. a master/slave slave inside a GDN-HTTPD)
+// can never keep answering from dead state silently. Idempotent: receivers
+// only compare epochs and latch a flag.
+inline constexpr sim::TypedMethod<VersionMessage, PushAck> kDsoRetire{"dso.retire"};
 
 // Every protocol retries its write-path calls with sim::WriteCallOptions
 // instead of failing on the first lost message (the replication fan-outs keep

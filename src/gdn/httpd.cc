@@ -160,6 +160,30 @@ void GdnHttpd::WithPackage(const std::string& globe_name, UseProxy use) {
       });
 }
 
+void GdnHttpd::DropBinding(const std::string& globe_name,
+                           std::function<void()> done) {
+  auto it = bound_.find(globe_name);
+  if (it == bound_.end()) {
+    if (done) done();
+    return;
+  }
+  auto pending =
+      std::make_shared<std::unique_ptr<dso::BoundObject>>(it->second->TakeBound());
+  bound_.erase(it);
+  if (*pending == nullptr) {
+    if (done) done();
+    return;
+  }
+  transport_->clock()->ScheduleAfter(0, [this, pending, done = std::move(done)] {
+    runtime_.Unbind(std::move(*pending), [done = std::move(done)](Status s) {
+      if (!s.ok()) {
+        GLOG_WARN << "stale binding teardown failed: " << s;
+      }
+      if (done) done();
+    });
+  });
+}
+
 void GdnHttpd::ServeListing(const std::string& globe_name, const sim::Endpoint& client,
                             bool retried) {
   WithPackage(globe_name, [this, globe_name, client,
@@ -179,8 +203,9 @@ void GdnHttpd::ServeListing(const std::string& globe_name, const sim::Endpoint& 
           // migrated protocols, or its master moved): drop it, rebind through
           // the GLS, and retry this request once.
           ++stats_.rebinds;
-          bound_.erase(globe_name);
-          ServeListing(globe_name, client, /*retried=*/true);
+          DropBinding(globe_name, [this, globe_name, client] {
+            ServeListing(globe_name, client, /*retried=*/true);
+          });
           return;
         }
         ++stats_.errors;
@@ -228,8 +253,9 @@ void GdnHttpd::ServeFile(const std::string& globe_name, const std::string& file_
         // else smells like a stale binding — rebind and retry once.
         if (!retried && content.status().code() != StatusCode::kNotFound) {
           ++stats_.rebinds;
-          bound_.erase(globe_name);
-          ServeFile(globe_name, file_path, client, /*retried=*/true);
+          DropBinding(globe_name, [this, globe_name, file_path, client] {
+            ServeFile(globe_name, file_path, client, /*retried=*/true);
+          });
           return;
         }
         ++stats_.errors;

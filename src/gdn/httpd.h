@@ -85,6 +85,15 @@ class GdnHttpd {
   using UseProxy = std::function<void(Result<PackageProxy*>)>;
   void WithPackage(const std::string& globe_name, UseProxy use);
 
+  // Drops a stale binding properly: the bound representative goes back through
+  // RuntimeSystem::Unbind (protocol shutdown + GLS deregistration) instead of
+  // being silently destroyed — a replica installed via bind_as_replica would
+  // otherwise leak its GLS registration and keep routing clients to a retired
+  // incarnation. The unbind is deferred one event because the drop runs on the
+  // stale proxy's own callback stack. `done` fires once the teardown finished:
+  // a rebind issued earlier could resolve the stale registration itself.
+  void DropBinding(const std::string& globe_name, std::function<void()> done);
+
   void ServeFrontPage(const sim::Endpoint& client);
   // `retried`: this request already dropped a stale binding and rebound once;
   // a second failure is served as an error instead of looping.

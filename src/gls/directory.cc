@@ -251,6 +251,8 @@ struct ClaimWireRequest {
   uint64_t known_epoch = 0;
   uint64_t version = 0;         // claimant's applied write version (the floor)
   uint64_t lease_duration = 0;  // microseconds of ownership per grant/renewal
+  uint8_t strict_floor = 0;     // quorum mode: monotone floor, no incumbent
+                                // exemption (see MasterClaim::strict_floor)
 
   Bytes Serialize() const {
     ByteWriter w;
@@ -259,6 +261,7 @@ struct ClaimWireRequest {
     w.WriteU64(known_epoch);
     w.WriteU64(version);
     w.WriteU64(lease_duration);
+    w.WriteU8(strict_floor);
     return w.Take();
   }
   static Result<ClaimWireRequest> Deserialize(ByteSpan data) {
@@ -269,6 +272,7 @@ struct ClaimWireRequest {
     ASSIGN_OR_RETURN(request.known_epoch, r.ReadU64());
     ASSIGN_OR_RETURN(request.version, r.ReadU64());
     ASSIGN_OR_RETURN(request.lease_duration, r.ReadU64());
+    ASSIGN_OR_RETURN(request.strict_floor, r.ReadU8());
     return request;
   }
 };
@@ -277,12 +281,14 @@ struct ClaimWireResponse {
   uint8_t granted = 0;
   uint64_t epoch = 0;
   ContactAddress master;
+  uint64_t version_floor = 0;  // the record's acked-write floor at answer time
 
   Bytes Serialize() const {
     ByteWriter w;
     w.WriteU8(granted);
     w.WriteU64(epoch);
     master.Serialize(&w);
+    w.WriteU64(version_floor);
     return w.Take();
   }
   static Result<ClaimWireResponse> Deserialize(ByteSpan data) {
@@ -291,6 +297,7 @@ struct ClaimWireResponse {
     ASSIGN_OR_RETURN(response.granted, r.ReadU8());
     ASSIGN_OR_RETURN(response.epoch, r.ReadU64());
     ASSIGN_OR_RETURN(response.master, ContactAddress::Deserialize(&r));
+    ASSIGN_OR_RETURN(response.version_floor, r.ReadU64());
     return response;
   }
 };
@@ -306,6 +313,8 @@ namespace {
 const sim::TypedMethod<LookupWireRequest, LookupResponse> kGlsLookup{"gls.lookup"};
 const sim::TypedMethod<BatchLookupRequest, BatchLookupResponse> kGlsLookupBatch{
     "gls.lookup_batch"};
+const sim::TypedMethod<LookupWireRequest, LookupResponse> kGlsLookupAll{
+    "gls.lookup_all"};
 const sim::TypedMethod<AddressRequest, sim::EmptyMessage> kGlsInsert{
     "gls.insert", sim::kNonIdempotent};
 const sim::TypedMethod<BatchAddressRequest, sim::EmptyMessage> kGlsInsertBatch{
@@ -466,6 +475,13 @@ DirectorySubnode::DirectorySubnode(sim::Transport* transport, sim::NodeId host,
                                             LookupResponder respond) {
     ++stats_.lookups;
     ResolveLookup(std::move(request), std::move(respond));
+  });
+
+  kGlsLookupAll.RegisterAsync(&server_, [this](const sim::RpcContext&,
+                                               LookupWireRequest request,
+                                               LookupResponder respond) {
+    ++stats_.lookup_alls;
+    ResolveLookupAll(std::move(request), std::move(respond));
   });
 
   kGlsLookupBatch.RegisterAsync(
@@ -776,6 +792,11 @@ uint64_t DirectorySubnode::OwnerEpoch(const ObjectId& oid) const {
   return it == owners_.end() ? 0 : it->second.epoch;
 }
 
+uint64_t DirectorySubnode::OwnerVersionFloor(const ObjectId& oid) const {
+  auto it = owners_.find(oid);
+  return it == owners_.end() ? 0 : it->second.version_floor;
+}
+
 size_t DirectorySubnode::TotalEntries() const {
   size_t total = 0;
   for (const auto& [oid, addresses] : addresses_) {
@@ -945,6 +966,79 @@ void DirectorySubnode::ResolveLookup(LookupWireRequest req, LookupResponder resp
                   });
 }
 
+void DirectorySubnode::ResolveLookupAll(LookupWireRequest req,
+                                        LookupResponder respond) {
+  req.apex_depth = std::min(req.apex_depth, depth_);
+
+  // Climb strictly by hash to the OID's root home: the one node guaranteed to
+  // hold a forwarding pointer for every registered address, which is what
+  // makes the descent below exhaustive. No sideways handoff, no caches — an
+  // enumeration answered from an alternate's cache could miss a registration
+  // whose mutation chain never touched that subnode.
+  if (req.phase == kPhaseUp && !parent_.empty()) {
+    LookupWireRequest forward = req;
+    ++forward.hops;
+    kGlsLookupAll.Call(client_.get(), parent_.Route(req.oid), forward,
+                       std::move(respond));
+    return;
+  }
+
+  // Enumeration apex (the root, or the leaf of a depth-0 tree) and every node
+  // on the way down: union the local addresses with the full set below EVERY
+  // forwarding pointer — gls.lookup's random single-child descent is exactly
+  // what a retire fan-out must not do.
+  auto response = std::make_shared<LookupResponse>();
+  response->hops = req.hops;
+  response->found_depth = depth_;
+  response->apex_depth = req.apex_depth;
+  if (auto it = addresses_.find(req.oid); it != addresses_.end()) {
+    response->addresses = it->second;
+  }
+
+  std::vector<sim::Endpoint> targets;
+  if (auto it = pointers_.find(req.oid); it != pointers_.end()) {
+    for (sim::DomainId child_domain : it->second) {
+      auto ref_it = children_.find(child_domain);
+      if (ref_it != children_.end() && !ref_it->second.empty()) {
+        targets.push_back(ref_it->second.Route(req.oid));
+      }
+    }
+  }
+
+  if (targets.empty()) {
+    if (req.phase == kPhaseUp && response->addresses.empty()) {
+      respond(NotFound("object not registered: " + req.oid.ToHex()));
+    } else {
+      respond(std::move(*response));
+    }
+    return;
+  }
+
+  auto remaining = std::make_shared<size_t>(targets.size());
+  auto shared_respond = std::make_shared<LookupResponder>(std::move(respond));
+  LookupWireRequest forward = req;
+  forward.phase = kPhaseDown;
+  ++forward.hops;
+  for (const sim::Endpoint& target : targets) {
+    kGlsLookupAll.Call(
+        client_.get(), target, forward,
+        [response, remaining, shared_respond](Result<LookupResponse> result) {
+          if (result.ok()) {
+            response->addresses.insert(response->addresses.end(),
+                                       result->addresses.begin(),
+                                       result->addresses.end());
+            response->hops = std::max(response->hops, result->hops);
+          }
+          // A failed branch (partitioned subtree) yields a partial enumeration
+          // rather than failing the whole walk: callers fence what they can
+          // reach now; the unreachable replicas fence on their next contact.
+          if (--*remaining == 0) {
+            (*shared_respond)(std::move(*response));
+          }
+        });
+  }
+}
+
 void DirectorySubnode::ResolveOwnership(
     bool is_claim, const ClaimWireRequest& request,
     std::function<void(Result<ClaimWireResponse>)> respond) {
@@ -982,12 +1076,15 @@ void DirectorySubnode::ResolveOwnership(
       rec.master = request.claimant;
       rec.lease_expires_at = now + request.lease_duration;
       // The renewal raises the acked-write floor: electable successors must
-      // hold at least this much replicated state.
+      // hold at least this much replicated state. Quorum masters publish their
+      // exact commit floor through this path BEFORE acking the write, which is
+      // what makes the floor an acked-write invariant rather than a lagging
+      // (up-to-one-lease_interval-stale) hint.
       rec.version_floor = std::max(rec.version_floor, request.version);
-      respond(ClaimWireResponse{1, rec.epoch, rec.master});
+      respond(ClaimWireResponse{1, rec.epoch, rec.master, rec.version_floor});
       return;
     }
-    respond(ClaimWireResponse{0, rec.epoch, rec.master});
+    respond(ClaimWireResponse{0, rec.epoch, rec.master, rec.version_floor});
     return;
   }
 
@@ -1010,8 +1107,12 @@ void DirectorySubnode::ResolveOwnership(
   // slave evicted from the push fan-out before it resynced) — electing it
   // would roll the group back. The incumbent is exempt: its checkpoint
   // restore is the one sanctioned rollback (acked-since-checkpoint loss is
-  // the documented crash-rebuild semantics).
-  bool fresh_enough = incumbent || request.version >= rec.version_floor;
+  // the documented crash-rebuild semantics). Under a strict floor (quorum
+  // mode) the exemption is off — the floor is exact and binding for everyone,
+  // including an incumbent restored from a pre-floor checkpoint: it must
+  // resync from a quorum member instead of rolling acked writes back.
+  bool fresh_enough = (incumbent && request.strict_floor == 0) ||
+                      request.version >= rec.version_floor;
   // The conditional update: the claimant's view must not be behind the record
   // (epoch fence), mastership must actually be takeable — vacant, lapsed,
   // already the claimant's (a restarted master resuming), or provably ahead —
@@ -1022,7 +1123,12 @@ void DirectorySubnode::ResolveOwnership(
     rec.epoch = std::max(request.known_epoch, rec.epoch) + 1;
     rec.master = request.claimant;
     rec.lease_expires_at = now + request.lease_duration;
-    rec.version_floor = request.version;
+    // A lease-only grant adopts the winner's version outright (the sanctioned
+    // incumbent-restore rollback); a strict-floor grant can only raise it —
+    // acked writes outlive every election.
+    rec.version_floor = request.strict_floor
+                            ? std::max(rec.version_floor, request.version)
+                            : request.version;
     ++stats_.master_claims_granted;
     // Re-election changes which address is authoritative: purge our cached
     // answer and our siblings' (and quarantine re-caching) before answering, so
@@ -1037,13 +1143,13 @@ void DirectorySubnode::ResolveOwnership(
       ++stats_.stale_scrubs;
       ScrubAddress(request.oid, deposed, [](Result<sim::EmptyMessage>) {});
     }
-    ClaimWireResponse response{1, rec.epoch, rec.master};
+    ClaimWireResponse response{1, rec.epoch, rec.master, rec.version_floor};
     PropagateInvalUp(request.oid, /*include_siblings=*/true, /*quarantine=*/true,
                      [respond = std::move(respond),
                       response](Result<sim::EmptyMessage>) { respond(response); });
     return;
   }
-  respond(ClaimWireResponse{0, rec.epoch, rec.master});
+  respond(ClaimWireResponse{0, rec.epoch, rec.master, rec.version_floor});
 }
 
 void DirectorySubnode::ApplyDelete(const ObjectId& oid, const ContactAddress& address,
@@ -1374,6 +1480,27 @@ void GlsClient::Lookup(const ObjectId& oid, bool allow_cached, LookupCallback do
                   MakeCallOptions());
 }
 
+void GlsClient::LookupAll(const ObjectId& oid, LookupCallback done) {
+  auto target = leaf_.TryRoute(oid);  // mutation-style routing: hash home only
+  if (!target.ok()) {
+    done(target.status());
+    return;
+  }
+  LookupWireRequest request;
+  request.oid = oid;
+  kGlsLookupAll.Call(&rpc_, *target, request,
+                     [done = std::move(done)](Result<LookupResponse> result) {
+                       if (!result.ok()) {
+                         done(result.status());
+                         return;
+                       }
+                       done(LookupResult{std::move(result->addresses),
+                                         result->hops, result->found_depth,
+                                         result->apex_depth, false});
+                     },
+                     MakeCallOptions());
+}
+
 void GlsClient::LookupBatch(const std::vector<ObjectId>& oids, BatchLookupCallback done) {
   if (leaf_.empty()) {
     done(FailedPrecondition("GLS client has no leaf directory"));
@@ -1487,8 +1614,12 @@ void CallOwnership(sim::Channel* rpc, const DirectoryRef& leaf,
     done(target.status());
     return;
   }
-  ClaimWireRequest request{claim.oid, claim.claimant, claim.known_epoch,
-                           claim.version, claim.lease_duration};
+  ClaimWireRequest request{claim.oid,
+                           claim.claimant,
+                           claim.known_epoch,
+                           claim.version,
+                           claim.lease_duration,
+                           static_cast<uint8_t>(claim.strict_floor ? 1 : 0)};
   method.Call(rpc, *target, request,
               [done = std::move(done)](Result<ClaimWireResponse> result) {
                 if (!result.ok()) {
@@ -1496,7 +1627,7 @@ void CallOwnership(sim::Channel* rpc, const DirectoryRef& leaf,
                   return;
                 }
                 done(ClaimOutcome{result->granted != 0, result->epoch,
-                                  result->master});
+                                  result->master, result->version_floor});
               },
               options);
 }

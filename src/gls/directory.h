@@ -184,6 +184,7 @@ struct SubnodeStats {
   uint64_t batch_inserts = 0;        // gls.insert_batch requests served
   uint64_t batch_deletes = 0;        // gls.delete_batch requests served
   uint64_t negative_cache_hits = 0;  // lookups answered NotFound from the cache
+  uint64_t lookup_alls = 0;          // gls.lookup_all enumerations served here
   uint64_t master_claims = 0;          // gls.claim_master arbitrated here (root)
   uint64_t master_claims_granted = 0;  // claims that won the next epoch
   uint64_t lease_renewals = 0;         // gls.renew_lease arbitrated here (root)
@@ -221,6 +222,9 @@ class DirectorySubnode {
   // The master-ownership epoch this subnode arbitrates for `oid` (0 = no record
   // — only the OID's root home subnode ever holds one).
   uint64_t OwnerEpoch(const ObjectId& oid) const;
+  // The acked-write floor recorded with that ownership (0 = no record). Under
+  // quorum mode this is the exact commit point of the last acked write.
+  uint64_t OwnerVersionFloor(const ObjectId& oid) const;
 
   // Persistence: "persistent storage of the state of a directory node (location
   // information and forwarding pointers)" with "a simple crash recovery mechanism"
@@ -256,6 +260,14 @@ class DirectorySubnode {
   // Lookup core shared by gls.lookup and gls.lookup_batch: local addresses, then the
   // cache (when allowed), then pointer descent / sideways handoff / parent climb.
   void ResolveLookup(LookupWireRequest request, LookupResponder respond);
+
+  // gls.lookup_all core: climb strictly by hash to the OID's root home, then
+  // union this node's addresses with a descent into EVERY forwarding-pointer
+  // child — the exhaustive registration set, where gls.lookup stops at the
+  // nearest. Never cached (control-plane callers need the authoritative set);
+  // an unreachable branch degrades to a partial enumeration rather than an
+  // error.
+  void ResolveLookupAll(LookupWireRequest request, LookupResponder respond);
 
   // gls.claim_master / gls.renew_lease core: forwarded strictly by hash towards
   // the root, arbitrated against the OwnerRecord there.
@@ -347,14 +359,22 @@ struct MasterClaim {
   // whose checkpoint restore is the one sanctioned rollback.
   uint64_t version = 0;
   sim::SimTime lease_duration = 5 * sim::kSecond;
+  // Quorum-ack mode: the floor is exact (every version at or below it was
+  // acked to a client), so it must be monotone and binding for everyone — the
+  // incumbent exemption above is disabled and a renewal can only raise it.
+  // Appended last so positional aggregate initialization stays compatible.
+  bool strict_floor = false;
 };
 
 // The arbiter's answer. Rejections carry the current record so losers (and
-// deposed masters) can adopt the winner.
+// deposed masters) can adopt the winner. `version_floor` reports the record's
+// acked-write floor: an elected quorum master applies its staged writes up to
+// exactly this floor and discards anything above it.
 struct ClaimOutcome {
   bool granted = false;
   uint64_t epoch = 0;
   ContactAddress master;
+  uint64_t version_floor = 0;
 };
 
 // Client-side stub: the run-time-system piece that talks to the leaf directory node
@@ -376,6 +396,13 @@ class GlsClient {
   // Resolves many OIDs in one round trip per leaf subnode. The result vector is
   // positional: results[i] belongs to oids[i]. Batches always group by hash home.
   void LookupBatch(const std::vector<ObjectId>& oids, BatchLookupCallback done);
+
+  // Exhaustive enumeration: EVERY contact address registered anywhere in the
+  // tree, not just the nearest (the climb goes to the OID's root home and
+  // descends all forwarding pointers). Control-plane only — a protocol switch
+  // fencing an object's foreign replicas, audits — never the serving path: it
+  // always walks to the root and bypasses every cache.
+  void LookupAll(const ObjectId& oid, LookupCallback done);
 
   void Insert(const ObjectId& oid, const ContactAddress& address, DoneCallback done);
   // Registers many (OID, address) pairs in one round trip per leaf subnode; the

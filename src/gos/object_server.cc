@@ -130,6 +130,7 @@ dso::FailoverConfig ObjectServer::FailoverFor(const gls::ObjectId& oid) const {
   failover.leaf_directory = gls_.leaf_directory();
   failover.lease_interval = options_.failover_lease_interval;
   failover.lease_timeout = options_.failover_lease_timeout;
+  failover.quorum = options_.failover_quorum;
   return failover;
 }
 
@@ -359,6 +360,9 @@ void ObjectServer::SwitchProtocol(const gls::ObjectId& oid,
   std::vector<sec::PrincipalId> maintainers = old.maintainers;
 
   dso::ReplicationObject* replication = old.replication.get();
+  // Foreign replicas of the old incarnation (HTTPD-side replicas installed via
+  // bind_as_replica, secondaries hosted on other servers) are torn down by a
+  // dso.retire fan-out once the fresh registration is in place — see RebuildAs.
   replication->Shutdown([this, oid, new_protocol, state = std::move(state),
                          version, epoch, old_address, semantics_type,
                          maintainers = std::move(maintainers),
@@ -428,7 +432,7 @@ void ObjectServer::RebuildAs(const gls::ObjectId& oid, gls::ProtocolId new_proto
   // a 30 s call deadline against a silently closed port.
   TombstoneEndpoint(oid, old_address.endpoint);
 
-  hosted.replication->Start([this, oid, old_address,
+  hosted.replication->Start([this, oid, old_address, epoch,
                              done = std::move(done)](Status status) mutable {
     if (!status.ok()) {
       done(status);
@@ -443,15 +447,49 @@ void ObjectServer::RebuildAs(const gls::ObjectId& oid, gls::ProtocolId new_proto
     // Swap the GLS registration: drop the old incarnation's address, register
     // the new one. The insert drives the insert-path invalidation chain, so
     // cached lookups converge on the new address without waiting out a TTL.
-    gls_.Delete(oid, old_address, [this, oid, fresh,
+    gls_.Delete(oid, old_address, [this, oid, fresh, epoch,
                                    done = std::move(done)](Status) mutable {
-      gls_.Insert(oid, fresh, [this, done = std::move(done)](Status s) {
+      gls_.Insert(oid, fresh, [this, oid, fresh, epoch,
+                               done = std::move(done)](Status s) {
         if (s.ok()) {
           ++stats_.protocol_switches;
+          RetireForeignReplicas(oid, fresh.endpoint, epoch + 1);
         }
         done(s);
       });
     });
+  });
+}
+
+void ObjectServer::RetireForeignReplicas(const gls::ObjectId& oid,
+                                         const sim::Endpoint& fresh,
+                                         uint64_t new_epoch) {
+  // Exhaustive enumeration, not a nearest-replica lookup: the fan-out must see
+  // replicas this GOS never created — HTTPD-side representatives installed via
+  // bind_as_replica in other countries — which a plain lookup from here would
+  // stop short of (it ends at the fresh local registration).
+  gls_.LookupAll(oid, [this, fresh, new_epoch](Result<gls::LookupResult> lookup) {
+    if (!lookup.ok()) {
+      return;  // nothing registered to retire (or GLS unreachable — addresses
+               // left behind fail per-call and their hosts rebind on error)
+    }
+    auto client = std::make_shared<sim::Channel>(transport_, server_.node());
+    for (const gls::ContactAddress& address : lookup->addresses) {
+      if (address.endpoint == fresh) {
+        continue;
+      }
+      // Fire-and-forget: the retire latch is idempotent and epoch-guarded, so
+      // a duplicate or reordered delivery cannot un-retire anything, and a
+      // replica that misses it entirely still fails fenced on its next
+      // interaction with the new incarnation.
+      dso::kDsoRetire.Call(client.get(), address.endpoint,
+                           dso::VersionMessage{0, new_epoch},
+                           [this, client](Result<dso::PushAck> ack) {
+                             if (ack.ok() && ack->accepted != 0) {
+                               ++stats_.foreign_retires;
+                             }
+                           });
+    }
   });
 }
 

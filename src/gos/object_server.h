@@ -211,6 +211,12 @@ struct GosOptions {
   bool enable_failover = false;
   sim::SimTime failover_lease_interval = 2 * sim::kSecond;
   sim::SimTime failover_lease_timeout = 5 * sim::kSecond;
+  // Quorum-acknowledged writes on hosted replicas (see dso::FailoverConfig::
+  // quorum): a write is acked only once a strict majority of the group durably
+  // holds it and its commit floor is published to the GLS arbiter; a master
+  // partitioned from all members refuses writes instead of executing alone.
+  // Requires enable_failover.
+  bool failover_quorum = false;
   // Maps a client NodeId to the region bucket the replication controller
   // reasons in (under the GDN world: the country index). Unset = one region.
   ctl::RegionFn region_of;
@@ -226,6 +232,10 @@ struct GosStats {
   // Retired replica endpoints answering with an immediate "object migrated"
   // error so stale bindings fail fast instead of waiting out RPC deadlines.
   uint64_t tombstones = 0;
+  // Replicas hosted *elsewhere* (e.g. HTTPD-side replicas installed via
+  // bind_as_replica) retired by a protocol switch here: each one accepted a
+  // dso.retire carrying the new incarnation's epoch and now refuses traffic.
+  uint64_t foreign_retires = 0;
 };
 
 class ObjectServer {
@@ -336,6 +346,13 @@ class ObjectServer {
   // bound to the old endpoint waits out a full RPC deadline before its
   // rebind-on-failure logic (e.g. GdnHttpd's) can kick in.
   void TombstoneEndpoint(const gls::ObjectId& oid, const sim::Endpoint& endpoint);
+  // The teardown half of a protocol switch for replicas this server does NOT
+  // host: every address still registered for `oid` other than the fresh
+  // incarnation's (HTTPD-side replicas bound via bind_as_replica, secondaries
+  // on other servers) is sent dso.retire at the new epoch, so it stops serving
+  // the pre-switch incarnation instead of answering beside it indefinitely.
+  void RetireForeignReplicas(const gls::ObjectId& oid, const sim::Endpoint& fresh,
+                             uint64_t new_epoch);
 
   sim::Transport* transport_;
   sim::RpcServer server_;

@@ -802,7 +802,8 @@ INSTANTIATE_TEST_SUITE_P(Seeds, ChaosMigrationSweepTest,
 // keep the simulator queue non-empty, so everything here drives virtual time
 // with RunUntil instead of draining with Run().
 struct FailoverWorld {
-  explicit FailoverWorld(uint64_t seed) : world(sim::BuildUniformWorld({2, 2}, 2)) {
+  explicit FailoverWorld(uint64_t seed, bool quorum = false)
+      : world(sim::BuildUniformWorld({2, 2}, 2)) {
     sim::NetworkOptions network_options;
     network_options.rng_seed = seed;
     network = std::make_unique<sim::Network>(&simulator, &world.topology,
@@ -816,6 +817,7 @@ struct FailoverWorld {
     repository.RegisterSemantics(std::make_unique<CounterObject>());
     gos::GosOptions gos_options;
     gos_options.enable_failover = true;
+    gos_options.failover_quorum = quorum;
     gos_a = std::make_unique<gos::ObjectServer>(
         transport.get(), world.hosts[0], &repository,
         deployment->LeafDirectoryFor(world.hosts[0]), nullptr, gos_options);
@@ -829,12 +831,13 @@ struct FailoverWorld {
 
   void RunFor(SimTime duration) { simulator.RunUntil(simulator.Now() + duration); }
 
-  std::pair<ObjectId, gls::ContactAddress> CreateMaster() {
+  std::pair<ObjectId, gls::ContactAddress> CreateMaster(
+      gls::ProtocolId protocol = dso::kProtoMasterSlave) {
     ObjectId oid;
     gls::ContactAddress address;
     Status status = Unavailable("pending");
     gos_a->CreateFirstReplica(
-        dso::kProtoMasterSlave, CounterObject::kTypeId,
+        protocol, CounterObject::kTypeId,
         [&](Result<std::pair<ObjectId, gls::ContactAddress>> r) {
           if (r.ok()) {
             oid = r->first;
@@ -1201,6 +1204,426 @@ TEST_P(ChaosFailoverSweepTest, ReElectionUnderLossConvergesAndReplaysIdentically
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ChaosFailoverSweepTest,
+                         ::testing::ValuesIn(ChaosSeeds()));
+
+// ------------------------------------------------- quorum-acknowledged writes
+//
+// The three documented fail-over loss windows, each replayed under quorum mode
+// (gos_options.failover_quorum): a write is acked only once a strict majority
+// of the group durably holds it and its commit floor reached the GLS arbiter.
+// Shared invariants: zero acked writes lost, a definitively refused write
+// never resurfaces, and every scenario replays byte-identically per seed.
+
+struct QuorumSummary {
+  uint64_t executed_events = 0;
+  std::string state_hash;
+  uint64_t winner_epoch = 0;
+  int masters = 0;
+  uint64_t arbiter_floor = 0;
+  size_t acked_writes = 0;
+  uint64_t quorum_commits = 0;
+  uint64_t quorum_refusals = 0;
+  uint64_t total_messages = 0;
+
+  bool operator==(const QuorumSummary&) const = default;
+};
+
+// Helper state shared by the quorum scenarios: seed-pinned writes with
+// acked-floor / issued-ceiling accounting.
+struct QuorumHarness {
+  explicit QuorumHarness(FailoverWorld* w)
+      : world(w), client(w->transport.get(), w->world.hosts[3]) {}
+
+  void WriteAt(SimTime at, const std::string& key, uint64_t delta,
+               sim::Endpoint target, SimTime deadline = 10 * kSecond) {
+    issued[key] += delta;
+    world->simulator.ScheduleAt(at, [this, key, delta, target, deadline] {
+      dso::kDsoInvoke.Call(&client, target, CounterAdd(key, delta),
+                           [this, key, delta](Result<Bytes> r) {
+                             if (r.ok()) {
+                               acked[key] += delta;
+                               ++acked_writes;
+                             } else {
+                               ++refused_writes;
+                             }
+                           },
+                           sim::WriteCallOptions(deadline));
+    });
+  }
+
+  // The elected master among the given replicas (nullptr unless exactly one).
+  static dso::ReplicationObject* WinnerOf(
+      std::vector<dso::ReplicationObject*> replicas, int* masters) {
+    *masters = 0;
+    dso::ReplicationObject* winner = nullptr;
+    for (dso::ReplicationObject* replica : replicas) {
+      if (replica != nullptr &&
+          replica->contact_address()->role == gls::ReplicaRole::kMaster) {
+        ++*masters;
+        winner = replica;
+      }
+    }
+    return *masters == 1 ? winner : nullptr;
+  }
+
+  // Acked writes are a floor, issued writes a ceiling, on every counter.
+  void CheckBounds(const std::map<std::string, uint64_t>& state) {
+    for (const auto& [key, value] : state) {
+      EXPECT_LE(value, issued[key]) << key << ": executed more than once";
+    }
+    for (const auto& [key, value] : acked) {
+      EXPECT_GE(state.count(key) > 0 ? state.at(key) : 0, value)
+          << key << ": an acknowledged write was lost";
+    }
+  }
+
+  FailoverWorld* world;
+  sim::Channel client;
+  std::map<std::string, uint64_t> issued, acked;
+  size_t acked_writes = 0;
+  size_t refused_writes = 0;
+};
+
+// Loss window 1: the master crashes mid-commit — after executing a write and
+// fanning it out, before (or while) publishing its commit floor. The write was
+// never acked, so it may land (a majority staged it) or vanish (the pushes
+// died with the master); what it must never do is cost an *acked* write. The
+// elected slave resumes at exactly the arbiter's floor.
+QuorumSummary RunQuorumCrashScenario(uint64_t seed) {
+  FailoverWorld w(seed, /*quorum=*/true);
+  auto [oid, master_address] = w.CreateMaster();
+  w.CreateSlave(w.gos_b.get(), oid);
+  w.CreateSlave(w.gos_c.get(), oid);
+  QuorumHarness h(&w);
+
+  // Quorum-acked: 2-of-3 held it and the floor reached the arbiter before the
+  // client saw the ack. This write must survive anything that follows.
+  h.WriteAt(w.simulator.Now() + 100 * kMillisecond, "k", 5,
+            master_address.endpoint);
+  w.RunFor(5 * kSecond);
+  EXPECT_EQ(h.acked["k"], 5u);
+
+  // Mid-commit crash: the write is in its fan-out/floor-publication window
+  // when the master's host powers off.
+  h.WriteAt(w.simulator.Now(), "mid", 3, master_address.endpoint, 2 * kSecond);
+  w.simulator.ScheduleAt(w.simulator.Now() + 50 * kMillisecond,
+                         [&w, host = master_address.endpoint.node] {
+                           w.network->CrashNode(host);
+                         });
+  w.RunFor(25 * kSecond);
+
+  dso::ReplicationObject* replica_b = w.gos_b->FindReplica(oid);
+  dso::ReplicationObject* replica_c = w.gos_c->FindReplica(oid);
+  EXPECT_NE(replica_b, nullptr);
+  EXPECT_NE(replica_c, nullptr);
+  if (replica_b == nullptr || replica_c == nullptr) {
+    return {};
+  }
+  int masters = 0;
+  dso::ReplicationObject* winner =
+      QuorumHarness::WinnerOf({replica_b, replica_c}, &masters);
+  EXPECT_EQ(masters, 1);
+  if (winner == nullptr) {
+    return {};
+  }
+  EXPECT_EQ(winner->epoch(), 2u);
+
+  // The new master serves quorum writes (itself + the surviving slave).
+  h.WriteAt(w.simulator.Now() + kSecond, "after", 2,
+            winner->contact_address()->endpoint);
+  w.RunFor(10 * kSecond);
+  EXPECT_EQ(h.acked["after"], 2u);
+
+  // Converged survivors, acked floor intact, unacked mid-commit write at most
+  // once, and the arbiter's floor names the new master's committed version.
+  Bytes state_b = replica_b->semantics()->GetState();
+  Bytes state_c = replica_c->semantics()->GetState();
+  EXPECT_EQ(state_b, state_c);
+  EXPECT_EQ(replica_b->version(), replica_c->version());
+  std::map<std::string, uint64_t> state = ParseCounterState(state_b);
+  h.CheckBounds(state);
+  EXPECT_EQ(state.at("k"), 5u);
+  EXPECT_EQ(state.at("after"), 2u);
+  const gls::DirectorySubnode* arbiter = w.RootArbiter(oid);
+  EXPECT_NE(arbiter, nullptr);
+  uint64_t arbiter_floor = arbiter != nullptr ? arbiter->OwnerVersionFloor(oid) : 0;
+  EXPECT_EQ(arbiter_floor, winner->group()->committed_version());
+  EXPECT_EQ(winner->version(), winner->group()->committed_version());
+
+  QuorumSummary summary;
+  summary.executed_events = w.simulator.executed_events();
+  summary.state_hash = Sha256::HexDigest(state_b) + Sha256::HexDigest(state_c);
+  summary.winner_epoch = winner->epoch();
+  summary.masters = masters;
+  summary.arbiter_floor = arbiter_floor;
+  summary.acked_writes = h.acked_writes;
+  summary.quorum_commits = winner->group()->stats().quorum_commits;
+  summary.quorum_refusals = winner->group()->stats().quorum_refusals;
+  summary.total_messages = w.network->stats().TotalMessages();
+  return summary;
+}
+
+class ChaosQuorumCrashTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ChaosQuorumCrashTest, MasterCrashMidCommitLosesNoAckedWriteAndReplays) {
+  QuorumSummary first = RunQuorumCrashScenario(GetParam());
+  EXPECT_EQ(first.masters, 1);
+  EXPECT_EQ(first.winner_epoch, 2u);
+  EXPECT_GE(first.acked_writes, 2u);
+  QuorumSummary second = RunQuorumCrashScenario(GetParam());
+  EXPECT_EQ(first.executed_events, second.executed_events);
+  EXPECT_EQ(first.state_hash, second.state_hash);
+  EXPECT_TRUE(first == second);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ChaosQuorumCrashTest,
+                         ::testing::ValuesIn(ChaosSeeds()));
+
+// Loss window 2: the master is partitioned from every member (and the
+// directory) while a client it can still reach keeps writing. Lease-only mode
+// would execute those writes locally and ack them — then lose them all to the
+// election happening behind the partition. Quorum mode refuses the burst: the
+// first write rolls back when its fan-out cannot assemble a majority, the
+// rest are refused up front, and nothing the isolated master did survives.
+QuorumSummary RunQuorumIsolationScenario(uint64_t seed) {
+  FailoverWorld w(seed, /*quorum=*/true);
+  auto [oid, master_address] = w.CreateMaster();
+  w.CreateSlave(w.gos_b.get(), oid);
+  w.CreateSlave(w.gos_c.get(), oid);
+  QuorumHarness h(&w);
+  NodeId master_host = master_address.endpoint.node;
+
+  h.WriteAt(w.simulator.Now() + 100 * kMillisecond, "k", 5,
+            master_address.endpoint);
+  w.RunFor(5 * kSecond);
+  EXPECT_EQ(h.acked["k"], 5u);
+
+  // Isolate the master from both slaves and every directory host for 30 s —
+  // the client's link stays up, so its writes really reach the master.
+  SimTime t0 = w.simulator.Now();
+  constexpr SimTime kIsolation = 30 * kSecond;
+  w.network->PartitionPair(master_host, w.gos_b->host(), kIsolation);
+  w.network->PartitionPair(master_host, w.gos_c->host(), kIsolation);
+  for (const auto& subnode : w.deployment->subnodes()) {
+    w.network->PartitionPair(master_host, subnode->host(), kIsolation);
+  }
+
+  // The write burst during isolation. The first write executes and rolls back
+  // (its fan-out dies at the partition); once the unreachable members are
+  // evicted the remaining writes are refused instantly, nothing applied.
+  h.WriteAt(t0 + 1 * kSecond, "iso0", 1, master_address.endpoint);
+  h.WriteAt(t0 + 8 * kSecond, "iso1", 1, master_address.endpoint);
+  h.WriteAt(t0 + 10 * kSecond, "iso2", 1, master_address.endpoint);
+
+  w.RunFor(kIsolation + 20 * kSecond);
+
+  dso::ReplicationObject* old_master = w.gos_a->FindReplica(oid);
+  dso::ReplicationObject* replica_b = w.gos_b->FindReplica(oid);
+  dso::ReplicationObject* replica_c = w.gos_c->FindReplica(oid);
+  EXPECT_NE(old_master, nullptr);
+  EXPECT_NE(replica_b, nullptr);
+  EXPECT_NE(replica_c, nullptr);
+  if (old_master == nullptr || replica_b == nullptr || replica_c == nullptr) {
+    return {};
+  }
+
+  // Zero acked writes during isolation; every burst write got a definitive
+  // refusal; at least one rolled back after executing.
+  EXPECT_EQ(h.acked.count("iso0") + h.acked.count("iso1") + h.acked.count("iso2"),
+            0u);
+  EXPECT_EQ(h.refused_writes, 3u);
+  EXPECT_GE(old_master->group()->stats().quorum_refusals, 3u);
+  EXPECT_EQ(old_master->group()->stats().quorum_commits, 1u);  // just "k"
+
+  // The group elected a new master behind the partition; the healed old
+  // master was fenced, demoted exactly once, and follows the winner.
+  int masters = 0;
+  dso::ReplicationObject* winner =
+      QuorumHarness::WinnerOf({old_master, replica_b, replica_c}, &masters);
+  EXPECT_EQ(masters, 1);
+  if (winner == nullptr) {
+    return {};
+  }
+  EXPECT_NE(winner, old_master);
+  EXPECT_EQ(old_master->contact_address()->role, gls::ReplicaRole::kSlave);
+  EXPECT_EQ(old_master->group()->stats().demotions, 1u);
+  EXPECT_EQ(winner->epoch(), 2u);
+
+  // Convergence sweep: one quorum write through the winner reaches everyone.
+  h.WriteAt(w.simulator.Now() + kSecond, "sync", 1,
+            winner->contact_address()->endpoint);
+  w.RunFor(15 * kSecond);
+  EXPECT_EQ(h.acked["sync"], 1u);
+
+  Bytes state_a = old_master->semantics()->GetState();
+  Bytes state_b = replica_b->semantics()->GetState();
+  Bytes state_c = replica_c->semantics()->GetState();
+  EXPECT_EQ(state_b, state_c);
+  EXPECT_EQ(state_a, state_b);
+  std::map<std::string, uint64_t> state = ParseCounterState(state_b);
+  h.CheckBounds(state);
+  // "Nothing was applied": the refused burst left no trace anywhere — not even
+  // on the master that executed (and rolled back) the first burst write.
+  EXPECT_EQ(state.count("iso0"), 0u);
+  EXPECT_EQ(state.count("iso1"), 0u);
+  EXPECT_EQ(state.count("iso2"), 0u);
+  EXPECT_EQ(state.at("k"), 5u);
+  EXPECT_EQ(state.at("sync"), 1u);
+
+  const gls::DirectorySubnode* arbiter = w.RootArbiter(oid);
+  EXPECT_NE(arbiter, nullptr);
+  QuorumSummary summary;
+  summary.executed_events = w.simulator.executed_events();
+  summary.state_hash = Sha256::HexDigest(state_a) + Sha256::HexDigest(state_b) +
+                       Sha256::HexDigest(state_c);
+  summary.winner_epoch = winner->epoch();
+  summary.masters = masters;
+  summary.arbiter_floor = arbiter != nullptr ? arbiter->OwnerVersionFloor(oid) : 0;
+  summary.acked_writes = h.acked_writes;
+  summary.quorum_commits = old_master->group()->stats().quorum_commits;
+  summary.quorum_refusals = old_master->group()->stats().quorum_refusals;
+  summary.total_messages = w.network->stats().TotalMessages();
+  return summary;
+}
+
+class ChaosQuorumIsolationTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ChaosQuorumIsolationTest, IsolatedMasterRefusesWritesAndReplays) {
+  QuorumSummary first = RunQuorumIsolationScenario(GetParam());
+  EXPECT_EQ(first.masters, 1);
+  EXPECT_EQ(first.winner_epoch, 2u);
+  QuorumSummary second = RunQuorumIsolationScenario(GetParam());
+  EXPECT_EQ(first.executed_events, second.executed_events);
+  EXPECT_EQ(first.state_hash, second.state_hash);
+  EXPECT_TRUE(first == second);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ChaosQuorumIsolationTest,
+                         ::testing::ValuesIn(ChaosSeeds()));
+
+// Loss window 3: partition healing with a divergent deposed master — on the
+// active-replication protocol, so both quorum write paths face the chaos
+// suite. The partitioned sequencer executes a write the group never saw
+// (transient divergence), rolls it back when the quorum round fails, and is
+// deposed behind the partition; the new sequencer meanwhile commits a write
+// REUSING the same version slot. Healing must fence the deposed sequencer,
+// converge all three members on the winner's history, and never resurrect the
+// rolled-back write.
+QuorumSummary RunQuorumDivergenceScenario(uint64_t seed) {
+  FailoverWorld w(seed, /*quorum=*/true);
+  auto [oid, master_address] = w.CreateMaster(dso::kProtoActiveRepl);
+  w.CreateSlave(w.gos_b.get(), oid);
+  w.CreateSlave(w.gos_c.get(), oid);
+  QuorumHarness h(&w);
+  NodeId master_host = master_address.endpoint.node;
+
+  h.WriteAt(w.simulator.Now() + 100 * kMillisecond, "k", 5,
+            master_address.endpoint);
+  w.RunFor(5 * kSecond);
+  EXPECT_EQ(h.acked["k"], 5u);
+
+  // 20 s partition: sequencer cut off from both members and the directory.
+  SimTime t0 = w.simulator.Now();
+  constexpr SimTime kPartition = 20 * kSecond;
+  w.network->PartitionPair(master_host, w.gos_b->host(), kPartition);
+  w.network->PartitionPair(master_host, w.gos_c->host(), kPartition);
+  for (const auto& subnode : w.deployment->subnodes()) {
+    w.network->PartitionPair(master_host, subnode->host(), kPartition);
+  }
+
+  // The divergent write: executed locally at the stale sequencer, never seen
+  // by the group, rolled back when its quorum round cannot assemble a
+  // majority. Its version slot is up for grabs by the new sequencer.
+  h.WriteAt(t0 + 500 * kMillisecond, "div", 7, master_address.endpoint);
+
+  // Election behind the partition, then a committed write through the winner
+  // — reusing the version slot the divergent write briefly occupied.
+  w.RunFor(14 * kSecond);
+  dso::ReplicationObject* replica_b = w.gos_b->FindReplica(oid);
+  dso::ReplicationObject* replica_c = w.gos_c->FindReplica(oid);
+  EXPECT_NE(replica_b, nullptr);
+  EXPECT_NE(replica_c, nullptr);
+  if (replica_b == nullptr || replica_c == nullptr) {
+    return {};
+  }
+  int masters = 0;
+  dso::ReplicationObject* winner =
+      QuorumHarness::WinnerOf({replica_b, replica_c}, &masters);
+  EXPECT_EQ(masters, 1);
+  if (winner == nullptr) {
+    return {};
+  }
+  h.WriteAt(w.simulator.Now() + kSecond, "win", 4,
+            winner->contact_address()->endpoint);
+
+  // Heal (the timed partitions lapse on their own) and let the deposed
+  // sequencer discover the new epoch, demote and re-register.
+  w.RunFor((t0 + kPartition - w.simulator.Now()) + 20 * kSecond);
+  EXPECT_EQ(h.acked["win"], 4u);
+  EXPECT_EQ(h.acked.count("div"), 0u);  // refused, definitively
+
+  dso::ReplicationObject* old_master = w.gos_a->FindReplica(oid);
+  EXPECT_NE(old_master, nullptr);
+  if (old_master == nullptr) {
+    return {};
+  }
+  EXPECT_EQ(old_master->contact_address()->role, gls::ReplicaRole::kSlave);
+  EXPECT_EQ(old_master->group()->stats().demotions, 1u);
+  EXPECT_GE(old_master->group()->stats().quorum_refusals, 1u);
+  EXPECT_EQ(winner->epoch(), 2u);
+  EXPECT_EQ(old_master->epoch(), 2u);
+
+  // Convergence sweep through the winner.
+  h.WriteAt(w.simulator.Now() + kSecond, "sync", 1,
+            winner->contact_address()->endpoint);
+  w.RunFor(15 * kSecond);
+  EXPECT_EQ(h.acked["sync"], 1u);
+
+  Bytes state_a = old_master->semantics()->GetState();
+  Bytes state_b = replica_b->semantics()->GetState();
+  Bytes state_c = replica_c->semantics()->GetState();
+  EXPECT_EQ(state_b, state_c);
+  EXPECT_EQ(state_a, state_b);
+  EXPECT_EQ(old_master->version(), winner->version());
+  std::map<std::string, uint64_t> state = ParseCounterState(state_b);
+  h.CheckBounds(state);
+  EXPECT_EQ(state.count("div"), 0u);  // the divergence never resurrects
+  EXPECT_EQ(state.at("k"), 5u);
+  EXPECT_EQ(state.at("win"), 4u);
+  EXPECT_EQ(state.at("sync"), 1u);
+
+  const gls::DirectorySubnode* arbiter = w.RootArbiter(oid);
+  EXPECT_NE(arbiter, nullptr);
+  uint64_t arbiter_floor = arbiter != nullptr ? arbiter->OwnerVersionFloor(oid) : 0;
+  EXPECT_EQ(arbiter_floor, winner->group()->committed_version());
+
+  QuorumSummary summary;
+  summary.executed_events = w.simulator.executed_events();
+  summary.state_hash = Sha256::HexDigest(state_a) + Sha256::HexDigest(state_b) +
+                       Sha256::HexDigest(state_c);
+  summary.winner_epoch = winner->epoch();
+  summary.masters = masters;
+  summary.arbiter_floor = arbiter_floor;
+  summary.acked_writes = h.acked_writes;
+  summary.quorum_commits = winner->group()->stats().quorum_commits;
+  summary.quorum_refusals = old_master->group()->stats().quorum_refusals;
+  summary.total_messages = w.network->stats().TotalMessages();
+  return summary;
+}
+
+class ChaosQuorumDivergenceTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ChaosQuorumDivergenceTest, HealedDivergentDeposedMasterConvergesAndReplays) {
+  QuorumSummary first = RunQuorumDivergenceScenario(GetParam());
+  EXPECT_EQ(first.masters, 1);
+  EXPECT_EQ(first.winner_epoch, 2u);
+  QuorumSummary second = RunQuorumDivergenceScenario(GetParam());
+  EXPECT_EQ(first.executed_events, second.executed_events);
+  EXPECT_EQ(first.state_hash, second.state_hash);
+  EXPECT_TRUE(first == second);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ChaosQuorumDivergenceTest,
                          ::testing::ValuesIn(ChaosSeeds()));
 
 // ----------------------------------------------------------- decommissioning

@@ -265,6 +265,32 @@ TEST(ReplicationController, HysteresisHoldsNarrowWins) {
   EXPECT_EQ(moved.protocol, dso::kProtoActiveRepl);
 }
 
+TEST(ReplicationController, SingleRegionMaintenanceFloorBreaksCentralTie) {
+  sim::Simulator simulator;
+  MetricsRegistry metrics(&simulator);
+  FakeActuator actuator;
+  ReplicationController controller(&simulator, &metrics, &actuator);
+
+  // Degenerate K=1 workload: every access from the home region. Without a
+  // maintenance term the replicated policies deploy zero secondaries and score
+  // exactly 0 — tied with central, so the winner used to depend on candidate
+  // enumeration order and a replicated incumbent could hold on forever. The
+  // per-replica maintenance floor makes central strictly cheapest, so the
+  // controller must come home no matter which protocol it starts from.
+  SimTime now = 30 * kSecond;
+  AccessStats stats = FlashCrowdStats(now, /*regions=*/1, 40000, 2000);
+  const gls::ProtocolId incumbents[] = {
+      0, dso::kProtoClientServer, dso::kProtoMasterSlave,
+      dso::kProtoActiveRepl, dso::kProtoCacheInval};
+  for (gls::ProtocolId current : incumbents) {
+    PolicyDecision decision = controller.Decide(stats, current, now);
+    EXPECT_EQ(decision.protocol, dso::kProtoClientServer)
+        << "incumbent protocol " << static_cast<int>(current);
+    EXPECT_TRUE(decision.replica_regions.empty())
+        << "incumbent protocol " << static_cast<int>(current);
+  }
+}
+
 // ---------------------------------------------------------------- evaluation
 
 // Schedules one second's worth of samples per second for one object, from the

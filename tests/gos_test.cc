@@ -3,6 +3,7 @@
 
 #include <gtest/gtest.h>
 
+#include "src/gdn/world.h"
 #include "src/gls/deploy.h"
 #include "src/gos/object_server.h"
 #include "src/sec/secure_transport.h"
@@ -498,6 +499,87 @@ TEST(GosAuthTest, OnlyModeratorsMayCommand) {
   simulator.Run();
   EXPECT_TRUE(moderator_status.ok()) << moderator_status;
   EXPECT_EQ(gos.num_replicas(), 1u);
+}
+
+// PR 8 migration hole, closed: a protocol switch must also tear down replicas
+// the GOS never created — the HTTPD-side representatives installed via
+// bind_as_replica. Before the fix, such a replica kept serving the retired
+// incarnation indefinitely and its GLS registration leaked when the HTTPD
+// eventually dropped the binding.
+TEST(GosMigrationTest, SwitchProtocolRetiresHttpdSideReplicas) {
+  gdn::GdnWorldConfig config;
+  config.fanouts = {2, 2};
+  config.user_hosts_per_site = 2;
+  gdn::GdnWorld world(config);
+
+  std::map<std::string, Bytes> files = {{"VERSION", ToBytes("1.0")}};
+  auto oid = world.PublishPackage("/apps/live", files, dso::kProtoMasterSlave, 0);
+  ASSERT_TRUE(oid.ok()) << oid.status();
+
+  // A user far from the master downloads through their HTTPD; with
+  // bind_as_replica the HTTPD joins as a slave and registers in the GLS.
+  sim::NodeId user = world.user_hosts().back();
+  gdn::GdnHttpd* httpd = world.NearestHttpd(user);
+  ASSERT_NE(world.CountryOf(user), 0);
+  auto v1 = world.DownloadFile(user, "/apps/live", "VERSION");
+  ASSERT_TRUE(v1.ok()) << v1.status();
+  EXPECT_EQ(ToString(*v1), "1.0");
+  EXPECT_EQ(httpd->bound_objects(), 1u);
+
+  // The nearest advertised address from the user's country is now the
+  // HTTPD-side replica itself (GLS lookups stop at the closest registration).
+  auto client = world.gls().MakeClient(user);
+  std::vector<gls::ContactAddress> before;
+  client->Lookup(*oid, [&](Result<gls::LookupResult> r) {
+    ASSERT_TRUE(r.ok()) << r.status();
+    before = r->addresses;
+  });
+  world.Run();
+  ASSERT_EQ(before.size(), 1u);
+  EXPECT_EQ(before[0].endpoint.node, httpd->node());
+  EXPECT_NE(before[0].role, gls::ReplicaRole::kMaster);
+
+  // The master's GOS switches protocols. The epoch bump must reach the
+  // HTTPD-side replica too: the retire fan-out fences it.
+  ObjectServer* gos = world.GosOf(0);
+  Status status = InvalidArgument("pending");
+  gos->SwitchProtocol(*oid, dso::kProtoCacheInval, [&](Status s) { status = s; });
+  world.Run();
+  ASSERT_TRUE(status.ok()) << status;
+  EXPECT_EQ(gos->stats().protocol_switches, 1u);
+  EXPECT_GE(gos->stats().foreign_retires, 1u);
+
+  // A write lands on the fresh incarnation.
+  auto* fresh = gos->FindReplica(*oid);
+  ASSERT_NE(fresh, nullptr);
+  Result<Bytes> wrote = Unavailable("pending");
+  fresh->Invoke(gdn::pkg::AddFile("VERSION", ToBytes("2.0")),
+                [&](Result<Bytes> r) { wrote = std::move(r); });
+  world.Run();
+  ASSERT_TRUE(wrote.ok()) << wrote.status();
+
+  // Re-download through the same HTTPD: its fenced replica refuses with a
+  // rebind-worthy error, the stale binding is dropped through Unbind, and the
+  // rebound proxy serves the update.
+  auto v2 = world.DownloadFile(user, "/apps/live", "VERSION");
+  ASSERT_TRUE(v2.ok()) << v2.status();
+  EXPECT_EQ(ToString(*v2), "2.0");
+  EXPECT_GE(httpd->stats().rebinds, 1u);
+
+  // And the retired HTTPD-side address is gone from the GLS — the binding was
+  // unbound, not silently destroyed with its registration left behind.
+  std::vector<gls::ContactAddress> after;
+  client->Lookup(*oid, [&](Result<gls::LookupResult> r) {
+    ASSERT_TRUE(r.ok()) << r.status();
+    after = r->addresses;
+  });
+  world.Run();
+  for (const gls::ContactAddress& stale : before) {
+    for (const gls::ContactAddress& address : after) {
+      EXPECT_NE(address.endpoint, stale.endpoint)
+          << "retired incarnation still advertised";
+    }
+  }
 }
 
 }  // namespace
