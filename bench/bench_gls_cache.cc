@@ -29,9 +29,13 @@ struct RunStats {
   uint64_t total_hops = 0;
   sim::SimTime total_latency = 0;
   gls::SubnodeStats directory;
+  size_t resident_entries = 0;  // directory entries in memory at the end
+  size_t cold_entries = 0;      // entries spilled to the per-subnode cold store
+  double wall_seconds = 0;
 };
 
-RunStats RunHotReads(bool cached) {
+RunStats RunHotReads(bool cached, size_t store_capacity = 0) {
+  bench::Stopwatch wall;
   sim::Simulator simulator;
   sim::UniformWorld world = sim::BuildUniformWorld({3, 3, 3}, 2);
   sim::Network network(&simulator, &world.topology);
@@ -40,6 +44,7 @@ RunStats RunHotReads(bool cached) {
   gls::GlsDeploymentOptions options;
   options.node_options.enable_cache = cached;
   options.node_options.cache_ttl = 24 * 3600 * sim::kSecond;
+  options.node_options.store_capacity = store_capacity;
   gls::GlsDeployment deployment(&transport, &world.topology, nullptr, options);
 
   // Hot objects all live on continent 0.
@@ -87,6 +92,11 @@ RunStats RunHotReads(bool cached) {
     }
   }
   stats.directory = deployment.TotalStats();
+  for (const auto& subnode : deployment.subnodes()) {
+    stats.resident_entries += subnode->StoreResidentEntries();
+    stats.cold_entries += subnode->StoreColdEntries();
+  }
+  stats.wall_seconds = wall.Seconds();
   return stats;
 }
 
@@ -184,6 +194,35 @@ int main() {
   bench::Note("expected shape: every repeat lookup stops at its apex cache, so the");
   bench::Note("cached run needs roughly half the directory hops per lookup and its");
   bench::Note("average simulated latency drops accordingly.");
+
+  // Memory-bounded directory store, before/after: the same cached workload with
+  // each subnode capped below the hot-object count, so the LRU spills and
+  // faults entries while every lookup still succeeds with identical results.
+  RunStats bounded = RunHotReads(true, /*store_capacity=*/kHotObjects / 2);
+  if (bounded.lookups != cached.lookups || bounded.total_hops != cached.total_hops) {
+    std::printf("bounded store changed lookup results\n");
+    return 1;
+  }
+  if (bounded.directory.store_evictions == 0 ||
+      bounded.directory.store_fault_ins == 0) {
+    std::printf("bounded store never spilled/faulted\n");
+    return 1;
+  }
+  bench::Note("");
+  bench::Note("memory-bounded subnode store (capacity %d entries per subnode):",
+              kHotObjects / 2);
+  bench::Table store_table({"store", "resident", "cold", "evictions", "fault-ins",
+                            "spilled KB", "wall s"});
+  auto store_row = [&](const char* label, const RunStats& r) {
+    store_table.Row({label, Fmt("%zu", r.resident_entries),
+                     Fmt("%zu", r.cold_entries),
+                     Fmt("%llu", (unsigned long long)r.directory.store_evictions),
+                     Fmt("%llu", (unsigned long long)r.directory.store_fault_ins),
+                     Fmt("%.1f", r.directory.store_spilled_bytes / 1024.0),
+                     Fmt("%.3f", r.wall_seconds)});
+  };
+  store_row("unbounded (before)", cached);
+  store_row("bounded (after)", bounded);
 
   constexpr int kRegistrations = 64;
   RegistrationStats loose = RunRegistration(false, kRegistrations);

@@ -8,6 +8,9 @@
 #ifndef BENCH_BENCH_UTIL_H_
 #define BENCH_BENCH_UTIL_H_
 
+#include <sys/resource.h>
+
+#include <chrono>
 #include <cstdarg>
 #include <cstdio>
 #include <cstdlib>
@@ -18,6 +21,28 @@
 #include "src/util/strings.h"
 
 namespace globe::bench {
+
+// Real (host) elapsed time, for the perf-facing benches: virtual time measures
+// protocol cost, wall time measures the engine itself.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(std::chrono::steady_clock::now()) {}
+  void Reset() { start_ = std::chrono::steady_clock::now(); }
+  double Seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+// Peak resident set size of this process in MiB (ru_maxrss is KiB on Linux).
+inline double PeakRssMb() {
+  struct rusage usage {};
+  getrusage(RUSAGE_SELF, &usage);
+  return static_cast<double>(usage.ru_maxrss) / 1024.0;
+}
 
 // Mirrors everything a bench binary prints (title, notes, tables) and writes it
 // as BENCH_<name>.json on exit, so the perf trajectory can diff runs without
@@ -54,8 +79,15 @@ class JsonReport {
                        FileKey() + ".json";
     std::FILE* out = std::fopen(path.c_str(), "w");
     if (out == nullptr) return;
-    std::fprintf(out, "{\n  \"id\": %s,\n  \"title\": %s,\n  \"notes\": [",
-                 Quote(id_).c_str(), Quote(what_).c_str());
+    // Host-side cost of producing the report: every bench carries these two, so
+    // the perf trajectory can watch engine wall time and memory, not just the
+    // virtual-time tables.
+    std::fprintf(out,
+                 "{\n  \"id\": %s,\n  \"title\": %s,\n"
+                 "  \"wall_seconds\": %.3f,\n  \"peak_rss_mb\": %.1f,\n"
+                 "  \"notes\": [",
+                 Quote(id_).c_str(), Quote(what_).c_str(), wall_.Seconds(),
+                 PeakRssMb());
     for (size_t i = 0; i < notes_.size(); ++i) {
       std::fprintf(out, "%s\n    %s", i == 0 ? "" : ",", Quote(notes_[i]).c_str());
     }
@@ -124,6 +156,7 @@ class JsonReport {
 
   std::string id_;
   std::string what_;
+  Stopwatch wall_;  // started when the bench first touches the report
   std::vector<std::string> notes_;
   std::vector<TableData> tables_;
 };

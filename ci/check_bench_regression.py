@@ -5,7 +5,8 @@ Compares the BENCH_<name>.json files a bench run just produced against the
 baselines committed under ci/baselines/. The bench worlds are deterministic
 simulations, so hops / simulated latencies / per-subnode loads reproduce exactly;
 the threshold only absorbs intentional-but-small drift. Lower is better for every
-guarded column.
+guarded column except those listed in HIGHER_IS_BETTER (throughput figures),
+where the same threshold bounds how far the value may *fall*.
 
 Usage:
   python3 ci/check_bench_regression.py \
@@ -55,8 +56,25 @@ GUARDED_COLUMNS = {
     # run to run; the 25% threshold absorbs toolchain drift. Wall-clock columns
     # stay machine-bound and unguarded.
     "BENCH_wire_hotpath.json": ["frames/op", "wire bytes/op", "allocs/op"],
+    # Planet scale: events/sec guards engine throughput (higher is better) and
+    # peak RSS guards the memory-bounded directory (the whole point of the
+    # bounded subnode store). Both are machine-sensitive — wall-clock columns
+    # stay unguarded and the shared 25% threshold absorbs runner variance,
+    # while an unbounded store blowing past capacity moves RSS far more than
+    # that. "lost" must stay at its zero baseline (any growth from zero fails
+    # regardless of threshold).
+    "BENCH_planet_scale.json": ["events/sec", "peak rss", "lost"],
 }
 EXCLUDED_COLUMN_MARKERS = ["saved"]
+# Columns where larger values are improvements: the threshold bounds shrinkage
+# instead of growth. Matched by substring against the lowercased header, same
+# as GUARDED_COLUMNS.
+HIGHER_IS_BETTER = ["events/sec"]
+# Leading label cells identifying a row. Default: everything before the first
+# guarded column (right when labels precede all data columns). Benches whose
+# guarded columns sit to the right of unguarded machine-bound data — the planet
+# table's wall-clock seconds vary run to run — pin an explicit width instead.
+LABEL_COLUMNS = {"BENCH_planet_scale.json": 1}
 
 _NUMBER = re.compile(r"^\s*(-?\d+(?:\.\d+)?)")
 
@@ -102,7 +120,9 @@ def compare_file(name, baseline, current, threshold):
         # Rows are identified by their label cells: everything before the first
         # guarded (data) column. Tables with several label columns — e.g. the
         # fail-over table's (mode, lease timings) — stay unambiguous this way.
-        label_len = max(1, min(guarded)) if guarded else 1
+        label_len = LABEL_COLUMNS.get(
+            name, max(1, min(guarded)) if guarded else 1
+        )
         cur_rows = {
             tuple(row[:label_len]): row for row in cur_table.get("rows", []) if row
         }
@@ -129,10 +149,20 @@ def compare_file(name, baseline, current, threshold):
                         f"{base_value:g} -> non-numeric '{cur_row[i]}'"
                     )
                     continue
-                limit = base_value * (1.0 + threshold)
-                # Baselines of 0 (e.g. 0 hops) must stay 0: any growth from a zero
-                # baseline is a regression the ratio test cannot see.
-                if cur_value > limit or (base_value == 0 and cur_value > 0):
+                higher_better = any(
+                    g in headers[i].lower() for g in HIGHER_IS_BETTER
+                )
+                if higher_better:
+                    limit = base_value * (1.0 - threshold)
+                    regressed = cur_value < limit
+                else:
+                    limit = base_value * (1.0 + threshold)
+                    # Baselines of 0 (e.g. 0 hops) must stay 0: any growth from
+                    # a zero baseline is a regression the ratio test cannot see.
+                    regressed = cur_value > limit or (
+                        base_value == 0 and cur_value > 0
+                    )
+                if regressed:
                     problems.append(
                         f"{name}: '{label}' / '{headers[i]}' regressed "
                         f"{base_value:g} -> {cur_value:g} "

@@ -54,9 +54,30 @@ class GlsDeployment {
   // Aggregate statistics over every subnode.
   SubnodeStats TotalStats() const;
 
+  // Re-partitions one domain's directory node to `new_subnode_count` subnodes
+  // (must exceed the current count). New hosts are added to the topology, every
+  // directory entry and ownership record is redistributed by the new hash rule,
+  // and the parent/child/self refs of every affected subnode are rewired.
+  // Callers must split before handing out client refs (or re-issue them): a
+  // client still routing by the old ref would misdirect mutations.
+  void SplitDirectoryNode(sim::DomainId domain, int new_subnode_count);
+
+  // Capacity-driven splitting: doubles the subnode count of any domain whose
+  // fullest subnode holds more than `max_entries_per_subnode` directory
+  // entries (resident + spilled). Returns the number of domains split.
+  int SplitOverloadedNodes(size_t max_entries_per_subnode);
+
  private:
+  // Creates one subnode host for `domain` (depth `depth`, slot `index`) and
+  // returns the subnode; shared by the constructor and SplitDirectoryNode.
+  std::unique_ptr<DirectorySubnode> MakeSubnode(sim::DomainId domain, int depth,
+                                                int index);
+
   sim::Transport* transport_;
-  const sim::Topology* topology_;
+  sim::Topology* topology_;
+  const sec::KeyRegistry* registry_;
+  GlsDeploymentOptions options_;
+  std::function<void(sim::NodeId)> on_host_created_;
   std::map<sim::DomainId, DirectoryRef> directories_;
   std::vector<std::unique_ptr<DirectorySubnode>> subnodes_;
 };

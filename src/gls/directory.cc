@@ -464,6 +464,7 @@ DirectorySubnode::DirectorySubnode(sim::Transport* transport, sim::NodeId host,
       options_(options),
       registry_(registry),
       rng_(rng_seed),
+      store_(options.store_capacity),
       cache_(options.cache_ttl, options.cache_max_entries,
              options.cache_negative_ttl) {
   server_.set_service_time(options_.service_time);
@@ -528,7 +529,7 @@ DirectorySubnode::DirectorySubnode(sim::Transport* transport, sim::NodeId host,
     }
     ++stats_.inserts;
     InvalidateCached(request.oid, /*quarantine=*/false);
-    auto& at_oid = addresses_[request.oid];
+    auto& at_oid = store_.Mutable(request.oid).addresses;
     if (std::find(at_oid.begin(), at_oid.end(), request.address) == at_oid.end()) {
       at_oid.push_back(request.address);
     }
@@ -549,7 +550,7 @@ DirectorySubnode::DirectorySubnode(sim::Transport* transport, sim::NodeId host,
     for (const auto& [oid, address] : request.items) {
       ++stats_.inserts;
       InvalidateCached(oid, /*quarantine=*/false);
-      auto& at_oid = addresses_[oid];
+      auto& at_oid = store_.Mutable(oid).addresses;
       if (std::find(at_oid.begin(), at_oid.end(), address) == at_oid.end()) {
         at_oid.push_back(address);
       }
@@ -600,7 +601,8 @@ DirectorySubnode::DirectorySubnode(sim::Transport* transport, sim::NodeId host,
     }
     ++stats_.pointer_installs;
     InvalidateCached(request.oid, /*quarantine=*/false);
-    bool was_new = pointers_[request.oid].insert(request.child_domain).second;
+    bool was_new =
+        store_.Mutable(request.oid).pointers.insert(request.child_domain).second;
     if (was_new && !parent_.empty()) {
       PropagatePointerUp(request.oid, std::move(respond));
       return;
@@ -630,7 +632,8 @@ DirectorySubnode::DirectorySubnode(sim::Transport* transport, sim::NodeId host,
     for (const ObjectId& oid : request.oids) {
       ++stats_.pointer_installs;
       InvalidateCached(oid, /*quarantine=*/false);
-      bool was_new = pointers_[oid].insert(request.child_domain).second;
+      bool was_new =
+          store_.Mutable(oid).pointers.insert(request.child_domain).second;
       if (was_new && !parent_.empty()) {
         continue_up.push_back(oid);
       } else {
@@ -662,11 +665,10 @@ DirectorySubnode::DirectorySubnode(sim::Transport* transport, sim::NodeId host,
     }
     ++stats_.pointer_removes;
     InvalidateCached(request.oid, /*quarantine=*/true);
-    auto it = pointers_.find(request.oid);
-    if (it != pointers_.end()) {
-      it->second.erase(request.child_domain);
-      if (it->second.empty()) {
-        pointers_.erase(it);
+    if (DirectoryEntry* entry = store_.Find(request.oid)) {
+      entry->pointers.erase(request.child_domain);
+      if (entry->Empty()) {
+        store_.Erase(request.oid);
       }
     }
     if (NumPointers(request.oid) == 0 && NumAddresses(request.oid) == 0) {
@@ -777,14 +779,24 @@ Status DirectorySubnode::CheckAuthorized(const sim::RpcContext& context) const {
   return OkStatus();
 }
 
+const SubnodeStats& DirectorySubnode::stats() const {
+  stats_.store_evictions = store_.evictions();
+  stats_.store_fault_ins = store_.fault_ins();
+  stats_.store_spilled_bytes = store_.spilled_bytes();
+  stats_.store_peak_resident = store_.peak_resident();
+  return stats_;
+}
+
 size_t DirectorySubnode::NumAddresses(const ObjectId& oid) const {
-  auto it = addresses_.find(oid);
-  return it == addresses_.end() ? 0 : it->second.size();
+  DirectoryEntry scratch;
+  const DirectoryEntry* entry = store_.Peek(oid, &scratch);
+  return entry == nullptr ? 0 : entry->addresses.size();
 }
 
 size_t DirectorySubnode::NumPointers(const ObjectId& oid) const {
-  auto it = pointers_.find(oid);
-  return it == pointers_.end() ? 0 : it->second.size();
+  DirectoryEntry scratch;
+  const DirectoryEntry* entry = store_.Peek(oid, &scratch);
+  return entry == nullptr ? 0 : entry->pointers.size();
 }
 
 uint64_t DirectorySubnode::OwnerEpoch(const ObjectId& oid) const {
@@ -799,12 +811,9 @@ uint64_t DirectorySubnode::OwnerVersionFloor(const ObjectId& oid) const {
 
 size_t DirectorySubnode::TotalEntries() const {
   size_t total = 0;
-  for (const auto& [oid, addresses] : addresses_) {
-    total += addresses.size();
-  }
-  for (const auto& [oid, pointers] : pointers_) {
-    total += pointers.size();
-  }
+  store_.ForEachSorted([&total](const ObjectId&, const DirectoryEntry& entry) {
+    total += entry.addresses.size() + entry.pointers.size();
+  });
   return total;
 }
 
@@ -817,11 +826,17 @@ void DirectorySubnode::InvalidateCached(const ObjectId& oid, bool quarantine) {
 void DirectorySubnode::ResolveLookup(LookupWireRequest req, LookupResponder respond) {
   req.apex_depth = std::min(req.apex_depth, depth_);
 
+  // One store access serves both the address check here and the pointer check
+  // below: lookups are what drives the LRU, so a spilled hot OID faults back in
+  // on its first lookup and stays resident. The pointer stays valid across the
+  // cache probes between the two checks (no other store call intervenes).
+  const DirectoryEntry* entry = store_.Find(req.oid);
+
   // Contact address here: done. Authoritative state always wins over the cache.
-  if (auto it = addresses_.find(req.oid); it != addresses_.end() && !it->second.empty()) {
+  if (entry != nullptr && !entry->addresses.empty()) {
     ++stats_.found_local;
     LookupResponse response;
-    response.addresses = it->second;
+    response.addresses = entry->addresses;
     response.hops = req.hops;
     response.found_depth = depth_;
     response.apex_depth = req.apex_depth;
@@ -859,8 +874,8 @@ void DirectorySubnode::ResolveLookup(LookupWireRequest req, LookupResponder resp
   // Forwarding pointer here: descend into one child subtree, chosen at random if
   // several replicas exist in different children (paper §3.5). The returned contact
   // addresses populate this subnode's lookup cache.
-  if (auto it = pointers_.find(req.oid); it != pointers_.end() && !it->second.empty()) {
-    const auto& children = it->second;
+  if (entry != nullptr && !entry->pointers.empty()) {
+    const auto& children = entry->pointers;
     size_t pick = static_cast<size_t>(rng_.UniformInt(children.size()));
     auto child_it = children.begin();
     std::advance(child_it, pick);
@@ -991,13 +1006,10 @@ void DirectorySubnode::ResolveLookupAll(LookupWireRequest req,
   response->hops = req.hops;
   response->found_depth = depth_;
   response->apex_depth = req.apex_depth;
-  if (auto it = addresses_.find(req.oid); it != addresses_.end()) {
-    response->addresses = it->second;
-  }
-
   std::vector<sim::Endpoint> targets;
-  if (auto it = pointers_.find(req.oid); it != pointers_.end()) {
-    for (sim::DomainId child_domain : it->second) {
+  if (const DirectoryEntry* entry = store_.Find(req.oid)) {
+    response->addresses = entry->addresses;
+    for (sim::DomainId child_domain : entry->pointers) {
       auto ref_it = children_.find(child_domain);
       if (ref_it != children_.end() && !ref_it->second.empty()) {
         targets.push_back(ref_it->second.Route(req.oid));
@@ -1155,12 +1167,12 @@ void DirectorySubnode::ResolveOwnership(
 void DirectorySubnode::ApplyDelete(const ObjectId& oid, const ContactAddress& address,
                                    EmptyResponder respond) {
   ++stats_.deletes;
-  auto it = addresses_.find(oid);
-  if (it == addresses_.end()) {
+  DirectoryEntry* entry = store_.Find(oid);
+  if (entry == nullptr) {
     respond(NotFound("no such contact address registered"));
     return;
   }
-  auto& at_oid = it->second;
+  auto& at_oid = entry->addresses;
   auto pos = std::find(at_oid.begin(), at_oid.end(), address);
   if (pos == at_oid.end()) {
     respond(NotFound("no such contact address registered"));
@@ -1175,9 +1187,13 @@ void DirectorySubnode::ApplyDelete(const ObjectId& oid, const ContactAddress& ad
                      std::move(respond));
     return;
   }
-  addresses_.erase(it);
-  // No addresses left here; if no pointers either, prune the chain above.
-  if (NumPointers(oid) > 0) {
+  // No addresses left here; if no pointers either, drop the entry and prune
+  // the chain above.
+  bool has_pointers = !entry->pointers.empty();
+  if (entry->Empty()) {
+    store_.Erase(oid);
+  }
+  if (has_pointers) {
     PropagateInvalUp(oid, /*include_siblings=*/true, /*quarantine=*/true,
                      std::move(respond));
     return;
@@ -1187,16 +1203,16 @@ void DirectorySubnode::ApplyDelete(const ObjectId& oid, const ContactAddress& ad
 
 void DirectorySubnode::ScrubAddress(const ObjectId& oid, const ContactAddress& address,
                                     EmptyResponder respond) {
-  auto it = addresses_.find(oid);
-  if (it != addresses_.end() &&
-      std::find(it->second.begin(), it->second.end(), address) != it->second.end()) {
+  const DirectoryEntry* entry = store_.Find(oid);
+  if (entry != nullptr &&
+      std::find(entry->addresses.begin(), entry->addresses.end(), address) !=
+          entry->addresses.end()) {
     // Registered here: run the ordinary delete, which also fires the coherence
     // chain (inval fan-out or pointer prune) the removal requires.
     ApplyDelete(oid, address, std::move(respond));
     return;
   }
-  auto ptr_it = pointers_.find(oid);
-  if (ptr_it == pointers_.end() || ptr_it->second.empty()) {
+  if (entry == nullptr || entry->pointers.empty()) {
     // Nothing registered below us either — the address is already gone
     // (the deposed master cleaned up itself, or a duplicate scrub landed).
     respond(sim::EmptyMessage{});
@@ -1205,7 +1221,7 @@ void DirectorySubnode::ScrubAddress(const ObjectId& oid, const ContactAddress& a
   // Descend every branch of the registration subtree: the stale leaf entry is
   // under exactly one of them, and the others answer cheaply with "not here".
   std::vector<sim::Endpoint> targets;
-  for (sim::DomainId child : ptr_it->second) {
+  for (sim::DomainId child : entry->pointers) {
     auto ref_it = children_.find(child);
     if (ref_it != children_.end() && !ref_it->second.empty()) {
       targets.push_back(ref_it->second.Route(oid));
@@ -1310,29 +1326,58 @@ void DirectorySubnode::PropagateInvalUp(const ObjectId& oid, bool include_siblin
 }
 
 Bytes DirectorySubnode::SaveState() const {
+  // The wire format predates the merged store: addresses and pointers are two
+  // separate sections. ForEachSorted visits in ascending OID order regardless
+  // of hot/cold placement, so the checkpoint bytes are independent of the
+  // access pattern that shaped the LRU.
   ByteWriter w;
-  w.WriteVarint(addresses_.size());
-  for (const auto& [oid, at_oid] : addresses_) {
+  uint64_t addr_oids = 0;
+  uint64_t ptr_oids = 0;
+  store_.ForEachSorted([&](const ObjectId&, const DirectoryEntry& entry) {
+    if (!entry.addresses.empty()) {
+      ++addr_oids;
+    }
+    if (!entry.pointers.empty()) {
+      ++ptr_oids;
+    }
+  });
+  w.WriteVarint(addr_oids);
+  store_.ForEachSorted([&](const ObjectId& oid, const DirectoryEntry& entry) {
+    if (entry.addresses.empty()) {
+      return;
+    }
     oid.Serialize(&w);
-    w.WriteVarint(at_oid.size());
-    for (const auto& address : at_oid) {
+    w.WriteVarint(entry.addresses.size());
+    for (const auto& address : entry.addresses) {
       address.Serialize(&w);
     }
-  }
-  w.WriteVarint(pointers_.size());
-  for (const auto& [oid, children] : pointers_) {
+  });
+  w.WriteVarint(ptr_oids);
+  store_.ForEachSorted([&](const ObjectId& oid, const DirectoryEntry& entry) {
+    if (entry.pointers.empty()) {
+      return;
+    }
     oid.Serialize(&w);
-    w.WriteVarint(children.size());
-    for (sim::DomainId child : children) {
+    w.WriteVarint(entry.pointers.size());
+    for (sim::DomainId child : entry.pointers) {
       w.WriteU32(child);
     }
-  }
+  });
   cache_.Serialize(&w);
   // Master-ownership records: fail-over arbitration must survive an arbiter
   // reboot, or a rebuilt root would re-grant epoch 1 and unfence stale masters.
+  // The map is hashed now; write in sorted OID order for a stable checkpoint.
+  std::vector<const ObjectId*> owner_keys;
+  owner_keys.reserve(owners_.size());
+  for (const auto& [oid, unused] : owners_) {
+    owner_keys.push_back(&oid);
+  }
+  std::sort(owner_keys.begin(), owner_keys.end(),
+            [](const ObjectId* a, const ObjectId* b) { return *a < *b; });
   w.WriteVarint(owners_.size());
-  for (const auto& [oid, rec] : owners_) {
-    oid.Serialize(&w);
+  for (const ObjectId* oid : owner_keys) {
+    const OwnerRecord& rec = owners_.at(*oid);
+    oid->Serialize(&w);
     w.WriteU64(rec.epoch);
     rec.master.Serialize(&w);
     w.WriteU64(rec.lease_expires_at);
@@ -1381,7 +1426,7 @@ Status DirectorySubnode::RestoreState(ByteSpan data) {
   if (!r.AtEnd()) {
     RETURN_IF_ERROR(cache.Restore(&r));
   }
-  std::map<ObjectId, OwnerRecord> owners;
+  std::unordered_map<ObjectId, OwnerRecord, OidHash> owners;
   if (!r.AtEnd()) {
     ASSIGN_OR_RETURN(uint64_t num_owner_oids, r.ReadVarint());
     for (uint64_t i = 0; i < num_owner_oids; ++i) {
@@ -1397,11 +1442,56 @@ Status DirectorySubnode::RestoreState(ByteSpan data) {
   if (!r.AtEnd()) {
     RETURN_IF_ERROR(server_.RestoreDedup(&r));
   }
-  addresses_ = std::move(addresses);
-  pointers_ = std::move(pointers);
+  // Rebuild the store only after every section parsed: a decode error must not
+  // leave the subnode half-restored. Entries past the capacity spill to the
+  // cold store as they would under live load.
+  SubnodeStore store(options_.store_capacity);
+  for (auto& [oid, at_oid] : addresses) {
+    store.Mutable(oid).addresses = std::move(at_oid);
+  }
+  for (auto& [oid, children] : pointers) {
+    store.Mutable(oid).pointers = std::move(children);
+  }
+  store_ = std::move(store);
   owners_ = std::move(owners);
   cache_ = std::move(cache);
   return OkStatus();
+}
+
+std::vector<std::pair<ObjectId, DirectoryEntry>> DirectorySubnode::ExportEntries()
+    const {
+  std::vector<std::pair<ObjectId, DirectoryEntry>> entries;
+  entries.reserve(store_.Size());
+  store_.ForEachSorted([&](const ObjectId& oid, const DirectoryEntry& entry) {
+    entries.emplace_back(oid, entry);
+  });
+  return entries;
+}
+
+std::vector<std::pair<ObjectId, DirectorySubnode::OwnerRecord>>
+DirectorySubnode::ExportOwners() const {
+  std::vector<std::pair<ObjectId, OwnerRecord>> owners(owners_.begin(),
+                                                       owners_.end());
+  std::sort(owners.begin(), owners.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  return owners;
+}
+
+void DirectorySubnode::ClearDirectoryState() {
+  store_.Clear();
+  owners_.clear();
+  cache_.Clear();
+}
+
+void DirectorySubnode::ImportEntry(const ObjectId& oid, DirectoryEntry entry) {
+  if (entry.Empty()) {
+    return;
+  }
+  store_.Mutable(oid) = std::move(entry);
+}
+
+void DirectorySubnode::ImportOwner(const ObjectId& oid, const OwnerRecord& record) {
+  owners_[oid] = record;
 }
 
 // ---------------------------------------------------------------- GlsClient

@@ -55,11 +55,13 @@
 #include <map>
 #include <memory>
 #include <set>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
 #include "src/gls/cache.h"
 #include "src/gls/oid.h"
+#include "src/gls/subnode_store.h"
 #include "src/sec/principal.h"
 #include "src/sim/rpc.h"
 #include "src/sim/topology.h"
@@ -164,6 +166,12 @@ struct GlsOptions {
   // Virtual CPUs serving that queue (RpcServer::set_worker_pool_width): >1
   // models a multi-core subnode machine.
   int service_workers = 1;
+
+  // Memory bound: how many directory entries (OIDs) this subnode keeps
+  // resident. The cold tail spills to the subnode's cold store (the simulation
+  // stand-in for §7 on-disk state) and faults back in on access; nothing is
+  // lost. 0 = unbounded, the historical behaviour.
+  size_t store_capacity = 0;
 };
 
 struct SubnodeStats {
@@ -190,6 +198,11 @@ struct SubnodeStats {
   uint64_t lease_renewals = 0;         // gls.renew_lease arbitrated here (root)
   uint64_t stale_scrubs = 0;    // deposed-master scrub chains started here (root)
   uint64_t insert_invals = 0;   // install-driven inval fan-outs started here
+  // Memory-bounded store accounting (refreshed from the SubnodeStore on read).
+  uint64_t store_evictions = 0;      // entries spilled to the cold store
+  uint64_t store_fault_ins = 0;      // spilled entries faulted back in
+  uint64_t store_spilled_bytes = 0;  // serialized bytes written to cold storage
+  uint64_t store_peak_resident = 0;  // high-water mark of resident entries
 };
 
 class DirectorySubnode {
@@ -211,12 +224,17 @@ class DirectorySubnode {
   sim::NodeId host() const { return server_.node(); }
   sim::DomainId domain() const { return domain_; }
   int depth() const { return depth_; }
-  const SubnodeStats& stats() const { return stats_; }
+  // Refreshes the store_* fields from the SubnodeStore, then returns the stats.
+  const SubnodeStats& stats() const;
 
-  // Directly visible state, for tests and the persistence machinery.
+  // Directly visible state, for tests and the persistence machinery. The
+  // probes never disturb the LRU or fault anything in.
   size_t NumAddresses(const ObjectId& oid) const;
   size_t NumPointers(const ObjectId& oid) const;
   size_t TotalEntries() const;
+  // Entries currently resident in memory / spilled to the cold store.
+  size_t StoreResidentEntries() const { return store_.ResidentSize(); }
+  size_t StoreColdEntries() const { return store_.Size() - store_.ResidentSize(); }
   size_t CacheSize() const { return cache_.size(); }
   size_t DedupEntries() const { return server_.dedup_entries(); }
   // The master-ownership epoch this subnode arbitrates for `oid` (0 = no record
@@ -235,10 +253,6 @@ class DirectorySubnode {
   Bytes SaveState() const;
   Status RestoreState(ByteSpan data);
 
- private:
-  static constexpr uint8_t kPhaseUp = 0;
-  static constexpr uint8_t kPhaseDown = 1;
-
   // Per-OID master-ownership record (fail-over): the current epoch, the address
   // that holds it, and how long its lease runs. Kept only at the OID's root home
   // subnode — the one node every claim deterministically routes to, which is
@@ -251,6 +265,20 @@ class DirectorySubnode {
     // non-incumbent claimants below it are refused (see MasterClaim::version).
     uint64_t version_floor = 0;
   };
+
+  // Subnode splitting support (GlsDeployment::SplitDirectoryNode): drain every
+  // directory entry and ownership record out of this subnode / graft the slice
+  // that hashes here under the new subnode set. Deployment-level machinery —
+  // the refs (self/parent/children) are rewired by the caller.
+  std::vector<std::pair<ObjectId, DirectoryEntry>> ExportEntries() const;
+  std::vector<std::pair<ObjectId, OwnerRecord>> ExportOwners() const;
+  void ClearDirectoryState();
+  void ImportEntry(const ObjectId& oid, DirectoryEntry entry);
+  void ImportOwner(const ObjectId& oid, const OwnerRecord& record);
+
+ private:
+  static constexpr uint8_t kPhaseUp = 0;
+  static constexpr uint8_t kPhaseDown = 1;
 
   using LookupResponder = std::function<void(Result<LookupResponse>)>;
   using EmptyResponder = std::function<void(Result<sim::EmptyMessage>)>;
@@ -329,11 +357,15 @@ class DirectorySubnode {
   DirectoryRef parent_;
   DirectoryRef self_;
   std::map<sim::DomainId, DirectoryRef> children_;
-  std::map<ObjectId, std::vector<ContactAddress>> addresses_;
-  std::map<ObjectId, std::set<sim::DomainId>> pointers_;
-  std::map<ObjectId, OwnerRecord> owners_;
+  // Merged per-OID directory state (contact addresses + forwarding pointers),
+  // memory-bounded: hashed hot set under LRU, cold tail spilled per subnode.
+  SubnodeStore store_;
+  // Root-only fail-over arbitration records; never evicted (losing one would
+  // unfence a stale master), hashed for the planet-scale claim path.
+  std::unordered_map<ObjectId, OwnerRecord, OidHash> owners_;
   LookupCache cache_;
-  SubnodeStats stats_;
+  // stats() refreshes the store_* fields on read, hence mutable.
+  mutable SubnodeStats stats_;
 };
 
 struct LookupResult {

@@ -1,0 +1,133 @@
+// Memory-bounded per-subnode directory storage.
+//
+// A planet-scale world registers millions of OIDs, but a directory subnode's
+// working set at any moment is much smaller (Zipf: a few hot objects take most
+// of the traffic). SubnodeStore therefore keeps a bounded number of entries
+// resident — hashed map + LRU list — and spills the cold tail to a per-subnode
+// cold store of serialized blobs, the simulation stand-in for the paper's §7
+// on-disk directory state. Access to a spilled entry transparently faults it
+// back in (and may evict another). Nothing is ever lost to eviction: an entry
+// leaves the store only through explicit Erase.
+//
+// One entry merges what DirectorySubnode historically kept in two parallel
+// maps: the contact addresses registered at this node and the forwarding
+// pointers to child domains. Merging them halves the hash lookups on the
+// mutation path and makes spill/fault-in atomic per OID.
+//
+// Iteration order guarantee: ForEachSorted visits entries in ascending OID
+// order regardless of hot/cold placement, so serialized subnode state (and its
+// hash) is independent of the access pattern that shaped the LRU — the
+// determinism suite relies on this.
+
+#ifndef SRC_GLS_SUBNODE_STORE_H_
+#define SRC_GLS_SUBNODE_STORE_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <map>
+#include <set>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "src/gls/oid.h"
+#include "src/sim/topology.h"
+
+namespace globe::gls {
+
+struct OidHash {
+  size_t operator()(const ObjectId& oid) const { return oid.Hash(); }
+};
+
+// Everything a directory subnode knows about one OID (ownership records are
+// kept separately: they exist only at the root home and are never evicted).
+struct DirectoryEntry {
+  std::vector<ContactAddress> addresses;
+  std::set<sim::DomainId> pointers;
+
+  bool Empty() const { return addresses.empty() && pointers.empty(); }
+};
+
+class SubnodeStore {
+ public:
+  // `capacity` bounds the number of resident (hot) entries; 0 = unbounded,
+  // which preserves the historical everything-in-memory behaviour.
+  explicit SubnodeStore(size_t capacity = 0) : capacity_(capacity) {
+    if (capacity_ > 0) {
+      hot_.reserve(capacity_ + 1);
+    }
+  }
+
+  // Mutable entry for `oid`, created if absent, faulted in if spilled. The
+  // reference is invalidated by any other non-const call on the store — take
+  // it, mutate, let go.
+  DirectoryEntry& Mutable(const ObjectId& oid);
+
+  // Entry for `oid` or nullptr (never creates); faults a spilled entry back in
+  // (LRU promote). Same reference lifetime rule as Mutable.
+  DirectoryEntry* Find(const ObjectId& oid);
+
+  // Read-only probe that never disturbs the LRU: a hot entry is returned by
+  // pointer (into `scratch`-independent storage), a cold entry is deserialized
+  // into `*scratch`. Returns nullptr if the OID is unknown.
+  const DirectoryEntry* Peek(const ObjectId& oid, DirectoryEntry* scratch) const;
+
+  bool Contains(const ObjectId& oid) const {
+    return hot_.count(oid) > 0 || cold_.count(oid) > 0;
+  }
+
+  // Removes the entry wherever it lives. Call after a mutation leaves an
+  // entry Empty(): empty entries are never spilled, they are dropped.
+  void Erase(const ObjectId& oid);
+
+  size_t Size() const { return hot_.size() + cold_.size(); }
+  size_t ResidentSize() const { return hot_.size(); }
+  size_t capacity() const { return capacity_; }
+
+  // Visits every entry in ascending OID order, independent of placement; cold
+  // entries are materialized transiently without being faulted in.
+  void ForEachSorted(
+      const std::function<void(const ObjectId&, const DirectoryEntry&)>& fn) const;
+
+  void Clear();
+
+  // Spill/fault accounting (monotone over the store's lifetime).
+  uint64_t evictions() const { return evictions_; }
+  uint64_t fault_ins() const { return fault_ins_; }
+  uint64_t spilled_bytes() const { return spilled_bytes_; }
+  size_t peak_resident() const { return peak_resident_; }
+
+  static Bytes SerializeEntry(const DirectoryEntry& entry);
+  static Result<DirectoryEntry> DeserializeEntry(ByteSpan data);
+
+ private:
+  struct HotEntry {
+    DirectoryEntry entry;
+    std::list<ObjectId>::iterator lru_it;  // position in lru_ (front = hottest)
+  };
+
+  // Moves `it` to the LRU front.
+  void Touch(HotEntry& hot) { lru_.splice(lru_.begin(), lru_, hot.lru_it); }
+  // Inserts a hot entry at the LRU front and returns it.
+  HotEntry& InsertHot(const ObjectId& oid, DirectoryEntry entry);
+  // Evicts LRU-tail entries until the resident count is within capacity.
+  void EnforceCapacity();
+
+  size_t capacity_;
+  std::unordered_map<ObjectId, HotEntry, OidHash> hot_;
+  std::list<ObjectId> lru_;
+  // The cold store: serialized entries, the stand-in for per-subnode disk.
+  // Ordered so ForEachSorted can merge with a sorted view of the hot set.
+  std::map<ObjectId, Bytes> cold_;
+
+  uint64_t evictions_ = 0;
+  uint64_t fault_ins_ = 0;
+  uint64_t spilled_bytes_ = 0;
+  size_t peak_resident_ = 0;
+};
+
+}  // namespace globe::gls
+
+#endif  // SRC_GLS_SUBNODE_STORE_H_

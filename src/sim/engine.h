@@ -1,0 +1,93 @@
+// EventEngine: the discrete-event engine seam beneath sim::Network.
+//
+// Two implementations exist: sim::Simulator (one sequential queue — the
+// default, and the only engine most tests ever see) and sim::ShardedSimulator
+// (per-shard queues advancing in lockstep lookahead windows on a thread pool).
+// Network talks to this interface only, which is what lets the same network,
+// RPC and service stack run unchanged on either engine.
+//
+// The sharding-aware hooks all collapse to trivial defaults on a sequential
+// engine:
+//   - ScheduleAtForNode(node, ...) routes an event to the shard that owns
+//     `node`'s state. Network uses it for deliveries, so a message handler
+//     always runs on the receiving node's shard; drivers use it so a client
+//     action runs on the client's shard. On a sequential engine it is
+//     ScheduleAt.
+//   - ScheduleBarrier(t, ...) runs a control-plane operation when every shard
+//     is quiescent at a window boundary at-or-after t (fault injection,
+//     subnode splitting, global controller ticks). On a sequential engine it
+//     is ScheduleAt.
+//   - InParallelRegion() is true while shard threads may be executing; shared
+//     mutable state (network fault tables) must not change then.
+
+#ifndef SRC_SIM_ENGINE_H_
+#define SRC_SIM_ENGINE_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "src/sim/clock.h"
+#include "src/sim/endpoint.h"
+
+namespace globe::sim {
+
+class EventEngine : public Clock {
+ public:
+  // Handle to a scheduled event; kNoEvent is never a live event. Events are
+  // Clock timers — EventId is the historical name for TimerId.
+  using EventId = Clock::TimerId;
+  static constexpr EventId kNoEvent = Clock::kNoTimer;
+
+  // Schedules fn to run at absolute time t (>= Now). Events scheduled for the
+  // same time run in scheduling order (stable within a shard).
+  virtual EventId ScheduleAt(SimTime t, std::function<void()> fn) = 0;
+
+  // Erases a pending event: it will neither run nor advance the clock. Returns
+  // false if the event already ran, was already cancelled, or never existed.
+  virtual bool Cancel(EventId id) = 0;
+  bool CancelTimer(TimerId id) override { return Cancel(id); }
+
+  // Runs until the queue is empty.
+  virtual void Run() = 0;
+
+  // Runs until the queue is empty or the clock would pass `deadline`.
+  virtual void RunUntil(SimTime deadline) = 0;
+
+  virtual size_t pending_events() const = 0;
+  virtual uint64_t executed_events() const = 0;
+
+  // ---- Sharding-aware hooks (sequential defaults) ----
+
+  virtual size_t shard_count() const { return 1; }
+
+  // The shard whose events the calling thread is executing; 0 when idle or in
+  // a barrier task.
+  virtual size_t current_shard() const { return 0; }
+
+  virtual size_t ShardOfNode(NodeId /*node*/) const { return 0; }
+
+  // True while shard threads may be running events concurrently. State shared
+  // across shards must only change when this is false (idle, or inside a
+  // barrier task).
+  virtual bool InParallelRegion() const { return false; }
+
+  // Schedules fn on the shard owning `node`'s state.
+  virtual EventId ScheduleAtForNode(NodeId /*node*/, SimTime t,
+                                    std::function<void()> fn) {
+    return ScheduleAt(t, std::move(fn));
+  }
+  EventId ScheduleAfterForNode(NodeId node, SimTime delay,
+                               std::function<void()> fn) {
+    return ScheduleAtForNode(node, Now() + delay, std::move(fn));
+  }
+
+  // Schedules fn to run with every shard quiescent, at the first window
+  // boundary at-or-after t. Not cancellable.
+  virtual EventId ScheduleBarrier(SimTime t, std::function<void()> fn) {
+    return ScheduleAt(t, std::move(fn));
+  }
+};
+
+}  // namespace globe::sim
+
+#endif  // SRC_SIM_ENGINE_H_

@@ -38,18 +38,48 @@ void TrafficStats::Clear() {
   dropped_per_link.clear();
 }
 
-Network::Network(Simulator* simulator, const Topology* topology, NetworkOptions options)
-    : simulator_(simulator),
-      topology_(topology),
-      options_(std::move(options)),
-      rng_(options_.rng_seed) {}
+void TrafficStats::DrainFrom(TrafficStats* other) {
+  if (per_level.size() < other->per_level.size()) {
+    per_level.resize(other->per_level.size());
+  }
+  for (size_t i = 0; i < other->per_level.size(); ++i) {
+    per_level[i].messages += other->per_level[i].messages;
+    per_level[i].bytes += other->per_level[i].bytes;
+  }
+  loopback_messages += other->loopback_messages;
+  loopback_bytes += other->loopback_bytes;
+  dropped_messages += other->dropped_messages;
+  partitioned_messages += other->partitioned_messages;
+  down_node_messages += other->down_node_messages;
+  for (const auto& [link, count] : other->dropped_per_link) {
+    dropped_per_link[link] += count;
+  }
+  other->Clear();
+}
+
+Network::Network(EventEngine* engine, const Topology* topology, NetworkOptions options)
+    : engine_(engine), topology_(topology), options_(std::move(options)) {
+  // One state slice per engine shard. Shard 0 gets exactly the configured
+  // seed, so a single-shard (sequential) network draws the identical random
+  // stream the pre-sharding implementation drew.
+  size_t count = engine_->shard_count();
+  shards_.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    shards_.emplace_back(options_.rng_seed + i * 0x9E3779B97F4A7C15ULL);
+  }
+}
 
 void Network::RegisterPort(NodeId node, uint16_t port, PortHandler handler) {
-  handlers_[{node, port}] = std::make_shared<PortHandler>(std::move(handler));
+  assert(!engine_->InParallelRegion() ||
+         engine_->current_shard() == engine_->ShardOfNode(node));
+  ShardOf(node).handlers[{node, port}] =
+      std::make_shared<PortHandler>(std::move(handler));
 }
 
 void Network::UnregisterPort(NodeId node, uint16_t port) {
-  handlers_.erase({node, port});
+  assert(!engine_->InParallelRegion() ||
+         engine_->current_shard() == engine_->ShardOfNode(node));
+  ShardOf(node).handlers.erase({node, port});
   // A service torn down while its host is crashed must not resurrect at restart.
   if (auto it = crashed_.find(node); it != crashed_.end()) {
     it->second.erase(port);
@@ -66,51 +96,57 @@ void Network::Send(const Endpoint& src, const Endpoint& dst, Bytes payload,
                    double extra_delay_us) {
   assert(src.node < topology_->num_nodes() && dst.node < topology_->num_nodes());
 
+  // Randomness and accounting for a send belong to the sending context's
+  // shard: deterministic, because event placement is deterministic.
+  ShardState& shard = CurrentShard();
+
   if (eavesdropper_) {
     eavesdropper_(src, dst, payload);
   }
 
   if (!IsNodeUp(src.node) || !IsNodeUp(dst.node)) {
-    ++stats_.down_node_messages;
+    ++shard.stats.down_node_messages;
     return;
   }
   if (IsPartitioned(src.node, dst.node)) {
-    ++stats_.partitioned_messages;
-    ++stats_.dropped_per_link[{src.node, dst.node}];
+    ++shard.stats.partitioned_messages;
+    ++shard.stats.dropped_per_link[{src.node, dst.node}];
     return;
   }
   double drop = EffectiveDropProbability(src.node, dst.node);
-  if (drop > 0 && rng_.Bernoulli(drop)) {
-    ++stats_.dropped_messages;
-    ++stats_.dropped_per_link[{src.node, dst.node}];
+  if (drop > 0 && shard.rng.Bernoulli(drop)) {
+    ++shard.stats.dropped_messages;
+    ++shard.stats.dropped_per_link[{src.node, dst.node}];
     return;
   }
 
   // Traffic accounting keyed by ascent level.
   if (src.node == dst.node) {
-    ++stats_.loopback_messages;
-    stats_.loopback_bytes += payload.size();
+    ++shard.stats.loopback_messages;
+    shard.stats.loopback_bytes += payload.size();
   } else {
     int level = topology_->AscentLevel(src.node, dst.node);
-    if (stats_.per_level.size() <= static_cast<size_t>(level)) {
-      stats_.per_level.resize(level + 1);
+    if (shard.stats.per_level.size() <= static_cast<size_t>(level)) {
+      shard.stats.per_level.resize(level + 1);
     }
-    ++stats_.per_level[level].messages;
-    stats_.per_level[level].bytes += payload.size();
+    ++shard.stats.per_level[level].messages;
+    shard.stats.per_level[level].bytes += payload.size();
   }
 
   if (options_.tamper_probability > 0 && !payload.empty() &&
-      rng_.Bernoulli(options_.tamper_probability)) {
-    size_t idx = static_cast<size_t>(rng_.UniformInt(payload.size()));
+      shard.rng.Bernoulli(options_.tamper_probability)) {
+    size_t idx = static_cast<size_t>(shard.rng.UniformInt(payload.size()));
     payload[idx] ^= 0x55;
   }
 
   double delay = DeliveryDelayUs(src.node, dst.node, payload.size()) + extra_delay_us;
   // The payload is stored once, owned by the in-flight event; the handler (and
-  // anything it hands the view to) pins that single allocation.
+  // anything it hands the view to) pins that single allocation. The delivery
+  // event is homed on the destination node's shard, so the handler runs where
+  // the receiving service's state lives.
   Delivery delivery{src, dst, PayloadView::Own(std::move(payload))};
-  simulator_->ScheduleAfter(
-      static_cast<SimTime>(delay),
+  engine_->ScheduleAfterForNode(
+      dst.node, static_cast<SimTime>(delay),
       [this, d = std::move(delivery)]() mutable { Deliver(std::move(d)); });
 }
 
@@ -118,19 +154,20 @@ void Network::Deliver(Delivery delivery) {
   // Either endpoint going down while the message was in flight loses it: the
   // model charges the whole path as one hop, so a crashed sender's message is
   // still "on its wire" and dies with it.
+  ShardState& shard = ShardOf(delivery.dst.node);
   if (!IsNodeUp(delivery.dst.node) || !IsNodeUp(delivery.src.node)) {
-    ++stats_.down_node_messages;
+    ++shard.stats.down_node_messages;
     return;
   }
   // A partition that started while the message was in flight cuts it too.
   if (IsPartitioned(delivery.src.node, delivery.dst.node)) {
-    ++stats_.partitioned_messages;
-    ++stats_.dropped_per_link[{delivery.src.node, delivery.dst.node}];
+    ++shard.stats.partitioned_messages;
+    ++shard.stats.dropped_per_link[{delivery.src.node, delivery.dst.node}];
     return;
   }
-  ++per_node_received_[delivery.dst.node];
-  auto it = handlers_.find({delivery.dst.node, delivery.dst.port});
-  if (it == handlers_.end()) {
+  ++shard.per_node_received[delivery.dst.node];
+  auto it = shard.handlers.find({delivery.dst.node, delivery.dst.port});
+  if (it == shard.handlers.end()) {
     return;  // closed port: datagram lost
   }
   // Pin the handler: it may close (or replace) its own port mid-call, which
@@ -140,6 +177,7 @@ void Network::Deliver(Delivery delivery) {
 }
 
 void Network::SetNodeUp(NodeId node, bool up) {
+  assert(!engine_->InParallelRegion());
   if (up) {
     node_down_.erase(node);
   } else {
@@ -151,41 +189,59 @@ bool Network::IsNodeUp(NodeId node) const {
   return node_down_.find(node) == node_down_.end();
 }
 
+void Network::SetDropProbability(double p) {
+  assert(!engine_->InParallelRegion());
+  options_.drop_probability = p;
+}
+
+void Network::SetTamperProbability(double p) {
+  assert(!engine_->InParallelRegion());
+  options_.tamper_probability = p;
+}
+
 double Network::EffectiveDropProbability(NodeId src, NodeId dst) const {
   auto it = link_drop_.find({src, dst});
   return it != link_drop_.end() ? it->second : options_.drop_probability;
 }
 
 void Network::SetLinkDropProbability(NodeId src, NodeId dst, double p) {
+  assert(!engine_->InParallelRegion());
   link_drop_[{src, dst}] = p;
 }
 
 void Network::ClearLinkDropProbability(NodeId src, NodeId dst) {
+  assert(!engine_->InParallelRegion());
   link_drop_.erase({src, dst});
 }
 
 void Network::PartitionPair(NodeId a, NodeId b, SimTime duration) {
+  assert(!engine_->InParallelRegion());
   // Re-partitioning an active pair extends the window, never shortens it.
   SimTime& until = partitions_[PairKey(a, b)];
-  until = std::max(until, simulator_->Now() + duration);
+  until = std::max(until, engine_->Now() + duration);
 }
 
-void Network::HealPartition(NodeId a, NodeId b) { partitions_.erase(PairKey(a, b)); }
+void Network::HealPartition(NodeId a, NodeId b) {
+  assert(!engine_->InParallelRegion());
+  partitions_.erase(PairKey(a, b));
+}
 
 bool Network::IsPartitioned(NodeId a, NodeId b) const {
   auto it = partitions_.find(PairKey(a, b));
-  return it != partitions_.end() && simulator_->Now() < it->second;
+  return it != partitions_.end() && engine_->Now() < it->second;
 }
 
 void Network::CrashNode(NodeId node) {
+  assert(!engine_->InParallelRegion());
   if (IsCrashed(node)) {
     return;
   }
   auto& stash = crashed_[node];
-  for (auto it = handlers_.begin(); it != handlers_.end();) {
+  auto& handlers = ShardOf(node).handlers;
+  for (auto it = handlers.begin(); it != handlers.end();) {
     if (it->first.first == node) {
       stash[it->first.second] = std::move(it->second);
-      it = handlers_.erase(it);
+      it = handlers.erase(it);
     } else {
       ++it;
     }
@@ -194,15 +250,53 @@ void Network::CrashNode(NodeId node) {
 }
 
 void Network::RestartNode(NodeId node) {
+  assert(!engine_->InParallelRegion());
   if (auto it = crashed_.find(node); it != crashed_.end()) {
+    auto& handlers = ShardOf(node).handlers;
     for (auto& [port, handler] : it->second) {
       // A port freshly registered while the node was crashed (a service rebuilt
       // from a checkpoint) wins over the stashed pre-crash handler.
-      handlers_.try_emplace({node, port}, std::move(handler));
+      handlers.try_emplace({node, port}, std::move(handler));
     }
     crashed_.erase(it);
   }
   SetNodeUp(node, true);
+}
+
+void Network::SetEavesdropper(Eavesdropper e) {
+  assert(!engine_->InParallelRegion());
+  eavesdropper_ = std::move(e);
+}
+
+void Network::DrainShardCounters() const {
+  assert(!engine_->InParallelRegion());
+  for (ShardState& shard : shards_) {
+    stats_.DrainFrom(&shard.stats);
+    for (auto& [node, count] : shard.per_node_received) {
+      per_node_received_[node] += count;
+    }
+    shard.per_node_received.clear();
+  }
+}
+
+const TrafficStats& Network::stats() const {
+  DrainShardCounters();
+  return stats_;
+}
+
+TrafficStats* Network::mutable_stats() {
+  DrainShardCounters();
+  return &stats_;
+}
+
+const std::map<NodeId, uint64_t>& Network::per_node_received() const {
+  DrainShardCounters();
+  return per_node_received_;
+}
+
+void Network::ClearPerNodeReceived() {
+  DrainShardCounters();
+  per_node_received_.clear();
 }
 
 // ---------------------------------------------------------- PlainTransport

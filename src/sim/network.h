@@ -12,6 +12,17 @@
 // transport. Every probabilistic decision draws from the network's seeded RNG and
 // every timed fault runs on the virtual clock, so a failure schedule replays
 // byte-identically across runs — the property the chaos suite is built on.
+//
+// The network runs on any EventEngine. On the sequential Simulator nothing is
+// concurrent and there is exactly one shard of internal state. On the
+// ShardedSimulator the hot mutable state — RNG, traffic stats, per-node receive
+// counts, port handler tables — is partitioned per shard: a send accounts to the
+// sending shard, a delivery executes on (and touches only) the receiving node's
+// shard. The fault tables (down nodes, partitions, drop probabilities) stay
+// shared; they are read-only while shards run and may only be mutated with all
+// shards parked (idle, or inside an engine barrier task) — asserted on every
+// mutator. Aggregate accessors (stats(), per_node_received()) drain the
+// per-shard counters into the aggregate view and are likewise idle-only.
 
 #ifndef SRC_SIM_NETWORK_H_
 #define SRC_SIM_NETWORK_H_
@@ -24,7 +35,7 @@
 #include <utility>
 #include <vector>
 
-#include "src/sim/simulator.h"
+#include "src/sim/engine.h"
 #include "src/sim/topology.h"
 #include "src/sim/transport.h"
 #include "src/util/bytes.h"
@@ -67,6 +78,8 @@ struct TrafficStats {
   uint64_t BytesAtOrAbove(int level) const;
 
   void Clear();
+  // Adds every counter of `other` into this and zeroes `other`.
+  void DrainFrom(TrafficStats* other);
 };
 
 struct NetworkOptions {
@@ -78,28 +91,32 @@ struct NetworkOptions {
 
 class Network {
  public:
-  Network(Simulator* simulator, const Topology* topology, NetworkOptions options = {});
+  Network(EventEngine* engine, const Topology* topology, NetworkOptions options = {});
 
   Network(const Network&) = delete;
   Network& operator=(const Network&) = delete;
 
   // Registers the handler for (node, port). Overwrites any previous registration.
+  // Under a sharded engine this must run on the shard owning `node` (or idle).
   void RegisterPort(NodeId node, uint16_t port, PortHandler handler);
   void UnregisterPort(NodeId node, uint16_t port);
 
   // Sends a message. Delivery is scheduled after latency + transmit time (+ extra
-  // processing delay, used by the secure transport to model crypto CPU cost). If the
-  // destination port has no handler at delivery time the message is silently lost,
-  // like a UDP datagram to a closed port.
+  // processing delay, used by the secure transport to model crypto CPU cost) on the
+  // shard owning the destination node. If the destination port has no handler at
+  // delivery time the message is silently lost, like a UDP datagram to a closed port.
   void Send(const Endpoint& src, const Endpoint& dst, Bytes payload,
             double extra_delay_us = 0);
 
   // Failure injection. All of it is deterministic: probabilities draw from the
-  // seeded RNG, timed faults expire on the virtual clock.
+  // seeded RNG, timed faults expire on the virtual clock. The fault tables are
+  // shared across shards, so mutation requires every shard parked: call these
+  // from idle context or an EventEngine::ScheduleBarrier task, never from an
+  // event running inside a parallel window.
   void SetNodeUp(NodeId node, bool up);
   bool IsNodeUp(NodeId node) const;
-  void SetDropProbability(double p) { options_.drop_probability = p; }
-  void SetTamperProbability(double p) { options_.tamper_probability = p; }
+  void SetDropProbability(double p);
+  void SetTamperProbability(double p);
 
   // Per-link loss, overriding the uniform drop_probability for messages sent
   // src -> dst. Directed — set both directions for a symmetric lossy link.
@@ -128,20 +145,21 @@ class Network {
 
   // Observation hook: sees every frame as it enters the network (before tampering or
   // drops). Used by tests to play the "attacker tapping the wire" role from §6.2.
+  // Under a sharded engine the hook runs on whichever shard sends, so it must not
+  // touch cross-shard mutable state; the tests that use it run sequentially.
   using Eavesdropper =
       std::function<void(const Endpoint& src, const Endpoint& dst, ByteSpan)>;
-  void SetEavesdropper(Eavesdropper e) { eavesdropper_ = std::move(e); }
+  void SetEavesdropper(Eavesdropper e);
 
-  const TrafficStats& stats() const { return stats_; }
-  TrafficStats* mutable_stats() { return &stats_; }
+  // Aggregate views; drain the per-shard counters first (idle-only).
+  const TrafficStats& stats() const;
+  TrafficStats* mutable_stats();
 
   // Messages received per node since the last clear; used for server-load measurements.
-  const std::map<NodeId, uint64_t>& per_node_received() const {
-    return per_node_received_;
-  }
-  void ClearPerNodeReceived() { per_node_received_.clear(); }
+  const std::map<NodeId, uint64_t>& per_node_received() const;
+  void ClearPerNodeReceived();
 
-  Simulator* simulator() { return simulator_; }
+  EventEngine* engine() { return engine_; }
   const Topology& topology() const { return *topology_; }
   const NetworkOptions& options() const { return options_; }
 
@@ -149,26 +167,47 @@ class Network {
   double DeliveryDelayUs(NodeId src, NodeId dst, size_t bytes) const;
 
  private:
+  // Mutable hot state owned by one shard: only that shard's thread touches it
+  // while a parallel window runs. Shard 0's RNG is seeded with exactly
+  // options.rng_seed so single-shard behaviour matches the historical network
+  // byte for byte; shard i adds i golden-ratio increments.
+  struct ShardState {
+    explicit ShardState(uint64_t seed) : rng(seed) {}
+    Rng rng;
+    TrafficStats stats;
+    std::map<NodeId, uint64_t> per_node_received;
+    // Values are shared_ptr so Deliver() can pin the handler it is invoking
+    // without copying the closure: a handler may close its own port mid-call.
+    std::map<std::pair<NodeId, uint16_t>, std::shared_ptr<PortHandler>> handlers;
+  };
+
   static std::pair<NodeId, NodeId> PairKey(NodeId a, NodeId b) {
     return {std::min(a, b), std::max(a, b)};
   }
   double EffectiveDropProbability(NodeId src, NodeId dst) const;
   void Deliver(Delivery delivery);
+  ShardState& ShardOf(NodeId node) {
+    return shards_[engine_->ShardOfNode(node)];
+  }
+  // The shard whose thread is executing (shard 0 when idle): where sends draw
+  // randomness and account traffic.
+  ShardState& CurrentShard() { return shards_[engine_->current_shard()]; }
+  // Folds every shard's counters into the aggregate members. Idle-only.
+  void DrainShardCounters() const;
 
-  Simulator* simulator_;
+  EventEngine* engine_;
   const Topology* topology_;
   NetworkOptions options_;
-  Rng rng_;
-  // Values are shared_ptr so Deliver() can pin the handler it is invoking
-  // without copying the closure: a handler may close its own port mid-call.
-  std::map<std::pair<NodeId, uint16_t>, std::shared_ptr<PortHandler>> handlers_;
+  mutable std::vector<ShardState> shards_;
   std::map<NodeId, bool> node_down_;  // absent = up
   std::map<std::pair<NodeId, NodeId>, double> link_drop_;    // directed (src, dst)
   std::map<std::pair<NodeId, NodeId>, SimTime> partitions_;  // PairKey -> heals at
-  // Port handlers of crashed nodes, waiting for RestartNode.
+  // Port handlers of crashed nodes, waiting for RestartNode. The outer map's
+  // structure only changes with shards parked (CrashNode/RestartNode are
+  // barrier-only); UnregisterPort may erase inside its own node's inner map.
   std::map<NodeId, std::map<uint16_t, std::shared_ptr<PortHandler>>> crashed_;
-  TrafficStats stats_;
-  std::map<NodeId, uint64_t> per_node_received_;
+  mutable TrafficStats stats_;
+  mutable std::map<NodeId, uint64_t> per_node_received_;
   Eavesdropper eavesdropper_;
 };
 
@@ -182,7 +221,7 @@ class PlainTransport : public Transport {
   void Send(const Endpoint& src, const Endpoint& dst, ByteSpan payload) override;
   void RegisterPort(NodeId node, uint16_t port, TransportHandler handler) override;
   void UnregisterPort(NodeId node, uint16_t port) override;
-  Clock* clock() override { return network_->simulator(); }
+  Clock* clock() override { return network_->engine(); }
   double EstimateDeliveryDelayUs(NodeId src, NodeId dst, size_t bytes) const override {
     return network_->DeliveryDelayUs(src, dst, bytes);
   }

@@ -1,0 +1,366 @@
+#include "src/sim/sharded_simulator.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+namespace globe::sim {
+namespace {
+
+constexpr SimTime kMaxTime = std::numeric_limits<SimTime>::max();
+
+// Which shard (of which engine) the calling thread is currently executing
+// events for. Set for the duration of RunShardWindow only; everything else is
+// idle context.
+thread_local const ShardedSimulator* tls_engine = nullptr;
+thread_local size_t tls_shard = 0;
+
+}  // namespace
+
+ShardedSimulator::ShardedSimulator(size_t shard_count, SimTime lookahead_us)
+    : lookahead_(lookahead_us),
+      shards_(shard_count),
+      shard_active_(shard_count, 0) {
+  assert(shard_count >= 1 && shard_count < kBarrierShard);
+}
+
+ShardedSimulator::~ShardedSimulator() {
+  if (!workers_.empty()) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      shutdown_ = true;
+    }
+    cv_work_.notify_all();
+    for (std::thread& worker : workers_) {
+      worker.join();
+    }
+  }
+}
+
+void ShardedSimulator::AssignNode(NodeId node, size_t shard) {
+  assert(shard < shards_.size());
+  assert(!InParallelRegion());
+  if (node >= node_shard_.size()) {
+    node_shard_.resize(node + 1, 0);
+  }
+  node_shard_[node] = static_cast<uint8_t>(shard);
+}
+
+void ShardedSimulator::AssignNodes(const std::vector<NodeId>& nodes,
+                                   size_t shard) {
+  for (NodeId node : nodes) {
+    AssignNode(node, shard);
+  }
+}
+
+size_t ShardedSimulator::ShardOfNode(NodeId node) const {
+  return node < node_shard_.size() ? node_shard_[node] : 0;
+}
+
+size_t ShardedSimulator::current_shard() const {
+  return tls_engine == this ? tls_shard : 0;
+}
+
+SimTime ShardedSimulator::Now() const {
+  if (tls_engine == this) {
+    return shards_[tls_shard].now;
+  }
+  return now_;
+}
+
+ShardedSimulator::EventId ShardedSimulator::ScheduleAt(
+    SimTime t, std::function<void()> fn) {
+  // From an event context this lands on the executing shard (the scheduler's
+  // own state lives there); from idle context it lands on shard 0.
+  size_t index = tls_engine == this ? tls_shard : 0;
+  Shard& shard = shards_[index];
+  assert(t >= (tls_engine == this ? shard.now : now_) &&
+         "cannot schedule into the past");
+  EventId id = MakeId(shard, index);
+  shard.heap.Push(t, id, std::move(fn));
+  return id;
+}
+
+ShardedSimulator::EventId ShardedSimulator::ScheduleAtForNode(
+    NodeId node, SimTime t, std::function<void()> fn) {
+  size_t target = ShardOfNode(node);
+  if (!InParallelRegion()) {
+    // Idle or barrier context: every shard is parked, push directly.
+    Shard& shard = shards_[target];
+    assert(t >= shard.now && "cannot schedule into the past");
+    EventId id = MakeId(shard, target);
+    shard.heap.Push(t, id, std::move(fn));
+    return id;
+  }
+  assert(tls_engine == this);
+  if (target == tls_shard) {
+    return ScheduleAt(t, std::move(fn));
+  }
+  // Cross-shard while shards run: buffer in the source shard's outbox; the
+  // event is merged — and gets its real target-shard id — at the boundary.
+  Shard& source = shards_[tls_shard];
+  EventId provisional = MakeId(source, tls_shard);
+  source.outbox.push_back(Outgoing{t, provisional, target, std::move(fn)});
+  return provisional;
+}
+
+ShardedSimulator::EventId ShardedSimulator::ScheduleBarrier(
+    SimTime t, std::function<void()> fn) {
+  assert(!InParallelRegion() &&
+         "barrier tasks must be scheduled from idle or barrier context");
+  uint64_t seq = next_barrier_seq_++;
+  barriers_.emplace(std::make_pair(t, seq), std::move(fn));
+  return (seq << kShardBits) | kBarrierShard;
+}
+
+bool ShardedSimulator::Cancel(EventId id) {
+  size_t index = static_cast<size_t>(id & kShardMask);
+  if (index >= shards_.size()) {
+    return false;  // barrier ids and garbage are not cancellable
+  }
+  Shard& shard = shards_[index];
+  if (!InParallelRegion()) {
+    return shard.heap.Cancel(id);
+  }
+  assert(tls_engine == this);
+  if (index == tls_shard) {
+    if (shard.heap.Cancel(id)) {
+      return true;
+    }
+    // The id may still be a provisional outbox entry from this window.
+    auto& outbox = shard.outbox;
+    for (auto it = outbox.begin(); it != outbox.end(); ++it) {
+      if (it->provisional_id == id) {
+        outbox.erase(it);
+        return true;
+      }
+    }
+    return false;
+  }
+  // Cross-shard cancel while the target shard may be running: defer to the
+  // boundary, where it is applied in canonical order. Optimistically reported
+  // as cancelled; in practice cancels are shard-local (RPC deadline timers
+  // live on the caller's shard).
+  shards_[tls_shard].deferred_cancels.push_back(id);
+  return true;
+}
+
+void ShardedSimulator::RunShardWindow(size_t index, SimTime t_end) {
+  tls_engine = this;
+  tls_shard = index;
+  Shard& shard = shards_[index];
+  for (;;) {
+    const TimedEvent* next = shard.heap.Peek();
+    if (next == nullptr || next->time >= t_end) {
+      break;
+    }
+    TimedEvent event = shard.heap.PopTop();
+    shard.now = event.time;
+    ++shard.executed;
+    event.fn();
+  }
+  tls_engine = nullptr;
+  tls_shard = 0;
+}
+
+void ShardedSimulator::MergeBoundary() {
+  // Deferred cross-shard cancels first, in canonical (ascending id) order.
+  std::vector<uint64_t> cancels;
+  for (Shard& shard : shards_) {
+    cancels.insert(cancels.end(), shard.deferred_cancels.begin(),
+                   shard.deferred_cancels.end());
+    shard.deferred_cancels.clear();
+  }
+  if (!cancels.empty()) {
+    std::sort(cancels.begin(), cancels.end());
+    for (uint64_t id : cancels) {
+      shards_[id & kShardMask].heap.Cancel(id);
+    }
+  }
+
+  // Merge every outbox in canonical (time, source shard, source seq) order,
+  // assigning fresh target-shard ids in that order so tie-breaks downstream
+  // are independent of which thread filled which outbox first.
+  std::vector<Outgoing> all;
+  for (Shard& shard : shards_) {
+    all.insert(all.end(), std::make_move_iterator(shard.outbox.begin()),
+               std::make_move_iterator(shard.outbox.end()));
+    shard.outbox.clear();
+  }
+  if (all.empty()) {
+    return;
+  }
+  std::sort(all.begin(), all.end(), [](const Outgoing& a, const Outgoing& b) {
+    if (a.time != b.time) {
+      return a.time < b.time;
+    }
+    uint64_t a_shard = a.provisional_id & kShardMask;
+    uint64_t b_shard = b.provisional_id & kShardMask;
+    if (a_shard != b_shard) {
+      return a_shard < b_shard;
+    }
+    return (a.provisional_id >> kShardBits) < (b.provisional_id >> kShardBits);
+  });
+  for (Outgoing& out : all) {
+    Shard& target = shards_[out.target];
+    SimTime t = out.time;
+    if (t < target.now) {
+      // The source scheduled closer than the engine's lookahead: the target
+      // already advanced past t. Clamp instead of travelling back in time.
+      ++lookahead_violations_;
+      t = target.now;
+    }
+    target.heap.Push(t, MakeId(target, out.target), std::move(out.fn));
+  }
+}
+
+void ShardedSimulator::RunWindows(SimTime deadline, bool clamp_to_deadline) {
+  for (;;) {
+    MergeBoundary();
+
+    SimTime t0 = kMaxTime;
+    for (Shard& shard : shards_) {
+      const TimedEvent* next = shard.heap.Peek();
+      if (next != nullptr && next->time < t0) {
+        t0 = next->time;
+      }
+    }
+    SimTime tb = barriers_.empty() ? kMaxTime : barriers_.begin()->first.first;
+    if (t0 == kMaxTime && tb == kMaxTime) {
+      break;  // fully drained
+    }
+
+    if (tb <= t0) {
+      // Barrier task runs before any event at-or-after its time, with every
+      // shard parked. Run one task, then recompute (it may schedule more).
+      if (tb > deadline) {
+        break;
+      }
+      auto it = barriers_.begin();
+      std::function<void()> fn = std::move(it->second);
+      now_ = std::max(now_, tb);
+      barriers_.erase(it);
+      ++barriers_executed_;
+      fn();
+      continue;
+    }
+
+    if (t0 > deadline) {
+      break;
+    }
+
+    SimTime window = std::max<SimTime>(lookahead_, 1);
+    SimTime t_end = window > kMaxTime - t0 ? kMaxTime : t0 + window;
+    if (deadline != kMaxTime && t_end > deadline) {
+      t_end = deadline + 1;
+    }
+    if (tb < t_end) {
+      t_end = tb;  // stop short so the barrier sees a quiescent world
+    }
+
+    std::vector<size_t> active;
+    for (size_t i = 0; i < shards_.size(); ++i) {
+      const TimedEvent* next = shards_[i].heap.Peek();
+      if (next != nullptr && next->time < t_end) {
+        active.push_back(i);
+      }
+    }
+    ++windows_run_;
+    if (active.size() == 1) {
+      // Only one shard has work this window: run it inline, no thread
+      // hand-off. On a single-core host this path keeps the sharded engine
+      // within a few percent of the sequential one.
+      in_parallel_.store(true, std::memory_order_relaxed);
+      RunShardWindow(active.front(), t_end);
+      in_parallel_.store(false, std::memory_order_relaxed);
+    } else {
+      ++parallel_windows_;
+      DispatchWindow(active, t_end);
+    }
+    for (size_t i : active) {
+      now_ = std::max(now_, shards_[i].now);
+    }
+  }
+  if (clamp_to_deadline && now_ < deadline) {
+    now_ = deadline;
+  }
+}
+
+void ShardedSimulator::Run() { RunWindows(kMaxTime, /*clamp_to_deadline=*/false); }
+
+void ShardedSimulator::RunUntil(SimTime deadline) {
+  RunWindows(deadline, /*clamp_to_deadline=*/true);
+}
+
+void ShardedSimulator::DispatchWindow(const std::vector<size_t>& active,
+                                      SimTime t_end) {
+  StartWorkers();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::fill(shard_active_.begin(), shard_active_.end(), 0);
+    for (size_t i : active) {
+      shard_active_[i] = 1;
+    }
+    window_end_ = t_end;
+    active_remaining_ = active.size();
+    in_parallel_.store(true, std::memory_order_relaxed);
+    ++generation_;
+  }
+  cv_work_.notify_all();
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_done_.wait(lock, [this] { return active_remaining_ == 0; });
+    in_parallel_.store(false, std::memory_order_relaxed);
+  }
+}
+
+void ShardedSimulator::StartWorkers() {
+  if (!workers_.empty()) {
+    return;
+  }
+  workers_.reserve(shards_.size());
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    workers_.emplace_back([this, i] { WorkerMain(i); });
+  }
+}
+
+void ShardedSimulator::WorkerMain(size_t index) {
+  std::unique_lock<std::mutex> lock(mu_);
+  uint64_t seen = 0;
+  for (;;) {
+    cv_work_.wait(lock,
+                  [&] { return shutdown_ || generation_ != seen; });
+    if (shutdown_) {
+      return;
+    }
+    seen = generation_;
+    if (!shard_active_[index]) {
+      continue;
+    }
+    SimTime t_end = window_end_;
+    lock.unlock();
+    RunShardWindow(index, t_end);
+    lock.lock();
+    if (--active_remaining_ == 0) {
+      cv_done_.notify_one();
+    }
+  }
+}
+
+size_t ShardedSimulator::pending_events() const {
+  size_t total = barriers_.size();
+  for (const Shard& shard : shards_) {
+    total += shard.heap.pending() + shard.outbox.size();
+  }
+  return total;
+}
+
+uint64_t ShardedSimulator::executed_events() const {
+  uint64_t total = barriers_executed_;
+  for (const Shard& shard : shards_) {
+    total += shard.executed;
+  }
+  return total;
+}
+
+}  // namespace globe::sim

@@ -1,0 +1,167 @@
+// ShardedSimulator: a conservative parallel discrete-event engine.
+//
+// The world is partitioned into shards (one per continent in GdnWorld); each
+// shard owns a private event queue, a private virtual clock, and the state of
+// the nodes assigned to it. Shards advance in lockstep windows
+//
+//   [T0, min(T0 + lookahead, deadline + 1))
+//
+// where T0 is the earliest pending event across all shards and `lookahead` is
+// the minimum cross-shard link latency: no event executed inside the window
+// can schedule work on another shard earlier than the window's end, so every
+// shard can run its slice of the window without seeing the others. Windows
+// with more than one active shard run on a pool of per-shard worker threads;
+// windows where only one shard has work run inline on the coordinator thread
+// (the common case for sparse phases, and the whole run on a 1-core host).
+//
+// Determinism contract (what makes pinned-seed byte-identical replay survive
+// sharding):
+//   - Event ids encode (seq << kShardBits) | shard; per-shard seq counters
+//     advance independently of other shards' activity.
+//   - Cross-shard schedules buffer in the source shard's outbox during a
+//     window. At the window boundary the coordinator merges all outboxes in
+//     canonical (time, source shard, source seq) order and assigns fresh
+//     target-shard ids in that order — so target-side ids, and therefore all
+//     same-time tie-breaks, are independent of thread timing.
+//   - An outbox event that targets a time the destination shard has already
+//     passed is a lookahead violation: it is clamped to the destination's
+//     clock and counted (lookahead_violations()), never dropped.
+//   - Shared mutable state (the network's fault tables) must only change with
+//     all shards parked; ScheduleBarrier runs a task with every shard
+//     quiescent at the first window boundary at-or-after its time, and
+//     InParallelRegion() lets mutators assert the discipline.
+//
+// Everything above src/sim/ talks to the EventEngine/Clock/Transport seams and
+// does not know which engine is underneath.
+
+#ifndef SRC_SIM_SHARDED_SIMULATOR_H_
+#define SRC_SIM_SHARDED_SIMULATOR_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "src/sim/engine.h"
+#include "src/sim/event_queue.h"
+
+namespace globe::sim {
+
+class ShardedSimulator : public EventEngine {
+ public:
+  static constexpr int kShardBits = 8;
+  static constexpr uint64_t kShardMask = (1ULL << kShardBits) - 1;
+  // Shard byte reserved for barrier-task ids (barriers are not cancellable).
+  static constexpr uint64_t kBarrierShard = kShardMask;
+
+  // `lookahead_us` must be at most the minimum latency of any message that can
+  // cross shards; GdnWorld computes it from the topology.
+  ShardedSimulator(size_t shard_count, SimTime lookahead_us);
+  ~ShardedSimulator() override;
+  ShardedSimulator(const ShardedSimulator&) = delete;
+  ShardedSimulator& operator=(const ShardedSimulator&) = delete;
+
+  // ---- Node-to-shard assignment (fixed before the run starts) ----
+  void AssignNode(NodeId node, size_t shard);
+  void AssignNodes(const std::vector<NodeId>& nodes, size_t shard);
+  size_t ShardOfNode(NodeId node) const override;
+
+  // ---- EventEngine ----
+  SimTime Now() const override;
+  EventId ScheduleAt(SimTime t, std::function<void()> fn) override;
+  EventId ScheduleAfter(SimTime delay, std::function<void()> fn) override {
+    return ScheduleAt(Now() + delay, std::move(fn));
+  }
+  EventId ScheduleAtForNode(NodeId node, SimTime t,
+                            std::function<void()> fn) override;
+  EventId ScheduleBarrier(SimTime t, std::function<void()> fn) override;
+  bool Cancel(EventId id) override;
+  void Run() override;
+  void RunUntil(SimTime deadline) override;
+
+  size_t pending_events() const override;
+  uint64_t executed_events() const override;
+
+  size_t shard_count() const override { return shards_.size(); }
+  size_t current_shard() const override;
+  bool InParallelRegion() const override {
+    return in_parallel_.load(std::memory_order_relaxed);
+  }
+
+  SimTime lookahead() const { return lookahead_; }
+  uint64_t lookahead_violations() const { return lookahead_violations_; }
+  uint64_t windows_run() const { return windows_run_; }
+  uint64_t parallel_windows() const { return parallel_windows_; }
+
+ private:
+  // A cross-shard schedule buffered until the next window boundary. The
+  // provisional id lives in the source shard's seq space and dies at the
+  // merge, where the event gets a fresh id on the target shard.
+  struct Outgoing {
+    SimTime time;
+    uint64_t provisional_id;
+    size_t target;
+    std::function<void()> fn;
+  };
+
+  struct Shard {
+    EventHeap heap;
+    SimTime now = 0;
+    uint64_t next_seq = 1;
+    uint64_t executed = 0;
+    std::vector<Outgoing> outbox;
+    // Cross-shard cancels issued by THIS shard during a window; applied in
+    // canonical order at the boundary.
+    std::vector<uint64_t> deferred_cancels;
+  };
+
+  uint64_t MakeId(Shard& shard, size_t index) {
+    return (shard.next_seq++ << kShardBits) | static_cast<uint64_t>(index);
+  }
+
+  // Runs all of shard `index`'s events with time < t_end on the calling
+  // thread.
+  void RunShardWindow(size_t index, SimTime t_end);
+  // Applies deferred cancels and merges every outbox, in canonical order.
+  void MergeBoundary();
+  // The coordinator loop shared by Run and RunUntil.
+  void RunWindows(SimTime deadline, bool clamp_to_deadline);
+  void DispatchWindow(const std::vector<size_t>& active, SimTime t_end);
+  void StartWorkers();
+  void WorkerMain(size_t index);
+
+  SimTime lookahead_;
+  std::vector<Shard> shards_;
+  std::vector<uint8_t> node_shard_;
+
+  // Barrier tasks, ordered by (time, insertion seq).
+  std::map<std::pair<SimTime, uint64_t>, std::function<void()>> barriers_;
+  uint64_t next_barrier_seq_ = 1;
+  uint64_t barriers_executed_ = 0;
+
+  SimTime now_ = 0;  // idle-context clock: max event time completed so far
+  uint64_t lookahead_violations_ = 0;
+  uint64_t windows_run_ = 0;
+  uint64_t parallel_windows_ = 0;
+
+  // Worker pool (started lazily on the first multi-shard window).
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable cv_work_;
+  std::condition_variable cv_done_;
+  uint64_t generation_ = 0;
+  size_t active_remaining_ = 0;
+  SimTime window_end_ = 0;
+  std::vector<uint8_t> shard_active_;
+  bool shutdown_ = false;
+  std::atomic<bool> in_parallel_{false};
+};
+
+}  // namespace globe::sim
+
+#endif  // SRC_SIM_SHARDED_SIMULATOR_H_

@@ -7,38 +7,20 @@ namespace globe::sim {
 Simulator::EventId Simulator::ScheduleAt(SimTime t, std::function<void()> fn) {
   assert(t >= now_ && "cannot schedule into the past");
   EventId id = next_id_++;
-  queue_.push(Event{t, id, std::move(fn)});
-  pending_ids_.insert(id);
+  heap_.Push(t, id, std::move(fn));
   return id;
 }
 
-bool Simulator::Cancel(EventId id) {
-  if (pending_ids_.erase(id) == 0) {
-    return false;
-  }
-  cancelled_ids_.insert(id);
-  return true;
-}
-
-void Simulator::DropCancelledPrefix() {
-  while (!queue_.empty() && cancelled_ids_.count(queue_.top().id) > 0) {
-    cancelled_ids_.erase(queue_.top().id);
-    queue_.pop();
-  }
-}
+bool Simulator::Cancel(EventId id) { return heap_.Cancel(id); }
 
 bool Simulator::Step() {
-  DropCancelledPrefix();
-  if (queue_.empty()) {
+  if (heap_.Peek() == nullptr) {
     return false;
   }
-  // priority_queue::top returns const&; the event must be copied out before pop.
-  Event ev = queue_.top();
-  queue_.pop();
-  pending_ids_.erase(ev.id);
-  now_ = ev.time;
+  TimedEvent event = heap_.PopTop();
+  now_ = event.time;
   ++executed_;
-  ev.fn();
+  event.fn();
   return true;
 }
 
@@ -49,8 +31,8 @@ void Simulator::Run() {
 
 void Simulator::RunUntil(SimTime deadline) {
   for (;;) {
-    DropCancelledPrefix();
-    if (queue_.empty() || queue_.top().time > deadline) {
+    const TimedEvent* next = heap_.Peek();
+    if (next == nullptr || next->time > deadline) {
       break;
     }
     Step();

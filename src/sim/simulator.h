@@ -5,34 +5,34 @@
 // do messages travel" — the quantities behind every claim in the paper — are exactly
 // measurable. All services (GLS directory nodes, DNS servers, object servers, HTTPDs)
 // run as callbacks driven by one Simulator instance; there is no real concurrency.
+// (For planet-scale worlds there is also sim::ShardedSimulator, which runs
+// per-continent event shards on a thread pool behind the same EventEngine seam.)
 //
 // Events are cancellable: ScheduleAt/ScheduleAfter return an EventId that Cancel()
 // erases from the queue. A cancelled event neither runs nor advances the virtual
 // clock — this is what lets the RPC layer drop a call's deadline event the moment
 // its response arrives, so draining the queue costs the round-trip time rather than
-// the full timeout.
+// the full timeout. Tombstones are bounded: the queue compacts once cancelled
+// entries outnumber live ones (see EventHeap), so long runs do not accumulate
+// cancelled-event memory.
 
 #ifndef SRC_SIM_SIMULATOR_H_
 #define SRC_SIM_SIMULATOR_H_
 
 #include <cstdint>
 #include <functional>
-#include <queue>
-#include <unordered_set>
-#include <vector>
 
-#include "src/sim/clock.h"
+#include "src/sim/engine.h"
+#include "src/sim/event_queue.h"
 
 namespace globe::sim {
 
-// The virtual-time implementation of the Clock seam (src/sim/clock.h): an
-// event queue whose head defines "now".
-class Simulator : public Clock {
+// The sequential virtual-time implementation of the EventEngine seam
+// (src/sim/engine.h): one event queue whose head defines "now".
+class Simulator : public EventEngine {
  public:
-  // Handle to a scheduled event; kNoEvent is never a live event. Events are
-  // Clock timers — EventId is the historical name for TimerId.
-  using EventId = Clock::TimerId;
-  static constexpr EventId kNoEvent = Clock::kNoTimer;
+  using EventId = EventEngine::EventId;
+  static constexpr EventId kNoEvent = EventEngine::kNoEvent;
 
   Simulator() = default;
   Simulator(const Simulator&) = delete;
@@ -42,7 +42,7 @@ class Simulator : public Clock {
 
   // Schedules fn to run at absolute time t (>= Now). Events scheduled for the same
   // time run in scheduling order (stable).
-  EventId ScheduleAt(SimTime t, std::function<void()> fn);
+  EventId ScheduleAt(SimTime t, std::function<void()> fn) override;
 
   // Schedules fn to run after the given delay.
   EventId ScheduleAfter(SimTime delay, std::function<void()> fn) override {
@@ -51,46 +51,25 @@ class Simulator : public Clock {
 
   // Erases a pending event: it will neither run nor advance the clock. Returns
   // false if the event already ran, was already cancelled, or never existed.
-  bool Cancel(EventId id);
-  bool CancelTimer(TimerId id) override { return Cancel(id); }
+  bool Cancel(EventId id) override;
 
   // Runs a single live event. Returns false if no live events remain.
   bool Step();
 
   // Runs until the queue is empty.
-  void Run();
+  void Run() override;
 
   // Runs until the queue is empty or the clock would pass `deadline`.
-  void RunUntil(SimTime deadline);
+  void RunUntil(SimTime deadline) override;
 
-  size_t pending_events() const { return pending_ids_.size(); }
-  uint64_t executed_events() const { return executed_; }
+  size_t pending_events() const override { return heap_.pending(); }
+  uint64_t executed_events() const override { return executed_; }
 
  private:
-  struct Event {
-    SimTime time;
-    EventId id;  // also the tie-breaker for stable ordering
-    std::function<void()> fn;
-  };
-  struct EventCompare {
-    bool operator()(const Event& a, const Event& b) const {
-      if (a.time != b.time) {
-        return a.time > b.time;
-      }
-      return a.id > b.id;
-    }
-  };
-
-  // Pops cancelled events off the front of the queue without running them or
-  // touching the clock.
-  void DropCancelledPrefix();
-
   SimTime now_ = 0;
   EventId next_id_ = 1;
   uint64_t executed_ = 0;
-  std::priority_queue<Event, std::vector<Event>, EventCompare> queue_;
-  std::unordered_set<EventId> pending_ids_;    // scheduled, not yet run or cancelled
-  std::unordered_set<EventId> cancelled_ids_;  // cancelled but still physically queued
+  EventHeap heap_;
 };
 
 }  // namespace globe::sim

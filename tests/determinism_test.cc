@@ -1,0 +1,295 @@
+// Determinism of the sharded event engine (src/sim/sharded_simulator.h).
+//
+// The engine's contract: for a pinned seed, a sharded run is byte-identical to
+// a re-run with the same shard count, and — on tie-free workloads, where no two
+// events share a (time, node) slot — identical to the sequential engine in
+// executed-event count, final virtual time, per-request outcomes and final
+// service state. The suite drives a real GLS deployment (with the
+// memory-bounded subnode store exercising spill/fault-in under both engines)
+// and compares checkpoint bytes, plus unit tests for the engine's window and
+// boundary machinery.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+
+#include "src/gls/deploy.h"
+#include "src/sim/backend.h"
+
+namespace globe {
+namespace {
+
+using sim::BuildUniformWorld;
+using sim::DomainId;
+using sim::EventEngine;
+using sim::NodeId;
+using sim::ShardedSimulator;
+using sim::SimTime;
+using sim::Simulator;
+using sim::UniformWorld;
+
+// ------------------------------------------------------------ engine units
+
+TEST(ShardedSimulatorTest, RunsShardLocalEventsInTimeOrder) {
+  ShardedSimulator engine(2, /*lookahead_us=*/100);
+  engine.AssignNode(0, 0);
+  engine.AssignNode(1, 1);
+  std::vector<int> order;
+  engine.ScheduleAtForNode(0, 30, [&] { order.push_back(3); });
+  engine.ScheduleAtForNode(0, 10, [&] { order.push_back(1); });
+  engine.ScheduleAtForNode(0, 20, [&] { order.push_back(2); });
+  engine.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(engine.executed_events(), 3u);
+}
+
+TEST(ShardedSimulatorTest, CrossShardHandoffRunsOnTargetShard) {
+  ShardedSimulator engine(2, /*lookahead_us=*/50);
+  engine.AssignNode(0, 0);
+  engine.AssignNode(1, 1);
+  std::atomic<size_t> observed_shard{99};
+  // Both shards get work so the window dispatches in parallel; the event on
+  // node 0 sends one across to node 1 beyond the lookahead horizon.
+  engine.ScheduleAtForNode(1, 10, [] {});
+  engine.ScheduleAtForNode(0, 10, [&] {
+    engine.ScheduleAtForNode(1, 100, [&] { observed_shard = engine.current_shard(); });
+  });
+  engine.Run();
+  EXPECT_EQ(observed_shard.load(), 1u);
+  EXPECT_EQ(engine.executed_events(), 3u);
+  EXPECT_EQ(engine.lookahead_violations(), 0u);
+}
+
+TEST(ShardedSimulatorTest, LookaheadViolationIsClampedAndCounted) {
+  ShardedSimulator engine(2, /*lookahead_us=*/1000);
+  engine.AssignNode(0, 0);
+  engine.AssignNode(1, 1);
+  // Shard 1 has an event at 500 inside the same window as shard 0's event at
+  // 100; the cross-shard message aimed at t=101 arrives after shard 1 already
+  // advanced to 500, so it must clamp forward, never travel back.
+  std::vector<SimTime> ran_at;
+  engine.ScheduleAtForNode(1, 500, [&] { ran_at.push_back(engine.Now()); });
+  engine.ScheduleAtForNode(0, 100, [&] {
+    engine.ScheduleAtForNode(1, 101, [&] { ran_at.push_back(engine.Now()); });
+  });
+  engine.Run();
+  ASSERT_EQ(ran_at.size(), 2u);
+  EXPECT_EQ(ran_at[0], 500);
+  EXPECT_GE(ran_at[1], 500);  // clamped to the target shard's clock
+  EXPECT_EQ(engine.lookahead_violations(), 1u);
+}
+
+TEST(ShardedSimulatorTest, BarrierRunsWithShardsParkedAndInOrder) {
+  ShardedSimulator engine(2, /*lookahead_us=*/10);
+  engine.AssignNode(0, 0);
+  engine.AssignNode(1, 1);
+  std::vector<int> order;
+  engine.ScheduleAtForNode(0, 5, [&] { order.push_back(0); });
+  engine.ScheduleAtForNode(1, 15, [&] { order.push_back(2); });
+  engine.ScheduleBarrier(10, [&] {
+    EXPECT_FALSE(engine.InParallelRegion());
+    order.push_back(1);
+    // Barrier context may schedule onto any shard directly.
+    engine.ScheduleAtForNode(1, 20, [&] { order.push_back(3); });
+  });
+  engine.Run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(ShardedSimulatorTest, CancelShardLocalEventSkipsIt) {
+  ShardedSimulator engine(2, /*lookahead_us=*/100);
+  engine.AssignNode(0, 0);
+  bool cancelled_ran = false;
+  bool fired = false;
+  auto id = engine.ScheduleAtForNode(0, 50, [&] { cancelled_ran = true; });
+  engine.ScheduleAtForNode(0, 10, [&] {
+    EXPECT_TRUE(engine.Cancel(id));
+    fired = true;
+  });
+  engine.Run();
+  EXPECT_TRUE(fired);
+  EXPECT_FALSE(cancelled_ran);
+  EXPECT_EQ(engine.executed_events(), 1u);
+}
+
+// ------------------------------------------------- cross-engine replay
+
+uint64_t Fnv1a(uint64_t hash, const Bytes& bytes) {
+  for (uint8_t b : bytes) {
+    hash ^= b;
+    hash *= 0x100000001B3ULL;
+  }
+  return hash;
+}
+
+struct TraceResult {
+  uint64_t executed = 0;
+  SimTime end_time = 0;
+  // Canonical directory state: every subnode's entries in sorted-OID order
+  // (ExportEntries), serialized and hashed. RPC correlation ids (ephemeral
+  // ports, request ids) are process-global counters excluded by design — they
+  // never influence behaviour, so they are not part of the replay contract.
+  uint64_t state_hash = 0;
+  std::vector<uint8_t> outcomes;  // per lookup: address count (0xFF = failed)
+  uint64_t evictions = 0;
+  uint64_t fault_ins = 0;
+
+  bool operator==(const TraceResult&) const = default;
+};
+
+// One deterministic GLS workload — staggered registrations, cached lookups and
+// deletes with collision-free timestamps — on either engine. The subnode store
+// is capacity-bounded so eviction/spill/fault-in runs under both engines too.
+TraceResult RunGlsWorkload(bool use_sharded, uint64_t seed) {
+  constexpr size_t kShards = 4;
+  constexpr int kOids = 48;
+  constexpr int kLookups = 96;
+
+  UniformWorld world = BuildUniformWorld({4, 4}, 2);
+  sim::NetworkOptions net_options;
+  net_options.rng_seed = seed;
+
+  std::unique_ptr<EventEngine> engine;
+  ShardedSimulator* sharded = nullptr;
+  if (use_sharded) {
+    auto owned = std::make_unique<ShardedSimulator>(
+        kShards, static_cast<SimTime>(net_options.profile.LatencyAt(1)));
+    sharded = owned.get();
+    engine = std::move(owned);
+  } else {
+    engine = std::make_unique<Simulator>();
+  }
+
+  // Continent homing; must run before a node's services register ports.
+  auto assign_node = [&](NodeId node) {
+    if (sharded == nullptr) {
+      return;
+    }
+    DomainId d = world.topology.NodeDomain(node);
+    while (world.topology.DomainDepth(d) > 1) {
+      d = world.topology.DomainParent(d);
+    }
+    sharded->AssignNode(node, world.topology.DomainDepth(d) == 0
+                                  ? 0
+                                  : static_cast<size_t>(d - 1) % kShards);
+  };
+  for (NodeId node = 0; node < world.topology.num_nodes(); ++node) {
+    assign_node(node);
+  }
+
+  sim::Network network(engine.get(), &world.topology, net_options);
+  sim::PlainTransport transport(&network);
+  gls::GlsDeploymentOptions options;
+  options.rng_seed = seed;
+  options.node_options.enable_cache = true;
+  options.node_options.store_capacity = 8;
+  gls::GlsDeployment deployment(&transport, &world.topology, nullptr, options,
+                                assign_node);
+
+  Rng rng(seed);
+  std::vector<gls::ObjectId> oids;
+  for (int i = 0; i < kOids; ++i) {
+    oids.push_back(gls::ObjectId::Generate(&rng));
+  }
+
+  std::vector<std::shared_ptr<gls::GlsClient>> clients;
+  for (NodeId host : world.hosts) {
+    auto client = std::make_shared<gls::GlsClient>(
+        &transport, host, deployment.LeafDirectoryFor(host));
+    client->set_allow_cached(true);
+    clients.push_back(client);
+  }
+  auto host_of = [&](int i) { return world.hosts[i % world.hosts.size()]; };
+  auto address_of = [&](int i) {
+    return gls::ContactAddress{{host_of(i), sim::kPortGos}, 1,
+                               gls::ReplicaRole::kMaster};
+  };
+
+  // Registrations: distinct times (prime stride), spread over every continent.
+  for (int i = 0; i < kOids; ++i) {
+    engine->ScheduleAtForNode(host_of(i), 1 + i * 937, [&, i] {
+      clients[i % clients.size()]->Insert(oids[i], address_of(i), [](Status) {});
+    });
+  }
+  engine->Run();
+
+  // Cached lookups from everywhere; outcomes recorded positionally (each slot
+  // written by exactly one callback, so shard threads never contend).
+  TraceResult result;
+  result.outcomes.assign(kLookups, 0);
+  SimTime base = engine->Now() + 1;
+  for (int j = 0; j < kLookups; ++j) {
+    int reader = (j * 7 + 3) % static_cast<int>(clients.size());
+    engine->ScheduleAtForNode(host_of(reader), base + j * 1331, [&, j, reader] {
+      clients[reader]->Lookup(oids[(j * 5) % kOids],
+                              [&, j](Result<gls::LookupResult> r) {
+                                result.outcomes[j] =
+                                    r.ok() ? static_cast<uint8_t>(r->addresses.size())
+                                           : 0xFF;
+                              });
+    });
+  }
+  engine->Run();
+
+  // Deregister a third of the objects, then checkpoint everything.
+  for (int i = 0; i < kOids; i += 3) {
+    engine->ScheduleAtForNode(host_of(i), engine->Now() + 1 + i * 739, [&, i] {
+      clients[i % clients.size()]->Delete(oids[i], address_of(i), [](Status) {});
+    });
+  }
+  engine->Run();
+
+  result.executed = engine->executed_events();
+  result.end_time = engine->Now();
+  result.state_hash = 0xcbf29ce484222325ULL;
+  for (const auto& subnode : deployment.subnodes()) {
+    for (const auto& [oid, entry] : subnode->ExportEntries()) {
+      ByteWriter w;
+      oid.Serialize(&w);
+      result.state_hash = Fnv1a(result.state_hash, w.Take());
+      result.state_hash =
+          Fnv1a(result.state_hash, gls::SubnodeStore::SerializeEntry(entry));
+    }
+  }
+  gls::SubnodeStats totals = deployment.TotalStats();
+  result.evictions = totals.store_evictions;
+  result.fault_ins = totals.store_fault_ins;
+  return result;
+}
+
+constexpr uint64_t kSeeds[] = {1337, 4242, 9001};
+
+TEST(DeterminismTest, ShardedMatchesSequentialOnTieFreeWorkload) {
+  for (uint64_t seed : kSeeds) {
+    TraceResult sequential = RunGlsWorkload(false, seed);
+    TraceResult sharded = RunGlsWorkload(true, seed);
+    EXPECT_EQ(sequential.executed, sharded.executed) << "seed " << seed;
+    EXPECT_EQ(sequential.end_time, sharded.end_time) << "seed " << seed;
+    EXPECT_EQ(sequential.outcomes, sharded.outcomes) << "seed " << seed;
+    EXPECT_EQ(sequential.state_hash, sharded.state_hash) << "seed " << seed;
+    // The bounded store spilled and faulted identically under both engines.
+    EXPECT_EQ(sequential.evictions, sharded.evictions) << "seed " << seed;
+    EXPECT_EQ(sequential.fault_ins, sharded.fault_ins) << "seed " << seed;
+    EXPECT_GT(sequential.evictions, 0u) << "seed " << seed;
+  }
+}
+
+TEST(DeterminismTest, ShardedReplayIsByteIdentical) {
+  for (uint64_t seed : kSeeds) {
+    TraceResult first = RunGlsWorkload(true, seed);
+    TraceResult second = RunGlsWorkload(true, seed);
+    EXPECT_EQ(first, second) << "seed " << seed;
+  }
+}
+
+TEST(DeterminismTest, SequentialReplayIsByteIdentical) {
+  for (uint64_t seed : kSeeds) {
+    TraceResult first = RunGlsWorkload(false, seed);
+    TraceResult second = RunGlsWorkload(false, seed);
+    EXPECT_EQ(first, second) << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace globe

@@ -1345,5 +1345,94 @@ TEST_F(GlsOwnershipTest, OwnershipAndDedupSurviveSaveRestore) {
   EXPECT_EQ(rejected->master.endpoint, a.endpoint);
 }
 
+// ---------------------------------------------------------------- Bounded store
+
+// The memory-bounded subnode store: entries beyond the capacity spill to the
+// cold store and must keep behaving exactly like resident ones — found by
+// lookups (fault-in), mutable by inserts and deletes, and carried through a
+// SaveState/RestoreState reboot. Nothing registered is ever lost.
+TEST(GlsBoundedStoreTest, EvictedEntrySurvivesLookupMutationAndCheckpoint) {
+  sim::Simulator simulator;
+  UniformWorld world = BuildUniformWorld({2, 2}, 2);
+  sim::Network network(&simulator, &world.topology);
+  sim::PlainTransport transport(&network);
+
+  GlsDeploymentOptions options;
+  options.node_options.store_capacity = 4;
+  GlsDeployment deployment(&transport, &world.topology, nullptr, options);
+
+  auto insert = [&](const ObjectId& oid, NodeId host) {
+    auto client = deployment.MakeClient(host);
+    Status status = Unavailable("pending");
+    client->Insert(oid, ContactAddress{{host, sim::kPortGos}, 1, ReplicaRole::kMaster},
+                   [&](Status s) { status = s; });
+    simulator.Run();
+    EXPECT_TRUE(status.ok()) << status;
+  };
+  auto lookup = [&](const ObjectId& oid, NodeId host) {
+    auto client = deployment.MakeClient(host);
+    Result<LookupResult> out = Unavailable("pending");
+    client->Lookup(oid, [&](Result<LookupResult> r) { out = std::move(r); });
+    simulator.Run();
+    return out;
+  };
+
+  // Four times the capacity, all on host 0's leaf: the leaf's address entries
+  // and every ancestor's pointer entries must spill.
+  Rng rng(71);
+  std::vector<ObjectId> oids;
+  for (int i = 0; i < 16; ++i) {
+    oids.push_back(ObjectId::Generate(&rng));
+    insert(oids.back(), world.hosts[0]);
+  }
+  SubnodeStats after_inserts = deployment.TotalStats();
+  EXPECT_GT(after_inserts.store_evictions, 0u);
+  for (const auto& subnode : deployment.subnodes()) {
+    EXPECT_LE(subnode->stats().store_peak_resident, 4u)
+        << "subnode for domain " << subnode->domain();
+  }
+
+  // The coldest entry (first registered, 12 inserts ago) was evicted; a remote
+  // lookup still finds it by faulting it back in.
+  auto cold = lookup(oids[0], world.hosts[7]);
+  ASSERT_TRUE(cold.ok());
+  EXPECT_EQ(cold->addresses.size(), 1u);
+  EXPECT_GT(deployment.TotalStats().store_fault_ins, after_inserts.store_fault_ins);
+
+  // Evicted entries accept mutations: add a second replica, then remove it.
+  insert(oids[1], world.hosts[1]);  // hosts[0] and [1] share the leaf domain
+  auto doubled = lookup(oids[1], world.hosts[7]);
+  ASSERT_TRUE(doubled.ok());
+  EXPECT_EQ(doubled->addresses.size(), 2u);
+  {
+    auto client = deployment.MakeClient(world.hosts[1]);
+    Status status = Unavailable("pending");
+    client->Delete(oids[1],
+                   ContactAddress{{world.hosts[1], sim::kPortGos}, 1,
+                                  ReplicaRole::kMaster},
+                   [&](Status s) { status = s; });
+    simulator.Run();
+    EXPECT_TRUE(status.ok()) << status;
+  }
+
+  // Checkpoint every subnode and rebuild it in place: resident and spilled
+  // entries alike survive the reboot.
+  for (const auto& subnode : deployment.subnodes()) {
+    size_t entries_before = subnode->TotalEntries();
+    Bytes saved = subnode->SaveState();
+    ASSERT_TRUE(subnode->RestoreState(saved).ok());
+    EXPECT_EQ(subnode->TotalEntries(), entries_before);
+    EXPECT_LE(subnode->StoreResidentEntries(), 4u);
+  }
+
+  // Zero lost registrations: every object still resolves to exactly one
+  // address from the far continent after the reboot.
+  for (const auto& oid : oids) {
+    auto result = lookup(oid, world.hosts[6]);
+    ASSERT_TRUE(result.ok());
+    EXPECT_EQ(result->addresses.size(), 1u);
+  }
+}
+
 }  // namespace
 }  // namespace globe::gls

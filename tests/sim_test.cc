@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "src/sim/backend.h"
+#include "src/sim/event_queue.h"
 #include "src/sim/rpc.h"
 
 namespace globe::sim {
@@ -96,6 +97,69 @@ TEST(SimulatorTest, CancelInsideRunUntilSkipsCleanly) {
   EXPECT_EQ(simulator.Now(), 25u);
   simulator.Run();
   EXPECT_EQ(order, (std::vector<int>{1, 3}));
+}
+
+// ---------------------------------------------------------------- EventHeap
+
+TEST(EventHeapTest, CancelHeavyWorkloadDrainsOnlyLiveEventsInOrder) {
+  // The shape of a week-long run's deadline timers: most scheduled events are
+  // cancelled before they fire. Compaction is internal; what must hold is that
+  // pending() tracks live events only, cancelled events never surface, and the
+  // survivors drain in (time, id) order.
+  EventHeap heap;
+  constexpr uint64_t kEvents = 1000;
+  for (uint64_t id = 0; id < kEvents; ++id) {
+    heap.Push(/*t=*/kEvents - id, id, [] {});
+  }
+  for (uint64_t id = 0; id < kEvents; ++id) {
+    if (id % 10 != 3) {
+      EXPECT_TRUE(heap.Cancel(id));
+    }
+  }
+  EXPECT_EQ(heap.pending(), kEvents / 10);
+  SimTime last = 0;
+  size_t drained = 0;
+  while (const TimedEvent* top = heap.Peek()) {
+    EXPECT_GT(top->time, last);
+    last = top->time;
+    TimedEvent event = heap.PopTop();
+    EXPECT_EQ(event.id % 10, 3u);
+    ++drained;
+  }
+  EXPECT_EQ(drained, kEvents / 10);
+  EXPECT_EQ(heap.pending(), 0u);
+}
+
+TEST(EventHeapTest, CancelReportsWhetherEventWasStillPending) {
+  EventHeap heap;
+  heap.Push(5, 1, [] {});
+  heap.Push(6, 2, [] {});
+  EXPECT_TRUE(heap.IsPending(1));
+  EXPECT_TRUE(heap.Cancel(1));
+  EXPECT_FALSE(heap.Cancel(1));   // already cancelled
+  EXPECT_FALSE(heap.Cancel(99));  // never existed
+  EXPECT_FALSE(heap.IsPending(1));
+  (void)heap.Peek();
+  TimedEvent ran = heap.PopTop();
+  EXPECT_EQ(ran.id, 2u);
+  EXPECT_FALSE(heap.Cancel(2));  // already ran
+}
+
+TEST(EventHeapTest, TakeAllReturnsLiveEventsAndResetsHeap) {
+  EventHeap heap;
+  for (uint64_t id = 0; id < 20; ++id) {
+    heap.Push(100 + id, id, [] {});
+  }
+  for (uint64_t id = 0; id < 20; id += 2) {
+    heap.Cancel(id);
+  }
+  std::vector<TimedEvent> live = heap.TakeAll();
+  EXPECT_EQ(live.size(), 10u);
+  for (const TimedEvent& event : live) {
+    EXPECT_EQ(event.id % 2, 1u);
+  }
+  EXPECT_EQ(heap.pending(), 0u);
+  EXPECT_EQ(heap.Peek(), nullptr);
 }
 
 // ---------------------------------------------------------------- Topology
@@ -858,7 +922,8 @@ TEST_F(RpcTest, ManyConcurrentCallsCorrelate) {
   for (uint64_t i = 0; i < 50; ++i) {
     ByteWriter w;
     w.WriteU64(i);
-    client.Call(server.endpoint(), "double", w.Take(), [&, i](Result<PayloadView> result) {
+    client.Call(server.endpoint(), "double", w.Take(),
+                [&, i](Result<PayloadView> result) {
       ASSERT_TRUE(result.ok());
       ByteReader r(*result);
       results[i] = r.ReadU64().value();
